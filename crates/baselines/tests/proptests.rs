@@ -1,0 +1,91 @@
+//! Property-based tests for the baseline methods.
+
+use proptest::prelude::*;
+use tgs_baselines::{
+    propagate_labels, subsample_labels, LabelPropConfig, LinearSvm, NaiveBayes, SvmConfig,
+};
+use tgs_linalg::CsrMatrix;
+
+/// Strategy: labeled docs over a small feature space with class-
+/// correlated features (class c prefers features 2c, 2c+1).
+fn labeled_docs(k: usize) -> impl Strategy<Value = (Vec<Vec<usize>>, Vec<Option<usize>>)> {
+    proptest::collection::vec((0..k, proptest::collection::vec(0usize..4, 1..6)), 4..24).prop_map(
+        move |items| {
+            let mut docs = Vec::new();
+            let mut labels = Vec::new();
+            for (c, noise) in items {
+                let mut doc = vec![2 * c, 2 * c + 1, 2 * c];
+                doc.extend(noise.iter().map(|&x| 2 * k + x));
+                docs.push(doc);
+                labels.push(Some(c));
+            }
+            docs
+                .iter()
+                .for_each(|d| debug_assert!(d.iter().all(|&f| f < 2 * k + 4)));
+            (docs, labels)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn nb_perfectly_separable_training_data((docs, labels) in labeled_docs(2)) {
+        let nb = NaiveBayes::train(&docs, &labels, 8, 2, 1.0);
+        let pred = nb.predict_all(&docs);
+        let truth: Vec<usize> = labels.iter().map(|l| l.unwrap()).collect();
+        let acc = tgs_eval::classification_accuracy(&pred, &truth);
+        prop_assert!(acc > 0.9, "NB training accuracy {acc}");
+    }
+
+    #[test]
+    fn svm_predictions_always_in_range((docs, labels) in labeled_docs(3)) {
+        let mut trip = Vec::new();
+        for (i, d) in docs.iter().enumerate() {
+            for &f in d {
+                trip.push((i, f, 1.0));
+            }
+        }
+        let x = CsrMatrix::from_triplets(docs.len(), 10, &trip).unwrap();
+        let svm = LinearSvm::train(&x, &labels, 3, &SvmConfig { epochs: 4, ..Default::default() });
+        for p in svm.predict_all(&x) {
+            prop_assert!(p < 3);
+        }
+    }
+
+    #[test]
+    fn subsample_is_monotone_in_fraction(
+        labels in proptest::collection::vec(proptest::option::of(0usize..3), 1..60),
+        f1 in 0.0..1.0f64,
+        f2 in 0.0..1.0f64,
+    ) {
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let a = subsample_labels(&labels, lo).iter().flatten().count();
+        let b = subsample_labels(&labels, hi).iter().flatten().count();
+        prop_assert!(a <= b, "larger fraction keeps at least as many: {a} vs {b}");
+        let total = labels.iter().flatten().count();
+        prop_assert!(b <= total);
+    }
+
+    #[test]
+    fn label_propagation_labels_in_range_and_seeds_kept(
+        edges in proptest::collection::vec((0usize..8, 0usize..8), 0..16),
+        seed_node in 0usize..8,
+    ) {
+        let mut trip = Vec::new();
+        for (a, b) in edges {
+            if a != b {
+                trip.push((a, b, 1.0));
+                trip.push((b, a, 1.0));
+            }
+        }
+        let adj = CsrMatrix::from_triplets(8, 8, &trip).unwrap();
+        let mut seeds = vec![None; 8];
+        seeds[seed_node] = Some(1usize);
+        let labels = propagate_labels(&adj, &seeds, 3, &LabelPropConfig::default());
+        prop_assert_eq!(labels.len(), 8);
+        prop_assert!(labels.iter().all(|&l| l < 3));
+        prop_assert_eq!(labels[seed_node], 1, "clamped seed keeps its label");
+    }
+}

@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks of the linear-algebra kernels that
+//! dominate a tri-clustering iteration: sparse×dense products, Gram
+//! matrices, the multiplicative update, and factored objective
+//! evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::RngExt;
+use std::hint::black_box;
+use tgs_linalg::{
+    approx_error_tri, mult_update, random_factor, seeded_rng, CsrMatrix, DenseMatrix,
+};
+
+/// A random sparse matrix with ~`nnz_per_row` entries per row.
+fn random_csr(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
+    let mut rng = seeded_rng(seed);
+    let mut trip = Vec::with_capacity(rows * nnz_per_row);
+    for r in 0..rows {
+        for _ in 0..nnz_per_row {
+            trip.push((r, rng.random_range(0..cols), rng.random_range(0.1..2.0)));
+        }
+    }
+    CsrMatrix::from_triplets(rows, cols, &trip).unwrap()
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    for &n in &[1_000usize, 10_000, 40_000] {
+        let x = random_csr(n, 3_000, 10, 7);
+        let d = random_factor(3_000, 3, 8);
+        group.bench_with_input(BenchmarkId::new("mul_dense", n), &n, |b, _| {
+            b.iter(|| black_box(x.mul_dense(&d)))
+        });
+        let dt = random_factor(n, 3, 9);
+        group.bench_with_input(BenchmarkId::new("transpose_mul_dense", n), &n, |b, _| {
+            b.iter(|| black_box(x.transpose_mul_dense(&dt)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gram");
+    for &n in &[10_000usize, 100_000] {
+        let m = random_factor(n, 3, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(m.gram()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mult_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mult_update");
+    for &n in &[10_000usize, 100_000] {
+        let num = random_factor(n, 3, 1);
+        let den = random_factor(n, 3, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || random_factor(n, 3, 3),
+                |mut s| {
+                    mult_update(&mut s, &num, &den);
+                    black_box(s)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_objective(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factored_objective");
+    for &n in &[10_000usize, 40_000] {
+        let x = random_csr(n, 3_000, 10, 11);
+        let s = random_factor(n, 3, 1);
+        let h = random_factor(3, 3, 2);
+        let f = random_factor(3_000, 3, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(approx_error_tri(&x, &s, &h, &f)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_small(c: &mut Criterion) {
+    let k = 3usize;
+    let a: DenseMatrix = random_factor(k, k, 4);
+    let b2: DenseMatrix = random_factor(k, k, 5);
+    c.bench_function("kxk_matmul", |b| b.iter(|| black_box(a.matmul(&b2))));
+}
+
+criterion_group!(
+    benches,
+    bench_spmm,
+    bench_gram,
+    bench_mult_update,
+    bench_objective,
+    bench_dense_small
+);
+criterion_main!(benches);

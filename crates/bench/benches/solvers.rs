@@ -1,0 +1,116 @@
+//! Criterion benchmarks of the solvers: offline iteration scaling with
+//! corpus size, and the per-day cost of online vs mini-batch vs
+//! full-batch — the quantitative backbone of the complexity analysis in
+//! §3.2/§4.2 and Figs. 11(a)/12(a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tgs_bench::common::pipeline;
+use tgs_core::{
+    solve_offline, OfflineConfig, OnlineConfig, OnlineSolver, SnapshotData, TriInput,
+};
+use tgs_data::{build_offline, generate, GeneratorConfig, SnapshotBuilder};
+
+fn corpus_of_size(total_tweets: usize) -> GeneratorConfig {
+    GeneratorConfig {
+        topic: format!("bench-{total_tweets}"),
+        num_users: (total_tweets / 15).max(20),
+        total_tweets,
+        num_days: 20,
+        ..Default::default()
+    }
+}
+
+fn bench_offline_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_solve");
+    group.sample_size(10);
+    for &n in &[500usize, 2_000, 8_000] {
+        let corpus = generate(&corpus_of_size(n));
+        let inst = build_offline(&corpus, 3, &pipeline());
+        let input = TriInput {
+            xp: &inst.xp,
+            xu: &inst.xu,
+            xr: &inst.xr,
+            graph: &inst.graph,
+            sf0: &inst.sf0,
+        };
+        let cfg = OfflineConfig { k: 3, max_iters: 10, tol: 0.0, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("10_iters", n), &n, |b, _| {
+            b.iter(|| black_box(solve_offline(&input, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_online_vs_batch(c: &mut Criterion) {
+    let corpus = generate(&corpus_of_size(4_000));
+    let builder = SnapshotBuilder::new(&corpus, 3, &pipeline());
+    // Warm the online solver on the first half of the stream, then
+    // benchmark one incremental day against the batch equivalents.
+    let windows = tgs_data::day_windows(corpus.num_days, 1);
+    let warm = windows.len() / 2;
+    let snap = builder.snapshot(&corpus, windows[warm].0, windows[warm].1);
+    let cumulative = builder.snapshot(&corpus, 0, windows[warm].1);
+
+    let mut group = c.benchmark_group("per_day_step");
+    group.sample_size(10);
+    group.bench_function("online", |b| {
+        b.iter_batched(
+            || {
+                let mut solver =
+                    OnlineSolver::new(OnlineConfig { max_iters: 20, ..Default::default() });
+                for w in windows.iter().take(warm) {
+                    let s = builder.snapshot(&corpus, w.0, w.1);
+                    if s.tweet_ids.is_empty() {
+                        continue;
+                    }
+                    let input = TriInput {
+                        xp: &s.xp,
+                        xu: &s.xu,
+                        xr: &s.xr,
+                        graph: &s.graph,
+                        sf0: builder.sf0(),
+                    };
+                    solver.step(&SnapshotData { input, user_ids: &s.user_ids });
+                }
+                solver
+            },
+            |mut solver| {
+                let input = TriInput {
+                    xp: &snap.xp,
+                    xu: &snap.xu,
+                    xr: &snap.xr,
+                    graph: &snap.graph,
+                    sf0: builder.sf0(),
+                };
+                black_box(solver.step(&SnapshotData { input, user_ids: &snap.user_ids }))
+            },
+            criterion::BatchSize::PerIteration,
+        )
+    });
+    let off = OfflineConfig { max_iters: 20, ..Default::default() };
+    group.bench_function("mini_batch", |b| {
+        let input = TriInput {
+            xp: &snap.xp,
+            xu: &snap.xu,
+            xr: &snap.xr,
+            graph: &snap.graph,
+            sf0: builder.sf0(),
+        };
+        b.iter(|| black_box(solve_offline(&input, &off)))
+    });
+    group.bench_function("full_batch", |b| {
+        let input = TriInput {
+            xp: &cumulative.xp,
+            xu: &cumulative.xu,
+            xr: &cumulative.xr,
+            graph: &cumulative.graph,
+            sf0: builder.sf0(),
+        };
+        b.iter(|| black_box(solve_offline(&input, &off)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline_scaling, bench_online_vs_batch);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 10 (accuracy vs gamma).
+use tgs_bench::{common::Scale, emit, experiments};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit(&experiments::fig10_gamma(scale), "fig10_gamma");
+}

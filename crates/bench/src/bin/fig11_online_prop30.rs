@@ -1,0 +1,7 @@
+//! Regenerates Fig. 11 (online performance, Prop 30 timeline).
+use tgs_bench::{common::Scale, common::Topic, emit, experiments};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit(&experiments::fig_online_timeline(Topic::Prop30, scale), "fig11_online_prop30");
+}

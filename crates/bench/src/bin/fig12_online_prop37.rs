@@ -1,0 +1,7 @@
+//! Regenerates Fig. 12 (online performance, Prop 37 timeline).
+use tgs_bench::{common::Scale, common::Topic, emit, experiments};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit(&experiments::fig_online_timeline(Topic::Prop37, scale), "fig12_online_prop37");
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 4 (the evolution of features).
+use tgs_bench::{common::Scale, emit, experiments};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit(&experiments::fig4_feature_evolution(scale), "fig4_feature_evolution");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 6 (user-level quality vs alpha/beta).
+use tgs_bench::{common::Scale, emit, experiments};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (user, _tweet) = experiments::param_sweep(scale);
+    emit(&user, "fig6_param_sweep_user");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 7 (tweet-level quality vs alpha/beta).
+use tgs_bench::{common::Scale, emit, experiments};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (_user, tweet) = experiments::param_sweep(scale);
+    emit(&tweet, "fig7_param_sweep_tweet");
+}

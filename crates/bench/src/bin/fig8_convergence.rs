@@ -1,0 +1,7 @@
+//! Regenerates Fig. 8 (convergence of the offline algorithm).
+use tgs_bench::{common::Scale, emit, experiments};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit(&experiments::fig8_convergence(scale), "fig8_convergence");
+}

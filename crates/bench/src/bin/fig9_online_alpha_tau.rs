@@ -1,0 +1,7 @@
+//! Regenerates Fig. 9 (online accuracy vs alpha/tau).
+use tgs_bench::{common::Scale, emit, experiments};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit(&experiments::fig9_online_alpha_tau(scale), "fig9_online_alpha_tau");
+}

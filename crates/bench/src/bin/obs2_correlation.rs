@@ -1,0 +1,89 @@
+//! Observation 2 verification: "considering the entire population, the
+//! majority of users rarely change their mind within a short time".
+//! Smith et al. (cited in §4) report a Pearson correlation of 0.851
+//! between user sentiments before and after the election; this experiment
+//! measures the same statistic on the synthetic corpus and on the online
+//! solver's *inferred* sentiments.
+//!
+//! `cargo run -p tgs-bench --release --bin obs2_correlation`
+
+use tgs_bench::common::{corpus, pipeline, Scale, Topic};
+use tgs_bench::report::{emit, Table};
+use tgs_core::{OnlineConfig, OnlineSolver, SnapshotData, TriInput};
+use tgs_data::{day_windows, SnapshotBuilder};
+use tgs_eval::pearson;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut table = Table::new(
+        "Observation 2: pre- vs post-election user sentiment correlation",
+        &["topic", "ground-truth Pearson r", "inferred Pearson r", "flip fraction %"],
+    )
+    .with_note(format!(
+        "paper (via Smith et al.): r = 0.851 between user sentiments before and after \
+         the election; scale = {}",
+        scale.name()
+    ));
+    for topic in [Topic::Prop30, Topic::Prop37] {
+        let c = corpus(topic, scale);
+        let split = c.num_days * 3 / 4; // the election sits in the last quarter
+        // Ground truth: signed stance score per user in each period
+        // (+1 pos, −1 neg, 0 neu).
+        let score = |class: usize| match class {
+            0 => 1.0,
+            1 => -1.0,
+            _ => 0.0,
+        };
+        let before: Vec<f64> =
+            c.user_truth_at(split / 2).iter().map(|&s| score(s)).collect();
+        let after: Vec<f64> = c
+            .user_truth_at(c.num_days - 1)
+            .iter()
+            .map(|&s| score(s))
+            .collect();
+        let truth_r = pearson(&before, &after);
+
+        // Inferred: run the online solver, record each user's inferred
+        // stance in the two halves (last estimate in each period).
+        let builder = SnapshotBuilder::new(&c, 3, &pipeline());
+        let mut solver = OnlineSolver::new(OnlineConfig { max_iters: 40, ..Default::default() });
+        let mut first_half: Vec<Option<usize>> = vec![None; c.num_users()];
+        let mut second_half: Vec<Option<usize>> = vec![None; c.num_users()];
+        for (lo, hi) in day_windows(c.num_days, 2) {
+            let snap = builder.snapshot(&c, lo, hi);
+            if snap.tweet_ids.is_empty() {
+                continue;
+            }
+            let input = TriInput {
+                xp: &snap.xp,
+                xu: &snap.xu,
+                xr: &snap.xr,
+                graph: &snap.graph,
+                sf0: builder.sf0(),
+            };
+            let result = solver.step(&SnapshotData { input, user_ids: &snap.user_ids });
+            let labels = result.user_labels();
+            let bucket = if hi <= split { &mut first_half } else { &mut second_half };
+            for (row, &u) in snap.user_ids.iter().enumerate() {
+                bucket[u] = Some(labels[row]);
+            }
+        }
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for u in 0..c.num_users() {
+            if let (Some(a), Some(b)) = (first_half[u], second_half[u]) {
+                xs.push(score(a));
+                ys.push(score(b));
+            }
+        }
+        let inferred_r = pearson(&xs, &ys);
+        let flips = tgs_data::flip_fraction(&c) * 100.0;
+        table.push_row(vec![
+            topic.name().to_string(),
+            format!("{truth_r:.3}"),
+            format!("{inferred_r:.3}"),
+            format!("{flips:.1}"),
+        ]);
+    }
+    emit(&table, "obs2_correlation");
+}

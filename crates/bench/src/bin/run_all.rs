@@ -1,0 +1,66 @@
+//! Runs every experiment (all tables and figures) and writes a combined
+//! `results.md` next to the per-experiment TSVs.
+//!
+//! `TGS_SCALE=full cargo run -p tgs-bench --release --bin run_all` for
+//! paper-scale corpora; default is the fast small scale.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use tgs_bench::common::{Scale, Topic};
+use tgs_bench::report::output_dir;
+use tgs_bench::{emit, experiments, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== running all experiments at scale: {} ==\n", scale.name());
+    let start = Instant::now();
+    let mut all: Vec<(String, Table)> = Vec::new();
+
+    let mut run = |name: &str, make: &mut dyn FnMut() -> Table| {
+        let t0 = Instant::now();
+        let table = make();
+        emit(&table, name);
+        println!("[{} finished in {:.1?}]\n", name, t0.elapsed());
+        all.push((name.to_string(), table));
+    };
+
+    run("table2_top_words", &mut || experiments::table2_top_words(scale));
+    run("table3_stats", &mut || experiments::table3_stats(scale));
+    run("fig4_feature_evolution", &mut || experiments::fig4_feature_evolution(scale));
+    let mut sweep: Option<(Table, Table)> = None;
+    run("fig6_param_sweep_user", &mut || {
+        let (fig6, fig7) = experiments::param_sweep(scale);
+        sweep = Some((fig6.clone(), fig7));
+        fig6
+    });
+    let fig7 = sweep.take().expect("sweep ran").1;
+    run("fig7_param_sweep_tweet", &mut || fig7.clone());
+    run("fig8_convergence", &mut || experiments::fig8_convergence(scale));
+    let mut cmp: Option<(Table, Table)> = None;
+    run("table4_tweet_comparison", &mut || {
+        let (t4, t5) = experiments::method_comparison(scale);
+        cmp = Some((t4.clone(), t5));
+        t4
+    });
+    let t5 = cmp.take().expect("comparison ran").1;
+    run("table5_user_comparison", &mut || t5.clone());
+    run("fig9_online_alpha_tau", &mut || experiments::fig9_online_alpha_tau(scale));
+    run("fig10_gamma", &mut || experiments::fig10_gamma(scale));
+    run("fig11_online_prop30", &mut || experiments::fig_online_timeline(Topic::Prop30, scale));
+    run("fig12_online_prop37", &mut || experiments::fig_online_timeline(Topic::Prop37, scale));
+
+    // Combined markdown report.
+    let mut md = String::new();
+    let _ = writeln!(md, "# Experiment results (scale = {})\n", scale.name());
+    for (_, table) in &all {
+        let _ = writeln!(md, "{}", table.to_markdown());
+    }
+    let path = output_dir().join("results.md");
+    if let Err(e) = std::fs::create_dir_all(output_dir()).and_then(|_| std::fs::write(&path, md)) {
+        eprintln!("[warn: could not write results.md: {e}]");
+    } else {
+        println!("== combined report: {} ==", path.display());
+    }
+    println!("== all experiments done in {:.1?} ==", start.elapsed());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 2 (top-8 words per sentiment class).
+use tgs_bench::{common::Scale, emit, experiments};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit(&experiments::table2_top_words(scale), "table2_top_words");
+}

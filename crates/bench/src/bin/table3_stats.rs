@@ -1,0 +1,7 @@
+//! Regenerates Table 3 (statistics of tweets and users).
+use tgs_bench::{common::Scale, emit, experiments};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit(&experiments::table3_stats(scale), "table3_stats");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 4 (tweet-level method comparison).
+use tgs_bench::{common::Scale, emit, experiments};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (t4, _t5) = experiments::method_comparison(scale);
+    emit(&t4, "table4_tweet_comparison");
+}

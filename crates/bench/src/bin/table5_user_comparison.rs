@@ -1,0 +1,8 @@
+//! Regenerates Table 5 (user-level method comparison).
+use tgs_bench::{common::Scale, emit, experiments};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (_t4, t5) = experiments::method_comparison(scale);
+    emit(&t5, "table5_user_comparison");
+}

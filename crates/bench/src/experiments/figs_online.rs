@@ -1,0 +1,155 @@
+//! Fig. 9 (online α/τ sweep), Fig. 10 (γ sweep) and Figs. 11–12
+//! (online vs mini-batch vs full-batch over the timeline).
+
+use tgs_core::{OfflineConfig, OnlineConfig};
+use tgs_data::SnapshotBuilder;
+
+use crate::common::{corpus, day_label, pipeline, Scale, Topic};
+use crate::report::{pct, secs, Table};
+use crate::stream::{run_fullbatch_stream, run_minibatch_stream, run_online_stream};
+
+fn builder_for(topic: Topic, scale: Scale) -> (std::sync::Arc<tgs_data::Corpus>, SnapshotBuilder) {
+    let c = corpus(topic, scale);
+    let b = SnapshotBuilder::new(&c, 3, &pipeline());
+    (c, b)
+}
+
+/// Fig. 9: user-level and tweet-level accuracy when varying α and τ
+/// (Prop 30, w = 2, β = 0.8).
+pub fn fig9_online_alpha_tau(scale: Scale) -> Table {
+    let (c, builder) = builder_for(Topic::Prop30, scale);
+    let grid: Vec<f64> = match scale {
+        Scale::Small => vec![0.0, 0.3, 0.6, 0.9],
+        Scale::Full => vec![0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0],
+    };
+    let mut t = Table::new(
+        "Fig. 9: online accuracy varying alpha and tau (Prop 30)",
+        &["alpha", "tau", "user accuracy %", "tweet accuracy %"],
+    )
+    .with_note(format!(
+        "paper: best user-level at alpha = tau = 0.9; tweet-level much less sensitive; \
+         w = 2, beta = 0.8, daily snapshots; scale = {}",
+        scale.name()
+    ));
+    for &alpha in &grid {
+        for &tau in &grid {
+            if tau == 0.0 {
+                continue; // tau must be in (0, 1]
+            }
+            let cfg = OnlineConfig { alpha, tau, max_iters: 40, ..Default::default() };
+            let eval = run_online_stream(&c, &builder, &cfg, 1);
+            t.push_row(vec![
+                format!("{alpha:.1}"),
+                format!("{tau:.1}"),
+                pct(eval.user_acc),
+                pct(eval.tweet_acc),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig. 10: accuracy when varying γ (Prop 30, everything else at the
+/// paper's best online values).
+pub fn fig10_gamma(scale: Scale) -> Table {
+    let (c, builder) = builder_for(Topic::Prop30, scale);
+    let grid: Vec<f64> = match scale {
+        Scale::Small => vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+        Scale::Full => (0..=10).map(|i| i as f64 / 10.0).collect(),
+    };
+    let mut t = Table::new(
+        "Fig. 10: clustering accuracy varying gamma (Prop 30)",
+        &["gamma", "user accuracy %", "tweet accuracy %"],
+    )
+    .with_note(format!(
+        "paper: best user-level at gamma = 0.2; gamma has no effect on tweet-level; \
+         alpha = tau = 0.9, beta = 0.8; scale = {}",
+        scale.name()
+    ));
+    for &gamma in &grid {
+        let cfg = OnlineConfig { gamma, max_iters: 40, ..Default::default() };
+        let eval = run_online_stream(&c, &builder, &cfg, 1);
+        t.push_row(vec![format!("{gamma:.1}"), pct(eval.user_acc), pct(eval.tweet_acc)]);
+    }
+    t
+}
+
+/// Figs. 11 / 12: per-timestamp running time, tweet-level accuracy and
+/// user-level accuracy for online vs mini-batch vs full-batch.
+pub fn fig_online_timeline(topic: Topic, scale: Scale) -> Table {
+    let (c, builder) = builder_for(topic, scale);
+    let online_cfg = OnlineConfig { max_iters: 60, ..Default::default() };
+    let offline_cfg = OfflineConfig { max_iters: 60, ..Default::default() };
+    // Daily at full scale (like the paper); 2-day windows at small scale
+    // to keep snapshots non-trivial.
+    let window = match scale {
+        Scale::Small => 2,
+        Scale::Full => 1,
+    };
+    let online = run_online_stream(&c, &builder, &online_cfg, window);
+    let mini = run_minibatch_stream(&c, &builder, &offline_cfg, window);
+    let full = run_fullbatch_stream(&c, &builder, &offline_cfg, window);
+    let fig = if topic == Topic::Prop30 { "Fig. 11" } else { "Fig. 12" };
+    let mut t = Table::new(
+        format!("{fig}: online performance over the timeline ({})", topic.name()),
+        &[
+            "day",
+            "n(t)",
+            "time online s",
+            "time mini s",
+            "time full s",
+            "tweet acc online %",
+            "tweet acc mini %",
+            "tweet acc full %",
+            "user acc online %",
+            "user acc mini %",
+            "user acc full %",
+        ],
+    )
+    .with_note(format!(
+        "paper: online ≪ full-batch runtime and tracks n(t); mini-batch worst accuracy; \
+         online ≈ full-batch accuracy. totals: online {}s (avg acc {}/{}), mini {}s ({}/{}), \
+         full {}s ({}/{}); scale = {}",
+        secs(online.total_time),
+        pct(online.tweet_acc),
+        pct(online.user_acc),
+        secs(mini.total_time),
+        pct(mini.tweet_acc),
+        pct(mini.user_acc),
+        secs(full.total_time),
+        pct(full.tweet_acc),
+        pct(full.user_acc),
+        scale.name()
+    ));
+    assert_eq!(online.steps.len(), mini.steps.len());
+    assert_eq!(online.steps.len(), full.steps.len());
+    for ((o, m), f) in online.steps.iter().zip(mini.steps.iter()).zip(full.steps.iter()) {
+        t.push_row(vec![
+            day_label(o.lo),
+            o.n_t.to_string(),
+            secs(o.elapsed),
+            secs(m.elapsed),
+            secs(f.elapsed),
+            pct(o.tweet_acc),
+            pct(m.tweet_acc),
+            pct(f.tweet_acc),
+            pct(o.user_acc),
+            pct(m.user_acc),
+            pct(f.user_acc),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_covers_grid() {
+        // smoke test at small scale with a coarse stream
+        let t = fig10_gamma(Scale::Small);
+        assert_eq!(t.rows.len(), 6);
+        assert_eq!(t.rows[0][0], "0.0");
+    }
+}

@@ -1,0 +1,93 @@
+//! Table 2 (top words per class) and Table 3 (corpus statistics).
+
+use tgs_data::{corpus_stats, top_words};
+use tgs_text::Sentiment;
+
+use crate::common::{corpus, Scale, Topic};
+use crate::report::Table;
+
+/// Table 2: top-8 words with the highest frequency in each pos/neg class
+/// (the paper shows Prop 37).
+pub fn table2_top_words(scale: Scale) -> Table {
+    let c = corpus(Topic::Prop37, scale);
+    let pos = top_words(&c, Sentiment::Positive, 8);
+    let neg = top_words(&c, Sentiment::Negative, 8);
+    let mut t = Table::new(
+        "Table 2: top-8 words with highest frequency (Prop 37)",
+        &["rank", "positive word", "count", "negative word", "count"],
+    )
+    .with_note(format!(
+        "paper: pos = yeson37(23789), labelgmo(6485), …; neg = corn(1463), farmer(1223), …; scale = {}",
+        scale.name()
+    ));
+    for i in 0..8 {
+        let (pw, pc) = pos.get(i).cloned().unwrap_or_default();
+        let (nw, nc) = neg.get(i).cloned().unwrap_or_default();
+        t.push_row(vec![
+            (i + 1).to_string(),
+            pw,
+            pc.to_string(),
+            nw,
+            nc.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table 3: statistics of tweets and users for both propositions.
+pub fn table3_stats(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Table 3: statistics of tweets and users",
+        &[
+            "Prop",
+            "tweets pos",
+            "tweets neg",
+            "users pos",
+            "users neg",
+            "users neu",
+            "users unlabeled",
+        ],
+    )
+    .with_note(format!(
+        "paper: Prop 30 = 8777/5014 tweets, 146/100/98 + 493 users; \
+         Prop 37 = 34789/2587 tweets, 294/61/8 + 1564 users; scale = {}",
+        scale.name()
+    ));
+    for topic in [Topic::Prop30, Topic::Prop37] {
+        let c = corpus(topic, scale);
+        let s = corpus_stats(&c);
+        t.push_row(vec![
+            topic.name().to_string(),
+            s.labeled_pos_tweets.to_string(),
+            s.labeled_neg_tweets.to_string(),
+            s.labeled_pos_users.to_string(),
+            s.labeled_neg_users.to_string(),
+            s.labeled_neu_users.to_string(),
+            s.unlabeled_users.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_eight_ranks() {
+        let t = table2_top_words(Scale::Small);
+        assert_eq!(t.rows.len(), 8);
+        // counts descending in both columns
+        let counts: Vec<usize> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn table3_has_both_props() {
+        let t = table3_stats(Scale::Small);
+        assert_eq!(t.rows.len(), 2);
+        let pos30: usize = t.rows[0][1].parse().unwrap();
+        let neg30: usize = t.rows[0][2].parse().unwrap();
+        assert!(pos30 > neg30, "Prop 30 leans positive like the paper");
+    }
+}

@@ -1,0 +1,18 @@
+//! # tgs-bench
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§5) against the synthetic corpora, plus Criterion
+//! micro-benchmarks of the kernels and solvers.
+//!
+//! Run everything: `cargo run -p tgs-bench --release --bin run_all`
+//! (set `TGS_SCALE=full` for paper-scale corpora). Individual
+//! experiments have their own binaries (`table4_tweet_comparison`,
+//! `fig8_convergence`, …); outputs land in `target/experiments/`.
+
+pub mod common;
+pub mod experiments;
+pub mod report;
+pub mod stream;
+
+pub use common::{Scale, Topic};
+pub use report::{emit, Table};

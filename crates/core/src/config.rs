@@ -1,0 +1,169 @@
+//! Solver configurations.
+
+use crate::factors::InitStrategy;
+
+/// Configuration of the offline solver (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct OfflineConfig {
+    /// Number of sentiment clusters `k` (2 or 3 in the paper).
+    pub k: usize,
+    /// Lexicon-regularization weight `α ∈ [0, 1]` (Eq. 5). The paper's
+    /// balanced choice for offline experiments is 0.05.
+    pub alpha: f64,
+    /// Graph-regularization weight `β ∈ [0, 1]` (Eq. 6); paper uses 0.8.
+    pub beta: f64,
+    /// Iteration cap (the paper observes convergence within 10–100).
+    pub max_iters: usize,
+    /// Relative objective-change tolerance for early stopping.
+    pub tol: f64,
+    /// RNG seed for factor initialization.
+    pub seed: u64,
+    /// Factor initialization strategy.
+    pub init: InitStrategy,
+    /// Record the per-component objective after every iteration
+    /// (needed by Fig. 8; costs one extra objective evaluation per
+    /// iteration).
+    pub track_objective: bool,
+}
+
+impl Default for OfflineConfig {
+    fn default() -> Self {
+        Self {
+            k: 3,
+            alpha: 0.05,
+            beta: 0.8,
+            max_iters: 100,
+            tol: 1e-5,
+            seed: 42,
+            init: InitStrategy::default(),
+            track_objective: false,
+        }
+    }
+}
+
+impl OfflineConfig {
+    /// Validates invariants (panics with a descriptive message).
+    pub fn validate(&self) {
+        assert!(self.k >= 2, "need at least two clusters, got {}", self.k);
+        assert!((0.0..=1.0).contains(&self.alpha), "alpha must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&self.beta), "beta must be in [0, 1]");
+        assert!(self.max_iters > 0, "max_iters must be positive");
+        assert!(self.tol >= 0.0, "tol must be non-negative");
+    }
+}
+
+/// Configuration of the online solver (Algorithm 2).
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Temporal feature-regularization weight `α` (pulls `Sf(t)` toward
+    /// `Sfw(t)`); paper's best online value is 0.9.
+    pub alpha: f64,
+    /// Graph-regularization weight `β`; paper keeps 0.8 online.
+    pub beta: f64,
+    /// Temporal user-regularization weight `γ` (pulls evolving users
+    /// toward `Suw(t)`); paper's best is 0.2.
+    pub gamma: f64,
+    /// Time-decay factor `τ ∈ (0, 1]` of the window aggregation;
+    /// paper's best is 0.9.
+    pub tau: f64,
+    /// Window size `w` (the paper uses `w = 2` with daily timestamps:
+    /// aggregate the previous `w − 1` snapshots).
+    pub window: usize,
+    /// Normalize `Sfw`/`Suw` by `Σ τ^i` so the temporal target keeps the
+    /// scale of a single snapshot. Default **false** — the paper's
+    /// definition is unnormalized, and with `w = 2` normalization would
+    /// cancel τ entirely (ablated in the benches).
+    pub normalize_window: bool,
+    /// Iteration cap per snapshot.
+    pub max_iters: usize,
+    /// Relative objective-change tolerance.
+    pub tol: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Initialization for the *first* snapshot (later snapshots are
+    /// warm-started from the window per Algorithm 2 line 1).
+    pub init: InitStrategy,
+    /// Record per-component objectives each iteration.
+    pub track_objective: bool,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            k: 3,
+            alpha: 0.9,
+            beta: 0.8,
+            gamma: 0.2,
+            tau: 0.9,
+            window: 2,
+            normalize_window: false,
+            max_iters: 60,
+            tol: 1e-5,
+            seed: 42,
+            init: InitStrategy::default(),
+            track_objective: false,
+        }
+    }
+}
+
+impl OnlineConfig {
+    /// Validates invariants (panics with a descriptive message).
+    pub fn validate(&self) {
+        assert!(self.k >= 2, "need at least two clusters, got {}", self.k);
+        assert!((0.0..=1.0).contains(&self.alpha), "alpha must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&self.beta), "beta must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&self.gamma), "gamma must be in [0, 1]");
+        assert!(self.tau > 0.0 && self.tau <= 1.0, "tau must be in (0, 1]");
+        assert!(self.window >= 1, "window must be >= 1");
+        assert!(self.max_iters > 0, "max_iters must be positive");
+        assert!(self.tol >= 0.0, "tol must be non-negative");
+    }
+
+    /// The offline-equivalent settings used for the first snapshot.
+    pub fn first_snapshot_offline(&self) -> OfflineConfig {
+        OfflineConfig {
+            k: self.k,
+            alpha: self.alpha,
+            beta: self.beta,
+            max_iters: self.max_iters,
+            tol: self.tol,
+            seed: self.seed,
+            init: self.init,
+            track_objective: self.track_objective,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        OfflineConfig::default().validate();
+        OnlineConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0, 1]")]
+    fn offline_bad_alpha() {
+        OfflineConfig { alpha: 2.0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be in (0, 1]")]
+    fn online_bad_tau() {
+        OnlineConfig { tau: 0.0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn first_snapshot_inherits_parameters() {
+        let on = OnlineConfig { alpha: 0.3, beta: 0.5, k: 2, ..Default::default() };
+        let off = on.first_snapshot_offline();
+        assert_eq!(off.alpha, 0.3);
+        assert_eq!(off.beta, 0.5);
+        assert_eq!(off.k, 2);
+    }
+}

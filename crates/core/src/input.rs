@@ -1,0 +1,79 @@
+//! The data matrices a solve consumes.
+
+use tgs_graph::UserGraph;
+use tgs_linalg::{CsrMatrix, DenseMatrix};
+
+/// Borrowed view of one tri-clustering problem (offline: the whole
+/// corpus; online: one snapshot).
+#[derive(Debug, Clone, Copy)]
+pub struct TriInput<'a> {
+    /// Tweet–feature matrix `Xp` (`n × l`).
+    pub xp: &'a CsrMatrix,
+    /// User–feature matrix `Xu` (`m × l`).
+    pub xu: &'a CsrMatrix,
+    /// User–tweet matrix `Xr` (`m × n`).
+    pub xr: &'a CsrMatrix,
+    /// User–user re-tweet graph (`Gu`, `Du`).
+    pub graph: &'a UserGraph,
+    /// Feature–sentiment prior `Sf0` (`l × k`).
+    pub sf0: &'a DenseMatrix,
+}
+
+impl<'a> TriInput<'a> {
+    /// Number of tweets `n`.
+    pub fn n(&self) -> usize {
+        self.xp.rows()
+    }
+
+    /// Number of users `m`.
+    pub fn m(&self) -> usize {
+        self.xu.rows()
+    }
+
+    /// Number of features `l`.
+    pub fn l(&self) -> usize {
+        self.xp.cols()
+    }
+
+    /// Checks cross-matrix shape consistency; panics with a descriptive
+    /// message on the first violation.
+    pub fn validate(&self, k: usize) {
+        let (n, m, l) = (self.n(), self.m(), self.l());
+        assert_eq!(self.xu.cols(), l, "Xu must share Xp's feature space");
+        assert_eq!(self.xr.shape(), (m, n), "Xr must be m × n");
+        assert_eq!(self.graph.num_nodes(), m, "Gu must cover all m users");
+        assert_eq!(self.sf0.shape(), (l, k), "Sf0 must be l × k");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_parts() -> (CsrMatrix, CsrMatrix, CsrMatrix, UserGraph, DenseMatrix) {
+        let xp = CsrMatrix::from_triplets(3, 4, &[(0, 0, 1.0)]).unwrap();
+        let xu = CsrMatrix::from_triplets(2, 4, &[(0, 1, 1.0)]).unwrap();
+        let xr = CsrMatrix::from_triplets(2, 3, &[(1, 2, 1.0)]).unwrap();
+        let graph = UserGraph::from_edges(2, &[(0, 1, 1.0)]);
+        let sf0 = DenseMatrix::filled(4, 3, 1.0 / 3.0);
+        (xp, xu, xr, graph, sf0)
+    }
+
+    #[test]
+    fn dimensions_reported() {
+        let (xp, xu, xr, graph, sf0) = tiny_parts();
+        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        assert_eq!(input.n(), 3);
+        assert_eq!(input.m(), 2);
+        assert_eq!(input.l(), 4);
+        input.validate(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "Sf0 must be l × k")]
+    fn validate_rejects_wrong_k() {
+        let (xp, xu, xr, graph, sf0) = tiny_parts();
+        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        input.validate(2);
+    }
+}

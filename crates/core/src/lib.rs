@@ -1,0 +1,51 @@
+//! # tgs-core
+//!
+//! The paper's primary contribution: a unified unsupervised tri-clustering
+//! framework that co-clusters the feature–tweet–user tripartite graph into
+//! sentiment classes via orthogonal non-negative matrix tri-factorization
+//! (Zhu, Galstyan, Cheng, Lerman — "Tripartite Graph Clustering for
+//! Dynamic Sentiment Analysis on Social Media", 2014).
+//!
+//! * [`solve_offline`] — Algorithm 1: the static solver for Eq. (1).
+//! * [`OnlineSolver`] — Algorithm 2: the streaming solver for Eq. (19)
+//!   with temporal regularization, decayed windows and new/evolving/
+//!   disappeared user bookkeeping.
+//!
+//! ```
+//! use tgs_core::{solve_offline, OfflineConfig, TriInput};
+//! use tgs_graph::UserGraph;
+//! use tgs_linalg::{CsrMatrix, DenseMatrix};
+//!
+//! // Two tweets, two users, two features; class 0 ~ feature 0.
+//! let xp = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]).unwrap();
+//! let xu = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]).unwrap();
+//! let xr = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]).unwrap();
+//! let graph = UserGraph::empty(2);
+//! let sf0 = DenseMatrix::from_fn(2, 2, |i, j| if i == j { 0.8 } else { 0.2 });
+//! let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+//! let result = solve_offline(&input, &OfflineConfig { k: 2, ..Default::default() });
+//! assert_ne!(result.tweet_labels()[0], result.tweet_labels()[1]);
+//! ```
+
+pub mod config;
+pub mod extensions;
+pub mod factors;
+pub mod input;
+pub mod labels;
+pub mod objective;
+pub mod offline;
+pub mod online;
+pub mod store;
+pub mod updates;
+pub mod window;
+
+pub use config::{OfflineConfig, OnlineConfig};
+pub use extensions::{solve_guided, Guidance, GuidedConfig};
+pub use factors::{InitStrategy, TriFactors};
+pub use input::TriInput;
+pub use labels::{align_clusters_to_classes, hard_labels, label_confidence, membership_distribution};
+pub use objective::{offline_objective, online_objective, ObjectiveParts};
+pub use offline::{solve_offline, solve_offline_from, OfflineResult};
+pub use online::{OnlineSolver, OnlineStepResult, SnapshotData};
+pub use store::{decode_matrix, encode_matrix, SnapshotStore};
+pub use window::{FactorWindow, SentimentHistory, UserPartition};

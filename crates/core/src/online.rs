@@ -1,0 +1,397 @@
+//! Algorithm 2: the online solver for dynamic sentiment clustering.
+//!
+//! Per snapshot `t`, the solver (1) partitions users into new / evolving /
+//! disappeared, (2) warm-starts `Sf(t)` from the decayed window `Sfw(t)`
+//! and evolving users from `Suw(t)` (Algorithm 2 line 1), and (3) iterates
+//! the online update rules — the temporal regularizers `α‖Sf(t)−Sfw(t)‖²`
+//! and `γ‖Su(d,e)(t)−Suw(t)‖²` keep the solution smooth over time.
+
+use tgs_linalg::{random_factor_with, seeded_rng};
+
+use crate::config::OnlineConfig;
+use crate::factors::{InitStrategy, TriFactors};
+use crate::input::TriInput;
+use crate::objective::{online_objective, ObjectiveParts};
+use crate::updates::{balance_init_scales, update_hp, update_hu, update_sf, update_sp, update_su_online};
+use crate::window::{FactorWindow, SentimentHistory, UserPartition};
+
+/// One snapshot of data plus the mapping from local user rows to global
+/// user ids.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotData<'a> {
+    /// The snapshot's matrices (`Xp(t)`, `Xu(t)`, `Xr(t)`, `Gu(t)`, `Sf0`).
+    pub input: TriInput<'a>,
+    /// Global user id of each local row of `Xu(t)` / `Xr(t)`.
+    pub user_ids: &'a [usize],
+}
+
+/// Result of one online step.
+#[derive(Debug, Clone)]
+pub struct OnlineStepResult {
+    /// Converged local factors (`Su` rows align with
+    /// [`SnapshotData::user_ids`]).
+    pub factors: TriFactors,
+    /// New/evolving/disappeared user partition used for this step.
+    pub partition: UserPartition,
+    /// Per-iteration objective decomposition (empty unless tracking).
+    pub history: Vec<ObjectiveParts>,
+    /// Iterations actually run.
+    pub iterations: usize,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+    /// Final objective value (Eq. 19).
+    pub objective: f64,
+}
+
+impl OnlineStepResult {
+    /// Hard tweet labels for the snapshot.
+    pub fn tweet_labels(&self) -> Vec<usize> {
+        self.factors.tweet_labels()
+    }
+
+    /// Hard user labels (local row order).
+    pub fn user_labels(&self) -> Vec<usize> {
+        self.factors.user_labels()
+    }
+}
+
+/// The stateful online solver. Feed snapshots in time order via
+/// [`OnlineSolver::step`].
+#[derive(Debug, Clone)]
+pub struct OnlineSolver {
+    config: OnlineConfig,
+    sf_window: FactorWindow,
+    history: SentimentHistory,
+    steps: u64,
+}
+
+impl OnlineSolver {
+    /// Creates a solver with empty history.
+    pub fn new(config: OnlineConfig) -> Self {
+        config.validate();
+        // The Sf window is always normalized: with the paper's w = 2 an
+        // unnormalized target τ·Sf(t−1) re-shrinks Sf every snapshot and
+        // destabilizes cluster-column alignment over long streams (see
+        // DESIGN.md; ablated in the benches). τ still governs the decay
+        // of per-user history below.
+        let sf_window = FactorWindow::new(config.window, config.tau, true);
+        let history =
+            SentimentHistory::new(config.k, config.window, config.tau, config.normalize_window);
+        Self { config, sf_window, history, steps: 0 }
+    }
+
+    /// The solver configuration.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// Snapshots processed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Decayed sentiment estimate for any user seen within the window —
+    /// the "disappeared users carry forward" view of Fig. 5.
+    pub fn sentiment_of(&self, user: usize) -> Option<Vec<f64>> {
+        self.history.aggregate_row(user)
+    }
+
+    /// Processes one snapshot: warm start, iterate updates, commit
+    /// history.
+    pub fn step(&mut self, data: &SnapshotData<'_>) -> OnlineStepResult {
+        let input = &data.input;
+        input.validate(self.config.k);
+        assert_eq!(
+            data.user_ids.len(),
+            input.m(),
+            "one global id per local user row required"
+        );
+        let k = self.config.k;
+        let partition = self.history.partition(data.user_ids);
+
+        // --- Warm start (Algorithm 2 lines 1–2) ---
+        let step_seed = self.config.seed.wrapping_add(self.steps.wrapping_mul(0x9E37_79B9));
+        let mut factors = TriFactors::init(
+            input.n(),
+            input.m(),
+            input.l(),
+            k,
+            input.sf0,
+            self.config.init,
+            step_seed,
+        );
+        let sf_target = self.sf_window.aggregate().unwrap_or_else(|| input.sf0.clone());
+        // Sf(t) = Sfw(t) on non-first snapshots.
+        if !self.sf_window.is_empty() {
+            factors.sf = sf_target.clone();
+            factors.sf.clamp_min(tgs_linalg::FACTOR_FLOOR);
+        }
+        // Evolving users start from their decayed history (L1-normalized
+        // for the warm start so long-absent users still begin at a sane
+        // scale; the raw decayed aggregate stays the γ-target, so their
+        // temporal pull fades naturally).
+        let su_target = self.history.aggregate_matrix(data.user_ids, &partition.evolving_rows);
+        let mut su_init = su_target.clone();
+        su_init.normalize_rows_l1();
+        for (i, &row) in partition.evolving_rows.iter().enumerate() {
+            factors.su.copy_row_from(row, &su_init, i);
+        }
+        factors.su.clamp_min(tgs_linalg::FACTOR_FLOOR);
+        // New users: fresh random rows (already random from init).
+        let mut rng = seeded_rng(step_seed.wrapping_add(1));
+        let fresh = random_factor_with(partition.new_rows.len(), k, &mut rng);
+        for (i, &row) in partition.new_rows.iter().enumerate() {
+            factors.su.copy_row_from(row, &fresh, i);
+        }
+        // Keep Su at distribution scale (its rows are the temporal state);
+        // Sp, Hp, Hu absorb the snapshot's data norms.
+        balance_init_scales(input, &mut factors);
+
+        // --- Iterate (Algorithm 2 lines 3–8) ---
+        let (alpha, beta, gamma) = (self.config.alpha, self.config.beta, self.config.gamma);
+        let evaluate = |f: &TriFactors| {
+            online_objective(
+                input,
+                f,
+                alpha,
+                &sf_target,
+                beta,
+                gamma,
+                Some(&su_target),
+                &partition.evolving_rows,
+            )
+        };
+        let mut history = Vec::new();
+        let mut prev = evaluate(&factors);
+        if self.config.track_objective {
+            history.push(prev);
+        }
+        let mut converged = false;
+        let mut iterations = 0;
+        for it in 0..self.config.max_iters {
+            update_sf(input, &mut factors, alpha, &sf_target);
+            update_sp(input, &mut factors);
+            update_hp(input, &mut factors);
+            update_hu(input, &mut factors);
+            update_su_online(
+                input,
+                &mut factors,
+                beta,
+                gamma,
+                &partition.new_rows,
+                &partition.evolving_rows,
+                &su_target,
+            );
+            iterations = it + 1;
+            let cur = evaluate(&factors);
+            if self.config.track_objective {
+                history.push(cur);
+            }
+            let denom = prev.total().abs().max(1.0);
+            if (prev.total() - cur.total()).abs() / denom < self.config.tol {
+                prev = cur;
+                converged = true;
+                break;
+            }
+            prev = cur;
+        }
+        debug_assert!(factors.all_nonnegative(), "updates must preserve non-negativity");
+
+        // --- Commit (window + per-user history) ---
+        // Rows are recorded L1-normalized: Su(ij) is "the likelihood of
+        // user i's sentiment in class j" (§2), so the carried state is a
+        // class distribution, immune to the solver's arbitrary row scale.
+        let mut su_dist = factors.su.clone();
+        su_dist.normalize_rows_l1();
+        self.history.record(data.user_ids, &su_dist);
+        self.sf_window.push(factors.sf.clone());
+        self.steps += 1;
+
+        OnlineStepResult {
+            factors,
+            partition,
+            history,
+            iterations,
+            converged,
+            objective: prev.total(),
+        }
+    }
+
+    /// First-snapshot behaviour check: true until [`OnlineSolver::step`]
+    /// has been called.
+    pub fn is_cold(&self) -> bool {
+        self.steps == 0
+    }
+
+    /// Uses [`InitStrategy`] for the first snapshot; exposed for tests.
+    pub fn init_strategy(&self) -> InitStrategy {
+        self.config.init
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgs_graph::UserGraph;
+    use tgs_linalg::{seeded_rng, CsrMatrix, DenseMatrix};
+    use rand::RngExt;
+
+    /// Planted two-cluster snapshot over the given global user set.
+    /// Users with even global id are class 0, odd are class 1.
+    fn snapshot(
+        users: &[usize],
+        n: usize,
+        l: usize,
+        seed: u64,
+    ) -> (CsrMatrix, CsrMatrix, CsrMatrix, UserGraph, DenseMatrix, Vec<usize>) {
+        let mut rng = seeded_rng(seed);
+        let m = users.len();
+        let mut xp = Vec::new();
+        let mut xu = Vec::new();
+        let mut xr = Vec::new();
+        let mut edges = Vec::new();
+        let mut tweet_class = Vec::new();
+        for i in 0..n {
+            // pick an author, tweet inherits the author's class
+            let a = rng.random_range(0..m);
+            let c = users[a] % 2;
+            tweet_class.push(c);
+            for _ in 0..4 {
+                let f = 2 * rng.random_range(0..l / 2) + c;
+                xp.push((i, f, 1.0));
+            }
+            xr.push((a, i, 1.0));
+        }
+        for (row, &u) in users.iter().enumerate() {
+            let c = u % 2;
+            for _ in 0..6 {
+                let f = 2 * rng.random_range(0..l / 2) + c;
+                xu.push((row, f, 1.0));
+            }
+            // homophilous edge to a same-class peer
+            if let Some(peer) = users
+                .iter()
+                .position(|&v| v % 2 == c && v != u)
+            {
+                edges.push((row, peer, 1.0));
+            }
+        }
+        let xp = CsrMatrix::from_triplets(n, l, &xp).unwrap();
+        let xu = CsrMatrix::from_triplets(m, l, &xu).unwrap();
+        let xr = CsrMatrix::from_triplets(m, n, &xr).unwrap();
+        let graph = UserGraph::from_edges(m, &edges);
+        let sf0 = DenseMatrix::from_fn(l, 2, |f, j| if f % 2 == j { 0.8 } else { 0.2 });
+        (xp, xu, xr, graph, sf0, tweet_class)
+    }
+
+    fn config() -> OnlineConfig {
+        OnlineConfig { k: 2, max_iters: 80, tol: 1e-7, ..Default::default() }
+    }
+
+    #[test]
+    fn first_step_partitions_all_as_new() {
+        let users = vec![0, 1, 2, 3];
+        let (xp, xu, xr, graph, sf0, _) = snapshot(&users, 20, 10, 1);
+        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        let mut solver = OnlineSolver::new(config());
+        assert!(solver.is_cold());
+        let result = solver.step(&SnapshotData { input, user_ids: &users });
+        assert_eq!(result.partition.new_rows.len(), 4);
+        assert!(result.partition.evolving_rows.is_empty());
+        assert!(!solver.is_cold());
+    }
+
+    #[test]
+    fn second_step_sees_evolving_and_disappeared() {
+        let users_a = vec![0, 1, 2, 3];
+        let users_b = vec![2, 3, 4, 5];
+        let mut solver = OnlineSolver::new(config());
+        let (xp, xu, xr, graph, sf0, _) = snapshot(&users_a, 20, 10, 1);
+        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        solver.step(&SnapshotData { input, user_ids: &users_a });
+        let (xp, xu, xr, graph, sf0, _) = snapshot(&users_b, 20, 10, 2);
+        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        let result = solver.step(&SnapshotData { input, user_ids: &users_b });
+        assert_eq!(result.partition.evolving_rows, vec![0, 1]); // users 2, 3
+        assert_eq!(result.partition.new_rows, vec![2, 3]); // users 4, 5
+        assert_eq!(result.partition.disappeared, vec![0, 1]);
+    }
+
+    #[test]
+    fn online_clusters_planted_stream() {
+        let mut solver = OnlineSolver::new(config());
+        let mut accs = Vec::new();
+        for t in 0..4u64 {
+            let users: Vec<usize> = (0..8).collect();
+            let (xp, xu, xr, graph, sf0, tweet_class) = snapshot(&users, 40, 12, t + 10);
+            let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+            let result = solver.step(&SnapshotData { input, user_ids: &users });
+            let acc = tgs_eval::clustering_accuracy(&result.tweet_labels(), &tweet_class);
+            accs.push(acc);
+            let user_truth: Vec<usize> = users.iter().map(|&u| u % 2).collect();
+            let uacc = tgs_eval::clustering_accuracy(&result.user_labels(), &user_truth);
+            assert!(uacc > 0.7, "step {t}: user accuracy {uacc}");
+        }
+        let last = *accs.last().unwrap();
+        assert!(last > 0.85, "final tweet accuracy {last} (history {accs:?})");
+    }
+
+    #[test]
+    fn disappeared_users_still_queryable() {
+        // window = 3 keeps two past snapshots, so a user absent from one
+        // snapshot still has an in-window estimate.
+        let mut solver = OnlineSolver::new(OnlineConfig { window: 3, ..config() });
+        let users_a = vec![0, 1, 2, 3];
+        let (xp, xu, xr, graph, sf0, _) = snapshot(&users_a, 20, 10, 3);
+        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        solver.step(&SnapshotData { input, user_ids: &users_a });
+        // user 0 absent in step 2 but within window
+        let users_b = vec![1, 2, 3, 4];
+        let (xp, xu, xr, graph, sf0, _) = snapshot(&users_b, 20, 10, 4);
+        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        solver.step(&SnapshotData { input, user_ids: &users_b });
+        let s = solver.sentiment_of(0);
+        assert!(s.is_some(), "disappeared user should keep a decayed estimate");
+        assert_eq!(s.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn objective_non_increasing_within_step() {
+        let users: Vec<usize> = (0..8).collect();
+        let (xp, xu, xr, graph, sf0, _) = snapshot(&users, 40, 12, 6);
+        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        let cfg = OnlineConfig { track_objective: true, ..config() };
+        let mut solver = OnlineSolver::new(cfg);
+        // warm the window so temporal terms are active on the second step
+        solver.step(&SnapshotData { input, user_ids: &users });
+        let (xp, xu, xr, graph, sf0, _) = snapshot(&users, 40, 12, 7);
+        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        let result = solver.step(&SnapshotData { input, user_ids: &users });
+        assert!(result.history.len() >= 2);
+        for w in result.history.windows(2) {
+            assert!(
+                w[1].total() <= w[0].total() * (1.0 + 1e-6) + 1e-9,
+                "objective rose {} -> {}",
+                w[0].total(),
+                w[1].total()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut solver = OnlineSolver::new(config());
+            let mut out = Vec::new();
+            for t in 0..3u64 {
+                let users: Vec<usize> = (0..6).collect();
+                let (xp, xu, xr, graph, sf0, _) = snapshot(&users, 25, 10, t + 20);
+                let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+                let result = solver.step(&SnapshotData { input, user_ids: &users });
+                out.push(result.objective);
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,151 @@
+//! Bounded snapshot store: compact serialization of factor matrices.
+//!
+//! The paper stresses that the online algorithm runs with "limited memory
+//! usage" — only the decayed window of past results is retained. This
+//! store backs that claim operationally: factor snapshots are serialized
+//! to compact byte buffers and evicted FIFO beyond a configurable budget,
+//! so long streams cannot grow memory without bound.
+
+use std::collections::VecDeque;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tgs_linalg::DenseMatrix;
+
+/// Serializes a dense matrix: `rows: u64 | cols: u64 | data: f64-LE…`.
+pub fn encode_matrix(m: &DenseMatrix) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + 8 * m.as_slice().len());
+    buf.put_u64_le(m.rows() as u64);
+    buf.put_u64_le(m.cols() as u64);
+    for &v in m.as_slice() {
+        buf.put_f64_le(v);
+    }
+    buf.freeze()
+}
+
+/// Inverse of [`encode_matrix`]. Returns `None` on malformed input.
+pub fn decode_matrix(mut bytes: Bytes) -> Option<DenseMatrix> {
+    if bytes.len() < 16 {
+        return None;
+    }
+    let rows = bytes.get_u64_le() as usize;
+    let cols = bytes.get_u64_le() as usize;
+    let expected = rows.checked_mul(cols)?.checked_mul(8)?;
+    if bytes.len() != expected {
+        return None;
+    }
+    let mut data = Vec::with_capacity(rows * cols);
+    while bytes.remaining() >= 8 {
+        data.push(bytes.get_f64_le());
+    }
+    DenseMatrix::from_vec(rows, cols, data).ok()
+}
+
+/// A FIFO store of factor snapshots keyed by timestamp, bounded by a byte
+/// budget.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    budget_bytes: usize,
+    used_bytes: usize,
+    entries: VecDeque<(u64, Bytes)>,
+}
+
+impl SnapshotStore {
+    /// Creates a store with the given byte budget.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self { budget_bytes, used_bytes: 0, entries: VecDeque::new() }
+    }
+
+    /// Number of retained snapshots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes currently used.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Stores a matrix under `timestamp`, evicting the oldest snapshots
+    /// until the budget is met. A single snapshot larger than the whole
+    /// budget is still stored (the budget then holds exactly one entry).
+    pub fn put(&mut self, timestamp: u64, matrix: &DenseMatrix) {
+        let encoded = encode_matrix(matrix);
+        self.used_bytes += encoded.len();
+        self.entries.push_back((timestamp, encoded));
+        while self.used_bytes > self.budget_bytes && self.entries.len() > 1 {
+            if let Some((_, old)) = self.entries.pop_front() {
+                self.used_bytes -= old.len();
+            }
+        }
+    }
+
+    /// Retrieves and decodes the snapshot stored under `timestamp`.
+    pub fn get(&self, timestamp: u64) -> Option<DenseMatrix> {
+        self.entries
+            .iter()
+            .find(|(t, _)| *t == timestamp)
+            .and_then(|(_, b)| decode_matrix(b.clone()))
+    }
+
+    /// Timestamps currently retained, oldest first.
+    pub fn timestamps(&self) -> Vec<u64> {
+        self.entries.iter().map(|(t, _)| *t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact() {
+        let m = DenseMatrix::from_vec(2, 3, vec![1.5, -2.0, 0.0, 3.25, 1e-9, 7.0]).unwrap();
+        let decoded = decode_matrix(encode_matrix(&m)).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_matrix(Bytes::from_static(b"oops")).is_none());
+        // header claims more data than present
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(10);
+        buf.put_u64_le(10);
+        buf.put_f64_le(1.0);
+        assert!(decode_matrix(buf.freeze()).is_none());
+    }
+
+    #[test]
+    fn store_put_get() {
+        let mut store = SnapshotStore::new(1 << 20);
+        let m = DenseMatrix::filled(4, 3, 0.25);
+        store.put(7, &m);
+        assert_eq!(store.get(7).unwrap(), m);
+        assert!(store.get(8).is_none());
+    }
+
+    #[test]
+    fn store_evicts_oldest_beyond_budget() {
+        // each 1×1 matrix costs 16 + 8 = 24 bytes
+        let mut store = SnapshotStore::new(60);
+        store.put(1, &DenseMatrix::filled(1, 1, 1.0));
+        store.put(2, &DenseMatrix::filled(1, 1, 2.0));
+        store.put(3, &DenseMatrix::filled(1, 1, 3.0));
+        assert_eq!(store.timestamps(), vec![2, 3]);
+        assert!(store.get(1).is_none());
+        assert!(store.used_bytes() <= 60);
+    }
+
+    #[test]
+    fn store_keeps_oversized_single_entry() {
+        let mut store = SnapshotStore::new(8);
+        store.put(1, &DenseMatrix::filled(10, 10, 1.0));
+        assert_eq!(store.len(), 1);
+        assert!(store.get(1).is_some());
+    }
+}

@@ -1,0 +1,311 @@
+//! Temporal windows: the `Sfw(t)` / `Suw(t)` aggregations of §4.
+//!
+//! `Mw(t) = Σ_{i=1}^{w−1} τ^i · M(t−i)` — an exponentially decayed
+//! aggregation of the previous `w − 1` snapshots, optionally normalized
+//! by `Σ τ^i` to keep the target on a single-snapshot scale.
+
+use std::collections::{HashMap, VecDeque};
+
+use tgs_linalg::DenseMatrix;
+
+/// Ring buffer of the last `w − 1` feature-cluster matrices `Sf(t−i)`.
+#[derive(Debug, Clone)]
+pub struct FactorWindow {
+    window: usize,
+    tau: f64,
+    normalize: bool,
+    /// Front = most recent (`i = 1`).
+    buf: VecDeque<DenseMatrix>,
+}
+
+impl FactorWindow {
+    /// Creates an empty window holding up to `window − 1` snapshots.
+    pub fn new(window: usize, tau: f64, normalize: bool) -> Self {
+        assert!(window >= 1, "window must be >= 1");
+        assert!(tau > 0.0 && tau <= 1.0, "tau must be in (0, 1]");
+        Self { window, tau, normalize, buf: VecDeque::new() }
+    }
+
+    /// Number of stored snapshots.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no history is available yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Pushes the newest snapshot, evicting anything beyond `w − 1`.
+    pub fn push(&mut self, sf: DenseMatrix) {
+        self.buf.push_front(sf);
+        while self.buf.len() > self.window.saturating_sub(1) {
+            self.buf.pop_back();
+        }
+    }
+
+    /// `Sfw(t) = Σ_{i=1}^{w−1} τ^i·Sf(t−i)`, or `None` before any history
+    /// exists (first snapshot).
+    pub fn aggregate(&self) -> Option<DenseMatrix> {
+        let first = self.buf.front()?;
+        let mut acc = DenseMatrix::zeros(first.rows(), first.cols());
+        let mut weight_sum = 0.0;
+        let mut w = self.tau;
+        for sf in &self.buf {
+            acc.axpy(w, sf);
+            weight_sum += w;
+            w *= self.tau;
+        }
+        if self.normalize && weight_sum > 0.0 {
+            acc.scale_in_place(1.0 / weight_sum);
+        }
+        Some(acc)
+    }
+}
+
+/// Per-user sentiment history over global user ids: the machinery behind
+/// `Suw(t)` and the new/evolving/disappeared partition of §4.
+#[derive(Debug, Clone)]
+pub struct SentimentHistory {
+    k: usize,
+    window: usize,
+    tau: f64,
+    normalize: bool,
+    /// Global step counter (one per processed snapshot).
+    t: u64,
+    /// Per user: recent `(step, row)` observations, front = newest.
+    rows: HashMap<usize, VecDeque<(u64, Vec<f64>)>>,
+}
+
+/// The three user categories of the online framework, as *local row
+/// indices* into the current snapshot (plus global ids of users that
+/// vanished).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UserPartition {
+    /// Local rows of users never seen within the window.
+    pub new_rows: Vec<usize>,
+    /// Local rows of users with in-window history.
+    pub evolving_rows: Vec<usize>,
+    /// Global ids of users with history but absent from this snapshot.
+    pub disappeared: Vec<usize>,
+}
+
+impl SentimentHistory {
+    /// Creates an empty history for `k` classes with window `w`.
+    pub fn new(k: usize, window: usize, tau: f64, normalize: bool) -> Self {
+        assert!(window >= 1, "window must be >= 1");
+        Self { k, window, tau, normalize, t: 0, rows: HashMap::new() }
+    }
+
+    /// Steps processed so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Number of users with any in-window history.
+    pub fn known_users(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when `user` has ever been observed (the most recent
+    /// observation is retained indefinitely; older ones only within the
+    /// window).
+    pub fn knows(&self, user: usize) -> bool {
+        self.rows.contains_key(&user)
+    }
+
+    /// Splits the snapshot's users (global ids, in row order) into
+    /// new/evolving, and lists known users that disappeared.
+    pub fn partition(&self, current_users: &[usize]) -> UserPartition {
+        let mut part = UserPartition::default();
+        let current: std::collections::HashSet<usize> = current_users.iter().copied().collect();
+        for (row, &u) in current_users.iter().enumerate() {
+            if self.knows(u) {
+                part.evolving_rows.push(row);
+            } else {
+                part.new_rows.push(row);
+            }
+        }
+        for &u in self.rows.keys() {
+            if !current.contains(&u) {
+                part.disappeared.push(u);
+            }
+        }
+        part.disappeared.sort_unstable();
+        part
+    }
+
+    /// `Suw(t)` row for one user: decayed aggregation of their in-window
+    /// rows. `None` for unknown users.
+    pub fn aggregate_row(&self, user: usize) -> Option<Vec<f64>> {
+        let hist = self.rows.get(&user)?;
+        let mut acc = vec![0.0; self.k];
+        let mut weight_sum = 0.0;
+        for &(step, ref row) in hist {
+            // Aggregation targets the *next* snapshot (t + 1), so an entry
+            // recorded at `step` is `i = (t + 1) − step` snapshots ago
+            // (i = 1 for the most recent one, matching Σ τ^i·Su(t−i)).
+            let i = (self.t + 1 - step) as i32;
+            let w = self.tau.powi(i);
+            for (a, &v) in acc.iter_mut().zip(row.iter()) {
+                *a += w * v;
+            }
+            weight_sum += w;
+        }
+        if self.normalize && weight_sum > 0.0 {
+            for a in &mut acc {
+                *a /= weight_sum;
+            }
+        }
+        Some(acc)
+    }
+
+    /// The `Suw(t)` matrix for the given local rows (paired with
+    /// `current_users`). Rows without history fall back to uniform.
+    pub fn aggregate_matrix(&self, current_users: &[usize], rows: &[usize]) -> DenseMatrix {
+        let uniform = vec![1.0 / self.k as f64; self.k];
+        let mut out = DenseMatrix::zeros(rows.len(), self.k);
+        for (i, &row) in rows.iter().enumerate() {
+            let user = current_users[row];
+            let agg = self.aggregate_row(user).unwrap_or_else(|| uniform.clone());
+            out.row_mut(i).copy_from_slice(&agg);
+        }
+        out
+    }
+
+    /// Records the solved `Su(t)` rows (paired with `current_users`) and
+    /// advances the step counter, pruning anything older than `w − 1`
+    /// snapshots.
+    pub fn record(&mut self, current_users: &[usize], su: &DenseMatrix) {
+        assert_eq!(current_users.len(), su.rows(), "one row per user required");
+        assert_eq!(su.cols(), self.k, "class count mismatch");
+        self.t += 1;
+        let t = self.t;
+        for (row, &u) in current_users.iter().enumerate() {
+            let hist = self.rows.entry(u).or_default();
+            hist.push_front((t, su.row(row).to_vec()));
+        }
+        // Prune out-of-window entries, but always keep each user's most
+        // recent observation: the paper's framework carries *disappeared*
+        // users forward (Fig. 5 / the Su(d,e) block of Eq. 19) — a user
+        // who goes quiet keeps a decaying estimate instead of being
+        // forgotten.
+        let horizon = t.saturating_sub(self.window.saturating_sub(1) as u64);
+        self.rows.retain(|_, hist| {
+            while hist.len() > 1 {
+                match hist.back() {
+                    Some(&(step, _)) if step <= horizon => {
+                        hist.pop_back();
+                    }
+                    _ => break,
+                }
+            }
+            !hist.is_empty()
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_window_empty_then_filled() {
+        let mut w = FactorWindow::new(3, 0.5, false);
+        assert!(w.aggregate().is_none());
+        w.push(DenseMatrix::filled(2, 2, 1.0));
+        let agg = w.aggregate().unwrap();
+        // single snapshot: τ¹ · 1.0 = 0.5
+        assert!((agg.get(0, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_window_decays_older_snapshots() {
+        let mut w = FactorWindow::new(3, 0.5, false);
+        w.push(DenseMatrix::filled(1, 1, 8.0)); // will be i=2
+        w.push(DenseMatrix::filled(1, 1, 4.0)); // i=1
+        // τ·4 + τ²·8 = 2 + 2 = 4
+        let agg = w.aggregate().unwrap();
+        assert!((agg.get(0, 0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_window_normalized_is_convex_combination() {
+        let mut w = FactorWindow::new(3, 0.9, true);
+        w.push(DenseMatrix::filled(1, 1, 2.0));
+        w.push(DenseMatrix::filled(1, 1, 4.0));
+        let agg = w.aggregate().unwrap().get(0, 0);
+        assert!(agg > 2.0 && agg < 4.0);
+    }
+
+    #[test]
+    fn factor_window_evicts_beyond_w_minus_1() {
+        let mut w = FactorWindow::new(2, 1.0, false);
+        w.push(DenseMatrix::filled(1, 1, 1.0));
+        w.push(DenseMatrix::filled(1, 1, 2.0));
+        assert_eq!(w.len(), 1);
+        assert!((w.aggregate().unwrap().get(0, 0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_one_keeps_no_history() {
+        let mut w = FactorWindow::new(1, 0.9, true);
+        w.push(DenseMatrix::filled(1, 1, 1.0));
+        assert!(w.is_empty());
+        assert!(w.aggregate().is_none());
+    }
+
+    #[test]
+    fn history_partition_new_evolving_disappeared() {
+        let mut h = SentimentHistory::new(2, 3, 0.9, true);
+        let su = DenseMatrix::from_vec(2, 2, vec![0.9, 0.1, 0.2, 0.8]).unwrap();
+        h.record(&[10, 20], &su);
+        let part = h.partition(&[20, 30]);
+        assert_eq!(part.evolving_rows, vec![0]); // user 20 at row 0
+        assert_eq!(part.new_rows, vec![1]); // user 30 at row 1
+        assert_eq!(part.disappeared, vec![10]);
+    }
+
+    #[test]
+    fn history_aggregate_row_decays() {
+        let mut h = SentimentHistory::new(2, 4, 0.5, false);
+        h.record(&[1], &DenseMatrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap());
+        h.record(&[1], &DenseMatrix::from_vec(1, 2, vec![0.0, 1.0]).unwrap());
+        // t=2: row(t-1)=[0,1] weight 0.5; row(t-2)=[1,0] weight 0.25
+        let agg = h.aggregate_row(1).unwrap();
+        assert!((agg[0] - 0.25).abs() < 1e-12);
+        assert!((agg[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn history_keeps_last_observation_of_absent_users() {
+        let mut h = SentimentHistory::new(2, 2, 0.5, false);
+        h.record(&[7], &DenseMatrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap());
+        assert!(h.knows(7));
+        // user 7 absent, but the last observation is carried forward
+        h.record(&[8], &DenseMatrix::from_vec(1, 2, vec![0.5, 0.5]).unwrap());
+        assert!(h.knows(7), "disappeared users are carried forward");
+        // ... with a decayed weight: observation is 2 steps old now
+        let agg = h.aggregate_row(7).unwrap();
+        assert!((agg[0] - 0.25).abs() < 1e-12, "got {agg:?}");
+        assert!(h.knows(8));
+    }
+
+    #[test]
+    fn history_prunes_older_duplicates_within_user() {
+        let mut h = SentimentHistory::new(2, 2, 0.5, false);
+        for _ in 0..4 {
+            h.record(&[3], &DenseMatrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap());
+        }
+        // window = 2 keeps w−1 = 1 in-window rows; older ones pruned
+        let agg = h.aggregate_row(3).unwrap();
+        assert!((agg[0] - 0.5).abs() < 1e-12, "only the newest row remains: {agg:?}");
+    }
+
+    #[test]
+    fn aggregate_matrix_falls_back_to_uniform() {
+        let h = SentimentHistory::new(2, 3, 0.9, true);
+        let m = h.aggregate_matrix(&[5], &[0]);
+        assert_eq!(m.row(0), &[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,83 @@
+//! End-to-end: synthetic corpus → matrices → offline/online solve →
+//! accuracy. These tests pin the qualitative behaviour the paper reports.
+
+use tgs_core::{solve_offline, OfflineConfig, OnlineConfig, OnlineSolver, SnapshotData, TriInput};
+use tgs_data::{build_offline, day_windows, generate, presets, SnapshotBuilder};
+use tgs_eval::{clustering_accuracy, nmi};
+use tgs_text::PipelineConfig;
+
+fn pipeline() -> PipelineConfig {
+    let mut cfg = PipelineConfig::paper_defaults();
+    cfg.vocab.min_count = 2;
+    cfg
+}
+
+#[test]
+fn offline_recovers_sentiment_on_tiny_corpus() {
+    let corpus = generate(&presets::tiny(11));
+    let inst = build_offline(&corpus, 3, &pipeline());
+    let input = TriInput {
+        xp: &inst.xp,
+        xu: &inst.xu,
+        xr: &inst.xr,
+        graph: &inst.graph,
+        sf0: &inst.sf0,
+    };
+    let cfg = OfflineConfig { k: 3, max_iters: 120, ..Default::default() };
+    let result = solve_offline(&input, &cfg);
+    let t_acc = clustering_accuracy(&result.tweet_labels(), &inst.tweet_truth);
+    let u_acc = clustering_accuracy(&result.user_labels(), &inst.user_truth);
+    let t_nmi = nmi(&result.tweet_labels(), &inst.tweet_truth);
+    // Chance on a 3-class problem with ~45/30/25 priors is ~0.45.
+    assert!(t_acc > 0.6, "tweet accuracy {t_acc}, nmi {t_nmi}");
+    assert!(u_acc > 0.6, "user accuracy {u_acc}");
+}
+
+#[test]
+fn offline_on_prop30_small_reaches_paper_ballpark() {
+    let corpus = generate(&presets::prop30_small(17));
+    let inst = build_offline(&corpus, 3, &pipeline());
+    let input = TriInput {
+        xp: &inst.xp,
+        xu: &inst.xu,
+        xr: &inst.xr,
+        graph: &inst.graph,
+        sf0: &inst.sf0,
+    };
+    let cfg = OfflineConfig { k: 3, max_iters: 100, ..Default::default() };
+    let result = solve_offline(&input, &cfg);
+    let t_acc = clustering_accuracy(&result.tweet_labels(), &inst.tweet_truth);
+    let u_acc = clustering_accuracy(&result.user_labels(), &inst.user_truth);
+    // Paper reports ~82% tweet / ~87% user accuracy on Prop 30.
+    assert!(t_acc > 0.7, "tweet accuracy {t_acc}");
+    assert!(u_acc > 0.7, "user accuracy {u_acc}");
+}
+
+#[test]
+fn online_stream_tracks_offline_quality() {
+    let corpus = generate(&presets::tiny(23));
+    let builder = SnapshotBuilder::new(&corpus, 3, &pipeline());
+    let mut solver = OnlineSolver::new(OnlineConfig { k: 3, max_iters: 60, ..Default::default() });
+    let mut weighted_acc = 0.0;
+    let mut total = 0usize;
+    for (lo, hi) in day_windows(corpus.num_days, 3) {
+        let snap = builder.snapshot(&corpus, lo, hi);
+        if snap.tweet_ids.is_empty() {
+            continue;
+        }
+        let input = TriInput {
+            xp: &snap.xp,
+            xu: &snap.xu,
+            xr: &snap.xr,
+            graph: &snap.graph,
+            sf0: builder.sf0(),
+        };
+        let result = solver.step(&SnapshotData { input, user_ids: &snap.user_ids });
+        let acc = clustering_accuracy(&result.tweet_labels(), &snap.tweet_truth);
+        weighted_acc += acc * snap.tweet_ids.len() as f64;
+        total += snap.tweet_ids.len();
+    }
+    let avg = weighted_acc / total as f64;
+    assert!(avg > 0.6, "online stream avg tweet accuracy {avg}");
+    assert!(solver.steps() > 1);
+}

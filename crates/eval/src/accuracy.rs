@@ -1,0 +1,153 @@
+//! Accuracy-family metrics.
+
+use crate::confusion::ConfusionMatrix;
+
+/// Clustering accuracy as defined in the paper (§5):
+/// `A(C, G) = (1/n)·Σ_{o∈C} max_{g∈G} |o ∩ g|` — each output cluster is
+/// assigned its majority ground-truth label.
+pub fn clustering_accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let cm = ConfusionMatrix::from_labels(pred, truth);
+    let hit: usize = (0..cm.num_clusters())
+        .map(|o| (0..cm.num_classes()).map(|g| cm.count(o, g)).max().unwrap_or(0))
+        .sum();
+    hit as f64 / cm.total() as f64
+}
+
+/// Plain classification accuracy: fraction of exact label matches.
+pub fn classification_accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let hit = pred.iter().zip(truth.iter()).filter(|(p, t)| p == t).count();
+    hit as f64 / pred.len() as f64
+}
+
+/// Purity — identical to clustering accuracy for hard clusterings but kept
+/// as an explicit alias for readers of the clustering literature.
+pub fn purity(pred: &[usize], truth: &[usize]) -> f64 {
+    clustering_accuracy(pred, truth)
+}
+
+/// Macro-averaged F1 over ground-truth classes for *classification*
+/// output (labels already aligned with classes).
+pub fn macro_f1(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let k = truth
+        .iter()
+        .chain(pred.iter())
+        .copied()
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut f1_sum = 0.0;
+    let mut classes = 0usize;
+    for c in 0..k {
+        let tp = pred
+            .iter()
+            .zip(truth.iter())
+            .filter(|&(&p, &t)| p == c && t == c)
+            .count() as f64;
+        let fp = pred
+            .iter()
+            .zip(truth.iter())
+            .filter(|&(&p, &t)| p == c && t != c)
+            .count() as f64;
+        let fn_ = pred
+            .iter()
+            .zip(truth.iter())
+            .filter(|&(&p, &t)| p != c && t == c)
+            .count() as f64;
+        if tp + fn_ == 0.0 {
+            continue; // class absent from ground truth
+        }
+        classes += 1;
+        let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let recall = tp / (tp + fn_);
+        if precision + recall > 0.0 {
+            f1_sum += 2.0 * precision * recall / (precision + recall);
+        }
+    }
+    if classes == 0 {
+        0.0
+    } else {
+        f1_sum / classes as f64
+    }
+}
+
+/// Keeps only the positions where ground truth is known, returning
+/// parallel `(pred, truth)` vectors — evaluation in the paper only uses
+/// labeled tweets/users.
+pub fn filter_labeled(pred: &[usize], truth: &[Option<usize>]) -> (Vec<usize>, Vec<usize>) {
+    assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+    let mut p = Vec::new();
+    let mut t = Vec::new();
+    for (&pi, &ti) in pred.iter().zip(truth.iter()) {
+        if let Some(ti) = ti {
+            p.push(pi);
+            t.push(ti);
+        }
+    }
+    (p, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_any_permutation() {
+        // clusters are ground truth with permuted ids
+        let truth = vec![0, 0, 1, 1, 2, 2];
+        let pred = vec![2, 2, 0, 0, 1, 1];
+        assert_eq!(clustering_accuracy(&pred, &truth), 1.0);
+    }
+
+    #[test]
+    fn majority_vote_accuracy_value() {
+        // cluster 0: {0,0,1} → majority 0 (2 hits); cluster 1: {1,1} → 2 hits
+        let pred = vec![0, 0, 0, 1, 1];
+        let truth = vec![0, 0, 1, 1, 1];
+        assert!((clustering_accuracy(&pred, &truth) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_single_cluster() {
+        let pred = vec![0, 0, 0, 0];
+        let truth = vec![0, 0, 1, 1];
+        assert!((clustering_accuracy(&pred, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classification_accuracy_counts_exact_matches() {
+        assert!((classification_accuracy(&[0, 1, 2], &[0, 1, 0]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(classification_accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_perfect_is_one() {
+        assert!((macro_f1(&[0, 1, 0, 1], &[0, 1, 0, 1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_ignores_absent_classes() {
+        // class 2 never in truth; should not dilute the average
+        let pred = vec![0, 1, 2];
+        let truth = vec![0, 1, 1];
+        let f1 = macro_f1(&pred, &truth);
+        // class0: P=1, R=1, F1=1; class1: P=1, R=0.5, F1=2/3
+        assert!((f1 - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_labeled_drops_unknowns() {
+        let (p, t) = filter_labeled(&[0, 1, 2], &[Some(0), None, Some(1)]);
+        assert_eq!(p, vec![0, 2]);
+        assert_eq!(t, vec![0, 1]);
+    }
+}

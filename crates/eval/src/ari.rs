@@ -1,0 +1,69 @@
+//! Adjusted Rand index — a chance-corrected pair-counting clustering
+//! metric, complementing accuracy/NMI in ablation studies.
+
+use crate::confusion::ConfusionMatrix;
+
+fn comb2(n: usize) -> f64 {
+    (n as f64) * (n as f64 - 1.0) / 2.0
+}
+
+/// Adjusted Rand index in `[-1, 1]`; 1 for identical partitions, ~0 for
+/// independent ones.
+pub fn adjusted_rand_index(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+    let n = pred.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let cm = ConfusionMatrix::from_labels(pred, truth);
+    let sum_ij: f64 = (0..cm.num_clusters())
+        .flat_map(|o| (0..cm.num_classes()).map(move |g| (o, g)))
+        .map(|(o, g)| comb2(cm.count(o, g)))
+        .sum();
+    let sum_a: f64 = cm.cluster_sizes().iter().map(|&s| comb2(s)).sum();
+    let sum_b: f64 = cm.class_sizes().iter().map(|&s| comb2(s)).sum();
+    let expected = sum_a * sum_b / comb2(n);
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < 1e-15 {
+        return 1.0; // both partitions degenerate in the same way
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let l = vec![0, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&l, &l) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permuted_ids_score_one() {
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![3, 3, 5, 5];
+        assert!((adjusted_rand_index(&pred, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_split_scores_nonpositive() {
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 1, 0, 1];
+        assert!(adjusted_rand_index(&pred, &truth) <= 0.0);
+    }
+
+    #[test]
+    fn known_textbook_value() {
+        // scikit-learn doc example: ARI([0,0,1,1],[0,0,1,2]) ≈ 0.5714
+        let a = adjusted_rand_index(&[0, 0, 1, 2], &[0, 0, 1, 1]);
+        assert!((a - 0.5714285714).abs() < 1e-9, "got {a}");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(adjusted_rand_index(&[0], &[0]), 1.0);
+        assert_eq!(adjusted_rand_index(&[], &[]), 1.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # tgs-eval
+//!
+//! Evaluation metrics used throughout the paper's experiments: clustering
+//! accuracy with majority-vote mapping (§5), NMI (§5), plus ARI, macro-F1,
+//! Hungarian-optimal accuracy and Pearson correlation for ablations.
+//!
+//! ```
+//! use tgs_eval::{clustering_accuracy, nmi};
+//!
+//! let truth = vec![0, 0, 1, 1];
+//! let pred = vec![1, 1, 0, 0]; // same partition, renamed clusters
+//! assert_eq!(clustering_accuracy(&pred, &truth), 1.0);
+//! assert_eq!(nmi(&pred, &truth), 1.0);
+//! ```
+
+pub mod accuracy;
+pub mod ari;
+pub mod confusion;
+pub mod hungarian;
+pub mod nmi;
+pub mod pearson;
+
+pub use accuracy::{classification_accuracy, clustering_accuracy, filter_labeled, macro_f1, purity};
+pub use ari::adjusted_rand_index;
+pub use confusion::ConfusionMatrix;
+pub use hungarian::{hungarian, hungarian_accuracy};
+pub use nmi::{entropy, mutual_information, nmi};
+pub use pearson::pearson;

@@ -1,0 +1,145 @@
+//! Connected components (union-find).
+
+use crate::graph::UserGraph;
+
+/// Disjoint-set forest with union-by-rank and path halving.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect(), rank: vec![0; n], components: n }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns true when they were
+    /// previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Current number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+}
+
+/// Labels every node with a dense component id (`0..num_components`, in
+/// order of first appearance).
+pub fn connected_components(graph: &UserGraph) -> Vec<usize> {
+    let n = graph.num_nodes();
+    let mut uf = UnionFind::new(n);
+    for u in 0..n {
+        for (v, _) in graph.neighbors(u) {
+            uf.union(u, v);
+        }
+    }
+    let mut label_of_root = vec![usize::MAX; n];
+    let mut labels = Vec::with_capacity(n);
+    let mut next = 0;
+    for u in 0..n {
+        let root = uf.find(u);
+        if label_of_root[root] == usize::MAX {
+            label_of_root[root] = next;
+            next += 1;
+        }
+        labels.push(label_of_root[root]);
+    }
+    labels
+}
+
+/// Number of connected components.
+pub fn num_components(graph: &UserGraph) -> usize {
+    let labels = connected_components(graph);
+    labels.iter().copied().max().map_or(0, |m| m + 1)
+}
+
+/// Nodes of the largest connected component (ascending order).
+pub fn largest_component(graph: &UserGraph) -> Vec<usize> {
+    let labels = connected_components(graph);
+    if labels.is_empty() {
+        return Vec::new();
+    }
+    let k = labels.iter().max().unwrap() + 1;
+    let mut sizes = vec![0usize; k];
+    for &l in &labels {
+        sizes[l] += 1;
+    }
+    let best = (0..k).max_by_key(|&l| sizes[l]).unwrap();
+    (0..labels.len()).filter(|&u| labels[u] == best).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_union() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.num_components(), 4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.num_components(), 3);
+        assert_eq!(uf.find(0), uf.find(1));
+    }
+
+    #[test]
+    fn components_of_two_cliques() {
+        let g = UserGraph::from_edges(
+            6,
+            &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)],
+        );
+        let labels = connected_components(&g);
+        assert_eq!(labels, vec![0, 0, 0, 1, 1, 1]);
+        assert_eq!(num_components(&g), 2);
+    }
+
+    #[test]
+    fn isolated_nodes_are_own_components() {
+        let g = UserGraph::from_edges(3, &[(0, 1, 1.0)]);
+        assert_eq!(num_components(&g), 2);
+        assert_eq!(connected_components(&g), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn largest_component_picks_biggest() {
+        let g = UserGraph::from_edges(
+            5,
+            &[(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)],
+        );
+        assert_eq!(largest_component(&g), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = UserGraph::empty(0);
+        assert_eq!(num_components(&g), 0);
+        assert!(largest_component(&g).is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Graph Laplacian utilities.
+//!
+//! The hot-path quadratic form `tr(SᵀLS)` lives in `tgs_linalg::ops`
+//! (it never materializes `L`); this module provides explicit Laplacians
+//! for tests, baselines (BACG, label propagation) and spectral checks.
+
+use tgs_linalg::{CsrMatrix, DenseMatrix};
+
+use crate::graph::UserGraph;
+
+/// The combinatorial Laplacian `L = D − G` as a sparse matrix.
+pub fn laplacian(graph: &UserGraph) -> CsrMatrix {
+    let n = graph.num_nodes();
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(graph.adjacency().nnz() + n);
+    for (i, &d) in graph.degrees().iter().enumerate() {
+        if d != 0.0 {
+            triplets.push((i, i, d));
+        }
+    }
+    for (i, j, w) in graph.adjacency().iter() {
+        triplets.push((i, j, -w));
+    }
+    CsrMatrix::from_triplets(n, n, &triplets).expect("laplacian triplets in bounds")
+}
+
+/// The random-walk normalized transition matrix `P = D⁻¹·G`
+/// (rows of isolated nodes are left zero). The workhorse of label
+/// propagation.
+pub fn transition_matrix(graph: &UserGraph) -> CsrMatrix {
+    let n = graph.num_nodes();
+    let mut triplets = Vec::with_capacity(graph.adjacency().nnz());
+    for (i, j, w) in graph.adjacency().iter() {
+        let d = graph.degree(i);
+        if d > 0.0 {
+            triplets.push((i, j, w / d));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets).expect("transition triplets in bounds")
+}
+
+/// The symmetric normalized Laplacian `L_sym = I − D^{-1/2}·G·D^{-1/2}`
+/// (used by spectral baselines).
+pub fn normalized_laplacian(graph: &UserGraph) -> CsrMatrix {
+    let n = graph.num_nodes();
+    let inv_sqrt: Vec<f64> = graph
+        .degrees()
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(graph.adjacency().nnz() + n);
+    for i in 0..n {
+        triplets.push((i, i, 1.0));
+    }
+    for (i, j, w) in graph.adjacency().iter() {
+        triplets.push((i, j, -w * inv_sqrt[i] * inv_sqrt[j]));
+    }
+    CsrMatrix::from_triplets(n, n, &triplets).expect("normalized laplacian triplets in bounds")
+}
+
+/// Evaluates `tr(SᵀLS)` through the explicit Laplacian (slow reference
+/// used in tests against `tgs_linalg::laplacian_quad`).
+pub fn laplacian_quad_reference(graph: &UserGraph, s: &DenseMatrix) -> f64 {
+    let l = laplacian(graph);
+    let ls = l.mul_dense(s);
+    s.frobenius_inner(&ls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgs_linalg::laplacian_quad;
+
+    fn path3() -> UserGraph {
+        UserGraph::from_edges(3, &[(0, 1, 2.0), (1, 2, 3.0)])
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let l = laplacian(&path3());
+        for s in l.row_sums() {
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn laplacian_diagonal_is_degree() {
+        let g = path3();
+        let l = laplacian(&g);
+        for i in 0..3 {
+            assert_eq!(l.get(i, i), g.degree(i));
+        }
+    }
+
+    #[test]
+    fn quad_form_matches_fast_path() {
+        let g = path3();
+        let s = DenseMatrix::from_vec(3, 2, vec![1.0, 0.0, 0.5, 0.5, 0.0, 1.0]).unwrap();
+        let slow = laplacian_quad_reference(&g, &s);
+        let fast = laplacian_quad(g.adjacency(), g.degrees(), &s);
+        assert!((slow - fast).abs() < 1e-10);
+    }
+
+    #[test]
+    fn transition_rows_are_stochastic() {
+        let p = transition_matrix(&path3());
+        for (i, s) in p.row_sums().iter().enumerate() {
+            assert!((s - 1.0).abs() < 1e-12, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn transition_isolated_nodes_zero_rows() {
+        let g = UserGraph::from_edges(3, &[(0, 1, 1.0)]);
+        let p = transition_matrix(&g);
+        assert_eq!(p.iter_row(2).count(), 0);
+    }
+
+    #[test]
+    fn normalized_laplacian_diagonal_ones_for_connected() {
+        let l = normalized_laplacian(&path3());
+        for i in 0..3 {
+            assert!((l.get(i, i) - 1.0).abs() < 1e-12);
+        }
+        // symmetric
+        assert!(l.is_symmetric(1e-12));
+    }
+}

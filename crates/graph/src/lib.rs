@@ -1,0 +1,28 @@
+//! # tgs-graph
+//!
+//! Social-graph substrate: the user–user re-tweeting graph `Gu` (with
+//! degrees and Laplacians), connected components, and builders that turn
+//! raw posting/re-tweeting event logs into the `Xr` matrix and `Gu` graph
+//! the tri-clustering framework consumes.
+//!
+//! ```
+//! use tgs_graph::{build_interactions, Interaction, InteractionWeights};
+//!
+//! let events = vec![
+//!     Interaction::Post { user: 0, tweet: 0 },
+//!     Interaction::Retweet { user: 1, tweet: 0, author: 0 },
+//! ];
+//! let (xr, gu) = build_interactions(2, 1, &events, InteractionWeights::default());
+//! assert_eq!(xr.get(1, 0), 1.0);
+//! assert_eq!(gu.weight(0, 1), 1.0);
+//! ```
+
+pub mod builder;
+pub mod components;
+pub mod graph;
+pub mod laplacian;
+
+pub use builder::{build_interactions, Interaction, InteractionWeights};
+pub use components::{connected_components, largest_component, num_components, UnionFind};
+pub use graph::UserGraph;
+pub use laplacian::{laplacian, laplacian_quad_reference, normalized_laplacian, transition_matrix};

@@ -1,0 +1,555 @@
+//! Row-major dense matrices.
+//!
+//! The tri-clustering algorithm only ever materializes *thin* dense matrices
+//! (`n×k`, `m×k`, `l×k` with `k ∈ {2,3}`) and tiny `k×k` association
+//! matrices, so a simple contiguous row-major layout is both cache-friendly
+//! and sufficient. All hot kernels operate on row slices to let the compiler
+//! elide bounds checks.
+
+use crate::LinalgError;
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// Returns an error when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (rows, cols),
+                got: (data.len(), 1),
+                op: "DenseMatrix::from_vec",
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Entry accessor. Panics when out of bounds (debug-friendly hot path).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Entry setter.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Immutable row slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterator over row slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            let r = self.row(i);
+            for (j, &v) in r.iter().enumerate() {
+                out.data[j * self.rows + i] = v;
+            }
+        }
+        out
+    }
+
+    /// Dense matrix product `self · other`.
+    ///
+    /// Uses the i-k-j loop order so the inner loop streams over contiguous
+    /// rows of `other` and the output.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: ({}, {}) x ({}, {})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Gram matrix `selfᵀ · self` (`cols × cols`).
+    ///
+    /// The workhorse for `SᵀS` terms: one pass over the rows, accumulating
+    /// rank-1 outer products, exploiting symmetry.
+    #[allow(clippy::needless_range_loop)] // symmetric triangular indexing
+    pub fn gram(&self) -> DenseMatrix {
+        let k = self.cols;
+        let mut out = DenseMatrix::zeros(k, k);
+        for row in self.rows_iter() {
+            for a in 0..k {
+                let ra = row[a];
+                if ra == 0.0 {
+                    continue;
+                }
+                for b in a..k {
+                    out.data[a * k + b] += ra * row[b];
+                }
+            }
+        }
+        // mirror the upper triangle
+        for a in 0..k {
+            for b in (a + 1)..k {
+                out.data[b * k + a] = out.data[a * k + b];
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    pub fn transpose_matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "transpose_matmul shape mismatch: ({}, {})ᵀ x ({}, {})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = DenseMatrix::zeros(self.cols, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let b_row = other.row(i);
+            for (a_idx, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[a_idx * other.cols..(a_idx + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ`.
+    pub fn matmul_transpose(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose shape mismatch: ({}, {}) x ({}, {})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = DenseMatrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                *o = dot(a_row, b_row);
+            }
+        }
+        out
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, other: &DenseMatrix) -> DenseMatrix {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &DenseMatrix) -> DenseMatrix {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, other: &DenseMatrix) -> DenseMatrix {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// In-place element-wise addition of `scale * other`.
+    pub fn axpy(&mut self, scale: f64, other: &DenseMatrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += scale * b;
+        }
+    }
+
+    /// Returns `self * scalar`.
+    pub fn scale(&self, scalar: f64) -> DenseMatrix {
+        self.map(|v| v * scalar)
+    }
+
+    /// In-place scalar multiplication.
+    pub fn scale_in_place(&mut self, scalar: f64) {
+        for v in &mut self.data {
+            *v *= scalar;
+        }
+    }
+
+    /// Applies `f` to every entry, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> DenseMatrix {
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` to every entry in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    fn zip_with(&self, other: &DenseMatrix, f: impl Fn(f64, f64) -> f64) -> DenseMatrix {
+        assert_eq!(self.shape(), other.shape(), "element-wise shape mismatch");
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Squared Frobenius norm `‖M‖²_F`.
+    pub fn frobenius_sq(&self) -> f64 {
+        self.data.iter().map(|&v| v * v).sum()
+    }
+
+    /// Frobenius norm `‖M‖_F`.
+    pub fn frobenius(&self) -> f64 {
+        self.frobenius_sq().sqrt()
+    }
+
+    /// Trace of a square matrix.
+    pub fn trace(&self) -> f64 {
+        assert_eq!(self.rows, self.cols, "trace requires a square matrix");
+        (0..self.rows).map(|i| self.get(i, i)).sum()
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Largest absolute difference against `other` (convergence checks).
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .fold(0.0_f64, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+
+    /// Frobenius inner product `⟨self, other⟩`.
+    pub fn frobenius_inner(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "frobenius_inner shape mismatch");
+        self.data.iter().zip(other.data.iter()).map(|(&a, &b)| a * b).sum()
+    }
+
+    /// Index of the largest entry in each row (ties broken towards the
+    /// lowest index). This is how soft cluster memberships become labels.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        self.rows_iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .fold((0usize, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    })
+                    .0
+            })
+            .collect()
+    }
+
+    /// Normalizes each row to sum to one (rows summing to zero are left as
+    /// a uniform distribution).
+    pub fn normalize_rows_l1(&mut self) {
+        let k = self.cols;
+        if k == 0 {
+            return;
+        }
+        for row in self.data.chunks_exact_mut(k) {
+            let s: f64 = row.iter().sum();
+            if s > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= s;
+                }
+            } else {
+                let u = 1.0 / k as f64;
+                for v in row.iter_mut() {
+                    *v = u;
+                }
+            }
+        }
+    }
+
+    /// Clamps all entries below `min` up to `min` (non-negativity guard).
+    pub fn clamp_min(&mut self, min: f64) {
+        for v in &mut self.data {
+            if *v < min {
+                *v = min;
+            }
+        }
+    }
+
+    /// True when every entry is finite and `>= 0`.
+    pub fn is_nonnegative(&self) -> bool {
+        self.data.iter().all(|&v| v.is_finite() && v >= 0.0)
+    }
+
+    /// Copies row `src` of `other` into row `dst` of `self`.
+    pub fn copy_row_from(&mut self, dst: usize, other: &DenseMatrix, src: usize) {
+        assert_eq!(self.cols, other.cols, "copy_row_from column mismatch");
+        let k = self.cols;
+        self.data[dst * k..(dst + 1) * k].copy_from_slice(other.row(src));
+    }
+
+    /// Vertically stacks `self` on top of `other`.
+    pub fn vstack(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.cols, "vstack column mismatch");
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        DenseMatrix { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// Gathers the given rows into a new matrix.
+    pub fn select_rows(&self, rows: &[usize]) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(rows.len(), self.cols);
+        for (dst, &src) in rows.iter().enumerate() {
+            out.copy_row_from(dst, self, src);
+        }
+        out
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f64]) -> DenseMatrix {
+        DenseMatrix::from_vec(rows, cols, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn zeros_shape_and_content() {
+        let z = DenseMatrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = DenseMatrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c, m(2, 2, &[58.0, 64.0, 139.0, 154.0]));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn gram_matches_explicit_transpose_product() {
+        let a = m(3, 2, &[1.0, 2.0, 0.0, 1.0, 3.0, 1.0]);
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a);
+        assert!(g.max_abs_diff(&explicit) < 1e-12);
+    }
+
+    #[test]
+    fn transpose_matmul_matches_explicit() {
+        let a = m(3, 2, &[1.0, 2.0, 0.0, 1.0, 3.0, 1.0]);
+        let b = m(3, 4, &(0..12).map(|v| v as f64).collect::<Vec<_>>());
+        let fast = a.transpose_matmul(&b);
+        let explicit = a.transpose().matmul(&b);
+        assert!(fast.max_abs_diff(&explicit) < 1e-12);
+    }
+
+    #[test]
+    fn matmul_transpose_matches_explicit() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(4, 3, &(0..12).map(|v| v as f64).collect::<Vec<_>>());
+        let fast = a.matmul_transpose(&b);
+        let explicit = a.matmul(&b.transpose());
+        assert!(fast.max_abs_diff(&explicit) < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_add_sub() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(a.hadamard(&b), m(2, 2, &[5.0, 12.0, 21.0, 32.0]));
+        assert_eq!(a.add(&b), m(2, 2, &[6.0, 8.0, 10.0, 12.0]));
+        assert_eq!(b.sub(&a), m(2, 2, &[4.0, 4.0, 4.0, 4.0]));
+    }
+
+    #[test]
+    fn frobenius_and_trace() {
+        let a = m(2, 2, &[3.0, 0.0, 4.0, 0.0]);
+        assert_eq!(a.frobenius_sq(), 25.0);
+        assert_eq!(a.frobenius(), 5.0);
+        assert_eq!(a.trace(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace requires a square matrix")]
+    fn trace_panics_on_rect() {
+        m(1, 2, &[1.0, 2.0]).trace();
+    }
+
+    #[test]
+    fn argmax_rows_breaks_ties_low() {
+        let a = m(3, 3, &[0.1, 0.8, 0.1, 0.5, 0.5, 0.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.argmax_rows(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn normalize_rows_handles_zero_rows() {
+        let mut a = m(2, 2, &[2.0, 2.0, 0.0, 0.0]);
+        a.normalize_rows_l1();
+        assert_eq!(a, m(2, 2, &[0.5, 0.5, 0.5, 0.5]));
+    }
+
+    #[test]
+    fn vstack_and_select_rows() {
+        let a = m(1, 2, &[1.0, 2.0]);
+        let b = m(2, 2, &[3.0, 4.0, 5.0, 6.0]);
+        let s = a.vstack(&b);
+        assert_eq!(s.shape(), (3, 2));
+        assert_eq!(s.row(2), &[5.0, 6.0]);
+        let sel = s.select_rows(&[2, 0]);
+        assert_eq!(sel, m(2, 2, &[5.0, 6.0, 1.0, 2.0]));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = m(1, 2, &[1.0, 1.0]);
+        let b = m(1, 2, &[2.0, 3.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a, m(1, 2, &[2.0, 2.5]));
+    }
+
+    #[test]
+    fn is_nonnegative_detects_negatives_and_nan() {
+        assert!(m(1, 2, &[0.0, 1.0]).is_nonnegative());
+        assert!(!m(1, 2, &[-0.1, 1.0]).is_nonnegative());
+        assert!(!m(1, 2, &[f64::NAN, 1.0]).is_nonnegative());
+    }
+}

@@ -1,0 +1,96 @@
+//! # tgs-linalg
+//!
+//! Dense and sparse (CSR) linear-algebra kernels purpose-built for the
+//! non-negative matrix tri-factorization at the heart of the tripartite
+//! sentiment co-clustering framework (Zhu et al., 2014).
+//!
+//! Design constraints this crate optimizes for:
+//!
+//! * Data matrices (`Xp`, `Xu`, `Xr`, `Gu`) are huge but very sparse → CSR
+//!   with `O(nnz·k)` kernels, never densified.
+//! * Factor matrices are *thin* (`rows × k`, `k ∈ {2, 3}`) → contiguous
+//!   row-major dense storage, Gram products in `O(rows·k²)`.
+//! * Objective values are needed every iteration → factored Frobenius
+//!   identities (`‖X − ABᵀ‖² = ‖X‖² − 2⟨X, ABᵀ⟩ + tr((AᵀA)(BᵀB))`).
+//! * Experiments must be reproducible → explicit seeds everywhere.
+//!
+//! ```
+//! use tgs_linalg::{CsrMatrix, DenseMatrix};
+//!
+//! let x = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (1, 2, 2.0)]).unwrap();
+//! let d = DenseMatrix::filled(3, 2, 1.0);
+//! let y = x.mul_dense(&d);
+//! assert_eq!(y.get(1, 0), 2.0);
+//! ```
+
+pub mod dense;
+pub mod ops;
+pub mod parallel;
+pub mod rng;
+pub mod sparse;
+
+pub use dense::{dot, DenseMatrix};
+pub use ops::{approx_error_bi, approx_error_tri, laplacian_quad, mult_update, split_pos_neg, EPS, FACTOR_FLOOR};
+pub use rng::{random_factor, random_factor_with, seeded_rng};
+pub use sparse::CsrMatrix;
+
+/// Errors produced when constructing matrices from user data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// A buffer length did not match the requested shape.
+    ShapeMismatch {
+        /// Requested `(rows, cols)`.
+        expected: (usize, usize),
+        /// Observed shape (or `(len, 1)` for flat buffers).
+        got: (usize, usize),
+        /// Operation name for context.
+        op: &'static str,
+    },
+    /// A triplet coordinate fell outside the declared shape.
+    IndexOutOfBounds {
+        /// Offending row.
+        row: usize,
+        /// Offending column.
+        col: usize,
+        /// Declared row count.
+        rows: usize,
+        /// Declared column count.
+        cols: usize,
+    },
+    /// A triplet value was NaN or infinite.
+    NonFiniteValue {
+        /// Offending row.
+        row: usize,
+        /// Offending column.
+        col: usize,
+    },
+    /// More columns than the `u32` index type can address.
+    TooManyColumns {
+        /// Requested column count.
+        cols: usize,
+    },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { expected, got, op } => write!(
+                f,
+                "{op}: shape mismatch, expected {}x{} but got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            LinalgError::IndexOutOfBounds { row, col, rows, cols } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {rows}x{cols} matrix"
+            ),
+            LinalgError::NonFiniteValue { row, col } => {
+                write!(f, "non-finite value at ({row}, {col})")
+            }
+            LinalgError::TooManyColumns { cols } => {
+                write!(f, "{cols} columns exceed the u32 index limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

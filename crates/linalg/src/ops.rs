@@ -1,0 +1,188 @@
+//! Kernels specific to multiplicative-update non-negative matrix
+//! tri-factorization: Δ-splitting, the square-root multiplicative update,
+//! and factored-form objective evaluation.
+
+use crate::dense::DenseMatrix;
+use crate::sparse::CsrMatrix;
+
+/// Denominator guard for multiplicative updates. Entries of the factor
+/// matrices live around `1/k ≈ 0.3`, so `1e-12` is far below signal while
+/// still preventing division by zero.
+pub const EPS: f64 = 1e-12;
+
+/// Floor applied to factor entries after each update. Multiplicative
+/// updates can never resurrect an exact zero, so we keep entries strictly
+/// positive (standard NMF practice, cf. Lee & Seung).
+pub const FACTOR_FLOOR: f64 = 1e-12;
+
+/// Splits a matrix into its positive and negative parts:
+/// `Δ⁺ = (|Δ| + Δ)/2`, `Δ⁻ = (|Δ| − Δ)/2`, so that `Δ = Δ⁺ − Δ⁻` with both
+/// parts non-negative. Used on the orthogonality multipliers in
+/// Eqs. (7), (9), (11) of the paper.
+pub fn split_pos_neg(delta: &DenseMatrix) -> (DenseMatrix, DenseMatrix) {
+    let pos = delta.map(|v| if v > 0.0 { v } else { 0.0 });
+    let neg = delta.map(|v| if v < 0.0 { -v } else { 0.0 });
+    (pos, neg)
+}
+
+/// The multiplicative update `S ← S ∘ sqrt(num / (den + EPS))`, with a
+/// positivity floor.
+///
+/// All numerator and denominator terms produced by the update rules are
+/// non-negative by construction, so the square root is always defined.
+pub fn mult_update(s: &mut DenseMatrix, num: &DenseMatrix, den: &DenseMatrix) {
+    assert_eq!(s.shape(), num.shape(), "mult_update numerator shape mismatch");
+    assert_eq!(s.shape(), den.shape(), "mult_update denominator shape mismatch");
+    let sv = s.as_mut_slice();
+    let nv = num.as_slice();
+    let dv = den.as_slice();
+    for i in 0..sv.len() {
+        let ratio = nv[i].max(0.0) / (dv[i].max(0.0) + EPS);
+        let updated = sv[i] * ratio.sqrt();
+        sv[i] = if updated.is_finite() { updated.max(FACTOR_FLOOR) } else { FACTOR_FLOOR };
+    }
+}
+
+/// `‖X − A·Bᵀ‖²_F` without densifying `A·Bᵀ`:
+/// `‖X‖² − 2⟨X, ABᵀ⟩ + tr((AᵀA)(BᵀB))`.
+pub fn approx_error_bi(x: &CsrMatrix, a: &DenseMatrix, b: &DenseMatrix) -> f64 {
+    assert_eq!(x.rows(), a.rows(), "approx_error_bi: A row mismatch");
+    assert_eq!(x.cols(), b.rows(), "approx_error_bi: B row mismatch");
+    let x_sq = x.frobenius_sq();
+    let cross = x.inner_with_factored(a, b);
+    let fit = a.gram().frobenius_inner(&b.gram());
+    (x_sq - 2.0 * cross + fit).max(0.0)
+}
+
+/// `‖X − S·H·Fᵀ‖²_F` via `A = S·H` then [`approx_error_bi`].
+pub fn approx_error_tri(
+    x: &CsrMatrix,
+    s: &DenseMatrix,
+    h: &DenseMatrix,
+    f: &DenseMatrix,
+) -> f64 {
+    let a = s.matmul(h);
+    approx_error_bi(x, &a, f)
+}
+
+/// Graph-regularization energy `tr(SᵀLS)` for `L = D − G` evaluated
+/// directly from the sparse adjacency:
+/// `tr(SᵀLS) = Σ_i deg_i·‖S_i‖² − Σ_{(i,j)∈G} G_ij·⟨S_i, S_j⟩`.
+///
+/// Never materializes the Laplacian. For a symmetric `G` this equals
+/// `½·ΣΣ G_ij·‖S_i − S_j‖²`.
+pub fn laplacian_quad(g: &CsrMatrix, degrees: &[f64], s: &DenseMatrix) -> f64 {
+    assert_eq!(g.rows(), g.cols(), "laplacian_quad: G must be square");
+    assert_eq!(g.rows(), s.rows(), "laplacian_quad: S row mismatch");
+    assert_eq!(g.rows(), degrees.len(), "laplacian_quad: degree length mismatch");
+    let mut total = 0.0;
+    for (i, &d) in degrees.iter().enumerate() {
+        let row = s.row(i);
+        total += d * crate::dense::dot(row, row);
+    }
+    for i in 0..g.rows() {
+        let si = s.row(i);
+        for (j, w) in g.iter_row(i) {
+            total -= w * crate::dense::dot(si, s.row(j));
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_pos_neg_reconstructs() {
+        let d = DenseMatrix::from_vec(2, 2, vec![1.0, -2.0, 0.0, 3.5]).unwrap();
+        let (p, n) = split_pos_neg(&d);
+        assert!(p.is_nonnegative() && n.is_nonnegative());
+        assert!(p.sub(&n).max_abs_diff(&d) < 1e-15);
+        // |Δ| = Δ⁺ + Δ⁻
+        assert_eq!(p.add(&n).as_slice(), &[1.0, 2.0, 0.0, 3.5]);
+    }
+
+    #[test]
+    fn mult_update_fixed_point_when_num_eq_den() {
+        let mut s = DenseMatrix::from_vec(1, 3, vec![0.2, 0.5, 0.9]).unwrap();
+        let num = DenseMatrix::filled(1, 3, 2.0);
+        let den = DenseMatrix::filled(1, 3, 2.0);
+        let before = s.clone();
+        mult_update(&mut s, &num, &den);
+        assert!(s.max_abs_diff(&before) < 1e-9);
+    }
+
+    #[test]
+    fn mult_update_moves_towards_larger_numerator() {
+        let mut s = DenseMatrix::filled(1, 2, 1.0);
+        let num = DenseMatrix::from_vec(1, 2, vec![4.0, 1.0]).unwrap();
+        let den = DenseMatrix::filled(1, 2, 1.0);
+        mult_update(&mut s, &num, &den);
+        assert!((s.get(0, 0) - 2.0).abs() < 1e-9);
+        assert!((s.get(0, 1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mult_update_keeps_positivity_floor() {
+        let mut s = DenseMatrix::filled(1, 1, 0.5);
+        let num = DenseMatrix::zeros(1, 1);
+        let den = DenseMatrix::filled(1, 1, 1.0);
+        mult_update(&mut s, &num, &den);
+        assert!(s.get(0, 0) >= FACTOR_FLOOR);
+        assert!(s.get(0, 0) < 1e-6);
+    }
+
+    #[test]
+    fn approx_error_bi_matches_dense_computation() {
+        let x = CsrMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (1, 1, 2.0), (2, 0, 0.5)]).unwrap();
+        let a = DenseMatrix::from_vec(3, 2, vec![0.5, 0.1, 0.2, 0.9, 0.3, 0.3]).unwrap();
+        let b = DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.2, 0.8]).unwrap();
+        let fast = approx_error_bi(&x, &a, &b);
+        let dense = x.to_dense().sub(&a.matmul_transpose(&b)).frobenius_sq();
+        assert!((fast - dense).abs() < 1e-10, "fast={fast} dense={dense}");
+    }
+
+    #[test]
+    fn approx_error_tri_matches_dense_computation() {
+        let x = CsrMatrix::from_triplets(3, 4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 2.0)]).unwrap();
+        let s = DenseMatrix::from_vec(3, 2, vec![0.9, 0.1, 0.2, 0.8, 0.5, 0.5]).unwrap();
+        let h = DenseMatrix::from_vec(2, 2, vec![1.0, 0.2, 0.1, 1.0]).unwrap();
+        let f = DenseMatrix::from_vec(4, 2, vec![0.7, 0.1, 0.1, 0.6, 0.4, 0.4, 0.2, 0.9]).unwrap();
+        let fast = approx_error_tri(&x, &s, &h, &f);
+        let dense = x.to_dense().sub(&s.matmul(&h).matmul_transpose(&f)).frobenius_sq();
+        assert!((fast - dense).abs() < 1e-10);
+    }
+
+    #[test]
+    fn laplacian_quad_matches_pairwise_definition() {
+        // Path graph 0-1-2 with weights 2 and 3.
+        let g = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 1, 2.0), (1, 0, 2.0), (1, 2, 3.0), (2, 1, 3.0)],
+        )
+        .unwrap();
+        let deg = g.row_sums();
+        let s = DenseMatrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+        let fast = laplacian_quad(&g, &deg, &s);
+        // ½ ΣΣ G_ij ||s_i − s_j||²  (each undirected edge counted twice)
+        let mut expected = 0.0;
+        for (i, j, w) in g.iter() {
+            let d0 = s.get(i, 0) - s.get(j, 0);
+            let d1 = s.get(i, 1) - s.get(j, 1);
+            expected += 0.5 * w * (d0 * d0 + d1 * d1);
+        }
+        assert!((fast - expected).abs() < 1e-12, "fast={fast} expected={expected}");
+    }
+
+    #[test]
+    fn laplacian_quad_zero_for_constant_rows() {
+        let g =
+            CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)])
+                .unwrap();
+        let deg = g.row_sums();
+        let s = DenseMatrix::filled(3, 2, 0.7);
+        assert!(laplacian_quad(&g, &deg, &s).abs() < 1e-12);
+    }
+}

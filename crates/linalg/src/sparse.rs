@@ -1,0 +1,448 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! The three data matrices of the tri-clustering problem (`Xp`, `Xu`, `Xr`)
+//! and the user–user graph `Gu` are extremely sparse (a tweet holds ~10
+//! words out of thousands), so every kernel here is `O(nnz·k)` rather than
+//! `O(rows·cols)`. Column indices are stored as `u32` — the paper's data is
+//! tens of thousands of columns, far below the 4.3B limit — which halves the
+//! index memory versus `usize`.
+
+use crate::dense::DenseMatrix;
+use crate::LinalgError;
+
+/// A CSR sparse matrix of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// `indptr[i]..indptr[i+1]` is the value range of row `i`.
+    indptr: Vec<usize>,
+    /// Column index per stored value, strictly increasing within a row.
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// An empty (all-zero) matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Builds a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicate coordinates are summed; explicit zeros (including duplicate
+    /// groups summing to zero) are dropped. Returns an error when any
+    /// coordinate is out of bounds or any value is non-finite.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self, LinalgError> {
+        if cols > u32::MAX as usize {
+            return Err(LinalgError::TooManyColumns { cols });
+        }
+        for &(r, c, v) in triplets {
+            if r >= rows || c >= cols {
+                return Err(LinalgError::IndexOutOfBounds { row: r, col: c, rows, cols });
+            }
+            if !v.is_finite() {
+                return Err(LinalgError::NonFiniteValue { row: r, col: c });
+            }
+        }
+        // Counting sort by row, then sort each row segment by column.
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, _, _) in triplets {
+            counts[r + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut order: Vec<(u32, f64)> = vec![(0, 0.0); triplets.len()];
+        let mut cursor = counts.clone();
+        for &(r, c, v) in triplets {
+            order[cursor[r]] = (c as u32, v);
+            cursor[r] += 1;
+        }
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        indptr.push(0);
+        for r in 0..rows {
+            let seg = &mut order[counts[r]..counts[r + 1]];
+            seg.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < seg.len() {
+                let col = seg[i].0;
+                let mut sum = 0.0;
+                while i < seg.len() && seg[i].0 == col {
+                    sum += seg[i].1;
+                    i += 1;
+                }
+                if sum != 0.0 {
+                    indices.push(col);
+                    values.push(sum);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Ok(Self { rows, cols, indptr, indices, values })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterator over `(col, value)` pairs of row `i`.
+    #[inline]
+    pub fn iter_row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.indptr[i]..self.indptr[i + 1];
+        self.indices[range.clone()]
+            .iter()
+            .zip(self.values[range].iter())
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Iterator over all `(row, col, value)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| self.iter_row(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// Value at `(i, j)` (binary search within the row).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let range = self.indptr[i]..self.indptr[i + 1];
+        match self.indices[range.clone()].binary_search(&(j as u32)) {
+            Ok(pos) => self.values[range.start + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse–dense product `self · d` → dense `(rows × d.cols)`.
+    pub fn mul_dense(&self, d: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            self.cols,
+            d.rows(),
+            "mul_dense shape mismatch: ({}, {}) x ({}, {})",
+            self.rows,
+            self.cols,
+            d.rows(),
+            d.cols()
+        );
+        let k = d.cols();
+        let mut out = DenseMatrix::zeros(self.rows, k);
+        crate::parallel::for_each_row_chunk(self.rows, self.nnz() * k, out.as_mut_slice(), k, |r0, chunk| {
+            for (local, out_row) in chunk.chunks_exact_mut(k).enumerate() {
+                let r = r0 + local;
+                for (c, v) in self.iter_row(r) {
+                    let d_row = d.row(c);
+                    for (o, &dv) in out_row.iter_mut().zip(d_row.iter()) {
+                        *o += v * dv;
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Transposed sparse–dense product `selfᵀ · d` → dense `(cols × d.cols)`.
+    ///
+    /// Scatter formulation: single pass over stored entries.
+    pub fn transpose_mul_dense(&self, d: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            self.rows,
+            d.rows(),
+            "transpose_mul_dense shape mismatch: ({}, {})ᵀ x ({}, {})",
+            self.rows,
+            self.cols,
+            d.rows(),
+            d.cols()
+        );
+        let k = d.cols();
+        let mut out = DenseMatrix::zeros(self.cols, k);
+        for r in 0..self.rows {
+            let d_row = d.row(r);
+            for (c, v) in self.iter_row(r) {
+                let out_row = out.row_mut(c);
+                for (o, &dv) in out_row.iter_mut().zip(d_row.iter()) {
+                    *o += v * dv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Materialized transpose (CSR of the transposed matrix).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let mut indptr = counts.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        for r in 0..self.rows {
+            for (c, v) in self.iter_row(r) {
+                let pos = indptr[c];
+                indices[pos] = r as u32;
+                values[pos] = v;
+                indptr[c] += 1;
+            }
+        }
+        // `indptr` was shifted by the fill; rebuild it from counts.
+        CsrMatrix { rows: self.cols, cols: self.rows, indptr: counts, indices, values }
+    }
+
+    /// Per-row sums (for degree vectors of adjacency matrices).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|r| self.iter_row(r).map(|(_, v)| v).sum())
+            .collect()
+    }
+
+    /// Per-column sums.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for (_, c, v) in self.iter() {
+            out[c] += v;
+        }
+        out
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frobenius_sq(&self) -> f64 {
+        self.values.iter().map(|&v| v * v).sum()
+    }
+
+    /// Sum of all stored values.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Frobenius inner product with a factored dense matrix:
+    /// `⟨self, A·Bᵀ⟩ = Σ_{(i,j)∈nnz} self[ij] · (A[i,:] · B[j,:])`.
+    ///
+    /// This is the key trick that lets all objective values be computed
+    /// without densifying `A·Bᵀ`.
+    pub fn inner_with_factored(&self, a: &DenseMatrix, b: &DenseMatrix) -> f64 {
+        assert_eq!(self.rows, a.rows(), "inner_with_factored: row factor mismatch");
+        assert_eq!(self.cols, b.rows(), "inner_with_factored: col factor mismatch");
+        assert_eq!(a.cols(), b.cols(), "inner_with_factored: rank mismatch");
+        let mut total = 0.0;
+        for r in 0..self.rows {
+            let a_row = a.row(r);
+            for (c, v) in self.iter_row(r) {
+                total += v * crate::dense::dot(a_row, b.row(c));
+            }
+        }
+        total
+    }
+
+    /// Returns a new matrix scaled by `scalar`.
+    pub fn scale(&self, scalar: f64) -> CsrMatrix {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v *= scalar;
+        }
+        out
+    }
+
+    /// Gathers the given rows (in order) into a new CSR matrix with
+    /// `rows.len()` rows and the same column space.
+    pub fn select_rows(&self, rows: &[usize]) -> CsrMatrix {
+        let mut indptr = Vec::with_capacity(rows.len() + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for &r in rows {
+            assert!(r < self.rows, "select_rows: row {r} out of bounds");
+            let range = self.indptr[r]..self.indptr[r + 1];
+            indices.extend_from_slice(&self.indices[range.clone()]);
+            values.extend_from_slice(&self.values[range]);
+            indptr.push(indices.len());
+        }
+        CsrMatrix { rows: rows.len(), cols: self.cols, indptr, indices, values }
+    }
+
+    /// Vertically stacks `self` on top of `other` (same column count).
+    pub fn vstack(&self, other: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(self.cols, other.cols, "vstack column mismatch");
+        let mut indptr = self.indptr.clone();
+        let offset = *indptr.last().unwrap();
+        indptr.extend(other.indptr[1..].iter().map(|&p| p + offset));
+        let mut indices = self.indices.clone();
+        indices.extend_from_slice(&other.indices);
+        let mut values = self.values.clone();
+        values.extend_from_slice(&other.values);
+        CsrMatrix { rows: self.rows + other.rows, cols: self.cols, indptr, indices, values }
+    }
+
+    /// Dense rendering (tests / tiny matrices only).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            out.set(r, c, v);
+        }
+        out
+    }
+
+    /// Density in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// True when the matrix is structurally symmetric with equal values.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.indptr != self.indptr || t.indices != self.indices {
+            return false;
+        }
+        self.values
+            .iter()
+            .zip(t.values.iter())
+            .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [3, 4, 0]]
+        CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+            .unwrap()
+    }
+
+    #[test]
+    fn from_triplets_sums_duplicates_and_drops_zeros() {
+        let m = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0), (1, 1, -5.0), (0, 1, 0.0)],
+        )
+        .unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn from_triplets_rejects_out_of_bounds_and_nan() {
+        assert!(CsrMatrix::from_triplets(1, 1, &[(1, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(1, 1, &[(0, 0, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn get_and_iter_row() {
+        let m = sample();
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        let row2: Vec<_> = m.iter_row(2).collect();
+        assert_eq!(row2, vec![(0, 3.0), (1, 4.0)]);
+    }
+
+    #[test]
+    fn mul_dense_matches_dense_product() {
+        let m = sample();
+        let d = DenseMatrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let sparse_result = m.mul_dense(&d);
+        let dense_result = m.to_dense().matmul(&d);
+        assert!(sparse_result.max_abs_diff(&dense_result) < 1e-12);
+    }
+
+    #[test]
+    fn transpose_mul_dense_matches_dense_product() {
+        let m = sample();
+        let d = DenseMatrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let fast = m.transpose_mul_dense(&d);
+        let explicit = m.to_dense().transpose().matmul(&d);
+        assert!(fast.max_abs_diff(&explicit) < 1e-12);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 3));
+        assert_eq!(t.get(0, 2), 3.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn sums_and_norms() {
+        let m = sample();
+        assert_eq!(m.row_sums(), vec![3.0, 0.0, 7.0]);
+        assert_eq!(m.col_sums(), vec![4.0, 4.0, 2.0]);
+        assert_eq!(m.frobenius_sq(), 1.0 + 4.0 + 9.0 + 16.0);
+        assert_eq!(m.sum(), 10.0);
+    }
+
+    #[test]
+    fn inner_with_factored_matches_dense() {
+        let m = sample();
+        let a = DenseMatrix::from_vec(3, 2, vec![1.0, 0.5, 2.0, 1.0, 0.0, 3.0]).unwrap();
+        let b = DenseMatrix::from_vec(3, 2, vec![1.0, 1.0, 2.0, 0.0, 0.5, 2.0]).unwrap();
+        let fast = m.inner_with_factored(&a, &b);
+        let ab = a.matmul_transpose(&b);
+        let explicit = m.to_dense().frobenius_inner(&ab);
+        assert!((fast - explicit).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_rows_and_vstack() {
+        let m = sample();
+        let sel = m.select_rows(&[2, 0]);
+        assert_eq!(sel.get(0, 1), 4.0);
+        assert_eq!(sel.get(1, 0), 1.0);
+        let stacked = m.vstack(&sel);
+        assert_eq!(stacked.rows(), 5);
+        assert_eq!(stacked.get(3, 1), 4.0);
+        assert_eq!(stacked.nnz(), m.nnz() + sel.nnz());
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let sym =
+            CsrMatrix::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, 2.0), (0, 0, 1.0)]).unwrap();
+        assert!(sym.is_symmetric(0.0));
+        let asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 2.0)]).unwrap();
+        assert!(!asym.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn density_and_empty() {
+        assert_eq!(CsrMatrix::zeros(4, 5).density(), 0.0);
+        assert!((sample().density() - 4.0 / 9.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the linear-algebra kernels: algebraic
+//! identities that must hold for arbitrary matrices.
+
+use proptest::prelude::*;
+use tgs_linalg::{approx_error_bi, laplacian_quad, split_pos_neg, CsrMatrix, DenseMatrix};
+
+/// Strategy: a dense matrix with entries in [0, 10].
+fn dense(rows: usize, cols: usize) -> impl Strategy<Value = DenseMatrix> {
+    proptest::collection::vec(0.0..10.0f64, rows * cols)
+        .prop_map(move |data| DenseMatrix::from_vec(rows, cols, data).unwrap())
+}
+
+/// Strategy: signed dense matrix with entries in [-10, 10].
+fn signed_dense(rows: usize, cols: usize) -> impl Strategy<Value = DenseMatrix> {
+    proptest::collection::vec(-10.0..10.0f64, rows * cols)
+        .prop_map(move |data| DenseMatrix::from_vec(rows, cols, data).unwrap())
+}
+
+/// Strategy: sparse matrix from up to `max_nnz` random triplets.
+fn sparse(rows: usize, cols: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
+    proptest::collection::vec((0..rows, 0..cols, 0.1..5.0f64), 0..max_nnz)
+        .prop_map(move |trip| CsrMatrix::from_triplets(rows, cols, &trip).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn transpose_involution(a in dense(4, 6)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_associative(a in dense(3, 4), b in dense(4, 2), c in dense(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-8);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in dense(3, 4), b in dense(4, 2), c in dense(4, 2)) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-8);
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal(a in dense(6, 3)) {
+        let g = a.gram();
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((g.get(i, j) - g.get(j, i)).abs() < 1e-10);
+            }
+            prop_assert!(g.get(i, i) >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_of_product(a in dense(3, 4), b in dense(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.max_abs_diff(&right) < 1e-10);
+    }
+
+    #[test]
+    fn frobenius_triangle_inequality(a in signed_dense(4, 4), b in signed_dense(4, 4)) {
+        prop_assert!(a.add(&b).frobenius() <= a.frobenius() + b.frobenius() + 1e-9);
+    }
+
+    #[test]
+    fn split_pos_neg_invariants(d in signed_dense(3, 5)) {
+        let (p, n) = split_pos_neg(&d);
+        prop_assert!(p.is_nonnegative());
+        prop_assert!(n.is_nonnegative());
+        prop_assert!(p.sub(&n).max_abs_diff(&d) < 1e-12);
+        // Disjoint support: at most one of p, n is nonzero per entry.
+        for (x, y) in p.as_slice().iter().zip(n.as_slice()) {
+            prop_assert!(*x == 0.0 || *y == 0.0);
+        }
+    }
+
+    #[test]
+    fn sparse_roundtrip_through_dense(x in sparse(5, 7, 20)) {
+        let d = x.to_dense();
+        let mut trip = Vec::new();
+        for i in 0..5 {
+            for j in 0..7 {
+                if d.get(i, j) != 0.0 {
+                    trip.push((i, j, d.get(i, j)));
+                }
+            }
+        }
+        let back = CsrMatrix::from_triplets(5, 7, &trip).unwrap();
+        prop_assert_eq!(back, x);
+    }
+
+    #[test]
+    fn sparse_mul_dense_equals_dense_mul(x in sparse(5, 7, 20), d in dense(7, 3)) {
+        let fast = x.mul_dense(&d);
+        let slow = x.to_dense().matmul(&d);
+        prop_assert!(fast.max_abs_diff(&slow) < 1e-9);
+    }
+
+    #[test]
+    fn sparse_transpose_mul_dense_equals_dense(x in sparse(5, 7, 20), d in dense(5, 3)) {
+        let fast = x.transpose_mul_dense(&d);
+        let slow = x.to_dense().transpose().matmul(&d);
+        prop_assert!(fast.max_abs_diff(&slow) < 1e-9);
+    }
+
+    #[test]
+    fn sparse_transpose_preserves_entries(x in sparse(6, 4, 15)) {
+        let t = x.transpose();
+        prop_assert_eq!(t.nnz(), x.nnz());
+        for (i, j, v) in x.iter() {
+            prop_assert_eq!(t.get(j, i), v);
+        }
+    }
+
+    #[test]
+    fn approx_error_bi_nonnegative_and_matches_dense(
+        x in sparse(4, 5, 12), a in dense(4, 2), b in dense(5, 2)
+    ) {
+        let fast = approx_error_bi(&x, &a, &b);
+        let slow = x.to_dense().sub(&a.matmul_transpose(&b)).frobenius_sq();
+        prop_assert!(fast >= 0.0);
+        prop_assert!((fast - slow).abs() < 1e-6 * (1.0 + slow));
+    }
+
+    #[test]
+    fn laplacian_quad_nonnegative_on_symmetric_graphs(
+        edges in proptest::collection::vec((0usize..6, 0usize..6, 0.1..2.0f64), 0..10),
+        s in dense(6, 3),
+    ) {
+        // Symmetrize: add both directions, skip self-loops.
+        let mut trip = Vec::new();
+        for (i, j, w) in edges {
+            if i != j {
+                trip.push((i, j, w));
+                trip.push((j, i, w));
+            }
+        }
+        let g = CsrMatrix::from_triplets(6, 6, &trip).unwrap();
+        let deg = g.row_sums();
+        let q = laplacian_quad(&g, &deg, &s);
+        prop_assert!(q >= -1e-9, "Laplacian quadratic form must be PSD, got {q}");
+    }
+
+    #[test]
+    fn row_sums_match_iteration(x in sparse(5, 5, 15)) {
+        let sums = x.row_sums();
+        for (i, &s) in sums.iter().enumerate() {
+            let manual: f64 = x.iter_row(i).map(|(_, v)| v).sum();
+            prop_assert!((s - manual).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! End-to-end text pipeline: raw tweets → vocabulary → `Xp`, `Xu`, `Sf0`.
+//!
+//! This is the front door most callers want: feed it raw text with user
+//! ids, get back everything the tri-clustering framework needs on the
+//! text side.
+
+use tgs_linalg::{CsrMatrix, DenseMatrix};
+
+use crate::lexicon::Lexicon;
+use crate::tfidf::{Vectorizer, Weighting};
+use crate::token::{tokenize_features, TokenizerConfig};
+use crate::vocab::{VocabConfig, Vocabulary};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfig {
+    /// Tokenizer settings.
+    pub tokenizer: TokenizerConfig,
+    /// Vocabulary settings.
+    pub vocab: VocabConfig,
+    /// Term weighting for `Xp` / `Xu`.
+    pub weighting: Weighting,
+    /// Lexicon confidence mass for `Sf0` rows (see
+    /// [`Lexicon::prior_matrix`]).
+    pub lexicon_confidence: f64,
+}
+
+impl PipelineConfig {
+    /// Default with the paper-style settings (tf-idf, 0.8 lexicon mass).
+    pub fn paper_defaults() -> Self {
+        Self {
+            tokenizer: TokenizerConfig::default(),
+            vocab: VocabConfig::default(),
+            weighting: Weighting::TfIdf,
+            lexicon_confidence: 0.8,
+        }
+    }
+}
+
+/// Output of the text pipeline.
+#[derive(Debug, Clone)]
+pub struct TextMatrices {
+    /// Frozen vocabulary (feature layer `F`).
+    pub vocab: Vocabulary,
+    /// Tweet–feature matrix `Xp` (`n × l`).
+    pub xp: CsrMatrix,
+    /// User–feature matrix `Xu` (`m × l`).
+    pub xu: CsrMatrix,
+    /// Feature-sentiment prior `Sf0` (`l × k`).
+    pub sf0: DenseMatrix,
+    /// Encoded documents (feature ids per tweet), for downstream reuse.
+    pub encoded: Vec<Vec<usize>>,
+}
+
+/// Runs the full pipeline.
+///
+/// * `texts[i]` is the raw text of tweet `i`;
+/// * `doc_user[i]` is the (dense, `0..num_users`) id of its author;
+/// * `lexicon` seeds the `Sf0` prior;
+/// * `k` is the number of sentiment classes.
+pub fn build_text_matrices(
+    texts: &[String],
+    doc_user: &[usize],
+    num_users: usize,
+    lexicon: &Lexicon,
+    k: usize,
+    config: &PipelineConfig,
+) -> TextMatrices {
+    assert_eq!(texts.len(), doc_user.len(), "one author per tweet required");
+    let tokenized: Vec<Vec<String>> =
+        texts.iter().map(|t| tokenize_features(t, &config.tokenizer)).collect();
+    let vocab = Vocabulary::build(
+        tokenized.iter().map(|d| d.iter().map(String::as_str)),
+        &config.vocab,
+    );
+    let encoded: Vec<Vec<usize>> =
+        tokenized.iter().map(|d| vocab.encode(d.iter().map(String::as_str))).collect();
+    let vectorizer = Vectorizer::fit(&vocab, &encoded, config.weighting);
+    let xp = vectorizer.doc_feature_matrix(&encoded);
+    let xu = vectorizer.user_feature_matrix(&encoded, doc_user, num_users);
+    let sf0 = lexicon.prior_matrix(&vocab, k, config.lexicon_confidence);
+    TextMatrices { vocab, xp, xu, sf0, encoded }
+}
+
+/// Builds matrices from pre-tokenized documents (the synthetic generator
+/// produces tokens directly, skipping raw text).
+pub fn build_from_tokens(
+    docs: &[Vec<String>],
+    doc_user: &[usize],
+    num_users: usize,
+    lexicon: &Lexicon,
+    k: usize,
+    config: &PipelineConfig,
+) -> TextMatrices {
+    assert_eq!(docs.len(), doc_user.len(), "one author per document required");
+    let vocab =
+        Vocabulary::build(docs.iter().map(|d| d.iter().map(String::as_str)), &config.vocab);
+    let encoded: Vec<Vec<usize>> =
+        docs.iter().map(|d| vocab.encode(d.iter().map(String::as_str))).collect();
+    let vectorizer = Vectorizer::fit(&vocab, &encoded, config.weighting);
+    let xp = vectorizer.doc_feature_matrix(&encoded);
+    let xu = vectorizer.user_feature_matrix(&encoded, doc_user, num_users);
+    let sf0 = lexicon.prior_matrix(&vocab, k, config.lexicon_confidence);
+    TextMatrices { vocab, xp, xu, sf0, encoded }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sentiment::Sentiment;
+
+    #[test]
+    fn pipeline_end_to_end_shapes() {
+        let texts = vec![
+            "Support the #GMO Labeling Ballot Initiative #prop37".to_string(),
+            "Monsanto is pure evil".to_string(),
+            "GM crops poses no greater risk than conventional food".to_string(),
+            "Love this Yes on #Prop37 add :)".to_string(),
+        ];
+        let users = vec![0, 1, 1, 0];
+        let lexicon = Lexicon::from_word_lists(&["love", "support"], &["evil", "risk"]);
+        let mut cfg = PipelineConfig::paper_defaults();
+        cfg.vocab.min_count = 1;
+        let out = build_text_matrices(&texts, &users, 2, &lexicon, 3, &cfg);
+        assert_eq!(out.xp.rows(), 4);
+        assert_eq!(out.xu.rows(), 2);
+        assert_eq!(out.xp.cols(), out.vocab.len());
+        assert_eq!(out.xu.cols(), out.vocab.len());
+        assert_eq!(out.sf0.shape(), (out.vocab.len(), 3));
+        // lexicon word present in vocab ends up with high prior on its class
+        let evil = out.vocab.id("evil").unwrap();
+        assert!(out.sf0.get(evil, Sentiment::Negative.index()) > 0.5);
+    }
+
+    #[test]
+    fn user_rows_aggregate_multiple_tweets() {
+        let texts = vec!["gmo gmo labeling".to_string(), "gmo safe".to_string()];
+        let users = vec![0, 0];
+        let mut cfg = PipelineConfig::paper_defaults();
+        cfg.vocab.min_count = 1;
+        cfg.weighting = Weighting::Counts;
+        let out = build_text_matrices(&texts, &users, 1, &Lexicon::new(), 3, &cfg);
+        let gmo = out.vocab.id("gmo").unwrap();
+        assert_eq!(out.xu.get(0, gmo), 3.0);
+    }
+
+    #[test]
+    fn build_from_tokens_matches_manual_encoding() {
+        let docs = vec![
+            vec!["alpha".to_string(), "beta".to_string()],
+            vec!["beta".to_string(), "beta".to_string()],
+        ];
+        let mut cfg = PipelineConfig::paper_defaults();
+        cfg.vocab.min_count = 1;
+        cfg.weighting = Weighting::Counts;
+        let out = build_from_tokens(&docs, &[0, 1], 2, &Lexicon::new(), 2, &cfg);
+        let beta = out.vocab.id("beta").unwrap();
+        assert_eq!(out.xp.get(1, beta), 2.0);
+        assert_eq!(out.encoded[1].len(), 2);
+    }
+}

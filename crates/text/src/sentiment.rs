@@ -1,0 +1,70 @@
+//! The sentiment label domain shared across the workspace.
+
+/// A sentiment class. The paper clusters into `k = 2` (pos/neg) or
+/// `k = 3` (pos/neg/neu) classes; the numeric discriminants are the
+/// canonical cluster-column indices used by every factor matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sentiment {
+    /// Positive attitude toward the topic.
+    Positive = 0,
+    /// Negative attitude toward the topic.
+    Negative = 1,
+    /// Neutral / no clear attitude.
+    Neutral = 2,
+}
+
+impl Sentiment {
+    /// All three classes in canonical column order.
+    pub const ALL: [Sentiment; 3] = [Sentiment::Positive, Sentiment::Negative, Sentiment::Neutral];
+
+    /// Canonical column index of this class.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Sentiment::index`]; `None` for indices `>= 3`.
+    pub fn from_index(i: usize) -> Option<Sentiment> {
+        match i {
+            0 => Some(Sentiment::Positive),
+            1 => Some(Sentiment::Negative),
+            2 => Some(Sentiment::Neutral),
+            _ => None,
+        }
+    }
+
+    /// Short lowercase name (`pos` / `neg` / `neu`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Sentiment::Positive => "pos",
+            Sentiment::Negative => "neg",
+            Sentiment::Neutral => "neu",
+        }
+    }
+}
+
+impl std::fmt::Display for Sentiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for s in Sentiment::ALL {
+            assert_eq!(Sentiment::from_index(s.index()), Some(s));
+        }
+        assert_eq!(Sentiment::from_index(3), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Sentiment::Positive.to_string(), "pos");
+        assert_eq!(Sentiment::Negative.to_string(), "neg");
+        assert_eq!(Sentiment::Neutral.to_string(), "neu");
+    }
+}

@@ -1,0 +1,257 @@
+//! Term weighting: building the tweet–feature matrix `Xp` and the
+//! user–feature matrix `Xu` from encoded documents.
+
+use tgs_linalg::CsrMatrix;
+
+use crate::vocab::Vocabulary;
+
+/// Term weighting schemes for document vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Weighting {
+    /// Raw term counts.
+    Counts,
+    /// Presence/absence.
+    Binary,
+    /// Term frequency × smoothed inverse document frequency
+    /// (`idf = ln((1 + N) / (1 + df)) + 1`), the paper's "tf-idf term
+    /// vector representation".
+    #[default]
+    TfIdf,
+}
+
+/// Builds document vectors over a fixed vocabulary.
+#[derive(Debug, Clone)]
+pub struct Vectorizer {
+    weighting: Weighting,
+    /// Smoothed idf per feature (all ones for non-tf-idf schemes).
+    idf: Vec<f64>,
+    vocab_len: usize,
+    /// L2-normalize each document/user vector. Standard for tf-idf and
+    /// essential for the paper's regularization weights: with raw
+    /// magnitudes the Frobenius data terms dwarf `α‖Sf−Sf0‖²` and
+    /// `β·tr(SuᵀLuSu)` by orders of magnitude and α, β ∈ [0, 1] become
+    /// inert.
+    l2_normalize: bool,
+}
+
+impl Vectorizer {
+    /// Fits idf statistics on `docs` (documents as feature-id slices).
+    /// Vectors stay raw (the scale the tri-clustering solver is balanced
+    /// for); use [`Vectorizer::fit_with_norm`] for L2-normalized rows.
+    pub fn fit(vocab: &Vocabulary, docs: &[Vec<usize>], weighting: Weighting) -> Self {
+        Self::fit_with_norm(vocab, docs, weighting, false)
+    }
+
+    /// [`Vectorizer::fit`] with explicit control over L2 normalization.
+    pub fn fit_with_norm(
+        vocab: &Vocabulary,
+        docs: &[Vec<usize>],
+        weighting: Weighting,
+        l2_normalize: bool,
+    ) -> Self {
+        let mut df = vec![0u64; vocab.len()];
+        for doc in docs {
+            let mut seen = doc.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            for &f in &seen {
+                df[f] += 1;
+            }
+        }
+        let n = docs.len() as f64;
+        let idf = match weighting {
+            Weighting::TfIdf => {
+                df.iter().map(|&d| ((1.0 + n) / (1.0 + d as f64)).ln() + 1.0).collect()
+            }
+            _ => vec![1.0; vocab.len()],
+        };
+        Self { weighting, idf, vocab_len: vocab.len(), l2_normalize }
+    }
+
+    /// Number of features this vectorizer emits.
+    pub fn num_features(&self) -> usize {
+        self.vocab_len
+    }
+
+    /// Weights a single encoded document into `(feature, weight)` pairs.
+    pub fn transform_doc(&self, doc: &[usize]) -> Vec<(usize, f64)> {
+        let mut counts: Vec<(usize, f64)> = Vec::with_capacity(doc.len());
+        let mut sorted = doc.to_vec();
+        sorted.sort_unstable();
+        let mut i = 0;
+        while i < sorted.len() {
+            let f = sorted[i];
+            let mut c = 0.0;
+            while i < sorted.len() && sorted[i] == f {
+                c += 1.0;
+                i += 1;
+            }
+            let w = match self.weighting {
+                Weighting::Counts => c,
+                Weighting::Binary => 1.0,
+                Weighting::TfIdf => c * self.idf[f],
+            };
+            counts.push((f, w));
+        }
+        if self.l2_normalize {
+            normalize_l2(&mut counts);
+        }
+        counts
+    }
+
+    /// Builds the document–feature matrix (`docs.len() × vocab`) —
+    /// the paper's `Xp` when documents are tweets.
+    pub fn doc_feature_matrix(&self, docs: &[Vec<usize>]) -> CsrMatrix {
+        let mut triplets = Vec::new();
+        for (d, doc) in docs.iter().enumerate() {
+            for (f, w) in self.transform_doc(doc) {
+                triplets.push((d, f, w));
+            }
+        }
+        CsrMatrix::from_triplets(docs.len(), self.vocab_len, &triplets)
+            .expect("vectorizer produces in-bounds triplets")
+    }
+
+    /// Builds the user–feature matrix (`num_users × vocab`) by summing the
+    /// weighted vectors of each user's documents — the paper's `Xu`
+    /// ("users can be characterized by the word features of their tweets").
+    /// User rows are L2-normalized when the vectorizer normalizes, so a
+    /// prolific user's row stays on the same scale as everyone else's.
+    pub fn user_feature_matrix(
+        &self,
+        docs: &[Vec<usize>],
+        doc_user: &[usize],
+        num_users: usize,
+    ) -> CsrMatrix {
+        assert_eq!(docs.len(), doc_user.len(), "one user per document required");
+        let mut per_user: Vec<std::collections::HashMap<usize, f64>> =
+            vec![std::collections::HashMap::new(); num_users];
+        for (doc, &u) in docs.iter().zip(doc_user.iter()) {
+            assert!(u < num_users, "user id {u} out of range ({num_users} users)");
+            for (f, w) in self.transform_doc(doc) {
+                *per_user[u].entry(f).or_insert(0.0) += w;
+            }
+        }
+        let mut triplets = Vec::new();
+        for (u, feats) in per_user.into_iter().enumerate() {
+            let mut row: Vec<(usize, f64)> = feats.into_iter().collect();
+            if self.l2_normalize {
+                normalize_l2(&mut row);
+            }
+            for (f, w) in row {
+                triplets.push((u, f, w));
+            }
+        }
+        CsrMatrix::from_triplets(num_users, self.vocab_len, &triplets)
+            .expect("vectorizer produces in-bounds triplets")
+    }
+}
+
+fn normalize_l2(entries: &mut [(usize, f64)]) {
+    let norm: f64 = entries.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for (_, w) in entries.iter_mut() {
+            *w /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocabulary;
+
+    fn setup() -> (Vocabulary, Vec<Vec<usize>>) {
+        let vocab = Vocabulary::from_tokens(["gmo", "labeling", "evil", "safe"]);
+        let docs = vec![
+            vocab.encode(["gmo", "labeling", "gmo"]),
+            vocab.encode(["evil", "gmo"]),
+            vocab.encode(["safe"]),
+        ];
+        (vocab, docs)
+    }
+
+    #[test]
+    fn counts_weighting_counts_occurrences() {
+        let (vocab, docs) = setup();
+        let v = Vectorizer::fit(&vocab, &docs, Weighting::Counts);
+        let x = v.doc_feature_matrix(&docs);
+        assert_eq!(x.get(0, vocab.id("gmo").unwrap()), 2.0);
+        assert_eq!(x.get(0, vocab.id("labeling").unwrap()), 1.0);
+        assert_eq!(x.get(2, vocab.id("safe").unwrap()), 1.0);
+    }
+
+    #[test]
+    fn binary_weighting_caps_at_one() {
+        let (vocab, docs) = setup();
+        let v = Vectorizer::fit(&vocab, &docs, Weighting::Binary);
+        let x = v.doc_feature_matrix(&docs);
+        assert_eq!(x.get(0, vocab.id("gmo").unwrap()), 1.0);
+    }
+
+    #[test]
+    fn tfidf_downweights_common_terms() {
+        let (vocab, docs) = setup();
+        let v = Vectorizer::fit(&vocab, &docs, Weighting::TfIdf);
+        let x = v.doc_feature_matrix(&docs);
+        // "gmo" appears in 2 of 3 docs, "evil" in 1: idf(evil) > idf(gmo).
+        let gmo_w = x.get(1, vocab.id("gmo").unwrap());
+        let evil_w = x.get(1, vocab.id("evil").unwrap());
+        assert!(evil_w > gmo_w, "evil={evil_w} gmo={gmo_w}");
+    }
+
+    #[test]
+    fn tfidf_rows_are_l2_normalized() {
+        let (vocab, docs) = setup();
+        let v = Vectorizer::fit_with_norm(&vocab, &docs, Weighting::TfIdf, true);
+        let x = v.doc_feature_matrix(&docs);
+        for i in 0..x.rows() {
+            let norm: f64 = x.iter_row(i).map(|(_, w)| w * w).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9, "row {i} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn counts_stay_raw_unless_asked() {
+        let (vocab, docs) = setup();
+        let v = Vectorizer::fit(&vocab, &docs, Weighting::Counts);
+        let x = v.doc_feature_matrix(&docs);
+        assert_eq!(x.get(0, vocab.id("gmo").unwrap()), 2.0);
+        let vn = Vectorizer::fit_with_norm(&vocab, &docs, Weighting::Counts, true);
+        let xn = vn.doc_feature_matrix(&docs);
+        assert!(xn.get(0, vocab.id("gmo").unwrap()) < 1.0);
+    }
+
+    #[test]
+    fn user_rows_l2_normalized_for_tfidf() {
+        let (vocab, docs) = setup();
+        let v = Vectorizer::fit_with_norm(&vocab, &docs, Weighting::TfIdf, true);
+        let xu = v.user_feature_matrix(&docs, &[0, 0, 1], 2);
+        for i in 0..2 {
+            let norm: f64 = xu.iter_row(i).map(|(_, w)| w * w).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9, "user row {i} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn user_matrix_aggregates_docs() {
+        let (vocab, docs) = setup();
+        let v = Vectorizer::fit(&vocab, &docs, Weighting::Counts);
+        // Docs 0 and 1 belong to user 0, doc 2 to user 1.
+        let xu = v.user_feature_matrix(&docs, &[0, 0, 1], 2);
+        assert_eq!(xu.rows(), 2);
+        assert_eq!(xu.get(0, vocab.id("gmo").unwrap()), 3.0);
+        assert_eq!(xu.get(1, vocab.id("safe").unwrap()), 1.0);
+        assert_eq!(xu.get(1, vocab.id("gmo").unwrap()), 0.0);
+    }
+
+    #[test]
+    fn empty_docs_produce_empty_rows() {
+        let (vocab, mut docs) = setup();
+        docs.push(vec![]);
+        let v = Vectorizer::fit(&vocab, &docs, Weighting::TfIdf);
+        let x = v.doc_feature_matrix(&docs);
+        assert_eq!(x.rows(), 4);
+        assert_eq!(x.iter_row(3).count(), 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! The paper's headline scenario: analyze stances toward a California
+//! ballot proposition and compare the unsupervised tri-clustering
+//! framework against supervised and unsupervised baselines.
+//!
+//! ```text
+//! cargo run --release --example california_ballot
+//! ```
+
+use tripartite_sentiment::prelude::*;
+
+fn main() {
+    // A ~2k-tweet Proposition 30 corpus ("Temporary Taxes to Fund
+    // Education").
+    let corpus = generate(&presets::prop30_small(2012));
+    let stats = corpus_stats(&corpus);
+    println!("== Proposition 30 (synthetic) ==");
+    println!(
+        "labeled tweets: {} pos / {} neg; users: {} labeled / {} unlabeled\n",
+        stats.labeled_pos_tweets,
+        stats.labeled_neg_tweets,
+        stats.total_users - stats.unlabeled_users,
+        stats.unlabeled_users
+    );
+
+    let mut pipe = PipelineConfig::paper_defaults();
+    pipe.vocab.min_count = 2;
+    let inst = build_offline(&corpus, 3, &pipe);
+    let input = TriInput {
+        xp: &inst.xp,
+        xu: &inst.xu,
+        xr: &inst.xr,
+        graph: &inst.graph,
+        sf0: &inst.sf0,
+    };
+
+    // Tri-clustering: no labels used at all.
+    let tri = solve_offline(&input, &OfflineConfig::default());
+
+    // Supervised Naive Bayes using the visible tweet labels.
+    let nb = NaiveBayes::train(&inst.encoded, &inst.tweet_labels, inst.vocab.len(), 3, 1.0);
+    let nb_pred = nb.predict_all(&inst.encoded);
+
+    // Unsupervised ESSA: text + lexicon only (no users, no graph).
+    let essa = solve_essa(
+        &inst.xp,
+        &inst.sf0,
+        None,
+        &EssaConfig { k: 3, ..Default::default() },
+    );
+
+    println!("{:<22} {:>10} {:>10}", "method", "tweet acc", "user acc");
+    // The paper evaluates tweets on the labeled (pos/neg) subset — Table 3
+    // has no neutral tweets — so restrict to polar ground truth.
+    let polar: Vec<usize> = (0..inst.tweet_truth.len())
+        .filter(|&i| inst.tweet_truth[i] != Sentiment::Neutral.index())
+        .collect();
+    let tweet_acc = |pred: &[usize]| {
+        let p: Vec<usize> = polar.iter().map(|&i| pred[i]).collect();
+        let t: Vec<usize> = polar.iter().map(|&i| inst.tweet_truth[i]).collect();
+        clustering_accuracy(&p, &t)
+    };
+    let user_acc = |pred: &[usize]| clustering_accuracy(pred, &inst.user_truth);
+    println!("{:<22} {:>10.3} {:>10}", "NB (supervised)", tweet_acc(&nb_pred), "-");
+    println!(
+        "{:<22} {:>10.3} {:>10}",
+        "ESSA (unsupervised)",
+        tweet_acc(&essa.tweet_labels()),
+        "-"
+    );
+    println!(
+        "{:<22} {:>10.3} {:>10.3}",
+        "Tri-clustering",
+        tweet_acc(&tri.tweet_labels()),
+        user_acc(&tri.user_labels())
+    );
+
+    // Which users does the graph regularizer help? Show the stance
+    // distribution of the most active users.
+    println!("\nmost active users and their inferred stance:");
+    let mut users: Vec<_> = corpus.users.iter().collect();
+    users.sort_by(|a, b| b.activity.partial_cmp(&a.activity).unwrap());
+    let labels = tri.user_labels();
+    for u in users.iter().take(5) {
+        let class = Sentiment::from_index(labels[u.id]).map(|s| s.as_str()).unwrap_or("?");
+        println!(
+            "  user {:>3}: inferred {:>3}, true {:>3}, {} re-tweet partners",
+            u.id,
+            class,
+            u.trajectory.majority_stance(corpus.num_days),
+            inst.graph.neighbors(u.id).count()
+        );
+    }
+}

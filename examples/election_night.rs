@@ -1,0 +1,97 @@
+//! Election-night burst handling: compare the online solver against the
+//! mini-batch and full-batch strawmen while tweet volume spikes (the
+//! iPhone5-release scenario of the introduction, and Figs. 11–12).
+//!
+//! ```text
+//! cargo run --release --example election_night
+//! ```
+
+use std::time::Instant;
+
+use tripartite_sentiment::prelude::*;
+
+fn main() {
+    let corpus = generate(&presets::prop30_small(5));
+    let counts = daily_tweet_counts(&corpus);
+    let burst_day = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .map(|(d, _)| d as u32)
+        .unwrap_or(0);
+    println!(
+        "peak volume on day {burst_day}: {} tweets (baseline ~{} tweets/day)\n",
+        counts[burst_day as usize],
+        counts.iter().sum::<usize>() / counts.len().max(1)
+    );
+
+    let mut pipe = PipelineConfig::paper_defaults();
+    pipe.vocab.min_count = 2;
+    let builder = SnapshotBuilder::new(&corpus, 3, &pipe);
+
+    let mut online = OnlineSolver::new(OnlineConfig::default());
+    let mut mini = MiniBatch::new(OfflineConfig::default());
+    let mut full = FullBatch::new(OfflineConfig::default());
+
+    println!(
+        "{:<8} {:>6} | {:>9} {:>9} {:>9} | {:>7} {:>7} {:>7}",
+        "days", "n(t)", "online ms", "mini ms", "full ms", "on acc", "mini", "full"
+    );
+    for (lo, hi) in day_windows(corpus.num_days, 2) {
+        let snap = builder.snapshot(&corpus, lo, hi);
+        if snap.tweet_ids.is_empty() {
+            continue;
+        }
+        let acc = |labels: &[usize]| clustering_accuracy(labels, &snap.tweet_truth);
+
+        let input = TriInput {
+            xp: &snap.xp,
+            xu: &snap.xu,
+            xr: &snap.xr,
+            graph: &snap.graph,
+            sf0: builder.sf0(),
+        };
+        let t = Instant::now();
+        let on = online.step(&SnapshotData { input, user_ids: &snap.user_ids });
+        let online_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let mb = mini.step(&input);
+
+        // full-batch re-solves everything so far
+        let cumulative = builder.snapshot(&corpus, 0, hi);
+        let cum_input = TriInput {
+            xp: &cumulative.xp,
+            xu: &cumulative.xu,
+            xr: &cumulative.xr,
+            graph: &cumulative.graph,
+            sf0: builder.sf0(),
+        };
+        let fb = full.step(&cum_input);
+        // slice the cumulative solution down to this snapshot's tweets
+        let fb_labels_all = fb.result.tweet_labels();
+        let fb_labels: Vec<usize> = snap
+            .tweet_ids
+            .iter()
+            .map(|id| {
+                let row = cumulative.tweet_ids.iter().position(|t| t == id).unwrap();
+                fb_labels_all[row]
+            })
+            .collect();
+
+        println!(
+            "{:<8} {:>6} | {:>9.1} {:>9.1} {:>9.1} | {:>6.1}% {:>6.1}% {:>6.1}%",
+            format!("{lo}-{hi}"),
+            snap.tweet_ids.len(),
+            online_ms,
+            mb.elapsed.as_secs_f64() * 1e3,
+            fb.elapsed.as_secs_f64() * 1e3,
+            100.0 * acc(&on.tweet_labels()),
+            100.0 * acc(&mb.result.tweet_labels()),
+            100.0 * acc(&fb_labels),
+        );
+    }
+    println!(
+        "\nthe online solver's cost tracks n(t) while full-batch grows with *all* data \
+         accumulated so far — exactly the paper's Figs. 11(a)/12(a)."
+    );
+}

@@ -1,0 +1,71 @@
+//! Quickstart: generate a small corpus, co-cluster the tripartite graph,
+//! and read out tweet-level and user-level sentiments.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tripartite_sentiment::prelude::*;
+
+fn main() {
+    // 1. A corpus standing in for a Twitter crawl (300 tweets, 30 users).
+    let corpus = generate(&presets::tiny(42));
+    println!(
+        "corpus: {} tweets, {} users, {} re-tweets over {} days",
+        corpus.num_tweets(),
+        corpus.num_users(),
+        corpus.retweets.len(),
+        corpus.num_days
+    );
+
+    // 2. Build the tripartite matrices: Xp (tweet-feature), Xu
+    //    (user-feature), Xr (user-tweet), Gu (user-user re-tweet graph)
+    //    and the lexicon prior Sf0.
+    let mut pipe = PipelineConfig::paper_defaults();
+    pipe.vocab.min_count = 2;
+    let inst = build_offline(&corpus, 3, &pipe);
+    println!(
+        "matrices: Xp {}x{} ({} nnz), Xu {}x{}, Xr {}x{}, Gu with {} edges",
+        inst.xp.rows(),
+        inst.xp.cols(),
+        inst.xp.nnz(),
+        inst.xu.rows(),
+        inst.xu.cols(),
+        inst.xr.rows(),
+        inst.xr.cols(),
+        inst.graph.num_edges()
+    );
+
+    // 3. Solve the joint co-clustering problem (Algorithm 1).
+    let input = TriInput {
+        xp: &inst.xp,
+        xu: &inst.xu,
+        xr: &inst.xr,
+        graph: &inst.graph,
+        sf0: &inst.sf0,
+    };
+    let result = solve_offline(&input, &OfflineConfig::default());
+    println!(
+        "solved in {} iterations (converged: {}), objective {:.1}",
+        result.iterations, result.converged, result.objective
+    );
+
+    // 4. Evaluate against the generator's ground truth.
+    let tweet_acc = clustering_accuracy(&result.tweet_labels(), &inst.tweet_truth);
+    let user_acc = clustering_accuracy(&result.user_labels(), &inst.user_truth);
+    let tweet_nmi = nmi(&result.tweet_labels(), &inst.tweet_truth);
+    println!("tweet-level: accuracy {tweet_acc:.3}, NMI {tweet_nmi:.3}");
+    println!("user-level:  accuracy {user_acc:.3}");
+
+    // 5. Inspect a few tweets with their inferred sentiment cluster.
+    let labels = result.tweet_labels();
+    println!("\nsample tweets (cluster = argmax of Sp row):");
+    for tweet in corpus.tweets.iter().take(5) {
+        println!(
+            "  [cluster {}] (truth: {}) {}",
+            labels[tweet.id],
+            tweet.sentiment,
+            tweet.tokens.join(" ")
+        );
+    }
+}

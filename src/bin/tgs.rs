@@ -1,0 +1,243 @@
+//! `tgs` — command-line front end for the tripartite sentiment pipeline.
+//!
+//! ```text
+//! tgs generate --preset prop30-small --seed 42 --out corpus.tsv
+//! tgs analyze  --corpus corpus.tsv [--alpha 0.05 --beta 0.8 --k 3] --out sentiments.tsv
+//! tgs stream   --corpus corpus.tsv [--window-days 1 --gamma 0.2] --out timeline.tsv
+//! tgs stats    --corpus corpus.tsv
+//! ```
+//!
+//! `generate` writes a synthetic corpus in the TSV interchange format;
+//! `analyze` runs the offline tri-clustering solver (Algorithm 1) and
+//! writes per-tweet and per-user sentiment assignments; `stream` runs the
+//! online solver (Algorithm 2) over daily snapshots and writes the
+//! per-timestamp results; `stats` prints Table 3-style statistics.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+use tripartite_sentiment::data::{presets, read_corpus, write_corpus, Corpus};
+use tripartite_sentiment::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "analyze" => cmd_analyze(&flags),
+        "stream" => cmd_stream(&flags),
+        "stats" => cmd_stats(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+tgs — tripartite graph co-clustering for dynamic sentiment analysis
+
+USAGE:
+  tgs generate --preset <tiny|prop30-small|prop37-small|prop30|prop37>
+               [--seed N] --out <corpus.tsv>
+  tgs analyze  --corpus <corpus.tsv> [--k N] [--alpha F] [--beta F]
+               [--iters N] [--seed N] --out <sentiments.tsv>
+  tgs stream   --corpus <corpus.tsv> [--window-days N] [--alpha F]
+               [--beta F] [--gamma F] [--tau F] --out <timeline.tsv>
+  tgs stats    --corpus <corpus.tsv>";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("expected --flag, got '{a}'"));
+        };
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: '{v}'")),
+    }
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags.get(key).map(String::as_str).ok_or_else(|| format!("--{key} is required"))
+}
+
+fn load_corpus(flags: &HashMap<String, String>) -> Result<Corpus, String> {
+    let path = required(flags, "corpus")?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_corpus(BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed: u64 = flag(flags, "seed", 42)?;
+    let preset = required(flags, "preset")?;
+    let cfg = match preset {
+        "tiny" => presets::tiny(seed),
+        "prop30-small" => presets::prop30_small(seed),
+        "prop37-small" => presets::prop37_small(seed),
+        "prop30" => presets::prop30(seed),
+        "prop37" => presets::prop37(seed),
+        other => return Err(format!("unknown preset '{other}'")),
+    };
+    let corpus = generate(&cfg);
+    let out_path = required(flags, "out")?;
+    let out = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    write_corpus(&corpus, BufWriter::new(out)).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} tweets, {} users, {} retweets over {} days to {out_path}",
+        corpus.num_tweets(),
+        corpus.num_users(),
+        corpus.retweets.len(),
+        corpus.num_days
+    );
+    Ok(())
+}
+
+fn pipeline() -> PipelineConfig {
+    let mut cfg = PipelineConfig::paper_defaults();
+    cfg.vocab.min_count = 2;
+    cfg
+}
+
+fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(flags)?;
+    let k: usize = flag(flags, "k", 3)?;
+    let config = OfflineConfig {
+        k,
+        alpha: flag(flags, "alpha", 0.05)?,
+        beta: flag(flags, "beta", 0.8)?,
+        max_iters: flag(flags, "iters", 100)?,
+        seed: flag(flags, "seed", 42)?,
+        ..Default::default()
+    };
+    let inst = build_offline(&corpus, k, &pipeline());
+    let input = TriInput {
+        xp: &inst.xp,
+        xu: &inst.xu,
+        xr: &inst.xr,
+        graph: &inst.graph,
+        sf0: &inst.sf0,
+    };
+    let result = solve_offline(&input, &config);
+    eprintln!(
+        "solved in {} iterations (converged: {}); objective {:.2}",
+        result.iterations, result.converged, result.objective
+    );
+    let out_path = required(flags, "out")?;
+    let mut out = BufWriter::new(
+        File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?,
+    );
+    let name = |c: usize| Sentiment::from_index(c).map(|s| s.as_str()).unwrap_or("?");
+    writeln!(out, "# kind\tid\tsentiment\tconfidence").map_err(|e| e.to_string())?;
+    let tweet_conf = tripartite_sentiment::core::label_confidence(&result.factors.sp);
+    for (id, (&label, conf)) in
+        result.tweet_labels().iter().zip(tweet_conf.iter()).enumerate()
+    {
+        writeln!(out, "tweet\t{id}\t{}\t{conf:.3}", name(label)).map_err(|e| e.to_string())?;
+    }
+    let user_conf = tripartite_sentiment::core::label_confidence(&result.factors.su);
+    for (id, (&label, conf)) in result.user_labels().iter().zip(user_conf.iter()).enumerate() {
+        writeln!(out, "user\t{id}\t{}\t{conf:.3}", name(label)).map_err(|e| e.to_string())?;
+    }
+    eprintln!("wrote sentiments to {out_path}");
+    Ok(())
+}
+
+fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(flags)?;
+    let window: u32 = flag(flags, "window-days", 1)?;
+    let config = OnlineConfig {
+        alpha: flag(flags, "alpha", 0.9)?,
+        beta: flag(flags, "beta", 0.8)?,
+        gamma: flag(flags, "gamma", 0.2)?,
+        tau: flag(flags, "tau", 0.9)?,
+        max_iters: flag(flags, "iters", 40)?,
+        seed: flag(flags, "seed", 42)?,
+        ..Default::default()
+    };
+    let builder = SnapshotBuilder::new(&corpus, config.k, &pipeline());
+    let mut solver = OnlineSolver::new(config);
+    let out_path = required(flags, "out")?;
+    let mut out = BufWriter::new(
+        File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?,
+    );
+    writeln!(out, "# day_lo\tday_hi\ttweets\tusers\tnew\tevolving\tpos%\tneg%\tneu%")
+        .map_err(|e| e.to_string())?;
+    for (lo, hi) in day_windows(corpus.num_days, window) {
+        let snap = builder.snapshot(&corpus, lo, hi);
+        if snap.tweet_ids.is_empty() {
+            continue;
+        }
+        let input = TriInput {
+            xp: &snap.xp,
+            xu: &snap.xu,
+            xr: &snap.xr,
+            graph: &snap.graph,
+            sf0: builder.sf0(),
+        };
+        let step = solver.step(&SnapshotData { input, user_ids: &snap.user_ids });
+        let labels = step.tweet_labels();
+        let share = |c: usize| {
+            100.0 * labels.iter().filter(|&&l| l == c).count() as f64 / labels.len() as f64
+        };
+        writeln!(
+            out,
+            "{lo}\t{hi}\t{}\t{}\t{}\t{}\t{:.1}\t{:.1}\t{:.1}",
+            snap.tweet_ids.len(),
+            snap.user_ids.len(),
+            step.partition.new_rows.len(),
+            step.partition.evolving_rows.len(),
+            share(0),
+            share(1),
+            share(2),
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    eprintln!("processed {} snapshots; wrote timeline to {out_path}", solver.steps());
+    Ok(())
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(flags)?;
+    let s = corpus_stats(&corpus);
+    println!("topic: {} ({} days)", corpus.topic, corpus.num_days);
+    println!("tweets: {} total, {} labeled pos, {} labeled neg", s.total_tweets, s.labeled_pos_tweets, s.labeled_neg_tweets);
+    println!(
+        "users:  {} total ({} pos / {} neg / {} neu labeled, {} unlabeled)",
+        s.total_users, s.labeled_pos_users, s.labeled_neg_users, s.labeled_neu_users, s.unlabeled_users
+    );
+    println!("retweets: {}", s.total_retweets);
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! # tripartite-sentiment
+//!
+//! A complete Rust reproduction of **"Tripartite Graph Clustering for
+//! Dynamic Sentiment Analysis on Social Media"** (Zhu, Galstyan, Cheng,
+//! Lerman, 2014): joint tweet-level and user-level sentiment analysis by
+//! co-clustering the feature–tweet–user tripartite graph with orthogonal
+//! non-negative matrix tri-factorization, offline (Algorithm 1) and
+//! online over streams (Algorithm 2).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`linalg`] — sparse/dense kernels built for multiplicative updates;
+//! * [`text`] — tweet tokenization, tf-idf, sentiment lexicons (`Sf0`);
+//! * [`graph`] — the user–user re-tweet graph substrate (`Gu`, `Lu`);
+//! * [`data`] — the synthetic California-ballot corpus generator
+//!   (Prop 30 / Prop 37 presets);
+//! * [`core`] — the offline/online tri-clustering solvers;
+//! * [`baselines`] — SVM, NB, LP, UserReg, ESSA, ONMTF, BACG, k-means;
+//! * [`eval`] — clustering accuracy, NMI, ARI, Hungarian assignment.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tripartite_sentiment::prelude::*;
+//!
+//! // 1. Generate a corpus (stand-in for the 2012 Twitter crawl).
+//! let corpus = generate(&presets::tiny(42));
+//! // 2. Assemble the tripartite matrices.
+//! let mut pipe = PipelineConfig::paper_defaults();
+//! pipe.vocab.min_count = 2;
+//! let inst = build_offline(&corpus, 3, &pipe);
+//! // 3. Co-cluster tweets, users and features.
+//! let input = TriInput {
+//!     xp: &inst.xp, xu: &inst.xu, xr: &inst.xr,
+//!     graph: &inst.graph, sf0: &inst.sf0,
+//! };
+//! let result = solve_offline(&input, &OfflineConfig::default());
+//! // 4. Evaluate against ground truth.
+//! let acc = clustering_accuracy(&result.tweet_labels(), &inst.tweet_truth);
+//! assert!(acc > 0.5);
+//! ```
+
+pub use tgs_baselines as baselines;
+pub use tgs_core as core;
+pub use tgs_data as data;
+pub use tgs_eval as eval;
+pub use tgs_graph as graph;
+pub use tgs_linalg as linalg;
+pub use tgs_text as text;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use tgs_baselines::{
+        kmeans, propagate_labels, solve_bacg, solve_essa, solve_onmtf, subsample_labels, userreg,
+        BacgConfig, EssaConfig, FullBatch, KMeansConfig, LabelPropConfig, LinearSvm, MiniBatch,
+        NaiveBayes, SvmConfig, UserRegConfig,
+    };
+    pub use tgs_core::{
+        solve_offline, InitStrategy, ObjectiveParts, OfflineConfig, OnlineConfig, OnlineSolver,
+        SnapshotData, TriFactors, TriInput,
+    };
+    pub use tgs_data::{
+        build_offline, corpus_stats, daily_tweet_counts, day_windows, generate, presets,
+        top_words, Corpus, GeneratorConfig, ProblemInstance, SnapshotBuilder,
+    };
+    pub use tgs_eval::{clustering_accuracy, nmi, ConfusionMatrix};
+    pub use tgs_graph::{UserGraph};
+    pub use tgs_linalg::{CsrMatrix, DenseMatrix};
+    pub use tgs_text::{Lexicon, PipelineConfig, Sentiment, Vocabulary};
+}

@@ -1,0 +1,150 @@
+//! Integration: baselines and the core solver on the same corpus — the
+//! qualitative ordering the paper's Tables 4–5 rely on.
+
+use tripartite_sentiment::prelude::*;
+
+fn pipe() -> PipelineConfig {
+    let mut cfg = PipelineConfig::paper_defaults();
+    cfg.vocab.min_count = 2;
+    cfg
+}
+
+fn polar_eval(pred: &[usize], truth: &[usize]) -> f64 {
+    let polar: Vec<usize> =
+        (0..truth.len()).filter(|&i| truth[i] != Sentiment::Neutral.index()).collect();
+    let p: Vec<usize> = polar.iter().map(|&i| pred[i]).collect();
+    let t: Vec<usize> = polar.iter().map(|&i| truth[i]).collect();
+    clustering_accuracy(&p, &t)
+}
+
+#[test]
+fn supervised_beats_majority_and_tri_beats_chance() {
+    let corpus = generate(&presets::prop30_small(41));
+    let inst = build_offline(&corpus, 3, &pipe());
+    let input = TriInput {
+        xp: &inst.xp,
+        xu: &inst.xu,
+        xr: &inst.xr,
+        graph: &inst.graph,
+        sf0: &inst.sf0,
+    };
+
+    let nb = NaiveBayes::train(&inst.encoded, &inst.tweet_labels, inst.vocab.len(), 3, 1.0);
+    let nb_acc = polar_eval(&nb.predict_all(&inst.encoded), &inst.tweet_truth);
+
+    let svm = LinearSvm::train(&inst.xp, &inst.tweet_labels, 3, &SvmConfig::default());
+    let svm_acc = polar_eval(&svm.predict_all(&inst.xp), &inst.tweet_truth);
+
+    let majority = {
+        let pred = vec![0usize; inst.tweet_truth.len()];
+        polar_eval(&pred, &inst.tweet_truth)
+    };
+
+    let tri = solve_offline(&input, &OfflineConfig::default());
+    let tri_acc = polar_eval(&tri.tweet_labels(), &inst.tweet_truth);
+
+    assert!(nb_acc > majority + 0.05, "NB {nb_acc} vs majority {majority}");
+    assert!(svm_acc > majority + 0.05, "SVM {svm_acc} vs majority {majority}");
+    assert!(tri_acc > majority + 0.03, "tri {tri_acc} vs majority {majority}");
+    // Supervised with full labels should not lose to unsupervised.
+    assert!(nb_acc + 0.02 > tri_acc, "NB {nb_acc} vs tri {tri_acc}");
+}
+
+#[test]
+fn tri_clustering_beats_text_only_essa_on_average() {
+    // The tri-clustering framework uses users + the social graph on top
+    // of ESSA's text + lexicon. Averaged over seeds it should win.
+    let mut tri_total = 0.0;
+    let mut essa_total = 0.0;
+    for seed in [1u64, 2, 3] {
+        let corpus = generate(&presets::prop30_small(seed));
+        let inst = build_offline(&corpus, 3, &pipe());
+        let input = TriInput {
+            xp: &inst.xp,
+            xu: &inst.xu,
+            xr: &inst.xr,
+            graph: &inst.graph,
+            sf0: &inst.sf0,
+        };
+        let tri = solve_offline(&input, &OfflineConfig::default());
+        tri_total += polar_eval(&tri.tweet_labels(), &inst.tweet_truth);
+        let essa = solve_essa(
+            &inst.xp,
+            &inst.sf0,
+            None,
+            &EssaConfig { k: 3, ..Default::default() },
+        );
+        essa_total += polar_eval(&essa.tweet_labels(), &inst.tweet_truth);
+    }
+    assert!(
+        tri_total > essa_total - 0.03,
+        "tri {tri_total:.3} should be at least competitive with ESSA {essa_total:.3} (sum over 3 seeds)"
+    );
+}
+
+#[test]
+fn label_propagation_improves_with_more_labels() {
+    let corpus = generate(&presets::prop30_small(43));
+    let inst = build_offline(&corpus, 3, &pipe());
+    let graph = tripartite_sentiment::baselines::knn_feature_graph(&inst.xp, 10, 0.05);
+    let lp = |fraction: f64| {
+        let seeds = subsample_labels(&inst.tweet_labels, fraction);
+        let pred = propagate_labels(&graph, &seeds, 3, &LabelPropConfig::default());
+        polar_eval(&pred, &inst.tweet_truth)
+    };
+    let lp5 = lp(0.05);
+    let lp40 = lp(0.40);
+    assert!(
+        lp40 >= lp5 - 0.02,
+        "more seeds should not hurt label propagation: 5% = {lp5}, 40% = {lp40}"
+    );
+}
+
+#[test]
+fn userreg_aggregation_is_biased_against_quiet_users() {
+    // The paper's motivation: estimating users by aggregating tweets is
+    // biased for users with few tweets. Check UserReg's user accuracy on
+    // quiet users lags its accuracy on active users.
+    let corpus = generate(&presets::prop30_small(47));
+    let inst = build_offline(&corpus, 3, &pipe());
+    let doc_user: Vec<usize> = corpus.tweets.iter().map(|t| t.author).collect();
+    let labels = subsample_labels(&inst.tweet_labels, 0.10);
+    let result = userreg(
+        &inst.encoded,
+        &labels,
+        &doc_user,
+        inst.vocab.len(),
+        &inst.graph,
+        &UserRegConfig::default(),
+    );
+    let mut tweet_counts = vec![0usize; corpus.num_users()];
+    for &u in &doc_user {
+        tweet_counts[u] += 1;
+    }
+    let acc_of = |want_active: bool| {
+        let idx: Vec<usize> = (0..corpus.num_users())
+            .filter(|&u| (tweet_counts[u] >= 5) == want_active)
+            .collect();
+        if idx.is_empty() {
+            return 1.0;
+        }
+        let p: Vec<usize> = idx.iter().map(|&u| result.user_labels[u]).collect();
+        let t: Vec<usize> = idx.iter().map(|&u| inst.user_truth[u]).collect();
+        clustering_accuracy(&p, &t)
+    };
+    let active = acc_of(true);
+    let quiet = acc_of(false);
+    assert!(
+        active >= quiet - 0.05,
+        "aggregation should work better for active users: active {active}, quiet {quiet}"
+    );
+}
+
+#[test]
+fn bacg_uses_graph_structure() {
+    let corpus = generate(&presets::prop30_small(53));
+    let inst = build_offline(&corpus, 3, &pipe());
+    let result = solve_bacg(&inst.xu, &inst.graph, &BacgConfig { k: 3, ..Default::default() });
+    let acc = clustering_accuracy(&result.user_labels(), &inst.user_truth);
+    assert!(acc > 0.5, "BACG user accuracy {acc}");
+}

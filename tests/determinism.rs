@@ -1,0 +1,99 @@
+//! Integration: bit-for-bit reproducibility of the whole stack under
+//! fixed seeds, and independence from unrelated configuration.
+
+use tripartite_sentiment::prelude::*;
+
+fn pipe() -> PipelineConfig {
+    let mut cfg = PipelineConfig::paper_defaults();
+    cfg.vocab.min_count = 2;
+    cfg
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let corpus = generate(&presets::tiny(1234));
+        let inst = build_offline(&corpus, 3, &pipe());
+        let input = TriInput {
+            xp: &inst.xp,
+            xu: &inst.xu,
+            xr: &inst.xr,
+            graph: &inst.graph,
+            sf0: &inst.sf0,
+        };
+        let result = solve_offline(&input, &OfflineConfig::default());
+        (
+            result.objective,
+            result.iterations,
+            result.tweet_labels(),
+            result.user_labels(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "objective must be identical");
+    assert_eq!(a.1, b.1, "iteration count must be identical");
+    assert_eq!(a.2, b.2, "tweet labels must be identical");
+    assert_eq!(a.3, b.3, "user labels must be identical");
+}
+
+#[test]
+fn corpus_generation_independent_of_call_order() {
+    // Generating a second corpus in between must not perturb the first.
+    let a = generate(&presets::tiny(77));
+    let _noise = generate(&presets::tiny(78));
+    let b = generate(&presets::tiny(77));
+    assert_eq!(a.num_tweets(), b.num_tweets());
+    for (x, y) in a.tweets.iter().zip(b.tweets.iter()) {
+        assert_eq!(x.tokens, y.tokens);
+        assert_eq!(x.author, y.author);
+    }
+    assert_eq!(a.retweets, b.retweets);
+}
+
+#[test]
+fn different_solver_seeds_differ_but_agree_qualitatively() {
+    let corpus = generate(&presets::prop30_small(55));
+    let inst = build_offline(&corpus, 3, &pipe());
+    let input = TriInput {
+        xp: &inst.xp,
+        xu: &inst.xu,
+        xr: &inst.xr,
+        graph: &inst.graph,
+        sf0: &inst.sf0,
+    };
+    let a = solve_offline(&input, &OfflineConfig { seed: 1, ..Default::default() });
+    let b = solve_offline(&input, &OfflineConfig { seed: 2, ..Default::default() });
+    // different random inits → different factor values
+    assert!(a.factors.sp.max_abs_diff(&b.factors.sp) > 0.0);
+    // but both land in the same quality regime
+    let acc_a = clustering_accuracy(&a.tweet_labels(), &inst.tweet_truth);
+    let acc_b = clustering_accuracy(&b.tweet_labels(), &inst.tweet_truth);
+    assert!((acc_a - acc_b).abs() < 0.15, "seed sensitivity too high: {acc_a} vs {acc_b}");
+}
+
+#[test]
+fn online_stream_deterministic() {
+    let run = || {
+        let corpus = generate(&presets::tiny(91));
+        let builder = SnapshotBuilder::new(&corpus, 3, &pipe());
+        let mut solver = OnlineSolver::new(OnlineConfig { max_iters: 20, ..Default::default() });
+        let mut objectives = Vec::new();
+        for (lo, hi) in day_windows(corpus.num_days, 4) {
+            let snap = builder.snapshot(&corpus, lo, hi);
+            if snap.tweet_ids.is_empty() {
+                continue;
+            }
+            let input = TriInput {
+                xp: &snap.xp,
+                xu: &snap.xu,
+                xr: &snap.xr,
+                graph: &snap.graph,
+                sf0: builder.sf0(),
+            };
+            objectives.push(solver.step(&SnapshotData { input, user_ids: &snap.user_ids }).objective);
+        }
+        objectives
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,158 @@
+//! Integration: the full offline pipeline across all crates —
+//! generator → text/graph substrates → core solver → eval.
+
+use tripartite_sentiment::prelude::*;
+
+fn pipe() -> PipelineConfig {
+    let mut cfg = PipelineConfig::paper_defaults();
+    cfg.vocab.min_count = 2;
+    cfg
+}
+
+fn polar_subset(truth: &[usize]) -> Vec<usize> {
+    (0..truth.len())
+        .filter(|&i| truth[i] != Sentiment::Neutral.index())
+        .collect()
+}
+
+#[test]
+fn full_offline_pipeline_recovers_sentiment() {
+    let corpus = generate(&presets::prop30_small(11));
+    let inst = build_offline(&corpus, 3, &pipe());
+    let input = TriInput {
+        xp: &inst.xp,
+        xu: &inst.xu,
+        xr: &inst.xr,
+        graph: &inst.graph,
+        sf0: &inst.sf0,
+    };
+    let result = solve_offline(&input, &OfflineConfig::default());
+    assert!(result.factors.all_nonnegative(), "factors must stay non-negative");
+
+    let polar = polar_subset(&inst.tweet_truth);
+    let pred: Vec<usize> = polar.iter().map(|&i| result.tweet_labels()[i]).collect();
+    let truth: Vec<usize> = polar.iter().map(|&i| inst.tweet_truth[i]).collect();
+    let t_acc = clustering_accuracy(&pred, &truth);
+    assert!(t_acc > 0.75, "polar tweet accuracy {t_acc}");
+
+    let u_acc = clustering_accuracy(&result.user_labels(), &inst.user_truth);
+    assert!(u_acc > 0.6, "user accuracy {u_acc}");
+}
+
+#[test]
+fn offline_objective_monotone_on_real_pipeline() {
+    let corpus = generate(&presets::tiny(3));
+    let inst = build_offline(&corpus, 3, &pipe());
+    let input = TriInput {
+        xp: &inst.xp,
+        xu: &inst.xu,
+        xr: &inst.xr,
+        graph: &inst.graph,
+        sf0: &inst.sf0,
+    };
+    let cfg = OfflineConfig { max_iters: 50, tol: 0.0, track_objective: true, ..Default::default() };
+    let result = solve_offline(&input, &cfg);
+    assert_eq!(result.history.len(), 51, "initial value + one per iteration");
+    // The updates are proven non-increasing for the *Lagrangian* (raw
+    // objective + orthogonality pressure); the raw Eq. 1 value may rise
+    // transiently while components trade off (the paper's Fig. 8 makes
+    // the same observation). Allow ≤1% transients, require a clear
+    // overall decrease.
+    for (i, w) in result.history.windows(2).enumerate() {
+        assert!(
+            w[1].total() <= w[0].total() * 1.01,
+            "iteration {i}: objective jumped {} -> {}",
+            w[0].total(),
+            w[1].total()
+        );
+    }
+    let first = result.history.first().unwrap().total();
+    let last = result.history.last().unwrap().total();
+    assert!(last < first * 0.9, "objective should clearly decrease: {first} -> {last}");
+}
+
+#[test]
+fn regularizers_change_the_solution() {
+    let corpus = generate(&presets::tiny(5));
+    let inst = build_offline(&corpus, 3, &pipe());
+    let input = TriInput {
+        xp: &inst.xp,
+        xu: &inst.xu,
+        xr: &inst.xr,
+        graph: &inst.graph,
+        sf0: &inst.sf0,
+    };
+    let base = solve_offline(
+        &input,
+        &OfflineConfig { alpha: 0.0, beta: 0.0, max_iters: 40, ..Default::default() },
+    );
+    let reg = solve_offline(
+        &input,
+        &OfflineConfig { alpha: 0.5, beta: 0.9, max_iters: 40, ..Default::default() },
+    );
+    assert!(
+        base.factors.su.max_abs_diff(&reg.factors.su) > 1e-6,
+        "alpha/beta must influence the factors"
+    );
+}
+
+#[test]
+fn k2_and_k3_both_supported() {
+    let corpus = generate(&presets::tiny(8));
+    for k in [2usize, 3] {
+        let inst = build_offline(&corpus, k, &pipe());
+        let input = TriInput {
+            xp: &inst.xp,
+            xu: &inst.xu,
+            xr: &inst.xr,
+            graph: &inst.graph,
+            sf0: &inst.sf0,
+        };
+        let cfg = OfflineConfig { k, max_iters: 20, ..Default::default() };
+        let result = solve_offline(&input, &cfg);
+        assert!(result.tweet_labels().iter().all(|&l| l < k));
+        assert!(result.user_labels().iter().all(|&l| l < k));
+    }
+}
+
+#[test]
+fn graph_regularizer_smooths_connected_users() {
+    // With a strong beta, re-tweet partners should agree more often than
+    // under beta = 0.
+    let corpus = generate(&presets::prop30_small(13));
+    let inst = build_offline(&corpus, 3, &pipe());
+    let input = TriInput {
+        xp: &inst.xp,
+        xu: &inst.xu,
+        xr: &inst.xr,
+        graph: &inst.graph,
+        sf0: &inst.sf0,
+    };
+    let agreement = |labels: &[usize]| {
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for u in 0..inst.graph.num_nodes() {
+            for (v, _) in inst.graph.neighbors(u) {
+                total += 1;
+                if labels[u] == labels[v] {
+                    same += 1;
+                }
+            }
+        }
+        same as f64 / total.max(1) as f64
+    };
+    let no_graph = solve_offline(
+        &input,
+        &OfflineConfig { beta: 0.0, max_iters: 60, ..Default::default() },
+    );
+    let with_graph = solve_offline(
+        &input,
+        &OfflineConfig { beta: 1.0, max_iters: 60, ..Default::default() },
+    );
+    let a0 = agreement(&no_graph.user_labels());
+    let a1 = agreement(&with_graph.user_labels());
+    assert!(
+        a1 >= a0 - 0.02,
+        "graph regularization should not reduce neighbor agreement: {a0} -> {a1}"
+    );
+}

@@ -1,0 +1,155 @@
+//! Integration: the online pipeline — streaming snapshots, user
+//! bookkeeping, temporal regularization.
+
+use tripartite_sentiment::prelude::*;
+
+fn pipe() -> PipelineConfig {
+    let mut cfg = PipelineConfig::paper_defaults();
+    cfg.vocab.min_count = 2;
+    cfg
+}
+
+#[test]
+fn streaming_covers_all_tweets_and_tracks_users() {
+    let corpus = generate(&presets::tiny(21));
+    let builder = SnapshotBuilder::new(&corpus, 3, &pipe());
+    let mut solver = OnlineSolver::new(OnlineConfig { max_iters: 30, ..Default::default() });
+    let mut covered = 0usize;
+    let mut seen_users = std::collections::HashSet::new();
+    for (lo, hi) in day_windows(corpus.num_days, 3) {
+        let snap = builder.snapshot(&corpus, lo, hi);
+        if snap.tweet_ids.is_empty() {
+            continue;
+        }
+        let input = TriInput {
+            xp: &snap.xp,
+            xu: &snap.xu,
+            xr: &snap.xr,
+            graph: &snap.graph,
+            sf0: builder.sf0(),
+        };
+        let result = solver.step(&SnapshotData { input, user_ids: &snap.user_ids });
+        covered += snap.tweet_ids.len();
+        // partition must tile the snapshot's users
+        assert_eq!(
+            result.partition.new_rows.len() + result.partition.evolving_rows.len(),
+            snap.user_ids.len()
+        );
+        for &u in &snap.user_ids {
+            // every user previously seen must be classified evolving
+            let row = snap.user_ids.iter().position(|&x| x == u).unwrap();
+            if seen_users.contains(&u) {
+                assert!(
+                    result.partition.evolving_rows.contains(&row),
+                    "user {u} seen before must be evolving"
+                );
+            }
+            seen_users.insert(u);
+        }
+    }
+    assert_eq!(covered, corpus.num_tweets());
+    assert!(solver.steps() >= 3);
+}
+
+#[test]
+fn online_accuracy_reasonable_on_stream() {
+    let corpus = generate(&presets::prop30_small(31));
+    let builder = SnapshotBuilder::new(&corpus, 3, &pipe());
+    let mut solver = OnlineSolver::new(OnlineConfig::default());
+    let mut weighted = 0.0;
+    let mut total = 0usize;
+    for (lo, hi) in day_windows(corpus.num_days, 2) {
+        let snap = builder.snapshot(&corpus, lo, hi);
+        if snap.tweet_ids.is_empty() {
+            continue;
+        }
+        let input = TriInput {
+            xp: &snap.xp,
+            xu: &snap.xu,
+            xr: &snap.xr,
+            graph: &snap.graph,
+            sf0: builder.sf0(),
+        };
+        let result = solver.step(&SnapshotData { input, user_ids: &snap.user_ids });
+        let acc = clustering_accuracy(&result.tweet_labels(), &snap.tweet_truth);
+        weighted += acc * snap.tweet_ids.len() as f64;
+        total += snap.tweet_ids.len();
+    }
+    let avg = weighted / total as f64;
+    // evaluated on ALL tweets including the hard neutral class (chance on
+    // this 3-class mix is ~0.45)
+    assert!(avg > 0.58, "stream-average tweet accuracy {avg}");
+}
+
+#[test]
+fn disappeared_users_keep_estimates_with_wider_window() {
+    let corpus = generate(&presets::tiny(17));
+    let builder = SnapshotBuilder::new(&corpus, 3, &pipe());
+    let mut solver = OnlineSolver::new(OnlineConfig {
+        window: 4,
+        max_iters: 20,
+        ..Default::default()
+    });
+    let mut all_seen = std::collections::HashSet::new();
+    for (lo, hi) in day_windows(corpus.num_days, 3) {
+        let snap = builder.snapshot(&corpus, lo, hi);
+        if snap.tweet_ids.is_empty() {
+            continue;
+        }
+        let input = TriInput {
+            xp: &snap.xp,
+            xu: &snap.xu,
+            xr: &snap.xr,
+            graph: &snap.graph,
+            sf0: builder.sf0(),
+        };
+        solver.step(&SnapshotData { input, user_ids: &snap.user_ids });
+        all_seen.extend(snap.user_ids.iter().copied());
+    }
+    // Every user ever seen still has a sentiment estimate (carried
+    // forward through absence).
+    for &u in &all_seen {
+        let est = solver.sentiment_of(u);
+        assert!(est.is_some(), "user {u} lost their estimate");
+        assert_eq!(est.unwrap().len(), 3);
+    }
+}
+
+#[test]
+fn online_objective_monotone_within_steps() {
+    let corpus = generate(&presets::tiny(29));
+    let builder = SnapshotBuilder::new(&corpus, 3, &pipe());
+    let mut solver = OnlineSolver::new(OnlineConfig {
+        track_objective: true,
+        max_iters: 30,
+        ..Default::default()
+    });
+    for (lo, hi) in day_windows(corpus.num_days, 4) {
+        let snap = builder.snapshot(&corpus, lo, hi);
+        if snap.tweet_ids.is_empty() {
+            continue;
+        }
+        let input = TriInput {
+            xp: &snap.xp,
+            xu: &snap.xu,
+            xr: &snap.xr,
+            graph: &snap.graph,
+            sf0: builder.sf0(),
+        };
+        let result = solver.step(&SnapshotData { input, user_ids: &snap.user_ids });
+        for (i, w) in result.history.windows(2).enumerate() {
+            assert!(
+                w[1].total() <= w[0].total() * 1.01,
+                "step {} iter {i}: objective jumped {} -> {}",
+                solver.steps(),
+                w[0].total(),
+                w[1].total()
+            );
+        }
+        if result.history.len() > 2 {
+            let first = result.history.first().unwrap().total();
+            let last = result.history.last().unwrap().total();
+            assert!(last <= first * 1.001, "per-step objective should not grow: {first} -> {last}");
+        }
+    }
+}
