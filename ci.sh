@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entrypoint: format check, lints, release build, tests.
+#
+# Usage:
+#   ./ci.sh            # the full gate (what .github/workflows/ci.yml runs)
+#   ./ci.sh --bench    # additionally regenerate BENCH_*.json artifacts
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+if [[ "${1:-}" == "--bench" ]]; then
+    echo "==> regenerating benchmark artifacts"
+    ./scripts/bench_json.sh
+fi
+
+echo "CI green."

@@ -30,7 +30,13 @@ pub struct BacgConfig {
 
 impl Default for BacgConfig {
     fn default() -> Self {
-        Self { k: 3, beta: 0.5, max_iters: 100, tol: 1e-5, seed: 42 }
+        Self {
+            k: 3,
+            beta: 0.5,
+            max_iters: 100,
+            tol: 1e-5,
+            seed: 42,
+        }
     }
 }
 
@@ -103,7 +109,12 @@ pub fn solve_bacg(xu: &CsrMatrix, graph: &UserGraph, config: &BacgConfig) -> Bac
         }
         prev = cur;
     }
-    BacgResult { su, w, iterations, objective: prev }
+    BacgResult {
+        su,
+        w,
+        iterations,
+        objective: prev,
+    }
 }
 
 #[cfg(test)]
@@ -138,7 +149,10 @@ mod tests {
     #[test]
     fn recovers_planted_user_clusters() {
         let (xu, graph, truth) = planted(20, 12, 1);
-        let cfg = BacgConfig { k: 2, ..Default::default() };
+        let cfg = BacgConfig {
+            k: 2,
+            ..Default::default()
+        };
         let result = solve_bacg(&xu, &graph, &cfg);
         let acc = tgs_eval::clustering_accuracy(&result.user_labels(), &truth);
         assert!(acc > 0.85, "accuracy {acc}");
@@ -166,8 +180,16 @@ mod tests {
         }
         let graph = UserGraph::from_edges(m, &edges);
         let truth: Vec<usize> = (0..m).map(|u| u % 2).collect();
-        let strong = BacgConfig { k: 2, beta: 1.0, ..Default::default() };
-        let weak = BacgConfig { k: 2, beta: 0.0, ..Default::default() };
+        let strong = BacgConfig {
+            k: 2,
+            beta: 1.0,
+            ..Default::default()
+        };
+        let weak = BacgConfig {
+            k: 2,
+            beta: 0.0,
+            ..Default::default()
+        };
         let acc_strong =
             tgs_eval::clustering_accuracy(&solve_bacg(&xu, &graph, &strong).user_labels(), &truth);
         let acc_weak =
@@ -181,7 +203,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (xu, graph, _) = planted(16, 10, 2);
-        let cfg = BacgConfig { k: 2, ..Default::default() };
+        let cfg = BacgConfig {
+            k: 2,
+            ..Default::default()
+        };
         let a = solve_bacg(&xu, &graph, &cfg);
         let b = solve_bacg(&xu, &graph, &cfg);
         assert_eq!(a.user_labels(), b.user_labels());
@@ -190,7 +215,11 @@ mod tests {
     #[test]
     fn factors_stay_nonnegative() {
         let (xu, graph, _) = planted(16, 10, 3);
-        let cfg = BacgConfig { k: 2, beta: 0.9, ..Default::default() };
+        let cfg = BacgConfig {
+            k: 2,
+            beta: 0.9,
+            ..Default::default()
+        };
         let result = solve_bacg(&xu, &graph, &cfg);
         assert!(result.su.is_nonnegative());
         assert!(result.w.is_nonnegative());

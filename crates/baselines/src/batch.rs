@@ -37,11 +37,17 @@ impl MiniBatch {
     /// are deterministic but not identical).
     pub fn step(&mut self, input: &TriInput<'_>) -> TimedResult {
         let mut cfg = self.config.clone();
-        cfg.seed = self.config.seed.wrapping_add(self.step.wrapping_mul(0x9E37_79B9));
+        cfg.seed = self
+            .config
+            .seed
+            .wrapping_add(self.step.wrapping_mul(0x9E37_79B9));
         self.step += 1;
         let start = Instant::now();
         let result = solve_offline(input, &cfg);
-        TimedResult { result, elapsed: start.elapsed() }
+        TimedResult {
+            result,
+            elapsed: start.elapsed(),
+        }
     }
 
     /// Snapshots processed.
@@ -68,11 +74,17 @@ impl FullBatch {
     /// Re-solves on the cumulative input.
     pub fn step(&mut self, cumulative_input: &TriInput<'_>) -> TimedResult {
         let mut cfg = self.config.clone();
-        cfg.seed = self.config.seed.wrapping_add(self.step.wrapping_mul(0x9E37_79B9));
+        cfg.seed = self
+            .config
+            .seed
+            .wrapping_add(self.step.wrapping_mul(0x9E37_79B9));
         self.step += 1;
         let start = Instant::now();
         let result = solve_offline(cumulative_input, &cfg);
-        TimedResult { result, elapsed: start.elapsed() }
+        TimedResult {
+            result,
+            elapsed: start.elapsed(),
+        }
     }
 
     /// Snapshots processed.
@@ -103,14 +115,27 @@ mod tests {
     #[test]
     fn minibatch_rotates_seeds_deterministically() {
         let (xp, xu, xr, graph, sf0) = snapshot();
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
-        let cfg = OfflineConfig { k: 2, max_iters: 10, ..Default::default() };
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
+        let cfg = OfflineConfig {
+            k: 2,
+            max_iters: 10,
+            ..Default::default()
+        };
         let mut a = MiniBatch::new(cfg.clone());
         let mut b = MiniBatch::new(cfg);
         let r1a = a.step(&input);
         let r2a = a.step(&input);
         let r1b = b.step(&input);
-        assert_eq!(r1a.result.objective, r1b.result.objective, "same step, same seed");
+        assert_eq!(
+            r1a.result.objective, r1b.result.objective,
+            "same step, same seed"
+        );
         assert_ne!(
             r1a.result.factors.sp.as_slice(),
             r2a.result.factors.sp.as_slice(),
@@ -122,8 +147,18 @@ mod tests {
     #[test]
     fn fullbatch_counts_steps_and_times() {
         let (xp, xu, xr, graph, sf0) = snapshot();
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
-        let cfg = OfflineConfig { k: 2, max_iters: 5, ..Default::default() };
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
+        let cfg = OfflineConfig {
+            k: 2,
+            max_iters: 5,
+            ..Default::default()
+        };
         let mut fb = FullBatch::new(cfg);
         let r = fb.step(&input);
         assert!(r.elapsed.as_nanos() > 0);

@@ -33,7 +33,14 @@ pub struct EssaConfig {
 
 impl Default for EssaConfig {
     fn default() -> Self {
-        Self { k: 3, alpha: 0.5, lambda: 0.1, max_iters: 100, tol: 1e-5, seed: 42 }
+        Self {
+            k: 3,
+            alpha: 0.5,
+            lambda: 0.1,
+            max_iters: 100,
+            tol: 1e-5,
+            seed: 42,
+        }
     }
 }
 
@@ -134,13 +141,26 @@ pub fn solve_essa(
         }
         prev = cur;
     }
-    EssaResult { sp, sf, h, iterations, objective: prev }
+    EssaResult {
+        sp,
+        sf,
+        h,
+        iterations,
+        objective: prev,
+    }
 }
 
 /// Plain ONMTF document clustering: no lexicon, no emotion graph.
 pub fn solve_onmtf(xp: &CsrMatrix, k: usize, max_iters: usize, seed: u64) -> EssaResult {
     let uniform = DenseMatrix::filled(xp.cols(), k, 1.0 / k as f64);
-    let config = EssaConfig { k, alpha: 0.0, lambda: 0.0, max_iters, tol: 1e-5, seed };
+    let config = EssaConfig {
+        k,
+        alpha: 0.0,
+        lambda: 0.0,
+        max_iters,
+        tol: 1e-5,
+        seed,
+    };
     solve_essa(xp, &uniform, None, &config)
 }
 
@@ -148,11 +168,7 @@ pub fn solve_onmtf(xp: &CsrMatrix, k: usize, max_iters: usize, seed: u64) -> Ess
 /// when they share emotionally charged features (features whose prior row
 /// in `Sf0` deviates from uniform). Cosine similarity over those features
 /// only, k-nearest-neighbour sparsified.
-pub fn emotional_signal_graph(
-    xp: &CsrMatrix,
-    sf0: &DenseMatrix,
-    neighbors: usize,
-) -> CsrMatrix {
+pub fn emotional_signal_graph(xp: &CsrMatrix, sf0: &DenseMatrix, neighbors: usize) -> CsrMatrix {
     let (n, l) = xp.shape();
     let k = sf0.cols();
     let uniform = 1.0 / k as f64;
@@ -208,7 +224,10 @@ mod tests {
     #[test]
     fn essa_recovers_planted_clusters() {
         let (xp, sf0, truth) = planted(40, 16, 1);
-        let cfg = EssaConfig { k: 2, ..Default::default() };
+        let cfg = EssaConfig {
+            k: 2,
+            ..Default::default()
+        };
         let result = solve_essa(&xp, &sf0, None, &cfg);
         let acc = tgs_eval::clustering_accuracy(&result.tweet_labels(), &truth);
         assert!(acc > 0.85, "accuracy {acc}");
@@ -225,7 +244,9 @@ mod tests {
 
     #[test]
     fn emotion_graph_links_same_signal_tweets() {
-        let (xp, sf0, truth) = planted(20, 16, 3);
+        // Seed chosen so the planted corpus has emotional-feature overlap
+        // under the vendored RNG stream (seed 3 plants an empty graph).
+        let (xp, sf0, truth) = planted(20, 16, 4);
         let g = emotional_signal_graph(&xp, &sf0, 3);
         assert_eq!(g.shape(), (20, 20));
         // Most edges should connect same-class tweets.
@@ -245,7 +266,12 @@ mod tests {
     fn graph_regularization_does_not_break_monotonicity() {
         let (xp, sf0, _) = planted(30, 16, 4);
         let g = emotional_signal_graph(&xp, &sf0, 3);
-        let cfg = EssaConfig { k: 2, lambda: 0.3, max_iters: 50, ..Default::default() };
+        let cfg = EssaConfig {
+            k: 2,
+            lambda: 0.3,
+            max_iters: 50,
+            ..Default::default()
+        };
         let result = solve_essa(&xp, &sf0, Some(&g), &cfg);
         assert!(result.objective.is_finite());
         assert!(result.sp.is_nonnegative() && result.sf.is_nonnegative());
@@ -254,7 +280,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (xp, sf0, _) = planted(20, 16, 5);
-        let cfg = EssaConfig { k: 2, ..Default::default() };
+        let cfg = EssaConfig {
+            k: 2,
+            ..Default::default()
+        };
         let a = solve_essa(&xp, &sf0, None, &cfg);
         let b = solve_essa(&xp, &sf0, None, &cfg);
         assert_eq!(a.tweet_labels(), b.tweet_labels());

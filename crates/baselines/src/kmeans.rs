@@ -17,7 +17,11 @@ pub struct KMeansConfig {
 
 impl Default for KMeansConfig {
     fn default() -> Self {
-        Self { k: 3, max_iters: 50, seed: 42 }
+        Self {
+            k: 3,
+            max_iters: 50,
+            seed: 42,
+        }
     }
 }
 
@@ -89,7 +93,11 @@ pub fn kmeans(x: &CsrMatrix, config: &KMeansConfig) -> KMeansResult {
             break;
         }
     }
-    KMeansResult { labels, centroids, iterations }
+    KMeansResult {
+        labels,
+        centroids,
+        iterations,
+    }
 }
 
 fn normalize(v: &mut [f64]) {
@@ -120,7 +128,13 @@ mod tests {
     #[test]
     fn separates_planted_clusters() {
         let (x, truth) = planted();
-        let result = kmeans(&x, &KMeansConfig { k: 2, ..Default::default() });
+        let result = kmeans(
+            &x,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         let acc = tgs_eval::clustering_accuracy(&result.labels, &truth);
         assert!(acc > 0.95, "accuracy {acc}");
         assert!(result.iterations >= 1);
@@ -129,25 +143,52 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, _) = planted();
-        let a = kmeans(&x, &KMeansConfig { k: 2, ..Default::default() });
-        let b = kmeans(&x, &KMeansConfig { k: 2, ..Default::default() });
+        let a = kmeans(
+            &x,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
+        let b = kmeans(
+            &x,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.labels, b.labels);
     }
 
     #[test]
     fn handles_empty_rows() {
         let x = CsrMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (2, 1, 1.0)]).unwrap();
-        let result = kmeans(&x, &KMeansConfig { k: 2, ..Default::default() });
+        let result = kmeans(
+            &x,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(result.labels.len(), 3);
     }
 
     #[test]
     fn centroids_normalized() {
         let (x, _) = planted();
-        let result = kmeans(&x, &KMeansConfig { k: 2, ..Default::default() });
+        let result = kmeans(
+            &x,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         for c in 0..2 {
-            let norm: f64 =
-                result.centroids[c * 6..(c + 1) * 6].iter().map(|v| v * v).sum::<f64>().sqrt();
+            let norm: f64 = result.centroids[c * 6..(c + 1) * 6]
+                .iter()
+                .map(|v| v * v)
+                .sum::<f64>()
+                .sqrt();
             assert!((norm - 1.0).abs() < 1e-9 || norm == 0.0);
         }
     }

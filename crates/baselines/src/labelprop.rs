@@ -17,7 +17,11 @@ pub struct LabelPropConfig {
 
 impl Default for LabelPropConfig {
     fn default() -> Self {
-        Self { max_iters: 100, tol: 1e-6, clamp_seeds: true }
+        Self {
+            max_iters: 100,
+            tol: 1e-6,
+            clamp_seeds: true,
+        }
     }
 }
 
@@ -32,7 +36,11 @@ pub fn propagate(
     k: usize,
     config: &LabelPropConfig,
 ) -> DenseMatrix {
-    assert_eq!(adjacency.rows(), adjacency.cols(), "adjacency must be square");
+    assert_eq!(
+        adjacency.rows(),
+        adjacency.cols(),
+        "adjacency must be square"
+    );
     assert_eq!(adjacency.rows(), seeds.len(), "one seed slot per node");
     let n = seeds.len();
     // Row-normalized transition matrix.
@@ -99,16 +107,16 @@ pub fn propagate_labels(
     let uniform = 1.0 / k as f64;
     f.rows_iter()
         .map(|row| {
-            let (best, bv) = row
-                .iter()
-                .enumerate()
-                .fold((0usize, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
-                    if v > bv {
-                        (i, v)
-                    } else {
-                        (bi, bv)
-                    }
-                });
+            let (best, bv) =
+                row.iter()
+                    .enumerate()
+                    .fold((0usize, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    });
             // undecided (still uniform) → majority class
             if (bv - uniform).abs() < 1e-9 {
                 majority
@@ -136,7 +144,10 @@ fn majority_seed(seeds: &[Option<usize>], k: usize) -> usize {
 /// "-10" in LP-5 / LP-10). Every ⌈1/fraction⌉-th labeled item is kept, so
 /// the retained set is evenly spread and reproducible.
 pub fn subsample_labels(labels: &[Option<usize>], fraction: f64) -> Vec<Option<usize>> {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
     if fraction >= 1.0 {
         return labels.to_vec();
     }
@@ -283,12 +294,7 @@ mod tests {
     #[test]
     fn knn_graph_connects_similar_rows() {
         // rows 0,1 share feature 0; row 2 uses feature 1 alone
-        let x = CsrMatrix::from_triplets(
-            3,
-            2,
-            &[(0, 0, 1.0), (1, 0, 1.0), (2, 1, 1.0)],
-        )
-        .unwrap();
+        let x = CsrMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (1, 0, 1.0), (2, 1, 1.0)]).unwrap();
         let g = knn_feature_graph(&x, 2, 1.0);
         assert!(g.get(0, 1) > 0.9);
         assert_eq!(g.get(0, 2), 0.0);
@@ -301,7 +307,14 @@ mod tests {
         let x = CsrMatrix::from_triplets(
             4,
             2,
-            &[(0, 0, 1.0), (1, 0, 1.0), (2, 0, 1.0), (3, 0, 1.0), (0, 1, 1.0), (1, 1, 1.0)],
+            &[
+                (0, 0, 1.0),
+                (1, 0, 1.0),
+                (2, 0, 1.0),
+                (3, 0, 1.0),
+                (0, 1, 1.0),
+                (1, 1, 1.0),
+            ],
         )
         .unwrap();
         let g = knn_feature_graph(&x, 3, 0.5);

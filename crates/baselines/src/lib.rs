@@ -30,7 +30,9 @@ pub use bacg::{solve_bacg, BacgConfig, BacgResult};
 pub use batch::{FullBatch, MiniBatch, TimedResult};
 pub use essa::{emotional_signal_graph, solve_essa, solve_onmtf, EssaConfig, EssaResult};
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
-pub use labelprop::{knn_feature_graph, propagate, propagate_labels, subsample_labels, LabelPropConfig};
+pub use labelprop::{
+    knn_feature_graph, propagate, propagate_labels, subsample_labels, LabelPropConfig,
+};
 pub use nb::NaiveBayes;
 pub use svm::{LinearSvm, SvmConfig};
 pub use trivial::{lexicon_vote_rows, majority_baseline, majority_class};

@@ -54,7 +54,12 @@ impl NaiveBayes {
                     ((feature_counts[c * num_features + f] + smoothing) / denom).ln();
             }
         }
-        Self { log_prior, log_likelihood, num_features, k }
+        Self {
+            log_prior,
+            log_likelihood,
+            num_features,
+            k,
+        }
     }
 
     /// Number of classes.

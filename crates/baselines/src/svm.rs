@@ -18,7 +18,11 @@ pub struct SvmConfig {
 
 impl Default for SvmConfig {
     fn default() -> Self {
-        Self { lambda: 1e-4, epochs: 12, seed: 42 }
+        Self {
+            lambda: 1e-4,
+            epochs: 12,
+            seed: 42,
+        }
     }
 }
 
@@ -82,7 +86,12 @@ impl LinearSvm {
                 }
             }
         }
-        Self { weights, bias, num_features: l, k }
+        Self {
+            weights,
+            bias,
+            num_features: l,
+            k,
+        }
     }
 
     /// Number of classes.
@@ -135,7 +144,10 @@ mod tests {
                 labels.push(Some(c));
             }
         }
-        (CsrMatrix::from_triplets(k * n_per_class, k + 2, &trip).unwrap(), labels)
+        (
+            CsrMatrix::from_triplets(k * n_per_class, k + 2, &trip).unwrap(),
+            labels,
+        )
     }
 
     #[test]

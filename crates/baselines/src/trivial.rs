@@ -77,18 +77,8 @@ mod tests {
     #[test]
     fn lexicon_vote_scores_by_prior() {
         // feature 0 → class 0, feature 1 → class 1, feature 2 uniform
-        let sf0 = DenseMatrix::from_vec(
-            3,
-            2,
-            vec![0.9, 0.1, 0.1, 0.9, 0.5, 0.5],
-        )
-        .unwrap();
-        let x = CsrMatrix::from_triplets(
-            3,
-            3,
-            &[(0, 0, 2.0), (1, 1, 1.0), (2, 2, 5.0)],
-        )
-        .unwrap();
+        let sf0 = DenseMatrix::from_vec(3, 2, vec![0.9, 0.1, 0.1, 0.9, 0.5, 0.5]).unwrap();
+        let x = CsrMatrix::from_triplets(3, 3, &[(0, 0, 2.0), (1, 1, 1.0), (2, 2, 5.0)]).unwrap();
         let labels = lexicon_vote_rows(&x, &sf0, 1);
         assert_eq!(labels[0], 0);
         assert_eq!(labels[1], 1);

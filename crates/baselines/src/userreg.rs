@@ -26,7 +26,13 @@ pub struct UserRegConfig {
 
 impl Default for UserRegConfig {
     fn default() -> Self {
-        Self { k: 3, blend: 0.4, smoothing: 0.3, graph_iters: 5, nb_smoothing: 1.0 }
+        Self {
+            k: 3,
+            blend: 0.4,
+            smoothing: 0.3,
+            graph_iters: 5,
+            nb_smoothing: 1.0,
+        }
     }
 }
 
@@ -113,7 +119,11 @@ pub fn userreg(
         })
         .collect();
     let user_labels = user_dist.argmax_rows();
-    UserRegResult { tweet_labels: tweet_labels_out, user_labels, user_distributions: user_dist }
+    UserRegResult {
+        tweet_labels: tweet_labels_out,
+        user_labels,
+        user_distributions: user_dist,
+    }
 }
 
 fn softmax(log_scores: &[f64]) -> Vec<f64> {
@@ -160,7 +170,10 @@ mod tests {
     #[test]
     fn users_aggregate_to_their_class() {
         let (docs, labels, doc_user, graph) = setup();
-        let cfg = UserRegConfig { k: 2, ..Default::default() };
+        let cfg = UserRegConfig {
+            k: 2,
+            ..Default::default()
+        };
         let out = userreg(&docs, &labels, &doc_user, 4, &graph, &cfg);
         assert_eq!(out.user_labels, vec![0, 1]);
     }
@@ -168,10 +181,20 @@ mod tests {
     #[test]
     fn author_prior_corrects_ambiguous_tweets() {
         let (docs, labels, doc_user, graph) = setup();
-        let cfg = UserRegConfig { k: 2, blend: 0.6, ..Default::default() };
+        let cfg = UserRegConfig {
+            k: 2,
+            blend: 0.6,
+            ..Default::default()
+        };
         let out = userreg(&docs, &labels, &doc_user, 4, &graph, &cfg);
-        assert_eq!(out.tweet_labels[2], 0, "user 0's ambiguous tweet pulled to class 0");
-        assert_eq!(out.tweet_labels[5], 1, "user 1's ambiguous tweet pulled to class 1");
+        assert_eq!(
+            out.tweet_labels[2], 0,
+            "user 0's ambiguous tweet pulled to class 0"
+        );
+        assert_eq!(
+            out.tweet_labels[5], 1,
+            "user 1's ambiguous tweet pulled to class 1"
+        );
     }
 
     #[test]
@@ -181,15 +204,24 @@ mod tests {
         let labels = vec![Some(0), Some(0), Some(1), Some(1)];
         let doc_user = vec![0, 0, 1, 1];
         let graph = UserGraph::from_edges(3, &[(0, 2, 2.0)]);
-        let cfg = UserRegConfig { k: 2, ..Default::default() };
+        let cfg = UserRegConfig {
+            k: 2,
+            ..Default::default()
+        };
         let out = userreg(&docs, &labels, &doc_user, 4, &graph, &cfg);
-        assert_eq!(out.user_labels[2], 0, "tweetless user adopts neighbor sentiment");
+        assert_eq!(
+            out.user_labels[2], 0,
+            "tweetless user adopts neighbor sentiment"
+        );
     }
 
     #[test]
     fn distributions_are_normalized() {
         let (docs, labels, doc_user, graph) = setup();
-        let cfg = UserRegConfig { k: 2, ..Default::default() };
+        let cfg = UserRegConfig {
+            k: 2,
+            ..Default::default()
+        };
         let out = userreg(&docs, &labels, &doc_user, 4, &graph, &cfg);
         for i in 0..2 {
             let s: f64 = out.user_distributions.row(i).iter().sum();

@@ -19,8 +19,7 @@ fn labeled_docs(k: usize) -> impl Strategy<Value = (Vec<Vec<usize>>, Vec<Option<
                 docs.push(doc);
                 labels.push(Some(c));
             }
-            docs
-                .iter()
+            docs.iter()
                 .for_each(|d| debug_assert!(d.iter().all(|&f| f < 2 * k + 4)));
             (docs, labels)
         },

@@ -7,7 +7,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::RngExt;
 use std::hint::black_box;
 use tgs_linalg::{
-    approx_error_tri, mult_update, random_factor, seeded_rng, CsrMatrix, DenseMatrix,
+    approx_error_tri, mult_update, mult_update_from_parts, random_factor, seeded_rng,
+    split_pos_neg, CscView, CsrMatrix, DenseMatrix,
 };
 
 /// A random sparse matrix with ~`nnz_per_row` entries per row.
@@ -30,9 +31,28 @@ fn bench_spmm(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("mul_dense", n), &n, |b, _| {
             b.iter(|| black_box(x.mul_dense(&d)))
         });
+        let mut out = DenseMatrix::default();
+        group.bench_with_input(BenchmarkId::new("mul_dense_into", n), &n, |b, _| {
+            b.iter(|| {
+                x.mul_dense_into(&d, &mut out);
+                black_box(out.get(0, 0))
+            })
+        });
         let dt = random_factor(n, 3, 9);
         group.bench_with_input(BenchmarkId::new("transpose_mul_dense", n), &n, |b, _| {
             b.iter(|| black_box(x.transpose_mul_dense(&dt)))
+        });
+        // Fresh transpose each product vs the cached CscView forward pass.
+        group.bench_with_input(BenchmarkId::new("transpose_fresh_spmm", n), &n, |b, _| {
+            b.iter(|| black_box(x.transpose().mul_dense(&dt)))
+        });
+        let csc = CscView::of(&x);
+        let mut out_t = DenseMatrix::default();
+        group.bench_with_input(BenchmarkId::new("transpose_cached_spmm", n), &n, |b, _| {
+            b.iter(|| {
+                csc.transpose_mul_dense_into(&dt, &mut out_t);
+                black_box(out_t.get(0, 0))
+            })
         });
     }
     group.finish();
@@ -82,6 +102,64 @@ fn bench_objective(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fused multiplicative update vs the seed's allocating
+/// `add`/`matmul`/`axpy` chain — the per-rule hot path of every sweep.
+fn bench_fused_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_update");
+    for &(n, k) in &[(10_000usize, 3usize), (10_000, 10), (100_000, 3)] {
+        let id = format!("{n}x{k}");
+        let num_base = random_factor(n, k, 1);
+        let extra = random_factor(n, k, 2);
+        let delta = {
+            let a = random_factor(k, k, 3);
+            let b = random_factor(k, k, 4);
+            a.sub(&b) // signed k×k multiplier
+        };
+        let (dp, dm) = split_pos_neg(&delta);
+        let base_k = random_factor(k, k, 5);
+        let den_k = base_k.add(&dp);
+        let deg: Vec<f64> = (0..n).map(|i| (i % 7) as f64 * 0.3).collect();
+        let beta = 0.4;
+        let s0 = random_factor(n, k, 6);
+
+        let mut s = s0.clone();
+        group.bench_with_input(BenchmarkId::new("term_by_term", &id), &n, |b, _| {
+            b.iter(|| {
+                // the seed chain: 4 full-size temporaries per update
+                let mut num = num_base.add(&s.matmul(&dm));
+                num.axpy(beta, &extra);
+                let mut den = s.matmul(&den_k);
+                let mut du_s = s.clone();
+                for (i, &dv) in deg.iter().enumerate() {
+                    for v in du_s.row_mut(i) {
+                        *v *= dv;
+                    }
+                }
+                den.axpy(beta, &du_s);
+                mult_update(&mut s, &num, &den);
+                black_box(s.get(0, 0))
+            })
+        });
+        let mut s = s0.clone();
+        group.bench_with_input(BenchmarkId::new("fused", &id), &n, |b, _| {
+            b.iter(|| {
+                mult_update_from_parts(
+                    &mut s,
+                    &num_base,
+                    None,
+                    &dm,
+                    &den_k,
+                    &[(beta, &extra)],
+                    Some((beta, &deg)),
+                    0.0,
+                );
+                black_box(s.get(0, 0))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_dense_small(c: &mut Criterion) {
     let k = 3usize;
     let a: DenseMatrix = random_factor(k, k, 4);
@@ -94,6 +172,7 @@ criterion_group!(
     bench_spmm,
     bench_gram,
     bench_mult_update,
+    bench_fused_update,
     bench_objective,
     bench_dense_small
 );

@@ -4,12 +4,16 @@
 //! §3.2/§4.2 and Figs. 11(a)/12(a).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::RngExt;
 use std::hint::black_box;
 use tgs_bench::common::pipeline;
 use tgs_core::{
-    solve_offline, OfflineConfig, OnlineConfig, OnlineSolver, SnapshotData, TriInput,
+    solve_offline, updates, OfflineConfig, OnlineConfig, OnlineSolver, SnapshotData, TriFactors,
+    TriInput, UpdateWorkspace,
 };
 use tgs_data::{build_offline, generate, GeneratorConfig, SnapshotBuilder};
+use tgs_graph::UserGraph;
+use tgs_linalg::{seeded_rng, CsrMatrix, DenseMatrix};
 
 fn corpus_of_size(total_tweets: usize) -> GeneratorConfig {
     GeneratorConfig {
@@ -34,7 +38,12 @@ fn bench_offline_scaling(c: &mut Criterion) {
             graph: &inst.graph,
             sf0: &inst.sf0,
         };
-        let cfg = OfflineConfig { k: 3, max_iters: 10, tol: 0.0, ..Default::default() };
+        let cfg = OfflineConfig {
+            k: 3,
+            max_iters: 10,
+            tol: 0.0,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::new("10_iters", n), &n, |b, _| {
             b.iter(|| black_box(solve_offline(&input, &cfg)))
         });
@@ -57,8 +66,10 @@ fn bench_online_vs_batch(c: &mut Criterion) {
     group.bench_function("online", |b| {
         b.iter_batched(
             || {
-                let mut solver =
-                    OnlineSolver::new(OnlineConfig { max_iters: 20, ..Default::default() });
+                let mut solver = OnlineSolver::new(OnlineConfig {
+                    max_iters: 20,
+                    ..Default::default()
+                });
                 for w in windows.iter().take(warm) {
                     let s = builder.snapshot(&corpus, w.0, w.1);
                     if s.tweet_ids.is_empty() {
@@ -71,7 +82,10 @@ fn bench_online_vs_batch(c: &mut Criterion) {
                         graph: &s.graph,
                         sf0: builder.sf0(),
                     };
-                    solver.step(&SnapshotData { input, user_ids: &s.user_ids });
+                    solver.step(&SnapshotData {
+                        input,
+                        user_ids: &s.user_ids,
+                    });
                 }
                 solver
             },
@@ -83,12 +97,18 @@ fn bench_online_vs_batch(c: &mut Criterion) {
                     graph: &snap.graph,
                     sf0: builder.sf0(),
                 };
-                black_box(solver.step(&SnapshotData { input, user_ids: &snap.user_ids }))
+                black_box(solver.step(&SnapshotData {
+                    input,
+                    user_ids: &snap.user_ids,
+                }))
             },
             criterion::BatchSize::PerIteration,
         )
     });
-    let off = OfflineConfig { max_iters: 20, ..Default::default() };
+    let off = OfflineConfig {
+        max_iters: 20,
+        ..Default::default()
+    };
     group.bench_function("mini_batch", |b| {
         let input = TriInput {
             xp: &snap.xp,
@@ -112,5 +132,101 @@ fn bench_online_vs_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_offline_scaling, bench_online_vs_batch);
+/// Preset synthetic instance for the iteration benchmark.
+fn synthetic_sweep_instance(
+    n: usize,
+    m: usize,
+    l: usize,
+) -> (CsrMatrix, CsrMatrix, CsrMatrix, UserGraph, DenseMatrix) {
+    // sized like one day of the paper's Prop 30 stream (Table 3)
+    let mut rng = seeded_rng(23);
+    let rand_csr = |rows: usize, cols: usize, per_row: usize, rng: &mut rand::rngs::StdRng| {
+        let mut trip = Vec::with_capacity(rows * per_row);
+        for r in 0..rows {
+            for _ in 0..per_row {
+                trip.push((r, rng.random_range(0..cols), rng.random_range(0.2..2.0)));
+            }
+        }
+        CsrMatrix::from_triplets(rows, cols, &trip).unwrap()
+    };
+    let xp = rand_csr(n, l, 10, &mut rng);
+    let xu = rand_csr(m, l, 20, &mut rng);
+    let xr = rand_csr(m, n, n / m.max(1), &mut rng);
+    let edges: Vec<(usize, usize, f64)> = (0..m * 4)
+        .map(|_| (rng.random_range(0..m), rng.random_range(0..m), 1.0))
+        .filter(|&(a, b, _)| a != b)
+        .collect();
+    let graph = UserGraph::from_edges(m, &edges);
+    let sf0 = DenseMatrix::filled(l, 10, 0.1);
+
+    (xp, xu, xr, graph, sf0)
+}
+
+/// The PR's headline comparison: one full offline solver iteration —
+/// the five update rules plus the per-iteration objective evaluation the
+/// solver loop performs — through the seed's allocating per-rule
+/// implementation vs the fused [`UpdateWorkspace`] engine. The fused
+/// sweep produces bit-identical factors (property-tested in tgs-core)
+/// and an objective agreeing to ~1e-12 relative, so this isolates pure
+/// overhead: redundant shared products, from-scratch objective
+/// evaluation, scatter-order SpMM and allocation traffic.
+///
+/// Preset synthetic size: one paper-scale corpus (Table 3 order of
+/// magnitude) at the scaling rank `k = 10`.
+fn bench_offline_iteration_fused_vs_reference(c: &mut Criterion) {
+    let (n, m, l, k) = (40_000usize, 5_000usize, 10_000usize, 10usize);
+    let (xp, xu, xr, graph, sf0) = synthetic_sweep_instance(n, m, l);
+    let input = TriInput {
+        xp: &xp,
+        xu: &xu,
+        xr: &xr,
+        graph: &graph,
+        sf0: &sf0,
+    };
+    let (alpha, beta) = (0.1, 0.5);
+
+    let mut group = c.benchmark_group("offline_iteration_k10");
+    group.sample_size(10);
+    // The frozen pre-PR implementation (see `tgs_bench::seed_baseline`):
+    // this series must never change meaning across PRs.
+    let mut f_seed = TriFactors::random(n, m, l, k, 99);
+    group.bench_function("seed_baseline", |b| {
+        b.iter(|| {
+            black_box(tgs_bench::seed_baseline::iteration(
+                &input,
+                &mut f_seed,
+                alpha,
+                beta,
+            ))
+        })
+    });
+    let mut f_ref = TriFactors::random(n, m, l, k, 99);
+    group.bench_function("reference_rules", |b| {
+        b.iter(|| {
+            updates::update_sp(&input, &mut f_ref);
+            updates::update_hp(&input, &mut f_ref);
+            updates::update_su_offline(&input, &mut f_ref, beta);
+            updates::update_hu(&input, &mut f_ref);
+            updates::update_sf(&input, &mut f_ref, alpha, &sf0);
+            black_box(tgs_core::offline_objective(&input, &f_ref, alpha, beta).total())
+        })
+    });
+    let mut f_fused = TriFactors::random(n, m, l, k, 99);
+    let mut ws = UpdateWorkspace::new();
+    ws.bind(&input);
+    group.bench_function("fused_workspace", |b| {
+        b.iter(|| {
+            ws.sweep_offline(&input, &mut f_fused, alpha, beta, &sf0);
+            black_box(ws.objective_offline(&input, &f_fused, alpha, beta).total())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_offline_iteration_fused_vs_reference,
+    bench_offline_scaling,
+    bench_online_vs_batch
+);
 criterion_main!(benches);

@@ -9,15 +9,15 @@
 //!
 //! `cargo run -p tgs-bench --release --bin ablations`
 
+use tgs_baselines::subsample_labels;
 use tgs_bench::common::{
     as_input, corpus, instance, labeled_users, pipeline, polar_tweets, select, Scale, Topic,
 };
 use tgs_bench::report::{emit, pct, Table};
 use tgs_bench::stream::run_online_stream;
-use tgs_baselines::subsample_labels;
 use tgs_core::{
-    solve_guided, solve_offline, Guidance, GuidedConfig, InitStrategy, OfflineConfig,
-    OnlineConfig, TriInput,
+    solve_guided, solve_offline, Guidance, GuidedConfig, InitStrategy, OfflineConfig, OnlineConfig,
+    TriInput,
 };
 use tgs_data::SnapshotBuilder;
 use tgs_eval::{clustering_accuracy, hungarian_accuracy};
@@ -34,7 +34,12 @@ fn main() {
 
     let mut table = Table::new(
         "Ablations: contribution of each framework component (Prop 30)",
-        &["variant", "tweet acc %", "user acc %", "tweet acc (Hungarian) %"],
+        &[
+            "variant",
+            "tweet acc %",
+            "user acc %",
+            "tweet acc (Hungarian) %",
+        ],
     )
     .with_note(format!(
         "offline k=3, alpha=0.05, beta=0.8 unless stated; scale = {}",
@@ -60,13 +65,23 @@ fn main() {
     // 1. coupling ablations: empty matrices switch terms off.
     let (n, m, l) = (inst.xp.rows(), inst.xu.rows(), inst.xp.cols());
     let empty_xu = CsrMatrix::zeros(m, l);
-    let no_xu =
-        TriInput { xp: &inst.xp, xu: &empty_xu, xr: &inst.xr, graph: &inst.graph, sf0: &inst.sf0 };
+    let no_xu = TriInput {
+        xp: &inst.xp,
+        xu: &empty_xu,
+        xr: &inst.xr,
+        graph: &inst.graph,
+        sf0: &inst.sf0,
+    };
     run("- user-feature term (Xu)", &no_xu, &base);
 
     let empty_xr = CsrMatrix::zeros(m, n);
-    let no_xr =
-        TriInput { xp: &inst.xp, xu: &inst.xu, xr: &empty_xr, graph: &inst.graph, sf0: &inst.sf0 };
+    let no_xr = TriInput {
+        xp: &inst.xp,
+        xu: &inst.xu,
+        xr: &empty_xr,
+        graph: &inst.graph,
+        sf0: &inst.sf0,
+    };
     run("- user-tweet term (Xr)", &no_xr, &base);
 
     let empty_graph = UserGraph::empty(m);
@@ -79,20 +94,34 @@ fn main() {
     };
     run("- social graph (beta term)", &no_graph, &base);
 
-    run("- lexicon (alpha = 0)", &full_input, &OfflineConfig { alpha: 0.0, ..base.clone() });
+    run(
+        "- lexicon (alpha = 0)",
+        &full_input,
+        &OfflineConfig {
+            alpha: 0.0,
+            ..base.clone()
+        },
+    );
     // alpha = 0 still inherits the lexicon through the seeded init; this
     // row removes it entirely.
     run(
         "- lexicon entirely (alpha = 0, random init)",
         &full_input,
-        &OfflineConfig { alpha: 0.0, init: InitStrategy::Random, ..base.clone() },
+        &OfflineConfig {
+            alpha: 0.0,
+            init: InitStrategy::Random,
+            ..base.clone()
+        },
     );
 
     // 2. initialization ablation.
     run(
         "random init (paper-literal)",
         &full_input,
-        &OfflineConfig { init: InitStrategy::Random, ..base.clone() },
+        &OfflineConfig {
+            init: InitStrategy::Random,
+            ..base.clone()
+        },
     );
 
     // Extension from the paper's conclusion: guided (semi-supervised)
@@ -100,8 +129,15 @@ fn main() {
     {
         let tweet_seeds = subsample_labels(&inst.tweet_labels, 0.10);
         let user_seeds = subsample_labels(&inst.user_labels, 0.10);
-        let guidance = Guidance { tweet_labels: &tweet_seeds, user_labels: &user_seeds };
-        let cfg = GuidedConfig { delta: 0.8, sparsity: 0.0, base: OfflineConfig::default() };
+        let guidance = Guidance {
+            tweet_labels: &tweet_seeds,
+            user_labels: &user_seeds,
+        };
+        let cfg = GuidedConfig {
+            delta: 0.8,
+            sparsity: 0.0,
+            base: OfflineConfig::default(),
+        };
         let result = solve_guided(&full_input, &guidance, &cfg);
         let t_pred = select(&polar, &result.tweet_labels());
         let u_pred = select(&u_eval, &result.user_labels());
@@ -120,17 +156,49 @@ fn main() {
     let builder = SnapshotBuilder::new(&c, 3, &pipeline());
     let mut online_table = Table::new(
         "Ablations: online temporal-window variants (Prop 30, daily stream)",
-        &["variant", "tweet acc %", "user acc %", "user acc (majority vote) %"],
+        &[
+            "variant",
+            "tweet acc %",
+            "user acc %",
+            "user acc (majority vote) %",
+        ],
     )
-    .with_note(format!("w = 2, alpha = tau = 0.9, beta = 0.8, gamma = 0.2; scale = {}", scale.name()));
+    .with_note(format!(
+        "w = 2, alpha = tau = 0.9, beta = 0.8, gamma = 0.2; scale = {}",
+        scale.name()
+    ));
     for (name, cfg) in [
-        ("normalized windows (default)", OnlineConfig { max_iters: 40, ..Default::default() }),
+        (
+            "normalized windows (default)",
+            OnlineConfig {
+                max_iters: 40,
+                ..Default::default()
+            },
+        ),
         (
             "unnormalized windows (paper-literal)",
-            OnlineConfig { normalize_window: false, max_iters: 40, ..Default::default() },
+            OnlineConfig {
+                normalize_window: false,
+                max_iters: 40,
+                ..Default::default()
+            },
         ),
-        ("gamma = 0 (no user smoothing)", OnlineConfig { gamma: 0.0, max_iters: 40, ..Default::default() }),
-        ("alpha = 0 (no Sf smoothing)", OnlineConfig { alpha: 0.0, max_iters: 40, ..Default::default() }),
+        (
+            "gamma = 0 (no user smoothing)",
+            OnlineConfig {
+                gamma: 0.0,
+                max_iters: 40,
+                ..Default::default()
+            },
+        ),
+        (
+            "alpha = 0 (no Sf smoothing)",
+            OnlineConfig {
+                alpha: 0.0,
+                max_iters: 40,
+                ..Default::default()
+            },
+        ),
     ] {
         let eval = run_online_stream(&c, &builder, &cfg, 1);
         online_table.push_row(vec![

@@ -3,5 +3,8 @@ use tgs_bench::{common::Scale, common::Topic, emit, experiments};
 
 fn main() {
     let scale = Scale::from_env();
-    emit(&experiments::fig_online_timeline(Topic::Prop30, scale), "fig11_online_prop30");
+    emit(
+        &experiments::fig_online_timeline(Topic::Prop30, scale),
+        "fig11_online_prop30",
+    );
 }

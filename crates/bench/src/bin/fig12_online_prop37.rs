@@ -3,5 +3,8 @@ use tgs_bench::{common::Scale, common::Topic, emit, experiments};
 
 fn main() {
     let scale = Scale::from_env();
-    emit(&experiments::fig_online_timeline(Topic::Prop37, scale), "fig12_online_prop37");
+    emit(
+        &experiments::fig_online_timeline(Topic::Prop37, scale),
+        "fig12_online_prop37",
+    );
 }

@@ -3,5 +3,8 @@ use tgs_bench::{common::Scale, emit, experiments};
 
 fn main() {
     let scale = Scale::from_env();
-    emit(&experiments::fig4_feature_evolution(scale), "fig4_feature_evolution");
+    emit(
+        &experiments::fig4_feature_evolution(scale),
+        "fig4_feature_evolution",
+    );
 }

@@ -3,5 +3,8 @@ use tgs_bench::{common::Scale, emit, experiments};
 
 fn main() {
     let scale = Scale::from_env();
-    emit(&experiments::fig9_online_alpha_tau(scale), "fig9_online_alpha_tau");
+    emit(
+        &experiments::fig9_online_alpha_tau(scale),
+        "fig9_online_alpha_tau",
+    );
 }

@@ -17,7 +17,12 @@ fn main() {
     let scale = Scale::from_env();
     let mut table = Table::new(
         "Observation 2: pre- vs post-election user sentiment correlation",
-        &["topic", "ground-truth Pearson r", "inferred Pearson r", "flip fraction %"],
+        &[
+            "topic",
+            "ground-truth Pearson r",
+            "inferred Pearson r",
+            "flip fraction %",
+        ],
     )
     .with_note(format!(
         "paper (via Smith et al.): r = 0.851 between user sentiments before and after \
@@ -27,15 +32,18 @@ fn main() {
     for topic in [Topic::Prop30, Topic::Prop37] {
         let c = corpus(topic, scale);
         let split = c.num_days * 3 / 4; // the election sits in the last quarter
-        // Ground truth: signed stance score per user in each period
-        // (+1 pos, −1 neg, 0 neu).
+                                        // Ground truth: signed stance score per user in each period
+                                        // (+1 pos, −1 neg, 0 neu).
         let score = |class: usize| match class {
             0 => 1.0,
             1 => -1.0,
             _ => 0.0,
         };
-        let before: Vec<f64> =
-            c.user_truth_at(split / 2).iter().map(|&s| score(s)).collect();
+        let before: Vec<f64> = c
+            .user_truth_at(split / 2)
+            .iter()
+            .map(|&s| score(s))
+            .collect();
         let after: Vec<f64> = c
             .user_truth_at(c.num_days - 1)
             .iter()
@@ -46,7 +54,10 @@ fn main() {
         // Inferred: run the online solver, record each user's inferred
         // stance in the two halves (last estimate in each period).
         let builder = SnapshotBuilder::new(&c, 3, &pipeline());
-        let mut solver = OnlineSolver::new(OnlineConfig { max_iters: 40, ..Default::default() });
+        let mut solver = OnlineSolver::new(OnlineConfig {
+            max_iters: 40,
+            ..Default::default()
+        });
         let mut first_half: Vec<Option<usize>> = vec![None; c.num_users()];
         let mut second_half: Vec<Option<usize>> = vec![None; c.num_users()];
         for (lo, hi) in day_windows(c.num_days, 2) {
@@ -61,9 +72,16 @@ fn main() {
                 graph: &snap.graph,
                 sf0: builder.sf0(),
             };
-            let result = solver.step(&SnapshotData { input, user_ids: &snap.user_ids });
+            let result = solver.step(&SnapshotData {
+                input,
+                user_ids: &snap.user_ids,
+            });
             let labels = result.user_labels();
-            let bucket = if hi <= split { &mut first_half } else { &mut second_half };
+            let bucket = if hi <= split {
+                &mut first_half
+            } else {
+                &mut second_half
+            };
             for (row, &u) in snap.user_ids.iter().enumerate() {
                 bucket[u] = Some(labels[row]);
             }

@@ -25,9 +25,13 @@ fn main() {
         all.push((name.to_string(), table));
     };
 
-    run("table2_top_words", &mut || experiments::table2_top_words(scale));
+    run("table2_top_words", &mut || {
+        experiments::table2_top_words(scale)
+    });
     run("table3_stats", &mut || experiments::table3_stats(scale));
-    run("fig4_feature_evolution", &mut || experiments::fig4_feature_evolution(scale));
+    run("fig4_feature_evolution", &mut || {
+        experiments::fig4_feature_evolution(scale)
+    });
     let mut sweep: Option<(Table, Table)> = None;
     run("fig6_param_sweep_user", &mut || {
         let (fig6, fig7) = experiments::param_sweep(scale);
@@ -36,7 +40,9 @@ fn main() {
     });
     let fig7 = sweep.take().expect("sweep ran").1;
     run("fig7_param_sweep_tweet", &mut || fig7.clone());
-    run("fig8_convergence", &mut || experiments::fig8_convergence(scale));
+    run("fig8_convergence", &mut || {
+        experiments::fig8_convergence(scale)
+    });
     let mut cmp: Option<(Table, Table)> = None;
     run("table4_tweet_comparison", &mut || {
         let (t4, t5) = experiments::method_comparison(scale);
@@ -45,10 +51,16 @@ fn main() {
     });
     let t5 = cmp.take().expect("comparison ran").1;
     run("table5_user_comparison", &mut || t5.clone());
-    run("fig9_online_alpha_tau", &mut || experiments::fig9_online_alpha_tau(scale));
+    run("fig9_online_alpha_tau", &mut || {
+        experiments::fig9_online_alpha_tau(scale)
+    });
     run("fig10_gamma", &mut || experiments::fig10_gamma(scale));
-    run("fig11_online_prop30", &mut || experiments::fig_online_timeline(Topic::Prop30, scale));
-    run("fig12_online_prop37", &mut || experiments::fig_online_timeline(Topic::Prop37, scale));
+    run("fig11_online_prop30", &mut || {
+        experiments::fig_online_timeline(Topic::Prop30, scale)
+    });
+    run("fig12_online_prop37", &mut || {
+        experiments::fig_online_timeline(Topic::Prop37, scale)
+    });
 
     // Combined markdown report.
     let mut md = String::new();

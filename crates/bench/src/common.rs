@@ -107,7 +107,13 @@ pub fn instance(topic: Topic, scale: Scale) -> Arc<ProblemInstance> {
 
 /// Borrow an instance as a solver input.
 pub fn as_input(inst: &ProblemInstance) -> TriInput<'_> {
-    TriInput { xp: &inst.xp, xu: &inst.xu, xr: &inst.xr, graph: &inst.graph, sf0: &inst.sf0 }
+    TriInput {
+        xp: &inst.xp,
+        xu: &inst.xu,
+        xr: &inst.xr,
+        graph: &inst.graph,
+        sf0: &inst.sf0,
+    }
 }
 
 /// Indices of tweets whose ground truth is polar (pos/neg) — the paper's
@@ -139,8 +145,13 @@ pub fn labeled_users(labels: &[Option<usize>]) -> Vec<usize> {
 /// Calendar label for a day offset from Aug 1 (matching the figures'
 /// x-axes: Aug 1 / Sep 1 / Oct 1 / Election / Dec 1).
 pub fn day_label(day: u32) -> String {
-    const MONTHS: &[(&str, u32)] =
-        &[("Aug", 31), ("Sep", 30), ("Oct", 31), ("Nov", 30), ("Dec", 31)];
+    const MONTHS: &[(&str, u32)] = &[
+        ("Aug", 31),
+        ("Sep", 30),
+        ("Oct", 31),
+        ("Nov", 30),
+        ("Dec", 31),
+    ];
     if day == presets::DAY_ELECTION {
         return "Election".to_string();
     }

@@ -12,7 +12,9 @@ use tgs_core::{solve_offline, OfflineConfig, OnlineConfig};
 use tgs_data::SnapshotBuilder;
 use tgs_eval::{clustering_accuracy, nmi};
 
-use crate::common::{as_input, corpus, instance, labeled_users, pipeline, polar_tweets, select, Scale, Topic};
+use crate::common::{
+    as_input, corpus, instance, labeled_users, pipeline, polar_tweets, select, Scale, Topic,
+};
 use crate::report::{pct, Table};
 use crate::stream::run_online_stream;
 
@@ -112,8 +114,12 @@ fn topic_scores(topic: Topic, scale: Scale) -> TopicScores {
         let pred = propagate_labels(&tweet_graph, &seeds, 3, &LabelPropConfig::default());
         out.tweet.insert(name, eval_tweets(&pred));
         let user_seeds = subsample_labels(&inst.user_labels, fraction);
-        let upred =
-            propagate_labels(inst.graph.adjacency(), &user_seeds, 3, &LabelPropConfig::default());
+        let upred = propagate_labels(
+            inst.graph.adjacency(),
+            &user_seeds,
+            3,
+            &LabelPropConfig::default(),
+        );
         out.user.insert(name, eval_users(&upred));
     }
 
@@ -128,7 +134,8 @@ fn topic_scores(topic: Topic, scale: Scale) -> TopicScores {
         &inst.graph,
         &UserRegConfig::default(),
     );
-    out.tweet.insert("UserReg-10", eval_tweets(&ur.tweet_labels));
+    out.tweet
+        .insert("UserReg-10", eval_tweets(&ur.tweet_labels));
     out.user.insert("UserReg-10", eval_users(&ur.user_labels));
 
     // ---- unsupervised: ESSA (tweet-level) ----
@@ -137,7 +144,11 @@ fn topic_scores(topic: Topic, scale: Scale) -> TopicScores {
         &inst.xp,
         &inst.sf0,
         Some(&emotion_graph),
-        &EssaConfig { k: 3, max_iters: 60, ..Default::default() },
+        &EssaConfig {
+            k: 3,
+            max_iters: 60,
+            ..Default::default()
+        },
     );
     out.tweet.insert("ESSA", eval_tweets(&essa.tweet_labels()));
 
@@ -145,13 +156,18 @@ fn topic_scores(topic: Topic, scale: Scale) -> TopicScores {
     let bacg = solve_bacg(
         &inst.xu,
         &inst.graph,
-        &BacgConfig { k: 3, max_iters: 60, ..Default::default() },
+        &BacgConfig {
+            k: 3,
+            max_iters: 60,
+            ..Default::default()
+        },
     );
     out.user.insert("BACG", eval_users(&bacg.user_labels()));
 
     // ---- extras beyond the paper's rows ----
     let onmtf = solve_onmtf(&inst.xp, 3, 60, 42);
-    out.tweet.insert("(+) ONMTF", eval_tweets(&onmtf.tweet_labels()));
+    out.tweet
+        .insert("(+) ONMTF", eval_tweets(&onmtf.tweet_labels()));
     out.tweet.insert(
         "(+) Lexicon vote",
         eval_tweets(&lexicon_vote_rows(&inst.xp, &inst.sf0, 2)),
@@ -162,28 +178,46 @@ fn topic_scores(topic: Topic, scale: Scale) -> TopicScores {
     );
     let km = tgs_baselines::kmeans(
         &inst.xu,
-        &tgs_baselines::KMeansConfig { k: 3, ..Default::default() },
+        &tgs_baselines::KMeansConfig {
+            k: 3,
+            ..Default::default()
+        },
     );
     out.user.insert("(+) k-means", eval_users(&km.labels));
 
     // ---- tri-clustering (offline, paper's balanced alpha/beta) ----
     let tri = solve_offline(
         &input,
-        &OfflineConfig { k: 3, alpha: 0.05, beta: 0.8, max_iters: 100, ..Default::default() },
+        &OfflineConfig {
+            k: 3,
+            alpha: 0.05,
+            beta: 0.8,
+            max_iters: 100,
+            ..Default::default()
+        },
     );
-    out.tweet.insert("Tri-clustering", eval_tweets(&tri.tweet_labels()));
-    out.user.insert("Tri-clustering", eval_users(&tri.user_labels()));
+    out.tweet
+        .insert("Tri-clustering", eval_tweets(&tri.tweet_labels()));
+    out.user
+        .insert("Tri-clustering", eval_users(&tri.user_labels()));
 
     // ---- online tri-clustering (daily stream, w = 2) ----
     let builder = SnapshotBuilder::new(&c, 3, &pipeline());
     // 40 iterations per snapshot, matching Figs. 9–10: the early stop
     // acts as implicit temporal smoothing (more per-snapshot iterations
     // drift user estimates away from the decayed prior).
-    let online_cfg = OnlineConfig { k: 3, max_iters: 40, ..Default::default() };
+    let online_cfg = OnlineConfig {
+        k: 3,
+        max_iters: 40,
+        ..Default::default()
+    };
     let stream = run_online_stream(&c, &builder, &online_cfg, 1);
     out.tweet.insert(
         "Online tri-clustering",
-        (stream.tweet_acc, nmi(&select(&polar, &stream.tweet_pred), &t_truth)),
+        (
+            stream.tweet_acc,
+            nmi(&select(&polar, &stream.tweet_pred), &t_truth),
+        ),
     );
     // The online system's *overall* user-stance estimate: majority vote
     // over every snapshot the user appeared in — the temporal counterpart
@@ -232,13 +266,16 @@ pub fn method_comparison(scale: Scale) -> (Table, Table) {
     let s30 = topic_scores(Topic::Prop30, scale);
     let s37 = topic_scores(Topic::Prop37, scale);
     let headers = ["method", "Acc 30", "Acc 37", "NMI 30", "NMI 37"];
-    let mut t4 = Table::new("Table 4: tweet-level sentiment analysis comparison", &headers)
-        .with_note(format!(
-            "paper: SVM 89.35/93.17, NB 85.75/89.22, LP-5 77.20/87.49, LP-10 86.60/88.20, \
+    let mut t4 = Table::new(
+        "Table 4: tweet-level sentiment analysis comparison",
+        &headers,
+    )
+    .with_note(format!(
+        "paper: SVM 89.35/93.17, NB 85.75/89.22, LP-5 77.20/87.49, LP-10 86.60/88.20, \
              UserReg-10 86.76/90.08, ESSA 81.69/85.87, Tri 81.87/92.15, Online 91.88/92.24; \
              rows marked (+) are extra baselines; scale = {}",
-            scale.name()
-        ));
+        scale.name()
+    ));
     for &m in TWEET_METHODS {
         let a = s30.tweet.get(m);
         let b = s37.tweet.get(m);
@@ -250,13 +287,16 @@ pub fn method_comparison(scale: Scale) -> (Table, Table) {
             b.map_or("-".into(), |s| pct(s.1)),
         ]);
     }
-    let mut t5 = Table::new("Table 5: user-level sentiment analysis comparison", &headers)
-        .with_note(format!(
-            "paper: SVM 89.81/87.84, NB 88.69/83.8, LP-5 31.77/82.05, LP-10 77.45/84.25, \
+    let mut t5 = Table::new(
+        "Table 5: user-level sentiment analysis comparison",
+        &headers,
+    )
+    .with_note(format!(
+        "paper: SVM 89.81/87.84, NB 88.69/83.8, LP-5 31.77/82.05, LP-10 77.45/84.25, \
              UserReg-10 82.10/84.28, BACG 75.37/70.51, Tri 86.88/86.17, Online 89.22/88.48; \
              scale = {}",
-            scale.name()
-        ));
+        scale.name()
+    ));
     for &m in USER_METHODS {
         let a = s30.user.get(m);
         let b = s37.user.get(m);

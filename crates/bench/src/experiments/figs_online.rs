@@ -36,7 +36,12 @@ pub fn fig9_online_alpha_tau(scale: Scale) -> Table {
             if tau == 0.0 {
                 continue; // tau must be in (0, 1]
             }
-            let cfg = OnlineConfig { alpha, tau, max_iters: 40, ..Default::default() };
+            let cfg = OnlineConfig {
+                alpha,
+                tau,
+                max_iters: 40,
+                ..Default::default()
+            };
             let eval = run_online_stream(&c, &builder, &cfg, 1);
             t.push_row(vec![
                 format!("{alpha:.1}"),
@@ -67,9 +72,17 @@ pub fn fig10_gamma(scale: Scale) -> Table {
         scale.name()
     ));
     for &gamma in &grid {
-        let cfg = OnlineConfig { gamma, max_iters: 40, ..Default::default() };
+        let cfg = OnlineConfig {
+            gamma,
+            max_iters: 40,
+            ..Default::default()
+        };
         let eval = run_online_stream(&c, &builder, &cfg, 1);
-        t.push_row(vec![format!("{gamma:.1}"), pct(eval.user_acc), pct(eval.tweet_acc)]);
+        t.push_row(vec![
+            format!("{gamma:.1}"),
+            pct(eval.user_acc),
+            pct(eval.tweet_acc),
+        ]);
     }
     t
 }
@@ -78,8 +91,14 @@ pub fn fig10_gamma(scale: Scale) -> Table {
 /// user-level accuracy for online vs mini-batch vs full-batch.
 pub fn fig_online_timeline(topic: Topic, scale: Scale) -> Table {
     let (c, builder) = builder_for(topic, scale);
-    let online_cfg = OnlineConfig { max_iters: 60, ..Default::default() };
-    let offline_cfg = OfflineConfig { max_iters: 60, ..Default::default() };
+    let online_cfg = OnlineConfig {
+        max_iters: 60,
+        ..Default::default()
+    };
+    let offline_cfg = OfflineConfig {
+        max_iters: 60,
+        ..Default::default()
+    };
     // Daily at full scale (like the paper); 2-day windows at small scale
     // to keep snapshots non-trivial.
     let window = match scale {
@@ -89,9 +108,16 @@ pub fn fig_online_timeline(topic: Topic, scale: Scale) -> Table {
     let online = run_online_stream(&c, &builder, &online_cfg, window);
     let mini = run_minibatch_stream(&c, &builder, &offline_cfg, window);
     let full = run_fullbatch_stream(&c, &builder, &offline_cfg, window);
-    let fig = if topic == Topic::Prop30 { "Fig. 11" } else { "Fig. 12" };
+    let fig = if topic == Topic::Prop30 {
+        "Fig. 11"
+    } else {
+        "Fig. 12"
+    };
     let mut t = Table::new(
-        format!("{fig}: online performance over the timeline ({})", topic.name()),
+        format!(
+            "{fig}: online performance over the timeline ({})",
+            topic.name()
+        ),
         &[
             "day",
             "n(t)",
@@ -123,7 +149,12 @@ pub fn fig_online_timeline(topic: Topic, scale: Scale) -> Table {
     ));
     assert_eq!(online.steps.len(), mini.steps.len());
     assert_eq!(online.steps.len(), full.steps.len());
-    for ((o, m), f) in online.steps.iter().zip(mini.steps.iter()).zip(full.steps.iter()) {
+    for ((o, m), f) in online
+        .steps
+        .iter()
+        .zip(mini.steps.iter())
+        .zip(full.steps.iter())
+    {
         t.push_row(vec![
             day_label(o.lo),
             o.n_t.to_string(),

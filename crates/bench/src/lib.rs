@@ -12,6 +12,7 @@
 pub mod common;
 pub mod experiments;
 pub mod report;
+pub mod seed_baseline;
 pub mod stream;
 
 pub use common::{Scale, Topic};

@@ -59,7 +59,13 @@ pub struct StreamEval {
 }
 
 fn snapshot_input<'a>(snap: &'a SnapshotInstance, builder: &'a SnapshotBuilder) -> TriInput<'a> {
-    TriInput { xp: &snap.xp, xu: &snap.xu, xr: &snap.xr, graph: &snap.graph, sf0: builder.sf0() }
+    TriInput {
+        xp: &snap.xp,
+        xu: &snap.xu,
+        xr: &snap.xr,
+        graph: &snap.graph,
+        sf0: builder.sf0(),
+    }
 }
 
 fn eval_snapshot(
@@ -72,7 +78,10 @@ fn eval_snapshot(
     let tweet_acc = if polar.is_empty() {
         1.0
     } else {
-        clustering_accuracy(&select(&polar, tweet_labels), &select(&polar, &snap.tweet_truth))
+        clustering_accuracy(
+            &select(&polar, tweet_labels),
+            &select(&polar, &snap.tweet_truth),
+        )
     };
     // User-level accuracy on the snapshot's *labeled* users (the paper
     // evaluates against Table 3's labeled user set).
@@ -82,7 +91,10 @@ fn eval_snapshot(
     let user_acc = if labeled.is_empty() {
         1.0
     } else {
-        clustering_accuracy(&select(&labeled, user_labels), &select(&labeled, &snap.user_truth))
+        clustering_accuracy(
+            &select(&labeled, user_labels),
+            &select(&labeled, &snap.user_truth),
+        )
     };
     (tweet_acc, user_acc)
 }
@@ -98,13 +110,19 @@ fn finish(
     let tweet_acc = if total_weight == 0 {
         0.0
     } else {
-        steps.iter().map(|s| s.tweet_acc * s.n_t as f64).sum::<f64>() / total_weight as f64
+        steps
+            .iter()
+            .map(|s| s.tweet_acc * s.n_t as f64)
+            .sum::<f64>()
+            / total_weight as f64
     };
     let user_truth = corpus.user_truth();
     let user_pred: Vec<usize> = user_last.iter().map(|l| l.unwrap_or(0)).collect();
     let eval_set = labeled_users(&corpus.user_labels());
-    let user_acc =
-        clustering_accuracy(&select(&eval_set, &user_pred), &select(&eval_set, &user_truth));
+    let user_acc = clustering_accuracy(
+        &select(&eval_set, &user_pred),
+        &select(&eval_set, &user_truth),
+    );
     let user_majority_pred: Vec<usize> = user_votes
         .iter()
         .map(|v| (0..3).max_by_key(|&c| v[c]).unwrap_or(0))
@@ -146,7 +164,10 @@ pub fn run_online_stream(
         }
         let input = snapshot_input(&snap, builder);
         let start = Instant::now();
-        let result = solver.step(&SnapshotData { input, user_ids: &snap.user_ids });
+        let result = solver.step(&SnapshotData {
+            input,
+            user_ids: &snap.user_ids,
+        });
         let elapsed = start.elapsed();
         let tweet_labels = result.tweet_labels();
         let user_labels = result.user_labels();
@@ -251,10 +272,16 @@ pub fn run_fullbatch_stream(
             .enumerate()
             .map(|(row, &id)| (id, row))
             .collect();
-        let tweet_labels: Vec<usize> =
-            snap.tweet_ids.iter().map(|id| all_tweet_labels[tweet_pos[id]]).collect();
-        let user_labels: Vec<usize> =
-            snap.user_ids.iter().map(|id| all_user_labels[user_pos[id]]).collect();
+        let tweet_labels: Vec<usize> = snap
+            .tweet_ids
+            .iter()
+            .map(|id| all_tweet_labels[tweet_pos[id]])
+            .collect();
+        let user_labels: Vec<usize> = snap
+            .user_ids
+            .iter()
+            .map(|id| all_user_labels[user_pos[id]])
+            .collect();
         let (tweet_acc, user_acc) = eval_snapshot(&snap, corpus, &tweet_labels, &user_labels);
         for (row, &id) in snap.tweet_ids.iter().enumerate() {
             tweet_pred[id] = tweet_labels[row];
@@ -285,7 +312,10 @@ mod tests {
     fn online_stream_produces_records() {
         let c = corpus(Topic::Prop30, Scale::Small);
         let builder = SnapshotBuilder::new(&c, 3, &pipeline());
-        let cfg = OnlineConfig { max_iters: 20, ..Default::default() };
+        let cfg = OnlineConfig {
+            max_iters: 20,
+            ..Default::default()
+        };
         let eval = run_online_stream(&c, &builder, &cfg, 8);
         assert!(!eval.steps.is_empty());
         assert!(eval.tweet_acc > 0.4, "tweet acc {}", eval.tweet_acc);
@@ -298,7 +328,10 @@ mod tests {
     fn minibatch_stream_runs() {
         let c = corpus(Topic::Prop30, Scale::Small);
         let builder = SnapshotBuilder::new(&c, 3, &pipeline());
-        let cfg = OfflineConfig { max_iters: 15, ..Default::default() };
+        let cfg = OfflineConfig {
+            max_iters: 15,
+            ..Default::default()
+        };
         let eval = run_minibatch_stream(&c, &builder, &cfg, 10);
         assert_eq!(
             eval.steps.len(),
@@ -311,7 +344,10 @@ mod tests {
     fn fullbatch_slower_than_minibatch() {
         let c = corpus(Topic::Prop30, Scale::Small);
         let builder = SnapshotBuilder::new(&c, 3, &pipeline());
-        let cfg = OfflineConfig { max_iters: 10, ..Default::default() };
+        let cfg = OfflineConfig {
+            max_iters: 10,
+            ..Default::default()
+        };
         let mini = run_minibatch_stream(&c, &builder, &cfg, 10);
         let full = run_fullbatch_stream(&c, &builder, &cfg, 10);
         assert!(

@@ -149,18 +149,31 @@ mod tests {
     #[test]
     #[should_panic(expected = "alpha must be in [0, 1]")]
     fn offline_bad_alpha() {
-        OfflineConfig { alpha: 2.0, ..Default::default() }.validate();
+        OfflineConfig {
+            alpha: 2.0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "tau must be in (0, 1]")]
     fn online_bad_tau() {
-        OnlineConfig { tau: 0.0, ..Default::default() }.validate();
+        OnlineConfig {
+            tau: 0.0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     fn first_snapshot_inherits_parameters() {
-        let on = OnlineConfig { alpha: 0.3, beta: 0.5, k: 2, ..Default::default() };
+        let on = OnlineConfig {
+            alpha: 0.3,
+            beta: 0.5,
+            k: 2,
+            ..Default::default()
+        };
         let off = on.first_snapshot_offline();
         assert_eq!(off.alpha, 0.3);
         assert_eq!(off.beta, 0.5);

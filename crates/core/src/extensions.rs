@@ -47,7 +47,11 @@ pub struct GuidedConfig {
 
 impl Default for GuidedConfig {
     fn default() -> Self {
-        Self { base: OfflineConfig::default(), delta: 0.5, sparsity: 0.0 }
+        Self {
+            base: OfflineConfig::default(),
+            delta: 0.5,
+            sparsity: 0.0,
+        }
     }
 }
 
@@ -55,8 +59,14 @@ impl GuidedConfig {
     /// Validates invariants.
     pub fn validate(&self) {
         self.base.validate();
-        assert!(self.delta >= 0.0 && self.delta.is_finite(), "delta must be non-negative");
-        assert!(self.sparsity >= 0.0 && self.sparsity.is_finite(), "sparsity must be non-negative");
+        assert!(
+            self.delta >= 0.0 && self.delta.is_finite(),
+            "delta must be non-negative"
+        );
+        assert!(
+            self.sparsity >= 0.0 && self.sparsity.is_finite(),
+            "sparsity must be non-negative"
+        );
     }
 }
 
@@ -148,7 +158,14 @@ pub fn solve_guided(
     let mut converged = false;
     let mut iterations = 0;
     for it in 0..config.base.max_iters {
-        update_sp_guided(input, &mut factors, config.delta, &sp_free, &sp_rows, &sp_targets);
+        update_sp_guided(
+            input,
+            &mut factors,
+            config.delta,
+            &sp_free,
+            &sp_rows,
+            &sp_targets,
+        );
         update_hp(input, &mut factors);
         update_su_online(
             input,
@@ -176,7 +193,13 @@ pub fn solve_guided(
         }
         prev = cur;
     }
-    OfflineResult { factors, history, iterations, converged, objective: prev.total() }
+    OfflineResult {
+        factors,
+        history,
+        iterations,
+        converged,
+        objective: prev.total(),
+    }
 }
 
 #[cfg(test)]
@@ -190,7 +213,15 @@ mod tests {
     /// barely separate the two classes.
     fn weak_instance(
         seed: u64,
-    ) -> (CsrMatrix, CsrMatrix, CsrMatrix, UserGraph, DenseMatrix, Vec<usize>, Vec<usize>) {
+    ) -> (
+        CsrMatrix,
+        CsrMatrix,
+        CsrMatrix,
+        UserGraph,
+        DenseMatrix,
+        Vec<usize>,
+        Vec<usize>,
+    ) {
         let mut rng = seeded_rng(seed);
         let (n, m, l) = (40, 12, 14);
         let mut xp = Vec::new();
@@ -232,13 +263,23 @@ mod tests {
     }
 
     fn base(k: usize) -> OfflineConfig {
-        OfflineConfig { k, max_iters: 80, ..Default::default() }
+        OfflineConfig {
+            k,
+            max_iters: 80,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn guidance_improves_weak_signal_clustering() {
         let (xp, xu, xr, graph, sf0, tweet_truth, user_truth) = weak_instance(3);
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
         // 25% of tweets labeled
         let tweet_labels: Vec<Option<usize>> = tweet_truth
             .iter()
@@ -246,19 +287,29 @@ mod tests {
             .map(|(i, &c)| if i % 4 == 0 { Some(c) } else { None })
             .collect();
         let user_labels: Vec<Option<usize>> = vec![None; user_truth.len()];
-        let guidance = Guidance { tweet_labels: &tweet_labels, user_labels: &user_labels };
+        let guidance = Guidance {
+            tweet_labels: &tweet_labels,
+            user_labels: &user_labels,
+        };
         let unguided = solve_guided(
             &input,
             &guidance,
-            &GuidedConfig { delta: 0.0, base: base(2), ..Default::default() },
+            &GuidedConfig {
+                delta: 0.0,
+                base: base(2),
+                ..Default::default()
+            },
         );
         let guided = solve_guided(
             &input,
             &guidance,
-            &GuidedConfig { delta: 1.0, base: base(2), ..Default::default() },
+            &GuidedConfig {
+                delta: 1.0,
+                base: base(2),
+                ..Default::default()
+            },
         );
-        let acc_unguided =
-            tgs_eval::clustering_accuracy(&unguided.tweet_labels(), &tweet_truth);
+        let acc_unguided = tgs_eval::clustering_accuracy(&unguided.tweet_labels(), &tweet_truth);
         let acc_guided = tgs_eval::clustering_accuracy(&guided.tweet_labels(), &tweet_truth);
         assert!(
             acc_guided >= acc_unguided,
@@ -280,15 +331,27 @@ mod tests {
     #[test]
     fn user_guidance_pins_labeled_users() {
         let (xp, xu, xr, graph, sf0, _, user_truth) = weak_instance(7);
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
         let tweet_labels: Vec<Option<usize>> = vec![None; xp.rows()];
-        let user_labels: Vec<Option<usize>> =
-            user_truth.iter().map(|&c| Some(c)).collect();
-        let guidance = Guidance { tweet_labels: &tweet_labels, user_labels: &user_labels };
+        let user_labels: Vec<Option<usize>> = user_truth.iter().map(|&c| Some(c)).collect();
+        let guidance = Guidance {
+            tweet_labels: &tweet_labels,
+            user_labels: &user_labels,
+        };
         let result = solve_guided(
             &input,
             &guidance,
-            &GuidedConfig { delta: 1.0, base: base(2), ..Default::default() },
+            &GuidedConfig {
+                delta: 1.0,
+                base: base(2),
+                ..Default::default()
+            },
         );
         let acc = tgs_eval::classification_accuracy(&result.user_labels(), &user_truth);
         assert!(acc > 0.9, "fully labeled users should stay pinned: {acc}");
@@ -297,23 +360,39 @@ mod tests {
     #[test]
     fn sparsity_sharpens_memberships() {
         let (xp, xu, xr, graph, sf0, _, _) = weak_instance(11);
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
         let no_labels = vec![None; xp.rows()];
         let no_user_labels = vec![None; xu.rows()];
-        let guidance = Guidance { tweet_labels: &no_labels, user_labels: &no_user_labels };
+        let guidance = Guidance {
+            tweet_labels: &no_labels,
+            user_labels: &no_user_labels,
+        };
         let dense = solve_guided(
             &input,
             &guidance,
-            &GuidedConfig { delta: 0.0, sparsity: 0.0, base: base(2) },
+            &GuidedConfig {
+                delta: 0.0,
+                sparsity: 0.0,
+                base: base(2),
+            },
         );
         let sparse = solve_guided(
             &input,
             &guidance,
-            &GuidedConfig { delta: 0.0, sparsity: 0.05, base: base(2) },
+            &GuidedConfig {
+                delta: 0.0,
+                sparsity: 0.05,
+                base: base(2),
+            },
         );
         let near_floor = |m: &DenseMatrix| {
-            m.as_slice().iter().filter(|&&v| v < 1e-6).count() as f64
-                / m.as_slice().len() as f64
+            m.as_slice().iter().filter(|&&v| v < 1e-6).count() as f64 / m.as_slice().len() as f64
         };
         assert!(
             near_floor(&sparse.factors.sp) > near_floor(&dense.factors.sp),
@@ -337,15 +416,27 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (xp, xu, xr, graph, sf0, tweet_truth, _) = weak_instance(13);
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
         let tweet_labels: Vec<Option<usize>> = tweet_truth
             .iter()
             .enumerate()
             .map(|(i, &c)| if i % 5 == 0 { Some(c) } else { None })
             .collect();
         let user_labels = vec![None; xu.rows()];
-        let guidance = Guidance { tweet_labels: &tweet_labels, user_labels: &user_labels };
-        let cfg = GuidedConfig { base: base(2), ..Default::default() };
+        let guidance = Guidance {
+            tweet_labels: &tweet_labels,
+            user_labels: &user_labels,
+        };
+        let cfg = GuidedConfig {
+            base: base(2),
+            ..Default::default()
+        };
         let a = solve_guided(&input, &guidance, &cfg);
         let b = solve_guided(&input, &guidance, &cfg);
         assert_eq!(a.tweet_labels(), b.tweet_labels());

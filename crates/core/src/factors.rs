@@ -65,8 +65,10 @@ impl TriFactors {
             factors.sf = sf0.add(&jitter);
             // Identity-leaning association matrices align cluster columns
             // with sentiment classes from the start.
-            factors.hp = DenseMatrix::identity(k).add(&random_factor_with(k, k, &mut rng).scale(0.1));
-            factors.hu = DenseMatrix::identity(k).add(&random_factor_with(k, k, &mut rng).scale(0.1));
+            factors.hp =
+                DenseMatrix::identity(k).add(&random_factor_with(k, k, &mut rng).scale(0.1));
+            factors.hu =
+                DenseMatrix::identity(k).add(&random_factor_with(k, k, &mut rng).scale(0.1));
         }
         factors
     }

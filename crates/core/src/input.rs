@@ -62,7 +62,13 @@ mod tests {
     #[test]
     fn dimensions_reported() {
         let (xp, xu, xr, graph, sf0) = tiny_parts();
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
         assert_eq!(input.n(), 3);
         assert_eq!(input.m(), 2);
         assert_eq!(input.l(), 4);
@@ -73,7 +79,13 @@ mod tests {
     #[should_panic(expected = "Sf0 must be l × k")]
     fn validate_rejects_wrong_k() {
         let (xp, xu, xr, graph, sf0) = tiny_parts();
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
         input.validate(2);
     }
 }

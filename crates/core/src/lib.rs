@@ -38,14 +38,18 @@ pub mod online;
 pub mod store;
 pub mod updates;
 pub mod window;
+pub mod workspace;
 
 pub use config::{OfflineConfig, OnlineConfig};
 pub use extensions::{solve_guided, Guidance, GuidedConfig};
 pub use factors::{InitStrategy, TriFactors};
 pub use input::TriInput;
-pub use labels::{align_clusters_to_classes, hard_labels, label_confidence, membership_distribution};
+pub use labels::{
+    align_clusters_to_classes, hard_labels, label_confidence, membership_distribution,
+};
 pub use objective::{offline_objective, online_objective, ObjectiveParts};
 pub use offline::{solve_offline, solve_offline_from, OfflineResult};
 pub use online::{OnlineSolver, OnlineStepResult, SnapshotData};
 pub use store::{decode_matrix, encode_matrix, SnapshotStore};
 pub use window::{FactorWindow, SentimentHistory, UserPartition};
+pub use workspace::UpdateWorkspace;

@@ -64,7 +64,16 @@ pub fn online_objective(
     su_target: Option<&DenseMatrix>,
     evolving_rows: &[usize],
 ) -> ObjectiveParts {
-    objective_with_targets(input, factors, alpha, sf_target, beta, gamma, su_target, evolving_rows)
+    objective_with_targets(
+        input,
+        factors,
+        alpha,
+        sf_target,
+        beta,
+        gamma,
+        su_target,
+        evolving_rows,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -82,8 +91,7 @@ fn objective_with_targets(
     let user_feature = approx_error_tri(input.xu, &factors.su, &factors.hu, &factors.sf);
     let user_tweet = approx_error_bi(input.xr, &factors.su, &factors.sp);
     let lexicon = alpha * factors.sf.sub(sf_target).frobenius_sq();
-    let graph =
-        beta * laplacian_quad(input.graph.adjacency(), input.graph.degrees(), &factors.su);
+    let graph = beta * laplacian_quad(input.graph.adjacency(), input.graph.degrees(), &factors.su);
     let temporal_user = match su_target {
         Some(target) if gamma > 0.0 => {
             assert_eq!(
@@ -104,7 +112,14 @@ fn objective_with_targets(
         }
         _ => 0.0,
     };
-    ObjectiveParts { tweet_feature, user_feature, user_tweet, lexicon, graph, temporal_user }
+    ObjectiveParts {
+        tweet_feature,
+        user_feature,
+        user_tweet,
+        lexicon,
+        graph,
+        temporal_user,
+    }
 }
 
 #[cfg(test)]
@@ -125,7 +140,13 @@ mod tests {
     #[test]
     fn total_is_sum_of_parts() {
         let (xp, xu, xr, graph, sf0) = setup();
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
         let factors = TriFactors::random(3, 2, 4, 2, 5);
         let parts = offline_objective(&input, &factors, 0.3, 0.7);
         let manual = parts.tweet_feature
@@ -140,7 +161,13 @@ mod tests {
     #[test]
     fn zero_weights_zero_regularizers() {
         let (xp, xu, xr, graph, sf0) = setup();
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
         let factors = TriFactors::random(3, 2, 4, 2, 5);
         let parts = offline_objective(&input, &factors, 0.0, 0.0);
         assert_eq!(parts.lexicon, 0.0);
@@ -170,13 +197,18 @@ mod tests {
     #[test]
     fn online_temporal_term_counts_only_evolving_rows() {
         let (xp, xu, xr, graph, sf0) = setup();
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
         let mut factors = TriFactors::random(3, 2, 4, 2, 5);
         factors.su = DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
         // target for user row 1 only
         let target = DenseMatrix::from_vec(1, 2, vec![0.0, 0.0]).unwrap();
-        let parts =
-            online_objective(&input, &factors, 0.0, &sf0, 0.0, 0.5, Some(&target), &[1]);
+        let parts = online_objective(&input, &factors, 0.0, &sf0, 0.0, 0.5, Some(&target), &[1]);
         // ||(0,1) - (0,0)||² = 1, scaled by γ=0.5
         assert!((parts.temporal_user - 0.5).abs() < 1e-12);
     }

@@ -12,8 +12,8 @@ use crate::config::OnlineConfig;
 use crate::factors::{InitStrategy, TriFactors};
 use crate::input::TriInput;
 use crate::objective::{online_objective, ObjectiveParts};
-use crate::updates::{balance_init_scales, update_hp, update_hu, update_sf, update_sp, update_su_online};
 use crate::window::{FactorWindow, SentimentHistory, UserPartition};
+use crate::workspace::UpdateWorkspace;
 
 /// One snapshot of data plus the mapping from local user rows to global
 /// user ids.
@@ -63,6 +63,9 @@ pub struct OnlineSolver {
     sf_window: FactorWindow,
     history: SentimentHistory,
     steps: u64,
+    /// Fused-sweep scratch arena, rebound to each snapshot's matrices and
+    /// reused across snapshots so steady-state steps stay allocation-light.
+    workspace: UpdateWorkspace,
 }
 
 impl OnlineSolver {
@@ -77,7 +80,13 @@ impl OnlineSolver {
         let sf_window = FactorWindow::new(config.window, config.tau, true);
         let history =
             SentimentHistory::new(config.k, config.window, config.tau, config.normalize_window);
-        Self { config, sf_window, history, steps: 0 }
+        Self {
+            config,
+            sf_window,
+            history,
+            steps: 0,
+            workspace: UpdateWorkspace::new(),
+        }
     }
 
     /// The solver configuration.
@@ -110,7 +119,10 @@ impl OnlineSolver {
         let partition = self.history.partition(data.user_ids);
 
         // --- Warm start (Algorithm 2 lines 1–2) ---
-        let step_seed = self.config.seed.wrapping_add(self.steps.wrapping_mul(0x9E37_79B9));
+        let step_seed = self
+            .config
+            .seed
+            .wrapping_add(self.steps.wrapping_mul(0x9E37_79B9));
         let mut factors = TriFactors::init(
             input.n(),
             input.m(),
@@ -120,7 +132,10 @@ impl OnlineSolver {
             self.config.init,
             step_seed,
         );
-        let sf_target = self.sf_window.aggregate().unwrap_or_else(|| input.sf0.clone());
+        let sf_target = self
+            .sf_window
+            .aggregate()
+            .unwrap_or_else(|| input.sf0.clone());
         // Sf(t) = Sfw(t) on non-first snapshots.
         if !self.sf_window.is_empty() {
             factors.sf = sf_target.clone();
@@ -130,7 +145,9 @@ impl OnlineSolver {
         // for the warm start so long-absent users still begin at a sane
         // scale; the raw decayed aggregate stays the γ-target, so their
         // temporal pull fades naturally).
-        let su_target = self.history.aggregate_matrix(data.user_ids, &partition.evolving_rows);
+        let su_target = self
+            .history
+            .aggregate_matrix(data.user_ids, &partition.evolving_rows);
         let mut su_init = su_target.clone();
         su_init.normalize_rows_l1();
         for (i, &row) in partition.evolving_rows.iter().enumerate() {
@@ -145,7 +162,8 @@ impl OnlineSolver {
         }
         // Keep Su at distribution scale (its rows are the temporal state);
         // Sp, Hp, Hu absorb the snapshot's data norms.
-        balance_init_scales(input, &mut factors);
+        self.workspace.bind(input);
+        self.workspace.balance_init_scales(input, &mut factors);
 
         // --- Iterate (Algorithm 2 lines 3–8) ---
         let (alpha, beta, gamma) = (self.config.alpha, self.config.beta, self.config.gamma);
@@ -169,21 +187,30 @@ impl OnlineSolver {
         let mut converged = false;
         let mut iterations = 0;
         for it in 0..self.config.max_iters {
-            update_sf(input, &mut factors, alpha, &sf_target);
-            update_sp(input, &mut factors);
-            update_hp(input, &mut factors);
-            update_hu(input, &mut factors);
-            update_su_online(
+            self.workspace.sweep_online(
                 input,
                 &mut factors,
+                alpha,
                 beta,
                 gamma,
+                &sf_target,
                 &partition.new_rows,
                 &partition.evolving_rows,
                 &su_target,
             );
             iterations = it + 1;
-            let cur = evaluate(&factors);
+            // In-loop evaluation through the workspace caches (agrees
+            // with `online_objective` to ~1e-12 relative).
+            let cur = self.workspace.objective_online(
+                input,
+                &factors,
+                alpha,
+                &sf_target,
+                beta,
+                gamma,
+                Some(&su_target),
+                &partition.evolving_rows,
+            );
             if self.config.track_objective {
                 history.push(cur);
             }
@@ -195,7 +222,10 @@ impl OnlineSolver {
             }
             prev = cur;
         }
-        debug_assert!(factors.all_nonnegative(), "updates must preserve non-negativity");
+        debug_assert!(
+            factors.all_nonnegative(),
+            "updates must preserve non-negativity"
+        );
 
         // --- Commit (window + per-user history) ---
         // Rows are recorded L1-normalized: Su(ij) is "the likelihood of
@@ -232,9 +262,9 @@ impl OnlineSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::RngExt;
     use tgs_graph::UserGraph;
     use tgs_linalg::{seeded_rng, CsrMatrix, DenseMatrix};
-    use rand::RngExt;
 
     /// Planted two-cluster snapshot over the given global user set.
     /// Users with even global id are class 0, odd are class 1.
@@ -243,7 +273,14 @@ mod tests {
         n: usize,
         l: usize,
         seed: u64,
-    ) -> (CsrMatrix, CsrMatrix, CsrMatrix, UserGraph, DenseMatrix, Vec<usize>) {
+    ) -> (
+        CsrMatrix,
+        CsrMatrix,
+        CsrMatrix,
+        UserGraph,
+        DenseMatrix,
+        Vec<usize>,
+    ) {
         let mut rng = seeded_rng(seed);
         let m = users.len();
         let mut xp = Vec::new();
@@ -269,10 +306,7 @@ mod tests {
                 xu.push((row, f, 1.0));
             }
             // homophilous edge to a same-class peer
-            if let Some(peer) = users
-                .iter()
-                .position(|&v| v % 2 == c && v != u)
-            {
+            if let Some(peer) = users.iter().position(|&v| v % 2 == c && v != u) {
                 edges.push((row, peer, 1.0));
             }
         }
@@ -285,17 +319,31 @@ mod tests {
     }
 
     fn config() -> OnlineConfig {
-        OnlineConfig { k: 2, max_iters: 80, tol: 1e-7, ..Default::default() }
+        OnlineConfig {
+            k: 2,
+            max_iters: 80,
+            tol: 1e-7,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn first_step_partitions_all_as_new() {
         let users = vec![0, 1, 2, 3];
         let (xp, xu, xr, graph, sf0, _) = snapshot(&users, 20, 10, 1);
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
         let mut solver = OnlineSolver::new(config());
         assert!(solver.is_cold());
-        let result = solver.step(&SnapshotData { input, user_ids: &users });
+        let result = solver.step(&SnapshotData {
+            input,
+            user_ids: &users,
+        });
         assert_eq!(result.partition.new_rows.len(), 4);
         assert!(result.partition.evolving_rows.is_empty());
         assert!(!solver.is_cold());
@@ -307,11 +355,29 @@ mod tests {
         let users_b = vec![2, 3, 4, 5];
         let mut solver = OnlineSolver::new(config());
         let (xp, xu, xr, graph, sf0, _) = snapshot(&users_a, 20, 10, 1);
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
-        solver.step(&SnapshotData { input, user_ids: &users_a });
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
+        solver.step(&SnapshotData {
+            input,
+            user_ids: &users_a,
+        });
         let (xp, xu, xr, graph, sf0, _) = snapshot(&users_b, 20, 10, 2);
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
-        let result = solver.step(&SnapshotData { input, user_ids: &users_b });
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
+        let result = solver.step(&SnapshotData {
+            input,
+            user_ids: &users_b,
+        });
         assert_eq!(result.partition.evolving_rows, vec![0, 1]); // users 2, 3
         assert_eq!(result.partition.new_rows, vec![2, 3]); // users 4, 5
         assert_eq!(result.partition.disappeared, vec![0, 1]);
@@ -324,8 +390,17 @@ mod tests {
         for t in 0..4u64 {
             let users: Vec<usize> = (0..8).collect();
             let (xp, xu, xr, graph, sf0, tweet_class) = snapshot(&users, 40, 12, t + 10);
-            let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
-            let result = solver.step(&SnapshotData { input, user_ids: &users });
+            let input = TriInput {
+                xp: &xp,
+                xu: &xu,
+                xr: &xr,
+                graph: &graph,
+                sf0: &sf0,
+            };
+            let result = solver.step(&SnapshotData {
+                input,
+                user_ids: &users,
+            });
             let acc = tgs_eval::clustering_accuracy(&result.tweet_labels(), &tweet_class);
             accs.push(acc);
             let user_truth: Vec<usize> = users.iter().map(|&u| u % 2).collect();
@@ -333,25 +408,52 @@ mod tests {
             assert!(uacc > 0.7, "step {t}: user accuracy {uacc}");
         }
         let last = *accs.last().unwrap();
-        assert!(last > 0.85, "final tweet accuracy {last} (history {accs:?})");
+        assert!(
+            last > 0.85,
+            "final tweet accuracy {last} (history {accs:?})"
+        );
     }
 
     #[test]
     fn disappeared_users_still_queryable() {
         // window = 3 keeps two past snapshots, so a user absent from one
         // snapshot still has an in-window estimate.
-        let mut solver = OnlineSolver::new(OnlineConfig { window: 3, ..config() });
+        let mut solver = OnlineSolver::new(OnlineConfig {
+            window: 3,
+            ..config()
+        });
         let users_a = vec![0, 1, 2, 3];
         let (xp, xu, xr, graph, sf0, _) = snapshot(&users_a, 20, 10, 3);
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
-        solver.step(&SnapshotData { input, user_ids: &users_a });
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
+        solver.step(&SnapshotData {
+            input,
+            user_ids: &users_a,
+        });
         // user 0 absent in step 2 but within window
         let users_b = vec![1, 2, 3, 4];
         let (xp, xu, xr, graph, sf0, _) = snapshot(&users_b, 20, 10, 4);
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
-        solver.step(&SnapshotData { input, user_ids: &users_b });
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
+        solver.step(&SnapshotData {
+            input,
+            user_ids: &users_b,
+        });
         let s = solver.sentiment_of(0);
-        assert!(s.is_some(), "disappeared user should keep a decayed estimate");
+        assert!(
+            s.is_some(),
+            "disappeared user should keep a decayed estimate"
+        );
         assert_eq!(s.unwrap().len(), 2);
     }
 
@@ -359,14 +461,35 @@ mod tests {
     fn objective_non_increasing_within_step() {
         let users: Vec<usize> = (0..8).collect();
         let (xp, xu, xr, graph, sf0, _) = snapshot(&users, 40, 12, 6);
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
-        let cfg = OnlineConfig { track_objective: true, ..config() };
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
+        let cfg = OnlineConfig {
+            track_objective: true,
+            ..config()
+        };
         let mut solver = OnlineSolver::new(cfg);
         // warm the window so temporal terms are active on the second step
-        solver.step(&SnapshotData { input, user_ids: &users });
+        solver.step(&SnapshotData {
+            input,
+            user_ids: &users,
+        });
         let (xp, xu, xr, graph, sf0, _) = snapshot(&users, 40, 12, 7);
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
-        let result = solver.step(&SnapshotData { input, user_ids: &users });
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
+        let result = solver.step(&SnapshotData {
+            input,
+            user_ids: &users,
+        });
         assert!(result.history.len() >= 2);
         for w in result.history.windows(2) {
             assert!(
@@ -386,8 +509,17 @@ mod tests {
             for t in 0..3u64 {
                 let users: Vec<usize> = (0..6).collect();
                 let (xp, xu, xr, graph, sf0, _) = snapshot(&users, 25, 10, t + 20);
-                let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
-                let result = solver.step(&SnapshotData { input, user_ids: &users });
+                let input = TriInput {
+                    xp: &xp,
+                    xu: &xu,
+                    xr: &xr,
+                    graph: &graph,
+                    sf0: &sf0,
+                };
+                let result = solver.step(&SnapshotData {
+                    input,
+                    user_ids: &users,
+                });
                 out.push(result.objective);
             }
             out

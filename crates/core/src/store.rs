@@ -52,7 +52,11 @@ pub struct SnapshotStore {
 impl SnapshotStore {
     /// Creates a store with the given byte budget.
     pub fn new(budget_bytes: usize) -> Self {
-        Self { budget_bytes, used_bytes: 0, entries: VecDeque::new() }
+        Self {
+            budget_bytes,
+            used_bytes: 0,
+            entries: VecDeque::new(),
+        }
     }
 
     /// Number of retained snapshots.

@@ -38,15 +38,24 @@ pub fn balance_init_scales(input: &TriInput<'_>, f: &mut TriFactors) {
     }
 }
 
-/// Scales row `i` of `m` by `scale[i]` (i.e. computes `diag(scale)·M`).
-fn row_scale(m: &DenseMatrix, scale: &[f64]) -> DenseMatrix {
+/// Writes `diag(scale)·M` into `out` (row `i` of `m` scaled by
+/// `scale[i]`), reusing `out`'s allocation — no clone of the source.
+fn row_scale_into(m: &DenseMatrix, scale: &[f64], out: &mut DenseMatrix) {
     assert_eq!(m.rows(), scale.len(), "row_scale length mismatch");
-    let mut out = m.clone();
+    let (rows, cols) = m.shape();
+    out.resize_zeroed(rows, cols);
+    let (mv, ov) = (m.as_slice(), out.as_mut_slice());
     for (i, &s) in scale.iter().enumerate() {
-        for v in out.row_mut(i) {
-            *v *= s;
+        for j in 0..cols {
+            ov[i * cols + j] = mv[i * cols + j] * s;
         }
     }
+}
+
+/// Allocating convenience over [`row_scale_into`].
+fn row_scale(m: &DenseMatrix, scale: &[f64]) -> DenseMatrix {
+    let mut out = DenseMatrix::default();
+    row_scale_into(m, scale, &mut out);
     out
 }
 
@@ -59,12 +68,11 @@ pub fn update_sp(input: &TriInput<'_>, f: &mut TriFactors) {
     let hp_sfsf_hp = f.hp.matmul(&f.sf.gram()).matmul_transpose(&f.hp);
     let su_gram = f.su.gram();
     // Δ_Sp = Spᵀ·A + Spᵀ·C − Hp·SfᵀSf·Hpᵀ − SuᵀSu
-    let delta = f
-        .sp
-        .transpose_matmul(&a)
-        .add(&f.sp.transpose_matmul(&c))
-        .sub(&hp_sfsf_hp)
-        .sub(&su_gram);
+    let delta =
+        f.sp.transpose_matmul(&a)
+            .add(&f.sp.transpose_matmul(&c))
+            .sub(&hp_sfsf_hp)
+            .sub(&su_gram);
     let (dp, dm) = split_pos_neg(&delta);
     let num = a.add(&c).add(&f.sp.matmul(&dm));
     let den = f.sp.matmul(&hp_sfsf_hp.add(&su_gram).add(&dp));
@@ -98,13 +106,12 @@ pub fn update_sf(input: &TriInput<'_>, f: &mut TriFactors, alpha: f64, sf_target
     let hp_spsp_hp = f.hp.transpose().matmul(&f.sp.gram()).matmul(&f.hp);
     // Δ_Sf = Sfᵀ(XuᵀSuHu) + Sfᵀ(XpᵀSpHp) − HuᵀSuᵀSuHu − HpᵀSpᵀSpHp
     //        − α·Sfᵀ(Sf − Sf*)
-    let delta = f
-        .sf
-        .transpose_matmul(&xu_su_hu)
-        .add(&f.sf.transpose_matmul(&xp_sp_hp))
-        .sub(&hu_susu_hu)
-        .sub(&hp_spsp_hp)
-        .sub(&f.sf.transpose_matmul(&f.sf.sub(sf_target)).scale(alpha));
+    let delta =
+        f.sf.transpose_matmul(&xu_su_hu)
+            .add(&f.sf.transpose_matmul(&xp_sp_hp))
+            .sub(&hu_susu_hu)
+            .sub(&hp_spsp_hp)
+            .sub(&f.sf.transpose_matmul(&f.sf.sub(sf_target)).scale(alpha));
     let (dp, dm) = split_pos_neg(&delta);
     let mut num = xu_su_hu.add(&xp_sp_hp).add(&f.sf.matmul(&dm));
     num.axpy(alpha, sf_target);
@@ -125,13 +132,12 @@ pub fn update_su_offline(input: &TriInput<'_>, f: &mut TriFactors, beta: f64) {
     let hu_sfsf_hu = f.hu.matmul(&f.sf.gram()).matmul_transpose(&f.hu);
     let sp_gram = f.sp.gram();
     // Δ_Su = SuᵀB + SuᵀD − HuSfᵀSfHuᵀ − SpᵀSp − β·SuᵀLuSu
-    let delta = f
-        .su
-        .transpose_matmul(&b)
-        .add(&f.su.transpose_matmul(&d))
-        .sub(&hu_sfsf_hu)
-        .sub(&sp_gram)
-        .sub(&f.su.transpose_matmul(&lu_su).scale(beta));
+    let delta =
+        f.su.transpose_matmul(&b)
+            .add(&f.su.transpose_matmul(&d))
+            .sub(&hu_sfsf_hu)
+            .sub(&sp_gram)
+            .sub(&f.su.transpose_matmul(&lu_su).scale(beta));
     let (dp, dm) = split_pos_neg(&delta);
     let mut num = b.add(&d).add(&f.su.matmul(&dm));
     num.axpy(beta, &gu_su);
@@ -270,9 +276,9 @@ pub fn update_sp_guided(
 mod tests {
     use super::*;
     use crate::objective::offline_objective;
+    use rand::RngExt;
     use tgs_graph::UserGraph;
     use tgs_linalg::{seeded_rng, CsrMatrix};
-    use rand::RngExt;
 
     /// A small random-but-deterministic problem instance.
     fn instance(seed: u64) -> (CsrMatrix, CsrMatrix, CsrMatrix, UserGraph, DenseMatrix) {
@@ -305,7 +311,13 @@ mod tests {
     fn check_monotone(update: impl Fn(&TriInput<'_>, &mut TriFactors)) {
         for seed in 0..5u64 {
             let (xp, xu, xr, graph, sf0) = instance(seed);
-            let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+            let input = TriInput {
+                xp: &xp,
+                xu: &xu,
+                xr: &xr,
+                graph: &graph,
+                sf0: &sf0,
+            };
             let mut f = TriFactors::random(12, 8, 10, 3, seed + 100);
             // A couple of warm-up sweeps so we're not at a wild random point.
             for _ in 0..2 {
@@ -354,7 +366,13 @@ mod tests {
     #[test]
     fn full_sweep_non_increasing_over_many_iters() {
         let (xp, xu, xr, graph, sf0) = instance(11);
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
         let mut f = TriFactors::random(12, 8, 10, 3, 0);
         let mut prev = offline_objective(&input, &f, 0.05, 0.8).total();
         for it in 0..30 {
@@ -375,7 +393,13 @@ mod tests {
     #[test]
     fn online_su_update_handles_blocks() {
         let (xp, xu, xr, graph, sf0) = instance(3);
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
         let mut f = TriFactors::random(12, 8, 10, 3, 77);
         let new_rows = vec![0, 2, 4];
         let evolving_rows = vec![1, 3, 5, 6, 7];
@@ -390,7 +414,13 @@ mod tests {
     #[test]
     fn online_su_with_gamma_pulls_towards_target() {
         let (xp, xu, xr, graph, sf0) = instance(5);
-        let input = TriInput { xp: &xp, xu: &xu, xr: &xr, graph: &graph, sf0: &sf0 };
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
         let evolving: Vec<usize> = (0..8).collect();
         // Strong target on class 0.
         let target = DenseMatrix::from_fn(8, 3, |_, j| if j == 0 { 1.0 } else { 1e-6 });

@@ -23,7 +23,12 @@ impl FactorWindow {
     pub fn new(window: usize, tau: f64, normalize: bool) -> Self {
         assert!(window >= 1, "window must be >= 1");
         assert!(tau > 0.0 && tau <= 1.0, "tau must be in (0, 1]");
-        Self { window, tau, normalize, buf: VecDeque::new() }
+        Self {
+            window,
+            tau,
+            normalize,
+            buf: VecDeque::new(),
+        }
     }
 
     /// Number of stored snapshots.
@@ -94,7 +99,14 @@ impl SentimentHistory {
     /// Creates an empty history for `k` classes with window `w`.
     pub fn new(k: usize, window: usize, tau: f64, normalize: bool) -> Self {
         assert!(window >= 1, "window must be >= 1");
-        Self { k, window, tau, normalize, t: 0, rows: HashMap::new() }
+        Self {
+            k,
+            window,
+            tau,
+            normalize,
+            t: 0,
+            rows: HashMap::new(),
+        }
     }
 
     /// Steps processed so far.
@@ -224,7 +236,7 @@ mod tests {
         let mut w = FactorWindow::new(3, 0.5, false);
         w.push(DenseMatrix::filled(1, 1, 8.0)); // will be i=2
         w.push(DenseMatrix::filled(1, 1, 4.0)); // i=1
-        // τ·4 + τ²·8 = 2 + 2 = 4
+                                                // τ·4 + τ²·8 = 2 + 2 = 4
         let agg = w.aggregate().unwrap();
         assert!((agg.get(0, 0) - 4.0).abs() < 1e-12);
     }
@@ -299,7 +311,10 @@ mod tests {
         }
         // window = 2 keeps w−1 = 1 in-window rows; older ones pruned
         let agg = h.aggregate_row(3).unwrap();
-        assert!((agg[0] - 0.5).abs() < 1e-12, "only the newest row remains: {agg:?}");
+        assert!(
+            (agg[0] - 0.5).abs() < 1e-12,
+            "only the newest row remains: {agg:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Proof that the fused sweep hot loop is allocation-free after warm-up.
+//!
+//! A counting global allocator wraps the system allocator; after one
+//! warm-up sweep sizes every workspace buffer, further offline and online
+//! sweeps must perform **zero** heap allocations. Parallel dispatch is
+//! pinned off for the measurement (scoped-thread spawning allocates for
+//! bookkeeping by design), so this measures the sequential hot path —
+//! the same code the parallel chunks execute per row.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::RngExt;
+use tgs_core::{TriFactors, TriInput, UpdateWorkspace};
+use tgs_graph::UserGraph;
+use tgs_linalg::{seeded_rng, set_parallel_work_threshold, CsrMatrix, DenseMatrix};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Counting is scoped to the measuring thread: the libtest harness
+    /// keeps helper threads alive that allocate sporadically (timers,
+    /// output plumbing), which must not pollute the measurement. The
+    /// const initializer keeps TLS access allocation-free, so reading
+    /// it inside the allocator cannot recurse.
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.with(|t| t.get()) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACKING.with(|t| t.get()) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs `body` with this thread's allocations counted.
+fn tracked<R>(body: impl FnOnce() -> R) -> R {
+    TRACKING.with(|t| t.set(true));
+    let result = body();
+    TRACKING.with(|t| t.set(false));
+    result
+}
+
+/// A fixed-seed synthetic instance, large enough that any per-sweep
+/// allocation in a rule would be exercised.
+fn instance() -> (CsrMatrix, CsrMatrix, CsrMatrix, UserGraph, DenseMatrix) {
+    let mut rng = seeded_rng(7);
+    let (n, m, l) = (80, 30, 40);
+    let rand_csr = |rows: usize, cols: usize, nnz: usize, rng: &mut rand::rngs::StdRng| {
+        let trip: Vec<(usize, usize, f64)> = (0..nnz)
+            .map(|_| {
+                (
+                    rng.random_range(0..rows),
+                    rng.random_range(0..cols),
+                    rng.random_range(0.2..2.0),
+                )
+            })
+            .collect();
+        CsrMatrix::from_triplets(rows, cols, &trip).unwrap()
+    };
+    let xp = rand_csr(n, l, 400, &mut rng);
+    let xu = rand_csr(m, l, 250, &mut rng);
+    let xr = rand_csr(m, n, 160, &mut rng);
+    let edges: Vec<(usize, usize, f64)> = (0..60)
+        .map(|_| (rng.random_range(0..m), rng.random_range(0..m), 1.0))
+        .filter(|&(a, b, _)| a != b)
+        .collect();
+    let graph = UserGraph::from_edges(m, &edges);
+    let sf0 = DenseMatrix::filled(l, 3, 1.0 / 3.0);
+    (xp, xu, xr, graph, sf0)
+}
+
+/// One test covering both sweep flavours: the allocation counter is
+/// process-global, so two `#[test]`s would race on libtest's parallel
+/// harness (each would count the other's setup allocations).
+#[test]
+fn sweeps_are_allocation_free_after_warmup() {
+    let prev = set_parallel_work_threshold(usize::MAX);
+    let (xp, xu, xr, graph, sf0) = instance();
+    let input = TriInput {
+        xp: &xp,
+        xu: &xu,
+        xr: &xr,
+        graph: &graph,
+        sf0: &sf0,
+    };
+    let mut f = TriFactors::random(80, 30, 40, 3, 11);
+    let mut ws = UpdateWorkspace::new();
+    ws.bind(&input);
+    // Warm-up: sizes every buffer the offline rules touch.
+    ws.sweep_offline(&input, &mut f, 0.1, 0.5, &sf0);
+    let before = allocations();
+    tracked(|| {
+        for _ in 0..5 {
+            ws.sweep_offline(&input, &mut f, 0.1, 0.5, &sf0);
+        }
+    });
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "offline sweep allocated {} times after warm-up",
+        after - before
+    );
+    assert!(f.all_nonnegative(), "sweeps must stay valid");
+
+    // --- online sweep, same contract ---
+    let mut f = TriFactors::random(80, 30, 40, 3, 13);
+    let mut ws = UpdateWorkspace::new();
+    ws.bind(&input);
+    let new_rows: Vec<usize> = (0..10).collect();
+    let evolving_rows: Vec<usize> = (10..30).collect();
+    let su_target = DenseMatrix::filled(20, 3, 1.0 / 3.0);
+    let sf_target = sf0.clone();
+    let sweep = |f: &mut TriFactors, ws: &mut UpdateWorkspace| {
+        ws.sweep_online(
+            &input,
+            f,
+            0.2,
+            0.4,
+            0.3,
+            &sf_target,
+            &new_rows,
+            &evolving_rows,
+            &su_target,
+        );
+    };
+    sweep(&mut f, &mut ws);
+    let before = allocations();
+    tracked(|| {
+        for _ in 0..5 {
+            sweep(&mut f, &mut ws);
+        }
+    });
+    let after = allocations();
+    set_parallel_work_threshold(prev);
+    assert_eq!(
+        after - before,
+        0,
+        "online sweep allocated {} times after warm-up",
+        after - before
+    );
+    assert!(f.all_nonnegative(), "sweeps must stay valid");
+}

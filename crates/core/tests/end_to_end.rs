@@ -23,7 +23,11 @@ fn offline_recovers_sentiment_on_tiny_corpus() {
         graph: &inst.graph,
         sf0: &inst.sf0,
     };
-    let cfg = OfflineConfig { k: 3, max_iters: 120, ..Default::default() };
+    let cfg = OfflineConfig {
+        k: 3,
+        max_iters: 120,
+        ..Default::default()
+    };
     let result = solve_offline(&input, &cfg);
     let t_acc = clustering_accuracy(&result.tweet_labels(), &inst.tweet_truth);
     let u_acc = clustering_accuracy(&result.user_labels(), &inst.user_truth);
@@ -44,7 +48,11 @@ fn offline_on_prop30_small_reaches_paper_ballpark() {
         graph: &inst.graph,
         sf0: &inst.sf0,
     };
-    let cfg = OfflineConfig { k: 3, max_iters: 100, ..Default::default() };
+    let cfg = OfflineConfig {
+        k: 3,
+        max_iters: 100,
+        ..Default::default()
+    };
     let result = solve_offline(&input, &cfg);
     let t_acc = clustering_accuracy(&result.tweet_labels(), &inst.tweet_truth);
     let u_acc = clustering_accuracy(&result.user_labels(), &inst.user_truth);
@@ -57,7 +65,11 @@ fn offline_on_prop30_small_reaches_paper_ballpark() {
 fn online_stream_tracks_offline_quality() {
     let corpus = generate(&presets::tiny(23));
     let builder = SnapshotBuilder::new(&corpus, 3, &pipeline());
-    let mut solver = OnlineSolver::new(OnlineConfig { k: 3, max_iters: 60, ..Default::default() });
+    let mut solver = OnlineSolver::new(OnlineConfig {
+        k: 3,
+        max_iters: 60,
+        ..Default::default()
+    });
     let mut weighted_acc = 0.0;
     let mut total = 0usize;
     for (lo, hi) in day_windows(corpus.num_days, 3) {
@@ -72,7 +84,10 @@ fn online_stream_tracks_offline_quality() {
             graph: &snap.graph,
             sf0: builder.sf0(),
         };
-        let result = solver.step(&SnapshotData { input, user_ids: &snap.user_ids });
+        let result = solver.step(&SnapshotData {
+            input,
+            user_ids: &snap.user_ids,
+        });
         let acc = clustering_accuracy(&result.tweet_labels(), &snap.tweet_truth);
         weighted_acc += acc * snap.tweet_ids.len() as f64;
         total += snap.tweet_ids.len();

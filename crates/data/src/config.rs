@@ -119,9 +119,18 @@ impl Default for GeneratorConfig {
             lexicon_error: 0.05,
             labeled_tweet_fraction: 0.9,
             labeled_user_fraction: 0.4,
-            pools: PoolSizes { positive: 60, negative: 60, topic: 80, noise: 150 },
+            pools: PoolSizes {
+                positive: 60,
+                negative: 60,
+                topic: 80,
+                noise: 150,
+            },
             word_zipf_exponent: 1.05,
-            bursts: vec![VolumeBurst { day: 12, amplitude: 2.0, width: 2.0 }],
+            bursts: vec![VolumeBurst {
+                day: 12,
+                amplitude: 2.0,
+                width: 2.0,
+            }],
             class_activity_boost: [1.0, 1.0, 1.0],
             churn: 0.3,
             vocabulary_drift: 0.5,
@@ -141,7 +150,10 @@ impl GeneratorConfig {
             (prior_sum - 1.0).abs() < 1e-6,
             "class priors must sum to 1, got {prior_sum}"
         );
-        assert!(self.tweet_len.0 >= 1 && self.tweet_len.0 <= self.tweet_len.1, "bad tweet_len");
+        assert!(
+            self.tweet_len.0 >= 1 && self.tweet_len.0 <= self.tweet_len.1,
+            "bad tweet_len"
+        );
         for (name, v) in [
             ("flip_fraction", self.flip_fraction),
             ("class_token_prob", self.class_token_prob),
@@ -156,17 +168,29 @@ impl GeneratorConfig {
             ("churn", self.churn),
             ("vocabulary_drift", self.vocabulary_drift),
         ] {
-            assert!((0.0..=1.0).contains(&v), "{name} must be in [0, 1], got {v}");
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "{name} must be in [0, 1], got {v}"
+            );
         }
         assert!(
             self.class_token_prob + self.topic_token_prob <= 1.0,
             "class_token_prob + topic_token_prob must be <= 1"
         );
         for (i, &b) in self.class_activity_boost.iter().enumerate() {
-            assert!(b > 0.0 && b.is_finite(), "class_activity_boost[{i}] must be positive");
+            assert!(
+                b > 0.0 && b.is_finite(),
+                "class_activity_boost[{i}] must be positive"
+            );
         }
-        assert!(self.pools.positive > 0 && self.pools.negative > 0, "stance pools required");
-        assert!(self.pools.topic > 0 && self.pools.noise > 0, "topic/noise pools required");
+        assert!(
+            self.pools.positive > 0 && self.pools.negative > 0,
+            "stance pools required"
+        );
+        assert!(
+            self.pools.topic > 0 && self.pools.noise > 0,
+            "topic/noise pools required"
+        );
     }
 }
 
@@ -182,14 +206,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "class priors must sum to 1")]
     fn bad_priors_rejected() {
-        let cfg = GeneratorConfig { class_priors: [0.5, 0.5, 0.5], ..Default::default() };
+        let cfg = GeneratorConfig {
+            class_priors: [0.5, 0.5, 0.5],
+            ..Default::default()
+        };
         cfg.validate();
     }
 
     #[test]
     #[should_panic(expected = "tweet_noise must be in [0, 1]")]
     fn bad_noise_rejected() {
-        let cfg = GeneratorConfig { tweet_noise: 1.5, ..Default::default() };
+        let cfg = GeneratorConfig {
+            tweet_noise: 1.5,
+            ..Default::default()
+        };
         cfg.validate();
     }
 }

@@ -69,8 +69,11 @@ fn noisy_class(from: Sentiment, rng: &mut StdRng) -> Sentiment {
 }
 
 fn different_class(from: Sentiment, rng: &mut StdRng) -> Sentiment {
-    let others: Vec<Sentiment> =
-        Sentiment::ALL.iter().copied().filter(|&s| s != from).collect();
+    let others: Vec<Sentiment> = Sentiment::ALL
+        .iter()
+        .copied()
+        .filter(|&s| s != from)
+        .collect();
     others[rng.random_range(0..others.len())]
 }
 
@@ -89,20 +92,29 @@ fn generate_users(config: &GeneratorConfig, rng: &mut StdRng) -> Vec<UserProfile
             let after = different_class(base, rng);
             let lo = config.num_days / 5;
             let hi = (config.num_days * 4) / 5;
-            let at_day = if hi > lo { rng.random_range(lo..hi) } else { lo };
-            Trajectory::Flip { before: base, after, at_day }
+            let at_day = if hi > lo {
+                rng.random_range(lo..hi)
+            } else {
+                lo
+            };
+            Trajectory::Flip {
+                before: base,
+                after,
+                at_day,
+            }
         } else {
             Trajectory::Stable(base)
         };
-        let (join_day, leave_day) = if rng.random_range(0.0..1.0) < config.churn
-            && config.num_days >= 4
-        {
-            let join = rng.random_range(0..config.num_days / 2);
-            let leave = rng.random_range((join + config.num_days / 4).min(config.num_days - 1)..config.num_days);
-            (join, leave)
-        } else {
-            (0, config.num_days - 1)
-        };
+        let (join_day, leave_day) =
+            if rng.random_range(0.0..1.0) < config.churn && config.num_days >= 4 {
+                let join = rng.random_range(0..config.num_days / 2);
+                let leave = rng.random_range(
+                    (join + config.num_days / 4).min(config.num_days - 1)..config.num_days,
+                );
+                (join, leave)
+            } else {
+                (0, config.num_days - 1)
+            };
         users.push(UserProfile {
             id,
             trajectory,
@@ -147,7 +159,10 @@ fn generate_users(config: &GeneratorConfig, rng: &mut StdRng) -> Vec<UserProfile
     if target > 0 {
         let mut by_activity: Vec<usize> = (0..m).collect();
         by_activity.sort_unstable_by(|&a, &b| {
-            users[b].activity.partial_cmp(&users[a].activity).expect("finite activity")
+            users[b]
+                .activity
+                .partial_cmp(&users[a].activity)
+                .expect("finite activity")
         });
         let pool = (target * 5 / 2).min(m);
         let mut candidates: Vec<usize> = by_activity[..pool].to_vec();
@@ -294,7 +309,14 @@ fn generate_tweets(
             stance
         };
         let tokens = compose_tokens(config, pools, sentiment, day, rng);
-        tweets.push(Tweet { id, author, tokens, day, sentiment, label: None });
+        tweets.push(Tweet {
+            id,
+            author,
+            tokens,
+            day,
+            sentiment,
+            label: None,
+        });
     }
     tweets
 }
@@ -380,13 +402,19 @@ fn generate_retweets(
                 // Homophily: re-tweeter shares the *author's current
                 // stance* (the social signal the β regularizer exploits).
                 let author_stance = users[tweet.author].trajectory.stance_at(tweet.day).index();
-                roster_ref.sample_class(author_stance, rng).or_else(|| roster_ref.sample_any(rng))
+                roster_ref
+                    .sample_class(author_stance, rng)
+                    .or_else(|| roster_ref.sample_any(rng))
             } else {
                 roster_ref.sample_any(rng)
             };
             if let Some(user) = pick {
                 if user != tweet.author {
-                    retweets.push(Retweet { user, tweet: tweet.id, day: tweet.day });
+                    retweets.push(Retweet {
+                        user,
+                        tweet: tweet.id,
+                        day: tweet.day,
+                    });
                 }
             }
         }
@@ -480,9 +508,7 @@ mod tests {
         let matching = corpus
             .tweets
             .iter()
-            .filter(|t| {
-                corpus.users[t.author].trajectory.stance_at(t.day) == t.sentiment
-            })
+            .filter(|t| corpus.users[t.author].trajectory.stance_at(t.day) == t.sentiment)
             .count();
         let frac = matching as f64 / corpus.num_tweets() as f64;
         assert!(frac > 0.8, "stance match fraction {frac}");
@@ -520,8 +546,7 @@ mod tests {
             total += 1;
             let truly_pos = w.starts_with("upbeat") || w == "#yeson37" || w == "labelgmo";
             let truly_neg = w.starts_with("gloomy") || w == "corn" || w == "#noprop37";
-            if (truly_pos && c == Sentiment::Positive) || (truly_neg && c == Sentiment::Negative)
-            {
+            if (truly_pos && c == Sentiment::Positive) || (truly_neg && c == Sentiment::Negative) {
                 correct += 1;
             } else if !truly_pos && !truly_neg {
                 correct += 1; // other seed words, skip strict check
@@ -563,8 +588,7 @@ mod tests {
     fn poisson_mean_close_to_lambda() {
         let mut rng = seeded_rng(5);
         let n = 5000;
-        let mean: f64 =
-            (0..n).map(|_| poisson(2.0, &mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| poisson(2.0, &mut rng) as f64).sum::<f64>() / n as f64;
         assert!((mean - 2.0).abs() < 0.15, "poisson mean {mean}");
     }
 }

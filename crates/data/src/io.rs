@@ -93,8 +93,17 @@ pub fn write_corpus<W: Write>(corpus: &Corpus, mut out: W) -> std::io::Result<()
     for u in &corpus.users {
         let stance = match u.trajectory {
             Trajectory::Stable(s) => sentiment_tag(s).to_string(),
-            Trajectory::Flip { before, after, at_day } => {
-                format!("{}:{}:{}", sentiment_tag(before), sentiment_tag(after), at_day)
+            Trajectory::Flip {
+                before,
+                after,
+                at_day,
+            } => {
+                format!(
+                    "{}:{}:{}",
+                    sentiment_tag(before),
+                    sentiment_tag(after),
+                    at_day
+                )
             }
         };
         let label = u.label.map(sentiment_tag).unwrap_or("-");
@@ -144,7 +153,10 @@ pub fn read_corpus<R: BufRead>(reader: R) -> Result<Corpus, CorpusIoError> {
             continue;
         }
         let fields: Vec<&str> = line.split('\t').collect();
-        let parse_err = |message: String| CorpusIoError::Parse { line: line_no, message };
+        let parse_err = |message: String| CorpusIoError::Parse {
+            line: line_no,
+            message,
+        };
         let num = |s: &str| -> Result<usize, CorpusIoError> {
             s.parse().map_err(|_| CorpusIoError::Parse {
                 line: line_no,
@@ -154,7 +166,10 @@ pub fn read_corpus<R: BufRead>(reader: R) -> Result<Corpus, CorpusIoError> {
         match fields.first() {
             Some(&"T") => {
                 if fields.len() != 7 {
-                    return Err(parse_err(format!("T record needs 7 fields, got {}", fields.len())));
+                    return Err(parse_err(format!(
+                        "T record needs 7 fields, got {}",
+                        fields.len()
+                    )));
                 }
                 let sentiment = parse_sentiment(fields[4], line_no)?;
                 let label = if fields[5] == "-" {
@@ -173,7 +188,10 @@ pub fn read_corpus<R: BufRead>(reader: R) -> Result<Corpus, CorpusIoError> {
             }
             Some(&"R") => {
                 if fields.len() != 4 {
-                    return Err(parse_err(format!("R record needs 4 fields, got {}", fields.len())));
+                    return Err(parse_err(format!(
+                        "R record needs 4 fields, got {}",
+                        fields.len()
+                    )));
                 }
                 retweets.push(Retweet {
                     user: num(fields[1])?,
@@ -183,15 +201,17 @@ pub fn read_corpus<R: BufRead>(reader: R) -> Result<Corpus, CorpusIoError> {
             }
             Some(&"U") => {
                 if fields.len() != 7 {
-                    return Err(parse_err(format!("U record needs 7 fields, got {}", fields.len())));
+                    return Err(parse_err(format!(
+                        "U record needs 7 fields, got {}",
+                        fields.len()
+                    )));
                 }
                 let trajectory = if let Some((before, rest)) = fields[2].split_once(':') {
-                    let (after, day) = rest.split_once(':').ok_or_else(|| {
-                        CorpusIoError::Parse {
+                    let (after, day) =
+                        rest.split_once(':').ok_or_else(|| CorpusIoError::Parse {
                             line: line_no,
                             message: "flip stance needs before:after:day".into(),
-                        }
-                    })?;
+                        })?;
                     Trajectory::Flip {
                         before: parse_sentiment(before, line_no)?,
                         after: parse_sentiment(after, line_no)?,
@@ -220,7 +240,10 @@ pub fn read_corpus<R: BufRead>(reader: R) -> Result<Corpus, CorpusIoError> {
             }
             Some(&"L") => {
                 if fields.len() != 3 {
-                    return Err(parse_err(format!("L record needs 3 fields, got {}", fields.len())));
+                    return Err(parse_err(format!(
+                        "L record needs 3 fields, got {}",
+                        fields.len()
+                    )));
                 }
                 lexicon.insert(fields[1], parse_sentiment(fields[2], line_no)?);
             }
@@ -265,7 +288,14 @@ pub fn read_corpus<R: BufRead>(reader: R) -> Result<Corpus, CorpusIoError> {
             });
         }
     }
-    Ok(Corpus { topic, users, tweets, retweets, lexicon, num_days })
+    Ok(Corpus {
+        topic,
+        users,
+        tweets,
+        retweets,
+        lexicon,
+        num_days,
+    })
 }
 
 #[cfg(test)]
@@ -302,10 +332,10 @@ mod tests {
     #[test]
     fn rejects_malformed_records() {
         let cases = [
-            "T\t0\t0",                          // too few fields
-            "T\t0\t0\t0\tmaybe\t-\thello",      // bad sentiment
-            "X\t1\t2\t3",                       // unknown record
-            "U\t0\tpos:neg\t-\t1.0\t0\t5",      // bad flip spec
+            "T\t0\t0",                     // too few fields
+            "T\t0\t0\t0\tmaybe\t-\thello", // bad sentiment
+            "X\t1\t2\t3",                  // unknown record
+            "U\t0\tpos:neg\t-\t1.0\t0\t5", // bad flip spec
         ];
         for case in cases {
             let err = read_corpus(std::io::BufReader::new(case.as_bytes()));

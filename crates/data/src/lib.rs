@@ -28,10 +28,15 @@ pub mod stats;
 pub mod zipf;
 
 pub use config::{GeneratorConfig, PoolSizes, VolumeBurst};
-pub use io::{read_corpus, write_corpus, CorpusIoError};
 pub use generator::{daily_volume_weights, generate};
-pub use matrices::{build_offline, day_windows, ProblemInstance, SnapshotBuilder, SnapshotInstance};
+pub use io::{read_corpus, write_corpus, CorpusIoError};
+pub use matrices::{
+    build_offline, day_windows, ProblemInstance, SnapshotBuilder, SnapshotInstance,
+};
 pub use model::{Corpus, Retweet, Trajectory, Tweet, UserProfile};
 pub use pools::{WordPool, WordPools};
-pub use stats::{corpus_stats, daily_tweet_counts, flip_fraction, period_feature_frequencies, top_words, CorpusStats};
+pub use stats::{
+    corpus_stats, daily_tweet_counts, flip_fraction, period_feature_frequencies, top_words,
+    CorpusStats,
+};
 pub use zipf::Zipf;

@@ -69,7 +69,10 @@ pub fn build_offline(corpus: &Corpus, k: usize, config: &PipelineConfig) -> Prob
 fn interactions(corpus: &Corpus) -> (CsrMatrix, UserGraph) {
     let mut events = Vec::with_capacity(corpus.num_tweets() + corpus.retweets.len());
     for t in &corpus.tweets {
-        events.push(Interaction::Post { user: t.author, tweet: t.id });
+        events.push(Interaction::Post {
+            user: t.author,
+            tweet: t.id,
+        });
     }
     for r in &corpus.retweets {
         events.push(Interaction::Retweet {
@@ -125,11 +128,21 @@ impl SnapshotBuilder {
     /// Fits the global vocabulary and lexicon prior on the full corpus.
     pub fn new(corpus: &Corpus, k: usize, config: &PipelineConfig) -> Self {
         let vocab = Vocabulary::build(
-            corpus.tweets.iter().map(|t| t.tokens.iter().map(String::as_str)),
+            corpus
+                .tweets
+                .iter()
+                .map(|t| t.tokens.iter().map(String::as_str)),
             &config.vocab,
         );
-        let sf0 = corpus.lexicon.prior_matrix(&vocab, k, config.lexicon_confidence);
-        Self { vocab, sf0, config: config.clone(), k }
+        let sf0 = corpus
+            .lexicon
+            .prior_matrix(&vocab, k, config.lexicon_confidence);
+        Self {
+            vocab,
+            sf0,
+            config: config.clone(),
+            k,
+        }
     }
 
     /// The global vocabulary.
@@ -150,8 +163,11 @@ impl SnapshotBuilder {
     /// Builds the instance for days `lo..hi`.
     pub fn snapshot(&self, corpus: &Corpus, lo: u32, hi: u32) -> SnapshotInstance {
         let tweet_ids = corpus.tweets_in_days(lo, hi);
-        let tweet_local: std::collections::HashMap<usize, usize> =
-            tweet_ids.iter().enumerate().map(|(local, &id)| (id, local)).collect();
+        let tweet_local: std::collections::HashMap<usize, usize> = tweet_ids
+            .iter()
+            .enumerate()
+            .map(|(local, &id)| (id, local))
+            .collect();
 
         // Users present: authors of snapshot tweets + snapshot re-tweeters.
         let mut present = vec![false; corpus.num_users()];
@@ -167,14 +183,18 @@ impl SnapshotBuilder {
             present[r.user] = true;
         }
         let user_ids: Vec<usize> = (0..corpus.num_users()).filter(|&u| present[u]).collect();
-        let user_local: std::collections::HashMap<usize, usize> =
-            user_ids.iter().enumerate().map(|(local, &id)| (id, local)).collect();
+        let user_local: std::collections::HashMap<usize, usize> = user_ids
+            .iter()
+            .enumerate()
+            .map(|(local, &id)| (id, local))
+            .collect();
 
         // Text matrices over the *global* vocabulary.
         let encoded: Vec<Vec<usize>> = tweet_ids
             .iter()
             .map(|&tid| {
-                self.vocab.encode(corpus.tweets[tid].tokens.iter().map(String::as_str))
+                self.vocab
+                    .encode(corpus.tweets[tid].tokens.iter().map(String::as_str))
             })
             .collect();
         let vectorizer = Vectorizer::fit(&self.vocab, &encoded, self.config.weighting);
@@ -208,8 +228,10 @@ impl SnapshotBuilder {
         );
 
         let mid_day = lo + (hi.saturating_sub(lo + 1)) / 2;
-        let tweet_truth =
-            tweet_ids.iter().map(|&tid| corpus.tweets[tid].sentiment.index()).collect();
+        let tweet_truth = tweet_ids
+            .iter()
+            .map(|&tid| corpus.tweets[tid].sentiment.index())
+            .collect();
         let user_truth = user_ids
             .iter()
             .map(|&u| corpus.users[u].trajectory.stance_at(mid_day).index())
@@ -280,7 +302,11 @@ mod tests {
         let c = corpus();
         let inst = build_offline(&c, 3, &pipeline());
         for t in c.tweets.iter().take(20) {
-            assert!(inst.xr.get(t.author, t.id) > 0.0, "missing post edge for tweet {}", t.id);
+            assert!(
+                inst.xr.get(t.author, t.id) > 0.0,
+                "missing post edge for tweet {}",
+                t.id
+            );
         }
     }
 
@@ -317,8 +343,11 @@ mod tests {
         let snap = builder.snapshot(&c, 0, 6);
         for (local, &tid) in snap.tweet_ids.iter().enumerate() {
             let author = c.tweets[tid].author;
-            let local_user =
-                snap.user_ids.iter().position(|&u| u == author).expect("author present");
+            let local_user = snap
+                .user_ids
+                .iter()
+                .position(|&u| u == author)
+                .expect("author present");
             assert!(snap.xr.get(local_user, local) > 0.0);
         }
     }

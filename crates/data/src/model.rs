@@ -27,7 +27,11 @@ impl Trajectory {
     pub fn stance_at(&self, day: u32) -> Sentiment {
         match *self {
             Trajectory::Stable(s) => s,
-            Trajectory::Flip { before, after, at_day } => {
+            Trajectory::Flip {
+                before,
+                after,
+                at_day,
+            } => {
                 if day < at_day {
                     before
                 } else {
@@ -42,7 +46,11 @@ impl Trajectory {
     pub fn majority_stance(&self, num_days: u32) -> Sentiment {
         match *self {
             Trajectory::Stable(s) => s,
-            Trajectory::Flip { before, after, at_day } => {
+            Trajectory::Flip {
+                before,
+                after,
+                at_day,
+            } => {
                 if at_day * 2 > num_days {
                     before
                 } else {
@@ -147,22 +155,34 @@ impl Corpus {
 
     /// Tweet labels visible to supervised methods.
     pub fn tweet_labels(&self) -> Vec<Option<usize>> {
-        self.tweets.iter().map(|t| t.label.map(Sentiment::index)).collect()
+        self.tweets
+            .iter()
+            .map(|t| t.label.map(Sentiment::index))
+            .collect()
     }
 
     /// Ground-truth *overall* user stances (majority over the period).
     pub fn user_truth(&self) -> Vec<usize> {
-        self.users.iter().map(|u| u.trajectory.majority_stance(self.num_days).index()).collect()
+        self.users
+            .iter()
+            .map(|u| u.trajectory.majority_stance(self.num_days).index())
+            .collect()
     }
 
     /// Ground-truth user stances on a specific day.
     pub fn user_truth_at(&self, day: u32) -> Vec<usize> {
-        self.users.iter().map(|u| u.trajectory.stance_at(day).index()).collect()
+        self.users
+            .iter()
+            .map(|u| u.trajectory.stance_at(day).index())
+            .collect()
     }
 
     /// User labels visible to (semi-)supervised methods.
     pub fn user_labels(&self) -> Vec<Option<usize>> {
-        self.users.iter().map(|u| u.label.map(Sentiment::index)).collect()
+        self.users
+            .iter()
+            .map(|u| u.label.map(Sentiment::index))
+            .collect()
     }
 
     /// Tweet ids authored on days `lo..hi`.

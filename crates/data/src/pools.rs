@@ -17,16 +17,42 @@ use crate::zipf::Zipf;
 /// Seed words lending the generated corpora a recognizable ballot-topic
 /// flavor (drawn from the paper's Table 2 and examples).
 const SEED_POS: &[&str] = &[
-    "#yeson37", "labelgmo", "monsanto", "stopmonsanto", "carighttoknow", "health", "safe",
-    "cancer", "righttoknow", "labelit",
+    "#yeson37",
+    "labelgmo",
+    "monsanto",
+    "stopmonsanto",
+    "carighttoknow",
+    "health",
+    "safe",
+    "cancer",
+    "righttoknow",
+    "labelit",
 ];
 const SEED_NEG: &[&str] = &[
-    "corn", "farmer", "#noprop37", "crop", "million", "feed", "india", "seed", "costly",
+    "corn",
+    "farmer",
+    "#noprop37",
+    "crop",
+    "million",
+    "feed",
+    "india",
+    "seed",
+    "costly",
     "bureaucracy",
 ];
 const SEED_TOPIC: &[&str] = &[
-    "gmo", "label", "food", "california", "ballot", "vote", "election", "prop", "measure",
-    "initiative", "genetically", "modified",
+    "gmo",
+    "label",
+    "food",
+    "california",
+    "ballot",
+    "vote",
+    "election",
+    "prop",
+    "measure",
+    "initiative",
+    "genetically",
+    "modified",
 ];
 const SEED_NOISE: &[&str] = &[
     "today", "people", "think", "really", "make", "time", "good", "new", "know", "going",
@@ -65,7 +91,12 @@ impl WordPool {
                 (peak, width)
             })
             .collect();
-        Self { words, zipf: Zipf::new(size, zipf_s), envelope, floor: 1.0 - drift }
+        Self {
+            words,
+            zipf: Zipf::new(size, zipf_s),
+            envelope,
+            floor: 1.0 - drift,
+        }
     }
 
     /// Number of words.
@@ -198,7 +229,10 @@ mod tests {
 
     #[test]
     fn zero_drift_means_static_popularity() {
-        let cfg = GeneratorConfig { vocabulary_drift: 0.0, ..Default::default() };
+        let cfg = GeneratorConfig {
+            vocabulary_drift: 0.0,
+            ..Default::default()
+        };
         let mut rng = seeded_rng(3);
         let p = WordPools::build(&cfg, &mut rng);
         for day in 0..20 {

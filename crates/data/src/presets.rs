@@ -49,11 +49,24 @@ pub fn prop30(seed: u64) -> GeneratorConfig {
         lexicon_error: 0.06,
         labeled_tweet_fraction: 0.95,
         labeled_user_fraction: 0.41,
-        pools: PoolSizes { positive: 300, negative: 300, topic: 450, noise: 1200 },
+        pools: PoolSizes {
+            positive: 300,
+            negative: 300,
+            topic: 450,
+            noise: 1200,
+        },
         word_zipf_exponent: 1.05,
         bursts: vec![
-            VolumeBurst { day: DAY_SEP1, amplitude: 2.5, width: 2.5 },
-            VolumeBurst { day: DAY_ELECTION, amplitude: 6.0, width: 3.5 },
+            VolumeBurst {
+                day: DAY_SEP1,
+                amplitude: 2.5,
+                width: 2.5,
+            },
+            VolumeBurst {
+                day: DAY_ELECTION,
+                amplitude: 6.0,
+                width: 3.5,
+            },
         ],
         class_activity_boost: [1.15, 1.0, 0.9],
         churn: 0.35,
@@ -85,11 +98,24 @@ pub fn prop37(seed: u64) -> GeneratorConfig {
         lexicon_error: 0.06,
         labeled_tweet_fraction: 0.95,
         labeled_user_fraction: 0.19,
-        pools: PoolSizes { positive: 350, negative: 350, topic: 500, noise: 1400 },
+        pools: PoolSizes {
+            positive: 350,
+            negative: 350,
+            topic: 500,
+            noise: 1400,
+        },
         word_zipf_exponent: 1.05,
         bursts: vec![
-            VolumeBurst { day: DAY_SEP1, amplitude: 1.5, width: 2.5 },
-            VolumeBurst { day: DAY_ELECTION, amplitude: 6.0, width: 3.5 },
+            VolumeBurst {
+                day: DAY_SEP1,
+                amplitude: 1.5,
+                width: 2.5,
+            },
+            VolumeBurst {
+                day: DAY_ELECTION,
+                amplitude: 6.0,
+                width: 3.5,
+            },
         ],
         class_activity_boost: [2.0, 0.7, 0.7],
         churn: 0.35,
@@ -106,10 +132,23 @@ pub fn prop30_small(seed: u64) -> GeneratorConfig {
     cfg.total_tweets = 2_000;
     cfg.num_days = 40;
     cfg.bursts = vec![
-        VolumeBurst { day: 10, amplitude: 2.5, width: 2.0 },
-        VolumeBurst { day: 30, amplitude: 6.0, width: 2.0 },
+        VolumeBurst {
+            day: 10,
+            amplitude: 2.5,
+            width: 2.0,
+        },
+        VolumeBurst {
+            day: 30,
+            amplitude: 6.0,
+            width: 2.0,
+        },
     ];
-    cfg.pools = PoolSizes { positive: 80, negative: 80, topic: 120, noise: 300 };
+    cfg.pools = PoolSizes {
+        positive: 80,
+        negative: 80,
+        topic: 120,
+        noise: 300,
+    };
     cfg
 }
 
@@ -121,10 +160,23 @@ pub fn prop37_small(seed: u64) -> GeneratorConfig {
     cfg.total_tweets = 4_000;
     cfg.num_days = 40;
     cfg.bursts = vec![
-        VolumeBurst { day: 10, amplitude: 1.5, width: 2.0 },
-        VolumeBurst { day: 30, amplitude: 6.0, width: 2.0 },
+        VolumeBurst {
+            day: 10,
+            amplitude: 1.5,
+            width: 2.0,
+        },
+        VolumeBurst {
+            day: 30,
+            amplitude: 6.0,
+            width: 2.0,
+        },
     ];
-    cfg.pools = PoolSizes { positive: 90, negative: 90, topic: 140, noise: 350 };
+    cfg.pools = PoolSizes {
+        positive: 90,
+        negative: 90,
+        topic: 140,
+        noise: 350,
+    };
     cfg
 }
 
@@ -172,8 +224,8 @@ mod tests {
         // pos tweets should outnumber neg roughly 60/40 like the paper's
         // 8777/5014 split
         assert!(s.labeled_pos_tweets > s.labeled_neg_tweets);
-        let ratio = s.labeled_pos_tweets as f64
-            / (s.labeled_pos_tweets + s.labeled_neg_tweets) as f64;
+        let ratio =
+            s.labeled_pos_tweets as f64 / (s.labeled_pos_tweets + s.labeled_neg_tweets) as f64;
         assert!((0.5..0.75).contains(&ratio), "pos ratio {ratio}");
         // users: labeled minority, unlabeled majority
         assert!(s.unlabeled_users > s.labeled_pos_users);
@@ -183,8 +235,8 @@ mod tests {
     fn prop37_small_heavily_positive() {
         let corpus = generate(&prop37_small(7));
         let s = corpus_stats(&corpus);
-        let ratio = s.labeled_pos_tweets as f64
-            / (s.labeled_pos_tweets + s.labeled_neg_tweets) as f64;
+        let ratio =
+            s.labeled_pos_tweets as f64 / (s.labeled_pos_tweets + s.labeled_neg_tweets) as f64;
         assert!(ratio > 0.8, "prop37 pos ratio {ratio}");
         assert!(s.labeled_neu_users < s.labeled_pos_users);
     }

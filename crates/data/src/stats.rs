@@ -74,8 +74,10 @@ pub fn top_words(corpus: &Corpus, class: Sentiment, k: usize) -> Vec<(String, us
             }
         }
     }
-    let mut entries: Vec<(String, usize)> =
-        counts.into_iter().map(|(w, c)| (w.to_string(), c)).collect();
+    let mut entries: Vec<(String, usize)> = counts
+        .into_iter()
+        .map(|(w, c)| (w.to_string(), c))
+        .collect();
     entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     entries.truncate(k);
     entries
@@ -92,8 +94,10 @@ pub fn period_feature_frequencies(corpus: &Corpus, lo: u32, hi: u32) -> Vec<(Str
             }
         }
     }
-    let mut entries: Vec<(String, usize)> =
-        counts.into_iter().map(|(w, c)| (w.to_string(), c)).collect();
+    let mut entries: Vec<(String, usize)> = counts
+        .into_iter()
+        .map(|(w, c)| (w.to_string(), c))
+        .collect();
     entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     entries
 }
@@ -161,7 +165,10 @@ mod tests {
             .iter()
             .filter(|(w, _)| w.starts_with("gloomy") || w == "corn" || w == "#noprop37")
             .count();
-        assert!(neg_heavy <= 2, "negative stance words leaked into positive top-8");
+        assert!(
+            neg_heavy <= 2,
+            "negative stance words leaked into positive top-8"
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@ impl Zipf {
     /// Builds the distribution. Panics for `n == 0` or non-finite `s`.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Zipf exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for r in 0..n {
@@ -45,7 +48,10 @@ impl Zipf {
     /// Samples a rank in `0..n`.
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let u: f64 = rng.random_range(0.0..1.0);
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

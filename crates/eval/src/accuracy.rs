@@ -11,7 +11,12 @@ pub fn clustering_accuracy(pred: &[usize], truth: &[usize]) -> f64 {
     }
     let cm = ConfusionMatrix::from_labels(pred, truth);
     let hit: usize = (0..cm.num_clusters())
-        .map(|o| (0..cm.num_classes()).map(|g| cm.count(o, g)).max().unwrap_or(0))
+        .map(|o| {
+            (0..cm.num_classes())
+                .map(|g| cm.count(o, g))
+                .max()
+                .unwrap_or(0)
+        })
         .sum();
     hit as f64 / cm.total() as f64
 }
@@ -22,7 +27,11 @@ pub fn classification_accuracy(pred: &[usize], truth: &[usize]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    let hit = pred.iter().zip(truth.iter()).filter(|(p, t)| p == t).count();
+    let hit = pred
+        .iter()
+        .zip(truth.iter())
+        .filter(|(p, t)| p == t)
+        .count();
     hit as f64 / pred.len() as f64
 }
 

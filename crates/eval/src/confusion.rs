@@ -22,7 +22,10 @@ impl ConfusionMatrix {
         for (&p, &t) in pred.iter().zip(truth.iter()) {
             counts[p][t] += 1;
         }
-        Self { counts, total: pred.len() }
+        Self {
+            counts,
+            total: pred.len(),
+        }
     }
 
     /// Number of predicted clusters (rows).

@@ -162,7 +162,10 @@ mod tests {
         let truth = vec![0, 0, 0, 0, 1, 1];
         let h = hungarian_accuracy(&pred, &truth);
         let m = clustering_accuracy(&pred, &truth);
-        assert!(h <= m + 1e-12, "hungarian {h} should not exceed majority {m}");
+        assert!(
+            h <= m + 1e-12,
+            "hungarian {h} should not exceed majority {m}"
+        );
     }
 
     #[test]

@@ -20,7 +20,9 @@ pub mod hungarian;
 pub mod nmi;
 pub mod pearson;
 
-pub use accuracy::{classification_accuracy, clustering_accuracy, filter_labeled, macro_f1, purity};
+pub use accuracy::{
+    classification_accuracy, clustering_accuracy, filter_labeled, macro_f1, purity,
+};
 pub use ari::adjusted_rand_index;
 pub use confusion::ConfusionMatrix;
 pub use hungarian::{hungarian, hungarian_accuracy};

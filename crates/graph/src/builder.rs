@@ -43,7 +43,10 @@ pub struct InteractionWeights {
 
 impl Default for InteractionWeights {
     fn default() -> Self {
-        Self { post: 1.0, retweet: 1.0 }
+        Self {
+            post: 1.0,
+            retweet: 1.0,
+        }
     }
 }
 
@@ -61,10 +64,17 @@ pub fn build_interactions(
     for ev in events {
         match *ev {
             Interaction::Post { user, tweet } => {
-                assert!(user < num_users && tweet < num_tweets, "post event out of bounds");
+                assert!(
+                    user < num_users && tweet < num_tweets,
+                    "post event out of bounds"
+                );
                 xr_triplets.push((user, tweet, weights.post));
             }
-            Interaction::Retweet { user, tweet, author } => {
+            Interaction::Retweet {
+                user,
+                tweet,
+                author,
+            } => {
                 assert!(
                     user < num_users && tweet < num_tweets && author < num_users,
                     "retweet event out of bounds"
@@ -91,7 +101,11 @@ mod tests {
         let events = vec![
             Interaction::Post { user: 0, tweet: 0 },
             Interaction::Post { user: 1, tweet: 1 },
-            Interaction::Retweet { user: 0, tweet: 1, author: 1 },
+            Interaction::Retweet {
+                user: 0,
+                tweet: 1,
+                author: 1,
+            },
         ];
         let (xr, gu) = build_interactions(2, 2, &events, InteractionWeights::default());
         assert_eq!(xr.get(0, 0), 1.0);
@@ -103,8 +117,16 @@ mod tests {
     #[test]
     fn repeated_retweets_accumulate_edge_weight() {
         let events = vec![
-            Interaction::Retweet { user: 0, tweet: 1, author: 1 },
-            Interaction::Retweet { user: 0, tweet: 2, author: 1 },
+            Interaction::Retweet {
+                user: 0,
+                tweet: 1,
+                author: 1,
+            },
+            Interaction::Retweet {
+                user: 0,
+                tweet: 2,
+                author: 1,
+            },
         ];
         let (xr, gu) = build_interactions(2, 3, &events, InteractionWeights::default());
         assert_eq!(gu.weight(0, 1), 2.0);
@@ -113,7 +135,11 @@ mod tests {
 
     #[test]
     fn self_retweet_adds_no_graph_edge() {
-        let events = vec![Interaction::Retweet { user: 0, tweet: 0, author: 0 }];
+        let events = vec![Interaction::Retweet {
+            user: 0,
+            tweet: 0,
+            author: 0,
+        }];
         let (_, gu) = build_interactions(1, 1, &events, InteractionWeights::default());
         assert_eq!(gu.num_edges(), 0);
     }
@@ -122,9 +148,16 @@ mod tests {
     fn custom_weights_respected() {
         let events = vec![
             Interaction::Post { user: 0, tweet: 0 },
-            Interaction::Retweet { user: 1, tweet: 0, author: 0 },
+            Interaction::Retweet {
+                user: 1,
+                tweet: 0,
+                author: 0,
+            },
         ];
-        let w = InteractionWeights { post: 2.0, retweet: 0.5 };
+        let w = InteractionWeights {
+            post: 2.0,
+            retweet: 0.5,
+        };
         let (xr, _) = build_interactions(2, 1, &events, w);
         assert_eq!(xr.get(0, 0), 2.0);
         assert_eq!(xr.get(1, 0), 0.5);

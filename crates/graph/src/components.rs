@@ -13,7 +13,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self { parent: (0..n).collect(), rank: vec![0; n], components: n }
+        Self {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
     }
 
     /// Representative of `x`'s set.
@@ -111,10 +115,7 @@ mod tests {
 
     #[test]
     fn components_of_two_cliques() {
-        let g = UserGraph::from_edges(
-            6,
-            &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)],
-        );
+        let g = UserGraph::from_edges(6, &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)]);
         let labels = connected_components(&g);
         assert_eq!(labels, vec![0, 0, 0, 1, 1, 1]);
         assert_eq!(num_components(&g), 2);
@@ -129,10 +130,7 @@ mod tests {
 
     #[test]
     fn largest_component_picks_biggest() {
-        let g = UserGraph::from_edges(
-            5,
-            &[(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)],
-        );
+        let g = UserGraph::from_edges(5, &[(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)]);
         assert_eq!(largest_component(&g), vec![2, 3, 4]);
     }
 

@@ -14,7 +14,10 @@ pub struct UserGraph {
 impl UserGraph {
     /// A graph with no edges.
     pub fn empty(num_nodes: usize) -> Self {
-        Self { adjacency: CsrMatrix::zeros(num_nodes, num_nodes), degrees: vec![0.0; num_nodes] }
+        Self {
+            adjacency: CsrMatrix::zeros(num_nodes, num_nodes),
+            degrees: vec![0.0; num_nodes],
+        }
     }
 
     /// Builds from undirected weighted edges. Parallel edges sum their
@@ -23,7 +26,10 @@ impl UserGraph {
     pub fn from_edges(num_nodes: usize, edges: &[(usize, usize, f64)]) -> Self {
         let mut triplets = Vec::with_capacity(edges.len() * 2);
         for &(u, v, w) in edges {
-            assert!(u < num_nodes && v < num_nodes, "edge ({u}, {v}) out of bounds");
+            assert!(
+                u < num_nodes && v < num_nodes,
+                "edge ({u}, {v}) out of bounds"
+            );
             assert!(w >= 0.0, "edge weights must be non-negative, got {w}");
             if u == v || w == 0.0 {
                 continue;

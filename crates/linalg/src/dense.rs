@@ -8,8 +8,9 @@
 
 use crate::LinalgError;
 
-/// A dense row-major `rows × cols` matrix of `f64`.
-#[derive(Debug, Clone, PartialEq)]
+/// A dense row-major `rows × cols` matrix of `f64`. `Default` is the
+/// empty `0 × 0` matrix (used for lazily-sized workspace buffers).
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DenseMatrix {
     rows: usize,
     cols: usize,
@@ -19,12 +20,20 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -134,102 +143,243 @@ impl DenseMatrix {
         out
     }
 
+    /// Reshapes to `rows × cols` and zero-fills, reusing the existing
+    /// allocation whenever its capacity suffices. This is how the solver
+    /// workspaces keep per-sweep buffers allocation-free after warm-up.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies `other` into `self`, reusing the allocation when possible.
+    pub fn copy_from(&mut self, other: &DenseMatrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Dense matrix product `self · other`.
     ///
     /// Uses the i-k-j loop order so the inner loop streams over contiguous
     /// rows of `other` and the output.
     pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::default(); // sized (once) by matmul_into
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// In-place variant of [`DenseMatrix::matmul`]: writes `self · other`
+    /// into `out` (reshaped as needed), row-parallel on large inputs.
+    pub fn matmul_into(&self, other: &DenseMatrix, out: &mut DenseMatrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: ({}, {}) x ({}, {})",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = DenseMatrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+        out.resize_zeroed(self.rows, other.cols);
+        let width = other.cols;
+        let work = self.rows * self.cols * width;
+        crate::parallel::for_each_row_chunk(self.rows, work, &mut out.data, width, |r0, chunk| {
+            for (local, out_row) in chunk.chunks_exact_mut(width.max(1)).enumerate() {
+                let a_row = self.row(r0 + local);
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = other.row(k);
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
-        out
+        });
     }
 
     /// Gram matrix `selfᵀ · self` (`cols × cols`).
     ///
     /// The workhorse for `SᵀS` terms: one pass over the rows, accumulating
     /// rank-1 outer products, exploiting symmetry.
-    #[allow(clippy::needless_range_loop)] // symmetric triangular indexing
     pub fn gram(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::default(); // sized (once) by gram_into
+        self.gram_into(&mut out);
+        out
+    }
+
+    /// In-place variant of [`DenseMatrix::gram`]: writes `selfᵀ·self` into
+    /// `out` (reshaped as needed), with a chunked parallel reduction on
+    /// large inputs.
+    #[allow(clippy::needless_range_loop)] // symmetric triangular indexing
+    pub fn gram_into(&self, out: &mut DenseMatrix) {
         let k = self.cols;
-        let mut out = DenseMatrix::zeros(k, k);
-        for row in self.rows_iter() {
-            for a in 0..k {
-                let ra = row[a];
-                if ra == 0.0 {
-                    continue;
-                }
-                for b in a..k {
-                    out.data[a * k + b] += ra * row[b];
+        out.resize_zeroed(k, k);
+        let work = self.rows * k * k;
+        crate::parallel::reduce_rows(self.rows, work, &mut out.data, |r0, r1, acc| {
+            for i in r0..r1 {
+                let row = self.row(i);
+                for a in 0..k {
+                    let ra = row[a];
+                    if ra == 0.0 {
+                        continue;
+                    }
+                    for b in a..k {
+                        acc[a * k + b] += ra * row[b];
+                    }
                 }
             }
-        }
+        });
         // mirror the upper triangle
         for a in 0..k {
             for b in (a + 1)..k {
                 out.data[b * k + a] = out.data[a * k + b];
             }
         }
-        out
     }
 
     /// `selfᵀ · other` without materializing the transpose.
     pub fn transpose_matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::default(); // sized (once) by the _into
+        self.transpose_matmul_into(other, &mut out);
+        out
+    }
+
+    /// In-place variant of [`DenseMatrix::transpose_matmul`]: writes
+    /// `selfᵀ · other` into `out` (reshaped as needed), with a chunked
+    /// parallel reduction on large inputs.
+    pub fn transpose_matmul_into(&self, other: &DenseMatrix, out: &mut DenseMatrix) {
         assert_eq!(
             self.rows, other.rows,
             "transpose_matmul shape mismatch: ({}, {})ᵀ x ({}, {})",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = DenseMatrix::zeros(self.cols, other.cols);
-        for i in 0..self.rows {
+        out.resize_zeroed(self.cols, other.cols);
+        let width = other.cols;
+        let work = self.rows * self.cols * width;
+        crate::parallel::reduce_rows(self.rows, work, &mut out.data, |r0, r1, acc| {
+            for i in r0..r1 {
+                let a_row = self.row(i);
+                let b_row = other.row(i);
+                for (a_idx, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut acc[a_idx * width..(a_idx + 1) * width];
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Computes `selfᵀ · x` and `selfᵀ · y` in a single pass over the
+    /// rows of all three matrices (`x` and `y` share `self`'s row count).
+    ///
+    /// Bit-identical to two separate [`DenseMatrix::transpose_matmul`]
+    /// calls — each output element accumulates contributions in the same
+    /// (increasing row) order — but reads `self` once instead of twice.
+    /// This is the shape of every Δ computation in the update sweeps
+    /// (`SpᵀA + SpᵀC`, `SuᵀB + SuᵀD`, `SfᵀE₁ + SfᵀE₂`).
+    pub fn transpose_matmul_pair_into(
+        &self,
+        x: &DenseMatrix,
+        y: &DenseMatrix,
+        out_x: &mut DenseMatrix,
+        out_y: &mut DenseMatrix,
+    ) {
+        assert_eq!(self.rows, x.rows(), "transpose_matmul_pair: x row mismatch");
+        assert_eq!(self.rows, y.rows(), "transpose_matmul_pair: y row mismatch");
+        assert_eq!(
+            x.cols(),
+            y.cols(),
+            "transpose_matmul_pair: x/y width mismatch"
+        );
+        let width = x.cols();
+        out_x.resize_zeroed(self.cols, width);
+        out_y.resize_zeroed(self.cols, width);
+        let work = 2 * self.rows * self.cols * width;
+        // Both accumulators ride in one reduction buffer so the pass stays
+        // a single reduce_rows call (and a single parallel dispatch).
+        let len = self.cols * width;
+        if 2 * len <= crate::parallel::MAX_REDUCE_LEN {
+            let mut acc = [0.0f64; crate::parallel::MAX_REDUCE_LEN];
+            crate::parallel::reduce_rows(self.rows, work, &mut acc[..2 * len], |r0, r1, acc| {
+                let (ax, ay) = acc.split_at_mut(len);
+                self.transpose_matmul_pair_rows(x, y, r0, r1, ax, ay);
+            });
+            out_x.as_mut_slice().copy_from_slice(&acc[..len]);
+            out_y.as_mut_slice().copy_from_slice(&acc[len..2 * len]);
+        } else {
+            // Wide outputs: the accumulators don't fit the shared
+            // reduction buffer, so reduce each product separately — same
+            // fixed-block summation tree as `transpose_matmul_into`, so
+            // the bit-identity contract holds at every width (the fused
+            // single-pass saving only applies to thin factors anyway).
+            self.transpose_matmul_into(x, out_x);
+            self.transpose_matmul_into(y, out_y);
+            let _ = work;
+        }
+    }
+
+    fn transpose_matmul_pair_rows(
+        &self,
+        x: &DenseMatrix,
+        y: &DenseMatrix,
+        r0: usize,
+        r1: usize,
+        acc_x: &mut [f64],
+        acc_y: &mut [f64],
+    ) {
+        let width = x.cols();
+        for i in r0..r1 {
             let a_row = self.row(i);
-            let b_row = other.row(i);
+            let x_row = x.row(i);
+            let y_row = y.row(i);
             for (a_idx, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let out_row = &mut out.data[a_idx * other.cols..(a_idx + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                let out_x = &mut acc_x[a_idx * width..(a_idx + 1) * width];
+                for (o, &b) in out_x.iter_mut().zip(x_row.iter()) {
+                    *o += a * b;
+                }
+                let out_y = &mut acc_y[a_idx * width..(a_idx + 1) * width];
+                for (o, &b) in out_y.iter_mut().zip(y_row.iter()) {
                     *o += a * b;
                 }
             }
         }
-        out
     }
 
     /// `self · otherᵀ`.
     pub fn matmul_transpose(&self, other: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::default(); // sized (once) by the _into
+        self.matmul_transpose_into(other, &mut out);
+        out
+    }
+
+    /// In-place variant of [`DenseMatrix::matmul_transpose`]: writes
+    /// `self · otherᵀ` into `out` (reshaped as needed), row-parallel on
+    /// large inputs.
+    pub fn matmul_transpose_into(&self, other: &DenseMatrix, out: &mut DenseMatrix) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_transpose shape mismatch: ({}, {}) x ({}, {})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = DenseMatrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                *o = dot(a_row, b_row);
+        out.resize_zeroed(self.rows, other.rows);
+        let width = other.rows;
+        let work = self.rows * self.cols * width;
+        crate::parallel::for_each_row_chunk(self.rows, work, &mut out.data, width, |r0, chunk| {
+            for (local, out_row) in chunk.chunks_exact_mut(width.max(1)).enumerate() {
+                let a_row = self.row(r0 + local);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o = dot(a_row, other.row(j));
+                }
             }
-        }
-        out
+        });
     }
 
     /// Element-wise (Hadamard) product.
@@ -245,6 +395,44 @@ impl DenseMatrix {
     /// Element-wise difference.
     pub fn sub(&self, other: &DenseMatrix) -> DenseMatrix {
         self.zip_with(other, |a, b| a - b)
+    }
+
+    /// In-place element-wise addition: `self += other`.
+    pub fn add_assign(&mut self, other: &DenseMatrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place element-wise subtraction: `self -= other`.
+    pub fn sub_assign(&mut self, other: &DenseMatrix) {
+        assert_eq!(self.shape(), other.shape(), "sub_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a -= b;
+        }
+    }
+
+    /// In-place `self -= scale * other`, with the product grouped as
+    /// `scale * b` per entry — the same floating-point association as
+    /// `self.sub(&other.scale(scale))`, so fused call sites reproduce the
+    /// allocating chain bit-for-bit.
+    pub fn sub_scaled_assign(&mut self, scale: f64, other: &DenseMatrix) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "sub_scaled_assign shape mismatch"
+        );
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a -= scale * b;
+        }
+    }
+
+    /// In-place scalar multiplication (alias of
+    /// [`DenseMatrix::scale_in_place`], named for symmetry with the other
+    /// `_assign` kernels).
+    pub fn scale_assign(&mut self, scalar: f64) {
+        self.scale_in_place(scalar);
     }
 
     /// In-place element-wise addition of `scale * other`.
@@ -288,7 +476,12 @@ impl DenseMatrix {
         DenseMatrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -329,8 +522,16 @@ impl DenseMatrix {
 
     /// Frobenius inner product `⟨self, other⟩`.
     pub fn frobenius_inner(&self, other: &DenseMatrix) -> f64 {
-        assert_eq!(self.shape(), other.shape(), "frobenius_inner shape mismatch");
-        self.data.iter().zip(other.data.iter()).map(|(&a, &b)| a * b).sum()
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "frobenius_inner shape mismatch"
+        );
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| a * b)
+            .sum()
     }
 
     /// Index of the largest entry in each row (ties broken towards the
@@ -401,16 +602,40 @@ impl DenseMatrix {
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        DenseMatrix { rows: self.rows + other.rows, cols: self.cols, data }
+        DenseMatrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Gathers the given rows into a new matrix.
     pub fn select_rows(&self, rows: &[usize]) -> DenseMatrix {
-        let mut out = DenseMatrix::zeros(rows.len(), self.cols);
+        let mut out = DenseMatrix::default(); // sized (once) by the _into
+        self.select_rows_into(rows, &mut out);
+        out
+    }
+
+    /// In-place variant of [`DenseMatrix::select_rows`]: gathers into
+    /// `out`, reusing its allocation when capacity suffices.
+    pub fn select_rows_into(&self, rows: &[usize], out: &mut DenseMatrix) {
+        out.resize_zeroed(rows.len(), self.cols);
         for (dst, &src) in rows.iter().enumerate() {
             out.copy_row_from(dst, self, src);
         }
-        out
+    }
+
+    /// Scatters the rows of `block` back: row `i` of `block` overwrites
+    /// row `rows[i]` of `self` (inverse of [`DenseMatrix::select_rows`]).
+    pub fn scatter_rows_from(&mut self, rows: &[usize], block: &DenseMatrix) {
+        assert_eq!(
+            rows.len(),
+            block.rows(),
+            "scatter_rows_from row-count mismatch"
+        );
+        for (src, &dst) in rows.iter().enumerate() {
+            self.copy_row_from(dst, block, src);
+        }
     }
 }
 

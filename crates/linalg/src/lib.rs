@@ -30,9 +30,16 @@ pub mod rng;
 pub mod sparse;
 
 pub use dense::{dot, DenseMatrix};
-pub use ops::{approx_error_bi, approx_error_tri, laplacian_quad, mult_update, split_pos_neg, EPS, FACTOR_FLOOR};
+pub use ops::{
+    approx_error_bi, approx_error_tri, laplacian_quad, mult_update, mult_update_from_parts,
+    split_pos_neg, split_pos_neg_into, EPS, FACTOR_FLOOR, MAX_FUSED_K,
+};
+pub use parallel::{
+    max_threads, parallel_work_threshold, set_parallel_work_threshold,
+    DEFAULT_PARALLEL_WORK_THRESHOLD, HARD_THREAD_CAP,
+};
 pub use rng::{random_factor, random_factor_with, seeded_rng};
-pub use sparse::CsrMatrix;
+pub use sparse::{CscView, CsrMatrix};
 
 /// Errors produced when constructing matrices from user data.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,7 +86,12 @@ impl std::fmt::Display for LinalgError {
                 "{op}: shape mismatch, expected {}x{} but got {}x{}",
                 expected.0, expected.1, got.0, got.1
             ),
-            LinalgError::IndexOutOfBounds { row, col, rows, cols } => write!(
+            LinalgError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
                 f,
                 "index ({row}, {col}) out of bounds for {rows}x{cols} matrix"
             ),

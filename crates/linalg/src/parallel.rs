@@ -5,14 +5,52 @@
 //! dependency we split the output buffer into disjoint row chunks and run
 //! them on scoped threads — zero unsafe, zero dependencies. Small problems
 //! stay single-threaded to avoid spawn overhead.
+//!
+//! Two tunables govern dispatch:
+//!
+//! * the *work threshold* (estimated multiply-adds below which everything
+//!   stays sequential) — process-wide and overridable at runtime via
+//!   [`set_parallel_work_threshold`], which benches use to force both
+//!   paths and the allocation-counting test uses to pin the sequential
+//!   path (thread spawning allocates);
+//! * the *thread cap* — `std::thread::available_parallelism()` clamped to
+//!   [`HARD_THREAD_CAP`].
 
-/// Work (in f64 multiply-adds) below which we stay single-threaded.
-/// A thread spawn costs on the order of 10µs; at ~1ns per FLOP the
-/// break-even is a few hundred thousand operations per thread.
-const PARALLEL_WORK_THRESHOLD: usize = 2_000_000;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Upper bound on worker threads (matrices here rarely benefit past this).
-const MAX_THREADS: usize = 8;
+/// Default work (in f64 multiply-adds) below which we stay
+/// single-threaded. A thread spawn costs on the order of 10µs; at ~1ns
+/// per FLOP the break-even is a few hundred thousand operations per
+/// thread.
+pub const DEFAULT_PARALLEL_WORK_THRESHOLD: usize = 2_000_000;
+
+/// Hard upper bound on worker threads regardless of core count: the thin
+/// (`rows × k`, small `k`) kernels here are memory-bandwidth-bound well
+/// before this.
+pub const HARD_THREAD_CAP: usize = 32;
+
+static WORK_THRESHOLD: AtomicUsize = AtomicUsize::new(DEFAULT_PARALLEL_WORK_THRESHOLD);
+
+/// Current work threshold for parallel dispatch.
+pub fn parallel_work_threshold() -> usize {
+    WORK_THRESHOLD.load(Ordering::Relaxed)
+}
+
+/// Overrides the work threshold process-wide. `usize::MAX` disables
+/// parallelism entirely (used by the zero-allocation test); `0` forces it
+/// for any non-trivial problem (used by benches to exercise the parallel
+/// path on small inputs). Returns the previous value.
+pub fn set_parallel_work_threshold(threshold: usize) -> usize {
+    WORK_THRESHOLD.swap(threshold, Ordering::Relaxed)
+}
+
+/// Worker-thread cap: detected parallelism clamped to [`HARD_THREAD_CAP`].
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(HARD_THREAD_CAP)
+}
 
 /// Splits `buf` (holding `rows` logical rows of `row_width` values) into
 /// near-equal chunks and invokes `body(first_row, chunk)` for each — in
@@ -44,13 +82,95 @@ where
     });
 }
 
+/// Maximum accumulator length (f64s) supported by [`reduce_rows`]'s
+/// per-block stack buffers: `k × k` up to `k = 32`.
+pub const MAX_REDUCE_LEN: usize = 1024;
+
+/// Row-block size for [`reduce_rows`]. Fixed (not derived from thread
+/// count) so the summation tree — and therefore the floating-point
+/// result — is identical on every machine and at every thread count:
+/// block partials are always merged in block order.
+pub const REDUCE_BLOCK_ROWS: usize = 4096;
+
+/// Parallel reduction over row ranges into a small shared accumulator
+/// (Gram matrices, `AᵀB` products): `body(r0, r1, partial)` accumulates
+/// rows `[r0, r1)` into `partial` (pre-zeroed, `acc.len()` long).
+///
+/// Rows are processed in fixed [`REDUCE_BLOCK_ROWS`] blocks whose
+/// partials are folded into `acc` in block order — the parallel and
+/// sequential paths produce **bit-identical** results, so kernels built
+/// on this (e.g. `gram_into`) stay deterministic across machines.
+/// Sequential (and allocation-free) when the work estimate is below
+/// threshold, when everything fits one block, or when
+/// `acc.len() > MAX_REDUCE_LEN`.
+pub fn reduce_rows<F>(rows: usize, work: usize, acc: &mut [f64], body: F)
+where
+    F: Fn(usize, usize, &mut [f64]) + Sync,
+{
+    let len = acc.len();
+    if rows <= REDUCE_BLOCK_ROWS || len > MAX_REDUCE_LEN {
+        body(0, rows, acc);
+        return;
+    }
+    let blocks = rows.div_ceil(REDUCE_BLOCK_ROWS);
+    let threads = desired_threads(rows, work).min(blocks);
+    if threads <= 1 {
+        // Sequential, but over the same fixed blocks the parallel path
+        // uses, so both orders of summation are identical.
+        let mut partial = [0.0f64; MAX_REDUCE_LEN];
+        for b in 0..blocks {
+            let r0 = b * REDUCE_BLOCK_ROWS;
+            let r1 = (r0 + REDUCE_BLOCK_ROWS).min(rows);
+            partial[..len].fill(0.0);
+            body(r0, r1, &mut partial[..len]);
+            for (a, p) in acc.iter_mut().zip(partial[..len].iter()) {
+                *a += p;
+            }
+        }
+        return;
+    }
+    // Each worker claims blocks by atomic counter; partials land in a
+    // per-block slot vector and are folded in block order afterwards.
+    let slots = std::sync::Mutex::new(vec![None::<Box<[f64]>>; blocks]);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let body = &body;
+            let slots = &slots;
+            let next = &next;
+            scope.spawn(move || {
+                let mut partial = [0.0f64; MAX_REDUCE_LEN];
+                loop {
+                    let b = next.fetch_add(1, Ordering::Relaxed);
+                    if b >= blocks {
+                        break;
+                    }
+                    let r0 = b * REDUCE_BLOCK_ROWS;
+                    let r1 = (r0 + REDUCE_BLOCK_ROWS).min(rows);
+                    partial[..len].fill(0.0);
+                    body(r0, r1, &mut partial[..len]);
+                    slots.lock().expect("reduce_rows slot lock")[b] =
+                        Some(partial[..len].to_vec().into_boxed_slice());
+                }
+            });
+        }
+    });
+    let slots = slots.into_inner().expect("reduce_rows slots");
+    for slot in slots.into_iter() {
+        let slot = slot.expect("every block reduced");
+        for (a, p) in acc.iter_mut().zip(slot.iter()) {
+            *a += p;
+        }
+    }
+}
+
 fn desired_threads(rows: usize, work: usize) -> usize {
-    if work < PARALLEL_WORK_THRESHOLD || rows < 2 {
+    let threshold = parallel_work_threshold();
+    if work < threshold || rows < 2 {
         return 1;
     }
-    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let by_work = (work / PARALLEL_WORK_THRESHOLD).max(1);
-    available.min(MAX_THREADS).min(by_work).min(rows)
+    let by_work = (work / threshold.max(1)).max(1);
+    max_threads().min(by_work).min(rows)
 }
 
 #[cfg(test)]
@@ -92,7 +212,63 @@ mod tests {
     #[test]
     fn thread_count_bounds() {
         assert_eq!(desired_threads(100, 10), 1);
-        assert!(desired_threads(100, usize::MAX / 2) <= MAX_THREADS);
+        assert!(desired_threads(100, usize::MAX / 2) <= HARD_THREAD_CAP);
         assert_eq!(desired_threads(1, usize::MAX / 2), 1);
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn reduce_rows_matches_sequential_sum() {
+        // acc[j] = Σ_r (r + j); integer-valued sums are exact, so the
+        // blocked orders must agree with the straight sum exactly. Rows
+        // exceed one block so the blocked paths are exercised.
+        let rows = 3 * REDUCE_BLOCK_ROWS + 17;
+        let len = 6;
+        let expected: Vec<f64> = (0..len)
+            .map(|j| (0..rows).map(|r| (r + j) as f64).sum())
+            .collect();
+        for work in [10usize, 100_000_000] {
+            let mut acc = vec![0.0; len];
+            reduce_rows(rows, work, &mut acc, |r0, r1, partial| {
+                for r in r0..r1 {
+                    for (j, p) in partial.iter_mut().enumerate() {
+                        *p += (r + j) as f64;
+                    }
+                }
+            });
+            assert_eq!(acc, expected, "work={work}");
+        }
+    }
+
+    #[test]
+    fn reduce_rows_blocked_paths_bit_identical() {
+        // Non-associative float data: sequential-blocked and
+        // parallel-blocked must still agree bit-for-bit because the block
+        // boundaries and merge order are fixed.
+        let rows = 2 * REDUCE_BLOCK_ROWS + 123;
+        let len = 4;
+        let value = |r: usize, j: usize| ((r * 31 + j * 7) % 97) as f64 * 0.123 + 0.011;
+        let run = |work: usize| {
+            let mut acc = vec![0.0; len];
+            reduce_rows(rows, work, &mut acc, |r0, r1, partial| {
+                for r in r0..r1 {
+                    for (j, p) in partial.iter_mut().enumerate() {
+                        *p += value(r, j);
+                    }
+                }
+            });
+            acc
+        };
+        let sequential = run(0); // below threshold → sequential blocked path
+        let parallel = run(usize::MAX / 2); // threaded path (when cores allow)
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn threshold_override_roundtrips() {
+        let prev = set_parallel_work_threshold(123);
+        assert_eq!(parallel_work_threshold(), 123);
+        set_parallel_work_threshold(prev);
+        assert_eq!(parallel_work_threshold(), prev);
     }
 }

@@ -25,7 +25,13 @@ pub struct CsrMatrix {
 impl CsrMatrix {
     /// An empty (all-zero) matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+        Self {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Builds a CSR matrix from `(row, col, value)` triplets.
@@ -43,7 +49,12 @@ impl CsrMatrix {
         }
         for &(r, c, v) in triplets {
             if r >= rows || c >= cols {
-                return Err(LinalgError::IndexOutOfBounds { row: r, col: c, rows, cols });
+                return Err(LinalgError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    rows,
+                    cols,
+                });
             }
             if !v.is_finite() {
                 return Err(LinalgError::NonFiniteValue { row: r, col: c });
@@ -85,7 +96,13 @@ impl CsrMatrix {
             }
             indptr.push(indices.len());
         }
-        Ok(Self { rows, cols, indptr, indices, values })
+        Ok(Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
     }
 
     /// Number of rows.
@@ -138,6 +155,14 @@ impl CsrMatrix {
 
     /// Sparse–dense product `self · d` → dense `(rows × d.cols)`.
     pub fn mul_dense(&self, d: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::default(); // sized (once) by the _into
+        self.mul_dense_into(d, &mut out);
+        out
+    }
+
+    /// In-place variant of [`CsrMatrix::mul_dense`]: writes `self · d`
+    /// into `out` (reshaped as needed), row-parallel on large inputs.
+    pub fn mul_dense_into(&self, d: &DenseMatrix, out: &mut DenseMatrix) {
         assert_eq!(
             self.cols,
             d.rows(),
@@ -148,25 +173,41 @@ impl CsrMatrix {
             d.cols()
         );
         let k = d.cols();
-        let mut out = DenseMatrix::zeros(self.rows, k);
-        crate::parallel::for_each_row_chunk(self.rows, self.nnz() * k, out.as_mut_slice(), k, |r0, chunk| {
-            for (local, out_row) in chunk.chunks_exact_mut(k).enumerate() {
-                let r = r0 + local;
-                for (c, v) in self.iter_row(r) {
-                    let d_row = d.row(c);
-                    for (o, &dv) in out_row.iter_mut().zip(d_row.iter()) {
-                        *o += v * dv;
+        out.resize_zeroed(self.rows, k);
+        crate::parallel::for_each_row_chunk(
+            self.rows,
+            self.nnz() * k,
+            out.as_mut_slice(),
+            k,
+            |r0, chunk| {
+                for (local, out_row) in chunk.chunks_exact_mut(k.max(1)).enumerate() {
+                    let r = r0 + local;
+                    for (c, v) in self.iter_row(r) {
+                        let d_row = d.row(c);
+                        for (o, &dv) in out_row.iter_mut().zip(d_row.iter()) {
+                            *o += v * dv;
+                        }
                     }
                 }
-            }
-        });
-        out
+            },
+        );
     }
 
     /// Transposed sparse–dense product `selfᵀ · d` → dense `(cols × d.cols)`.
     ///
-    /// Scatter formulation: single pass over stored entries.
+    /// Scatter formulation: a pass over stored entries. On large inputs
+    /// the output rows are chunked across threads, each scanning the
+    /// entry stream for its column range; for repeated products against
+    /// the same matrix, prefer a cached [`CscView`], which turns this
+    /// into a forward gather pass.
     pub fn transpose_mul_dense(&self, d: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::default(); // sized (once) by the _into
+        self.transpose_mul_dense_into(d, &mut out);
+        out
+    }
+
+    /// In-place variant of [`CsrMatrix::transpose_mul_dense`].
+    pub fn transpose_mul_dense_into(&self, d: &DenseMatrix, out: &mut DenseMatrix) {
         assert_eq!(
             self.rows,
             d.rows(),
@@ -177,17 +218,40 @@ impl CsrMatrix {
             d.cols()
         );
         let k = d.cols();
-        let mut out = DenseMatrix::zeros(self.cols, k);
-        for r in 0..self.rows {
-            let d_row = d.row(r);
-            for (c, v) in self.iter_row(r) {
-                let out_row = out.row_mut(c);
-                for (o, &dv) in out_row.iter_mut().zip(d_row.iter()) {
-                    *o += v * dv;
+        out.resize_zeroed(self.cols, k);
+        crate::parallel::for_each_row_chunk(
+            self.cols,
+            self.nnz() * k,
+            out.as_mut_slice(),
+            k,
+            |c0, chunk| {
+                // Each chunk owns output rows (= input columns) [c0, c1):
+                // every thread walks all input rows but, since columns are
+                // sorted within a row, binary-searches straight to its
+                // range. Column contributions stay in increasing input-row
+                // order, so the result is bit-identical to the sequential
+                // scatter.
+                let c1 = c0 + chunk.len() / k.max(1);
+                for r in 0..self.rows {
+                    let d_row = d.row(r);
+                    let row_range = self.indptr[r]..self.indptr[r + 1];
+                    let row_cols = &self.indices[row_range.clone()];
+                    let lo = row_cols.partition_point(|&c| (c as usize) < c0);
+                    for (idx, &c) in row_cols.iter().enumerate().skip(lo) {
+                        let c = c as usize;
+                        if c >= c1 {
+                            break;
+                        }
+                        let v = self.values[row_range.start + idx];
+                        let off = (c - c0) * k;
+                        let out_row = &mut chunk[off..off + k];
+                        for (o, &dv) in out_row.iter_mut().zip(d_row.iter()) {
+                            *o += v * dv;
+                        }
+                    }
                 }
-            }
-        }
-        out
+            },
+        );
     }
 
     /// Materialized transpose (CSR of the transposed matrix).
@@ -211,7 +275,13 @@ impl CsrMatrix {
             }
         }
         // `indptr` was shifted by the fill; rebuild it from counts.
-        CsrMatrix { rows: self.cols, cols: self.rows, indptr: counts, indices, values }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr: counts,
+            indices,
+            values,
+        }
     }
 
     /// Per-row sums (for degree vectors of adjacency matrices).
@@ -246,8 +316,16 @@ impl CsrMatrix {
     /// This is the key trick that lets all objective values be computed
     /// without densifying `A·Bᵀ`.
     pub fn inner_with_factored(&self, a: &DenseMatrix, b: &DenseMatrix) -> f64 {
-        assert_eq!(self.rows, a.rows(), "inner_with_factored: row factor mismatch");
-        assert_eq!(self.cols, b.rows(), "inner_with_factored: col factor mismatch");
+        assert_eq!(
+            self.rows,
+            a.rows(),
+            "inner_with_factored: row factor mismatch"
+        );
+        assert_eq!(
+            self.cols,
+            b.rows(),
+            "inner_with_factored: col factor mismatch"
+        );
         assert_eq!(a.cols(), b.cols(), "inner_with_factored: rank mismatch");
         let mut total = 0.0;
         for r in 0..self.rows {
@@ -282,7 +360,13 @@ impl CsrMatrix {
             values.extend_from_slice(&self.values[range]);
             indptr.push(indices.len());
         }
-        CsrMatrix { rows: rows.len(), cols: self.cols, indptr, indices, values }
+        CsrMatrix {
+            rows: rows.len(),
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Vertically stacks `self` on top of `other` (same column count).
@@ -295,7 +379,13 @@ impl CsrMatrix {
         indices.extend_from_slice(&other.indices);
         let mut values = self.values.clone();
         values.extend_from_slice(&other.values);
-        CsrMatrix { rows: self.rows + other.rows, cols: self.cols, indptr, indices, values }
+        CsrMatrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Dense rendering (tests / tiny matrices only).
@@ -332,6 +422,66 @@ impl CsrMatrix {
     }
 }
 
+/// A cached column-oriented view of a [`CsrMatrix`]: the transposed CSR,
+/// built once, turning every later `Aᵀ·D` product into a forward,
+/// row-parallel gather pass instead of a cache-hostile scatter.
+///
+/// The update sweeps multiply against `Xpᵀ`, `Xuᵀ` and `Xrᵀ` every
+/// iteration while the data matrices stay fixed for a whole window — so
+/// the `O(nnz)` build cost amortizes to nothing. Contributions to each
+/// output row arrive in the same (increasing input-row) order as the
+/// scatter formulation, so results are bit-identical to
+/// [`CsrMatrix::transpose_mul_dense`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscView {
+    transposed: CsrMatrix,
+}
+
+impl CscView {
+    /// Builds the view (one counting pass plus one fill pass over `nnz`).
+    pub fn of(a: &CsrMatrix) -> Self {
+        CscView {
+            transposed: a.transpose(),
+        }
+    }
+
+    /// Rows of the *original* matrix.
+    #[inline]
+    #[allow(clippy::misnamed_getters)] // the view is transposed on purpose
+    pub fn rows(&self) -> usize {
+        self.transposed.cols
+    }
+
+    /// Columns of the *original* matrix.
+    #[inline]
+    #[allow(clippy::misnamed_getters)] // the view is transposed on purpose
+    pub fn cols(&self) -> usize {
+        self.transposed.rows
+    }
+
+    /// Stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.transposed.nnz()
+    }
+
+    /// The transposed matrix as a plain CSR (rows = original columns).
+    #[inline]
+    pub fn transposed_csr(&self) -> &CsrMatrix {
+        &self.transposed
+    }
+
+    /// `Aᵀ · d` for the original matrix `A`, as a forward CSR pass.
+    pub fn transpose_mul_dense(&self, d: &DenseMatrix) -> DenseMatrix {
+        self.transposed.mul_dense(d)
+    }
+
+    /// In-place variant of [`CscView::transpose_mul_dense`].
+    pub fn transpose_mul_dense_into(&self, d: &DenseMatrix, out: &mut DenseMatrix) {
+        self.transposed.mul_dense_into(d, out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,7 +499,13 @@ mod tests {
         let m = CsrMatrix::from_triplets(
             2,
             2,
-            &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0), (1, 1, -5.0), (0, 1, 0.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 0, 2.0),
+                (1, 1, 5.0),
+                (1, 1, -5.0),
+                (0, 1, 0.0),
+            ],
         )
         .unwrap();
         assert_eq!(m.nnz(), 1);
@@ -433,8 +589,7 @@ mod tests {
 
     #[test]
     fn symmetry_check() {
-        let sym =
-            CsrMatrix::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, 2.0), (0, 0, 1.0)]).unwrap();
+        let sym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, 2.0), (0, 0, 1.0)]).unwrap();
         assert!(sym.is_symmetric(0.0));
         let asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 2.0)]).unwrap();
         assert!(!asym.is_symmetric(0.0));

@@ -1,8 +1,15 @@
 //! Property-based tests for the linear-algebra kernels: algebraic
-//! identities that must hold for arbitrary matrices.
+//! identities that must hold for arbitrary matrices, plus exactness
+//! proofs for the fused/in-place kernels — every `_into`/fused variant
+//! must reproduce its allocating counterpart **bit-for-bit** (`==`, not
+//! approximately), which is what lets the solvers switch to the fused
+//! engine without perturbing any published number.
 
 use proptest::prelude::*;
-use tgs_linalg::{approx_error_bi, laplacian_quad, split_pos_neg, CsrMatrix, DenseMatrix};
+use tgs_linalg::{
+    approx_error_bi, laplacian_quad, mult_update, mult_update_from_parts, split_pos_neg,
+    split_pos_neg_into, CscView, CsrMatrix, DenseMatrix,
+};
 
 /// Strategy: a dense matrix with entries in [0, 10].
 fn dense(rows: usize, cols: usize) -> impl Strategy<Value = DenseMatrix> {
@@ -144,6 +151,136 @@ proptest! {
         prop_assert!(q >= -1e-9, "Laplacian quadratic form must be PSD, got {q}");
     }
 
+    // ---- fused/in-place kernels: bit-for-bit exactness ----
+
+    #[test]
+    fn matmul_into_bit_identical(a in dense(5, 4), b in dense(4, 3)) {
+        let mut out = DenseMatrix::zeros(1, 1); // wrong shape on purpose
+        a.matmul_into(&b, &mut out);
+        prop_assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn transpose_matmul_into_bit_identical(a in dense(6, 3), b in dense(6, 4)) {
+        let mut out = DenseMatrix::default();
+        a.transpose_matmul_into(&b, &mut out);
+        prop_assert_eq!(out, a.transpose_matmul(&b));
+    }
+
+    #[test]
+    fn matmul_transpose_into_bit_identical(a in dense(5, 3), b in dense(4, 3)) {
+        let mut out = DenseMatrix::default();
+        a.matmul_transpose_into(&b, &mut out);
+        prop_assert_eq!(out, a.matmul_transpose(&b));
+    }
+
+    #[test]
+    fn gram_into_bit_identical(a in dense(7, 3)) {
+        let mut out = DenseMatrix::default();
+        a.gram_into(&mut out);
+        prop_assert_eq!(out, a.gram());
+    }
+
+    #[test]
+    fn assign_ops_bit_identical(a in signed_dense(4, 5), b in signed_dense(4, 5), c in -3.0..3.0f64) {
+        let mut add = a.clone();
+        add.add_assign(&b);
+        prop_assert_eq!(add, a.add(&b));
+        let mut sub = a.clone();
+        sub.sub_assign(&b);
+        prop_assert_eq!(sub, a.sub(&b));
+        let mut sub_scaled = a.clone();
+        sub_scaled.sub_scaled_assign(c, &b);
+        prop_assert_eq!(sub_scaled, a.sub(&b.scale(c)));
+        let mut scaled = a.clone();
+        scaled.scale_assign(c);
+        prop_assert_eq!(scaled, a.scale(c));
+    }
+
+    #[test]
+    fn transpose_matmul_pair_bit_identical(
+        s in dense(6, 3), x in dense(6, 4), y in dense(6, 4)
+    ) {
+        let mut out_x = DenseMatrix::default();
+        let mut out_y = DenseMatrix::default();
+        s.transpose_matmul_pair_into(&x, &y, &mut out_x, &mut out_y);
+        prop_assert_eq!(out_x, s.transpose_matmul(&x));
+        prop_assert_eq!(out_y, s.transpose_matmul(&y));
+    }
+
+    #[test]
+    fn split_pos_neg_into_bit_identical(d in signed_dense(3, 5)) {
+        let (pos_ref, neg_ref) = split_pos_neg(&d);
+        let mut pos = DenseMatrix::default();
+        let mut neg = DenseMatrix::default();
+        split_pos_neg_into(&d, &mut pos, &mut neg);
+        prop_assert_eq!(pos, pos_ref);
+        prop_assert_eq!(neg, neg_ref);
+    }
+
+    #[test]
+    fn cached_transpose_spmm_bit_identical(x in sparse(6, 8, 25), d in dense(6, 3)) {
+        let csc = CscView::of(&x);
+        // forward pass over the cached transpose == fresh scatter pass
+        prop_assert_eq!(csc.transpose_mul_dense(&d), x.transpose_mul_dense(&d));
+        let mut out = DenseMatrix::default();
+        csc.transpose_mul_dense_into(&d, &mut out);
+        prop_assert_eq!(out, x.transpose().mul_dense(&d));
+    }
+
+    #[test]
+    fn mul_dense_into_bit_identical(x in sparse(6, 8, 25), d in dense(8, 3)) {
+        let mut out = DenseMatrix::default();
+        x.mul_dense_into(&d, &mut out);
+        prop_assert_eq!(out, x.mul_dense(&d));
+    }
+
+    #[test]
+    fn mult_update_from_parts_bit_identical_to_chain(
+        s0 in dense(6, 3),
+        num_base in dense(6, 3),
+        delta in signed_dense(3, 3),
+        base_k in dense(3, 3),
+        extra in dense(6, 3),
+        scaled in dense(6, 3),
+        deg in proptest::collection::vec(0.0..4.0f64, 6),
+        beta in 0.0..2.0f64,
+        gamma in 0.0..2.0f64,
+    ) {
+        let (dp, dm) = split_pos_neg(&delta);
+        // Reference: the seed's allocating term-by-term chain.
+        let mut s_ref = s0.clone();
+        let num = num_base.add(&s_ref.matmul(&dm));
+        let mut num = num;
+        num.axpy(beta, &extra);
+        num.axpy(gamma, &scaled);
+        let den_k = base_k.add(&dp);
+        let mut den = s_ref.matmul(&den_k);
+        // β·diag(deg)·S term, built exactly like updates::row_scale + axpy
+        let mut du_s = s_ref.clone();
+        for (i, &dv) in deg.iter().enumerate() {
+            for v in du_s.row_mut(i) {
+                *v *= dv;
+            }
+        }
+        den.axpy(beta, &du_s);
+        den.axpy(gamma, &s_ref);
+        mult_update(&mut s_ref, &num, &den);
+        // Fused: one pass, no intermediates.
+        let mut s_fused = s0.clone();
+        mult_update_from_parts(
+            &mut s_fused,
+            &num_base,
+            None,
+            &dm,
+            &den_k,
+            &[(beta, &extra), (gamma, &scaled)],
+            Some((beta, &deg)),
+            gamma,
+        );
+        prop_assert_eq!(s_fused, s_ref);
+    }
+
     #[test]
     fn row_sums_match_iteration(x in sparse(5, 5, 15)) {
         let sums = x.row_sums();
@@ -152,4 +289,22 @@ proptest! {
             prop_assert!((s - manual).abs() < 1e-12);
         }
     }
+}
+
+/// Regression: the wide-output fallback of `transpose_matmul_pair_into`
+/// (accumulators exceed the shared reduction buffer) must still match
+/// `transpose_matmul`'s fixed-block summation tree bit-for-bit.
+#[test]
+fn transpose_matmul_pair_wide_fallback_bit_identical() {
+    use tgs_linalg::seeded_rng;
+    let (rows, k) = (5000, 24); // 2*k*k > MAX_REDUCE_LEN, rows > one block
+    let s = tgs_linalg::random_factor(rows, k, 1);
+    let mut rng = seeded_rng(2);
+    let x = tgs_linalg::random_factor_with(rows, k, &mut rng);
+    let y = tgs_linalg::random_factor_with(rows, k, &mut rng);
+    let mut out_x = DenseMatrix::default();
+    let mut out_y = DenseMatrix::default();
+    s.transpose_matmul_pair_into(&x, &y, &mut out_x, &mut out_y);
+    assert_eq!(out_x, s.transpose_matmul(&x));
+    assert_eq!(out_y, s.transpose_matmul(&y));
 }

@@ -70,7 +70,10 @@ impl Lexicon {
     /// `1/k`. Rows always sum to one.
     pub fn prior_matrix(&self, vocab: &Vocabulary, k: usize, confidence: f64) -> DenseMatrix {
         assert!(k >= 2, "need at least two sentiment classes");
-        assert!((0.0..=1.0).contains(&confidence), "confidence must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&confidence),
+            "confidence must be in [0, 1]"
+        );
         let uniform = 1.0 / k as f64;
         let off = (1.0 - confidence) / (k as f64 - 1.0);
         let mut sf0 = DenseMatrix::filled(vocab.len(), k, uniform);
@@ -95,7 +98,11 @@ impl Lexicon {
         if vocab.is_empty() {
             return 0.0;
         }
-        let hit = vocab.tokens().iter().filter(|t| self.class_of(t).is_some()).count();
+        let hit = vocab
+            .tokens()
+            .iter()
+            .filter(|t| self.class_of(t).is_some())
+            .count();
         hit as f64 / vocab.len() as f64
     }
 }
@@ -179,11 +186,19 @@ mod tests {
     #[test]
     fn vote_majority_and_ties() {
         let l = lex();
-        let toks =
-            |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        assert_eq!(lexicon_vote(&l, &toks(&["safe", "evil", "labelgmo"])), Some(Sentiment::Positive));
-        assert_eq!(lexicon_vote(&l, &toks(&["evil", "noprop37"])), Some(Sentiment::Negative));
-        assert_eq!(lexicon_vote(&l, &toks(&["safe", "evil"])), Some(Sentiment::Neutral));
+        let toks = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            lexicon_vote(&l, &toks(&["safe", "evil", "labelgmo"])),
+            Some(Sentiment::Positive)
+        );
+        assert_eq!(
+            lexicon_vote(&l, &toks(&["evil", "noprop37"])),
+            Some(Sentiment::Negative)
+        );
+        assert_eq!(
+            lexicon_vote(&l, &toks(&["safe", "evil"])),
+            Some(Sentiment::Neutral)
+        );
         assert_eq!(lexicon_vote(&l, &toks(&["corn"])), None);
     }
 }

@@ -67,19 +67,29 @@ pub fn build_text_matrices(
     config: &PipelineConfig,
 ) -> TextMatrices {
     assert_eq!(texts.len(), doc_user.len(), "one author per tweet required");
-    let tokenized: Vec<Vec<String>> =
-        texts.iter().map(|t| tokenize_features(t, &config.tokenizer)).collect();
+    let tokenized: Vec<Vec<String>> = texts
+        .iter()
+        .map(|t| tokenize_features(t, &config.tokenizer))
+        .collect();
     let vocab = Vocabulary::build(
         tokenized.iter().map(|d| d.iter().map(String::as_str)),
         &config.vocab,
     );
-    let encoded: Vec<Vec<usize>> =
-        tokenized.iter().map(|d| vocab.encode(d.iter().map(String::as_str))).collect();
+    let encoded: Vec<Vec<usize>> = tokenized
+        .iter()
+        .map(|d| vocab.encode(d.iter().map(String::as_str)))
+        .collect();
     let vectorizer = Vectorizer::fit(&vocab, &encoded, config.weighting);
     let xp = vectorizer.doc_feature_matrix(&encoded);
     let xu = vectorizer.user_feature_matrix(&encoded, doc_user, num_users);
     let sf0 = lexicon.prior_matrix(&vocab, k, config.lexicon_confidence);
-    TextMatrices { vocab, xp, xu, sf0, encoded }
+    TextMatrices {
+        vocab,
+        xp,
+        xu,
+        sf0,
+        encoded,
+    }
 }
 
 /// Builds matrices from pre-tokenized documents (the synthetic generator
@@ -92,16 +102,30 @@ pub fn build_from_tokens(
     k: usize,
     config: &PipelineConfig,
 ) -> TextMatrices {
-    assert_eq!(docs.len(), doc_user.len(), "one author per document required");
-    let vocab =
-        Vocabulary::build(docs.iter().map(|d| d.iter().map(String::as_str)), &config.vocab);
-    let encoded: Vec<Vec<usize>> =
-        docs.iter().map(|d| vocab.encode(d.iter().map(String::as_str))).collect();
+    assert_eq!(
+        docs.len(),
+        doc_user.len(),
+        "one author per document required"
+    );
+    let vocab = Vocabulary::build(
+        docs.iter().map(|d| d.iter().map(String::as_str)),
+        &config.vocab,
+    );
+    let encoded: Vec<Vec<usize>> = docs
+        .iter()
+        .map(|d| vocab.encode(d.iter().map(String::as_str)))
+        .collect();
     let vectorizer = Vectorizer::fit(&vocab, &encoded, config.weighting);
     let xp = vectorizer.doc_feature_matrix(&encoded);
     let xu = vectorizer.user_feature_matrix(&encoded, doc_user, num_users);
     let sf0 = lexicon.prior_matrix(&vocab, k, config.lexicon_confidence);
-    TextMatrices { vocab, xp, xu, sf0, encoded }
+    TextMatrices {
+        vocab,
+        xp,
+        xu,
+        sf0,
+        encoded,
+    }
 }
 
 #[cfg(test)]

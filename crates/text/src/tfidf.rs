@@ -60,12 +60,18 @@ impl Vectorizer {
         }
         let n = docs.len() as f64;
         let idf = match weighting {
-            Weighting::TfIdf => {
-                df.iter().map(|&d| ((1.0 + n) / (1.0 + d as f64)).ln() + 1.0).collect()
-            }
+            Weighting::TfIdf => df
+                .iter()
+                .map(|&d| ((1.0 + n) / (1.0 + d as f64)).ln() + 1.0)
+                .collect(),
             _ => vec![1.0; vocab.len()],
         };
-        Self { weighting, idf, vocab_len: vocab.len(), l2_normalize }
+        Self {
+            weighting,
+            idf,
+            vocab_len: vocab.len(),
+            l2_normalize,
+        }
     }
 
     /// Number of features this vectorizer emits.
@@ -127,7 +133,10 @@ impl Vectorizer {
         let mut per_user: Vec<std::collections::HashMap<usize, f64>> =
             vec![std::collections::HashMap::new(); num_users];
         for (doc, &u) in docs.iter().zip(doc_user.iter()) {
-            assert!(u < num_users, "user id {u} out of range ({num_users} users)");
+            assert!(
+                u < num_users,
+                "user id {u} out of range ({num_users} users)"
+            );
             for (f, w) in self.transform_doc(doc) {
                 *per_user[u].entry(f).or_insert(0.0) += w;
             }

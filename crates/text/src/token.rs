@@ -45,7 +45,11 @@ pub struct TokenizerConfig {
 
 impl Default for TokenizerConfig {
     fn default() -> Self {
-        Self { min_token_len: 2, keep_mentions: false, keep_numbers: false }
+        Self {
+            min_token_len: 2,
+            keep_mentions: false,
+            keep_numbers: false,
+        }
     }
 }
 
@@ -68,7 +72,9 @@ pub fn tokenize(text: &str, config: &TokenizerConfig) -> Vec<Token> {
     let mut out = Vec::new();
     for raw in text.split_whitespace() {
         let lower = raw.to_lowercase();
-        if lower.starts_with("http://") || lower.starts_with("https://") || lower.starts_with("www.")
+        if lower.starts_with("http://")
+            || lower.starts_with("https://")
+            || lower.starts_with("www.")
         {
             continue;
         }
@@ -126,7 +132,10 @@ mod tests {
 
     #[test]
     fn lowercases_and_strips_punctuation() {
-        assert_eq!(features("Monsanto is PURE evil!!!"), vec!["monsanto", "is", "pure", "evil"]);
+        assert_eq!(
+            features("Monsanto is PURE evil!!!"),
+            vec!["monsanto", "is", "pure", "evil"]
+        );
     }
 
     #[test]
@@ -147,11 +156,11 @@ mod tests {
 
     #[test]
     fn keeps_mentions_when_configured() {
-        let cfg = TokenizerConfig { keep_mentions: true, ..Default::default() };
-        assert_eq!(
-            tokenize_features("hi @Bob!", &cfg),
-            vec!["hi", "@bob"]
-        );
+        let cfg = TokenizerConfig {
+            keep_mentions: true,
+            ..Default::default()
+        };
+        assert_eq!(tokenize_features("hi @Bob!", &cfg), vec!["hi", "@bob"]);
     }
 
     #[test]
@@ -163,7 +172,10 @@ mod tests {
     #[test]
     fn drops_numbers_by_default_keeps_when_asked() {
         assert_eq!(features("14 billion in 2010"), vec!["billion", "in"]);
-        let cfg = TokenizerConfig { keep_numbers: true, ..Default::default() };
+        let cfg = TokenizerConfig {
+            keep_numbers: true,
+            ..Default::default()
+        };
         assert_eq!(
             tokenize_features("14 billion in 2010", &cfg),
             vec!["14", "billion", "in", "2010"]
@@ -172,7 +184,10 @@ mod tests {
 
     #[test]
     fn splits_glued_punctuation() {
-        assert_eq!(features("risk,than conventional/food"), vec!["risk", "than", "conventional", "food"]);
+        assert_eq!(
+            features("risk,than conventional/food"),
+            vec!["risk", "than", "conventional", "food"]
+        );
     }
 
     #[test]

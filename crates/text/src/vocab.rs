@@ -7,12 +7,12 @@ use std::collections::HashMap;
 pub const STOPWORDS: &[&str] = &[
     "a", "an", "the", "and", "or", "but", "if", "then", "than", "so", "of", "at", "by", "for",
     "with", "about", "into", "through", "to", "from", "in", "out", "on", "off", "over", "under",
-    "again", "once", "here", "there", "all", "any", "both", "each", "few", "more", "most",
-    "other", "some", "such", "no", "nor", "not", "only", "own", "same", "too", "very", "can",
-    "will", "just", "is", "am", "are", "was", "were", "be", "been", "being", "have", "has",
-    "had", "having", "do", "does", "did", "doing", "it", "its", "this", "that", "these",
-    "those", "i", "me", "my", "we", "our", "you", "your", "he", "him", "his", "she", "her",
-    "they", "them", "their", "what", "which", "who", "whom", "as", "rt", "via",
+    "again", "once", "here", "there", "all", "any", "both", "each", "few", "more", "most", "other",
+    "some", "such", "no", "nor", "not", "only", "own", "same", "too", "very", "can", "will",
+    "just", "is", "am", "are", "was", "were", "be", "been", "being", "have", "has", "had",
+    "having", "do", "does", "did", "doing", "it", "its", "this", "that", "these", "those", "i",
+    "me", "my", "we", "our", "you", "your", "he", "him", "his", "she", "her", "they", "them",
+    "their", "what", "which", "who", "whom", "as", "rt", "via",
 ];
 
 /// Options controlling which tokens become vocabulary features.
@@ -29,7 +29,11 @@ pub struct VocabConfig {
 
 impl Default for VocabConfig {
     fn default() -> Self {
-        Self { min_count: 2, max_features: 0, remove_stopwords: true }
+        Self {
+            min_count: 2,
+            max_features: 0,
+            remove_stopwords: true,
+        }
     }
 }
 
@@ -64,8 +68,10 @@ impl Vocabulary {
                 counts.remove(*sw);
             }
         }
-        let mut entries: Vec<(String, u64)> =
-            counts.into_iter().filter(|&(_, c)| c as usize >= config.min_count).collect();
+        let mut entries: Vec<(String, u64)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c as usize >= config.min_count)
+            .collect();
         entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         if config.max_features > 0 {
             entries.truncate(config.max_features);
@@ -146,7 +152,11 @@ mod tests {
     fn build_counts_and_orders_by_frequency() {
         let v = Vocabulary::build(
             docs().iter().map(|d| d.iter().copied()),
-            &VocabConfig { min_count: 1, max_features: 0, remove_stopwords: true },
+            &VocabConfig {
+                min_count: 1,
+                max_features: 0,
+                remove_stopwords: true,
+            },
         );
         // "is" removed as stopword; "gmo" (3) and "#yeson37" (3) lead.
         assert!(v.id("is").is_none());
@@ -159,7 +169,11 @@ mod tests {
     fn min_count_filters_rare_tokens() {
         let v = Vocabulary::build(
             docs().iter().map(|d| d.iter().copied()),
-            &VocabConfig { min_count: 2, max_features: 0, remove_stopwords: true },
+            &VocabConfig {
+                min_count: 2,
+                max_features: 0,
+                remove_stopwords: true,
+            },
         );
         assert!(v.id("crops").is_none());
         assert!(v.id("labeling").is_some());
@@ -169,7 +183,11 @@ mod tests {
     fn max_features_caps_size() {
         let v = Vocabulary::build(
             docs().iter().map(|d| d.iter().copied()),
-            &VocabConfig { min_count: 1, max_features: 2, remove_stopwords: true },
+            &VocabConfig {
+                min_count: 1,
+                max_features: 2,
+                remove_stopwords: true,
+            },
         );
         assert_eq!(v.len(), 2);
     }
@@ -178,7 +196,11 @@ mod tests {
     fn encode_drops_oov() {
         let v = Vocabulary::build(
             docs().iter().map(|d| d.iter().copied()),
-            &VocabConfig { min_count: 2, max_features: 0, remove_stopwords: true },
+            &VocabConfig {
+                min_count: 2,
+                max_features: 0,
+                remove_stopwords: true,
+            },
         );
         let ids = v.encode(["gmo", "unknowntoken", "labeling"]);
         assert_eq!(ids.len(), 2);

@@ -45,7 +45,10 @@ fn main() {
         &inst.xp,
         &inst.sf0,
         None,
-        &EssaConfig { k: 3, ..Default::default() },
+        &EssaConfig {
+            k: 3,
+            ..Default::default()
+        },
     );
 
     println!("{:<22} {:>10} {:>10}", "method", "tweet acc", "user acc");
@@ -60,7 +63,12 @@ fn main() {
         clustering_accuracy(&p, &t)
     };
     let user_acc = |pred: &[usize]| clustering_accuracy(pred, &inst.user_truth);
-    println!("{:<22} {:>10.3} {:>10}", "NB (supervised)", tweet_acc(&nb_pred), "-");
+    println!(
+        "{:<22} {:>10.3} {:>10}",
+        "NB (supervised)",
+        tweet_acc(&nb_pred),
+        "-"
+    );
     println!(
         "{:<22} {:>10.3} {:>10}",
         "ESSA (unsupervised)",
@@ -81,7 +89,9 @@ fn main() {
     users.sort_by(|a, b| b.activity.partial_cmp(&a.activity).unwrap());
     let labels = tri.user_labels();
     for u in users.iter().take(5) {
-        let class = Sentiment::from_index(labels[u.id]).map(|s| s.as_str()).unwrap_or("?");
+        let class = Sentiment::from_index(labels[u.id])
+            .map(|s| s.as_str())
+            .unwrap_or("?");
         println!(
             "  user {:>3}: inferred {:>3}, true {:>3}, {} re-tweet partners",
             u.id,

@@ -52,7 +52,10 @@ fn main() {
             sf0: builder.sf0(),
         };
         let t = Instant::now();
-        let on = online.step(&SnapshotData { input, user_ids: &snap.user_ids });
+        let on = online.step(&SnapshotData {
+            input,
+            user_ids: &snap.user_ids,
+        });
         let online_ms = t.elapsed().as_secs_f64() * 1e3;
 
         let mb = mini.step(&input);

@@ -39,7 +39,11 @@ fn main() {
         println!("top-12 learned {class} words (Sf affinity | in seed lexicon?):");
         for (f, affinity) in scored.iter().take(12) {
             let word = inst.vocab.token(*f);
-            let in_lexicon = corpus.lexicon.class_of(word).map(|c| c.as_str()).unwrap_or("-");
+            let in_lexicon = corpus
+                .lexicon
+                .class_of(word)
+                .map(|c| c.as_str())
+                .unwrap_or("-");
             println!("  {word:<16} {affinity:.3}  lexicon: {in_lexicon}");
         }
         println!();

@@ -21,7 +21,10 @@ fn main() {
     // Per-user label history: (window index, label).
     let mut user_history: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
 
-    println!("{:<8} {:>6} {:>6} {:>7} {:>7} {:>7}", "days", "tweets", "users", "pos%", "neg%", "neu%");
+    println!(
+        "{:<8} {:>6} {:>6} {:>7} {:>7} {:>7}",
+        "days", "tweets", "users", "pos%", "neg%", "neu%"
+    );
     for (step, (lo, hi)) in day_windows(corpus.num_days, 4).into_iter().enumerate() {
         let snap = builder.snapshot(&corpus, lo, hi);
         if snap.tweet_ids.is_empty() {
@@ -34,7 +37,10 @@ fn main() {
             graph: &snap.graph,
             sf0: builder.sf0(),
         };
-        let result = solver.step(&SnapshotData { input, user_ids: &snap.user_ids });
+        let result = solver.step(&SnapshotData {
+            input,
+            user_ids: &snap.user_ids,
+        });
         let labels = result.tweet_labels();
         let share = |class: Sentiment| {
             100.0 * labels.iter().filter(|&&l| l == class.index()).count() as f64
@@ -50,7 +56,10 @@ fn main() {
             share(Sentiment::Neutral),
         );
         for (row, &u) in snap.user_ids.iter().enumerate() {
-            user_history.entry(u).or_default().push((step, result.user_labels()[row]));
+            user_history
+                .entry(u)
+                .or_default()
+                .push((step, result.user_labels()[row]));
         }
     }
 
@@ -71,8 +80,12 @@ fn main() {
                 println!(
                     "  user {:>3}: {} -> {} (ground truth {})",
                     u,
-                    Sentiment::from_index(early).map(|s| s.as_str()).unwrap_or("?"),
-                    Sentiment::from_index(late).map(|s| s.as_str()).unwrap_or("?"),
+                    Sentiment::from_index(early)
+                        .map(|s| s.as_str())
+                        .unwrap_or("?"),
+                    Sentiment::from_index(late)
+                        .map(|s| s.as_str())
+                        .unwrap_or("?"),
                     if truly_flipped { "flips" } else { "stable" },
                 );
             }

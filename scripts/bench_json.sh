@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates the machine-readable benchmark artifacts tracked in-repo.
+#
+# BENCH_kernels.json / BENCH_solvers.json give every future PR a perf
+# trajectory baseline: the `offline_iteration_k10/seed_baseline` series
+# is a frozen snapshot of the pre-workspace implementation (see
+# crates/bench/src/seed_baseline.rs) and must keep its meaning forever.
+#
+# Set BENCH_FAST=1 for a quick smoke regeneration (fewer samples).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_JSON="$PWD/BENCH_kernels.json" cargo bench -p tgs_bench --bench kernels
+BENCH_JSON="$PWD/BENCH_solvers.json" cargo bench -p tgs_bench --bench solvers
+echo "wrote BENCH_kernels.json and BENCH_solvers.json"

@@ -86,12 +86,17 @@ fn flag<T: std::str::FromStr>(
 ) -> Result<T, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value for --{key}: '{v}'")),
     }
 }
 
 fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
-    flags.get(key).map(String::as_str).ok_or_else(|| format!("--{key} is required"))
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("--{key} is required"))
 }
 
 fn load_corpus(flags: &HashMap<String, String>) -> Result<Corpus, String> {
@@ -162,13 +167,21 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
     let name = |c: usize| Sentiment::from_index(c).map(|s| s.as_str()).unwrap_or("?");
     writeln!(out, "# kind\tid\tsentiment\tconfidence").map_err(|e| e.to_string())?;
     let tweet_conf = tripartite_sentiment::core::label_confidence(&result.factors.sp);
-    for (id, (&label, conf)) in
-        result.tweet_labels().iter().zip(tweet_conf.iter()).enumerate()
+    for (id, (&label, conf)) in result
+        .tweet_labels()
+        .iter()
+        .zip(tweet_conf.iter())
+        .enumerate()
     {
         writeln!(out, "tweet\t{id}\t{}\t{conf:.3}", name(label)).map_err(|e| e.to_string())?;
     }
     let user_conf = tripartite_sentiment::core::label_confidence(&result.factors.su);
-    for (id, (&label, conf)) in result.user_labels().iter().zip(user_conf.iter()).enumerate() {
+    for (id, (&label, conf)) in result
+        .user_labels()
+        .iter()
+        .zip(user_conf.iter())
+        .enumerate()
+    {
         writeln!(out, "user\t{id}\t{}\t{conf:.3}", name(label)).map_err(|e| e.to_string())?;
     }
     eprintln!("wrote sentiments to {out_path}");
@@ -193,8 +206,11 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut out = BufWriter::new(
         File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?,
     );
-    writeln!(out, "# day_lo\tday_hi\ttweets\tusers\tnew\tevolving\tpos%\tneg%\tneu%")
-        .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "# day_lo\tday_hi\ttweets\tusers\tnew\tevolving\tpos%\tneg%\tneu%"
+    )
+    .map_err(|e| e.to_string())?;
     for (lo, hi) in day_windows(corpus.num_days, window) {
         let snap = builder.snapshot(&corpus, lo, hi);
         if snap.tweet_ids.is_empty() {
@@ -207,7 +223,10 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
             graph: &snap.graph,
             sf0: builder.sf0(),
         };
-        let step = solver.step(&SnapshotData { input, user_ids: &snap.user_ids });
+        let step = solver.step(&SnapshotData {
+            input,
+            user_ids: &snap.user_ids,
+        });
         let labels = step.tweet_labels();
         let share = |c: usize| {
             100.0 * labels.iter().filter(|&&l| l == c).count() as f64 / labels.len() as f64
@@ -225,7 +244,10 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
         )
         .map_err(|e| e.to_string())?;
     }
-    eprintln!("processed {} snapshots; wrote timeline to {out_path}", solver.steps());
+    eprintln!(
+        "processed {} snapshots; wrote timeline to {out_path}",
+        solver.steps()
+    );
     Ok(())
 }
 
@@ -233,10 +255,17 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
     let corpus = load_corpus(flags)?;
     let s = corpus_stats(&corpus);
     println!("topic: {} ({} days)", corpus.topic, corpus.num_days);
-    println!("tweets: {} total, {} labeled pos, {} labeled neg", s.total_tweets, s.labeled_pos_tweets, s.labeled_neg_tweets);
+    println!(
+        "tweets: {} total, {} labeled pos, {} labeled neg",
+        s.total_tweets, s.labeled_pos_tweets, s.labeled_neg_tweets
+    );
     println!(
         "users:  {} total ({} pos / {} neg / {} neu labeled, {} unlabeled)",
-        s.total_users, s.labeled_pos_users, s.labeled_neg_users, s.labeled_neu_users, s.unlabeled_users
+        s.total_users,
+        s.labeled_pos_users,
+        s.labeled_neg_users,
+        s.labeled_neu_users,
+        s.unlabeled_users
     );
     println!("retweets: {}", s.total_retweets);
     Ok(())

@@ -60,11 +60,11 @@ pub mod prelude {
         SnapshotData, TriFactors, TriInput,
     };
     pub use tgs_data::{
-        build_offline, corpus_stats, daily_tweet_counts, day_windows, generate, presets,
-        top_words, Corpus, GeneratorConfig, ProblemInstance, SnapshotBuilder,
+        build_offline, corpus_stats, daily_tweet_counts, day_windows, generate, presets, top_words,
+        Corpus, GeneratorConfig, ProblemInstance, SnapshotBuilder,
     };
     pub use tgs_eval::{clustering_accuracy, nmi, ConfusionMatrix};
-    pub use tgs_graph::{UserGraph};
+    pub use tgs_graph::UserGraph;
     pub use tgs_linalg::{CsrMatrix, DenseMatrix};
     pub use tgs_text::{Lexicon, PipelineConfig, Sentiment, Vocabulary};
 }

@@ -10,8 +10,9 @@ fn pipe() -> PipelineConfig {
 }
 
 fn polar_eval(pred: &[usize], truth: &[usize]) -> f64 {
-    let polar: Vec<usize> =
-        (0..truth.len()).filter(|&i| truth[i] != Sentiment::Neutral.index()).collect();
+    let polar: Vec<usize> = (0..truth.len())
+        .filter(|&i| truth[i] != Sentiment::Neutral.index())
+        .collect();
     let p: Vec<usize> = polar.iter().map(|&i| pred[i]).collect();
     let t: Vec<usize> = polar.iter().map(|&i| truth[i]).collect();
     clustering_accuracy(&p, &t)
@@ -43,9 +44,18 @@ fn supervised_beats_majority_and_tri_beats_chance() {
     let tri = solve_offline(&input, &OfflineConfig::default());
     let tri_acc = polar_eval(&tri.tweet_labels(), &inst.tweet_truth);
 
-    assert!(nb_acc > majority + 0.05, "NB {nb_acc} vs majority {majority}");
-    assert!(svm_acc > majority + 0.05, "SVM {svm_acc} vs majority {majority}");
-    assert!(tri_acc > majority + 0.03, "tri {tri_acc} vs majority {majority}");
+    assert!(
+        nb_acc > majority + 0.05,
+        "NB {nb_acc} vs majority {majority}"
+    );
+    assert!(
+        svm_acc > majority + 0.05,
+        "SVM {svm_acc} vs majority {majority}"
+    );
+    assert!(
+        tri_acc > majority + 0.03,
+        "tri {tri_acc} vs majority {majority}"
+    );
     // Supervised with full labels should not lose to unsupervised.
     assert!(nb_acc + 0.02 > tri_acc, "NB {nb_acc} vs tri {tri_acc}");
 }
@@ -72,7 +82,10 @@ fn tri_clustering_beats_text_only_essa_on_average() {
             &inst.xp,
             &inst.sf0,
             None,
-            &EssaConfig { k: 3, ..Default::default() },
+            &EssaConfig {
+                k: 3,
+                ..Default::default()
+            },
         );
         essa_total += polar_eval(&essa.tweet_labels(), &inst.tweet_truth);
     }
@@ -144,7 +157,14 @@ fn userreg_aggregation_is_biased_against_quiet_users() {
 fn bacg_uses_graph_structure() {
     let corpus = generate(&presets::prop30_small(53));
     let inst = build_offline(&corpus, 3, &pipe());
-    let result = solve_bacg(&inst.xu, &inst.graph, &BacgConfig { k: 3, ..Default::default() });
+    let result = solve_bacg(
+        &inst.xu,
+        &inst.graph,
+        &BacgConfig {
+            k: 3,
+            ..Default::default()
+        },
+    );
     let acc = clustering_accuracy(&result.user_labels(), &inst.user_truth);
     assert!(acc > 0.5, "BACG user accuracy {acc}");
 }

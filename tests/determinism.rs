@@ -62,14 +62,29 @@ fn different_solver_seeds_differ_but_agree_qualitatively() {
         graph: &inst.graph,
         sf0: &inst.sf0,
     };
-    let a = solve_offline(&input, &OfflineConfig { seed: 1, ..Default::default() });
-    let b = solve_offline(&input, &OfflineConfig { seed: 2, ..Default::default() });
+    let a = solve_offline(
+        &input,
+        &OfflineConfig {
+            seed: 1,
+            ..Default::default()
+        },
+    );
+    let b = solve_offline(
+        &input,
+        &OfflineConfig {
+            seed: 2,
+            ..Default::default()
+        },
+    );
     // different random inits → different factor values
     assert!(a.factors.sp.max_abs_diff(&b.factors.sp) > 0.0);
     // but both land in the same quality regime
     let acc_a = clustering_accuracy(&a.tweet_labels(), &inst.tweet_truth);
     let acc_b = clustering_accuracy(&b.tweet_labels(), &inst.tweet_truth);
-    assert!((acc_a - acc_b).abs() < 0.15, "seed sensitivity too high: {acc_a} vs {acc_b}");
+    assert!(
+        (acc_a - acc_b).abs() < 0.15,
+        "seed sensitivity too high: {acc_a} vs {acc_b}"
+    );
 }
 
 #[test]
@@ -77,7 +92,10 @@ fn online_stream_deterministic() {
     let run = || {
         let corpus = generate(&presets::tiny(91));
         let builder = SnapshotBuilder::new(&corpus, 3, &pipe());
-        let mut solver = OnlineSolver::new(OnlineConfig { max_iters: 20, ..Default::default() });
+        let mut solver = OnlineSolver::new(OnlineConfig {
+            max_iters: 20,
+            ..Default::default()
+        });
         let mut objectives = Vec::new();
         for (lo, hi) in day_windows(corpus.num_days, 4) {
             let snap = builder.snapshot(&corpus, lo, hi);
@@ -91,7 +109,14 @@ fn online_stream_deterministic() {
                 graph: &snap.graph,
                 sf0: builder.sf0(),
             };
-            objectives.push(solver.step(&SnapshotData { input, user_ids: &snap.user_ids }).objective);
+            objectives.push(
+                solver
+                    .step(&SnapshotData {
+                        input,
+                        user_ids: &snap.user_ids,
+                    })
+                    .objective,
+            );
         }
         objectives
     };

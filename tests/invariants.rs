@@ -143,5 +143,9 @@ fn snapshot_union_reconstructs_corpus() {
             assert!(seen_tweets.insert(t), "tweet {t} appeared in two snapshots");
         }
     }
-    assert_eq!(seen_tweets.len(), corpus.num_tweets(), "snapshots must partition tweets");
+    assert_eq!(
+        seen_tweets.len(),
+        corpus.num_tweets(),
+        "snapshots must partition tweets"
+    );
 }

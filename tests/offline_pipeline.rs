@@ -27,7 +27,10 @@ fn full_offline_pipeline_recovers_sentiment() {
         sf0: &inst.sf0,
     };
     let result = solve_offline(&input, &OfflineConfig::default());
-    assert!(result.factors.all_nonnegative(), "factors must stay non-negative");
+    assert!(
+        result.factors.all_nonnegative(),
+        "factors must stay non-negative"
+    );
 
     let polar = polar_subset(&inst.tweet_truth);
     let pred: Vec<usize> = polar.iter().map(|&i| result.tweet_labels()[i]).collect();
@@ -50,9 +53,18 @@ fn offline_objective_monotone_on_real_pipeline() {
         graph: &inst.graph,
         sf0: &inst.sf0,
     };
-    let cfg = OfflineConfig { max_iters: 50, tol: 0.0, track_objective: true, ..Default::default() };
+    let cfg = OfflineConfig {
+        max_iters: 50,
+        tol: 0.0,
+        track_objective: true,
+        ..Default::default()
+    };
     let result = solve_offline(&input, &cfg);
-    assert_eq!(result.history.len(), 51, "initial value + one per iteration");
+    assert_eq!(
+        result.history.len(),
+        51,
+        "initial value + one per iteration"
+    );
     // The updates are proven non-increasing for the *Lagrangian* (raw
     // objective + orthogonality pressure); the raw Eq. 1 value may rise
     // transiently while components trade off (the paper's Fig. 8 makes
@@ -68,7 +80,10 @@ fn offline_objective_monotone_on_real_pipeline() {
     }
     let first = result.history.first().unwrap().total();
     let last = result.history.last().unwrap().total();
-    assert!(last < first * 0.9, "objective should clearly decrease: {first} -> {last}");
+    assert!(
+        last < first * 0.9,
+        "objective should clearly decrease: {first} -> {last}"
+    );
 }
 
 #[test]
@@ -84,11 +99,21 @@ fn regularizers_change_the_solution() {
     };
     let base = solve_offline(
         &input,
-        &OfflineConfig { alpha: 0.0, beta: 0.0, max_iters: 40, ..Default::default() },
+        &OfflineConfig {
+            alpha: 0.0,
+            beta: 0.0,
+            max_iters: 40,
+            ..Default::default()
+        },
     );
     let reg = solve_offline(
         &input,
-        &OfflineConfig { alpha: 0.5, beta: 0.9, max_iters: 40, ..Default::default() },
+        &OfflineConfig {
+            alpha: 0.5,
+            beta: 0.9,
+            max_iters: 40,
+            ..Default::default()
+        },
     );
     assert!(
         base.factors.su.max_abs_diff(&reg.factors.su) > 1e-6,
@@ -108,7 +133,11 @@ fn k2_and_k3_both_supported() {
             graph: &inst.graph,
             sf0: &inst.sf0,
         };
-        let cfg = OfflineConfig { k, max_iters: 20, ..Default::default() };
+        let cfg = OfflineConfig {
+            k,
+            max_iters: 20,
+            ..Default::default()
+        };
         let result = solve_offline(&input, &cfg);
         assert!(result.tweet_labels().iter().all(|&l| l < k));
         assert!(result.user_labels().iter().all(|&l| l < k));
@@ -143,11 +172,19 @@ fn graph_regularizer_smooths_connected_users() {
     };
     let no_graph = solve_offline(
         &input,
-        &OfflineConfig { beta: 0.0, max_iters: 60, ..Default::default() },
+        &OfflineConfig {
+            beta: 0.0,
+            max_iters: 60,
+            ..Default::default()
+        },
     );
     let with_graph = solve_offline(
         &input,
-        &OfflineConfig { beta: 1.0, max_iters: 60, ..Default::default() },
+        &OfflineConfig {
+            beta: 1.0,
+            max_iters: 60,
+            ..Default::default()
+        },
     );
     let a0 = agreement(&no_graph.user_labels());
     let a1 = agreement(&with_graph.user_labels());

@@ -13,7 +13,10 @@ fn pipe() -> PipelineConfig {
 fn streaming_covers_all_tweets_and_tracks_users() {
     let corpus = generate(&presets::tiny(21));
     let builder = SnapshotBuilder::new(&corpus, 3, &pipe());
-    let mut solver = OnlineSolver::new(OnlineConfig { max_iters: 30, ..Default::default() });
+    let mut solver = OnlineSolver::new(OnlineConfig {
+        max_iters: 30,
+        ..Default::default()
+    });
     let mut covered = 0usize;
     let mut seen_users = std::collections::HashSet::new();
     for (lo, hi) in day_windows(corpus.num_days, 3) {
@@ -28,7 +31,10 @@ fn streaming_covers_all_tweets_and_tracks_users() {
             graph: &snap.graph,
             sf0: builder.sf0(),
         };
-        let result = solver.step(&SnapshotData { input, user_ids: &snap.user_ids });
+        let result = solver.step(&SnapshotData {
+            input,
+            user_ids: &snap.user_ids,
+        });
         covered += snap.tweet_ids.len();
         // partition must tile the snapshot's users
         assert_eq!(
@@ -70,7 +76,10 @@ fn online_accuracy_reasonable_on_stream() {
             graph: &snap.graph,
             sf0: builder.sf0(),
         };
-        let result = solver.step(&SnapshotData { input, user_ids: &snap.user_ids });
+        let result = solver.step(&SnapshotData {
+            input,
+            user_ids: &snap.user_ids,
+        });
         let acc = clustering_accuracy(&result.tweet_labels(), &snap.tweet_truth);
         weighted += acc * snap.tweet_ids.len() as f64;
         total += snap.tweet_ids.len();
@@ -103,7 +112,10 @@ fn disappeared_users_keep_estimates_with_wider_window() {
             graph: &snap.graph,
             sf0: builder.sf0(),
         };
-        solver.step(&SnapshotData { input, user_ids: &snap.user_ids });
+        solver.step(&SnapshotData {
+            input,
+            user_ids: &snap.user_ids,
+        });
         all_seen.extend(snap.user_ids.iter().copied());
     }
     // Every user ever seen still has a sentiment estimate (carried
@@ -136,7 +148,10 @@ fn online_objective_monotone_within_steps() {
             graph: &snap.graph,
             sf0: builder.sf0(),
         };
-        let result = solver.step(&SnapshotData { input, user_ids: &snap.user_ids });
+        let result = solver.step(&SnapshotData {
+            input,
+            user_ids: &snap.user_ids,
+        });
         for (i, w) in result.history.windows(2).enumerate() {
             assert!(
                 w[1].total() <= w[0].total() * 1.01,
@@ -149,7 +164,10 @@ fn online_objective_monotone_within_steps() {
         if result.history.len() > 2 {
             let first = result.history.first().unwrap().total();
             let last = result.history.last().unwrap().total();
-            assert!(last <= first * 1.001, "per-step objective should not grow: {first} -> {last}");
+            assert!(
+                last <= first * 1.001,
+                "per-step objective should not grow: {first} -> {last}"
+            );
         }
     }
 }

@@ -1,0 +1,183 @@
+//! Minimal, dependency-free stand-in for the `bytes` crate.
+//!
+//! Implements exactly the surface the snapshot store uses: `BytesMut` as a
+//! growable write buffer, `Bytes` as a cheaply-cloneable frozen buffer with
+//! a read cursor, and the `Buf`/`BufMut` traits carrying the little-endian
+//! accessors.
+
+use std::sync::Arc;
+
+/// An immutable, cheaply-cloneable byte buffer with a read cursor.
+///
+/// Reads (`get_*`) advance the cursor; clones share the underlying
+/// allocation and carry independent cursors.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            data: data.into(),
+            pos: 0,
+        }
+    }
+
+    /// Remaining (unread) length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The unread tail as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes {
+            data: data.into(),
+            pos: 0,
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+/// A growable write buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Read side: cursor-advancing accessors.
+pub trait Buf {
+    /// Unread bytes remaining.
+    fn remaining(&self) -> usize;
+    /// Copies `dst.len()` bytes out and advances. Panics when short.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads a little-endian `u64` and advances.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f64` and advances.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.remaining(), "buffer underflow");
+        dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
+}
+
+/// Write side: appending accessors.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u64_f64() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u64_le(0xDEAD_BEEF);
+        buf.put_f64_le(-2.5);
+        let mut b = buf.freeze();
+        assert_eq!(b.len(), 16);
+        assert_eq!(b.get_u64_le(), 0xDEAD_BEEF);
+        assert_eq!(b.get_f64_le(), -2.5);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn clones_have_independent_cursors() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(1);
+        buf.put_u64_le(2);
+        let a = buf.freeze();
+        let mut b = a.clone();
+        assert_eq!(b.get_u64_le(), 1);
+        assert_eq!(a.len(), 16, "original cursor unmoved");
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from_static(b"abc");
+        b.get_u64_le();
+    }
+}

@@ -1,0 +1,400 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! Implements the measurement surface the workspace's benches use
+//! (`benchmark_group`, `bench_with_input`, `bench_function`, `iter`,
+//! `iter_batched`) with a simple wall-clock protocol: a warm-up phase
+//! estimates the per-iteration cost, then `sample_size` samples of a
+//! calibrated iteration count are timed and summarized (mean / median /
+//! min ns per iteration).
+//!
+//! Two environment variables control it:
+//!
+//! * `BENCH_JSON=<path>` — write all results of the run as a JSON
+//!   artifact (the `BENCH_kernels.json` / `BENCH_solvers.json` files
+//!   tracked in-repo come from this).
+//! * `BENCH_FAST=1` — clamp warm-up and sample counts for smoke runs.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// How inputs are regenerated for `iter_batched`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Many iterations per setup (cheap inputs).
+    SmallInput,
+    /// Few iterations per setup (expensive inputs).
+    LargeInput,
+    /// Exactly one iteration per setup (stateful inputs).
+    PerIteration,
+}
+
+impl BatchSize {
+    fn iters_per_setup(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter` naming.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// `group/parameter` naming.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self, group: &str) -> String {
+        let mut s = group.to_string();
+        if let Some(f) = &self.function {
+            s.push('/');
+            s.push_str(f);
+        }
+        if let Some(p) = &self.parameter {
+            s.push('/');
+            s.push_str(p);
+        }
+        s
+    }
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full slash-separated id, e.g. `spmm/mul_dense/1000`.
+    pub id: String,
+    /// Mean nanoseconds per iteration across samples.
+    pub mean_ns: f64,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// The benchmark driver: collects results, prints a summary line per
+/// benchmark, and optionally writes a JSON artifact at the end.
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    default_sample_size: usize,
+    fast: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let fast = std::env::var("BENCH_FAST").is_ok_and(|v| v == "1");
+        Criterion {
+            results: Vec::new(),
+            default_sample_size: if fast { 5 } else { 20 },
+            fast,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Benchmarks a closure under a top-level name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let sample_size = self.default_sample_size;
+        self.run_one(name.to_string(), sample_size, &mut f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, f: &mut F) {
+        let mut bencher = Bencher {
+            sample_size,
+            warmup: if self.fast {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(200)
+            },
+            sample_target: if self.fast {
+                Duration::from_millis(5)
+            } else {
+                Duration::from_millis(20)
+            },
+            result: None,
+        };
+        f(&mut bencher);
+        let Some((mut per_iter_ns, iters)) = bencher.result.take() else {
+            eprintln!("warning: benchmark {id} measured nothing");
+            return;
+        };
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+        let samples = per_iter_ns.len();
+        let mean = per_iter_ns.iter().sum::<f64>() / samples as f64;
+        let median = if samples % 2 == 1 {
+            per_iter_ns[samples / 2]
+        } else {
+            0.5 * (per_iter_ns[samples / 2 - 1] + per_iter_ns[samples / 2])
+        };
+        let min = per_iter_ns[0];
+        println!(
+            "bench {id:<55} median {:>12.1} ns/iter  (mean {:.1}, min {:.1}, {} x {} iters)",
+            median, mean, min, samples, iters
+        );
+        self.results.push(BenchResult {
+            id,
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: min,
+            samples,
+            iters_per_sample: iters,
+        });
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the run footer and writes the `BENCH_JSON` artifact if
+    /// requested. Called by `criterion_main!`.
+    pub fn finalize(&self) {
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            let json = self.to_json();
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("error: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {} benchmark results to {path}", self.results.len());
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema_version\": 1,\n  \"benchmarks\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"id\": {:?}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}",
+                r.id,
+                r.median_ns,
+                r.mean_ns,
+                r.min_ns,
+                r.samples,
+                r.iters_per_sample,
+                if i + 1 == self.results.len() { "\n" } else { ",\n" }
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` with an input value and a parameterized id.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = id.full_name(&self.name);
+        let sample_size = if self.criterion.fast {
+            self.sample_size.min(5)
+        } else {
+            self.sample_size
+        };
+        self.criterion
+            .run_one(full, sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let sample_size = if self.criterion.fast {
+            self.sample_size.min(5)
+        } else {
+            self.sample_size
+        };
+        self.criterion
+            .run_one(full, sample_size, &mut |b: &mut Bencher| f(b));
+        self
+    }
+
+    /// Ends the group (measurement happens eagerly; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    warmup: Duration,
+    sample_target: Duration,
+    result: Option<(Vec<f64>, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine` directly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup || warm_iters < 3 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let iters = calibrated_iters(per_iter, self.sample_target);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.result = Some((samples, iters));
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let batch = size.iters_per_setup();
+
+        // Warm-up with a single batch.
+        let mut inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+        let warm_start = Instant::now();
+        let mut outputs: Vec<R> = Vec::with_capacity(batch as usize);
+        for input in inputs.drain(..) {
+            outputs.push(routine(input));
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / batch as f64;
+        drop(outputs);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let mut outputs: Vec<R> = Vec::with_capacity(batch as usize);
+            let start = Instant::now();
+            for input in inputs.drain(..) {
+                outputs.push(routine(input));
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+            drop(outputs);
+        }
+        let _ = per_iter;
+        self.result = Some((samples, batch));
+    }
+}
+
+fn calibrated_iters(per_iter_ns: f64, target: Duration) -> u64 {
+    let target_ns = target.as_nanos() as f64;
+    (target_ns / per_iter_ns.max(0.1)).clamp(1.0, 10_000_000.0) as u64
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $($function(criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups and finalizing the report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion {
+            results: Vec::new(),
+            default_sample_size: 3,
+            fast: true,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("f", 7), &7usize, |b, &n| {
+            b.iter(|| std::hint::black_box((0..n).sum::<usize>()))
+        });
+        group.bench_function("h", |b| {
+            b.iter_batched(
+                || vec![1u64; 8],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::PerIteration,
+            )
+        });
+        group.finish();
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].id, "g/f/7");
+        assert_eq!(c.results()[1].id, "g/h");
+        assert!(c.results().iter().all(|r| r.median_ns > 0.0));
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut c = Criterion {
+            results: Vec::new(),
+            default_sample_size: 2,
+            fast: true,
+        };
+        c.bench_function("solo", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        let json = c.to_json();
+        assert!(json.contains("\"id\": \"solo\""));
+        assert!(json.contains("\"schema_version\": 1"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngExt;
+use std::collections::BTreeSet;
+
+/// Size specification for collection strategies: an exact count or a
+/// half-open range of counts.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.lo + 1 >= self.hi_exclusive {
+            self.lo
+        } else {
+            rng.random_range(self.lo..self.hi_exclusive)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` targeting a size drawn from `size`.
+///
+/// When the element strategy's support is smaller than the target size,
+/// the set saturates below target after a bounded number of attempts
+/// rather than spinning forever.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.sample(rng);
+        let mut out = BTreeSet::new();
+        let mut attempts = 0;
+        while out.len() < target && attempts < target * 20 + 20 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_respects_exact_and_ranged_sizes() {
+        let mut rng = TestRng::for_case("collection::tests", 0);
+        assert_eq!(vec(0usize..9, 6).generate(&mut rng).len(), 6);
+        for _ in 0..50 {
+            let v = vec(0usize..9, 1..4).generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_saturates_gracefully() {
+        let mut rng = TestRng::for_case("collection::tests", 1);
+        // only 3 possible values but target sizes up to 7
+        let s = btree_set(0usize..3, 5..8).generate(&mut rng);
+        assert!(!s.is_empty() && s.len() <= 3);
+    }
+}

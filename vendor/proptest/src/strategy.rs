@@ -1,0 +1,278 @@
+//! The [`Strategy`] trait and the built-in strategies: numeric ranges,
+//! tuples, `Just`, `prop_map` adapters, boxed unions, and a regex-subset
+//! string generator for `&str` patterns like `"[a-z]{2,8}"`.
+
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike upstream proptest there is no value tree / shrinking — a
+/// strategy simply produces a value per case.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The `prop_map` adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over the given non-empty option list.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.random_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+/// `&str` patterns act as string strategies over a regex subset:
+/// a sequence of literal characters and character classes (`[a-z0-9_]`,
+/// with ranges), each optionally quantified by `{n}` or `{m,n}`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom: a character class or a literal character.
+        let mut alphabet: Vec<char> = Vec::new();
+        if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed character class in pattern {pattern:?}"));
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                    assert!(lo <= hi, "bad class range in pattern {pattern:?}");
+                    alphabet.extend((lo..=hi).filter_map(char::from_u32));
+                    j += 3;
+                } else {
+                    alphabet.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+        } else {
+            let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            alphabet.push(c);
+            i += 1;
+        }
+        assert!(
+            !alphabet.is_empty(),
+            "empty character class in pattern {pattern:?}"
+        );
+
+        // Parse an optional {n} / {m,n} quantifier.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            let parsed = match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("bad quantifier"),
+                    n.trim().parse::<usize>().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("bad quantifier");
+                    (n, n)
+                }
+            };
+            i = close + 1;
+            parsed
+        } else {
+            (1, 1)
+        };
+        assert!(lo <= hi, "bad quantifier bounds in pattern {pattern:?}");
+
+        let count = rng.random_range(lo..=hi);
+        for _ in 0..count {
+            out.push(alphabet[rng.random_range(0..alphabet.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy::tests", 0)
+    }
+
+    #[test]
+    fn pattern_class_and_quantifier() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z]{2,8}".generate(&mut r);
+            assert!(s.len() >= 2 && s.len() <= 8, "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn pattern_literal_prefix() {
+        let mut r = rng();
+        let s = "#[a-z]{2,4}".generate(&mut r);
+        assert!(s.starts_with('#'));
+        assert!(s.len() >= 3 && s.len() <= 5);
+    }
+
+    #[test]
+    fn ranges_tuples_map_and_just() {
+        let mut r = rng();
+        let v = (0usize..5, 0.0..1.0f64).generate(&mut r);
+        assert!(v.0 < 5 && (0.0..1.0).contains(&v.1));
+        let m = (0usize..5).prop_map(|x| x * 2).generate(&mut r);
+        assert!(m % 2 == 0 && m < 10);
+        assert_eq!(Just(7u8).generate(&mut r), 7);
+    }
+
+    #[test]
+    fn union_picks_all_arms_eventually() {
+        let u = Union::new(vec![(0usize..1).boxed(), (10usize..11).boxed()]);
+        let mut seen = [false; 2];
+        let mut r = rng();
+        for _ in 0..200 {
+            match u.generate(&mut r) {
+                0 => seen[0] = true,
+                10 => seen[1] = true,
+                other => panic!("unexpected value {other}"),
+            }
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}
