@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI entrypoint: format check, lints, release build, tests.
+# CI entrypoint: format check, lints, docs, release build, tests.
 #
 # Usage:
 #   ./ci.sh            # the full gate (what .github/workflows/ci.yml runs)
@@ -12,6 +12,9 @@ cargo fmt --all --check
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> cargo build --release"
 cargo build --release --workspace

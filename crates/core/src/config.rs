@@ -1,6 +1,23 @@
 //! Solver configurations.
 
+use crate::error::TgsError;
 use crate::factors::InitStrategy;
+
+/// Builds the [`TgsError::InvalidConfig`] for a failed bound check.
+fn config_err(field: &'static str, message: impl Into<String>) -> TgsError {
+    TgsError::InvalidConfig {
+        field,
+        message: message.into(),
+    }
+}
+
+fn check(ok: bool, field: &'static str, message: &str) -> Result<(), TgsError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(config_err(field, message))
+    }
+}
 
 /// Configuration of the offline solver (Algorithm 1).
 #[derive(Debug, Clone)]
@@ -42,13 +59,37 @@ impl Default for OfflineConfig {
 }
 
 impl OfflineConfig {
-    /// Validates invariants (panics with a descriptive message).
+    /// Checks every field against its documented domain, reporting the
+    /// first violation as [`TgsError::InvalidConfig`].
+    pub fn try_validate(&self) -> Result<(), TgsError> {
+        check(
+            self.k >= 2,
+            "k",
+            &format!("need at least two clusters, got {}", self.k),
+        )?;
+        check(
+            (0.0..=1.0).contains(&self.alpha),
+            "alpha",
+            "alpha must be in [0, 1]",
+        )?;
+        check(
+            (0.0..=1.0).contains(&self.beta),
+            "beta",
+            "beta must be in [0, 1]",
+        )?;
+        check(
+            self.max_iters > 0,
+            "max_iters",
+            "max_iters must be positive",
+        )?;
+        check(self.tol >= 0.0, "tol", "tol must be non-negative")
+    }
+
+    /// Panicking wrapper around [`OfflineConfig::try_validate`].
     pub fn validate(&self) {
-        assert!(self.k >= 2, "need at least two clusters, got {}", self.k);
-        assert!((0.0..=1.0).contains(&self.alpha), "alpha must be in [0, 1]");
-        assert!((0.0..=1.0).contains(&self.beta), "beta must be in [0, 1]");
-        assert!(self.max_iters > 0, "max_iters must be positive");
-        assert!(self.tol >= 0.0, "tol must be non-negative");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -109,16 +150,48 @@ impl Default for OnlineConfig {
 }
 
 impl OnlineConfig {
-    /// Validates invariants (panics with a descriptive message).
+    /// Checks every field against its documented domain, reporting the
+    /// first violation as [`TgsError::InvalidConfig`].
+    pub fn try_validate(&self) -> Result<(), TgsError> {
+        check(
+            self.k >= 2,
+            "k",
+            &format!("need at least two clusters, got {}", self.k),
+        )?;
+        check(
+            (0.0..=1.0).contains(&self.alpha),
+            "alpha",
+            "alpha must be in [0, 1]",
+        )?;
+        check(
+            (0.0..=1.0).contains(&self.beta),
+            "beta",
+            "beta must be in [0, 1]",
+        )?;
+        check(
+            (0.0..=1.0).contains(&self.gamma),
+            "gamma",
+            "gamma must be in [0, 1]",
+        )?;
+        check(
+            self.tau > 0.0 && self.tau <= 1.0,
+            "tau",
+            "tau must be in (0, 1]",
+        )?;
+        check(self.window >= 1, "window", "window must be >= 1")?;
+        check(
+            self.max_iters > 0,
+            "max_iters",
+            "max_iters must be positive",
+        )?;
+        check(self.tol >= 0.0, "tol", "tol must be non-negative")
+    }
+
+    /// Panicking wrapper around [`OnlineConfig::try_validate`].
     pub fn validate(&self) {
-        assert!(self.k >= 2, "need at least two clusters, got {}", self.k);
-        assert!((0.0..=1.0).contains(&self.alpha), "alpha must be in [0, 1]");
-        assert!((0.0..=1.0).contains(&self.beta), "beta must be in [0, 1]");
-        assert!((0.0..=1.0).contains(&self.gamma), "gamma must be in [0, 1]");
-        assert!(self.tau > 0.0 && self.tau <= 1.0, "tau must be in (0, 1]");
-        assert!(self.window >= 1, "window must be >= 1");
-        assert!(self.max_iters > 0, "max_iters must be positive");
-        assert!(self.tol >= 0.0, "tol must be non-negative");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 
     /// The offline-equivalent settings used for the first snapshot.

@@ -3,6 +3,8 @@
 use tgs_graph::UserGraph;
 use tgs_linalg::{CsrMatrix, DenseMatrix};
 
+use crate::error::TgsError;
+
 /// Borrowed view of one tri-clustering problem (offline: the whole
 /// corpus; online: one snapshot).
 #[derive(Debug, Clone, Copy)]
@@ -35,14 +37,43 @@ impl<'a> TriInput<'a> {
         self.xp.cols()
     }
 
-    /// Checks cross-matrix shape consistency; panics with a descriptive
-    /// message on the first violation.
-    pub fn validate(&self, k: usize) {
+    /// Checks cross-matrix shape consistency, reporting the first
+    /// violation as the matching [`TgsError`] shape variant.
+    pub fn try_validate(&self, k: usize) -> Result<(), TgsError> {
         let (n, m, l) = (self.n(), self.m(), self.l());
-        assert_eq!(self.xu.cols(), l, "Xu must share Xp's feature space");
-        assert_eq!(self.xr.shape(), (m, n), "Xr must be m × n");
-        assert_eq!(self.graph.num_nodes(), m, "Gu must cover all m users");
-        assert_eq!(self.sf0.shape(), (l, k), "Sf0 must be l × k");
+        if self.xu.cols() != l {
+            return Err(TgsError::FeatureDimMismatch {
+                xp_cols: l,
+                xu_cols: self.xu.cols(),
+            });
+        }
+        if self.xr.shape() != (m, n) {
+            return Err(TgsError::InteractionShapeMismatch {
+                expected: (m, n),
+                got: self.xr.shape(),
+            });
+        }
+        if self.graph.num_nodes() != m {
+            return Err(TgsError::GraphSizeMismatch {
+                users: m,
+                nodes: self.graph.num_nodes(),
+            });
+        }
+        if self.sf0.shape() != (l, k) {
+            return Err(TgsError::PriorShapeMismatch {
+                expected: (l, k),
+                got: self.sf0.shape(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Panicking wrapper around [`TriInput::try_validate`], kept for the
+    /// bench binaries and quick scripts.
+    pub fn validate(&self, k: usize) {
+        if let Err(e) = self.try_validate(k) {
+            panic!("{e}");
+        }
     }
 }
 
@@ -73,6 +104,22 @@ mod tests {
         assert_eq!(input.m(), 2);
         assert_eq!(input.l(), 4);
         input.validate(3);
+    }
+
+    #[test]
+    fn try_validate_reports_variant_without_panicking() {
+        use crate::error::TgsErrorKind;
+        let (xp, xu, xr, graph, sf0) = tiny_parts();
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
+        assert!(input.try_validate(3).is_ok());
+        let err = input.try_validate(2).unwrap_err();
+        assert_eq!(err.kind(), TgsErrorKind::PriorShapeMismatch);
     }
 
     #[test]

@@ -11,6 +11,16 @@
 //!   with temporal regularization, decayed windows and new/evolving/
 //!   disappeared user bookkeeping.
 //!
+//! ## Errors
+//!
+//! Library-level validation never panics: [`TriInput::try_validate`],
+//! [`OfflineConfig::try_validate`], [`OnlineConfig::try_validate`],
+//! [`try_solve_offline`] and [`OnlineSolver::try_step`] report the
+//! matching [`TgsError`] variant (one per violated invariant — see
+//! [`error`] for the full taxonomy). The panicking spellings
+//! (`validate`, `solve_offline`, `step`) are thin wrappers over the
+//! `try_` forms, kept for benches and quick scripts.
+//!
 //! ```
 //! use tgs_core::{solve_offline, OfflineConfig, TriInput};
 //! use tgs_graph::UserGraph;
@@ -28,6 +38,7 @@
 //! ```
 
 pub mod config;
+pub mod error;
 pub mod extensions;
 pub mod factors;
 pub mod input;
@@ -41,6 +52,7 @@ pub mod window;
 pub mod workspace;
 
 pub use config::{OfflineConfig, OnlineConfig};
+pub use error::{TgsError, TgsErrorKind};
 pub use extensions::{solve_guided, Guidance, GuidedConfig};
 pub use factors::{InitStrategy, TriFactors};
 pub use input::TriInput;
@@ -48,8 +60,10 @@ pub use labels::{
     align_clusters_to_classes, hard_labels, label_confidence, membership_distribution,
 };
 pub use objective::{offline_objective, online_objective, ObjectiveParts};
-pub use offline::{solve_offline, solve_offline_from, OfflineResult};
-pub use online::{OnlineSolver, OnlineStepResult, SnapshotData};
+pub use offline::{
+    solve_offline, solve_offline_from, try_solve_offline, try_solve_offline_from, OfflineResult,
+};
+pub use online::{OnlineSolver, OnlineSolverState, OnlineStepResult, SnapshotData};
 pub use store::{decode_matrix, encode_matrix, SnapshotStore};
-pub use window::{FactorWindow, SentimentHistory, UserPartition};
+pub use window::{FactorWindow, HistoryRows, SentimentHistory, UserHistoryRows, UserPartition};
 pub use workspace::UpdateWorkspace;

@@ -1,6 +1,7 @@
 //! Algorithm 1: the offline tri-clustering solver.
 
 use crate::config::OfflineConfig;
+use crate::error::TgsError;
 use crate::factors::TriFactors;
 use crate::input::TriInput;
 use crate::objective::{offline_objective, ObjectiveParts};
@@ -36,10 +37,14 @@ impl OfflineResult {
 
 /// Runs Algorithm 1: iterate the multiplicative updates (Sp, Hp, Su, Hu,
 /// Sf — the paper's line order) until the relative objective change drops
-/// below `tol` or `max_iters` is reached.
-pub fn solve_offline(input: &TriInput<'_>, config: &OfflineConfig) -> OfflineResult {
-    config.validate();
-    input.validate(config.k);
+/// below `tol` or `max_iters` is reached. Malformed configurations and
+/// inputs are reported as the matching [`TgsError`] variant.
+pub fn try_solve_offline(
+    input: &TriInput<'_>,
+    config: &OfflineConfig,
+) -> Result<OfflineResult, TgsError> {
+    config.try_validate()?;
+    input.try_validate(config.k)?;
     let mut factors = TriFactors::init(
         input.n(),
         input.m(),
@@ -52,19 +57,36 @@ pub fn solve_offline(input: &TriInput<'_>, config: &OfflineConfig) -> OfflineRes
     let mut workspace = UpdateWorkspace::new();
     workspace.bind(input);
     workspace.balance_init_scales(input, &mut factors);
-    solve_with_workspace(input, config, factors, &mut workspace)
+    Ok(solve_with_workspace(input, config, factors, &mut workspace))
 }
 
-/// Same as [`solve_offline`] but starting from caller-provided factors
-/// (used by warm starts and the full-batch baseline).
+/// Panicking wrapper around [`try_solve_offline`], kept for the bench
+/// binaries and quick scripts.
+pub fn solve_offline(input: &TriInput<'_>, config: &OfflineConfig) -> OfflineResult {
+    try_solve_offline(input, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Same as [`try_solve_offline`] but starting from caller-provided
+/// factors (used by warm starts and the full-batch baseline).
+pub fn try_solve_offline_from(
+    input: &TriInput<'_>,
+    config: &OfflineConfig,
+    factors: TriFactors,
+) -> Result<OfflineResult, TgsError> {
+    config.try_validate()?;
+    input.try_validate(config.k)?;
+    let mut workspace = UpdateWorkspace::new();
+    workspace.bind(input);
+    Ok(solve_with_workspace(input, config, factors, &mut workspace))
+}
+
+/// Panicking wrapper around [`try_solve_offline_from`].
 pub fn solve_offline_from(
     input: &TriInput<'_>,
     config: &OfflineConfig,
     factors: TriFactors,
 ) -> OfflineResult {
-    let mut workspace = UpdateWorkspace::new();
-    workspace.bind(input);
-    solve_with_workspace(input, config, factors, &mut workspace)
+    try_solve_offline_from(input, config, factors).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The shared iteration loop: sweeps run through the fused
@@ -77,8 +99,6 @@ fn solve_with_workspace(
     mut factors: TriFactors,
     workspace: &mut UpdateWorkspace,
 ) -> OfflineResult {
-    config.validate();
-    input.validate(config.k);
     let mut history = Vec::new();
     let mut prev = offline_objective(input, &factors, config.alpha, config.beta);
     if config.track_objective {

@@ -9,6 +9,7 @@
 use tgs_linalg::{random_factor_with, seeded_rng};
 
 use crate::config::OnlineConfig;
+use crate::error::TgsError;
 use crate::factors::{InitStrategy, TriFactors};
 use crate::input::TriInput;
 use crate::objective::{online_objective, ObjectiveParts};
@@ -68,10 +69,38 @@ pub struct OnlineSolver {
     workspace: UpdateWorkspace,
 }
 
+/// The temporal state an [`OnlineSolver`] carries between snapshots, in
+/// plain owned form for checkpointing. Produced by
+/// [`OnlineSolver::export_state`]; consumed by [`OnlineSolver::from_state`].
+/// Restoring a solver from its exported state is exact: subsequent steps
+/// produce bit-identical results to the original solver.
+#[derive(Debug, Clone)]
+pub struct OnlineSolverState {
+    /// Snapshots processed so far (drives the per-step warm-start seed).
+    pub steps: u64,
+    /// The `Sf` window contents, most recent first.
+    pub sf_window: Vec<tgs_linalg::DenseMatrix>,
+    /// The per-user history's global step counter.
+    pub history_step: u64,
+    /// Per-user `(step, row)` observations, sorted by user id.
+    pub history_rows: crate::window::HistoryRows,
+}
+
 impl OnlineSolver {
-    /// Creates a solver with empty history.
+    /// Creates a solver with empty history, reporting configuration
+    /// violations as [`TgsError::InvalidConfig`].
+    pub fn try_new(config: OnlineConfig) -> Result<Self, TgsError> {
+        config.try_validate()?;
+        Ok(Self::new_unchecked(config))
+    }
+
+    /// Panicking wrapper around [`OnlineSolver::try_new`].
     pub fn new(config: OnlineConfig) -> Self {
         config.validate();
+        Self::new_unchecked(config)
+    }
+
+    fn new_unchecked(config: OnlineConfig) -> Self {
         // The Sf window is always normalized: with the paper's w = 2 an
         // unnormalized target τ·Sf(t−1) re-shrinks Sf every snapshot and
         // destabilizes cluster-column alignment over long streams (see
@@ -105,16 +134,68 @@ impl OnlineSolver {
         self.history.aggregate_row(user)
     }
 
+    /// Exports the solver's temporal state for checkpointing.
+    pub fn export_state(&self) -> OnlineSolverState {
+        OnlineSolverState {
+            steps: self.steps,
+            sf_window: self.sf_window.snapshots().cloned().collect(),
+            history_step: self.history.steps(),
+            history_rows: self.history.export_rows(),
+        }
+    }
+
+    /// Rebuilds a solver from checkpointed state. The restored solver is
+    /// bit-identical to the original: feeding both the same subsequent
+    /// snapshots yields the same factors, objectives and partitions.
+    pub fn from_state(config: OnlineConfig, state: OnlineSolverState) -> Result<Self, TgsError> {
+        config.try_validate()?;
+        // Semantic validation: a structurally well-formed but tampered
+        // state must fail here with a typed error, not panic later inside
+        // the window aggregation.
+        if let Some(first) = state.sf_window.first() {
+            for sf in &state.sf_window {
+                if sf.cols() != config.k || sf.shape() != first.shape() {
+                    return Err(TgsError::corrupt(format!(
+                        "sf window snapshot is {}×{}, expected a consistent l×{}",
+                        sf.rows(),
+                        sf.cols(),
+                        config.k
+                    )));
+                }
+            }
+        }
+        // Mirror `new`: the Sf window is always normalized (see the
+        // comment there); the per-user history follows the config.
+        let sf_window = FactorWindow::restore(config.window, config.tau, true, state.sf_window);
+        let history = SentimentHistory::restore(
+            config.k,
+            config.window,
+            config.tau,
+            config.normalize_window,
+            state.history_step,
+            state.history_rows,
+        )?;
+        Ok(Self {
+            config,
+            sf_window,
+            history,
+            steps: state.steps,
+            workspace: UpdateWorkspace::new(),
+        })
+    }
+
     /// Processes one snapshot: warm start, iterate updates, commit
-    /// history.
-    pub fn step(&mut self, data: &SnapshotData<'_>) -> OnlineStepResult {
+    /// history. Malformed inputs are reported as the matching
+    /// [`TgsError`] shape variant.
+    pub fn try_step(&mut self, data: &SnapshotData<'_>) -> Result<OnlineStepResult, TgsError> {
         let input = &data.input;
-        input.validate(self.config.k);
-        assert_eq!(
-            data.user_ids.len(),
-            input.m(),
-            "one global id per local user row required"
-        );
+        input.try_validate(self.config.k)?;
+        if data.user_ids.len() != input.m() {
+            return Err(TgsError::UserIdCountMismatch {
+                rows: input.m(),
+                ids: data.user_ids.len(),
+            });
+        }
         let k = self.config.k;
         let partition = self.history.partition(data.user_ids);
 
@@ -237,14 +318,20 @@ impl OnlineSolver {
         self.sf_window.push(factors.sf.clone());
         self.steps += 1;
 
-        OnlineStepResult {
+        Ok(OnlineStepResult {
             factors,
             partition,
             history,
             iterations,
             converged,
             objective: prev.total(),
-        }
+        })
+    }
+
+    /// Panicking wrapper around [`OnlineSolver::try_step`], kept for the
+    /// bench binaries and quick scripts.
+    pub fn step(&mut self, data: &SnapshotData<'_>) -> OnlineStepResult {
+        self.try_step(data).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// First-snapshot behaviour check: true until [`OnlineSolver::step`]
@@ -499,6 +586,92 @@ mod tests {
                 w[1].total()
             );
         }
+    }
+
+    #[test]
+    fn restore_from_state_is_bit_identical() {
+        let users: Vec<usize> = (0..6).collect();
+        let mut original = OnlineSolver::new(config());
+        for t in 0..2u64 {
+            let (xp, xu, xr, graph, sf0, _) = snapshot(&users, 25, 10, t + 40);
+            let input = TriInput {
+                xp: &xp,
+                xu: &xu,
+                xr: &xr,
+                graph: &graph,
+                sf0: &sf0,
+            };
+            original.step(&SnapshotData {
+                input,
+                user_ids: &users,
+            });
+        }
+        let mut restored =
+            OnlineSolver::from_state(original.config().clone(), original.export_state()).unwrap();
+        assert_eq!(restored.steps(), original.steps());
+        let (xp, xu, xr, graph, sf0, _) = snapshot(&users, 25, 10, 99);
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
+        let data = SnapshotData {
+            input,
+            user_ids: &users,
+        };
+        let a = original.step(&data);
+        let b = restored.step(&data);
+        assert_eq!(a.objective, b.objective);
+        assert_eq!(a.factors.su, b.factors.su);
+        assert_eq!(a.factors.sf, b.factors.sf);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn from_state_rejects_tampered_temporal_state() {
+        use crate::error::TgsErrorKind;
+        use tgs_linalg::DenseMatrix;
+        // sf window with the wrong class count
+        let bad_window = OnlineSolverState {
+            steps: 1,
+            sf_window: vec![DenseMatrix::zeros(4, 5)],
+            history_step: 1,
+            history_rows: vec![],
+        };
+        let err = OnlineSolver::from_state(config(), bad_window).unwrap_err();
+        assert_eq!(err.kind(), TgsErrorKind::CorruptCheckpoint);
+        // history entry whose step lies beyond the restored counter
+        let bad_history = OnlineSolverState {
+            steps: 1,
+            sf_window: vec![],
+            history_step: 1,
+            history_rows: vec![(7, vec![(5, vec![0.5, 0.5])])],
+        };
+        let err = OnlineSolver::from_state(config(), bad_history).unwrap_err();
+        assert_eq!(err.kind(), TgsErrorKind::CorruptCheckpoint);
+    }
+
+    #[test]
+    fn try_step_reports_user_id_mismatch() {
+        let users = vec![0, 1, 2, 3];
+        let (xp, xu, xr, graph, sf0, _) = snapshot(&users, 20, 10, 1);
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
+        let mut solver = OnlineSolver::new(config());
+        let err = solver
+            .try_step(&SnapshotData {
+                input,
+                user_ids: &users[..3],
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), crate::error::TgsErrorKind::UserIdCountMismatch);
     }
 
     #[test]

@@ -74,13 +74,26 @@ impl SnapshotStore {
         self.used_bytes
     }
 
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
     /// Stores a matrix under `timestamp`, evicting the oldest snapshots
-    /// until the budget is met. A single snapshot larger than the whole
-    /// budget is still stored (the budget then holds exactly one entry).
+    /// until the budget is met. Re-putting an existing timestamp
+    /// *overwrites* it in place (the old entry's bytes are released, not
+    /// double-counted). A single snapshot larger than the whole budget is
+    /// still stored (the budget then holds exactly one entry).
     pub fn put(&mut self, timestamp: u64, matrix: &DenseMatrix) {
         let encoded = encode_matrix(matrix);
-        self.used_bytes += encoded.len();
-        self.entries.push_back((timestamp, encoded));
+        if let Some(slot) = self.entries.iter_mut().find(|(t, _)| *t == timestamp) {
+            self.used_bytes -= slot.1.len();
+            self.used_bytes += encoded.len();
+            slot.1 = encoded;
+        } else {
+            self.used_bytes += encoded.len();
+            self.entries.push_back((timestamp, encoded));
+        }
         while self.used_bytes > self.budget_bytes && self.entries.len() > 1 {
             if let Some((_, old)) = self.entries.pop_front() {
                 self.used_bytes -= old.len();
@@ -96,9 +109,27 @@ impl SnapshotStore {
             .and_then(|(_, b)| decode_matrix(b.clone()))
     }
 
-    /// Timestamps currently retained, oldest first.
+    /// Timestamps currently retained, in ascending timestamp order
+    /// (insertion order governs eviction, not this listing).
     pub fn timestamps(&self) -> Vec<u64> {
-        self.entries.iter().map(|(t, _)| *t).collect()
+        let mut ts: Vec<u64> = self.entries.iter().map(|(t, _)| *t).collect();
+        ts.sort_unstable();
+        ts
+    }
+
+    /// The most recent retained snapshot (largest timestamp), decoded.
+    pub fn latest(&self) -> Option<(u64, DenseMatrix)> {
+        self.entries
+            .iter()
+            .max_by_key(|(t, _)| *t)
+            .and_then(|(t, b)| decode_matrix(b.clone()).map(|m| (*t, m)))
+    }
+
+    /// Iterates the retained `(timestamp, encoded bytes)` entries in
+    /// insertion (eviction) order. `Bytes` clones are cheap reference
+    /// bumps; decode on demand with [`decode_matrix`].
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Bytes)> + '_ {
+        self.entries.iter().map(|(t, b)| (*t, b.clone()))
     }
 }
 
@@ -143,6 +174,35 @@ mod tests {
         assert_eq!(store.timestamps(), vec![2, 3]);
         assert!(store.get(1).is_none());
         assert!(store.used_bytes() <= 60);
+    }
+
+    #[test]
+    fn put_overwrites_existing_timestamp() {
+        let mut store = SnapshotStore::new(1 << 20);
+        store.put(5, &DenseMatrix::filled(1, 1, 1.0));
+        let used_once = store.used_bytes();
+        store.put(5, &DenseMatrix::filled(1, 1, 9.0));
+        assert_eq!(store.len(), 1, "re-put must not duplicate the entry");
+        assert_eq!(store.used_bytes(), used_once, "bytes must not double-count");
+        assert_eq!(store.get(5).unwrap().get(0, 0), 9.0);
+    }
+
+    #[test]
+    fn timestamps_sorted_latest_and_iter() {
+        let mut store = SnapshotStore::new(1 << 20);
+        store.put(9, &DenseMatrix::filled(1, 1, 9.0));
+        store.put(3, &DenseMatrix::filled(1, 1, 3.0));
+        store.put(6, &DenseMatrix::filled(1, 1, 6.0));
+        assert_eq!(store.timestamps(), vec![3, 6, 9]);
+        let (t, m) = store.latest().unwrap();
+        assert_eq!(t, 9);
+        assert_eq!(m.get(0, 0), 9.0);
+        // iter preserves insertion order and round-trips through decode
+        let decoded: Vec<(u64, f64)> = store
+            .iter()
+            .map(|(t, b)| (t, decode_matrix(b).unwrap().get(0, 0)))
+            .collect();
+        assert_eq!(decoded, vec![(9, 9.0), (3, 3.0), (6, 6.0)]);
     }
 
     #[test]

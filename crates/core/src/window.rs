@@ -8,6 +8,14 @@ use std::collections::{HashMap, VecDeque};
 
 use tgs_linalg::DenseMatrix;
 
+/// A user's checkpointed history: `(step, Su row)` observations, newest
+/// first (the in-memory order of [`SentimentHistory`]).
+pub type UserHistoryRows = Vec<(u64, Vec<f64>)>;
+
+/// The whole per-user history in checkpointable form: `(user, entries)`
+/// pairs sorted by user id.
+pub type HistoryRows = Vec<(usize, UserHistoryRows)>;
+
 /// Ring buffer of the last `w − 1` feature-cluster matrices `Sf(t−i)`.
 #[derive(Debug, Clone)]
 pub struct FactorWindow {
@@ -47,6 +55,24 @@ impl FactorWindow {
         while self.buf.len() > self.window.saturating_sub(1) {
             self.buf.pop_back();
         }
+    }
+
+    /// The retained snapshots, most recent (`i = 1`) first. Exposed for
+    /// checkpointing; pair with [`FactorWindow::restore`].
+    pub fn snapshots(&self) -> impl Iterator<Item = &DenseMatrix> {
+        self.buf.iter()
+    }
+
+    /// Rebuilds a window from checkpointed snapshots (most recent first,
+    /// as produced by [`FactorWindow::snapshots`]). Snapshots beyond the
+    /// window's capacity are dropped.
+    pub fn restore(window: usize, tau: f64, normalize: bool, snapshots: Vec<DenseMatrix>) -> Self {
+        let mut w = Self::new(window, tau, normalize);
+        w.buf = snapshots
+            .into_iter()
+            .take(window.saturating_sub(1))
+            .collect();
+        w
     }
 
     /// `Sfw(t) = Σ_{i=1}^{w−1} τ^i·Sf(t−i)`, or `None` before any history
@@ -183,6 +209,61 @@ impl SentimentHistory {
             out.row_mut(i).copy_from_slice(&agg);
         }
         out
+    }
+
+    /// Exports the per-user history for checkpointing: `(user, entries)`
+    /// pairs sorted by user id, each entry a `(step, row)` observation
+    /// with the newest first (the in-memory order). Pair with
+    /// [`SentimentHistory::restore`].
+    pub fn export_rows(&self) -> HistoryRows {
+        let mut out: HistoryRows = self
+            .rows
+            .iter()
+            .map(|(&u, hist)| (u, hist.iter().cloned().collect()))
+            .collect();
+        out.sort_unstable_by_key(|(u, _)| *u);
+        out
+    }
+
+    /// Rebuilds a history from checkpointed state: the global step
+    /// counter `t` and the per-user `(step, row)` observations as
+    /// produced by [`SentimentHistory::export_rows`]. Rows whose length
+    /// disagrees with `k`, or whose step lies in the future of `t`, are
+    /// rejected (an out-of-range step would underflow the decay exponent
+    /// in [`SentimentHistory::aggregate_row`]).
+    pub fn restore(
+        k: usize,
+        window: usize,
+        tau: f64,
+        normalize: bool,
+        t: u64,
+        rows: HistoryRows,
+    ) -> Result<Self, crate::error::TgsError> {
+        let mut h = Self::new(k, window, tau, normalize);
+        h.t = t;
+        for (user, entries) in rows {
+            for (step, row) in &entries {
+                if row.len() != k {
+                    return Err(crate::error::TgsError::CorruptCheckpoint {
+                        detail: format!(
+                            "history row for user {user} at step {step} has {} classes, \
+                             expected {k}",
+                            row.len()
+                        ),
+                    });
+                }
+                if *step > t {
+                    return Err(crate::error::TgsError::CorruptCheckpoint {
+                        detail: format!(
+                            "history row for user {user} is at step {step}, beyond the \
+                             restored step counter {t}"
+                        ),
+                    });
+                }
+            }
+            h.rows.insert(user, entries.into_iter().collect());
+        }
+        Ok(h)
     }
 
     /// Records the solved `Su(t)` rows (paired with `current_users`) and

@@ -1,0 +1,169 @@
+//! Property tests over the error taxonomy: every mismatched-dimension
+//! `TriInput` returns the matching [`TgsError`] variant from
+//! `try_validate` — and never panics — and out-of-domain configurations
+//! come back as `InvalidConfig` from every `try_` entry point.
+
+use proptest::prelude::*;
+use tgs_core::{
+    try_solve_offline, OfflineConfig, OnlineConfig, OnlineSolver, SnapshotData, TgsErrorKind,
+    TriInput,
+};
+use tgs_graph::UserGraph;
+use tgs_linalg::{CsrMatrix, DenseMatrix};
+
+/// Every single-dimension corruption of an otherwise consistent input,
+/// paired with the error variant it must produce.
+#[derive(Debug, Clone, Copy)]
+enum Corruption {
+    XuCols,
+    XrRows,
+    XrCols,
+    GraphNodes,
+    Sf0Rows,
+    Sf0Cols,
+}
+
+impl Corruption {
+    const ALL: [Corruption; 6] = [
+        Corruption::XuCols,
+        Corruption::XrRows,
+        Corruption::XrCols,
+        Corruption::GraphNodes,
+        Corruption::Sf0Rows,
+        Corruption::Sf0Cols,
+    ];
+
+    fn expected_kind(self) -> TgsErrorKind {
+        match self {
+            Corruption::XuCols => TgsErrorKind::FeatureDimMismatch,
+            Corruption::XrRows | Corruption::XrCols => TgsErrorKind::InteractionShapeMismatch,
+            Corruption::GraphNodes => TgsErrorKind::GraphSizeMismatch,
+            Corruption::Sf0Rows | Corruption::Sf0Cols => TgsErrorKind::PriorShapeMismatch,
+        }
+    }
+}
+
+/// Consistent-by-construction shapes, then one dimension perturbed.
+struct Parts {
+    xp: CsrMatrix,
+    xu: CsrMatrix,
+    xr: CsrMatrix,
+    graph: UserGraph,
+    sf0: DenseMatrix,
+}
+
+fn build_parts(
+    n: usize,
+    m: usize,
+    l: usize,
+    k: usize,
+    corruption: Option<Corruption>,
+    delta: usize,
+) -> Parts {
+    let bump = |base: usize, hit: bool| if hit { base + delta } else { base };
+    let c = corruption;
+    Parts {
+        xp: CsrMatrix::from_triplets(n, l, &[]).unwrap(),
+        xu: CsrMatrix::from_triplets(m, bump(l, matches!(c, Some(Corruption::XuCols))), &[])
+            .unwrap(),
+        xr: CsrMatrix::from_triplets(
+            bump(m, matches!(c, Some(Corruption::XrRows))),
+            bump(n, matches!(c, Some(Corruption::XrCols))),
+            &[],
+        )
+        .unwrap(),
+        graph: UserGraph::empty(bump(m, matches!(c, Some(Corruption::GraphNodes)))),
+        sf0: DenseMatrix::zeros(
+            bump(l, matches!(c, Some(Corruption::Sf0Rows))),
+            bump(k, matches!(c, Some(Corruption::Sf0Cols))),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_shape_corruption_maps_to_its_variant(
+        n in 1usize..6,
+        m in 1usize..6,
+        l in 1usize..6,
+        k in 2usize..5,
+        delta in 1usize..4,
+        which in 0usize..Corruption::ALL.len(),
+    ) {
+        let corruption = Corruption::ALL[which];
+        let parts = build_parts(n, m, l, k, Some(corruption), delta);
+        let input = TriInput {
+            xp: &parts.xp,
+            xu: &parts.xu,
+            xr: &parts.xr,
+            graph: &parts.graph,
+            sf0: &parts.sf0,
+        };
+        let err = input.try_validate(k).expect_err("corrupted input must fail");
+        prop_assert_eq!(err.kind(), corruption.expected_kind(), "{:?}: {}", corruption, err);
+
+        // The same violation surfaces (not panics) through the solver
+        // entry points.
+        let err = try_solve_offline(&input, &OfflineConfig { k, ..Default::default() })
+            .expect_err("offline solve must reject the corrupted input");
+        prop_assert_eq!(err.kind(), corruption.expected_kind());
+        let user_ids: Vec<usize> = (0..input.m()).collect();
+        let mut solver = OnlineSolver::try_new(OnlineConfig { k, ..Default::default() }).unwrap();
+        let err = solver
+            .try_step(&SnapshotData { input, user_ids: &user_ids })
+            .expect_err("online step must reject the corrupted input");
+        prop_assert_eq!(err.kind(), corruption.expected_kind());
+    }
+
+    #[test]
+    fn consistent_shapes_validate(
+        n in 1usize..6,
+        m in 1usize..6,
+        l in 1usize..6,
+        k in 2usize..5,
+    ) {
+        let parts = build_parts(n, m, l, k, None, 0);
+        let input = TriInput {
+            xp: &parts.xp,
+            xu: &parts.xu,
+            xr: &parts.xr,
+            graph: &parts.graph,
+            sf0: &parts.sf0,
+        };
+        prop_assert!(input.try_validate(k).is_ok());
+    }
+
+    #[test]
+    fn out_of_domain_configs_are_invalid_config(
+        alpha in prop_oneof![Just(-0.5f64), Just(1.5f64), 0.0..1.0f64],
+        gamma in prop_oneof![Just(-1.0f64), Just(2.0f64), 0.0..1.0f64],
+        tau in prop_oneof![Just(0.0f64), Just(1.5f64), 0.1..1.0f64],
+        k in 0usize..5,
+    ) {
+        let offline = OfflineConfig { k, alpha, ..Default::default() };
+        let offline_ok = k >= 2 && (0.0..=1.0).contains(&alpha);
+        match offline.try_validate() {
+            Ok(()) => prop_assert!(offline_ok),
+            Err(e) => {
+                prop_assert!(!offline_ok);
+                prop_assert_eq!(e.kind(), TgsErrorKind::InvalidConfig);
+            }
+        }
+        let online = OnlineConfig { k, alpha, gamma, tau, ..Default::default() };
+        let online_ok = offline_ok
+            && (0.0..=1.0).contains(&gamma)
+            && tau > 0.0
+            && tau <= 1.0;
+        match online.try_validate() {
+            Ok(()) => prop_assert!(online_ok),
+            Err(e) => {
+                prop_assert!(!online_ok);
+                prop_assert_eq!(e.kind(), TgsErrorKind::InvalidConfig);
+                // and the typed constructor agrees
+                prop_assert!(OnlineSolver::try_new(online.clone()).is_err());
+            }
+        }
+    }
+}

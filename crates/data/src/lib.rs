@@ -31,7 +31,8 @@ pub use config::{GeneratorConfig, PoolSizes, VolumeBurst};
 pub use generator::{daily_volume_weights, generate};
 pub use io::{read_corpus, write_corpus, CorpusIoError};
 pub use matrices::{
-    build_offline, day_windows, ProblemInstance, SnapshotBuilder, SnapshotInstance,
+    assemble_snapshot_matrices, build_offline, day_windows, ProblemInstance, SnapshotBuilder,
+    SnapshotInstance, SnapshotMatrices,
 };
 pub use model::{Corpus, Retweet, Trajectory, Tweet, UserProfile};
 pub use pools::{WordPool, WordPools};

@@ -3,7 +3,7 @@
 
 use tgs_graph::{build_interactions, Interaction, InteractionWeights, UserGraph};
 use tgs_linalg::{CsrMatrix, DenseMatrix};
-use tgs_text::{PipelineConfig, Vectorizer, Vocabulary};
+use tgs_text::{PipelineConfig, Vectorizer, Vocabulary, Weighting};
 
 use crate::model::Corpus;
 
@@ -87,6 +87,63 @@ fn interactions(corpus: &Corpus) -> (CsrMatrix, UserGraph) {
         &events,
         InteractionWeights::default(),
     )
+}
+
+/// The matrix bundle of one snapshot: everything [`assemble_snapshot_matrices`]
+/// produces from encoded documents.
+#[derive(Debug, Clone)]
+pub struct SnapshotMatrices {
+    /// Tweet–feature matrix (`n × l`).
+    pub xp: CsrMatrix,
+    /// User–feature matrix (`m × l`).
+    pub xu: CsrMatrix,
+    /// User–tweet matrix (`m × n`).
+    pub xr: CsrMatrix,
+    /// Snapshot re-tweet graph over local user indices.
+    pub graph: UserGraph,
+}
+
+/// Assembles one snapshot's tripartite matrices from already-encoded
+/// documents over a frozen global vocabulary — the single pipeline shared
+/// by [`SnapshotBuilder::snapshot`] and the `tgs-engine` ingest worker,
+/// so snapshot semantics (vectorization, interaction weights) cannot
+/// drift between the batch and streaming paths.
+///
+/// * `encoded[i]` — feature ids of document `i`;
+/// * `doc_authors[i]` — *local* (dense `0..num_users`) id of its author;
+/// * `retweets` — `(local re-tweeting user, document index)` pairs.
+pub fn assemble_snapshot_matrices(
+    vocab: &Vocabulary,
+    encoded: &[Vec<usize>],
+    doc_authors: &[usize],
+    num_users: usize,
+    retweets: &[(usize, usize)],
+    weighting: Weighting,
+) -> SnapshotMatrices {
+    let vectorizer = Vectorizer::fit(vocab, encoded, weighting);
+    let xp = vectorizer.doc_feature_matrix(encoded);
+    let xu = vectorizer.user_feature_matrix(encoded, doc_authors, num_users);
+    let mut events = Vec::with_capacity(encoded.len() + retweets.len());
+    for (doc, &author) in doc_authors.iter().enumerate() {
+        events.push(Interaction::Post {
+            user: author,
+            tweet: doc,
+        });
+    }
+    for &(user, doc) in retweets {
+        events.push(Interaction::Retweet {
+            user,
+            tweet: doc,
+            author: doc_authors[doc],
+        });
+    }
+    let (xr, graph) = build_interactions(
+        num_users,
+        encoded.len(),
+        &events,
+        InteractionWeights::default(),
+    );
+    SnapshotMatrices { xp, xu, xr, graph }
 }
 
 /// A per-snapshot instance for the online setting. Rows of `xp`/`xu`
@@ -189,7 +246,8 @@ impl SnapshotBuilder {
             .map(|(local, &id)| (id, local))
             .collect();
 
-        // Text matrices over the *global* vocabulary.
+        // Text + interaction matrices over the *global* vocabulary,
+        // through the shared assembly pipeline.
         let encoded: Vec<Vec<usize>> = tweet_ids
             .iter()
             .map(|&tid| {
@@ -197,34 +255,21 @@ impl SnapshotBuilder {
                     .encode(corpus.tweets[tid].tokens.iter().map(String::as_str))
             })
             .collect();
-        let vectorizer = Vectorizer::fit(&self.vocab, &encoded, self.config.weighting);
-        let xp = vectorizer.doc_feature_matrix(&encoded);
         let doc_user_local: Vec<usize> = tweet_ids
             .iter()
             .map(|&tid| user_local[&corpus.tweets[tid].author])
             .collect();
-        let xu = vectorizer.user_feature_matrix(&encoded, &doc_user_local, user_ids.len());
-
-        // Interaction matrices over local indices.
-        let mut events = Vec::with_capacity(tweet_ids.len() + snapshot_retweets.len());
-        for (local_tweet, &tid) in tweet_ids.iter().enumerate() {
-            events.push(Interaction::Post {
-                user: user_local[&corpus.tweets[tid].author],
-                tweet: local_tweet,
-            });
-        }
-        for r in &snapshot_retweets {
-            events.push(Interaction::Retweet {
-                user: user_local[&r.user],
-                tweet: tweet_local[&r.tweet],
-                author: user_local[&corpus.tweets[r.tweet].author],
-            });
-        }
-        let (xr, graph) = build_interactions(
+        let retweet_pairs: Vec<(usize, usize)> = snapshot_retweets
+            .iter()
+            .map(|r| (user_local[&r.user], tweet_local[&r.tweet]))
+            .collect();
+        let SnapshotMatrices { xp, xu, xr, graph } = assemble_snapshot_matrices(
+            &self.vocab,
+            &encoded,
+            &doc_user_local,
             user_ids.len(),
-            tweet_ids.len(),
-            &events,
-            InteractionWeights::default(),
+            &retweet_pairs,
+            self.config.weighting,
         );
 
         let mid_day = lo + (hi.saturating_sub(lo + 1)) / 2;

@@ -1,0 +1,228 @@
+//! Builder-style construction and validation of a [`SentimentEngine`].
+
+use tgs_core::{OfflineConfig, OnlineConfig, OnlineSolver, TgsError};
+use tgs_data::Corpus;
+use tgs_linalg::DenseMatrix;
+use tgs_text::{PipelineConfig, Vocabulary};
+
+use crate::engine::{EngineShared, EngineState, SentimentEngine};
+
+/// Default bound of the ingest queue (snapshots).
+pub const DEFAULT_QUEUE_DEPTH: usize = 8;
+/// Default byte budget of each per-snapshot factor store (64 MiB).
+pub const DEFAULT_STORE_BUDGET_BYTES: usize = 64 << 20;
+
+/// Builds a [`SentimentEngine`], wrapping [`OnlineConfig`] (and
+/// optionally [`OfflineConfig`]) with validation at `fit` time: every
+/// parameter is checked against its documented domain and violations are
+/// reported as [`TgsError::InvalidConfig`] instead of a panic.
+///
+/// ```
+/// use tgs_engine::EngineBuilder;
+/// use tgs_data::{generate, presets};
+///
+/// let corpus = generate(&presets::tiny(42));
+/// let engine = EngineBuilder::new()
+///     .k(3)
+///     .gamma(0.2)
+///     .max_iters(10)
+///     .fit(&corpus)
+///     .expect("valid configuration");
+/// assert_eq!(engine.config().k, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    config: OnlineConfig,
+    pipeline: PipelineConfig,
+    queue_depth: usize,
+    store_budget_bytes: usize,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self {
+            config: OnlineConfig::default(),
+            pipeline: PipelineConfig::paper_defaults(),
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            store_budget_bytes: DEFAULT_STORE_BUDGET_BYTES,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// A builder with the paper's online defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the whole online configuration.
+    pub fn online(mut self, config: OnlineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Seeds the shared solver parameters (`k`, `α`, `β`, iteration cap,
+    /// tolerance, seed, init) from an offline configuration, keeping the
+    /// online-only temporal knobs (`γ`, `τ`, window) at their current
+    /// values.
+    pub fn offline_defaults(mut self, offline: &OfflineConfig) -> Self {
+        self.config.k = offline.k;
+        self.config.alpha = offline.alpha;
+        self.config.beta = offline.beta;
+        self.config.max_iters = offline.max_iters;
+        self.config.tol = offline.tol;
+        self.config.seed = offline.seed;
+        self.config.init = offline.init;
+        self.config.track_objective = offline.track_objective;
+        self
+    }
+
+    /// Number of sentiment clusters `k`.
+    pub fn k(mut self, k: usize) -> Self {
+        self.config.k = k;
+        self
+    }
+
+    /// Temporal feature-regularization weight `α`.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// Graph-regularization weight `β`.
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.config.beta = beta;
+        self
+    }
+
+    /// Temporal user-regularization weight `γ`.
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.config.gamma = gamma;
+        self
+    }
+
+    /// Window decay factor `τ`.
+    pub fn tau(mut self, tau: f64) -> Self {
+        self.config.tau = tau;
+        self
+    }
+
+    /// Window size `w`.
+    pub fn window(mut self, window: usize) -> Self {
+        self.config.window = window;
+        self
+    }
+
+    /// Per-snapshot iteration cap.
+    pub fn max_iters(mut self, max_iters: usize) -> Self {
+        self.config.max_iters = max_iters;
+        self
+    }
+
+    /// Relative objective-change tolerance.
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.config.tol = tol;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Text pipeline settings (tokenizer, vocabulary, weighting, lexicon
+    /// confidence).
+    pub fn pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Bound of the ingest queue, in snapshots. Producers block only once
+    /// this many snapshots are pending.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Byte budget of each per-snapshot factor store (`Sf` and `Sp`
+    /// each); oldest snapshots are evicted beyond it.
+    pub fn store_budget_bytes(mut self, bytes: usize) -> Self {
+        self.store_budget_bytes = bytes;
+        self
+    }
+
+    fn try_validate(&self) -> Result<(), TgsError> {
+        self.config.try_validate()?;
+        if self.queue_depth == 0 {
+            return Err(TgsError::InvalidConfig {
+                field: "queue_depth",
+                message: "queue_depth must be >= 1".into(),
+            });
+        }
+        if self.store_budget_bytes == 0 {
+            return Err(TgsError::InvalidConfig {
+                field: "store_budget_bytes",
+                message: "store_budget_bytes must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Fits the global vocabulary and lexicon prior on `corpus` and
+    /// starts the engine. The corpus fixes the feature axis — snapshots
+    /// ingested later are encoded against this vocabulary, so factor
+    /// matrices align across time.
+    pub fn fit(self, corpus: &Corpus) -> Result<SentimentEngine, TgsError> {
+        self.try_validate()?;
+        let vocab = Vocabulary::build(
+            corpus
+                .tweets
+                .iter()
+                .map(|t| t.tokens.iter().map(String::as_str)),
+            &self.pipeline.vocab,
+        );
+        if vocab.is_empty() {
+            return Err(TgsError::invalid_argument(
+                "corpus yields an empty vocabulary under the configured filters",
+            ));
+        }
+        let sf0 =
+            corpus
+                .lexicon
+                .prior_matrix(&vocab, self.config.k, self.pipeline.lexicon_confidence);
+        self.start(vocab, sf0)
+    }
+
+    /// Starts the engine from an already-fitted vocabulary and `l × k`
+    /// lexicon prior (e.g. shipped with a deployed model).
+    pub fn with_vocabulary(
+        self,
+        vocab: Vocabulary,
+        sf0: DenseMatrix,
+    ) -> Result<SentimentEngine, TgsError> {
+        self.try_validate()?;
+        self.start(vocab, sf0)
+    }
+
+    fn start(self, vocab: Vocabulary, sf0: DenseMatrix) -> Result<SentimentEngine, TgsError> {
+        let expected = (vocab.len(), self.config.k);
+        if sf0.shape() != expected {
+            return Err(TgsError::PriorShapeMismatch {
+                expected,
+                got: sf0.shape(),
+            });
+        }
+        let solver = OnlineSolver::try_new(self.config.clone())?;
+        let shared = EngineShared {
+            vocab,
+            sf0,
+            config: self.config,
+            tokenizer: self.pipeline.tokenizer,
+            weighting: self.pipeline.weighting,
+            queue_depth: self.queue_depth,
+        };
+        let state = EngineState::new(self.store_budget_bytes);
+        Ok(SentimentEngine::start(shared, solver, state))
+    }
+}

@@ -1,0 +1,529 @@
+//! Byte-level checkpointing of a whole engine session.
+//!
+//! The format is a versioned little-endian stream:
+//! configuration → vocabulary → lexicon prior → solver temporal state
+//! (`Sf` window, per-user history, step counter) → recorded timeline →
+//! per-user observations → the bounded `Sf`/`Sp` factor stores. Every
+//! read is bounds-checked; structural violations surface as
+//! [`TgsError::CorruptCheckpoint`], never a panic.
+//!
+//! Restoration is exact: matrices round-trip bit-for-bit (f64 ↔ LE bits),
+//! so a restored engine produces identical results for identical
+//! subsequent snapshots.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tgs_core::{
+    decode_matrix, encode_matrix, InitStrategy, OnlineConfig, OnlineSolver, OnlineSolverState,
+    SnapshotStore, TgsError,
+};
+use tgs_linalg::DenseMatrix;
+use tgs_text::{TokenizerConfig, Vocabulary, Weighting};
+
+use crate::engine::{EngineShared, EngineState};
+use crate::query::TimelineEntry;
+
+/// Magic + format version prefix.
+const MAGIC: &[u8; 8] = b"TGSENG\x00\x01";
+
+/// A serialized engine session. Obtain from
+/// [`crate::SentimentEngine::checkpoint`]; rebuild with
+/// [`crate::SentimentEngine::restore`]. The raw bytes are stable for a
+/// given format version and safe to persist to disk or ship between
+/// machines of any endianness.
+#[derive(Debug, Clone)]
+pub struct EngineCheckpoint {
+    bytes: Bytes,
+}
+
+impl EngineCheckpoint {
+    /// Wraps previously serialized checkpoint bytes (e.g. read back from
+    /// disk). Validation happens at [`crate::SentimentEngine::restore`].
+    pub fn from_bytes(data: Vec<u8>) -> Self {
+        Self {
+            bytes: Bytes::from(data),
+        }
+    }
+
+    /// The serialized byte stream.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.bytes.as_slice()
+    }
+
+    /// Serialized size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the checkpoint holds no bytes (never produced by
+    /// [`crate::SentimentEngine::checkpoint`]).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checked read/write helpers over the vendored `bytes` surface.
+// ---------------------------------------------------------------------
+
+fn corrupt(what: &str) -> TgsError {
+    TgsError::corrupt(format!("truncated or malformed field: {what}"))
+}
+
+fn rd_u64(b: &mut Bytes, what: &str) -> Result<u64, TgsError> {
+    if b.remaining() < 8 {
+        return Err(corrupt(what));
+    }
+    Ok(b.get_u64_le())
+}
+
+fn rd_usize(b: &mut Bytes, what: &str) -> Result<usize, TgsError> {
+    usize::try_from(rd_u64(b, what)?).map_err(|_| corrupt(what))
+}
+
+fn rd_f64(b: &mut Bytes, what: &str) -> Result<f64, TgsError> {
+    if b.remaining() < 8 {
+        return Err(corrupt(what));
+    }
+    Ok(b.get_f64_le())
+}
+
+fn rd_u8(b: &mut Bytes, what: &str) -> Result<u8, TgsError> {
+    if b.remaining() < 1 {
+        return Err(corrupt(what));
+    }
+    let mut byte = [0u8; 1];
+    b.copy_to_slice(&mut byte);
+    Ok(byte[0])
+}
+
+fn rd_bool(b: &mut Bytes, what: &str) -> Result<bool, TgsError> {
+    match rd_u8(b, what)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(corrupt(what)),
+    }
+}
+
+/// Guards list headers: each element needs at least `elem_bytes`, so a
+/// corrupt count can't trigger a huge allocation.
+fn rd_count(b: &mut Bytes, elem_bytes: usize, what: &str) -> Result<usize, TgsError> {
+    let count = rd_usize(b, what)?;
+    if count.saturating_mul(elem_bytes.max(1)) > b.remaining() {
+        return Err(corrupt(what));
+    }
+    Ok(count)
+}
+
+fn wr_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u64_le(s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn rd_str(b: &mut Bytes, what: &str) -> Result<String, TgsError> {
+    let len = rd_count(b, 1, what)?;
+    let mut raw = vec![0u8; len];
+    b.copy_to_slice(&mut raw);
+    String::from_utf8(raw).map_err(|_| corrupt(what))
+}
+
+fn wr_matrix(buf: &mut BytesMut, m: &DenseMatrix) {
+    let encoded = encode_matrix(m);
+    buf.put_u64_le(encoded.len() as u64);
+    buf.put_slice(encoded.as_slice());
+}
+
+fn rd_matrix(b: &mut Bytes, what: &str) -> Result<DenseMatrix, TgsError> {
+    let len = rd_count(b, 1, what)?;
+    let mut raw = vec![0u8; len];
+    b.copy_to_slice(&mut raw);
+    decode_matrix(Bytes::from(raw)).ok_or_else(|| corrupt(what))
+}
+
+fn init_to_u8(init: InitStrategy) -> u8 {
+    match init {
+        InitStrategy::Random => 0,
+        InitStrategy::LexiconSeeded => 1,
+    }
+}
+
+fn init_from_u8(v: u8) -> Result<InitStrategy, TgsError> {
+    match v {
+        0 => Ok(InitStrategy::Random),
+        1 => Ok(InitStrategy::LexiconSeeded),
+        _ => Err(corrupt("init strategy")),
+    }
+}
+
+fn weighting_to_u8(w: Weighting) -> u8 {
+    match w {
+        Weighting::Counts => 0,
+        Weighting::Binary => 1,
+        Weighting::TfIdf => 2,
+    }
+}
+
+fn weighting_from_u8(v: u8) -> Result<Weighting, TgsError> {
+    match v {
+        0 => Ok(Weighting::Counts),
+        1 => Ok(Weighting::Binary),
+        2 => Ok(Weighting::TfIdf),
+        _ => Err(corrupt("weighting")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encode
+// ---------------------------------------------------------------------
+
+pub(crate) fn encode(
+    shared: &EngineShared,
+    solver: &OnlineSolver,
+    state: &EngineState,
+) -> EngineCheckpoint {
+    let mut buf = BytesMut::with_capacity(1 << 16);
+    buf.put_slice(MAGIC);
+
+    // --- Configuration ---
+    let c = &shared.config;
+    buf.put_u64_le(c.k as u64);
+    buf.put_f64_le(c.alpha);
+    buf.put_f64_le(c.beta);
+    buf.put_f64_le(c.gamma);
+    buf.put_f64_le(c.tau);
+    buf.put_u64_le(c.window as u64);
+    buf.put_slice(&[c.normalize_window as u8]);
+    buf.put_u64_le(c.max_iters as u64);
+    buf.put_f64_le(c.tol);
+    buf.put_u64_le(c.seed);
+    buf.put_slice(&[init_to_u8(c.init), c.track_objective as u8]);
+    buf.put_u64_le(shared.queue_depth as u64);
+    buf.put_u64_le(shared.tokenizer.min_token_len as u64);
+    buf.put_slice(&[
+        shared.tokenizer.keep_mentions as u8,
+        shared.tokenizer.keep_numbers as u8,
+        weighting_to_u8(shared.weighting),
+    ]);
+
+    // --- Vocabulary + prior ---
+    buf.put_u64_le(shared.vocab.len() as u64);
+    for token in shared.vocab.tokens() {
+        wr_str(&mut buf, token);
+    }
+    wr_matrix(&mut buf, &shared.sf0);
+
+    // --- Solver temporal state ---
+    let solver_state = solver.export_state();
+    buf.put_u64_le(solver_state.steps);
+    buf.put_u64_le(solver_state.sf_window.len() as u64);
+    for sf in &solver_state.sf_window {
+        wr_matrix(&mut buf, sf);
+    }
+    buf.put_u64_le(solver_state.history_step);
+    buf.put_u64_le(solver_state.history_rows.len() as u64);
+    for (user, entries) in &solver_state.history_rows {
+        buf.put_u64_le(*user as u64);
+        buf.put_u64_le(entries.len() as u64);
+        for (step, row) in entries {
+            buf.put_u64_le(*step);
+            for &v in row {
+                buf.put_f64_le(v);
+            }
+        }
+    }
+
+    // --- Timeline ---
+    buf.put_u64_le(state.timeline.len() as u64);
+    for entry in state.timeline.values() {
+        buf.put_u64_le(entry.timestamp);
+        buf.put_u64_le(entry.tweets as u64);
+        buf.put_u64_le(entry.users as u64);
+        buf.put_u64_le(entry.new_users as u64);
+        buf.put_u64_le(entry.evolving_users as u64);
+        buf.put_u64_le(entry.iterations as u64);
+        buf.put_slice(&[entry.converged as u8]);
+        buf.put_f64_le(entry.objective);
+        for &v in &entry.tweet_counts {
+            buf.put_u64_le(v as u64);
+        }
+        for &v in &entry.user_counts {
+            buf.put_u64_le(v as u64);
+        }
+    }
+
+    // --- Per-user observations (sorted by user id for determinism) ---
+    let mut users: Vec<_> = state.user_track.iter().collect();
+    users.sort_unstable_by_key(|(&u, _)| u);
+    buf.put_u64_le(users.len() as u64);
+    for (&user, track) in users {
+        buf.put_u64_le(user as u64);
+        buf.put_u64_le(track.len() as u64);
+        for (t, dist) in track {
+            buf.put_u64_le(*t);
+            for &v in dist {
+                buf.put_f64_le(v);
+            }
+        }
+    }
+
+    // --- Factor stores ---
+    for store in [&state.sf_store, &state.sp_store] {
+        buf.put_u64_le(store.budget_bytes() as u64);
+        buf.put_u64_le(store.len() as u64);
+        for (t, bytes) in store.iter() {
+            buf.put_u64_le(t);
+            buf.put_u64_le(bytes.len() as u64);
+            buf.put_slice(bytes.as_slice());
+        }
+    }
+
+    EngineCheckpoint {
+        bytes: buf.freeze(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decode
+// ---------------------------------------------------------------------
+
+pub(crate) fn decode(
+    ckpt: &EngineCheckpoint,
+) -> Result<(EngineShared, OnlineSolver, EngineState), TgsError> {
+    let mut b = ckpt.bytes.clone();
+    if b.remaining() < MAGIC.len() {
+        return Err(corrupt("magic header"));
+    }
+    let mut magic = [0u8; 8];
+    b.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TgsError::corrupt(
+            "unrecognized magic header (not a tgs-engine checkpoint, or a newer format version)",
+        ));
+    }
+
+    // --- Configuration ---
+    let k = rd_usize(&mut b, "k")?;
+    let config = OnlineConfig {
+        k,
+        alpha: rd_f64(&mut b, "alpha")?,
+        beta: rd_f64(&mut b, "beta")?,
+        gamma: rd_f64(&mut b, "gamma")?,
+        tau: rd_f64(&mut b, "tau")?,
+        window: rd_usize(&mut b, "window")?,
+        normalize_window: rd_bool(&mut b, "normalize_window")?,
+        max_iters: rd_usize(&mut b, "max_iters")?,
+        tol: rd_f64(&mut b, "tol")?,
+        seed: rd_u64(&mut b, "seed")?,
+        init: init_from_u8(rd_u8(&mut b, "init")?)?,
+        track_objective: rd_bool(&mut b, "track_objective")?,
+    };
+    config.try_validate()?;
+    let queue_depth = rd_usize(&mut b, "queue_depth")?.max(1);
+    let tokenizer = TokenizerConfig {
+        min_token_len: rd_usize(&mut b, "min_token_len")?,
+        keep_mentions: rd_bool(&mut b, "keep_mentions")?,
+        keep_numbers: rd_bool(&mut b, "keep_numbers")?,
+    };
+    let weighting = weighting_from_u8(rd_u8(&mut b, "weighting")?)?;
+
+    // --- Vocabulary + prior ---
+    let vocab_len = rd_count(&mut b, 8, "vocabulary length")?;
+    let mut tokens = Vec::with_capacity(vocab_len);
+    for _ in 0..vocab_len {
+        tokens.push(rd_str(&mut b, "vocabulary token")?);
+    }
+    let vocab = Vocabulary::from_tokens(tokens);
+    if vocab.len() != vocab_len {
+        return Err(TgsError::corrupt("duplicate vocabulary tokens"));
+    }
+    let sf0 = rd_matrix(&mut b, "sf0 prior")?;
+    if sf0.shape() != (vocab.len(), k) {
+        return Err(TgsError::corrupt(format!(
+            "sf0 prior is {}×{}, expected {}×{k}",
+            sf0.shape().0,
+            sf0.shape().1,
+            vocab.len()
+        )));
+    }
+
+    // --- Solver temporal state ---
+    let steps = rd_u64(&mut b, "solver steps")?;
+    let window_len = rd_count(&mut b, 16, "sf window length")?;
+    let mut sf_window = Vec::with_capacity(window_len);
+    for _ in 0..window_len {
+        let sf = rd_matrix(&mut b, "sf window snapshot")?;
+        // Semantic check: the window must aggregate against this
+        // vocabulary, or the first post-restore ingest would blow up
+        // inside the solver instead of failing the restore.
+        if sf.shape() != (vocab.len(), k) {
+            return Err(TgsError::corrupt(format!(
+                "sf window snapshot is {}×{}, expected {}×{k}",
+                sf.rows(),
+                sf.cols(),
+                vocab.len()
+            )));
+        }
+        sf_window.push(sf);
+    }
+    let history_step = rd_u64(&mut b, "history step")?;
+    let history_users = rd_count(&mut b, 16, "history user count")?;
+    let mut history_rows = Vec::with_capacity(history_users);
+    for _ in 0..history_users {
+        let user = rd_usize(&mut b, "history user id")?;
+        let entry_count = rd_count(&mut b, 8 * (k + 1), "history entry count")?;
+        let mut entries = Vec::with_capacity(entry_count);
+        for _ in 0..entry_count {
+            let step = rd_u64(&mut b, "history entry step")?;
+            let mut row = Vec::with_capacity(k);
+            for _ in 0..k {
+                row.push(rd_f64(&mut b, "history entry value")?);
+            }
+            entries.push((step, row));
+        }
+        history_rows.push((user, entries));
+    }
+    let solver = OnlineSolver::from_state(
+        config.clone(),
+        OnlineSolverState {
+            steps,
+            sf_window,
+            history_step,
+            history_rows,
+        },
+    )?;
+
+    // --- Timeline ---
+    let timeline_len = rd_count(&mut b, 8 * (7 + 2 * k) + 1, "timeline length")?;
+    let mut timeline = std::collections::BTreeMap::new();
+    for _ in 0..timeline_len {
+        let timestamp = rd_u64(&mut b, "timeline timestamp")?;
+        let tweets = rd_usize(&mut b, "timeline tweets")?;
+        let users = rd_usize(&mut b, "timeline users")?;
+        let new_users = rd_usize(&mut b, "timeline new users")?;
+        let evolving_users = rd_usize(&mut b, "timeline evolving users")?;
+        let iterations = rd_usize(&mut b, "timeline iterations")?;
+        let converged = rd_bool(&mut b, "timeline converged")?;
+        let objective = rd_f64(&mut b, "timeline objective")?;
+        let mut tweet_counts = Vec::with_capacity(k);
+        for _ in 0..k {
+            tweet_counts.push(rd_usize(&mut b, "timeline tweet count")?);
+        }
+        let mut user_counts = Vec::with_capacity(k);
+        for _ in 0..k {
+            user_counts.push(rd_usize(&mut b, "timeline user count")?);
+        }
+        timeline.insert(
+            timestamp,
+            TimelineEntry {
+                timestamp,
+                tweets,
+                users,
+                new_users,
+                evolving_users,
+                iterations,
+                converged,
+                objective,
+                tweet_counts,
+                user_counts,
+            },
+        );
+    }
+
+    // --- Per-user observations ---
+    let track_users = rd_count(&mut b, 16, "user track count")?;
+    let mut user_track = std::collections::HashMap::with_capacity(track_users);
+    for _ in 0..track_users {
+        let user = rd_usize(&mut b, "user track id")?;
+        let obs_count = rd_count(&mut b, 8 * (k + 1), "user observation count")?;
+        let mut track = Vec::with_capacity(obs_count);
+        for _ in 0..obs_count {
+            let t = rd_u64(&mut b, "user observation timestamp")?;
+            let mut dist = Vec::with_capacity(k);
+            for _ in 0..k {
+                dist.push(rd_f64(&mut b, "user observation value")?);
+            }
+            track.push((t, dist));
+        }
+        user_track.insert(user, track);
+    }
+
+    // --- Factor stores ---
+    let mut stores = Vec::with_capacity(2);
+    for name in ["sf store", "sp store"] {
+        let budget = rd_usize(&mut b, name)?;
+        let mut store = SnapshotStore::new(budget);
+        let entries = rd_count(&mut b, 16, name)?;
+        for _ in 0..entries {
+            let t = rd_u64(&mut b, name)?;
+            let matrix = rd_matrix(&mut b, name)?;
+            store.put(t, &matrix);
+        }
+        stores.push(store);
+    }
+    let sp_store = stores.pop().expect("two stores decoded");
+    let sf_store = stores.pop().expect("two stores decoded");
+
+    if b.remaining() != 0 {
+        return Err(TgsError::corrupt(format!(
+            "{} trailing bytes after the final field",
+            b.remaining()
+        )));
+    }
+
+    let shared = EngineShared {
+        vocab,
+        sf0,
+        config,
+        tokenizer,
+        weighting,
+        queue_depth,
+    };
+    let state = EngineState {
+        timeline,
+        user_track,
+        sf_store,
+        sp_store,
+        failures: std::collections::VecDeque::new(),
+    };
+    Ok((shared, solver, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn garbage_is_rejected_not_panicked() {
+        for bad in [
+            Vec::new(),
+            b"short".to_vec(),
+            b"NOTMAGIC________________".to_vec(),
+            MAGIC.to_vec(), // header only, truncated body
+        ] {
+            let ckpt = EngineCheckpoint::from_bytes(bad);
+            assert!(decode(&ckpt).is_err());
+        }
+    }
+
+    #[test]
+    fn truncations_of_a_valid_checkpoint_never_panic() {
+        use crate::{EngineBuilder, EngineSnapshot};
+        let corpus = tgs_data::generate(&tgs_data::presets::tiny(13));
+        let engine = EngineBuilder::new().k(3).max_iters(4).fit(&corpus).unwrap();
+        engine
+            .ingest(EngineSnapshot::from_corpus_window(
+                &corpus,
+                0,
+                corpus.num_days,
+            ))
+            .unwrap();
+        engine.flush().unwrap();
+        let full = engine.checkpoint().unwrap().as_bytes().to_vec();
+        // Every prefix must either decode (only the full stream does) or
+        // fail with a typed error — never panic.
+        for cut in (0..full.len()).step_by(97).chain([full.len() - 1]) {
+            let ckpt = EngineCheckpoint::from_bytes(full[..cut].to_vec());
+            assert!(decode(&ckpt).is_err(), "prefix of {cut} bytes decoded");
+        }
+        assert!(decode(&EngineCheckpoint::from_bytes(full)).is_ok());
+    }
+}

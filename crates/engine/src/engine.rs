@@ -1,0 +1,352 @@
+//! The streaming session facade: ingest worker, state, and lifecycle.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+use tgs_core::{OnlineConfig, OnlineSolver, SnapshotData, SnapshotStore, TgsError, TriInput};
+use tgs_data::{assemble_snapshot_matrices, SnapshotMatrices};
+use tgs_linalg::DenseMatrix;
+use tgs_text::{tokenize_features, TokenizerConfig, Vocabulary, Weighting};
+
+use crate::checkpoint::{self, EngineCheckpoint};
+use crate::query::{EngineQuery, TimelineEntry};
+use crate::snapshot::{DocContent, EngineSnapshot};
+
+/// Immutable per-engine configuration: everything the worker needs to
+/// turn an [`EngineSnapshot`] into tripartite matrices.
+pub(crate) struct EngineShared {
+    /// The frozen global vocabulary (fixes the feature axis across time).
+    pub vocab: Vocabulary,
+    /// The `l × k` lexicon prior, shared by every snapshot.
+    pub sf0: DenseMatrix,
+    /// The online solver configuration.
+    pub config: OnlineConfig,
+    /// Tokenizer for [`DocContent::Raw`] documents.
+    pub tokenizer: TokenizerConfig,
+    /// Term weighting for the snapshot matrices.
+    pub weighting: Weighting,
+    /// Bound of the ingest queue (snapshots, not bytes).
+    pub queue_depth: usize,
+}
+
+/// The mutable recorded history behind the query API.
+pub(crate) struct EngineState {
+    /// Per-snapshot aggregates, keyed by timestamp.
+    pub timeline: BTreeMap<u64, TimelineEntry>,
+    /// Per-user `(timestamp, distribution)` observations, append order.
+    pub user_track: HashMap<usize, Vec<(u64, Vec<f64>)>>,
+    /// Per-snapshot `Sf` factors (feature–sentiment), byte-budgeted.
+    pub sf_store: SnapshotStore,
+    /// Per-snapshot `Sp` factors (tweet–sentiment), byte-budgeted.
+    pub sp_store: SnapshotStore,
+    /// Ingest failures not yet surfaced through [`SentimentEngine::flush`].
+    pub failures: VecDeque<(u64, TgsError)>,
+}
+
+impl EngineState {
+    pub(crate) fn new(store_budget_bytes: usize) -> Self {
+        Self {
+            timeline: BTreeMap::new(),
+            user_track: HashMap::new(),
+            sf_store: SnapshotStore::new(store_budget_bytes),
+            sp_store: SnapshotStore::new(store_budget_bytes),
+            failures: VecDeque::new(),
+        }
+    }
+}
+
+enum Command {
+    Ingest(EngineSnapshot),
+    Sync(mpsc::Sender<()>),
+}
+
+/// A streaming sentiment session: owns the online solver, an ingest
+/// worker thread, and the queryable history.
+///
+/// Built via [`crate::EngineBuilder`]. Producers hand owned
+/// [`EngineSnapshot`]s to [`SentimentEngine::ingest`]; a dedicated worker
+/// tokenizes and vectorizes them, steps Algorithm 2, and records results
+/// into the timeline, the per-user history and the bounded factor stores.
+/// [`SentimentEngine::query`] returns a cloneable read handle; the
+/// [`SentimentEngine::checkpoint`] / [`SentimentEngine::restore`] pair
+/// round-trips the whole session (solver temporal state included) through
+/// bytes, with bit-identical subsequent results.
+pub struct SentimentEngine {
+    shared: Arc<EngineShared>,
+    state: Arc<Mutex<EngineState>>,
+    solver: Arc<Mutex<OnlineSolver>>,
+    tx: Option<SyncSender<Command>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl SentimentEngine {
+    /// Spawns the ingest worker. `solver` must have been created from
+    /// `shared.config` (the builder and the checkpoint decoder both
+    /// guarantee this).
+    pub(crate) fn start(shared: EngineShared, solver: OnlineSolver, state: EngineState) -> Self {
+        let shared = Arc::new(shared);
+        let state = Arc::new(Mutex::new(state));
+        let solver = Arc::new(Mutex::new(solver));
+        let (tx, rx) = mpsc::sync_channel(shared.queue_depth);
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let state = Arc::clone(&state);
+            let solver = Arc::clone(&solver);
+            std::thread::Builder::new()
+                .name("tgs-engine-worker".into())
+                .spawn(move || worker_loop(rx, shared, solver, state))
+                .expect("spawning the engine worker thread")
+        };
+        Self {
+            shared,
+            state,
+            solver,
+            tx: Some(tx),
+            worker: Some(worker),
+        }
+    }
+
+    /// Submits a snapshot for asynchronous processing. Returns as soon as
+    /// the snapshot is queued — producers never wait on a solve, only on
+    /// queue space once more than `queue_depth` snapshots are pending
+    /// (bounded backpressure). Processing failures surface on the next
+    /// [`SentimentEngine::flush`].
+    pub fn ingest(&self, snapshot: EngineSnapshot) -> Result<(), TgsError> {
+        self.tx
+            .as_ref()
+            .ok_or(TgsError::EngineClosed)?
+            .send(Command::Ingest(snapshot))
+            .map_err(|_| TgsError::EngineClosed)
+    }
+
+    /// Blocks until every queued snapshot has been processed, then
+    /// reports the first pending ingest failure (if any) or the number of
+    /// snapshots processed so far.
+    pub fn flush(&self) -> Result<u64, TgsError> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx
+            .as_ref()
+            .ok_or(TgsError::EngineClosed)?
+            .send(Command::Sync(ack_tx))
+            .map_err(|_| TgsError::EngineClosed)?;
+        ack_rx.recv().map_err(|_| TgsError::EngineClosed)?;
+        if let Some((_, e)) = self.state.lock().failures.pop_front() {
+            return Err(e);
+        }
+        Ok(self.solver.lock().steps())
+    }
+
+    /// A cloneable read handle over the recorded history.
+    pub fn query(&self) -> EngineQuery {
+        EngineQuery {
+            shared: Arc::clone(&self.shared),
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// The engine's solver configuration.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.shared.config
+    }
+
+    /// The frozen global vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.shared.vocab
+    }
+
+    /// Snapshots processed so far (committed, not queued).
+    pub fn steps(&self) -> u64 {
+        self.solver.lock().steps()
+    }
+
+    /// Drains the queue and serializes the whole session — configuration,
+    /// vocabulary, solver temporal state, timeline, per-user history and
+    /// the factor stores — into a byte-level checkpoint. Fails if a
+    /// queued snapshot failed to process (the session must be clean).
+    pub fn checkpoint(&self) -> Result<EngineCheckpoint, TgsError> {
+        self.flush()?;
+        let solver = self.solver.lock();
+        let state = self.state.lock();
+        Ok(checkpoint::encode(&self.shared, &solver, &state))
+    }
+
+    /// Rebuilds a session from a checkpoint. The restored engine answers
+    /// every query the original did and produces bit-identical results
+    /// for subsequently ingested snapshots.
+    pub fn restore(ckpt: &EngineCheckpoint) -> Result<Self, TgsError> {
+        let (shared, solver, state) = checkpoint::decode(ckpt)?;
+        Ok(Self::start(shared, solver, state))
+    }
+
+    /// Drains the queue and stops the worker. Equivalent to dropping the
+    /// engine, but surfaces pending ingest failures instead of discarding
+    /// them.
+    pub fn shutdown(mut self) -> Result<(), TgsError> {
+        let outcome = self.flush();
+        self.close();
+        outcome.map(|_| ())
+    }
+
+    fn close(&mut self) {
+        self.tx.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for SentimentEngine {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<Command>,
+    shared: Arc<EngineShared>,
+    solver: Arc<Mutex<OnlineSolver>>,
+    state: Arc<Mutex<EngineState>>,
+) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Command::Ingest(snapshot) => {
+                let timestamp = snapshot.timestamp;
+                if let Err(e) = process(&shared, &solver, &state, snapshot) {
+                    state.lock().failures.push_back((timestamp, e));
+                }
+            }
+            Command::Sync(ack) => {
+                let _ = ack.send(());
+            }
+        }
+    }
+}
+
+/// Turns one owned snapshot into matrices, steps the solver, and commits
+/// the results. Runs on the worker thread.
+fn process(
+    shared: &EngineShared,
+    solver: &Mutex<OnlineSolver>,
+    state: &Mutex<EngineState>,
+    snapshot: EngineSnapshot,
+) -> Result<(), TgsError> {
+    let EngineSnapshot {
+        timestamp,
+        docs,
+        retweets,
+    } = snapshot;
+    if docs.is_empty() {
+        // Nothing to solve; empty slices do not advance the stream.
+        return Ok(());
+    }
+    // The solver's temporal state (window, per-user history) is
+    // append-only: replaying a timestamp would weight that slice twice in
+    // the Sfw/Suw aggregates. Reject instead of silently biasing.
+    if state.lock().timeline.contains_key(&timestamp) {
+        return Err(TgsError::invalid_argument(format!(
+            "timestamp {timestamp} already ingested; the stream is append-only"
+        )));
+    }
+    let k = shared.config.k;
+
+    // --- Tokenize (raw text) / adopt (pre-tokenized) ---
+    let mut doc_users = Vec::with_capacity(docs.len());
+    let mut tokenized: Vec<Vec<String>> = Vec::with_capacity(docs.len());
+    for doc in docs {
+        doc_users.push(doc.user);
+        tokenized.push(match doc.content {
+            DocContent::Raw(text) => tokenize_features(&text, &shared.tokenizer),
+            DocContent::Tokens(tokens) => tokens,
+        });
+    }
+    let n = tokenized.len();
+    for r in &retweets {
+        if r.doc >= n {
+            return Err(TgsError::invalid_argument(format!(
+                "retweet references document {} but the snapshot has {n}",
+                r.doc
+            )));
+        }
+    }
+
+    // --- Local user index (global ids may be sparse) ---
+    let mut user_ids: Vec<usize> = doc_users
+        .iter()
+        .copied()
+        .chain(retweets.iter().map(|r| r.user))
+        .collect();
+    user_ids.sort_unstable();
+    user_ids.dedup();
+    let local: HashMap<usize, usize> = user_ids.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+    let m = user_ids.len();
+
+    // --- Vectorize + assemble through the shared snapshot pipeline ---
+    let encoded: Vec<Vec<usize>> = tokenized
+        .iter()
+        .map(|d| shared.vocab.encode(d.iter().map(String::as_str)))
+        .collect();
+    let doc_user_local: Vec<usize> = doc_users.iter().map(|u| local[u]).collect();
+    let retweet_pairs: Vec<(usize, usize)> =
+        retweets.iter().map(|r| (local[&r.user], r.doc)).collect();
+    let SnapshotMatrices { xp, xu, xr, graph } = assemble_snapshot_matrices(
+        &shared.vocab,
+        &encoded,
+        &doc_user_local,
+        m,
+        &retweet_pairs,
+        shared.weighting,
+    );
+
+    // --- Solve ---
+    let input = TriInput {
+        xp: &xp,
+        xu: &xu,
+        xr: &xr,
+        graph: &graph,
+        sf0: &shared.sf0,
+    };
+    let step = solver.lock().try_step(&SnapshotData {
+        input,
+        user_ids: &user_ids,
+    })?;
+
+    // --- Commit ---
+    let mut tweet_counts = vec![0usize; k];
+    for &label in &step.tweet_labels() {
+        tweet_counts[label] += 1;
+    }
+    let mut user_counts = vec![0usize; k];
+    for &label in &step.user_labels() {
+        user_counts[label] += 1;
+    }
+    let mut su_dist = step.factors.su.clone();
+    su_dist.normalize_rows_l1();
+    let entry = TimelineEntry {
+        timestamp,
+        tweets: n,
+        users: m,
+        new_users: step.partition.new_rows.len(),
+        evolving_users: step.partition.evolving_rows.len(),
+        iterations: step.iterations,
+        converged: step.converged,
+        objective: step.objective,
+        tweet_counts,
+        user_counts,
+    };
+    let mut st = state.lock();
+    st.timeline.insert(timestamp, entry);
+    for (row, &user) in user_ids.iter().enumerate() {
+        // Timestamps are unique (checked above), so plain appends; the
+        // queries sort / max-filter, so out-of-order ingest is fine.
+        st.user_track
+            .entry(user)
+            .or_default()
+            .push((timestamp, su_dist.row(row).to_vec()));
+    }
+    st.sf_store.put(timestamp, &step.factors.sf);
+    st.sp_store.put(timestamp, &step.factors.sp);
+    Ok(())
+}

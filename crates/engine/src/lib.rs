@@ -1,0 +1,275 @@
+//! # tgs-engine
+//!
+//! The streaming session facade over the online tri-clustering solver
+//! (Algorithm 2 of Zhu et al., SIGMOD 2014): one stable seam that owns
+//! the full dynamic-sentiment lifecycle so callers never hand-wire
+//! `TriInput`, `OnlineSolver`, windows and stores themselves.
+//!
+//! * [`EngineBuilder`] — builder-style configuration with typed
+//!   validation (`TgsError::InvalidConfig` instead of panics);
+//! * [`SentimentEngine`] — owns a bounded ingest queue and a worker
+//!   thread: producers submit owned [`EngineSnapshot`]s and never block
+//!   on a solve; the worker tokenizes, vectorizes, assembles the
+//!   tripartite matrices, steps the solver and records results;
+//! * [`EngineQuery`] — the read side: `user_sentiment(user, at)`,
+//!   `timeline(range)`, `cluster_summary(t)`, `top_words(t, k)` over the
+//!   recorded history;
+//! * [`EngineCheckpoint`] — byte-exact checkpoint/restore of the whole
+//!   session, including the solver's temporal state.
+//!
+//! ```
+//! use tgs_data::{day_windows, generate, presets};
+//! use tgs_engine::{EngineBuilder, EngineSnapshot};
+//!
+//! let corpus = generate(&presets::tiny(42));
+//! let engine = EngineBuilder::new().k(3).max_iters(10).fit(&corpus).unwrap();
+//! for (lo, hi) in day_windows(corpus.num_days, 4) {
+//!     engine
+//!         .ingest(EngineSnapshot::from_corpus_window(&corpus, lo, hi))
+//!         .unwrap();
+//! }
+//! engine.flush().unwrap();
+//! let query = engine.query();
+//! let timeline = query.timeline(..);
+//! assert!(!timeline.is_empty());
+//! assert_eq!(timeline[0].tweet_counts.len(), 3);
+//! ```
+
+pub mod builder;
+pub mod checkpoint;
+mod engine;
+pub mod query;
+pub mod snapshot;
+
+pub use builder::{EngineBuilder, DEFAULT_QUEUE_DEPTH, DEFAULT_STORE_BUDGET_BYTES};
+pub use checkpoint::EngineCheckpoint;
+pub use engine::SentimentEngine;
+pub use query::{ClusterSummary, EngineQuery, TimelineEntry, UserSentiment};
+pub use snapshot::{DocContent, EngineDoc, EngineRetweet, EngineSnapshot};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgs_core::{TgsError, TgsErrorKind};
+    use tgs_data::{day_windows, generate, presets, GeneratorConfig};
+
+    fn corpus() -> tgs_data::Corpus {
+        generate(&GeneratorConfig {
+            num_users: 20,
+            total_tweets: 160,
+            num_days: 8,
+            ..Default::default()
+        })
+    }
+
+    fn engine_over(corpus: &tgs_data::Corpus) -> SentimentEngine {
+        EngineBuilder::new()
+            .k(3)
+            .max_iters(8)
+            .fit(corpus)
+            .expect("valid build")
+    }
+
+    #[test]
+    fn builder_rejects_bad_config_with_typed_error() {
+        let err = EngineBuilder::new()
+            .alpha(3.0)
+            .fit(&corpus())
+            .err()
+            .expect("alpha out of domain");
+        assert_eq!(err.kind(), TgsErrorKind::InvalidConfig);
+        let err = EngineBuilder::new()
+            .queue_depth(0)
+            .fit(&corpus())
+            .err()
+            .expect("queue depth zero");
+        assert_eq!(err.kind(), TgsErrorKind::InvalidConfig);
+    }
+
+    #[test]
+    fn ingest_flush_query_roundtrip() {
+        let c = corpus();
+        let engine = engine_over(&c);
+        for (lo, hi) in day_windows(c.num_days, 2) {
+            engine
+                .ingest(EngineSnapshot::from_corpus_window(&c, lo, hi))
+                .unwrap();
+        }
+        let steps = engine.flush().unwrap();
+        assert!(steps >= 3);
+        let query = engine.query();
+        let timeline = query.timeline(..);
+        assert_eq!(timeline.len() as u64, steps);
+        let total: usize = timeline.iter().map(|e| e.tweets).sum();
+        assert_eq!(total, c.num_tweets());
+        // range query slices the same history
+        let first_two = query.timeline(..timeline[2].timestamp);
+        assert_eq!(first_two.len(), 2);
+        // cluster_summary mirrors the timeline entry
+        let summary = query.cluster_summary(timeline[0].timestamp).unwrap();
+        assert_eq!(summary.tweet_counts, timeline[0].tweet_counts);
+        let shares: f64 = summary.tweet_shares.iter().sum();
+        assert!((shares - 1.0).abs() < 1e-9);
+        // top_words answers for a recorded snapshot with real tokens
+        let words = query.top_words(timeline[0].timestamp, 5).unwrap();
+        assert_eq!(words.len(), 3);
+        assert!(words.iter().all(|cluster| !cluster.is_empty()));
+        // user queries answer for an author of the first snapshot
+        let user = c.tweets[0].author;
+        let s = query
+            .user_sentiment(user, timeline.last().unwrap().timestamp)
+            .unwrap();
+        assert_eq!(s.distribution.len(), 3);
+        assert!((s.distribution.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(s.label() < 3);
+    }
+
+    #[test]
+    fn unknown_queries_fail_typed() {
+        let c = corpus();
+        let engine = engine_over(&c);
+        engine
+            .ingest(EngineSnapshot::from_corpus_window(&c, 0, c.num_days))
+            .unwrap();
+        engine.flush().unwrap();
+        let query = engine.query();
+        assert_eq!(
+            query.user_sentiment(999_999, 10).unwrap_err().kind(),
+            TgsErrorKind::UnknownUser
+        );
+        assert_eq!(
+            query.cluster_summary(777).unwrap_err().kind(),
+            TgsErrorKind::SnapshotUnavailable
+        );
+        assert_eq!(
+            query.top_words(777, 3).unwrap_err().kind(),
+            TgsErrorKind::SnapshotUnavailable
+        );
+    }
+
+    #[test]
+    fn bad_retweet_reference_surfaces_on_flush() {
+        let c = corpus();
+        let engine = engine_over(&c);
+        let mut snap = EngineSnapshot::new(0);
+        snap.push_tokens(1, vec!["hello".into()]);
+        snap.push_retweet(2, 5); // no such document
+        engine.ingest(snap).unwrap();
+        let err = engine.flush().unwrap_err();
+        assert_eq!(err.kind(), TgsErrorKind::InvalidArgument);
+        // the engine stays usable afterwards
+        engine
+            .ingest(EngineSnapshot::from_corpus_window(&c, 0, c.num_days))
+            .unwrap();
+        assert_eq!(engine.flush().unwrap(), 1);
+    }
+
+    #[test]
+    #[allow(clippy::reversed_empty_ranges)]
+    fn inverted_or_empty_timeline_ranges_return_empty() {
+        let c = corpus();
+        let engine = engine_over(&c);
+        for (lo, hi) in day_windows(c.num_days, 2) {
+            engine
+                .ingest(EngineSnapshot::from_corpus_window(&c, lo, hi))
+                .unwrap();
+        }
+        engine.flush().unwrap();
+        let query = engine.query();
+        assert!(!query.timeline(..).is_empty());
+        // No panic, just empty results (BTreeMap::range would panic).
+        assert!(query.timeline(5..3).is_empty());
+        assert!(query.timeline(7..=2).is_empty());
+        assert!(query.timeline(3..3).is_empty());
+        assert!(query
+            .timeline((
+                std::ops::Bound::Excluded(u64::MAX),
+                std::ops::Bound::Unbounded
+            ))
+            .is_empty());
+    }
+
+    #[test]
+    fn duplicate_timestamps_are_rejected_not_double_counted() {
+        let c = corpus();
+        let engine = engine_over(&c);
+        let snap = EngineSnapshot::from_corpus_window(&c, 0, c.num_days);
+        engine.ingest(snap.clone()).unwrap();
+        engine.flush().unwrap();
+        engine.ingest(snap).unwrap();
+        let err = engine.flush().unwrap_err();
+        assert_eq!(err.kind(), TgsErrorKind::InvalidArgument);
+        // The solver stepped exactly once; the stream stays clean.
+        assert_eq!(engine.steps(), 1);
+        assert_eq!(engine.query().timeline(..).len(), 1);
+    }
+
+    #[test]
+    fn empty_snapshots_are_skipped() {
+        let c = corpus();
+        let engine = engine_over(&c);
+        engine.ingest(EngineSnapshot::new(3)).unwrap();
+        assert_eq!(engine.flush().unwrap(), 0);
+        assert!(engine.query().timeline(..).is_empty());
+    }
+
+    #[test]
+    fn raw_text_documents_are_tokenized_by_the_engine() {
+        let c = generate(&presets::tiny(11));
+        let engine = engine_over(&c);
+        // Build a snapshot from raw strings using real corpus tokens so
+        // some survive the frozen vocabulary.
+        let mut snap = EngineSnapshot::new(0);
+        for t in c.tweets.iter().take(30) {
+            snap.push_text(t.author, t.tokens.join(" "));
+        }
+        engine.ingest(snap).unwrap();
+        assert_eq!(engine.flush().unwrap(), 1);
+        let entry = engine.query().latest().unwrap();
+        assert_eq!(entry.tweets, 30);
+    }
+
+    #[test]
+    fn checkpoint_restore_preserves_history_and_determinism() {
+        let c = corpus();
+        let windows = day_windows(c.num_days, 2);
+        let (head, tail) = windows.split_at(windows.len() / 2);
+
+        let engine = engine_over(&c);
+        for &(lo, hi) in head {
+            engine
+                .ingest(EngineSnapshot::from_corpus_window(&c, lo, hi))
+                .unwrap();
+        }
+        engine.flush().unwrap();
+        let ckpt = engine.checkpoint().unwrap();
+        assert!(!ckpt.is_empty());
+
+        let restored = SentimentEngine::restore(&ckpt).unwrap();
+        assert_eq!(restored.steps(), engine.steps());
+        assert_eq!(
+            restored.query().timeline(..),
+            engine.query().timeline(..),
+            "restored engine must answer historical queries identically"
+        );
+
+        for &(lo, hi) in tail {
+            let snap = EngineSnapshot::from_corpus_window(&c, lo, hi);
+            engine.ingest(snap.clone()).unwrap();
+            restored.ingest(snap).unwrap();
+        }
+        engine.flush().unwrap();
+        restored.flush().unwrap();
+        let a = engine.query().timeline(..);
+        let b = restored.query().timeline(..);
+        assert_eq!(a, b, "post-restore results must be bit-identical");
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_bytes() {
+        let err = SentimentEngine::restore(&EngineCheckpoint::from_bytes(vec![0; 32]))
+            .err()
+            .expect("corrupt checkpoint must fail");
+        assert!(matches!(err, TgsError::CorruptCheckpoint { .. }));
+    }
+}

@@ -1,5 +1,6 @@
-//! Quickstart: generate a small corpus, co-cluster the tripartite graph,
-//! and read out tweet-level and user-level sentiments.
+//! Quickstart: generate a small corpus, co-cluster the tripartite graph
+//! offline, then stream it through the [`SentimentEngine`] facade and
+//! query the history.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -7,7 +8,7 @@
 
 use tripartite_sentiment::prelude::*;
 
-fn main() {
+fn main() -> Result<(), TgsError> {
     // 1. A corpus standing in for a Twitter crawl (300 tweets, 30 users).
     let corpus = generate(&presets::tiny(42));
     println!(
@@ -18,25 +19,13 @@ fn main() {
         corpus.num_days
     );
 
-    // 2. Build the tripartite matrices: Xp (tweet-feature), Xu
-    //    (user-feature), Xr (user-tweet), Gu (user-user re-tweet graph)
-    //    and the lexicon prior Sf0.
+    // 2. Offline (Algorithm 1): build the tripartite matrices and solve
+    //    the joint co-clustering problem over the whole corpus. The
+    //    `try_` entry point returns a typed `TgsError` instead of
+    //    panicking on malformed shapes or configs.
     let mut pipe = PipelineConfig::paper_defaults();
     pipe.vocab.min_count = 2;
     let inst = build_offline(&corpus, 3, &pipe);
-    println!(
-        "matrices: Xp {}x{} ({} nnz), Xu {}x{}, Xr {}x{}, Gu with {} edges",
-        inst.xp.rows(),
-        inst.xp.cols(),
-        inst.xp.nnz(),
-        inst.xu.rows(),
-        inst.xu.cols(),
-        inst.xr.rows(),
-        inst.xr.cols(),
-        inst.graph.num_edges()
-    );
-
-    // 3. Solve the joint co-clustering problem (Algorithm 1).
     let input = TriInput {
         xp: &inst.xp,
         xu: &inst.xu,
@@ -44,28 +33,54 @@ fn main() {
         graph: &inst.graph,
         sf0: &inst.sf0,
     };
-    let result = solve_offline(&input, &OfflineConfig::default());
+    let result = try_solve_offline(&input, &OfflineConfig::default())?;
     println!(
-        "solved in {} iterations (converged: {}), objective {:.1}",
+        "offline: solved in {} iterations (converged: {}), objective {:.1}",
         result.iterations, result.converged, result.objective
     );
-
-    // 4. Evaluate against the generator's ground truth.
     let tweet_acc = clustering_accuracy(&result.tweet_labels(), &inst.tweet_truth);
     let user_acc = clustering_accuracy(&result.user_labels(), &inst.user_truth);
     let tweet_nmi = nmi(&result.tweet_labels(), &inst.tweet_truth);
-    println!("tweet-level: accuracy {tweet_acc:.3}, NMI {tweet_nmi:.3}");
-    println!("user-level:  accuracy {user_acc:.3}");
+    println!("  tweet-level: accuracy {tweet_acc:.3}, NMI {tweet_nmi:.3}");
+    println!("  user-level:  accuracy {user_acc:.3}");
 
-    // 5. Inspect a few tweets with their inferred sentiment cluster.
-    let labels = result.tweet_labels();
-    println!("\nsample tweets (cluster = argmax of Sp row):");
-    for tweet in corpus.tweets.iter().take(5) {
+    // 3. Online (Algorithm 2) through the engine facade: the builder
+    //    fits the global vocabulary and lexicon prior, the engine owns
+    //    the solver, and snapshots are ingested as owned payloads.
+    let engine = EngineBuilder::new().k(3).pipeline(pipe).fit(&corpus)?;
+    for (lo, hi) in day_windows(corpus.num_days, 4) {
+        engine.ingest(EngineSnapshot::from_corpus_window(&corpus, lo, hi))?;
+    }
+    engine.flush()?;
+
+    // 4. Query the recorded history.
+    let query = engine.query();
+    println!("\nstream: {} snapshots processed", query.timeline(..).len());
+    if let Some(latest) = query.latest() {
+        let summary = query.cluster_summary(latest.timestamp)?;
+        for c in 0..summary.tweet_counts.len() {
+            println!(
+                "  t={} {:<9} {:>4} tweets ({:>5.1}%), {:>3} users",
+                latest.timestamp,
+                Sentiment::from_index(c).map(|s| s.as_str()).unwrap_or("?"),
+                summary.tweet_counts[c],
+                100.0 * summary.tweet_shares[c],
+                summary.user_counts[c],
+            );
+        }
+        // An author's estimate as of the final snapshot.
+        let author = corpus.tweets[0].author;
+        let s = query.user_sentiment(author, latest.timestamp)?;
         println!(
-            "  [cluster {}] (truth: {}) {}",
-            labels[tweet.id],
-            tweet.sentiment,
-            tweet.tokens.join(" ")
+            "  user {author} leans {} (distribution {:?})",
+            Sentiment::from_index(s.label())
+                .map(|s| s.as_str())
+                .unwrap_or("?"),
+            s.distribution
+                .iter()
+                .map(|p| (p * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>(),
         );
     }
+    Ok(())
 }

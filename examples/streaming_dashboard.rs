@@ -1,89 +1,80 @@
 //! Dynamic sentiment dashboard: stream the corpus day by day through the
-//! online solver (Algorithm 2), track the aggregate sentiment share over
-//! time, and surface individual users whose stance *changed* — the
-//! "Adam" scenario of Fig. 1 that static methods miss.
+//! [`SentimentEngine`], track the aggregate sentiment share over time,
+//! and surface individual users whose stance *changed* — the "Adam"
+//! scenario of Fig. 1 that static methods miss.
+//!
+//! Everything flows through the engine facade: snapshots are ingested on
+//! its bounded queue (the producer never waits on a solve), the timeline
+//! and per-user histories come back through [`EngineQuery`], and the
+//! session is checkpointed and restored at the end to show the query
+//! layer surviving a process restart.
 //!
 //! ```text
 //! cargo run --release --example streaming_dashboard
 //! ```
 
-use std::collections::HashMap;
-
 use tripartite_sentiment::prelude::*;
 
-fn main() {
+fn main() -> Result<(), TgsError> {
     let corpus = generate(&presets::prop30_small(7));
     let mut pipe = PipelineConfig::paper_defaults();
     pipe.vocab.min_count = 2;
-    let builder = SnapshotBuilder::new(&corpus, 3, &pipe);
-    let mut solver = OnlineSolver::new(OnlineConfig::default());
+    let engine = EngineBuilder::new().k(3).pipeline(pipe).fit(&corpus)?;
 
-    // Per-user label history: (window index, label).
-    let mut user_history: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+    // Producer side: hand the engine one snapshot per 4-day window. The
+    // ingest queue is bounded, so this loop only waits when more than
+    // `queue_depth` snapshots are pending — never on a solve.
+    for (lo, hi) in day_windows(corpus.num_days, 4) {
+        engine.ingest(EngineSnapshot::from_corpus_window(&corpus, lo, hi))?;
+    }
+    engine.flush()?;
 
+    // Read side: the aggregate timeline.
+    let query = engine.query();
     println!(
         "{:<8} {:>6} {:>6} {:>7} {:>7} {:>7}",
-        "days", "tweets", "users", "pos%", "neg%", "neu%"
+        "t", "tweets", "users", "pos%", "neg%", "neu%"
     );
-    for (step, (lo, hi)) in day_windows(corpus.num_days, 4).into_iter().enumerate() {
-        let snap = builder.snapshot(&corpus, lo, hi);
-        if snap.tweet_ids.is_empty() {
-            continue;
-        }
-        let input = TriInput {
-            xp: &snap.xp,
-            xu: &snap.xu,
-            xr: &snap.xr,
-            graph: &snap.graph,
-            sf0: builder.sf0(),
-        };
-        let result = solver.step(&SnapshotData {
-            input,
-            user_ids: &snap.user_ids,
-        });
-        let labels = result.tweet_labels();
-        let share = |class: Sentiment| {
-            100.0 * labels.iter().filter(|&&l| l == class.index()).count() as f64
-                / labels.len() as f64
-        };
+    let timeline = query.timeline(..);
+    for entry in &timeline {
+        let shares = entry.tweet_shares();
         println!(
             "{:<8} {:>6} {:>6} {:>6.1}% {:>6.1}% {:>6.1}%",
-            format!("{lo}-{hi}"),
-            snap.tweet_ids.len(),
-            snap.user_ids.len(),
-            share(Sentiment::Positive),
-            share(Sentiment::Negative),
-            share(Sentiment::Neutral),
+            entry.timestamp,
+            entry.tweets,
+            entry.users,
+            100.0 * shares[0],
+            100.0 * shares[1],
+            100.0 * shares[2],
         );
-        for (row, &u) in snap.user_ids.iter().enumerate() {
-            user_history
-                .entry(u)
-                .or_default()
-                .push((step, result.user_labels()[row]));
-        }
     }
+    let (first_t, last_t) = match (timeline.first(), timeline.last()) {
+        (Some(a), Some(b)) => (a.timestamp, b.timestamp),
+        _ => return Ok(()),
+    };
 
-    // Users whose inferred stance flipped between the first and last
-    // third of the stream.
+    // Users whose inferred stance flipped between the start and the end
+    // of the stream, via the per-user history API.
     println!("\nusers with detected stance changes (early != late estimate):");
     let mut flips = 0;
-    for (&u, hist) in user_history.iter() {
-        if hist.len() < 4 {
+    for user in 0..corpus.num_users() {
+        let (Ok(early), Ok(late)) = (
+            query.user_sentiment(user, first_t),
+            query.user_sentiment(user, last_t),
+        ) else {
             continue;
-        }
-        let early = hist[hist.len() / 4].1;
-        let late = hist[hist.len() - 1].1;
-        if early != late {
+        };
+        if early.label() != late.label() {
             flips += 1;
             if flips <= 8 {
-                let truly_flipped = corpus.users[u].trajectory.flips();
+                let truly_flipped = corpus.users[user].trajectory.flips();
                 println!(
                     "  user {:>3}: {} -> {} (ground truth {})",
-                    u,
-                    Sentiment::from_index(early)
+                    user,
+                    Sentiment::from_index(early.label())
                         .map(|s| s.as_str())
                         .unwrap_or("?"),
-                    Sentiment::from_index(late)
+                    Sentiment::from_index(late.label())
                         .map(|s| s.as_str())
                         .unwrap_or("?"),
                     if truly_flipped { "flips" } else { "stable" },
@@ -97,4 +88,27 @@ fn main() {
          true flippers among {} users",
         corpus.num_users()
     );
+
+    // The words each sentiment cluster leaned on in the final window.
+    println!("\ntop features of the final snapshot:");
+    for (c, cluster) in query.top_words(last_t, 5)?.iter().enumerate() {
+        let words: Vec<&str> = cluster.iter().map(|(w, _)| w.as_str()).collect();
+        println!(
+            "  {:<9} {}",
+            Sentiment::from_index(c).map(|s| s.as_str()).unwrap_or("?"),
+            words.join(", ")
+        );
+    }
+
+    // Checkpoint the session and restore it into a fresh engine — the
+    // whole history survives, byte-for-byte.
+    let checkpoint = engine.checkpoint()?;
+    let restored = SentimentEngine::restore(&checkpoint)?;
+    assert_eq!(restored.query().timeline(..), timeline);
+    println!(
+        "\ncheckpointed and restored the session ({} bytes, {} snapshots)",
+        checkpoint.len(),
+        restored.steps()
+    );
+    Ok(())
 }

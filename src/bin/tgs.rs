@@ -2,16 +2,20 @@
 //!
 //! ```text
 //! tgs generate --preset prop30-small --seed 42 --out corpus.tsv
-//! tgs analyze  --corpus corpus.tsv [--alpha 0.05 --beta 0.8 --k 3] --out sentiments.tsv
-//! tgs stream   --corpus corpus.tsv [--window-days 1 --gamma 0.2] --out timeline.tsv
+//! tgs analyze  --corpus corpus.tsv [--k 3 --alpha 0.05 --beta 0.8] --out sentiments.tsv
+//! tgs stream   --corpus corpus.tsv [--window-days 1 --gamma 0.2] --out timeline.tsv \
+//!              [--checkpoint engine.ckpt]
+//! tgs query    --checkpoint engine.ckpt (--timeline LO..HI | --user U [--at T] |
+//!              --summary T | --top-words T [--words N])
 //! tgs stats    --corpus corpus.tsv
 //! ```
 //!
-//! `generate` writes a synthetic corpus in the TSV interchange format;
-//! `analyze` runs the offline tri-clustering solver (Algorithm 1) and
-//! writes per-tweet and per-user sentiment assignments; `stream` runs the
-//! online solver (Algorithm 2) over daily snapshots and writes the
-//! per-timestamp results; `stats` prints Table 3-style statistics.
+//! `stream` runs the online solver (Algorithm 2) through the
+//! [`SentimentEngine`] facade and can persist the whole session as a
+//! checkpoint; `query` restores such a checkpoint and serves the history
+//! API (`timeline`, `user`, `summary`, `top-words`) without re-solving
+//! anything. Every subcommand accepts `--help`, all flags are declared in
+//! one table, and every failure is a typed [`TgsError`].
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -21,31 +25,256 @@ use std::process::ExitCode;
 use tripartite_sentiment::data::{presets, read_corpus, write_corpus, Corpus};
 use tripartite_sentiment::prelude::*;
 
+// ---------------------------------------------------------------------
+// The flag table: one declarative spec per subcommand.
+// ---------------------------------------------------------------------
+
+struct FlagSpec {
+    name: &'static str,
+    value: &'static str,
+    help: &'static str,
+    /// `None` + `required: false` = optional without default.
+    default: Option<&'static str>,
+    required: bool,
+}
+
+const fn req(name: &'static str, value: &'static str, help: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        value,
+        help,
+        default: None,
+        required: true,
+    }
+}
+
+const fn opt(
+    name: &'static str,
+    value: &'static str,
+    default: &'static str,
+    help: &'static str,
+) -> FlagSpec {
+    FlagSpec {
+        name,
+        value,
+        help,
+        default: Some(default),
+        required: false,
+    }
+}
+
+const fn maybe(name: &'static str, value: &'static str, help: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        value,
+        help,
+        default: None,
+        required: false,
+    }
+}
+
+struct CommandSpec {
+    name: &'static str,
+    about: &'static str,
+    flags: &'static [FlagSpec],
+    run: fn(&Flags) -> Result<(), TgsError>,
+}
+
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "generate",
+        about: "Write a synthetic corpus in the TSV interchange format.",
+        flags: &[
+            req(
+                "preset",
+                "NAME",
+                "tiny | prop30-small | prop37-small | prop30 | prop37",
+            ),
+            opt("seed", "N", "42", "generator RNG seed"),
+            req("out", "PATH", "output corpus file"),
+        ],
+        run: cmd_generate,
+    },
+    CommandSpec {
+        name: "analyze",
+        about: "Run the offline tri-clustering solver (Algorithm 1) over a corpus.",
+        flags: &[
+            req("corpus", "PATH", "input corpus file"),
+            opt("k", "N", "3", "number of sentiment clusters"),
+            opt("alpha", "F", "0.05", "lexicon-regularization weight"),
+            opt("beta", "F", "0.8", "graph-regularization weight"),
+            opt("iters", "N", "100", "iteration cap"),
+            opt("seed", "N", "42", "solver RNG seed"),
+            req("out", "PATH", "output sentiment assignments"),
+        ],
+        run: cmd_analyze,
+    },
+    CommandSpec {
+        name: "stream",
+        about: "Stream daily snapshots through the SentimentEngine (Algorithm 2).",
+        flags: &[
+            req("corpus", "PATH", "input corpus file"),
+            opt("window-days", "N", "1", "days per snapshot"),
+            opt("k", "N", "3", "number of sentiment clusters"),
+            opt(
+                "alpha",
+                "F",
+                "0.9",
+                "temporal feature-regularization weight",
+            ),
+            opt("beta", "F", "0.8", "graph-regularization weight"),
+            opt("gamma", "F", "0.2", "temporal user-regularization weight"),
+            opt("tau", "F", "0.9", "window decay factor"),
+            opt("iters", "N", "40", "per-snapshot iteration cap"),
+            opt("seed", "N", "42", "solver RNG seed"),
+            req("out", "PATH", "output timeline file"),
+            maybe(
+                "checkpoint",
+                "PATH",
+                "also persist the full engine session for `tgs query`",
+            ),
+        ],
+        run: cmd_stream,
+    },
+    CommandSpec {
+        name: "query",
+        about: "Serve the history API from a checkpointed engine session.",
+        flags: &[
+            req("checkpoint", "PATH", "checkpoint written by `tgs stream`"),
+            maybe(
+                "timeline",
+                "LO..HI",
+                "print timeline entries in the range (or `all`)",
+            ),
+            maybe("user", "ID", "print a user's sentiment estimate"),
+            maybe(
+                "at",
+                "T",
+                "query time for --user (default: latest snapshot)",
+            ),
+            maybe("summary", "T", "print the cluster summary of snapshot T"),
+            maybe(
+                "top-words",
+                "T",
+                "print each cluster's top features at snapshot T",
+            ),
+            opt("words", "N", "8", "feature count for --top-words"),
+        ],
+        run: cmd_query,
+    },
+    CommandSpec {
+        name: "stats",
+        about: "Print Table 3-style statistics of a corpus.",
+        flags: &[req("corpus", "PATH", "input corpus file")],
+        run: cmd_stats,
+    },
+];
+
+// ---------------------------------------------------------------------
+// The one table-driven parser.
+// ---------------------------------------------------------------------
+
+struct Flags(HashMap<&'static str, String>);
+
+impl Flags {
+    fn str(&self, key: &str) -> &str {
+        self.0
+            .get_key_value(key)
+            .map(|(_, v)| v.as_str())
+            .unwrap_or_else(|| panic!("flag --{key} missing from its command's table"))
+    }
+
+    fn str_opt(&self, key: &str) -> Option<&str> {
+        self.0.get_key_value(key).map(|(_, v)| v.as_str())
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str) -> Result<T, TgsError> {
+        parse_value(key, self.str(key))
+    }
+
+    fn get_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, TgsError> {
+        self.str_opt(key).map(|v| parse_value(key, v)).transpose()
+    }
+}
+
+fn parse_value<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, TgsError> {
+    value
+        .parse()
+        .map_err(|_| TgsError::invalid_argument(format!("bad value for --{key}: '{value}'")))
+}
+
+fn parse_flags(spec: &CommandSpec, args: &[String]) -> Result<Flags, TgsError> {
+    let mut values: HashMap<&'static str, String> = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(TgsError::invalid_argument(format!(
+                "expected --flag, got '{arg}' (see `tgs {} --help`)",
+                spec.name
+            )));
+        };
+        let Some(flag) = spec.flags.iter().find(|f| f.name == key) else {
+            return Err(TgsError::invalid_argument(format!(
+                "unknown flag --{key} for `tgs {}` (see `tgs {} --help`)",
+                spec.name, spec.name
+            )));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| TgsError::invalid_argument(format!("--{key} needs a {}", flag.value)))?;
+        values.insert(flag.name, value.clone());
+    }
+    for flag in spec.flags {
+        if values.contains_key(flag.name) {
+            continue;
+        }
+        if let Some(default) = flag.default {
+            values.insert(flag.name, default.to_string());
+        } else if flag.required {
+            return Err(TgsError::invalid_argument(format!(
+                "--{} is required (see `tgs {} --help`)",
+                flag.name, spec.name
+            )));
+        }
+    }
+    Ok(Flags(values))
+}
+
+fn command_help(spec: &CommandSpec) -> String {
+    let mut usage = format!("USAGE:\n  tgs {}", spec.name);
+    for f in spec.flags {
+        if f.required {
+            usage.push_str(&format!(" --{} <{}>", f.name, f.value));
+        } else {
+            usage.push_str(&format!(" [--{} <{}>]", f.name, f.value));
+        }
+    }
+    let mut out = format!("tgs {} — {}\n\n{usage}\n\nFLAGS:\n", spec.name, spec.about);
+    for f in spec.flags {
+        let head = format!("  --{} <{}>", f.name, f.value);
+        let suffix = match f.default {
+            Some(d) => format!("{} [default: {d}]", f.help),
+            None if f.required => format!("{} (required)", f.help),
+            None => f.help.to_string(),
+        };
+        out.push_str(&format!("{head:<24} {suffix}\n"));
+    }
+    out
+}
+
+fn global_usage() -> String {
+    let mut out = String::from(
+        "tgs — tripartite graph co-clustering for dynamic sentiment analysis\n\nCOMMANDS:\n",
+    );
+    for spec in COMMANDS {
+        out.push_str(&format!("  {:<10} {}\n", spec.name, spec.about));
+    }
+    out.push_str("\nRun `tgs <command> --help` for the command's flags.");
+    out
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = args.first() else {
-        eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
-    };
-    let flags = match parse_flags(&args[1..]) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let result = match command.as_str() {
-        "generate" => cmd_generate(&flags),
-        "analyze" => cmd_analyze(&flags),
-        "stream" => cmd_stream(&flags),
-        "stats" => cmd_stats(&flags),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command '{other}'")),
-    };
-    match result {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -54,72 +283,80 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "\
-tgs — tripartite graph co-clustering for dynamic sentiment analysis
-
-USAGE:
-  tgs generate --preset <tiny|prop30-small|prop37-small|prop30|prop37>
-               [--seed N] --out <corpus.tsv>
-  tgs analyze  --corpus <corpus.tsv> [--k N] [--alpha F] [--beta F]
-               [--iters N] [--seed N] --out <sentiments.tsv>
-  tgs stream   --corpus <corpus.tsv> [--window-days N] [--alpha F]
-               [--beta F] [--gamma F] [--tau F] --out <timeline.tsv>
-  tgs stats    --corpus <corpus.tsv>";
-
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
-    let mut flags = HashMap::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        let Some(key) = a.strip_prefix("--") else {
-            return Err(format!("expected --flag, got '{a}'"));
-        };
-        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
-        flags.insert(key.to_string(), value.clone());
+fn run(args: &[String]) -> Result<(), TgsError> {
+    let Some(command) = args.first() else {
+        eprintln!("{}", global_usage());
+        return Err(TgsError::invalid_argument("missing command"));
+    };
+    if matches!(command.as_str(), "help" | "--help" | "-h") {
+        println!("{}", global_usage());
+        return Ok(());
     }
-    Ok(flags)
-}
-
-fn flag<T: std::str::FromStr>(
-    flags: &HashMap<String, String>,
-    key: &str,
-    default: T,
-) -> Result<T, String> {
-    match flags.get(key) {
-        None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| format!("bad value for --{key}: '{v}'")),
+    let Some(spec) = COMMANDS.iter().find(|c| c.name == command.as_str()) else {
+        return Err(TgsError::invalid_argument(format!(
+            "unknown command '{command}' (run `tgs help`)"
+        )));
+    };
+    if args[1..].iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", command_help(spec));
+        return Ok(());
     }
+    let flags = parse_flags(spec, &args[1..])?;
+    (spec.run)(&flags)
 }
 
-fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
-    flags
-        .get(key)
-        .map(String::as_str)
-        .ok_or_else(|| format!("--{key} is required"))
+// ---------------------------------------------------------------------
+// Shared helpers.
+// ---------------------------------------------------------------------
+
+fn load_corpus(flags: &Flags) -> Result<Corpus, TgsError> {
+    let path = flags.str("corpus");
+    let file = File::open(path).map_err(|e| TgsError::io(format!("cannot open {path}"), e))?;
+    read_corpus(BufReader::new(file)).map_err(|e| TgsError::invalid_argument(e.to_string()))
 }
 
-fn load_corpus(flags: &HashMap<String, String>) -> Result<Corpus, String> {
-    let path = required(flags, "corpus")?;
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    read_corpus(BufReader::new(file)).map_err(|e| e.to_string())
+fn create_out(flags: &Flags) -> Result<(BufWriter<File>, String), TgsError> {
+    let path = flags.str("out").to_string();
+    let file = File::create(&path).map_err(|e| TgsError::io(format!("cannot create {path}"), e))?;
+    Ok((BufWriter::new(file), path))
 }
 
-fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
-    let seed: u64 = flag(flags, "seed", 42)?;
-    let preset = required(flags, "preset")?;
+fn write_err(e: std::io::Error) -> TgsError {
+    TgsError::io("write failed", e)
+}
+
+fn pipeline() -> PipelineConfig {
+    let mut cfg = PipelineConfig::paper_defaults();
+    cfg.vocab.min_count = 2;
+    cfg
+}
+
+fn sentiment_name(c: usize) -> &'static str {
+    Sentiment::from_index(c).map(|s| s.as_str()).unwrap_or("?")
+}
+
+// ---------------------------------------------------------------------
+// Subcommands.
+// ---------------------------------------------------------------------
+
+fn cmd_generate(flags: &Flags) -> Result<(), TgsError> {
+    let seed: u64 = flags.get("seed")?;
+    let preset = flags.str("preset");
     let cfg = match preset {
         "tiny" => presets::tiny(seed),
         "prop30-small" => presets::prop30_small(seed),
         "prop37-small" => presets::prop37_small(seed),
         "prop30" => presets::prop30(seed),
         "prop37" => presets::prop37(seed),
-        other => return Err(format!("unknown preset '{other}'")),
+        other => {
+            return Err(TgsError::invalid_argument(format!(
+                "unknown preset '{other}'"
+            )))
+        }
     };
     let corpus = generate(&cfg);
-    let out_path = required(flags, "out")?;
-    let out = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
-    write_corpus(&corpus, BufWriter::new(out)).map_err(|e| e.to_string())?;
+    let (out, out_path) = create_out(flags)?;
+    write_corpus(&corpus, out).map_err(write_err)?;
     eprintln!(
         "wrote {} tweets, {} users, {} retweets over {} days to {out_path}",
         corpus.num_tweets(),
@@ -130,23 +367,20 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn pipeline() -> PipelineConfig {
-    let mut cfg = PipelineConfig::paper_defaults();
-    cfg.vocab.min_count = 2;
-    cfg
-}
-
-fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_analyze(flags: &Flags) -> Result<(), TgsError> {
     let corpus = load_corpus(flags)?;
-    let k: usize = flag(flags, "k", 3)?;
+    let k: usize = flags.get("k")?;
     let config = OfflineConfig {
         k,
-        alpha: flag(flags, "alpha", 0.05)?,
-        beta: flag(flags, "beta", 0.8)?,
-        max_iters: flag(flags, "iters", 100)?,
-        seed: flag(flags, "seed", 42)?,
+        alpha: flags.get("alpha")?,
+        beta: flags.get("beta")?,
+        max_iters: flags.get("iters")?,
+        seed: flags.get("seed")?,
         ..Default::default()
     };
+    // Validate before building matrices: a bad --k would otherwise reach
+    // the lexicon prior as a panic instead of a typed error.
+    config.try_validate()?;
     let inst = build_offline(&corpus, k, &pipeline());
     let input = TriInput {
         xp: &inst.xp,
@@ -155,17 +389,13 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
         graph: &inst.graph,
         sf0: &inst.sf0,
     };
-    let result = solve_offline(&input, &config);
+    let result = try_solve_offline(&input, &config)?;
     eprintln!(
         "solved in {} iterations (converged: {}); objective {:.2}",
         result.iterations, result.converged, result.objective
     );
-    let out_path = required(flags, "out")?;
-    let mut out = BufWriter::new(
-        File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?,
-    );
-    let name = |c: usize| Sentiment::from_index(c).map(|s| s.as_str()).unwrap_or("?");
-    writeln!(out, "# kind\tid\tsentiment\tconfidence").map_err(|e| e.to_string())?;
+    let (mut out, out_path) = create_out(flags)?;
+    writeln!(out, "# kind\tid\tsentiment\tconfidence").map_err(write_err)?;
     let tweet_conf = tripartite_sentiment::core::label_confidence(&result.factors.sp);
     for (id, (&label, conf)) in result
         .tweet_labels()
@@ -173,7 +403,7 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
         .zip(tweet_conf.iter())
         .enumerate()
     {
-        writeln!(out, "tweet\t{id}\t{}\t{conf:.3}", name(label)).map_err(|e| e.to_string())?;
+        writeln!(out, "tweet\t{id}\t{}\t{conf:.3}", sentiment_name(label)).map_err(write_err)?;
     }
     let user_conf = tripartite_sentiment::core::label_confidence(&result.factors.su);
     for (id, (&label, conf)) in result
@@ -182,76 +412,179 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
         .zip(user_conf.iter())
         .enumerate()
     {
-        writeln!(out, "user\t{id}\t{}\t{conf:.3}", name(label)).map_err(|e| e.to_string())?;
+        writeln!(out, "user\t{id}\t{}\t{conf:.3}", sentiment_name(label)).map_err(write_err)?;
     }
     eprintln!("wrote sentiments to {out_path}");
     Ok(())
 }
 
-fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_stream(flags: &Flags) -> Result<(), TgsError> {
     let corpus = load_corpus(flags)?;
-    let window: u32 = flag(flags, "window-days", 1)?;
+    let window: u32 = flags.get("window-days")?;
+    if window == 0 {
+        return Err(TgsError::invalid_argument("--window-days must be >= 1"));
+    }
     let config = OnlineConfig {
-        alpha: flag(flags, "alpha", 0.9)?,
-        beta: flag(flags, "beta", 0.8)?,
-        gamma: flag(flags, "gamma", 0.2)?,
-        tau: flag(flags, "tau", 0.9)?,
-        max_iters: flag(flags, "iters", 40)?,
-        seed: flag(flags, "seed", 42)?,
+        k: flags.get("k")?,
+        alpha: flags.get("alpha")?,
+        beta: flags.get("beta")?,
+        gamma: flags.get("gamma")?,
+        tau: flags.get("tau")?,
+        max_iters: flags.get("iters")?,
+        seed: flags.get("seed")?,
         ..Default::default()
     };
-    let builder = SnapshotBuilder::new(&corpus, config.k, &pipeline());
-    let mut solver = OnlineSolver::new(config);
-    let out_path = required(flags, "out")?;
-    let mut out = BufWriter::new(
-        File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?,
-    );
+    let engine = EngineBuilder::new()
+        .online(config)
+        .pipeline(pipeline())
+        .fit(&corpus)?;
+    for (lo, hi) in day_windows(corpus.num_days, window) {
+        engine.ingest(EngineSnapshot::from_corpus_window(&corpus, lo, hi))?;
+    }
+    let steps = engine.flush()?;
+
+    let query = engine.query();
+    let k = query.k();
+    let (mut out, out_path) = create_out(flags)?;
+    let share_header: Vec<String> = (0..k).map(|c| format!("{}%", sentiment_name(c))).collect();
     writeln!(
         out,
-        "# day_lo\tday_hi\ttweets\tusers\tnew\tevolving\tpos%\tneg%\tneu%"
+        "# t\ttweets\tusers\tnew\tevolving\t{}",
+        share_header.join("\t")
     )
-    .map_err(|e| e.to_string())?;
-    for (lo, hi) in day_windows(corpus.num_days, window) {
-        let snap = builder.snapshot(&corpus, lo, hi);
-        if snap.tweet_ids.is_empty() {
-            continue;
-        }
-        let input = TriInput {
-            xp: &snap.xp,
-            xu: &snap.xu,
-            xr: &snap.xr,
-            graph: &snap.graph,
-            sf0: builder.sf0(),
-        };
-        let step = solver.step(&SnapshotData {
-            input,
-            user_ids: &snap.user_ids,
-        });
-        let labels = step.tweet_labels();
-        let share = |c: usize| {
-            100.0 * labels.iter().filter(|&&l| l == c).count() as f64 / labels.len() as f64
-        };
+    .map_err(write_err)?;
+    for entry in query.timeline(..) {
+        let shares: Vec<String> = entry
+            .tweet_shares()
+            .iter()
+            .map(|s| format!("{:.1}", 100.0 * s))
+            .collect();
         writeln!(
             out,
-            "{lo}\t{hi}\t{}\t{}\t{}\t{}\t{:.1}\t{:.1}\t{:.1}",
-            snap.tweet_ids.len(),
-            snap.user_ids.len(),
-            step.partition.new_rows.len(),
-            step.partition.evolving_rows.len(),
-            share(0),
-            share(1),
-            share(2),
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            entry.timestamp,
+            entry.tweets,
+            entry.users,
+            entry.new_users,
+            entry.evolving_users,
+            shares.join("\t"),
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(write_err)?;
     }
-    eprintln!(
-        "processed {} snapshots; wrote timeline to {out_path}",
-        solver.steps()
-    );
+    eprintln!("processed {steps} snapshots; wrote timeline to {out_path}");
+
+    if let Some(path) = flags.str_opt("checkpoint") {
+        let ckpt = engine.checkpoint()?;
+        std::fs::write(path, ckpt.as_bytes())
+            .map_err(|e| TgsError::io(format!("cannot write {path}"), e))?;
+        eprintln!(
+            "checkpointed the engine session ({} bytes) to {path}",
+            ckpt.len()
+        );
+    }
     Ok(())
 }
 
-fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_query(flags: &Flags) -> Result<(), TgsError> {
+    let path = flags.str("checkpoint");
+    let bytes = std::fs::read(path).map_err(|e| TgsError::io(format!("cannot read {path}"), e))?;
+    let engine = SentimentEngine::restore(&EngineCheckpoint::from_bytes(bytes))?;
+    let query = engine.query();
+
+    if let Some(range) = flags.str_opt("timeline") {
+        let (lo, hi) = parse_range(range)?;
+        for entry in query.timeline(lo..hi) {
+            let shares: Vec<String> = entry
+                .tweet_shares()
+                .iter()
+                .enumerate()
+                .map(|(c, s)| format!("{} {:.1}%", sentiment_name(c), 100.0 * s))
+                .collect();
+            println!(
+                "t={}: {} tweets, {} users ({} new, {} evolving), {}",
+                entry.timestamp,
+                entry.tweets,
+                entry.users,
+                entry.new_users,
+                entry.evolving_users,
+                shares.join(", "),
+            );
+        }
+        return Ok(());
+    }
+    if let Some(user) = flags.get_opt::<usize>("user")? {
+        let at = match flags.get_opt::<u64>("at")? {
+            Some(t) => t,
+            None => query
+                .latest()
+                .map(|e| e.timestamp)
+                .ok_or(TgsError::SnapshotUnavailable { timestamp: 0 })?,
+        };
+        let s = query.user_sentiment(user, at)?;
+        let dist: Vec<String> = s
+            .distribution
+            .iter()
+            .enumerate()
+            .map(|(c, p)| format!("{} {:.3}", sentiment_name(c), p))
+            .collect();
+        println!(
+            "user {user} at t={}: {} ({})",
+            s.timestamp,
+            sentiment_name(s.label()),
+            dist.join(", "),
+        );
+        return Ok(());
+    }
+    if let Some(t) = flags.get_opt::<u64>("summary")? {
+        let s = query.cluster_summary(t)?;
+        for c in 0..s.tweet_counts.len() {
+            println!(
+                "{:<9} {:>6} tweets ({:>5.1}%), {:>6} users",
+                sentiment_name(c),
+                s.tweet_counts[c],
+                100.0 * s.tweet_shares[c],
+                s.user_counts[c],
+            );
+        }
+        return Ok(());
+    }
+    if let Some(t) = flags.get_opt::<u64>("top-words")? {
+        let words: usize = flags.get("words")?;
+        for (c, cluster) in query.top_words(t, words)?.iter().enumerate() {
+            let listed: Vec<String> = cluster
+                .iter()
+                .map(|(w, score)| format!("{w} ({score:.3})"))
+                .collect();
+            println!("{:<9} {}", sentiment_name(c), listed.join(", "));
+        }
+        return Ok(());
+    }
+    Err(TgsError::invalid_argument(
+        "query needs one of --timeline, --user, --summary, --top-words (see `tgs query --help`)",
+    ))
+}
+
+fn parse_range(spec: &str) -> Result<(u64, u64), TgsError> {
+    if spec == "all" {
+        return Ok((0, u64::MAX));
+    }
+    let (lo, hi) = spec.split_once("..").ok_or_else(|| {
+        TgsError::invalid_argument(format!("bad range '{spec}': expected LO..HI or `all`"))
+    })?;
+    let lo = if lo.is_empty() {
+        0
+    } else {
+        parse_value("timeline", lo)?
+    };
+    let hi = if hi.is_empty() {
+        u64::MAX
+    } else {
+        parse_value("timeline", hi)?
+    };
+    Ok((lo, hi))
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), TgsError> {
     let corpus = load_corpus(flags)?;
     let s = corpus_stats(&corpus);
     println!("topic: {} ({} days)", corpus.topic, corpus.num_days);

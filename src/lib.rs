@@ -14,35 +14,53 @@
 //! * [`graph`] — the user–user re-tweet graph substrate (`Gu`, `Lu`);
 //! * [`data`] — the synthetic California-ballot corpus generator
 //!   (Prop 30 / Prop 37 presets);
-//! * [`core`] — the offline/online tri-clustering solvers;
+//! * [`core`] — the offline/online tri-clustering solvers and the
+//!   [`core::TgsError`] taxonomy;
+//! * [`engine`] — [`engine::SentimentEngine`]: the streaming session
+//!   facade (async ingest, queryable history, checkpoint/restore);
 //! * [`baselines`] — SVM, NB, LP, UserReg, ESSA, ONMTF, BACG, k-means;
 //! * [`eval`] — clustering accuracy, NMI, ARI, Hungarian assignment.
 //!
 //! ## Quickstart
+//!
+//! The streaming front door is [`engine::EngineBuilder`] /
+//! [`engine::SentimentEngine`]: build once, ingest owned snapshots, query
+//! the recorded history.
 //!
 //! ```
 //! use tripartite_sentiment::prelude::*;
 //!
 //! // 1. Generate a corpus (stand-in for the 2012 Twitter crawl).
 //! let corpus = generate(&presets::tiny(42));
-//! // 2. Assemble the tripartite matrices.
-//! let mut pipe = PipelineConfig::paper_defaults();
-//! pipe.vocab.min_count = 2;
-//! let inst = build_offline(&corpus, 3, &pipe);
-//! // 3. Co-cluster tweets, users and features.
-//! let input = TriInput {
-//!     xp: &inst.xp, xu: &inst.xu, xr: &inst.xr,
-//!     graph: &inst.graph, sf0: &inst.sf0,
-//! };
-//! let result = solve_offline(&input, &OfflineConfig::default());
-//! // 4. Evaluate against ground truth.
-//! let acc = clustering_accuracy(&result.tweet_labels(), &inst.tweet_truth);
-//! assert!(acc > 0.5);
+//! // 2. Build the engine: fits the global vocabulary + lexicon prior,
+//! //    owns the online solver (Algorithm 2) and its ingest worker.
+//! let engine = EngineBuilder::new().k(3).max_iters(10).fit(&corpus)?;
+//! // 3. Stream daily snapshots; producers never block on a solve.
+//! for (lo, hi) in day_windows(corpus.num_days, 4) {
+//!     engine.ingest(EngineSnapshot::from_corpus_window(&corpus, lo, hi))?;
+//! }
+//! engine.flush()?;
+//! // 4. Query the history: timeline, per-user sentiment, top words.
+//! let query = engine.query();
+//! let timeline = query.timeline(..);
+//! assert!(!timeline.is_empty());
+//! let t = timeline.last().unwrap().timestamp;
+//! let author = corpus.tweets[0].author;
+//! assert_eq!(query.user_sentiment(author, t)?.distribution.len(), 3);
+//! # Ok::<(), TgsError>(())
 //! ```
+//!
+//! The one-shot offline path (Algorithm 1) stays available through
+//! [`core::try_solve_offline`] — see the `quickstart` example for both
+//! side by side. Every fallible entry point reports a typed
+//! [`core::TgsError`]; the panicking variants (`solve_offline`,
+//! `OnlineSolver::step`) remain as thin wrappers for benches and
+//! scripts.
 
 pub use tgs_baselines as baselines;
 pub use tgs_core as core;
 pub use tgs_data as data;
+pub use tgs_engine as engine;
 pub use tgs_eval as eval;
 pub use tgs_graph as graph;
 pub use tgs_linalg as linalg;
@@ -56,12 +74,16 @@ pub mod prelude {
         NaiveBayes, SvmConfig, UserRegConfig,
     };
     pub use tgs_core::{
-        solve_offline, InitStrategy, ObjectiveParts, OfflineConfig, OnlineConfig, OnlineSolver,
-        SnapshotData, TriFactors, TriInput,
+        solve_offline, try_solve_offline, InitStrategy, ObjectiveParts, OfflineConfig,
+        OnlineConfig, OnlineSolver, SnapshotData, TgsError, TgsErrorKind, TriFactors, TriInput,
     };
     pub use tgs_data::{
         build_offline, corpus_stats, daily_tweet_counts, day_windows, generate, presets, top_words,
         Corpus, GeneratorConfig, ProblemInstance, SnapshotBuilder,
+    };
+    pub use tgs_engine::{
+        ClusterSummary, EngineBuilder, EngineCheckpoint, EngineDoc, EngineQuery, EngineSnapshot,
+        SentimentEngine, TimelineEntry, UserSentiment,
     };
     pub use tgs_eval::{clustering_accuracy, nmi, ConfusionMatrix};
     pub use tgs_graph::UserGraph;

@@ -1,0 +1,121 @@
+//! Engine lifecycle integration test: ingest N synthetic daily
+//! snapshots, query the timeline, checkpoint, restore into a fresh
+//! engine, and assert identical subsequent results — determinism across
+//! restore, through the full facade (tokenization, vectorization,
+//! solver, history, stores).
+
+use tripartite_sentiment::prelude::*;
+
+fn corpus() -> Corpus {
+    generate(&GeneratorConfig {
+        num_users: 24,
+        total_tweets: 220,
+        num_days: 10,
+        ..Default::default()
+    })
+}
+
+fn engine_over(corpus: &Corpus) -> SentimentEngine {
+    EngineBuilder::new()
+        .k(3)
+        .max_iters(12)
+        .seed(42)
+        .fit(corpus)
+        .expect("valid configuration")
+}
+
+fn ingest(engine: &SentimentEngine, corpus: &Corpus, windows: &[(u32, u32)]) {
+    for &(lo, hi) in windows {
+        engine
+            .ingest(EngineSnapshot::from_corpus_window(corpus, lo, hi))
+            .expect("engine accepts snapshots");
+    }
+    engine.flush().expect("all snapshots process cleanly");
+}
+
+#[test]
+fn lifecycle_ingest_query_checkpoint_restore_determinism() {
+    let c = corpus();
+    let windows = day_windows(c.num_days, 1);
+    assert!(windows.len() >= 8, "need a real stream to exercise history");
+    let (head, tail) = windows.split_at(windows.len() / 2);
+
+    // --- Phase 1: ingest the first half and query the timeline ---
+    let engine = engine_over(&c);
+    ingest(&engine, &c, head);
+    let query = engine.query();
+    let timeline = query.timeline(..);
+    assert_eq!(timeline.len() as u64, engine.steps());
+    assert!(!timeline.is_empty());
+    let head_tweets: usize = timeline.iter().map(|e| e.tweets).sum();
+    let expected: usize = head
+        .iter()
+        .map(|&(lo, hi)| c.tweets_in_days(lo, hi).len())
+        .sum();
+    assert_eq!(
+        head_tweets, expected,
+        "timeline must account for every tweet"
+    );
+    for entry in &timeline {
+        assert_eq!(entry.tweet_counts.iter().sum::<usize>(), entry.tweets);
+        assert_eq!(entry.user_counts.iter().sum::<usize>(), entry.users);
+    }
+
+    // --- Phase 2: checkpoint and restore into a fresh engine ---
+    let ckpt = engine.checkpoint().expect("clean session checkpoints");
+    let restored = SentimentEngine::restore(&ckpt).expect("checkpoint restores");
+    assert_eq!(restored.steps(), engine.steps());
+    assert_eq!(restored.query().timeline(..), timeline);
+    let last_head_t = timeline.last().unwrap().timestamp;
+    assert_eq!(
+        restored.query().top_words(last_head_t, 6).unwrap(),
+        query.top_words(last_head_t, 6).unwrap(),
+        "restored factor stores must answer identically"
+    );
+
+    // --- Phase 3: feed both engines the same subsequent snapshots ---
+    ingest(&engine, &c, tail);
+    ingest(&restored, &c, tail);
+    let a = engine.query().timeline(..);
+    let b = restored.query().timeline(..);
+    assert_eq!(
+        a, b,
+        "post-restore solves must be bit-identical (objective, counts, partitions)"
+    );
+
+    // Per-user history agrees user by user, observation by observation.
+    let last_t = a.last().unwrap().timestamp;
+    for user in 0..c.num_users() {
+        let ua = engine.query().user_sentiment(user, last_t);
+        let ub = restored.query().user_sentiment(user, last_t);
+        match (ua, ub) {
+            (Ok(sa), Ok(sb)) => assert_eq!(sa, sb, "user {user} diverged"),
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("user {user}: one engine knows them, the other not ({a:?} vs {b:?})"),
+        }
+    }
+    assert_eq!(
+        engine.query().top_words(last_t, 8).unwrap(),
+        restored.query().top_words(last_t, 8).unwrap()
+    );
+
+    // --- Phase 4: a second checkpoint cycle keeps the guarantee ---
+    let ckpt2 = restored.checkpoint().expect("restored session checkpoints");
+    let restored2 = SentimentEngine::restore(&ckpt2).expect("second restore");
+    assert_eq!(restored2.query().timeline(..), b);
+}
+
+#[test]
+fn checkpoint_bytes_roundtrip_through_storage() {
+    // Simulate persistence: serialize to raw bytes (as `tgs stream
+    // --checkpoint` writes to disk) and rebuild from the byte copy.
+    let c = corpus();
+    let engine = engine_over(&c);
+    ingest(&engine, &c, &day_windows(c.num_days, 2));
+    let ckpt = engine.checkpoint().unwrap();
+    let stored: Vec<u8> = ckpt.as_bytes().to_vec();
+    let reloaded = SentimentEngine::restore(&EngineCheckpoint::from_bytes(stored)).unwrap();
+    assert_eq!(reloaded.query().timeline(..), engine.query().timeline(..));
+    assert_eq!(reloaded.config().k, 3);
+    assert_eq!(reloaded.vocabulary().len(), engine.vocabulary().len());
+}
