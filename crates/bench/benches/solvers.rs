@@ -8,10 +8,10 @@ use rand::RngExt;
 use std::hint::black_box;
 use tgs_bench::common::pipeline;
 use tgs_core::{
-    solve_offline, updates, OfflineConfig, OnlineConfig, OnlineSolver, SnapshotData, TriFactors,
-    TriInput, UpdateWorkspace,
+    solve_offline, solve_offline_sharded, updates, OfflineConfig, OnlineConfig, OnlineSolver,
+    SnapshotData, TriFactors, TriInput, UpdateWorkspace,
 };
-use tgs_data::{build_offline, generate, GeneratorConfig, SnapshotBuilder};
+use tgs_data::{build_offline, build_offline_sharded, generate, GeneratorConfig, SnapshotBuilder};
 use tgs_graph::UserGraph;
 use tgs_linalg::{seeded_rng, CsrMatrix, DenseMatrix};
 
@@ -46,6 +46,44 @@ fn bench_offline_scaling(c: &mut Criterion) {
         };
         group.bench_with_input(BenchmarkId::new("10_iters", n), &n, |b, _| {
             b.iter(|| black_box(solve_offline(&input, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+/// The sharded-solve series: the same offline problem split into
+/// `S ∈ {1, 2, 4}` user-range shards and solved through
+/// [`solve_offline_sharded`] (parallel shard-local sweeps, one global
+/// `Sf` merge per iteration). `S = 1` measures the sharding layer's
+/// overhead against `offline_solve` (it is bit-identical in results);
+/// `S > 1` is the multi-core scaling series — on a single-vCPU host the
+/// scoped shard threads serialize, so the points there measure routing +
+/// merge overhead, not speedup (see PERF.md).
+fn bench_sharded_offline(c: &mut Criterion) {
+    let corpus = generate(&corpus_of_size(8_000));
+    let cfg = OfflineConfig {
+        k: 3,
+        max_iters: 10,
+        tol: 0.0,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("sharded_offline_solve");
+    group.sample_size(10);
+    for &shards in &[1usize, 2, 4] {
+        let problem = build_offline_sharded(&corpus, 3, shards, &pipeline());
+        let inputs: Vec<TriInput> = problem
+            .shards
+            .iter()
+            .map(|s| TriInput {
+                xp: &s.matrices.xp,
+                xu: &s.matrices.xu,
+                xr: &s.matrices.xr,
+                graph: &s.matrices.graph,
+                sf0: &problem.sf0,
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("10_iters", shards), &shards, |b, _| {
+            b.iter(|| black_box(solve_offline_sharded(&inputs, &cfg)))
         });
     }
     group.finish();
@@ -227,6 +265,7 @@ criterion_group!(
     benches,
     bench_offline_iteration_fused_vs_reference,
     bench_offline_scaling,
+    bench_sharded_offline,
     bench_online_vs_batch
 );
 criterion_main!(benches);

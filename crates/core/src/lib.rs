@@ -46,6 +46,7 @@ pub mod labels;
 pub mod objective;
 pub mod offline;
 pub mod online;
+pub mod sharded;
 pub mod store;
 pub mod updates;
 pub mod window;
@@ -64,6 +65,10 @@ pub use offline::{
     solve_offline, solve_offline_from, try_solve_offline, try_solve_offline_from, OfflineResult,
 };
 pub use online::{OnlineSolver, OnlineSolverState, OnlineStepResult, SnapshotData};
+pub use sharded::{
+    solve_offline_sharded, try_solve_offline_sharded, ShardedOfflineResult, ShardedOnlineSolver,
+    ShardedStepOutcome,
+};
 pub use store::{decode_matrix, encode_matrix, SnapshotStore};
 pub use window::{FactorWindow, HistoryRows, SentimentHistory, UserHistoryRows, UserPartition};
 pub use workspace::UpdateWorkspace;

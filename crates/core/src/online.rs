@@ -188,6 +188,37 @@ impl OnlineSolver {
     /// history. Malformed inputs are reported as the matching
     /// [`TgsError`] shape variant.
     pub fn try_step(&mut self, data: &SnapshotData<'_>) -> Result<OnlineStepResult, TgsError> {
+        self.step_impl(data, None)
+    }
+
+    /// Like [`OnlineSolver::try_step`], but sourcing the `Sfw(t)`
+    /// warm-start/regularization target from an *externally shared*
+    /// window instead of this solver's own.
+    ///
+    /// This is the seam shard-parallel solving hangs off
+    /// ([`crate::ShardedOnlineSolver`]): each shard solves its user/tweet
+    /// factors locally against the globally merged word–sentiment window,
+    /// and the coordinator — not this solver — pushes the merged `Sf(t)`
+    /// back into `shared`. The solver's own window stays untouched (and
+    /// empty when every step goes through this entry point); per-user
+    /// history still advances normally, since users are shard-local.
+    pub fn try_step_shared(
+        &mut self,
+        data: &SnapshotData<'_>,
+        shared: &FactorWindow,
+    ) -> Result<OnlineStepResult, TgsError> {
+        self.step_impl(data, Some(shared))
+    }
+
+    /// The one step implementation behind [`OnlineSolver::try_step`]
+    /// (own window) and [`OnlineSolver::try_step_shared`] (coordinator's
+    /// window). Both paths are bit-identical given windows with equal
+    /// contents.
+    fn step_impl(
+        &mut self,
+        data: &SnapshotData<'_>,
+        shared: Option<&FactorWindow>,
+    ) -> Result<OnlineStepResult, TgsError> {
         let input = &data.input;
         input.try_validate(self.config.k)?;
         if data.user_ids.len() != input.m() {
@@ -213,12 +244,10 @@ impl OnlineSolver {
             self.config.init,
             step_seed,
         );
-        let sf_target = self
-            .sf_window
-            .aggregate()
-            .unwrap_or_else(|| input.sf0.clone());
+        let sf_window = shared.unwrap_or(&self.sf_window);
+        let sf_target = sf_window.aggregate().unwrap_or_else(|| input.sf0.clone());
         // Sf(t) = Sfw(t) on non-first snapshots.
-        if !self.sf_window.is_empty() {
+        if !sf_window.is_empty() {
             factors.sf = sf_target.clone();
             factors.sf.clamp_min(tgs_linalg::FACTOR_FLOOR);
         }
@@ -315,7 +344,12 @@ impl OnlineSolver {
         let mut su_dist = factors.su.clone();
         su_dist.normalize_rows_l1();
         self.history.record(data.user_ids, &su_dist);
-        self.sf_window.push(factors.sf.clone());
+        // Under a shared window the coordinator pushes the *merged* Sf(t)
+        // after gathering every shard; pushing the local one here would
+        // desynchronize the two windows.
+        if shared.is_none() {
+            self.sf_window.push(factors.sf.clone());
+        }
         self.steps += 1;
 
         Ok(OnlineStepResult {

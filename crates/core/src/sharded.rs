@@ -1,0 +1,685 @@
+//! Shard-parallel solves sharing the global word–sentiment factor.
+//!
+//! The user/tweet axes of the tripartite problem dominate its size, so
+//! they shard cleanly by user range (see `tgs_data::UserRangePartitioner`)
+//! while the word axis — and therefore the `l × k` factor `Sf` — stays
+//! global. Both entry points here follow the same scheme:
+//!
+//! * every shard solves its local `Sp`/`Su`/`Hp`/`Hu` factors
+//!   independently (in parallel, on scoped threads);
+//! * the word–sentiment factor is **broadcast** to all shards before a
+//!   round and **merged** after it by a deterministic weighted average
+//!   (weights = shard tweet counts, accumulated in fixed shard order);
+//! * with a single shard the merge degenerates to a plain clone, which is
+//!   the mechanism behind the tested guarantee that `shards = 1` is
+//!   **bit-identical** to the unsharded [`crate::try_solve_offline`] /
+//!   [`OnlineSolver::try_step`] paths.
+//!
+//! [`try_solve_offline_sharded`] couples shards once per *iteration*;
+//! [`ShardedOnlineSolver`] couples them once per *snapshot* (the shared
+//! `Sfw(t)` window of Algorithm 2), matching the engine-level router
+//! where each shard advances its own user history.
+
+use tgs_linalg::DenseMatrix;
+
+use crate::config::{OfflineConfig, OnlineConfig};
+use crate::error::TgsError;
+use crate::factors::TriFactors;
+use crate::input::TriInput;
+use crate::objective::{offline_objective, ObjectiveParts};
+use crate::offline::OfflineResult;
+use crate::online::{OnlineSolver, OnlineStepResult, SnapshotData};
+use crate::window::FactorWindow;
+use crate::workspace::UpdateWorkspace;
+
+/// Deterministic per-shard RNG seed. Shard 0 keeps the configured seed so
+/// a single-shard solve draws the exact random stream of the unsharded
+/// path.
+fn shard_seed(seed: u64, shard: usize) -> u64 {
+    seed.wrapping_add((shard as u64).wrapping_mul(0x9E37_79B9_97F4_A7C5))
+}
+
+/// Weighted average of per-shard `Sf` factors, accumulated in shard
+/// order. A single part is returned as a bit-exact clone (no `×w / w`
+/// rounding), so one-shard solves stay bit-identical to the unsharded
+/// path. This is the **one** merge policy of the sharded stack — the
+/// engine-level query fan-in reuses it so `top_words` can never drift
+/// from the solvers' semantics.
+pub fn merge_sf(parts: &[(f64, &DenseMatrix)]) -> Option<DenseMatrix> {
+    match parts {
+        [] => None,
+        [(_, sf)] => Some((*sf).clone()),
+        _ => {
+            let mut acc = DenseMatrix::zeros(parts[0].1.rows(), parts[0].1.cols());
+            let mut total = 0.0;
+            for &(w, sf) in parts {
+                acc.axpy(w, sf);
+                total += w;
+            }
+            if total > 0.0 {
+                acc.scale_in_place(1.0 / total);
+            }
+            Some(acc)
+        }
+    }
+}
+
+/// Validates that every shard input is internally consistent and that
+/// all shards share the global word axis (and prior shape).
+fn validate_shard_inputs(inputs: &[TriInput<'_>], k: usize) -> Result<(), TgsError> {
+    let Some(first) = inputs.first() else {
+        return Err(TgsError::invalid_argument(
+            "sharded solve needs at least one shard input",
+        ));
+    };
+    let l = first.l();
+    for (shard, input) in inputs.iter().enumerate() {
+        input.try_validate(k)?;
+        if input.l() != l {
+            return Err(TgsError::invalid_argument(format!(
+                "shard {shard} has {} features but shard 0 has {l}; \
+                 the word axis must stay global across shards",
+                input.l()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Result of [`try_solve_offline_sharded`].
+#[derive(Debug, Clone)]
+pub struct ShardedOfflineResult {
+    /// Per-shard results, in shard order. Each shard's `factors.sf` holds
+    /// the final *merged* global factor; `sp`/`su`/`hp`/`hu` are
+    /// shard-local (rows follow the shard's tweet/user order).
+    pub shards: Vec<OfflineResult>,
+    /// The merged global word–sentiment factor (`l × k`).
+    pub sf: DenseMatrix,
+    /// Coupled iterations run (shared across shards).
+    pub iterations: usize,
+    /// Whether the summed objective met the tolerance.
+    pub converged: bool,
+    /// Final summed objective across shards.
+    pub objective: f64,
+}
+
+/// Per-shard mutable solve state for the offline loop.
+struct ShardState {
+    factors: TriFactors,
+    workspace: UpdateWorkspace,
+    /// Merge weight (shard tweet count); zero rows ⇒ inactive.
+    weight: f64,
+    active: bool,
+    history: Vec<ObjectiveParts>,
+    cur: ObjectiveParts,
+}
+
+/// Algorithm 1 over user-range shards: shard-local `Sp`/`Su`/`Hp`/`Hu`
+/// sweeps run in parallel each iteration, then the shards' `Sf` updates
+/// are merged into one global factor (weighted by shard tweet counts)
+/// and broadcast back before the next iteration. Convergence is decided
+/// on the objective summed across shards.
+///
+/// Guarantee: with `inputs.len() == 1` the result — factors, iteration
+/// count, objective trace — is bit-identical to
+/// [`crate::try_solve_offline`] on the same input (tested in this module
+/// and in the shard-parity integration tests).
+pub fn try_solve_offline_sharded(
+    inputs: &[TriInput<'_>],
+    config: &OfflineConfig,
+) -> Result<ShardedOfflineResult, TgsError> {
+    config.try_validate()?;
+    validate_shard_inputs(inputs, config.k)?;
+    let (l, k) = (inputs[0].l(), config.k);
+
+    let mut states: Vec<ShardState> = inputs
+        .iter()
+        .enumerate()
+        .map(|(shard, input)| {
+            let mut factors = TriFactors::init(
+                input.n(),
+                input.m(),
+                l,
+                k,
+                input.sf0,
+                config.init,
+                shard_seed(config.seed, shard),
+            );
+            let active = input.n() > 0 && input.m() > 0;
+            let mut workspace = UpdateWorkspace::new();
+            let mut cur = ObjectiveParts::default();
+            if active {
+                workspace.bind(input);
+                workspace.balance_init_scales(input, &mut factors);
+                cur = offline_objective(input, &factors, config.alpha, config.beta);
+            }
+            ShardState {
+                factors,
+                workspace,
+                weight: input.n() as f64,
+                active,
+                history: Vec::new(),
+                cur,
+            }
+        })
+        .collect();
+    if states.iter().all(|s| !s.active) {
+        return Err(TgsError::invalid_argument(
+            "every shard is empty; nothing to solve",
+        ));
+    }
+
+    let mut prev: f64 = states.iter().map(|s| s.cur.total()).sum();
+    if config.track_objective {
+        for s in states.iter_mut() {
+            s.history.push(s.cur);
+        }
+    }
+    let mut converged = false;
+    let mut iterations = 0;
+    for it in 0..config.max_iters {
+        // --- Parallel shard-local sweeps + objective evaluation ---
+        std::thread::scope(|scope| {
+            for (input, state) in inputs.iter().zip(states.iter_mut()) {
+                if !state.active {
+                    continue;
+                }
+                let (alpha, beta) = (config.alpha, config.beta);
+                scope.spawn(move || {
+                    state.workspace.sweep_offline(
+                        input,
+                        &mut state.factors,
+                        alpha,
+                        beta,
+                        input.sf0,
+                    );
+                    state.cur =
+                        state
+                            .workspace
+                            .objective_offline(input, &state.factors, alpha, beta);
+                });
+            }
+        });
+        iterations = it + 1;
+        let cur: f64 = states.iter().map(|s| s.cur.total()).sum();
+        if config.track_objective {
+            for s in states.iter_mut().filter(|s| s.active) {
+                let parts = s.cur;
+                s.history.push(parts);
+            }
+        }
+        let hit_tol = {
+            let denom = prev.abs().max(1.0);
+            (prev - cur).abs() / denom < config.tol
+        };
+        prev = cur;
+
+        // --- Merge + broadcast the global word–sentiment factor ---
+        let parts: Vec<(f64, &DenseMatrix)> = states
+            .iter()
+            .filter(|s| s.active)
+            .map(|s| (s.weight, &s.factors.sf))
+            .collect();
+        let merged = merge_sf(&parts).expect("at least one active shard");
+        for s in states.iter_mut().filter(|s| s.active) {
+            s.factors.sf.copy_from(&merged);
+        }
+
+        if hit_tol {
+            converged = true;
+            break;
+        }
+    }
+
+    let sf = states
+        .iter()
+        .find(|s| s.active)
+        .map(|s| s.factors.sf.clone())
+        .expect("at least one active shard");
+    let shards = states
+        .into_iter()
+        .map(|s| {
+            let objective = s.cur.total();
+            OfflineResult {
+                factors: s.factors,
+                history: s.history,
+                iterations: if s.active { iterations } else { 0 },
+                converged,
+                objective,
+            }
+        })
+        .collect();
+    Ok(ShardedOfflineResult {
+        shards,
+        sf,
+        iterations,
+        converged,
+        objective: prev,
+    })
+}
+
+/// Panicking wrapper around [`try_solve_offline_sharded`], kept for the
+/// bench binaries and quick scripts.
+pub fn solve_offline_sharded(
+    inputs: &[TriInput<'_>],
+    config: &OfflineConfig,
+) -> ShardedOfflineResult {
+    try_solve_offline_sharded(inputs, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Result of one [`ShardedOnlineSolver::try_step`].
+#[derive(Debug, Clone)]
+pub struct ShardedStepOutcome {
+    /// Per-shard step results (`None` for shards whose slice was empty
+    /// this snapshot — their solvers do not advance).
+    pub shards: Vec<Option<OnlineStepResult>>,
+    /// The merged global `Sf(t)` pushed into the shared window.
+    pub sf: DenseMatrix,
+}
+
+/// Algorithm 2 over user-range shards: `S` per-shard [`OnlineSolver`]s
+/// (each owning the user history of *its* users) coupled through one
+/// shared `Sfw(t)` window. Per snapshot, the shared aggregate is
+/// broadcast as every shard's warm-start/regularization target, the
+/// shards solve in parallel, and their `Sf(t)` factors are merged
+/// (weighted by shard tweet counts, fixed shard order) into the window.
+///
+/// With one shard this is bit-identical to a plain [`OnlineSolver`] fed
+/// the same snapshots (tested below): the merge is a clone and the
+/// shared window replays exactly the solver-owned one.
+#[derive(Debug, Clone)]
+pub struct ShardedOnlineSolver {
+    config: OnlineConfig,
+    solvers: Vec<OnlineSolver>,
+    sf_window: FactorWindow,
+    steps: u64,
+}
+
+impl ShardedOnlineSolver {
+    /// Creates `shards` per-shard solvers plus the shared `Sf` window.
+    /// Shard 0 keeps the configured seed (single-shard bit-identity);
+    /// later shards derive theirs deterministically.
+    pub fn try_new(config: OnlineConfig, shards: usize) -> Result<Self, TgsError> {
+        if shards == 0 {
+            return Err(TgsError::InvalidConfig {
+                field: "shards",
+                message: "need at least one shard".into(),
+            });
+        }
+        let solvers = (0..shards)
+            .map(|s| {
+                OnlineSolver::try_new(OnlineConfig {
+                    seed: shard_seed(config.seed, s),
+                    ..config.clone()
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        // Mirrors `OnlineSolver`: the Sf window is always normalized.
+        let sf_window = FactorWindow::new(config.window, config.tau, true);
+        Ok(Self {
+            config,
+            solvers,
+            sf_window,
+            steps: 0,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.solvers.len()
+    }
+
+    /// Snapshots processed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The shared solver configuration.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// Decayed sentiment estimate for a user, routed to the shard that
+    /// owns it (`shard` must come from the same partitioner that routed
+    /// the snapshots).
+    pub fn sentiment_of(&self, shard: usize, user: usize) -> Option<Vec<f64>> {
+        self.solvers.get(shard)?.sentiment_of(user)
+    }
+
+    /// Processes one snapshot split into per-shard slices (`data[s]` is
+    /// shard `s`'s slice; empty slices — zero tweets — are skipped).
+    /// Shard slices must be disjoint by user; the caller routes them with
+    /// the partitioner.
+    pub fn try_step(&mut self, data: &[SnapshotData<'_>]) -> Result<ShardedStepOutcome, TgsError> {
+        if data.len() != self.solvers.len() {
+            return Err(TgsError::invalid_argument(format!(
+                "expected {} shard slices, got {}",
+                self.solvers.len(),
+                data.len()
+            )));
+        }
+        // Validate everything up front so a malformed shard cannot leave
+        // the stream half-stepped.
+        for d in data.iter().filter(|d| d.input.n() > 0) {
+            d.input.try_validate(self.config.k)?;
+            if d.user_ids.len() != d.input.m() {
+                return Err(TgsError::UserIdCountMismatch {
+                    rows: d.input.m(),
+                    ids: d.user_ids.len(),
+                });
+            }
+        }
+        if data.iter().all(|d| d.input.n() == 0) {
+            return Err(TgsError::invalid_argument(
+                "every shard slice is empty; nothing to step",
+            ));
+        }
+
+        // --- Parallel shard-local steps against the shared window ---
+        let window = &self.sf_window;
+        let mut results: Vec<Option<Result<OnlineStepResult, TgsError>>> =
+            std::iter::repeat_with(|| None).take(data.len()).collect();
+        std::thread::scope(|scope| {
+            for ((solver, d), slot) in self
+                .solvers
+                .iter_mut()
+                .zip(data.iter())
+                .zip(results.iter_mut())
+            {
+                if d.input.n() == 0 {
+                    continue;
+                }
+                scope.spawn(move || {
+                    *slot = Some(solver.try_step_shared(d, window));
+                });
+            }
+        });
+        let mut shards = Vec::with_capacity(results.len());
+        for slot in results {
+            match slot {
+                None => shards.push(None),
+                Some(Ok(r)) => shards.push(Some(r)),
+                Some(Err(e)) => return Err(e),
+            }
+        }
+
+        // --- Merge + commit the global Sf(t) ---
+        let parts: Vec<(f64, &DenseMatrix)> = shards
+            .iter()
+            .zip(data.iter())
+            .filter_map(|(r, d)| r.as_ref().map(|r| (d.input.n() as f64, &r.factors.sf)))
+            .collect();
+        let sf = merge_sf(&parts).expect("at least one shard stepped");
+        self.sf_window.push(sf.clone());
+        self.steps += 1;
+        Ok(ShardedStepOutcome { shards, sf })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+    use tgs_graph::UserGraph;
+    use tgs_linalg::{seeded_rng, CsrMatrix};
+
+    /// Planted two-cluster instance over a given user set (global ids).
+    fn instance(
+        users: &[usize],
+        n: usize,
+        l: usize,
+        seed: u64,
+    ) -> (CsrMatrix, CsrMatrix, CsrMatrix, UserGraph, DenseMatrix) {
+        let mut rng = seeded_rng(seed);
+        let m = users.len();
+        let mut xp = Vec::new();
+        let mut xu = Vec::new();
+        let mut xr = Vec::new();
+        let mut edges = Vec::new();
+        for i in 0..n {
+            let a = rng.random_range(0..m);
+            let c = users[a] % 2;
+            for _ in 0..4 {
+                let f = 2 * rng.random_range(0..l / 2) + c;
+                xp.push((i, f, 1.0));
+            }
+            xr.push((a, i, 1.0));
+        }
+        for (row, &u) in users.iter().enumerate() {
+            let c = u % 2;
+            for _ in 0..6 {
+                let f = 2 * rng.random_range(0..l / 2) + c;
+                xu.push((row, f, 1.0));
+            }
+            if let Some(peer) = users.iter().position(|&v| v % 2 == c && v != u) {
+                edges.push((row, peer, 1.0));
+            }
+        }
+        let xp = CsrMatrix::from_triplets(n, l, &xp).unwrap();
+        let xu = CsrMatrix::from_triplets(m, l, &xu).unwrap();
+        let xr = CsrMatrix::from_triplets(m, n, &xr).unwrap();
+        let graph = UserGraph::from_edges(m, &edges);
+        let sf0 = DenseMatrix::from_fn(l, 2, |f, j| if f % 2 == j { 0.8 } else { 0.2 });
+        (xp, xu, xr, graph, sf0)
+    }
+
+    fn offline_config() -> OfflineConfig {
+        OfflineConfig {
+            k: 2,
+            max_iters: 40,
+            tol: 1e-7,
+            track_objective: true,
+            ..Default::default()
+        }
+    }
+
+    fn online_config() -> OnlineConfig {
+        OnlineConfig {
+            k: 2,
+            max_iters: 30,
+            tol: 1e-7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_shard_offline_is_bit_identical() {
+        let users: Vec<usize> = (0..8).collect();
+        let (xp, xu, xr, graph, sf0) = instance(&users, 40, 12, 5);
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
+        let cfg = offline_config();
+        let single = crate::try_solve_offline(&input, &cfg).unwrap();
+        let sharded = try_solve_offline_sharded(&[input], &cfg).unwrap();
+        assert_eq!(sharded.iterations, single.iterations);
+        assert_eq!(sharded.converged, single.converged);
+        assert_eq!(sharded.objective, single.objective);
+        let shard = &sharded.shards[0];
+        assert_eq!(shard.factors.sp, single.factors.sp);
+        assert_eq!(shard.factors.su, single.factors.su);
+        assert_eq!(shard.factors.hp, single.factors.hp);
+        assert_eq!(shard.factors.hu, single.factors.hu);
+        assert_eq!(shard.factors.sf, single.factors.sf);
+        assert_eq!(sharded.sf, single.factors.sf);
+        let trace: Vec<f64> = shard.history.iter().map(|p| p.total()).collect();
+        let expected: Vec<f64> = single.history.iter().map(|p| p.total()).collect();
+        assert_eq!(trace, expected, "objective trace must match exactly");
+    }
+
+    #[test]
+    fn two_shards_solve_and_stay_deterministic() {
+        let users_a: Vec<usize> = (0..6).collect();
+        let users_b: Vec<usize> = (6..12).collect();
+        let (xp_a, xu_a, xr_a, g_a, sf0) = instance(&users_a, 30, 12, 7);
+        let (xp_b, xu_b, xr_b, g_b, _) = instance(&users_b, 26, 12, 8);
+        let input_a = TriInput {
+            xp: &xp_a,
+            xu: &xu_a,
+            xr: &xr_a,
+            graph: &g_a,
+            sf0: &sf0,
+        };
+        let input_b = TriInput {
+            xp: &xp_b,
+            xu: &xu_b,
+            xr: &xr_b,
+            graph: &g_b,
+            sf0: &sf0,
+        };
+        let cfg = offline_config();
+        let a = solve_offline_sharded(&[input_a, input_b], &cfg);
+        let b = solve_offline_sharded(&[input_a, input_b], &cfg);
+        assert_eq!(a.objective, b.objective);
+        assert_eq!(a.sf, b.sf);
+        assert_eq!(a.shards[1].factors.su, b.shards[1].factors.su);
+        // Both shards carry the merged global factor.
+        assert_eq!(a.shards[0].factors.sf, a.sf);
+        assert_eq!(a.shards[1].factors.sf, a.sf);
+        // The planted signal survives sharding: tweets recover their
+        // parity class within each shard.
+        for (shard, users) in a.shards.iter().zip([&users_a, &users_b]) {
+            let truth: Vec<usize> = users.iter().map(|&u| u % 2).collect();
+            let acc = tgs_eval::clustering_accuracy(&shard.user_labels(), &truth);
+            assert!(acc > 0.7, "user accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn empty_shard_is_carried_not_fatal() {
+        let users: Vec<usize> = (0..6).collect();
+        let (xp, xu, xr, graph, sf0) = instance(&users, 30, 12, 9);
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
+        let empty_xp = CsrMatrix::from_triplets(0, 12, &[]).unwrap();
+        let empty_xu = CsrMatrix::from_triplets(0, 12, &[]).unwrap();
+        let empty_xr = CsrMatrix::from_triplets(0, 0, &[]).unwrap();
+        let empty_graph = UserGraph::empty(0);
+        let empty = TriInput {
+            xp: &empty_xp,
+            xu: &empty_xu,
+            xr: &empty_xr,
+            graph: &empty_graph,
+            sf0: &sf0,
+        };
+        let result = try_solve_offline_sharded(&[input, empty], &offline_config()).unwrap();
+        assert_eq!(result.shards[1].iterations, 0);
+        assert!(result.shards[0].iterations > 0);
+        assert!(result.objective.is_finite());
+    }
+
+    #[test]
+    fn single_shard_online_is_bit_identical() {
+        let users: Vec<usize> = (0..8).collect();
+        let cfg = online_config();
+        let mut plain = OnlineSolver::try_new(cfg.clone()).unwrap();
+        let mut sharded = ShardedOnlineSolver::try_new(cfg, 1).unwrap();
+        for t in 0..4u64 {
+            let (xp, xu, xr, graph, sf0) = instance(&users, 30, 12, t + 30);
+            let input = TriInput {
+                xp: &xp,
+                xu: &xu,
+                xr: &xr,
+                graph: &graph,
+                sf0: &sf0,
+            };
+            let data = SnapshotData {
+                input,
+                user_ids: &users,
+            };
+            let a = plain.try_step(&data).unwrap();
+            let b = sharded.try_step(&[data]).unwrap();
+            let b0 = b.shards[0].as_ref().expect("shard stepped");
+            assert_eq!(a.objective, b0.objective, "step {t}");
+            assert_eq!(a.iterations, b0.iterations, "step {t}");
+            assert_eq!(a.factors.su, b0.factors.su, "step {t}");
+            assert_eq!(a.factors.sf, b0.factors.sf, "step {t}");
+            assert_eq!(b.sf, a.factors.sf, "merged Sf is the shard's, step {t}");
+        }
+        assert_eq!(plain.steps(), sharded.steps());
+    }
+
+    #[test]
+    fn sharded_online_couples_shards_through_sf() {
+        // Two disjoint user ranges stream in parallel; the shared window
+        // must make shard B's warm start depend on shard A's data.
+        let users_a: Vec<usize> = (0..5).collect();
+        let users_b: Vec<usize> = (5..10).collect();
+        let cfg = online_config();
+        let mut coupled = ShardedOnlineSolver::try_new(cfg.clone(), 2).unwrap();
+        let mut solo_b = OnlineSolver::try_new(OnlineConfig {
+            seed: shard_seed(cfg.seed, 1),
+            ..cfg
+        })
+        .unwrap();
+        let mut diverged = false;
+        for t in 0..3u64 {
+            let (xp_a, xu_a, xr_a, g_a, sf0) = instance(&users_a, 24, 12, t + 50);
+            let (xp_b, xu_b, xr_b, g_b, _) = instance(&users_b, 24, 12, t + 80);
+            let input_a = TriInput {
+                xp: &xp_a,
+                xu: &xu_a,
+                xr: &xr_a,
+                graph: &g_a,
+                sf0: &sf0,
+            };
+            let input_b = TriInput {
+                xp: &xp_b,
+                xu: &xu_b,
+                xr: &xr_b,
+                graph: &g_b,
+                sf0: &sf0,
+            };
+            let data_a = SnapshotData {
+                input: input_a,
+                user_ids: &users_a,
+            };
+            let data_b = SnapshotData {
+                input: input_b,
+                user_ids: &users_b,
+            };
+            let out = coupled.try_step(&[data_a, data_b]).unwrap();
+            let solo = solo_b.try_step(&data_b).unwrap();
+            let b = out.shards[1].as_ref().unwrap();
+            if b.factors.sf != solo.factors.sf {
+                diverged = true;
+            }
+        }
+        assert!(
+            diverged,
+            "shared-window shard must differ from an isolated solver once \
+             the other shard's data enters the merged Sf"
+        );
+    }
+
+    #[test]
+    fn shard_slice_count_mismatch_is_typed() {
+        let cfg = online_config();
+        let mut solver = ShardedOnlineSolver::try_new(cfg, 2).unwrap();
+        let users: Vec<usize> = (0..4).collect();
+        let (xp, xu, xr, graph, sf0) = instance(&users, 10, 12, 1);
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
+        let data = SnapshotData {
+            input,
+            user_ids: &users,
+        };
+        let err = solver.try_step(&[data]).unwrap_err();
+        assert_eq!(err.kind(), crate::error::TgsErrorKind::InvalidArgument);
+        assert_eq!(solver.steps(), 0);
+    }
+}

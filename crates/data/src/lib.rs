@@ -22,6 +22,7 @@ pub mod generator;
 pub mod io;
 pub mod matrices;
 pub mod model;
+pub mod partition;
 pub mod pools;
 pub mod presets;
 pub mod stats;
@@ -35,6 +36,10 @@ pub use matrices::{
     SnapshotInstance, SnapshotMatrices,
 };
 pub use model::{Corpus, Retweet, Trajectory, Tweet, UserProfile};
+pub use partition::{
+    build_offline_sharded, route_docs, ShardRouting, ShardSlice, ShardedProblem,
+    UserRangePartitioner,
+};
 pub use pools::{WordPool, WordPools};
 pub use stats::{
     corpus_stats, daily_tweet_counts, flip_fraction, period_feature_frequencies, top_words,

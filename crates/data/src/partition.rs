@@ -1,0 +1,440 @@
+//! User-range sharding of tripartite problems.
+//!
+//! The paper's co-clustering couples users to tweets and tweets to words,
+//! but the user/tweet dimensions dominate (`n ≈ 40k` tweets vs `k = 10`
+//! clusters). A [`UserRangePartitioner`] splits the heavy axes into `S`
+//! disjoint shards — every user, and all the tweets they author, land in
+//! exactly one shard — while the *word* axis stays global over the frozen
+//! vocabulary, so per-shard factor matrices keep a shared feature space
+//! and the small cluster-level factors (`Sf`, `Hp`, `Hu`) remain
+//! mergeable across shards.
+//!
+//! Routing is deterministic and purely arithmetic (contiguous user-id
+//! ranges), so two processes with the same `(universe, shards)` pair
+//! agree on every assignment — the property the multi-shard checkpoint
+//! format validates via [`UserRangePartitioner::fingerprint`].
+//!
+//! Cross-shard re-tweets (user in shard A re-tweeting a document authored
+//! in shard B) cannot be represented once the user axis is partitioned;
+//! they are counted and dropped. With `shards = 1` nothing is dropped and
+//! routing is the identity, which is the basis of the stack-wide
+//! "one shard is bit-identical to the unsharded path" guarantee.
+
+use tgs_linalg::DenseMatrix;
+use tgs_text::{PipelineConfig, Vocabulary};
+
+use crate::matrices::{assemble_snapshot_matrices, SnapshotMatrices};
+use crate::model::Corpus;
+
+/// Deterministic contiguous-range partitioner over global user ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserRangePartitioner {
+    shards: usize,
+    universe: usize,
+    stride: usize,
+}
+
+impl UserRangePartitioner {
+    /// A partitioner splitting `0..universe` user ids into `shards`
+    /// near-equal contiguous ranges. Ids at or beyond `universe` (sparse
+    /// ids first seen after fitting) map to the last shard, so
+    /// [`UserRangePartitioner::shard_of`] is total.
+    pub fn new(universe: usize, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        let stride = universe.max(1).div_ceil(shards).max(1);
+        Self {
+            shards,
+            universe,
+            stride,
+        }
+    }
+
+    /// Number of shards `S`.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The user-id universe the ranges were derived from.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Users per shard range (last shard may be short).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The shard owning `user`. Total: ids beyond the universe land in
+    /// the last shard.
+    pub fn shard_of(&self, user: usize) -> usize {
+        (user / self.stride).min(self.shards - 1)
+    }
+
+    /// The `[start, end)` user-id range of `shard` within the universe
+    /// (the last shard additionally owns every id `>= universe`).
+    pub fn range(&self, shard: usize) -> (usize, usize) {
+        assert!(shard < self.shards, "shard {shard} out of {}", self.shards);
+        let start = shard * self.stride;
+        let end = if shard + 1 == self.shards {
+            self.universe.max(start)
+        } else {
+            ((shard + 1) * self.stride).min(self.universe)
+        };
+        (start, end)
+    }
+
+    /// FNV-1a digest of the routing parameters. Two partitioners with
+    /// equal fingerprints make identical routing decisions; multi-shard
+    /// checkpoints embed it so a restore cannot silently re-route users.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for word in [self.shards as u64, self.universe as u64, self.stride as u64] {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+/// The routing decision for one document list: which shard every document
+/// goes to, per-shard document order, and per-shard re-tweets remapped to
+/// shard-local document indices.
+#[derive(Debug, Clone)]
+pub struct ShardRouting {
+    /// Shard of each input document (index-parallel to the input list).
+    pub doc_shard: Vec<usize>,
+    /// Per shard: global indices of its documents, in input order.
+    pub shard_docs: Vec<Vec<usize>>,
+    /// Per shard: `(global user, shard-local doc index)` re-tweets whose
+    /// user shares the document's shard.
+    pub shard_retweets: Vec<Vec<(usize, usize)>>,
+    /// Cross-shard re-tweets that had to be dropped.
+    pub dropped_retweets: usize,
+}
+
+/// Routes documents (by author) and re-tweets through the partitioner.
+///
+/// * `doc_authors[i]` — global user id authoring document `i`;
+/// * `retweets` — `(global user, global doc index)` events.
+///
+/// Each document follows its author's shard; a re-tweet follows its
+/// *document* and is kept only when the re-tweeting user lives in the
+/// same shard (cross-shard interactions are counted in
+/// [`ShardRouting::dropped_retweets`]). With one shard, routing is the
+/// identity and nothing is dropped.
+///
+/// # Panics
+///
+/// Panics when a re-tweet references a document index `>=
+/// doc_authors.len()` — like the rest of this crate's assembly surface,
+/// routing treats its inputs as pre-validated. Callers holding untrusted
+/// snapshots must check the references first and surface a typed error
+/// (the `tgs-engine` router does exactly that before calling in).
+pub fn route_docs(
+    partitioner: &UserRangePartitioner,
+    doc_authors: &[usize],
+    retweets: &[(usize, usize)],
+) -> ShardRouting {
+    let shards = partitioner.shards();
+    let mut doc_shard = Vec::with_capacity(doc_authors.len());
+    let mut doc_local = Vec::with_capacity(doc_authors.len());
+    let mut shard_docs = vec![Vec::new(); shards];
+    for (doc, &author) in doc_authors.iter().enumerate() {
+        let s = partitioner.shard_of(author);
+        doc_shard.push(s);
+        doc_local.push(shard_docs[s].len());
+        shard_docs[s].push(doc);
+    }
+    let mut shard_retweets = vec![Vec::new(); shards];
+    let mut dropped_retweets = 0;
+    for &(user, doc) in retweets {
+        assert!(
+            doc < doc_authors.len(),
+            "retweet references document {doc} but only {} exist",
+            doc_authors.len()
+        );
+        let s = doc_shard[doc];
+        if partitioner.shard_of(user) == s {
+            shard_retweets[s].push((user, doc_local[doc]));
+        } else {
+            dropped_retweets += 1;
+        }
+    }
+    ShardRouting {
+        doc_shard,
+        shard_docs,
+        shard_retweets,
+        dropped_retweets,
+    }
+}
+
+/// One shard's slice of an offline problem: its tweets, its users, and
+/// the tripartite matrices over the *global* feature axis.
+#[derive(Debug, Clone)]
+pub struct ShardSlice {
+    /// The shard index.
+    pub shard: usize,
+    /// Global tweet ids, in row order of `xp`.
+    pub tweet_ids: Vec<usize>,
+    /// Global user ids, in row order of `xu` / `xr`.
+    pub user_ids: Vec<usize>,
+    /// The shard's matrices (`xp`, `xu`, `xr`, `graph`).
+    pub matrices: SnapshotMatrices,
+}
+
+/// A whole corpus partitioned into shard-local problem slices sharing one
+/// frozen vocabulary and lexicon prior.
+#[derive(Debug, Clone)]
+pub struct ShardedProblem {
+    /// The routing function used (checkpointable via its fingerprint).
+    pub partitioner: UserRangePartitioner,
+    /// The global vocabulary (shared feature axis of every shard).
+    pub vocab: Vocabulary,
+    /// The `l × k` lexicon prior, shared by every shard.
+    pub sf0: DenseMatrix,
+    /// Number of sentiment classes.
+    pub k: usize,
+    /// One slice per shard (possibly with zero tweets for tiny corpora).
+    pub shards: Vec<ShardSlice>,
+    /// Cross-shard re-tweets dropped during routing.
+    pub dropped_retweets: usize,
+}
+
+/// Splits a corpus into `shards` disjoint shard-local offline problems:
+/// the vocabulary and lexicon prior are fitted globally (frozen feature
+/// axis), then each shard's matrices are assembled through the same
+/// [`assemble_snapshot_matrices`] pipeline the unsharded paths use.
+///
+/// Every user and all their tweets land in exactly one shard;
+/// concatenating the shard slices recovers the unsharded assembly up to
+/// row order (exactly for count/binary weighting — TF-IDF weights are
+/// fitted per document set, so they are shard-dependent by construction —
+/// and minus cross-shard re-tweet edges, which are counted in
+/// [`ShardedProblem::dropped_retweets`]).
+pub fn build_offline_sharded(
+    corpus: &Corpus,
+    k: usize,
+    shards: usize,
+    config: &PipelineConfig,
+) -> ShardedProblem {
+    let vocab = Vocabulary::build(
+        corpus
+            .tweets
+            .iter()
+            .map(|t| t.tokens.iter().map(String::as_str)),
+        &config.vocab,
+    );
+    let sf0 = corpus
+        .lexicon
+        .prior_matrix(&vocab, k, config.lexicon_confidence);
+    let partitioner = UserRangePartitioner::new(corpus.num_users(), shards);
+    let doc_authors: Vec<usize> = corpus.tweets.iter().map(|t| t.author).collect();
+    let retweets: Vec<(usize, usize)> = corpus.retweets.iter().map(|r| (r.user, r.tweet)).collect();
+    let routing = route_docs(&partitioner, &doc_authors, &retweets);
+
+    let mut slices = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let tweet_ids = routing.shard_docs[shard].clone();
+        // Users present in the shard: authors of its tweets plus
+        // same-shard re-tweeters, in ascending global-id order.
+        let mut user_ids: Vec<usize> = tweet_ids
+            .iter()
+            .map(|&t| doc_authors[t])
+            .chain(routing.shard_retweets[shard].iter().map(|&(u, _)| u))
+            .collect();
+        user_ids.sort_unstable();
+        user_ids.dedup();
+        let user_local: std::collections::HashMap<usize, usize> =
+            user_ids.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+        let encoded: Vec<Vec<usize>> = tweet_ids
+            .iter()
+            .map(|&t| vocab.encode(corpus.tweets[t].tokens.iter().map(String::as_str)))
+            .collect();
+        let doc_user_local: Vec<usize> = tweet_ids
+            .iter()
+            .map(|&t| user_local[&doc_authors[t]])
+            .collect();
+        let retweet_pairs: Vec<(usize, usize)> = routing.shard_retweets[shard]
+            .iter()
+            .map(|&(u, local_doc)| (user_local[&u], local_doc))
+            .collect();
+        let matrices = assemble_snapshot_matrices(
+            &vocab,
+            &encoded,
+            &doc_user_local,
+            user_ids.len(),
+            &retweet_pairs,
+            config.weighting,
+        );
+        slices.push(ShardSlice {
+            shard,
+            tweet_ids,
+            user_ids,
+            matrices,
+        });
+    }
+    ShardedProblem {
+        partitioner,
+        vocab,
+        sf0,
+        k,
+        shards: slices,
+        dropped_retweets: routing.dropped_retweets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GeneratorConfig;
+    use crate::generator::generate;
+    use tgs_text::Weighting;
+
+    fn corpus() -> Corpus {
+        generate(&GeneratorConfig {
+            num_users: 30,
+            total_tweets: 200,
+            num_days: 8,
+            ..Default::default()
+        })
+    }
+
+    fn pipeline() -> PipelineConfig {
+        let mut cfg = PipelineConfig::paper_defaults();
+        cfg.vocab.min_count = 1;
+        cfg.weighting = Weighting::Counts;
+        cfg
+    }
+
+    #[test]
+    fn ranges_cover_universe_disjointly() {
+        for (universe, shards) in [(10, 3), (7, 7), (100, 8), (5, 1), (3, 8)] {
+            let p = UserRangePartitioner::new(universe, shards);
+            let mut seen = vec![0usize; universe];
+            for s in 0..shards {
+                let (lo, hi) = p.range(s);
+                for (u, count) in seen.iter_mut().enumerate().take(hi).skip(lo) {
+                    *count += 1;
+                    assert_eq!(p.shard_of(u), s, "user {u} in range of shard {s}");
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "{universe}/{shards}: {seen:?}"
+            );
+            // ids beyond the universe are owned by the last shard
+            assert_eq!(p.shard_of(universe + 1000), shards - 1);
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_parameters() {
+        let a = UserRangePartitioner::new(100, 4);
+        assert_eq!(
+            a.fingerprint(),
+            UserRangePartitioner::new(100, 4).fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            UserRangePartitioner::new(100, 2).fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            UserRangePartitioner::new(99, 4).fingerprint()
+        );
+    }
+
+    #[test]
+    fn single_shard_routing_is_identity() {
+        let p = UserRangePartitioner::new(20, 1);
+        let authors = [3, 17, 3, 9];
+        let retweets = [(5, 0), (19, 3)];
+        let r = route_docs(&p, &authors, &retweets);
+        assert_eq!(r.shard_docs[0], vec![0, 1, 2, 3]);
+        assert_eq!(r.shard_retweets[0], vec![(5, 0), (19, 3)]);
+        assert_eq!(r.dropped_retweets, 0);
+    }
+
+    #[test]
+    fn cross_shard_retweets_are_dropped_and_counted() {
+        let p = UserRangePartitioner::new(4, 2); // users 0,1 -> shard 0; 2,3 -> shard 1
+        let authors = [0, 3];
+        let retweets = [(1, 0), (2, 0), (3, 1)];
+        let r = route_docs(&p, &authors, &retweets);
+        assert_eq!(r.shard_docs, vec![vec![0], vec![1]]);
+        assert_eq!(r.shard_retweets[0], vec![(1, 0)]);
+        assert_eq!(r.shard_retweets[1], vec![(3, 0)]);
+        assert_eq!(r.dropped_retweets, 1);
+    }
+
+    #[test]
+    fn sharded_problem_partitions_tweets_and_users() {
+        let c = corpus();
+        for shards in [1, 2, 4] {
+            let p = build_offline_sharded(&c, 3, shards, &pipeline());
+            let mut tweet_seen = vec![0usize; c.num_tweets()];
+            for slice in &p.shards {
+                assert_eq!(slice.matrices.xp.rows(), slice.tweet_ids.len());
+                assert_eq!(slice.matrices.xp.cols(), p.vocab.len());
+                assert_eq!(slice.matrices.xu.rows(), slice.user_ids.len());
+                for &t in &slice.tweet_ids {
+                    tweet_seen[t] += 1;
+                    assert_eq!(
+                        p.partitioner.shard_of(c.tweets[t].author),
+                        slice.shard,
+                        "tweet {t} must follow its author"
+                    );
+                }
+                for &u in &slice.user_ids {
+                    assert_eq!(p.partitioner.shard_of(u), slice.shard);
+                }
+            }
+            assert!(tweet_seen.iter().all(|&n| n == 1), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_unsharded_assembly() {
+        let c = corpus();
+        let cfg = pipeline();
+        let p = build_offline_sharded(&c, 3, 1, &cfg);
+        assert_eq!(p.dropped_retweets, 0);
+        let slice = &p.shards[0];
+        // Unsharded assembly over the same frozen vocabulary.
+        let doc_authors: Vec<usize> = c.tweets.iter().map(|t| t.author).collect();
+        let mut users: Vec<usize> = doc_authors
+            .iter()
+            .copied()
+            .chain(c.retweets.iter().map(|r| r.user))
+            .collect();
+        users.sort_unstable();
+        users.dedup();
+        let local: std::collections::HashMap<usize, usize> =
+            users.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+        let encoded: Vec<Vec<usize>> = c
+            .tweets
+            .iter()
+            .map(|t| p.vocab.encode(t.tokens.iter().map(String::as_str)))
+            .collect();
+        let doc_user_local: Vec<usize> = doc_authors.iter().map(|u| local[u]).collect();
+        let retweet_pairs: Vec<(usize, usize)> = c
+            .retweets
+            .iter()
+            .map(|r| (local[&r.user], r.tweet))
+            .collect();
+        let reference = assemble_snapshot_matrices(
+            &p.vocab,
+            &encoded,
+            &doc_user_local,
+            users.len(),
+            &retweet_pairs,
+            cfg.weighting,
+        );
+        assert_eq!(slice.user_ids, users);
+        assert_eq!(slice.matrices.xp, reference.xp);
+        assert_eq!(slice.matrices.xu, reference.xu);
+        assert_eq!(slice.matrices.xr, reference.xr);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for the user-range partitioner and the shard-local
+//! matrix assembly: over random corpora and shard counts `S ∈ 1..=8`,
+//! every user maps to exactly one shard, tweet rows follow their user,
+//! and concatenating the shard assemblies is a permutation of the
+//! unsharded assembly.
+//!
+//! The permutation property is checked under count weighting — a row's
+//! values then depend only on its own document/user, so it must be
+//! byte-identical wherever it lands. (TF-IDF weights are fitted per
+//! document set and are shard-dependent by construction; the shapes and
+//! sparsity-pattern properties still hold there.)
+
+use proptest::prelude::*;
+use tgs_data::{
+    build_offline_sharded, generate, route_docs, GeneratorConfig, UserRangePartitioner,
+};
+use tgs_text::{PipelineConfig, Weighting};
+
+fn pipeline() -> PipelineConfig {
+    let mut cfg = PipelineConfig::paper_defaults();
+    cfg.vocab.min_count = 1;
+    cfg.weighting = Weighting::Counts;
+    cfg
+}
+
+fn corpus_config(users: usize, tweets: usize, days: u32, seed: u64) -> GeneratorConfig {
+    GeneratorConfig {
+        num_users: users,
+        total_tweets: tweets,
+        num_days: days,
+        seed,
+        ..GeneratorConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(24))]
+
+    #[test]
+    fn every_user_maps_to_exactly_one_shard(
+        universe in 1usize..200,
+        shards in 1usize..=8,
+        probe in 0usize..500,
+    ) {
+        let p = UserRangePartitioner::new(universe, shards);
+        // Total function, stable, and within bounds.
+        let s = p.shard_of(probe);
+        prop_assert!(s < shards);
+        prop_assert_eq!(s, p.shard_of(probe), "routing must be stable");
+        // Ranges tile the universe: each user is inside exactly one.
+        let mut owners = 0;
+        for shard in 0..shards {
+            let (lo, hi) = p.range(shard);
+            if (lo..hi).contains(&probe.min(universe.saturating_sub(1))) {
+                owners += 1;
+            }
+        }
+        prop_assert_eq!(owners, 1);
+    }
+
+    #[test]
+    fn tweets_follow_their_user_and_routing_partitions_docs(
+        (users, tweets, days) in (4usize..30, 20usize..120, 1u32..6),
+        shards in 1usize..=8,
+        seed in 0u64..1_000,
+    ) {
+        let corpus = generate(&corpus_config(users, tweets, days, seed));
+        let p = UserRangePartitioner::new(corpus.num_users(), shards);
+        let authors: Vec<usize> = corpus.tweets.iter().map(|t| t.author).collect();
+        let events: Vec<(usize, usize)> =
+            corpus.retweets.iter().map(|r| (r.user, r.tweet)).collect();
+        let routing = route_docs(&p, &authors, &events);
+        // Every document lands in exactly one shard — the shard of its
+        // author — and the per-shard lists partition the document set.
+        let mut seen = vec![0usize; authors.len()];
+        for (shard, docs) in routing.shard_docs.iter().enumerate() {
+            for &doc in docs {
+                seen[doc] += 1;
+                prop_assert_eq!(p.shard_of(authors[doc]), shard);
+            }
+        }
+        prop_assert!(seen.iter().all(|&n| n == 1));
+        // Kept re-tweets stay within their shard; drops are exactly the
+        // cross-shard ones.
+        let kept: usize = routing.shard_retweets.iter().map(Vec::len).sum();
+        let crossing = events
+            .iter()
+            .filter(|&&(u, doc)| p.shard_of(u) != p.shard_of(authors[doc]))
+            .count();
+        prop_assert_eq!(routing.dropped_retweets, crossing);
+        prop_assert_eq!(kept + crossing, events.len());
+    }
+
+    #[test]
+    fn shard_concatenation_is_a_permutation_of_the_unsharded_assembly(
+        (users, tweets, days) in (4usize..24, 20usize..100, 1u32..5),
+        shards in 1usize..=8,
+        seed in 0u64..1_000,
+    ) {
+        // Drop re-tweets so interaction matrices are comparable too: a
+        // cross-shard re-tweet edge is (by documented design) dropped
+        // during sharding, which would make Xr differ, not permute.
+        let mut corpus = generate(&corpus_config(users, tweets, days, seed));
+        corpus.retweets.clear();
+        let cfg = pipeline();
+        let sharded = build_offline_sharded(&corpus, 3, shards, &cfg);
+        let unsharded = build_offline_sharded(&corpus, 3, 1, &cfg);
+        prop_assert_eq!(sharded.dropped_retweets, 0);
+        let global = &unsharded.shards[0];
+        let tweet_row: std::collections::HashMap<usize, usize> = global
+            .tweet_ids
+            .iter()
+            .enumerate()
+            .map(|(row, &t)| (t, row))
+            .collect();
+        let user_row: std::collections::HashMap<usize, usize> = global
+            .user_ids
+            .iter()
+            .enumerate()
+            .map(|(row, &u)| (u, row))
+            .collect();
+
+        let mut tweets_seen = 0usize;
+        let mut users_seen = 0usize;
+        for slice in &sharded.shards {
+            // Tweet rows: identical values wherever the row landed.
+            for (local, &t) in slice.tweet_ids.iter().enumerate() {
+                let global_row = tweet_row[&t];
+                prop_assert_eq!(
+                    slice.matrices.xp.iter_row(local).collect::<Vec<_>>(),
+                    global.matrices.xp.iter_row(global_row).collect::<Vec<_>>(),
+                    "tweet {} row must be a permutation-preserved copy",
+                    t,
+                );
+            }
+            // User rows: the user's whole document set travelled with
+            // them, so the aggregated feature row is identical too.
+            for (local, &u) in slice.user_ids.iter().enumerate() {
+                let global_row = user_row[&u];
+                prop_assert_eq!(
+                    slice.matrices.xu.iter_row(local).collect::<Vec<_>>(),
+                    global.matrices.xu.iter_row(global_row).collect::<Vec<_>>(),
+                    "user {} row must be a permutation-preserved copy",
+                    u,
+                );
+            }
+            // Xr: posting edges connect the same (user, tweet) pairs.
+            for (local_user, &u) in slice.user_ids.iter().enumerate() {
+                for (local_tweet, &t) in slice.tweet_ids.iter().enumerate() {
+                    prop_assert_eq!(
+                        slice.matrices.xr.get(local_user, local_tweet),
+                        global.matrices.xr.get(user_row[&u], tweet_row[&t]),
+                        "interaction ({}, {}) must be preserved",
+                        u,
+                        t,
+                    );
+                }
+            }
+            tweets_seen += slice.tweet_ids.len();
+            users_seen += slice.user_ids.len();
+        }
+        prop_assert_eq!(tweets_seen, global.tweet_ids.len());
+        prop_assert_eq!(users_seen, global.user_ids.len());
+    }
+}

@@ -1,11 +1,12 @@
 //! Builder-style construction and validation of a [`SentimentEngine`].
 
 use tgs_core::{OfflineConfig, OnlineConfig, OnlineSolver, TgsError};
-use tgs_data::Corpus;
+use tgs_data::{Corpus, UserRangePartitioner};
 use tgs_linalg::DenseMatrix;
 use tgs_text::{PipelineConfig, Vocabulary};
 
 use crate::engine::{EngineShared, EngineState, SentimentEngine};
+use crate::sharded::ShardedEngine;
 
 /// Default bound of the ingest queue (snapshots).
 pub const DEFAULT_QUEUE_DEPTH: usize = 8;
@@ -169,12 +170,8 @@ impl EngineBuilder {
         Ok(())
     }
 
-    /// Fits the global vocabulary and lexicon prior on `corpus` and
-    /// starts the engine. The corpus fixes the feature axis — snapshots
-    /// ingested later are encoded against this vocabulary, so factor
-    /// matrices align across time.
-    pub fn fit(self, corpus: &Corpus) -> Result<SentimentEngine, TgsError> {
-        self.try_validate()?;
+    /// Fits the global vocabulary and lexicon prior on `corpus`.
+    fn fit_globals(&self, corpus: &Corpus) -> Result<(Vocabulary, DenseMatrix), TgsError> {
         let vocab = Vocabulary::build(
             corpus
                 .tweets
@@ -191,7 +188,41 @@ impl EngineBuilder {
             corpus
                 .lexicon
                 .prior_matrix(&vocab, self.config.k, self.pipeline.lexicon_confidence);
+        Ok((vocab, sf0))
+    }
+
+    /// Fits the global vocabulary and lexicon prior on `corpus` and
+    /// starts the engine. The corpus fixes the feature axis — snapshots
+    /// ingested later are encoded against this vocabulary, so factor
+    /// matrices align across time.
+    pub fn fit(self, corpus: &Corpus) -> Result<SentimentEngine, TgsError> {
+        self.try_validate()?;
+        let (vocab, sf0) = self.fit_globals(corpus)?;
         self.start(vocab, sf0)
+    }
+
+    /// Fits the global vocabulary/prior once and starts a
+    /// [`ShardedEngine`]: `shards` identically-configured
+    /// [`SentimentEngine`] workers behind a user-range router partitioned
+    /// over this corpus's user-id universe. With `shards = 1` the fleet
+    /// is a single worker receiving byte-identical snapshots — the
+    /// tested identity with [`EngineBuilder::fit`].
+    pub fn fit_sharded(self, corpus: &Corpus, shards: usize) -> Result<ShardedEngine, TgsError> {
+        if shards == 0 {
+            return Err(TgsError::InvalidConfig {
+                field: "shards",
+                message: "need at least one shard".into(),
+            });
+        }
+        self.try_validate()?;
+        let (vocab, sf0) = self.fit_globals(corpus)?;
+        let workers = (0..shards)
+            .map(|_| self.clone().start(vocab.clone(), sf0.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedEngine::start(
+            UserRangePartitioner::new(corpus.num_users(), shards),
+            workers,
+        ))
     }
 
     /// Starts the engine from an already-fitted vocabulary and `l × k`

@@ -10,6 +10,16 @@
 //! Restoration is exact: matrices round-trip bit-for-bit (f64 ↔ LE bits),
 //! so a restored engine produces identical results for identical
 //! subsequent snapshots.
+//!
+//! **Compaction (format v2).** The stores only ever hold what survived
+//! their byte budgets, so budget-evicted factor snapshots are never
+//! serialized; and the solver's `Sfw` window — whose matrices are
+//! byte-identical to the newest retained `Sf`-store entries — is written
+//! as *references* into the store section instead of re-serializing the
+//! matrices (each entry falls back to inline bytes only when the store
+//! already evicted its timestamp). Restoring a compacted checkpoint
+//! yields identical query results for every retained timestamp and
+//! bit-identical subsequent solves.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use tgs_core::{
@@ -22,8 +32,8 @@ use tgs_text::{TokenizerConfig, Vocabulary, Weighting};
 use crate::engine::{EngineShared, EngineState};
 use crate::query::TimelineEntry;
 
-/// Magic + format version prefix.
-const MAGIC: &[u8; 8] = b"TGSENG\x00\x01";
+/// Magic + format version prefix (v2: window-into-store compaction).
+const MAGIC: &[u8; 8] = b"TGSENG\x00\x02";
 
 /// A serialized engine session. Obtain from
 /// [`crate::SentimentEngine::checkpoint`]; rebuild with
@@ -216,7 +226,27 @@ pub(crate) fn encode(
     buf.put_u64_le(solver_state.steps);
     buf.put_u64_le(solver_state.sf_window.len() as u64);
     for sf in &solver_state.sf_window {
-        wr_matrix(&mut buf, sf);
+        // Compaction: each window matrix is the Sf(t−i) the solver pushed
+        // when it committed snapshot t−i — byte-identical to that
+        // timestamp's Sf-store entry unless the budget evicted it. Write
+        // a back-reference when the store still holds the bytes; inline
+        // them only on eviction.
+        let encoded = encode_matrix(sf);
+        match state
+            .sf_store
+            .iter()
+            .find(|(_, bytes)| bytes.as_slice() == encoded.as_slice())
+        {
+            Some((t, _)) => {
+                buf.put_slice(&[1u8]);
+                buf.put_u64_le(t);
+            }
+            None => {
+                buf.put_slice(&[0u8]);
+                buf.put_u64_le(encoded.len() as u64);
+                buf.put_slice(encoded.as_slice());
+            }
+        }
     }
     buf.put_u64_le(solver_state.history_step);
     buf.put_u64_le(solver_state.history_rows.len() as u64);
@@ -346,23 +376,25 @@ pub(crate) fn decode(
     }
 
     // --- Solver temporal state ---
+    // Window entries may back-reference Sf-store timestamps (compaction),
+    // and the stores appear later in the stream — parse now, resolve
+    // after the stores are decoded.
+    enum WindowEntry {
+        Inline(DenseMatrix),
+        Ref(u64),
+    }
     let steps = rd_u64(&mut b, "solver steps")?;
-    let window_len = rd_count(&mut b, 16, "sf window length")?;
-    let mut sf_window = Vec::with_capacity(window_len);
+    let window_len = rd_count(&mut b, 9, "sf window length")?;
+    let mut window_entries = Vec::with_capacity(window_len);
     for _ in 0..window_len {
-        let sf = rd_matrix(&mut b, "sf window snapshot")?;
-        // Semantic check: the window must aggregate against this
-        // vocabulary, or the first post-restore ingest would blow up
-        // inside the solver instead of failing the restore.
-        if sf.shape() != (vocab.len(), k) {
-            return Err(TgsError::corrupt(format!(
-                "sf window snapshot is {}×{}, expected {}×{k}",
-                sf.rows(),
-                sf.cols(),
-                vocab.len()
-            )));
+        match rd_u8(&mut b, "sf window entry tag")? {
+            0 => window_entries.push(WindowEntry::Inline(rd_matrix(
+                &mut b,
+                "sf window snapshot",
+            )?)),
+            1 => window_entries.push(WindowEntry::Ref(rd_u64(&mut b, "sf window reference")?)),
+            _ => return Err(corrupt("sf window entry tag")),
         }
-        sf_window.push(sf);
     }
     let history_step = rd_u64(&mut b, "history step")?;
     let history_users = rd_count(&mut b, 16, "history user count")?;
@@ -381,15 +413,6 @@ pub(crate) fn decode(
         }
         history_rows.push((user, entries));
     }
-    let solver = OnlineSolver::from_state(
-        config.clone(),
-        OnlineSolverState {
-            steps,
-            sf_window,
-            history_step,
-            history_rows,
-        },
-    )?;
 
     // --- Timeline ---
     let timeline_len = rd_count(&mut b, 8 * (7 + 2 * k) + 1, "timeline length")?;
@@ -469,6 +492,40 @@ pub(crate) fn decode(
         )));
     }
 
+    // --- Resolve the (possibly compacted) Sf window against the store ---
+    let mut sf_window = Vec::with_capacity(window_entries.len());
+    for entry in window_entries {
+        let sf = match entry {
+            WindowEntry::Inline(sf) => sf,
+            WindowEntry::Ref(t) => sf_store.get(t).ok_or_else(|| {
+                TgsError::corrupt(format!(
+                    "sf window references timestamp {t}, which the sf store does not retain"
+                ))
+            })?,
+        };
+        // Semantic check: the window must aggregate against this
+        // vocabulary, or the first post-restore ingest would blow up
+        // inside the solver instead of failing the restore.
+        if sf.shape() != (vocab.len(), k) {
+            return Err(TgsError::corrupt(format!(
+                "sf window snapshot is {}×{}, expected {}×{k}",
+                sf.rows(),
+                sf.cols(),
+                vocab.len()
+            )));
+        }
+        sf_window.push(sf);
+    }
+    let solver = OnlineSolver::from_state(
+        config.clone(),
+        OnlineSolverState {
+            steps,
+            sf_window,
+            history_step,
+            history_rows,
+        },
+    )?;
+
     let shared = EngineShared {
         vocab,
         sf0,
@@ -490,6 +547,142 @@ pub(crate) fn decode(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Byte-offset cursor for white-box walks of the serialized layout.
+    struct Walk<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Walk<'a> {
+        fn skip(&mut self, n: usize) {
+            self.pos += n;
+        }
+
+        fn u64(&mut self) -> u64 {
+            let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+            self.pos += 8;
+            v
+        }
+
+        fn u8(&mut self) -> u8 {
+            let v = self.buf[self.pos];
+            self.pos += 1;
+            v
+        }
+
+        /// Advances past the header up to the first Sf-window entry.
+        fn seek_window(&mut self) -> usize {
+            self.skip(MAGIC.len());
+            self.skip(8); // k
+            self.skip(4 * 8); // alpha, beta, gamma, tau
+            self.skip(8 + 1 + 8 + 8 + 8 + 2); // window..init+track flags
+            self.skip(8 + 8 + 3); // queue_depth, min_token_len, tokenizer+weighting
+            let vocab_len = self.u64() as usize;
+            for _ in 0..vocab_len {
+                let token_len = self.u64() as usize;
+                self.skip(token_len);
+            }
+            let sf0_len = self.u64() as usize;
+            self.skip(sf0_len);
+            self.skip(8); // solver steps
+            self.u64() as usize // window length
+        }
+    }
+
+    /// Walks a serialized checkpoint up to the Sf-window section and
+    /// returns each entry's compaction tag (1 = store reference,
+    /// 0 = inline matrix).
+    fn window_tags(full: &[u8]) -> Vec<u8> {
+        let mut w = Walk { buf: full, pos: 0 };
+        let window_len = w.seek_window();
+        let mut tags = Vec::with_capacity(window_len);
+        for _ in 0..window_len {
+            let tag = w.u8();
+            tags.push(tag);
+            match tag {
+                1 => w.skip(8),
+                0 => {
+                    let len = w.u64() as usize;
+                    w.skip(len);
+                }
+                other => panic!("unknown window tag {other}"),
+            }
+        }
+        tags
+    }
+
+    fn streamed_engine(window: usize, store_budget: usize) -> crate::SentimentEngine {
+        use crate::{EngineBuilder, EngineSnapshot};
+        let corpus = tgs_data::generate(&tgs_data::presets::tiny(29));
+        let engine = EngineBuilder::new()
+            .k(3)
+            .max_iters(4)
+            .window(window)
+            .store_budget_bytes(store_budget)
+            .fit(&corpus)
+            .unwrap();
+        for (lo, hi) in tgs_data::day_windows(corpus.num_days, 1) {
+            engine
+                .ingest(EngineSnapshot::from_corpus_window(&corpus, lo, hi))
+                .unwrap();
+        }
+        engine.flush().unwrap();
+        engine
+    }
+
+    #[test]
+    fn window_is_compacted_into_store_references() {
+        // Default-sized store: every window matrix is still retained by
+        // the Sf store, so the whole window serializes as references.
+        let engine = streamed_engine(3, 64 << 20);
+        let ckpt = engine.checkpoint().unwrap();
+        let tags = window_tags(ckpt.as_bytes());
+        assert_eq!(tags.len(), 2, "window = 3 keeps w − 1 = 2 snapshots");
+        assert!(
+            tags.iter().all(|&t| t == 1),
+            "retained window matrices must be references, got {tags:?}"
+        );
+        // The references resolve on restore, bit-identically.
+        let restored = crate::SentimentEngine::restore(&ckpt).unwrap();
+        assert_eq!(restored.query().timeline(..), engine.query().timeline(..));
+        let ckpt2 = restored.checkpoint().unwrap();
+        assert_eq!(ckpt2.as_bytes(), ckpt.as_bytes(), "re-encode is stable");
+    }
+
+    #[test]
+    fn evicted_window_matrices_fall_back_to_inline() {
+        // A starving store budget keeps a single entry, so the older
+        // window matrix is gone from the store and must inline.
+        let engine = streamed_engine(3, 1);
+        let ckpt = engine.checkpoint().unwrap();
+        let tags = window_tags(ckpt.as_bytes());
+        assert_eq!(tags.len(), 2);
+        assert!(tags.contains(&0), "evicted matrix must inline: {tags:?}");
+        let restored = crate::SentimentEngine::restore(&ckpt).unwrap();
+        assert_eq!(restored.query().timeline(..), engine.query().timeline(..));
+    }
+
+    #[test]
+    fn dangling_window_reference_is_rejected() {
+        let engine = streamed_engine(2, 64 << 20);
+        let full = engine.checkpoint().unwrap().as_bytes().to_vec();
+        // Locate the single window entry (tag 1 + timestamp) and point it
+        // at a timestamp the store never held.
+        let tags = window_tags(&full);
+        assert_eq!(tags, vec![1]);
+        // Re-walk to the tag position; the referenced timestamp follows.
+        let mut w = Walk { buf: &full, pos: 0 };
+        w.seek_window();
+        let tag_offset = w.pos;
+        let mut tampered = full;
+        tampered[tag_offset + 1..tag_offset + 9].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = match decode(&EngineCheckpoint::from_bytes(tampered)) {
+            Err(e) => e,
+            Ok(_) => panic!("dangling window reference must fail decode"),
+        };
+        assert!(matches!(err, TgsError::CorruptCheckpoint { .. }));
+    }
 
     #[test]
     fn garbage_is_rejected_not_panicked() {

@@ -1,9 +1,11 @@
 //! The streaming session facade: ingest worker, state, and lifecycle.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use tgs_core::{OnlineConfig, OnlineSolver, SnapshotData, SnapshotStore, TgsError, TriInput};
@@ -63,6 +65,47 @@ enum Command {
     Sync(mpsc::Sender<()>),
 }
 
+/// Ingest-path counters, shared between producers, the worker thread and
+/// [`SentimentEngine::stats`]. All relaxed atomics — the stats are a
+/// monitoring surface, not a synchronization primitive.
+#[derive(Debug, Default)]
+pub(crate) struct EngineMetrics {
+    queued: AtomicU64,
+    ingested: AtomicU64,
+    dropped_capacity: AtomicU64,
+    last_step_ns: AtomicU64,
+}
+
+/// A point-in-time snapshot of an engine's ingest metrics — the
+/// backpressure surface printed by `tgs stream --stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Snapshots accepted into the queue but not yet processed.
+    pub queued: u64,
+    /// Snapshots fully processed (committed or skipped-as-empty).
+    pub ingested: u64,
+    /// Snapshots rejected by [`SentimentEngine::try_ingest`] because the
+    /// bounded queue was full.
+    pub dropped_capacity: u64,
+    /// Wall-clock nanoseconds the worker spent on the most recent
+    /// snapshot (tokenize + assemble + solve + commit).
+    pub last_step_ns: u64,
+}
+
+impl EngineStats {
+    /// Element-wise accumulation for multi-shard aggregation: counters
+    /// sum; `last_step_ns` takes the maximum (the slowest shard gates a
+    /// fan-out step's latency).
+    pub fn merge(&self, other: &EngineStats) -> EngineStats {
+        EngineStats {
+            queued: self.queued + other.queued,
+            ingested: self.ingested + other.ingested,
+            dropped_capacity: self.dropped_capacity + other.dropped_capacity,
+            last_step_ns: self.last_step_ns.max(other.last_step_ns),
+        }
+    }
+}
+
 /// A streaming sentiment session: owns the online solver, an ingest
 /// worker thread, and the queryable history.
 ///
@@ -78,6 +121,7 @@ pub struct SentimentEngine {
     shared: Arc<EngineShared>,
     state: Arc<Mutex<EngineState>>,
     solver: Arc<Mutex<OnlineSolver>>,
+    metrics: Arc<EngineMetrics>,
     tx: Option<SyncSender<Command>>,
     worker: Option<JoinHandle<()>>,
 }
@@ -90,20 +134,23 @@ impl SentimentEngine {
         let shared = Arc::new(shared);
         let state = Arc::new(Mutex::new(state));
         let solver = Arc::new(Mutex::new(solver));
+        let metrics = Arc::new(EngineMetrics::default());
         let (tx, rx) = mpsc::sync_channel(shared.queue_depth);
         let worker = {
             let shared = Arc::clone(&shared);
             let state = Arc::clone(&state);
             let solver = Arc::clone(&solver);
+            let metrics = Arc::clone(&metrics);
             std::thread::Builder::new()
                 .name("tgs-engine-worker".into())
-                .spawn(move || worker_loop(rx, shared, solver, state))
+                .spawn(move || worker_loop(rx, shared, solver, state, metrics))
                 .expect("spawning the engine worker thread")
         };
         Self {
             shared,
             state,
             solver,
+            metrics,
             tx: Some(tx),
             worker: Some(worker),
         }
@@ -115,11 +162,54 @@ impl SentimentEngine {
     /// (bounded backpressure). Processing failures surface on the next
     /// [`SentimentEngine::flush`].
     pub fn ingest(&self, snapshot: EngineSnapshot) -> Result<(), TgsError> {
-        self.tx
-            .as_ref()
-            .ok_or(TgsError::EngineClosed)?
-            .send(Command::Ingest(snapshot))
-            .map_err(|_| TgsError::EngineClosed)
+        let tx = self.tx.as_ref().ok_or(TgsError::EngineClosed)?;
+        // Count before sending: the worker decrements after processing,
+        // and a fast worker could otherwise finish (and decrement) before
+        // this thread's increment, transiently wrapping the counter.
+        self.metrics.queued.fetch_add(1, Ordering::Relaxed);
+        tx.send(Command::Ingest(snapshot)).map_err(|_| {
+            self.metrics.queued.fetch_sub(1, Ordering::Relaxed);
+            TgsError::EngineClosed
+        })
+    }
+
+    /// Non-blocking variant of [`SentimentEngine::ingest`]: returns
+    /// `Ok(false)` — and counts the snapshot in
+    /// [`EngineStats::dropped_capacity`] — when the bounded queue is
+    /// full, instead of blocking the producer. Load-shedding front ends
+    /// use this to keep their latency bounded under backpressure.
+    pub fn try_ingest(&self, snapshot: EngineSnapshot) -> Result<bool, TgsError> {
+        let tx = self.tx.as_ref().ok_or(TgsError::EngineClosed)?;
+        // Same ordering rationale as `ingest`: count first, undo on
+        // failure, so the worker's decrement can never observe 0.
+        self.metrics.queued.fetch_add(1, Ordering::Relaxed);
+        match tx.try_send(Command::Ingest(snapshot)) {
+            Ok(()) => Ok(true),
+            Err(TrySendError::Full(_)) => {
+                self.metrics.queued.fetch_sub(1, Ordering::Relaxed);
+                self.metrics
+                    .dropped_capacity
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(false)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.metrics.queued.fetch_sub(1, Ordering::Relaxed);
+                Err(TgsError::EngineClosed)
+            }
+        }
+    }
+
+    /// Current ingest metrics: queue depth, processed count, snapshots
+    /// shed at capacity, and the last snapshot's processing time.
+    /// Counters restart at zero on [`SentimentEngine::restore`] — they
+    /// describe this process's session, not the stream's history.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            queued: self.metrics.queued.load(Ordering::Relaxed),
+            ingested: self.metrics.ingested.load(Ordering::Relaxed),
+            dropped_capacity: self.metrics.dropped_capacity.load(Ordering::Relaxed),
+            last_step_ns: self.metrics.last_step_ns.load(Ordering::Relaxed),
+        }
     }
 
     /// Blocks until every queued snapshot has been processed, then
@@ -209,14 +299,24 @@ fn worker_loop(
     shared: Arc<EngineShared>,
     solver: Arc<Mutex<OnlineSolver>>,
     state: Arc<Mutex<EngineState>>,
+    metrics: Arc<EngineMetrics>,
 ) {
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Command::Ingest(snapshot) => {
                 let timestamp = snapshot.timestamp;
-                if let Err(e) = process(&shared, &solver, &state, snapshot) {
-                    state.lock().failures.push_back((timestamp, e));
+                let started = Instant::now();
+                match process(&shared, &solver, &state, snapshot) {
+                    Ok(()) => {
+                        metrics.ingested.fetch_add(1, Ordering::Relaxed);
+                        metrics.last_step_ns.store(
+                            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                            Ordering::Relaxed,
+                        );
+                    }
+                    Err(e) => state.lock().failures.push_back((timestamp, e)),
                 }
+                metrics.queued.fetch_sub(1, Ordering::Relaxed);
             }
             Command::Sync(ack) => {
                 let _ = ack.send(());

@@ -15,7 +15,13 @@
 //!   `timeline(range)`, `cluster_summary(t)`, `top_words(t, k)` over the
 //!   recorded history;
 //! * [`EngineCheckpoint`] — byte-exact checkpoint/restore of the whole
-//!   session, including the solver's temporal state.
+//!   session, including the solver's temporal state (window matrices are
+//!   compacted into references against the factor store);
+//! * [`ShardedEngine`] — the multi-shard router: `S` engine workers
+//!   behind one ingest/query seam, partitioned by user range, with a
+//!   merged [`ShardedQuery`] read side, aggregated [`EngineStats`], and
+//!   a validated multi-shard [`ShardedCheckpoint`]. One shard is
+//!   bit-identical to a plain [`SentimentEngine`].
 //!
 //! ```
 //! use tgs_data::{day_windows, generate, presets};
@@ -39,12 +45,14 @@ pub mod builder;
 pub mod checkpoint;
 mod engine;
 pub mod query;
+pub mod sharded;
 pub mod snapshot;
 
 pub use builder::{EngineBuilder, DEFAULT_QUEUE_DEPTH, DEFAULT_STORE_BUDGET_BYTES};
 pub use checkpoint::EngineCheckpoint;
-pub use engine::SentimentEngine;
+pub use engine::{EngineStats, SentimentEngine};
 pub use query::{ClusterSummary, EngineQuery, TimelineEntry, UserSentiment};
+pub use sharded::{ShardedCheckpoint, ShardedEngine, ShardedQuery};
 pub use snapshot::{DocContent, EngineDoc, EngineRetweet, EngineSnapshot};
 
 #[cfg(test)]
@@ -263,6 +271,54 @@ mod tests {
         let a = engine.query().timeline(..);
         let b = restored.query().timeline(..);
         assert_eq!(a, b, "post-restore results must be bit-identical");
+    }
+
+    #[test]
+    fn stats_track_ingest_and_backpressure() {
+        let c = corpus();
+        let engine = EngineBuilder::new()
+            .k(3)
+            .max_iters(8)
+            .queue_depth(1)
+            .fit(&c)
+            .expect("valid build");
+        assert_eq!(engine.stats(), EngineStats::default());
+        // Fill the bounded queue through the non-blocking path; with a
+        // queue depth of 1 and multi-millisecond solves per snapshot,
+        // capacity drops must appear long before the stream runs out.
+        let mut accepted = 0u64;
+        let mut dropped = 0u64;
+        for t in 0..10_000u64 {
+            let mut snap = EngineSnapshot::from_corpus_window(&c, 0, c.num_days);
+            snap.timestamp = t;
+            if engine.try_ingest(snap).unwrap() {
+                accepted += 1;
+            } else {
+                dropped += 1;
+                if dropped >= 3 {
+                    break;
+                }
+            }
+        }
+        engine.flush().unwrap();
+        let stats = engine.stats();
+        assert!(dropped >= 1, "queue_depth = 1 must shed load");
+        assert_eq!(stats.dropped_capacity, dropped);
+        assert_eq!(stats.ingested, accepted);
+        assert_eq!(stats.queued, 0, "flush drains the queue");
+        assert!(stats.last_step_ns > 0);
+        assert_eq!(engine.query().timeline(..).len() as u64, accepted);
+        // Aggregation: counters sum, latency takes the max.
+        let merged = stats.merge(&EngineStats {
+            queued: 1,
+            ingested: 2,
+            dropped_capacity: 3,
+            last_step_ns: u64::MAX,
+        });
+        assert_eq!(merged.queued, 1);
+        assert_eq!(merged.ingested, stats.ingested + 2);
+        assert_eq!(merged.dropped_capacity, stats.dropped_capacity + 3);
+        assert_eq!(merged.last_step_ns, u64::MAX);
     }
 
     #[test]

@@ -147,6 +147,14 @@ impl EngineQuery {
         state.timeline.values().next_back().cloned()
     }
 
+    /// Every committed snapshot timestamp, ascending — the keys of
+    /// [`EngineQuery::timeline`] without cloning the entries (the
+    /// multi-shard router unions these to count distinct steps).
+    pub fn timestamps(&self) -> Vec<u64> {
+        let state = self.state.lock();
+        state.timeline.keys().copied().collect()
+    }
+
     /// The user's sentiment as of time `at`: the newest recorded
     /// observation with `timestamp <= at`. [`TgsError::UnknownUser`] when
     /// the user has no observation at or before `at`.
@@ -201,36 +209,54 @@ impl EngineQuery {
         })
     }
 
+    /// The recorded word–sentiment factor `Sf` (`l × k`) of the snapshot
+    /// at exactly timestamp `t`. Fails with
+    /// [`TgsError::SnapshotUnavailable`] when the snapshot was never
+    /// ingested or its factors were evicted from the bounded store. The
+    /// multi-shard router merges these across shards before ranking.
+    pub fn sf_at(&self, t: u64) -> Result<tgs_linalg::DenseMatrix, TgsError> {
+        let state = self.state.lock();
+        state
+            .sf_store
+            .get(t)
+            .ok_or(TgsError::SnapshotUnavailable { timestamp: t })
+    }
+
     /// The `topk` highest-weight vocabulary features of each cluster's
     /// `Sf` column at timestamp `t` (ties break by feature id for
     /// determinism). Fails with [`TgsError::SnapshotUnavailable`] when the
     /// snapshot was never ingested or its factors were evicted from the
     /// bounded store.
     pub fn top_words(&self, t: u64, topk: usize) -> Result<Vec<Vec<(String, f64)>>, TgsError> {
-        let sf = {
-            let state = self.state.lock();
-            state
-                .sf_store
-                .get(t)
-                .ok_or(TgsError::SnapshotUnavailable { timestamp: t })?
-        };
-        let k = sf.cols();
-        let mut out = Vec::with_capacity(k);
-        for j in 0..k {
-            let mut scored: Vec<(usize, f64)> = (0..sf.rows()).map(|f| (f, sf.get(f, j))).collect();
-            scored.sort_unstable_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.0.cmp(&b.0))
-            });
-            out.push(
-                scored
-                    .into_iter()
-                    .take(topk)
-                    .map(|(f, w)| (self.shared.vocab.token(f).to_string(), w))
-                    .collect(),
-            );
-        }
-        Ok(out)
+        let sf = self.sf_at(t)?;
+        Ok(rank_top_words(&sf, &self.shared.vocab, topk))
     }
+}
+
+/// Ranks each `Sf` column's features: highest weight first, ties broken
+/// by feature id for determinism. Shared by the single-engine and
+/// multi-shard query paths.
+pub(crate) fn rank_top_words(
+    sf: &tgs_linalg::DenseMatrix,
+    vocab: &tgs_text::Vocabulary,
+    topk: usize,
+) -> Vec<Vec<(String, f64)>> {
+    let k = sf.cols();
+    let mut out = Vec::with_capacity(k);
+    for j in 0..k {
+        let mut scored: Vec<(usize, f64)> = (0..sf.rows()).map(|f| (f, sf.get(f, j))).collect();
+        scored.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        out.push(
+            scored
+                .into_iter()
+                .take(topk)
+                .map(|(f, w)| (vocab.token(f).to_string(), w))
+                .collect(),
+        );
+    }
+    out
 }

@@ -1,0 +1,694 @@
+//! The multi-shard router: `S` [`SentimentEngine`] workers behind one
+//! ingest/query seam.
+//!
+//! A [`ShardedEngine`] owns one worker per user-range shard (see
+//! `tgs_data::UserRangePartitioner`). Ingest **fans out**: each document
+//! follows its author's shard (re-tweets follow their document and are
+//! dropped — and counted — when they cross shards); every worker keeps
+//! its own ingest queue, worker thread and solver, so shard-local solves
+//! run concurrently on multi-core hosts. Queries **fan in**: timelines
+//! merge per timestamp, `top_words` merges the per-shard word–sentiment
+//! factors (weighted by shard tweet counts) before ranking, and per-user
+//! queries route transparently to the owning shard.
+//!
+//! With `shards = 1` the router is the identity: the single worker
+//! receives byte-identical snapshots, records a byte-identical timeline,
+//! and its checkpoint section equals a plain [`SentimentEngine`]
+//! checkpoint byte for byte (tested in `tests/sharded_engine.rs`). With
+//! more shards, shard solves are independent per snapshot — anchored to
+//! common cluster semantics by the shared lexicon prior — so merged
+//! timelines agree with the single-shard ones within a documented
+//! tolerance rather than exactly.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::RangeBounds;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::Mutex;
+use tgs_core::sharded::merge_sf;
+use tgs_core::TgsError;
+use tgs_data::{route_docs, UserRangePartitioner};
+use tgs_linalg::DenseMatrix;
+
+use crate::checkpoint::EngineCheckpoint;
+use crate::engine::{EngineStats, SentimentEngine};
+use crate::query::{rank_top_words, ClusterSummary, EngineQuery, TimelineEntry, UserSentiment};
+use crate::snapshot::{EngineRetweet, EngineSnapshot};
+
+/// Magic + format version prefix of the multi-shard checkpoint.
+const SHARD_MAGIC: &[u8; 8] = b"TGSSHR\x00\x01";
+
+/// A serialized multi-shard session: a validated header (shard count +
+/// partitioner parameters + fingerprint) followed by one length-prefixed
+/// [`EngineCheckpoint`] section per shard.
+#[derive(Debug, Clone)]
+pub struct ShardedCheckpoint {
+    bytes: Bytes,
+}
+
+impl ShardedCheckpoint {
+    /// Wraps previously serialized bytes (validation happens at
+    /// [`ShardedEngine::restore`]).
+    pub fn from_bytes(data: Vec<u8>) -> Self {
+        Self {
+            bytes: Bytes::from(data),
+        }
+    }
+
+    /// The serialized byte stream.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.bytes.as_slice()
+    }
+
+    /// Serialized size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the checkpoint holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// True when `data` carries the multi-shard magic (as opposed to a
+    /// single-engine [`EngineCheckpoint`] stream).
+    pub fn sniff(data: &[u8]) -> bool {
+        data.starts_with(SHARD_MAGIC)
+    }
+
+    /// The per-shard checkpoint sections, in shard order. Each section is
+    /// a complete single-engine checkpoint byte stream.
+    pub fn sections(&self) -> Result<Vec<Vec<u8>>, TgsError> {
+        let (_, sections) = decode_header(&self.bytes)?;
+        Ok(sections)
+    }
+}
+
+fn corrupt(what: &str) -> TgsError {
+    TgsError::corrupt(format!("truncated or malformed field: {what}"))
+}
+
+fn rd_u64(b: &mut Bytes, what: &str) -> Result<u64, TgsError> {
+    if b.remaining() < 8 {
+        return Err(corrupt(what));
+    }
+    Ok(b.get_u64_le())
+}
+
+/// Parses the header and splits off the per-shard sections.
+fn decode_header(bytes: &Bytes) -> Result<(UserRangePartitioner, Vec<Vec<u8>>), TgsError> {
+    let mut b = bytes.clone();
+    if b.remaining() < SHARD_MAGIC.len() {
+        return Err(corrupt("sharded magic header"));
+    }
+    let mut magic = [0u8; 8];
+    b.copy_to_slice(&mut magic);
+    if &magic != SHARD_MAGIC {
+        return Err(TgsError::corrupt(
+            "unrecognized magic header (not a multi-shard tgs-engine checkpoint)",
+        ));
+    }
+    // Bound the count against the remaining bytes (each section needs at
+    // least an 8-byte length prefix) so a crafted header cannot trigger a
+    // huge allocation — mirrors `rd_count` in the single-engine decoder.
+    let shards = usize::try_from(rd_u64(&mut b, "shard count")?)
+        .ok()
+        .filter(|&s| s >= 1 && s.saturating_mul(8) <= b.remaining())
+        .ok_or_else(|| corrupt("shard count"))?;
+    let universe = usize::try_from(rd_u64(&mut b, "partitioner universe")?)
+        .map_err(|_| corrupt("universe"))?;
+    let stride =
+        usize::try_from(rd_u64(&mut b, "partitioner stride")?).map_err(|_| corrupt("stride"))?;
+    let fingerprint = rd_u64(&mut b, "partitioner fingerprint")?;
+    let partitioner = UserRangePartitioner::new(universe, shards);
+    if partitioner.stride() != stride || partitioner.fingerprint() != fingerprint {
+        return Err(TgsError::corrupt(format!(
+            "partitioner mismatch: checkpoint declares stride {stride} / fingerprint \
+             {fingerprint:#x}, but {shards} shards over {universe} users derive stride {} / \
+             fingerprint {:#x}",
+            partitioner.stride(),
+            partitioner.fingerprint()
+        )));
+    }
+    let mut sections = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let len = usize::try_from(rd_u64(&mut b, "shard section length")?)
+            .map_err(|_| corrupt("shard section length"))?;
+        if b.remaining() < len {
+            return Err(TgsError::corrupt(format!(
+                "shard {shard} section claims {len} bytes but only {} remain",
+                b.remaining()
+            )));
+        }
+        let mut raw = vec![0u8; len];
+        b.copy_to_slice(&mut raw);
+        sections.push(raw);
+    }
+    if b.remaining() != 0 {
+        return Err(TgsError::corrupt(format!(
+            "{} trailing bytes after the final shard section",
+            b.remaining()
+        )));
+    }
+    Ok((partitioner, sections))
+}
+
+/// A fleet of per-shard [`SentimentEngine`] workers behind one router.
+///
+/// Built via [`crate::EngineBuilder::fit_sharded`]; see the module docs
+/// for the fan-out/fan-in semantics and the single-shard identity
+/// guarantee.
+pub struct ShardedEngine {
+    partitioner: UserRangePartitioner,
+    workers: Vec<SentimentEngine>,
+    dropped_cross_shard: AtomicU64,
+    /// Every timestamp ever fanned out (or restored). Workers enforce
+    /// append-only per shard, but a re-ingested timestamp whose documents
+    /// route to *different* shards than the original would slip past the
+    /// per-worker check and silently mix two snapshots in the merged
+    /// timeline — so the router enforces the invariant fleet-wide.
+    ingested: Mutex<BTreeSet<u64>>,
+}
+
+impl ShardedEngine {
+    pub(crate) fn start(partitioner: UserRangePartitioner, workers: Vec<SentimentEngine>) -> Self {
+        assert_eq!(
+            workers.len(),
+            partitioner.shards(),
+            "one worker per shard required"
+        );
+        let ingested = workers
+            .iter()
+            .flat_map(|w| w.query().timestamps())
+            .collect();
+        Self {
+            partitioner,
+            workers,
+            dropped_cross_shard: AtomicU64::new(0),
+            ingested: Mutex::new(ingested),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The routing function (shared with the checkpoint format).
+    pub fn partitioner(&self) -> &UserRangePartitioner {
+        &self.partitioner
+    }
+
+    /// Cross-shard re-tweets dropped at ingest so far (a re-tweet whose
+    /// user lives in a different shard than the document's author cannot
+    /// be represented once the user axis is partitioned).
+    pub fn dropped_cross_shard(&self) -> u64 {
+        self.dropped_cross_shard.load(Ordering::Relaxed)
+    }
+
+    /// Splits one snapshot into per-shard snapshots: documents follow
+    /// their author's shard; re-tweets follow their document and are
+    /// dropped when they cross shards. Pure routing — the caller commits
+    /// the dropped count only once the snapshot is accepted.
+    fn split(&self, snapshot: EngineSnapshot) -> Result<(Vec<EngineSnapshot>, usize), TgsError> {
+        let EngineSnapshot {
+            timestamp,
+            docs,
+            retweets,
+        } = snapshot;
+        let n = docs.len();
+        for r in &retweets {
+            if r.doc >= n {
+                return Err(TgsError::invalid_argument(format!(
+                    "retweet references document {} but the snapshot has {n}",
+                    r.doc
+                )));
+            }
+        }
+        let authors: Vec<usize> = docs.iter().map(|d| d.user).collect();
+        let events: Vec<(usize, usize)> = retweets.iter().map(|r| (r.user, r.doc)).collect();
+        let routing = route_docs(&self.partitioner, &authors, &events);
+        let mut shards: Vec<EngineSnapshot> = (0..self.shards())
+            .map(|_| EngineSnapshot::new(timestamp))
+            .collect();
+        for (doc, &shard) in docs.into_iter().zip(routing.doc_shard.iter()) {
+            shards[shard].docs.push(doc);
+        }
+        for (shard, events) in routing.shard_retweets.iter().enumerate() {
+            shards[shard].retweets = events
+                .iter()
+                .map(|&(user, doc)| EngineRetweet { user, doc })
+                .collect();
+        }
+        Ok((shards, routing.dropped_retweets))
+    }
+
+    /// Fans one snapshot out to the owning shards. Returns as soon as
+    /// every sub-snapshot is queued; shards whose slice is empty are
+    /// skipped entirely (their workers do not step). The stream is
+    /// append-only *fleet-wide*: re-ingesting an already-seen timestamp
+    /// is rejected here (synchronously), not per worker, so a duplicate
+    /// whose documents route to different shards than the original can
+    /// never partially commit.
+    pub fn ingest(&self, snapshot: EngineSnapshot) -> Result<(), TgsError> {
+        if snapshot.is_empty() {
+            // Workers skip empty snapshots without advancing the stream;
+            // the router mirrors that (the timestamp stays claimable).
+            return Ok(());
+        }
+        let timestamp = snapshot.timestamp;
+        // Validate + route before claiming the timestamp, so a malformed
+        // snapshot (dangling re-tweet reference) does not burn it.
+        let (subs, dropped) = self.split(snapshot)?;
+        if !self.ingested.lock().insert(timestamp) {
+            return Err(TgsError::invalid_argument(format!(
+                "timestamp {timestamp} already ingested; the stream is append-only"
+            )));
+        }
+        self.dropped_cross_shard
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        for (shard, sub) in subs.into_iter().enumerate() {
+            if !sub.is_empty() {
+                self.workers[shard].ingest(sub)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocks until every worker drained its queue, then reports the
+    /// first pending ingest failure (if any) or the number of distinct
+    /// timestamps in the merged timeline.
+    pub fn flush(&self) -> Result<u64, TgsError> {
+        let mut first_err = None;
+        for worker in &self.workers {
+            // Drain every worker even after a failure so the router never
+            // leaves queues half-processed.
+            if let Err(e) = worker.flush() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(self.steps()),
+        }
+    }
+
+    /// Distinct timestamps committed across all shards.
+    pub fn steps(&self) -> u64 {
+        let mut seen = BTreeSet::new();
+        for worker in &self.workers {
+            seen.extend(worker.query().timestamps());
+        }
+        seen.len() as u64
+    }
+
+    /// A read handle that fans queries across all shards.
+    pub fn query(&self) -> ShardedQuery {
+        ShardedQuery {
+            partitioner: self.partitioner.clone(),
+            queries: self.workers.iter().map(|w| w.query()).collect(),
+        }
+    }
+
+    /// Merged ingest metrics: counters sum across shards;
+    /// `last_step_ns` is the slowest shard's (it gates the fan-out's
+    /// latency).
+    pub fn stats(&self) -> EngineStats {
+        self.workers
+            .iter()
+            .map(SentimentEngine::stats)
+            .fold(EngineStats::default(), |acc, s| acc.merge(&s))
+    }
+
+    /// Drains every queue and serializes the whole fleet: a validated
+    /// header (shard count + partitioner parameters) followed by each
+    /// worker's [`EngineCheckpoint`] section.
+    pub fn checkpoint(&self) -> Result<ShardedCheckpoint, TgsError> {
+        let mut sections = Vec::with_capacity(self.workers.len());
+        for worker in &self.workers {
+            sections.push(worker.checkpoint()?);
+        }
+        let mut buf =
+            BytesMut::with_capacity(64 + sections.iter().map(|s| s.len() + 8).sum::<usize>());
+        buf.put_slice(SHARD_MAGIC);
+        buf.put_u64_le(self.workers.len() as u64);
+        buf.put_u64_le(self.partitioner.universe() as u64);
+        buf.put_u64_le(self.partitioner.stride() as u64);
+        buf.put_u64_le(self.partitioner.fingerprint());
+        for section in &sections {
+            buf.put_u64_le(section.len() as u64);
+            buf.put_slice(section.as_bytes());
+        }
+        Ok(ShardedCheckpoint {
+            bytes: buf.freeze(),
+        })
+    }
+
+    /// Rebuilds a fleet from a multi-shard checkpoint. The header's shard
+    /// count and partitioner parameters are validated against each other
+    /// (and the fingerprint) before any section decodes, so a restore can
+    /// never silently re-route users.
+    pub fn restore(ckpt: &ShardedCheckpoint) -> Result<Self, TgsError> {
+        let (partitioner, sections) = decode_header(&ckpt.bytes)?;
+        let workers = sections
+            .into_iter()
+            .map(|raw| SentimentEngine::restore(&EngineCheckpoint::from_bytes(raw)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::start(partitioner, workers))
+    }
+
+    /// Restores either checkpoint flavor from raw bytes: a multi-shard
+    /// stream rebuilds the fleet; a single-engine [`EngineCheckpoint`]
+    /// stream is wrapped as a one-shard fleet (the router is then the
+    /// identity). This is what `tgs query` serves from.
+    pub fn restore_any(data: Vec<u8>) -> Result<Self, TgsError> {
+        if ShardedCheckpoint::sniff(&data) {
+            return Self::restore(&ShardedCheckpoint::from_bytes(data));
+        }
+        let worker = SentimentEngine::restore(&EngineCheckpoint::from_bytes(data))?;
+        Ok(Self::start(UserRangePartitioner::new(1, 1), vec![worker]))
+    }
+
+    /// Drains every queue and stops all workers, surfacing the first
+    /// pending ingest failure instead of discarding it.
+    pub fn shutdown(self) -> Result<(), TgsError> {
+        let outcome = self.flush();
+        for worker in self.workers {
+            // Queues are already drained; shutdown only joins the worker
+            // (and would re-surface the same failure we already hold).
+            let _ = worker.shutdown();
+        }
+        outcome.map(|_| ())
+    }
+}
+
+/// Read handle over a [`ShardedEngine`]'s merged history.
+#[derive(Clone)]
+pub struct ShardedQuery {
+    partitioner: UserRangePartitioner,
+    queries: Vec<EngineQuery>,
+}
+
+/// Folds shard `b` into the merged entry `a` (same timestamp).
+fn merge_entries(a: &mut TimelineEntry, b: &TimelineEntry) {
+    a.tweets += b.tweets;
+    a.users += b.users;
+    a.new_users += b.new_users;
+    a.evolving_users += b.evolving_users;
+    // The slowest shard gates the step; convergence means *every* shard
+    // converged; objectives are additive across disjoint shards.
+    a.iterations = a.iterations.max(b.iterations);
+    a.converged &= b.converged;
+    a.objective += b.objective;
+    for (x, y) in a.tweet_counts.iter_mut().zip(&b.tweet_counts) {
+        *x += y;
+    }
+    for (x, y) in a.user_counts.iter_mut().zip(&b.user_counts) {
+        *x += y;
+    }
+}
+
+impl ShardedQuery {
+    /// Number of sentiment clusters.
+    pub fn k(&self) -> usize {
+        self.queries[0].k()
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Merged timeline entries whose timestamp falls in `range`,
+    /// ascending. Per timestamp, shard aggregates sum (tweets, users,
+    /// per-cluster counts, objective), `iterations` is the slowest
+    /// shard's, and `converged` requires every shard to have converged.
+    pub fn timeline<R: RangeBounds<u64> + Clone>(&self, range: R) -> Vec<TimelineEntry> {
+        let mut merged: BTreeMap<u64, TimelineEntry> = BTreeMap::new();
+        for query in &self.queries {
+            for entry in query.timeline(range.clone()) {
+                match merged.entry(entry.timestamp) {
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        slot.insert(entry);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut slot) => {
+                        merge_entries(slot.get_mut(), &entry);
+                    }
+                }
+            }
+        }
+        merged.into_values().collect()
+    }
+
+    /// The most recent merged timeline entry, if any.
+    pub fn latest(&self) -> Option<TimelineEntry> {
+        let t = self
+            .queries
+            .iter()
+            .filter_map(|q| q.latest().map(|e| e.timestamp))
+            .max()?;
+        self.timeline(t..=t).pop()
+    }
+
+    /// The user's sentiment as of `at`, answered by the shard that owns
+    /// the user (shard-transparent: callers never see the routing).
+    pub fn user_sentiment(&self, user: usize, at: u64) -> Result<UserSentiment, TgsError> {
+        self.queries[self.partitioner.shard_of(user)].user_sentiment(user, at)
+    }
+
+    /// Every recorded observation for the user, ascending by timestamp.
+    pub fn user_timeline(&self, user: usize) -> Result<Vec<(u64, Vec<f64>)>, TgsError> {
+        self.queries[self.partitioner.shard_of(user)].user_timeline(user)
+    }
+
+    /// Users with recorded history across all shards (shards are
+    /// user-disjoint, so the sum never double-counts).
+    pub fn known_users(&self) -> usize {
+        self.queries.iter().map(EngineQuery::known_users).sum()
+    }
+
+    /// Per-cluster composition of the merged snapshot at exactly `t`.
+    pub fn cluster_summary(&self, t: u64) -> Result<ClusterSummary, TgsError> {
+        let entry = self
+            .timeline(t..=t)
+            .pop()
+            .ok_or(TgsError::SnapshotUnavailable { timestamp: t })?;
+        Ok(ClusterSummary {
+            timestamp: t,
+            tweet_shares: entry.tweet_shares(),
+            tweet_counts: entry.tweet_counts,
+            user_counts: entry.user_counts,
+        })
+    }
+
+    /// Cross-shard `top_words`: merges the shards' word–sentiment factors
+    /// at `t` — weighted by each shard's tweet count that snapshot, in
+    /// fixed shard order — then ranks the merged columns. Fails with
+    /// [`TgsError::SnapshotUnavailable`] when no shard recorded `t`, or
+    /// when any shard that did has already evicted its factors (a partial
+    /// merge would silently skew the ranking).
+    pub fn top_words(&self, t: u64, topk: usize) -> Result<Vec<Vec<(String, f64)>>, TgsError> {
+        let mut parts: Vec<(f64, DenseMatrix)> = Vec::new();
+        for query in &self.queries {
+            match query.cluster_summary(t) {
+                Ok(summary) => {
+                    let weight = summary.tweet_counts.iter().sum::<usize>() as f64;
+                    parts.push((weight, query.sf_at(t)?));
+                }
+                Err(TgsError::SnapshotUnavailable { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        // The solvers' merge policy verbatim (single part = bit-exact
+        // clone), so engine-level rankings can never drift from
+        // `solve_offline_sharded` / `ShardedOnlineSolver` semantics.
+        let borrowed: Vec<(f64, &DenseMatrix)> = parts.iter().map(|(w, sf)| (*w, sf)).collect();
+        let sf = merge_sf(&borrowed).ok_or(TgsError::SnapshotUnavailable { timestamp: t })?;
+        Ok(rank_top_words(&sf, &self.queries[0].shared.vocab, topk))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EngineBuilder, EngineSnapshot};
+    use tgs_data::{day_windows, generate, GeneratorConfig};
+
+    fn corpus() -> tgs_data::Corpus {
+        generate(&GeneratorConfig {
+            num_users: 24,
+            total_tweets: 200,
+            num_days: 8,
+            ..Default::default()
+        })
+    }
+
+    fn sharded(corpus: &tgs_data::Corpus, shards: usize) -> ShardedEngine {
+        EngineBuilder::new()
+            .k(3)
+            .max_iters(8)
+            .fit_sharded(corpus, shards)
+            .expect("valid build")
+    }
+
+    fn stream(engine: &ShardedEngine, corpus: &tgs_data::Corpus) {
+        for (lo, hi) in day_windows(corpus.num_days, 2) {
+            engine
+                .ingest(EngineSnapshot::from_corpus_window(corpus, lo, hi))
+                .unwrap();
+        }
+        engine.flush().unwrap();
+    }
+
+    #[test]
+    fn fan_out_covers_every_tweet_and_user_query_routes() {
+        let c = corpus();
+        let engine = sharded(&c, 3);
+        stream(&engine, &c);
+        let query = engine.query();
+        let timeline = query.timeline(..);
+        assert_eq!(timeline.len() as u64, engine.steps());
+        let total: usize = timeline.iter().map(|e| e.tweets).sum();
+        assert_eq!(total, c.num_tweets(), "no tweet may vanish in fan-out");
+        for entry in &timeline {
+            assert_eq!(entry.tweet_counts.iter().sum::<usize>(), entry.tweets);
+            assert_eq!(entry.user_counts.iter().sum::<usize>(), entry.users);
+        }
+        // Every author answers through the router.
+        let last = timeline.last().unwrap().timestamp;
+        for t in c.tweets.iter().take(40) {
+            let s = query.user_sentiment(t.author, last).unwrap();
+            assert_eq!(s.distribution.len(), 3);
+        }
+        // Merged summary and top words answer for a recorded snapshot.
+        let summary = query.cluster_summary(timeline[0].timestamp).unwrap();
+        assert!((summary.tweet_shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let words = query.top_words(timeline[0].timestamp, 5).unwrap();
+        assert_eq!(words.len(), 3);
+        assert!(words.iter().all(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrips_the_fleet() {
+        let c = corpus();
+        let engine = sharded(&c, 2);
+        stream(&engine, &c);
+        let ckpt = engine.checkpoint().unwrap();
+        assert!(ShardedCheckpoint::sniff(ckpt.as_bytes()));
+        assert_eq!(ckpt.sections().unwrap().len(), 2);
+
+        let restored = ShardedEngine::restore(&ckpt).unwrap();
+        assert_eq!(restored.shards(), 2);
+        assert_eq!(restored.query().timeline(..), engine.query().timeline(..));
+        // Restored fleet keeps solving bit-identically.
+        let extra = EngineSnapshot::from_corpus_window(&c, 0, c.num_days);
+        let mut a_snap = extra.clone();
+        a_snap.timestamp = 1000;
+        let mut b_snap = extra;
+        b_snap.timestamp = 1000;
+        engine.ingest(a_snap).unwrap();
+        restored.ingest(b_snap).unwrap();
+        engine.flush().unwrap();
+        restored.flush().unwrap();
+        assert_eq!(restored.query().timeline(..), engine.query().timeline(..));
+    }
+
+    #[test]
+    fn restore_rejects_tampered_headers() {
+        let c = corpus();
+        let engine = sharded(&c, 2);
+        stream(&engine, &c);
+        let full = engine.checkpoint().unwrap().as_bytes().to_vec();
+        // Shard count flipped: partitioner fingerprint no longer matches.
+        let mut wrong_shards = full.clone();
+        wrong_shards[8..16].copy_from_slice(&3u64.to_le_bytes());
+        assert!(ShardedEngine::restore(&ShardedCheckpoint::from_bytes(wrong_shards)).is_err());
+        // Universe flipped: same.
+        let mut wrong_universe = full.clone();
+        wrong_universe[16..24].copy_from_slice(&7u64.to_le_bytes());
+        assert!(ShardedEngine::restore(&ShardedCheckpoint::from_bytes(wrong_universe)).is_err());
+        // Truncated section.
+        let cut = full.len() - 9;
+        assert!(
+            ShardedEngine::restore(&ShardedCheckpoint::from_bytes(full[..cut].to_vec())).is_err()
+        );
+        assert!(ShardedEngine::restore(&ShardedCheckpoint::from_bytes(full)).is_ok());
+    }
+
+    #[test]
+    fn restore_any_wraps_single_engine_checkpoints() {
+        let c = corpus();
+        let single = EngineBuilder::new().k(3).max_iters(8).fit(&c).unwrap();
+        for (lo, hi) in day_windows(c.num_days, 2) {
+            single
+                .ingest(EngineSnapshot::from_corpus_window(&c, lo, hi))
+                .unwrap();
+        }
+        single.flush().unwrap();
+        let ckpt = single.checkpoint().unwrap();
+        let wrapped = ShardedEngine::restore_any(ckpt.as_bytes().to_vec()).unwrap();
+        assert_eq!(wrapped.shards(), 1);
+        assert_eq!(wrapped.query().timeline(..), single.query().timeline(..));
+        let t = single.query().latest().unwrap().timestamp;
+        assert_eq!(
+            wrapped.query().top_words(t, 6).unwrap(),
+            single.query().top_words(t, 6).unwrap()
+        );
+    }
+
+    #[test]
+    fn cross_shard_retweets_are_counted() {
+        let c = corpus();
+        let engine = sharded(&c, 4);
+        let full = EngineSnapshot::from_corpus_window(&c, 0, c.num_days);
+        let had_retweets = !full.retweets.is_empty();
+        engine.ingest(full).unwrap();
+        engine.flush().unwrap();
+        if had_retweets {
+            // The synthetic corpus re-tweets across the user range, so 4
+            // shards must drop at least one edge.
+            assert!(engine.dropped_cross_shard() > 0);
+        }
+    }
+
+    #[test]
+    fn duplicate_timestamps_rejected_fleet_wide() {
+        // A duplicate whose documents route to a *different* shard than
+        // the original would pass every per-worker append-only check;
+        // the router must reject it synchronously.
+        let c = corpus();
+        let engine = sharded(&c, 2);
+        let shard_user = |shard: usize| {
+            (0..c.num_users())
+                .find(|&u| engine.partitioner().shard_of(u) == shard)
+                .expect("both shards own users")
+        };
+        let mut first = EngineSnapshot::new(5);
+        first.push_tokens(shard_user(0), vec!["hello".into()]);
+        engine.ingest(first).unwrap();
+        let mut dup = EngineSnapshot::new(5);
+        dup.push_tokens(shard_user(1), vec!["hello".into()]);
+        let err = engine.ingest(dup).unwrap_err();
+        assert_eq!(err.kind(), tgs_core::TgsErrorKind::InvalidArgument);
+        engine.flush().unwrap();
+        assert_eq!(engine.steps(), 1, "the duplicate must not commit anywhere");
+        // A fresh timestamp still flows normally afterwards.
+        let mut next = EngineSnapshot::new(6);
+        next.push_tokens(shard_user(1), vec!["hello".into()]);
+        engine.ingest(next).unwrap();
+        engine.flush().unwrap();
+        assert_eq!(engine.steps(), 2);
+    }
+
+    #[test]
+    fn stats_aggregate_across_workers() {
+        let c = corpus();
+        let engine = sharded(&c, 2);
+        stream(&engine, &c);
+        let stats = engine.stats();
+        assert_eq!(stats.queued, 0);
+        assert!(stats.ingested > 0);
+        assert!(stats.last_step_ns > 0);
+    }
+}

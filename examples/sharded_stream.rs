@@ -1,0 +1,77 @@
+//! Sharded streaming demo: fan a daily stream across a fleet of
+//! user-range shard workers, watch the backpressure metrics, then
+//! checkpoint the whole fleet and serve queries from the restored copy.
+//!
+//! ```text
+//! cargo run --release --example sharded_stream
+//! ```
+
+use tripartite_sentiment::prelude::*;
+
+fn main() -> Result<(), TgsError> {
+    let corpus = generate(&presets::prop30_small(42));
+    println!(
+        "corpus: {} tweets, {} users, {} days",
+        corpus.num_tweets(),
+        corpus.num_users(),
+        corpus.num_days
+    );
+
+    // One engine worker per user-range shard; documents follow their
+    // author's shard, the word axis stays global. `--shards 1` would be
+    // bit-identical to the unsharded SentimentEngine.
+    let shards = 4;
+    let engine = EngineBuilder::new()
+        .k(3)
+        .max_iters(15)
+        .fit_sharded(&corpus, shards)?;
+
+    for (lo, hi) in day_windows(corpus.num_days, 1) {
+        engine.ingest(EngineSnapshot::from_corpus_window(&corpus, lo, hi))?;
+    }
+    let steps = engine.flush()?;
+    let stats = engine.stats();
+    println!(
+        "streamed {steps} snapshots over {shards} shards \
+         (ingested {} shard-slices, slowest step {:.2} ms, \
+         {} cross-shard retweets dropped)",
+        stats.ingested,
+        stats.last_step_ns as f64 / 1e6,
+        engine.dropped_cross_shard(),
+    );
+
+    // Queries fan in: merged timeline, shard-transparent user lookups.
+    let query = engine.query();
+    for entry in query.timeline(..).iter().take(3) {
+        let shares: Vec<String> = entry
+            .tweet_shares()
+            .iter()
+            .map(|s| format!("{:.0}%", 100.0 * s))
+            .collect();
+        println!(
+            "  t={}: {} tweets / {} users -> [{}]",
+            entry.timestamp,
+            entry.tweets,
+            entry.users,
+            shares.join(" ")
+        );
+    }
+
+    // Checkpoint the fleet (validated multi-shard header + one section
+    // per worker) and answer from the restored copy.
+    let ckpt = engine.checkpoint()?;
+    let restored = ShardedEngine::restore_any(ckpt.as_bytes().to_vec())?;
+    let last = restored.query().latest().expect("history recorded");
+    let words = restored.query().top_words(last.timestamp, 4)?;
+    println!(
+        "restored {} shards from a {}-byte checkpoint; top words at t={}:",
+        restored.shards(),
+        ckpt.len(),
+        last.timestamp
+    );
+    for (c, cluster) in words.iter().enumerate() {
+        let listed: Vec<String> = cluster.iter().map(|(w, _)| w.clone()).collect();
+        println!("  class {c}: {}", listed.join(", "));
+    }
+    Ok(())
+}

@@ -5,6 +5,10 @@
 # trajectory baseline: the `offline_iteration_k10/seed_baseline` series
 # is a frozen snapshot of the pre-workspace implementation (see
 # crates/bench/src/seed_baseline.rs) and must keep its meaning forever.
+# The `sharded_offline_solve/10_iters/{1,2,4}` series tracks the
+# user-range sharded solver (parallel shard-local sweeps + global Sf
+# merge); on a single-vCPU host it measures sharding overhead, on
+# multi-core hosts it is the scaling series (see PERF.md).
 #
 # Set BENCH_FAST=1 for a quick smoke regeneration (fewer samples).
 set -euo pipefail

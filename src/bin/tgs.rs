@@ -3,18 +3,21 @@
 //! ```text
 //! tgs generate --preset prop30-small --seed 42 --out corpus.tsv
 //! tgs analyze  --corpus corpus.tsv [--k 3 --alpha 0.05 --beta 0.8] --out sentiments.tsv
-//! tgs stream   --corpus corpus.tsv [--window-days 1 --gamma 0.2] --out timeline.tsv \
-//!              [--checkpoint engine.ckpt]
+//! tgs stream   --corpus corpus.tsv [--window-days 1 --gamma 0.2 --shards 4] \
+//!              --out timeline.tsv [--checkpoint engine.ckpt] [--stats]
 //! tgs query    --checkpoint engine.ckpt (--timeline LO..HI | --user U [--at T] |
 //!              --summary T | --top-words T [--words N])
 //! tgs stats    --corpus corpus.tsv
 //! ```
 //!
 //! `stream` runs the online solver (Algorithm 2) through the
-//! [`SentimentEngine`] facade and can persist the whole session as a
-//! checkpoint; `query` restores such a checkpoint and serves the history
-//! API (`timeline`, `user`, `summary`, `top-words`) without re-solving
-//! anything. Every subcommand accepts `--help`, all flags are declared in
+//! [`ShardedEngine`] router (`--shards N` user-range shards, each its own
+//! [`SentimentEngine`] worker; `--shards 1` is bit-identical to the
+//! single-engine path) and can persist the whole session as a
+//! checkpoint; `query` restores either checkpoint flavor and serves the
+//! history API (`timeline`, `user`, `summary`, `top-words`) without
+//! re-solving anything. `--stats` surfaces the ingest/backpressure
+//! metrics. Every subcommand accepts `--help`, all flags are declared in
 //! one table, and every failure is a typed [`TgsError`].
 
 use std::collections::HashMap;
@@ -67,6 +70,17 @@ const fn maybe(name: &'static str, value: &'static str, help: &'static str) -> F
     FlagSpec {
         name,
         value,
+        help,
+        default: None,
+        required: false,
+    }
+}
+
+/// A valueless boolean flag: present ⇒ `"true"`.
+const fn switch(name: &'static str, help: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        value: "",
         help,
         default: None,
         required: false,
@@ -127,11 +141,21 @@ const COMMANDS: &[CommandSpec] = &[
             opt("tau", "F", "0.9", "window decay factor"),
             opt("iters", "N", "40", "per-snapshot iteration cap"),
             opt("seed", "N", "42", "solver RNG seed"),
+            opt(
+                "shards",
+                "N",
+                "1",
+                "user-range shards (one engine worker per shard)",
+            ),
             req("out", "PATH", "output timeline file"),
             maybe(
                 "checkpoint",
                 "PATH",
                 "also persist the full engine session for `tgs query`",
+            ),
+            switch(
+                "stats",
+                "print ingest/backpressure metrics after the stream",
             ),
         ],
         run: cmd_stream,
@@ -219,6 +243,11 @@ fn parse_flags(spec: &CommandSpec, args: &[String]) -> Result<Flags, TgsError> {
                 spec.name, spec.name
             )));
         };
+        if flag.value.is_empty() {
+            // A switch: presence is the value.
+            values.insert(flag.name, "true".to_string());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| TgsError::invalid_argument(format!("--{key} needs a {}", flag.value)))?;
@@ -243,15 +272,19 @@ fn parse_flags(spec: &CommandSpec, args: &[String]) -> Result<Flags, TgsError> {
 fn command_help(spec: &CommandSpec) -> String {
     let mut usage = format!("USAGE:\n  tgs {}", spec.name);
     for f in spec.flags {
-        if f.required {
-            usage.push_str(&format!(" --{} <{}>", f.name, f.value));
-        } else {
-            usage.push_str(&format!(" [--{} <{}>]", f.name, f.value));
+        match (f.required, f.value.is_empty()) {
+            (true, _) => usage.push_str(&format!(" --{} <{}>", f.name, f.value)),
+            (false, true) => usage.push_str(&format!(" [--{}]", f.name)),
+            (false, false) => usage.push_str(&format!(" [--{} <{}>]", f.name, f.value)),
         }
     }
     let mut out = format!("tgs {} — {}\n\n{usage}\n\nFLAGS:\n", spec.name, spec.about);
     for f in spec.flags {
-        let head = format!("  --{} <{}>", f.name, f.value);
+        let head = if f.value.is_empty() {
+            format!("  --{}", f.name)
+        } else {
+            format!("  --{} <{}>", f.name, f.value)
+        };
         let suffix = match f.default {
             Some(d) => format!("{} [default: {d}]", f.help),
             None if f.required => format!("{} (required)", f.help),
@@ -434,10 +467,11 @@ fn cmd_stream(flags: &Flags) -> Result<(), TgsError> {
         seed: flags.get("seed")?,
         ..Default::default()
     };
+    let shards: usize = flags.get("shards")?;
     let engine = EngineBuilder::new()
         .online(config)
         .pipeline(pipeline())
-        .fit(&corpus)?;
+        .fit_sharded(&corpus, shards)?;
     for (lo, hi) in day_windows(corpus.num_days, window) {
         engine.ingest(EngineSnapshot::from_corpus_window(&corpus, lo, hi))?;
     }
@@ -471,14 +505,27 @@ fn cmd_stream(flags: &Flags) -> Result<(), TgsError> {
         )
         .map_err(write_err)?;
     }
-    eprintln!("processed {steps} snapshots; wrote timeline to {out_path}");
+    eprintln!("processed {steps} snapshots across {shards} shard(s); wrote timeline to {out_path}");
+
+    if flags.str_opt("stats").is_some() {
+        let s = engine.stats();
+        eprintln!(
+            "stats: queued {} | ingested {} | dropped_capacity {} | last_step {:.3} ms | \
+             cross-shard retweets dropped {}",
+            s.queued,
+            s.ingested,
+            s.dropped_capacity,
+            s.last_step_ns as f64 / 1e6,
+            engine.dropped_cross_shard(),
+        );
+    }
 
     if let Some(path) = flags.str_opt("checkpoint") {
         let ckpt = engine.checkpoint()?;
         std::fs::write(path, ckpt.as_bytes())
             .map_err(|e| TgsError::io(format!("cannot write {path}"), e))?;
         eprintln!(
-            "checkpointed the engine session ({} bytes) to {path}",
+            "checkpointed the {shards}-shard engine session ({} bytes) to {path}",
             ckpt.len()
         );
     }
@@ -488,7 +535,9 @@ fn cmd_stream(flags: &Flags) -> Result<(), TgsError> {
 fn cmd_query(flags: &Flags) -> Result<(), TgsError> {
     let path = flags.str("checkpoint");
     let bytes = std::fs::read(path).map_err(|e| TgsError::io(format!("cannot read {path}"), e))?;
-    let engine = SentimentEngine::restore(&EngineCheckpoint::from_bytes(bytes))?;
+    // Serves both checkpoint flavors: multi-shard streams rebuild the
+    // fleet, single-engine streams are wrapped as a one-shard fleet.
+    let engine = ShardedEngine::restore_any(bytes)?;
     let query = engine.query();
 
     if let Some(range) = flags.str_opt("timeline") {

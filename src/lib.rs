@@ -17,7 +17,9 @@
 //! * [`core`] — the offline/online tri-clustering solvers and the
 //!   [`core::TgsError`] taxonomy;
 //! * [`engine`] — [`engine::SentimentEngine`]: the streaming session
-//!   facade (async ingest, queryable history, checkpoint/restore);
+//!   facade (async ingest, queryable history, checkpoint/restore), and
+//!   [`engine::ShardedEngine`]: the user-range multi-shard router over
+//!   `S` such workers (`tgs stream --shards N`);
 //! * [`baselines`] — SVM, NB, LP, UserReg, ESSA, ONMTF, BACG, k-means;
 //! * [`eval`] — clustering accuracy, NMI, ARI, Hungarian assignment.
 //!
@@ -77,13 +79,18 @@ pub mod prelude {
         solve_offline, try_solve_offline, InitStrategy, ObjectiveParts, OfflineConfig,
         OnlineConfig, OnlineSolver, SnapshotData, TgsError, TgsErrorKind, TriFactors, TriInput,
     };
+    pub use tgs_core::{
+        solve_offline_sharded, try_solve_offline_sharded, ShardedOfflineResult, ShardedOnlineSolver,
+    };
     pub use tgs_data::{
-        build_offline, corpus_stats, daily_tweet_counts, day_windows, generate, presets, top_words,
-        Corpus, GeneratorConfig, ProblemInstance, SnapshotBuilder,
+        build_offline, build_offline_sharded, corpus_stats, daily_tweet_counts, day_windows,
+        generate, presets, top_words, Corpus, GeneratorConfig, ProblemInstance, ShardedProblem,
+        SnapshotBuilder, UserRangePartitioner,
     };
     pub use tgs_engine::{
         ClusterSummary, EngineBuilder, EngineCheckpoint, EngineDoc, EngineQuery, EngineSnapshot,
-        SentimentEngine, TimelineEntry, UserSentiment,
+        EngineStats, SentimentEngine, ShardedCheckpoint, ShardedEngine, ShardedQuery,
+        TimelineEntry, UserSentiment,
     };
     pub use tgs_eval::{clustering_accuracy, nmi, ConfusionMatrix};
     pub use tgs_graph::UserGraph;

@@ -106,6 +106,68 @@ fn lifecycle_ingest_query_checkpoint_restore_determinism() {
 }
 
 #[test]
+fn compacted_checkpoint_preserves_queries_for_retained_timestamps() {
+    // Checkpoint compaction: budget-evicted factor snapshots are never
+    // serialized (and the Sf window references store entries instead of
+    // duplicating them). With a starving store budget the stream evicts
+    // its early factors; the restored session must answer *retained*
+    // timestamps identically and fail evicted ones identically.
+    let c = corpus();
+    let engine = EngineBuilder::new()
+        .k(3)
+        .max_iters(12)
+        .seed(42)
+        .store_budget_bytes(24_000) // a few l × k matrices at tiny-corpus vocab size
+        .fit(&c)
+        .expect("valid configuration");
+    ingest(&engine, &c, &day_windows(c.num_days, 1));
+    let query = engine.query();
+    let timeline = query.timeline(..);
+    let (mut evicted, mut retained) = (Vec::new(), Vec::new());
+    for entry in &timeline {
+        match query.top_words(entry.timestamp, 3) {
+            Ok(_) => retained.push(entry.timestamp),
+            Err(TgsError::SnapshotUnavailable { .. }) => evicted.push(entry.timestamp),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(
+        !evicted.is_empty() && !retained.is_empty(),
+        "budget must split the stream into evicted + retained \
+         ({evicted:?} / {retained:?})"
+    );
+
+    let ckpt = engine.checkpoint().expect("compacted checkpoint");
+    let restored = SentimentEngine::restore(&ckpt).expect("restores");
+    let rq = restored.query();
+    // The aggregate history survives in full…
+    assert_eq!(rq.timeline(..), timeline);
+    // …retained timestamps answer identically…
+    for &t in &retained {
+        assert_eq!(
+            rq.top_words(t, 5).unwrap(),
+            query.top_words(t, 5).unwrap(),
+            "retained t = {t}"
+        );
+    }
+    // …and evicted ones fail identically (they were never serialized).
+    for &t in &evicted {
+        assert!(matches!(
+            rq.top_words(t, 5),
+            Err(TgsError::SnapshotUnavailable { .. })
+        ));
+    }
+    // Subsequent solves stay bit-identical despite the compaction.
+    let mut snap = EngineSnapshot::from_corpus_window(&c, 0, c.num_days);
+    snap.timestamp = 1000;
+    engine.ingest(snap.clone()).unwrap();
+    restored.ingest(snap).unwrap();
+    engine.flush().unwrap();
+    restored.flush().unwrap();
+    assert_eq!(restored.query().timeline(..), engine.query().timeline(..));
+}
+
+#[test]
 fn checkpoint_bytes_roundtrip_through_storage() {
     // Simulate persistence: serialize to raw bytes (as `tgs stream
     // --checkpoint` writes to disk) and rebuild from the byte copy.

@@ -1,0 +1,180 @@
+//! Shard-parity integration tests for the [`ShardedEngine`] router.
+//!
+//! * `shards = 1` is an *identity*: the single worker receives
+//!   byte-identical snapshots, so the merged timeline equals the plain
+//!   [`SentimentEngine`] timeline exactly and the checkpoint's one shard
+//!   section equals the single-engine checkpoint byte for byte.
+//! * `shards ∈ {2, 4}` solve each shard independently (coupled only by
+//!   the shared lexicon prior anchoring cluster semantics), so merged
+//!   timelines agree with the single-shard ones within a documented
+//!   tolerance rather than exactly: on the preset `tiny(42)` corpus the
+//!   mean per-cluster tweet-share divergence measures ≈ 0.08 (worst
+//!   single entry ≈ 0.28); the assertions below allow 0.15 / 0.45.
+
+use tripartite_sentiment::prelude::*;
+
+fn corpus() -> Corpus {
+    generate(&presets::tiny(42))
+}
+
+fn single_over(c: &Corpus) -> SentimentEngine {
+    EngineBuilder::new()
+        .k(3)
+        .max_iters(12)
+        .seed(42)
+        .fit(c)
+        .expect("valid configuration")
+}
+
+fn sharded_over(c: &Corpus, shards: usize) -> ShardedEngine {
+    EngineBuilder::new()
+        .k(3)
+        .max_iters(12)
+        .seed(42)
+        .fit_sharded(c, shards)
+        .expect("valid configuration")
+}
+
+fn windows(c: &Corpus) -> Vec<(u32, u32)> {
+    day_windows(c.num_days, 1)
+}
+
+#[test]
+fn single_shard_timeline_and_checkpoint_bytes_match_sentiment_engine() {
+    let c = corpus();
+    let single = single_over(&c);
+    let sharded = sharded_over(&c, 1);
+    for (lo, hi) in windows(&c) {
+        let snap = EngineSnapshot::from_corpus_window(&c, lo, hi);
+        single.ingest(snap.clone()).unwrap();
+        sharded.ingest(snap).unwrap();
+    }
+    single.flush().unwrap();
+    sharded.flush().unwrap();
+
+    // Timelines are exactly equal — every field of every entry.
+    let a = single.query().timeline(..);
+    let b = sharded.query().timeline(..);
+    assert_eq!(a, b, "shards = 1 must be the identity");
+    assert_eq!(sharded.dropped_cross_shard(), 0);
+
+    // Per-user histories answer identically through the router.
+    let last = a.last().unwrap().timestamp;
+    for user in 0..c.num_users() {
+        match (
+            single.query().user_sentiment(user, last),
+            sharded.query().user_sentiment(user, last),
+        ) {
+            (Ok(x), Ok(y)) => assert_eq!(x, y, "user {user}"),
+            (Err(_), Err(_)) => {}
+            (x, y) => panic!("user {user}: routing diverged ({x:?} vs {y:?})"),
+        }
+    }
+    assert_eq!(
+        single.query().top_words(last, 6).unwrap(),
+        sharded.query().top_words(last, 6).unwrap()
+    );
+
+    // The multi-shard checkpoint's only section is byte-identical to the
+    // plain engine checkpoint.
+    let ckpt_single = single.checkpoint().unwrap();
+    let ckpt_sharded = sharded.checkpoint().unwrap();
+    let sections = ckpt_sharded.sections().unwrap();
+    assert_eq!(sections.len(), 1);
+    assert_eq!(
+        sections[0].as_slice(),
+        ckpt_single.as_bytes(),
+        "one-shard checkpoint section must equal the single-engine bytes"
+    );
+}
+
+#[test]
+fn multi_shard_timelines_agree_with_single_shard_within_tolerance() {
+    let c = corpus();
+    let run = |shards: usize| {
+        let engine = sharded_over(&c, shards);
+        for (lo, hi) in windows(&c) {
+            engine
+                .ingest(EngineSnapshot::from_corpus_window(&c, lo, hi))
+                .unwrap();
+        }
+        engine.flush().unwrap();
+        engine.query().timeline(..)
+    };
+    let base = run(1);
+    for shards in [2usize, 4] {
+        let timeline = run(shards);
+        assert_eq!(timeline.len(), base.len(), "shards = {shards}");
+        let mut total_diff = 0.0f64;
+        let mut worst_diff = 0.0f64;
+        let mut samples = 0usize;
+        for (a, b) in base.iter().zip(&timeline) {
+            // Structure is exact: same timestamps, and fan-out loses no
+            // tweet (documents always follow their author).
+            assert_eq!(a.timestamp, b.timestamp);
+            assert_eq!(a.tweets, b.tweets, "t = {}", a.timestamp);
+            // Only re-tweet-only users whose edge crossed shards may
+            // vanish from a snapshot's user set.
+            assert!(b.users <= a.users, "t = {}", a.timestamp);
+            for (x, y) in a.tweet_shares().iter().zip(b.tweet_shares()) {
+                let d = (x - y).abs();
+                total_diff += d;
+                worst_diff = worst_diff.max(d);
+                samples += 1;
+            }
+        }
+        let mean_diff = total_diff / samples as f64;
+        assert!(
+            mean_diff < 0.15,
+            "shards = {shards}: mean share divergence {mean_diff:.4} (documented tolerance 0.15)"
+        );
+        assert!(
+            worst_diff < 0.45,
+            "shards = {shards}: worst share divergence {worst_diff:.4} (documented tolerance 0.45)"
+        );
+    }
+}
+
+#[test]
+fn multi_shard_checkpoint_restores_and_keeps_solving_deterministically() {
+    let c = corpus();
+    let all = windows(&c);
+    let (head, tail) = all.split_at(all.len() / 2);
+
+    let engine = sharded_over(&c, 4);
+    for &(lo, hi) in head {
+        engine
+            .ingest(EngineSnapshot::from_corpus_window(&c, lo, hi))
+            .unwrap();
+    }
+    engine.flush().unwrap();
+    let ckpt = engine.checkpoint().unwrap();
+
+    // Round-trip through raw bytes, as `tgs stream --checkpoint` would.
+    let restored = ShardedEngine::restore_any(ckpt.as_bytes().to_vec()).unwrap();
+    assert_eq!(restored.shards(), 4);
+    assert_eq!(restored.query().timeline(..), engine.query().timeline(..));
+
+    for &(lo, hi) in tail {
+        let snap = EngineSnapshot::from_corpus_window(&c, lo, hi);
+        engine.ingest(snap.clone()).unwrap();
+        restored.ingest(snap).unwrap();
+    }
+    engine.flush().unwrap();
+    restored.flush().unwrap();
+    let a = engine.query().timeline(..);
+    let b = restored.query().timeline(..);
+    assert_eq!(a, b, "post-restore multi-shard solves must be identical");
+
+    // The restored fleet serves the full history API.
+    let last = b.last().unwrap().timestamp;
+    let summary = restored.query().cluster_summary(last).unwrap();
+    assert_eq!(
+        summary.tweet_counts.iter().sum::<usize>(),
+        b.last().unwrap().tweets
+    );
+    let words = restored.query().top_words(last, 5).unwrap();
+    assert_eq!(words.len(), 3);
+    let author = c.tweets[0].author;
+    assert!(restored.query().user_sentiment(author, last).is_ok());
+}
