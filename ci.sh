@@ -22,6 +22,9 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+echo "==> bench smoke (quick run so bench code can't bit-rot)"
+./scripts/bench_json.sh --quick
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "==> regenerating benchmark artifacts"
     ./scripts/bench_json.sh

@@ -170,26 +170,87 @@ fn bench_online_vs_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// The amortized-bind series: what `UpdateWorkspace::bind` costs per
+/// online step when the workspace is thrown away every snapshot
+/// (`cold` — the pre-PR-4 behavior: three fresh `O(nnz)` transposes +
+/// allocations per day) versus kept across snapshots (`amortized` —
+/// content fingerprints skip unchanged matrices entirely and changed
+/// ones rebuild into existing buffers). The two days alternate a fresh
+/// `Xp` (new tweets) over a stable user base (`Xu`/`Xr`/graph shared),
+/// the shape the paper's daily cadence produces when the active user
+/// set is sticky.
+fn bench_online_step_rebind(c: &mut Criterion) {
+    let (n, m, l) = (20_000usize, 2_500usize, 10_000usize);
+    let mut rng = seeded_rng(31);
+    let xp_day_a = tgs_bench::common::random_csr_with(n, l, 10, 0.2..2.0, &mut rng);
+    let xp_day_b = tgs_bench::common::random_csr_with(n, l, 10, 0.2..2.0, &mut rng);
+    let xu = tgs_bench::common::random_csr_with(m, l, 20, 0.2..2.0, &mut rng);
+    let xr = tgs_bench::common::random_csr_with(m, n, n / m, 0.2..2.0, &mut rng);
+    let edges: Vec<(usize, usize, f64)> = (0..m * 4)
+        .map(|_| (rng.random_range(0..m), rng.random_range(0..m), 1.0))
+        .filter(|&(a, b, _)| a != b)
+        .collect();
+    let graph = UserGraph::from_edges(m, &edges);
+    let sf0 = DenseMatrix::filled(l, 3, 1.0 / 3.0);
+    let days = [
+        TriInput {
+            xp: &xp_day_a,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        },
+        TriInput {
+            xp: &xp_day_b,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        },
+    ];
+
+    let mut group = c.benchmark_group("online_step_rebind");
+    let mut day = 0usize;
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            // Fresh workspace per snapshot: every bind pays three full
+            // transposes plus their allocations.
+            let mut ws = UpdateWorkspace::new();
+            ws.bind(&days[day % 2]);
+            day += 1;
+            black_box(&ws);
+        })
+    });
+    let mut ws = UpdateWorkspace::new();
+    ws.bind(&days[0]);
+    ws.bind(&days[1]); // both days' shapes warm
+    let mut day = 0usize;
+    group.bench_function("amortized", |b| {
+        b.iter(|| {
+            // Persistent workspace: Xu/Xr/graph fingerprints match every
+            // day, so only the day's Xp is re-transposed — into the
+            // existing buffers.
+            ws.bind(&days[day % 2]);
+            day += 1;
+            black_box(&ws);
+        })
+    });
+    group.finish();
+}
+
 /// Preset synthetic instance for the iteration benchmark.
 fn synthetic_sweep_instance(
     n: usize,
     m: usize,
     l: usize,
 ) -> (CsrMatrix, CsrMatrix, CsrMatrix, UserGraph, DenseMatrix) {
-    // sized like one day of the paper's Prop 30 stream (Table 3)
+    // sized like one day of the paper's Prop 30 stream (Table 3);
+    // the shared-rng stream through `random_csr_with` reproduces the
+    // series' historical instance exactly
     let mut rng = seeded_rng(23);
-    let rand_csr = |rows: usize, cols: usize, per_row: usize, rng: &mut rand::rngs::StdRng| {
-        let mut trip = Vec::with_capacity(rows * per_row);
-        for r in 0..rows {
-            for _ in 0..per_row {
-                trip.push((r, rng.random_range(0..cols), rng.random_range(0.2..2.0)));
-            }
-        }
-        CsrMatrix::from_triplets(rows, cols, &trip).unwrap()
-    };
-    let xp = rand_csr(n, l, 10, &mut rng);
-    let xu = rand_csr(m, l, 20, &mut rng);
-    let xr = rand_csr(m, n, n / m.max(1), &mut rng);
+    let xp = tgs_bench::common::random_csr_with(n, l, 10, 0.2..2.0, &mut rng);
+    let xu = tgs_bench::common::random_csr_with(m, l, 20, 0.2..2.0, &mut rng);
+    let xr = tgs_bench::common::random_csr_with(m, n, n / m.max(1), 0.2..2.0, &mut rng);
     let edges: Vec<(usize, usize, f64)> = (0..m * 4)
         .map(|_| (rng.random_range(0..m), rng.random_range(0..m), 1.0))
         .filter(|&(a, b, _)| a != b)
@@ -266,6 +327,7 @@ criterion_group!(
     bench_offline_iteration_fused_vs_reference,
     bench_offline_scaling,
     bench_sharded_offline,
-    bench_online_vs_batch
+    bench_online_vs_batch,
+    bench_online_step_rebind
 );
 criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Interleaved fused-sweep vs frozen-seed-baseline rounds on the
+//! `offline_iteration_k10` instance. Shared/noisy hosts can throttle
+//! between separate bench invocations; interleaving the two
+//! implementations in one process makes the *ratio* robust to that, so
+//! this is the number to quote when absolute medians look unstable
+//! (see PERF.md "PR 4").
+use rand::RngExt;
+use std::time::Instant;
+use tgs_core::{TriFactors, TriInput, UpdateWorkspace};
+use tgs_graph::UserGraph;
+use tgs_linalg::{seeded_rng, DenseMatrix};
+
+fn main() {
+    let (n, m, l, k) = (40_000usize, 5_000usize, 10_000usize, 10usize);
+    // Same shared-rng stream as `benches/solvers.rs`'s preset instance.
+    let mut rng = seeded_rng(23);
+    let xp = tgs_bench::common::random_csr_with(n, l, 10, 0.2..2.0, &mut rng);
+    let xu = tgs_bench::common::random_csr_with(m, l, 20, 0.2..2.0, &mut rng);
+    let xr = tgs_bench::common::random_csr_with(m, n, n / m, 0.2..2.0, &mut rng);
+    let edges: Vec<(usize, usize, f64)> = (0..m * 4)
+        .map(|_| (rng.random_range(0..m), rng.random_range(0..m), 1.0))
+        .filter(|&(a, b, _)| a != b)
+        .collect();
+    let graph = UserGraph::from_edges(m, &edges);
+    let sf0 = DenseMatrix::filled(l, k, 0.1);
+    let input = TriInput {
+        xp: &xp,
+        xu: &xu,
+        xr: &xr,
+        graph: &graph,
+        sf0: &sf0,
+    };
+
+    let mut f_seed = TriFactors::random(n, m, l, k, 99);
+    let mut f_fused = TriFactors::random(n, m, l, k, 99);
+    let mut ws = UpdateWorkspace::new();
+    ws.bind(&input);
+    ws.sweep_offline(&input, &mut f_fused, 0.1, 0.5, &sf0);
+    std::hint::black_box(ws.objective_offline(&input, &f_fused, 0.1, 0.5).total());
+    std::hint::black_box(tgs_bench::seed_baseline::iteration(
+        &input,
+        &mut f_seed,
+        0.1,
+        0.5,
+    ));
+
+    let rounds = 6;
+    let mut best_seed = f64::MAX;
+    let mut best_fused = f64::MAX;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        for _ in 0..2 {
+            std::hint::black_box(tgs_bench::seed_baseline::iteration(
+                &input,
+                &mut f_seed,
+                0.1,
+                0.5,
+            ));
+        }
+        let seed_ms = t.elapsed().as_secs_f64() * 1e3 / 2.0;
+        let t = Instant::now();
+        for _ in 0..2 {
+            ws.sweep_offline(&input, &mut f_fused, 0.1, 0.5, &sf0);
+            std::hint::black_box(ws.objective_offline(&input, &f_fused, 0.1, 0.5).total());
+        }
+        let fused_ms = t.elapsed().as_secs_f64() * 1e3 / 2.0;
+        println!(
+            "round: seed {seed_ms:8.2} ms | fused {fused_ms:8.2} ms | ratio {:.3}",
+            fused_ms / seed_ms
+        );
+        best_seed = best_seed.min(seed_ms);
+        best_fused = best_fused.min(fused_ms);
+    }
+    println!(
+        "best:  seed {best_seed:8.2} ms | fused {best_fused:8.2} ms | ratio {:.3}",
+        best_fused / best_seed
+    );
+    println!("PR1 committed ratio (32.36 / 52.42) = 0.617; target fused <= seed * 0.536 (1.15x vs PR1 33.8ms at PR1 seed speed)");
+}

@@ -78,6 +78,45 @@ pub fn pipeline() -> PipelineConfig {
     cfg
 }
 
+/// A random sparse matrix with `per_row` entries per row, values drawn
+/// uniformly from `values` — the synthetic-matrix builder shared by the
+/// kernel benches, the solver-iteration benches and `fused_ratio`. The
+/// RNG stream is consumed as `(column, value)` per entry, so instances
+/// built with a shared `rng` across several matrices (the preset
+/// solver-iteration instance) keep their historical data exactly.
+pub fn random_csr_with(
+    rows: usize,
+    cols: usize,
+    per_row: usize,
+    values: std::ops::Range<f64>,
+    rng: &mut rand::rngs::StdRng,
+) -> tgs_linalg::CsrMatrix {
+    use rand::RngExt;
+    let mut trip = Vec::with_capacity(rows * per_row);
+    for r in 0..rows {
+        for _ in 0..per_row {
+            trip.push((
+                r,
+                rng.random_range(0..cols),
+                rng.random_range(values.clone()),
+            ));
+        }
+    }
+    tgs_linalg::CsrMatrix::from_triplets(rows, cols, &trip).unwrap()
+}
+
+/// [`random_csr_with`] with its own seeded RNG (independent matrices).
+pub fn random_csr(
+    rows: usize,
+    cols: usize,
+    per_row: usize,
+    values: std::ops::Range<f64>,
+    seed: u64,
+) -> tgs_linalg::CsrMatrix {
+    let mut rng = tgs_linalg::seeded_rng(seed);
+    random_csr_with(rows, cols, per_row, values, &mut rng)
+}
+
 type CorpusCache = Mutex<HashMap<(Topic, Scale), Arc<Corpus>>>;
 type InstanceCache = Mutex<HashMap<(Topic, Scale), Arc<ProblemInstance>>>;
 

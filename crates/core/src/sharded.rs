@@ -223,6 +223,12 @@ pub fn try_solve_offline_sharded(
         let merged = merge_sf(&parts).expect("at least one active shard");
         for s in states.iter_mut().filter(|s| s.active) {
             s.factors.sf.copy_from(&merged);
+            // The merge replaced Sf behind the workspace's back; drop
+            // the cached Grams or the next sweep reuses the pre-merge
+            // SfᵀSf. (With one shard the merge is a bit-exact clone, so
+            // the forced recompute is bit-identical and the shards=1 ==
+            // unsharded guarantee holds unchanged.)
+            s.workspace.invalidate_factor_caches();
         }
 
         if hit_tol {

@@ -29,7 +29,8 @@
 //! sweeps through this engine.
 
 use tgs_linalg::{
-    laplacian_quad, mult_update, mult_update_from_parts, split_pos_neg_into, CscView, DenseMatrix,
+    laplacian_quad, mult_update, mult_update_from_parts, split_pos_neg_into, CscView, CsrMatrix,
+    DenseMatrix,
 };
 
 use crate::factors::TriFactors;
@@ -44,8 +45,13 @@ use crate::objective::ObjectiveParts;
 /// [`sweep_online`](UpdateWorkspace::sweep_online) per iteration.
 #[derive(Debug, Clone, Default)]
 pub struct UpdateWorkspace {
-    /// Cached transposes of (`Xp`, `Xu`, `Xr`), rebuilt by `bind`.
-    csc: Option<Caches>,
+    /// Cached transposes + fingerprints of `Xp` / `Xu` / `Xr`,
+    /// incrementally refreshed by `bind` (unchanged matrices keep their
+    /// cached transpose; changed ones rebuild into the existing
+    /// allocations).
+    xp_bind: Option<BoundMatrix>,
+    xu_bind: Option<BoundMatrix>,
+    xr_bind: Option<BoundMatrix>,
 
     // --- per-sweep shared products ---
     xp_sf: DenseMatrix, // n×k  Xp·Sf
@@ -78,11 +84,14 @@ pub struct UpdateWorkspace {
     // --- objective caches (see objective_offline / objective_online) ---
     obj_cross_p: DenseMatrix, // k×k, Spᵀ·(Xp·Sf) snapshot from rule_hp
 
-    /// True when `sf_gram`/`su_gram` already hold the Gram of the
-    /// *current* `Sf`/`Su` (set at the natural refresh points, consumed
-    /// by the next sweep's warm-up to skip an identical recompute).
+    /// True when `sf_gram`/`su_gram`/`sp_gram` already hold the Gram of
+    /// the *current* `Sf`/`Su`/`Sp` (set at the natural refresh points —
+    /// since the gram-in-update fusion, usually inside
+    /// [`mult_update_from_parts`] itself — consumed by the next sweep's
+    /// warm-up to skip an identical recompute).
     sf_gram_fresh: bool,
     su_gram_fresh: bool,
+    sp_gram_fresh: bool,
 
     // --- small k×k scratch ---
     delta: DenseMatrix,
@@ -93,19 +102,75 @@ pub struct UpdateWorkspace {
     kt: DenseMatrix,
 }
 
+/// One bound data matrix: its cached transpose plus the identity of the
+/// content it was built from.
 #[derive(Debug, Clone)]
-struct Caches {
-    xp_t: CscView,
-    xu_t: CscView,
-    xr_t: CscView,
-    shape: (usize, usize, usize), // (n, m, l)
-    /// `(nnz(Xp), nnz(Xu), nnz(Xr))` — a cheap fingerprint so a rebind
-    /// against different same-shape data is caught (shape alone would
-    /// silently accept stale cached transposes/norms).
-    nnz: (usize, usize, usize),
-    /// (`‖Xp‖²`, `‖Xu‖²`, `‖Xr‖²`) — constants of the bound window,
-    /// recomputed by the reference objective on every call.
-    x_norms: (f64, f64, f64),
+struct BoundMatrix {
+    /// The cached `Xᵀ` view (forward, row-parallel products).
+    xt: CscView,
+    /// Shape of the bound matrix.
+    shape: (usize, usize),
+    /// Stored entries of the bound matrix.
+    nnz: usize,
+    /// [`CsrMatrix::content_fingerprint`] of the bound matrix — the full
+    /// content hash, so a rebind against different same-shape data can
+    /// never silently keep a stale transpose. `None` when the last bind
+    /// skipped hashing because shape/nnz already proved the matrix
+    /// changed (the common per-day case pays zero hashing).
+    fingerprint: Option<u64>,
+    /// `‖X‖²` — a constant of the bound window, recomputed from scratch
+    /// by the reference objective on every call.
+    frob_sq: f64,
+}
+
+impl BoundMatrix {
+    /// Incrementally binds `x` into `slot`: an unchanged matrix (same
+    /// shape, nnz and content fingerprint) keeps its cached transpose, a
+    /// changed one rebuilds **into the existing allocations**
+    /// ([`CscView::rebind`]), and only a first bind allocates. This is
+    /// the amortized-rebind path of the online solvers: a window
+    /// shifting by one snapshot re-transposes only the matrices that
+    /// actually changed, allocation-free once warm.
+    fn bind(slot: &mut Option<BoundMatrix>, x: &CsrMatrix) {
+        let shape = x.shape();
+        let nnz = x.nnz();
+        match slot {
+            // Same shape and nnz: the matrix *might* be unchanged — the
+            // content hash decides. Hashing is the price of safely
+            // skipping the transpose, paid only in this branch; when a
+            // cached hash is absent the rebuild is unconditional.
+            Some(b) if b.shape == shape && b.nnz == nnz => {
+                let fingerprint = x.content_fingerprint();
+                if b.fingerprint != Some(fingerprint) {
+                    b.xt.rebind(x);
+                    b.frob_sq = x.frobenius_sq();
+                }
+                b.fingerprint = Some(fingerprint);
+            }
+            // Shape or nnz differ: provably changed, rebuild into the
+            // existing buffers without paying the O(nnz) hash.
+            Some(b) => {
+                b.xt.rebind(x);
+                b.shape = shape;
+                b.nnz = nnz;
+                b.fingerprint = None;
+                b.frob_sq = x.frobenius_sq();
+            }
+            None => {
+                *slot = Some(BoundMatrix {
+                    xt: CscView::of(x),
+                    shape,
+                    nnz,
+                    fingerprint: Some(x.content_fingerprint()),
+                    frob_sq: x.frobenius_sq(),
+                });
+            }
+        }
+    }
+
+    fn matches(&self, x: &CsrMatrix) -> bool {
+        self.shape == x.shape() && self.nnz == x.nnz()
+    }
 }
 
 impl UpdateWorkspace {
@@ -114,33 +179,32 @@ impl UpdateWorkspace {
         Self::default()
     }
 
-    /// Builds (or rebuilds) the cached `Xpᵀ`/`Xuᵀ`/`Xrᵀ` views for
-    /// `input`. Call once per offline solve / per online snapshot; the
-    /// `O(nnz)` cost amortizes over every sweep of the window.
+    /// Builds (or incrementally rebuilds) the cached `Xpᵀ`/`Xuᵀ`/`Xrᵀ`
+    /// views for `input`. Call once per offline solve / per online
+    /// snapshot; the `O(nnz)` cost amortizes over every sweep of the
+    /// window — and across *snapshots*: each matrix is content-
+    /// fingerprinted, unchanged matrices keep their cached transpose
+    /// outright, and changed ones rebuild into the existing allocations,
+    /// so a window shifting by one snapshot rebinds only what moved.
     pub fn bind(&mut self, input: &TriInput<'_>) {
-        self.csc = Some(Caches {
-            xp_t: CscView::of(input.xp),
-            xu_t: CscView::of(input.xu),
-            xr_t: CscView::of(input.xr),
-            shape: (input.n(), input.m(), input.l()),
-            nnz: (input.xp.nnz(), input.xu.nnz(), input.xr.nnz()),
-            x_norms: (
-                input.xp.frobenius_sq(),
-                input.xu.frobenius_sq(),
-                input.xr.frobenius_sq(),
-            ),
-        });
+        BoundMatrix::bind(&mut self.xp_bind, input.xp);
+        BoundMatrix::bind(&mut self.xu_bind, input.xu);
+        BoundMatrix::bind(&mut self.xr_bind, input.xr);
         self.sf_gram_fresh = false;
         self.su_gram_fresh = false;
+        self.sp_gram_fresh = false;
     }
 
     /// True when [`bind`](UpdateWorkspace::bind) has been called for a
-    /// matching input shape.
+    /// matching input shape (cheap per-sweep guard; `bind` itself
+    /// verifies full content fingerprints).
     pub fn is_bound_to(&self, input: &TriInput<'_>) -> bool {
-        self.csc.as_ref().is_some_and(|c| {
-            c.shape == (input.n(), input.m(), input.l())
-                && c.nnz == (input.xp.nnz(), input.xu.nnz(), input.xr.nnz())
-        })
+        match (&self.xp_bind, &self.xu_bind, &self.xr_bind) {
+            (Some(xp), Some(xu), Some(xr)) => {
+                xp.matches(input.xp) && xu.matches(input.xu) && xr.matches(input.xr)
+            }
+            _ => false,
+        }
     }
 
     #[track_caller]
@@ -148,9 +212,13 @@ impl UpdateWorkspace {
         assert!(
             self.is_bound_to(input),
             "UpdateWorkspace::bind must be called before sweeping this input \
-             (input shape {:?}, bound shape {:?})",
+             (input shape {:?}, bound shapes {:?})",
             (input.n(), input.m(), input.l()),
-            self.csc.as_ref().map(|c| c.shape),
+            (
+                self.xp_bind.as_ref().map(|b| b.shape),
+                self.xu_bind.as_ref().map(|b| b.shape),
+                self.xr_bind.as_ref().map(|b| b.shape),
+            ),
         );
     }
 
@@ -168,9 +236,11 @@ impl UpdateWorkspace {
         self.assert_bound(input);
         // Shared products valid for the whole sweep (Sf/Su settle last /
         // are refreshed after their own updates below). Grams already
-        // fresh from the previous iteration's tail (post-Su refresh /
-        // objective evaluation) are not recomputed — the recompute would
-        // be bit-identical.
+        // fresh from the previous iteration's tail — since the
+        // gram-in-update fusion every rule that goes through
+        // `mult_update_from_parts` refreshes its factor's Gram inside
+        // the update pass itself — are not recomputed; the recompute
+        // would be bit-identical.
         input.xp.mul_dense_into(&f.sf, &mut self.xp_sf);
         input.xu.mul_dense_into(&f.sf, &mut self.xu_sf);
         if !self.sf_gram_fresh {
@@ -180,15 +250,14 @@ impl UpdateWorkspace {
             f.su.gram_into(&mut self.su_gram);
         }
 
-        self.rule_sp(f);
-        f.sp.gram_into(&mut self.sp_gram);
+        self.rule_sp(f); // fuses sp_gram
+        self.sp_gram_fresh = true;
         self.rule_hp(f);
-        self.rule_su_offline(input, f, beta);
-        f.su.gram_into(&mut self.su_gram);
+        self.rule_su_offline(input, f, beta); // fuses su_gram
         self.su_gram_fresh = true;
         self.rule_hu(f);
-        self.rule_sf(f, alpha, sf_target);
-        self.sf_gram_fresh = false;
+        self.rule_sf(f, alpha, sf_target); // fuses sf_gram
+        self.sf_gram_fresh = true;
     }
 
     /// One full online iteration (Algorithm 2 line order: `Sf`, `Sp`,
@@ -214,22 +283,24 @@ impl UpdateWorkspace {
             "one Suw row per evolving user required"
         );
         // Grams of the factors as they stand at iteration start; Sf's
-        // shared products are computed after its own update below. A
-        // `su_gram` left fresh by the previous iteration's objective
-        // evaluation is reused (the recompute would be bit-identical).
-        f.sp.gram_into(&mut self.sp_gram);
+        // shared products are computed after its own update below. Grams
+        // left fresh by the previous iteration's tail — `sp_gram` by the
+        // fused `Sp` rule, `su_gram` by the objective evaluation — are
+        // reused (the recompute would be bit-identical).
+        if !self.sp_gram_fresh {
+            f.sp.gram_into(&mut self.sp_gram);
+        }
         if !self.su_gram_fresh {
             f.su.gram_into(&mut self.su_gram);
         }
 
-        self.rule_sf(f, alpha, sf_target);
-        f.sf.gram_into(&mut self.sf_gram);
+        self.rule_sf(f, alpha, sf_target); // fuses sf_gram
         self.sf_gram_fresh = true;
         input.xp.mul_dense_into(&f.sf, &mut self.xp_sf);
         input.xu.mul_dense_into(&f.sf, &mut self.xu_sf);
 
-        self.rule_sp(f);
-        f.sp.gram_into(&mut self.sp_gram);
+        self.rule_sp(f); // fuses sp_gram
+        self.sp_gram_fresh = true;
         self.rule_hp(f);
         self.rule_hu(f);
         self.rule_su_online(input, f, beta, gamma, new_rows, evolving_rows, su_target);
@@ -237,12 +308,13 @@ impl UpdateWorkspace {
     }
 
     /// Eq. (9) / Eq. (22): `Sp` update. Requires fresh `xp_sf`,
-    /// `sf_gram`, `su_gram`.
+    /// `sf_gram`, `su_gram`. Leaves `sp_gram` holding the Gram of the
+    /// **updated** `Sp` (fused gram-in-update pass).
     fn rule_sp(&mut self, f: &mut TriFactors) {
         // A = (Xp·Sf)·Hpᵀ (n×k), C = Xrᵀ·Su (n×k, forward pass).
         self.xp_sf.matmul_transpose_into(&f.hp, &mut self.a);
-        let caches = self.csc.as_ref().expect("workspace must be bound");
-        caches.xr_t.transpose_mul_dense_into(&f.su, &mut self.c);
+        let xr_t = &self.xr_bind.as_ref().expect("workspace must be bound").xt;
+        xr_t.transpose_mul_dense_into(&f.su, &mut self.c);
         // K₁ = Hp·(SfᵀSf)·Hpᵀ.
         f.hp.matmul_into(&self.sf_gram, &mut self.kt);
         self.kt.matmul_transpose_into(&f.hp, &mut self.k1);
@@ -264,6 +336,7 @@ impl UpdateWorkspace {
             &[],
             None,
             0.0,
+            Some(&mut self.sp_gram),
         );
     }
 
@@ -289,7 +362,8 @@ impl UpdateWorkspace {
     }
 
     /// Eq. (11): offline `Su` update. Requires fresh `xu_sf`, `sf_gram`,
-    /// `sp_gram`.
+    /// `sp_gram`. Leaves `su_gram` holding the Gram of the **updated**
+    /// `Su` (fused gram-in-update pass).
     fn rule_su_offline(&mut self, input: &TriInput<'_>, f: &mut TriFactors, beta: f64) {
         let degrees = input.graph.degrees();
         // B = (Xu·Sf)·Huᵀ, D = Xr·Sp, Gu·Su, Lu·Su = Du·Su − Gu·Su.
@@ -324,17 +398,20 @@ impl UpdateWorkspace {
             &[(beta, &self.gu_su)],
             Some((beta, degrees)),
             0.0,
+            Some(&mut self.su_gram),
         );
     }
 
     /// Eq. (7) offline / Eq. (23) online: `Sf` update. Requires fresh
-    /// `sp_gram`, `su_gram`.
+    /// `sp_gram`, `su_gram`. Leaves `sf_gram` holding the Gram of the
+    /// **updated** `Sf` (fused gram-in-update pass).
     fn rule_sf(&mut self, f: &mut TriFactors, alpha: f64, sf_target: &DenseMatrix) {
-        let caches = self.csc.as_ref().expect("workspace must be bound");
+        let xu_t = &self.xu_bind.as_ref().expect("workspace must be bound").xt;
+        let xp_t = &self.xp_bind.as_ref().expect("workspace must be bound").xt;
         // E₁ = (Xuᵀ·Su)·Hu, E₂ = (Xpᵀ·Sp)·Hp (both l×k, forward passes).
-        caches.xu_t.transpose_mul_dense_into(&f.su, &mut self.l_tmp);
+        xu_t.transpose_mul_dense_into(&f.su, &mut self.l_tmp);
         self.l_tmp.matmul_into(&f.hu, &mut self.e1);
-        caches.xp_t.transpose_mul_dense_into(&f.sp, &mut self.l_tmp);
+        xp_t.transpose_mul_dense_into(&f.sp, &mut self.l_tmp);
         self.l_tmp.matmul_into(&f.hp, &mut self.e2);
         // K₁ = Huᵀ·(SuᵀSu)·Hu, K₂ = Hpᵀ·(SpᵀSp)·Hp.
         f.hu.transpose_matmul_into(&self.su_gram, &mut self.kt);
@@ -365,6 +442,7 @@ impl UpdateWorkspace {
             &[(alpha, sf_target)],
             None,
             alpha,
+            Some(&mut self.sf_gram),
         );
     }
 
@@ -456,6 +534,10 @@ impl UpdateWorkspace {
                 &[(beta, &self.blk_g), (gamma, t)],
                 Some((beta, &self.blk_deg)),
                 gamma,
+                // No gram fusion here: the block is a gather over a row
+                // subset, whose fused Gram would accumulate in gather
+                // order — not the full-matrix row order `su_gram` needs.
+                None,
             ),
             None => mult_update_from_parts(
                 &mut self.blk_su,
@@ -466,6 +548,7 @@ impl UpdateWorkspace {
                 &[(beta, &self.blk_g)],
                 Some((beta, &self.blk_deg)),
                 0.0,
+                None,
             ),
         }
         f.su.scatter_rows_from(rows, &self.blk_su);
@@ -500,12 +583,14 @@ impl UpdateWorkspace {
         beta: f64,
     ) -> ObjectiveParts {
         self.assert_bound(input);
-        let (xp_sq, xu_sq, xr_sq) = self.csc.as_ref().expect("bound").x_norms;
-        // Sf settled last — its Gram is the one per-sweep product not yet
-        // cached. Computed once here, shared by both tri-factor terms,
-        // and left fresh for the next sweep's warm-up.
-        f.sf.gram_into(&mut self.sf_gram);
-        self.sf_gram_fresh = true;
+        let (xp_sq, xu_sq, xr_sq) = self.x_norms();
+        // Sf settled last, but the fused `Sf` rule already cached its
+        // Gram inside the update pass; recompute only if something
+        // invalidated it (the recompute is bit-identical).
+        if !self.sf_gram_fresh {
+            f.sf.gram_into(&mut self.sf_gram);
+            self.sf_gram_fresh = true;
+        }
         let tweet_feature = {
             let cross = f.sf.frobenius_inner(&self.e2);
             f.hp.transpose_matmul_into(&self.sp_gram, &mut self.kt);
@@ -562,11 +647,14 @@ impl UpdateWorkspace {
         evolving_rows: &[usize],
     ) -> ObjectiveParts {
         self.assert_bound(input);
-        let (xp_sq, xu_sq, xr_sq) = self.csc.as_ref().expect("bound").x_norms;
-        // Final-Su products (Su settled last online); the refreshed Gram
-        // stays valid into the next sweep's warm-up.
-        f.su.gram_into(&mut self.su_gram);
-        self.su_gram_fresh = true;
+        let (xp_sq, xu_sq, xr_sq) = self.x_norms();
+        // Final-Su products (Su settled last online, through the
+        // gather-order block rules that cannot fuse the full Gram); the
+        // refreshed Gram stays valid into the next sweep's warm-up.
+        if !self.su_gram_fresh {
+            f.su.gram_into(&mut self.su_gram);
+            self.su_gram_fresh = true;
+        }
         let tweet_feature = {
             let cross = self.obj_cross_p.frobenius_inner(&f.hp);
             f.hp.transpose_matmul_into(&self.sp_gram, &mut self.kt);
@@ -615,6 +703,31 @@ impl UpdateWorkspace {
             graph,
             temporal_user,
         }
+    }
+
+    /// Invalidates the cached factor Grams (`SpᵀSp`, `SuᵀSu`, `SfᵀSf`).
+    ///
+    /// The freshness contract assumes factors only change through this
+    /// workspace's own sweeps; any caller that mutates a factor
+    /// *externally* between sweeps — e.g. the sharded offline solver
+    /// broadcasting the merged `Sf` into each shard — must call this, or
+    /// the next sweep/objective will reuse a Gram of the replaced
+    /// factor. The subsequent recompute is bit-identical whenever the
+    /// factors did not actually change, so over-invalidating costs only
+    /// an `O(rows·k²)` pass, never exactness.
+    pub fn invalidate_factor_caches(&mut self) {
+        self.sf_gram_fresh = false;
+        self.su_gram_fresh = false;
+        self.sp_gram_fresh = false;
+    }
+
+    /// (`‖Xp‖²`, `‖Xu‖²`, `‖Xr‖²`) of the bound window.
+    fn x_norms(&self) -> (f64, f64, f64) {
+        (
+            self.xp_bind.as_ref().expect("bound").frob_sq,
+            self.xu_bind.as_ref().expect("bound").frob_sq,
+            self.xr_bind.as_ref().expect("bound").frob_sq,
+        )
     }
 
     /// Fused [`crate::updates::balance_init_scales`]: identical scaling
@@ -899,6 +1012,86 @@ mod tests {
                 close(fused.total(), reference.total(), "online total");
             }
         }
+    }
+
+    /// The incremental bind must never keep a stale transpose: rebinding
+    /// to a same-shape, same-nnz matrix with different *values* (the
+    /// adversarial case for any fingerprint scheme) must produce sweeps
+    /// bit-identical to a fresh workspace, and rebinding the unchanged
+    /// input (the amortized fast path) must too.
+    #[test]
+    fn incremental_bind_never_stales() {
+        let (xp_a, xu, xr, graph, sf0) = instance(3);
+        // Same sparsity pattern as xp_a, different values.
+        let trip: Vec<(usize, usize, f64)> =
+            xp_a.iter().map(|(r, c, v)| (r, c, v + 0.125)).collect();
+        let xp_b = CsrMatrix::from_triplets(xp_a.rows(), xp_a.cols(), &trip).unwrap();
+        assert_eq!(xp_a.shape(), xp_b.shape());
+        assert_eq!(xp_a.nnz(), xp_b.nnz());
+        let input_a = TriInput {
+            xp: &xp_a,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
+        let input_b = TriInput {
+            xp: &xp_b,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
+        // Lockstep: the long-lived workspace rebinds A → B → A → A
+        // (changed values under identical shape/nnz, then an unchanged
+        // rebind); a throwaway workspace bound fresh each round is the
+        // reference. Factors advance together, so any stale cached
+        // transpose diverges the factors at that round.
+        let mut reused = UpdateWorkspace::new();
+        let mut f_reused = TriFactors::random(12, 8, 10, 3, 5);
+        let mut f_fresh = f_reused.clone();
+        for (round, input) in [input_a, input_b, input_a, input_a].iter().enumerate() {
+            reused.bind(input);
+            reused.sweep_offline(input, &mut f_reused, 0.07, 0.4, &sf0);
+            let mut fresh = UpdateWorkspace::new();
+            fresh.bind(input);
+            fresh.sweep_offline(input, &mut f_fresh, 0.07, 0.4, &sf0);
+            assert_factors_identical(
+                &f_reused,
+                &f_fresh,
+                &format!("round {round}: incremental bind diverged"),
+            );
+        }
+    }
+
+    /// External factor mutation (the sharded solver's merged-`Sf`
+    /// broadcast) must not leave the next sweep running on a stale
+    /// cached Gram: after `invalidate_factor_caches`, a warmed
+    /// workspace must match a fresh one bit-for-bit.
+    #[test]
+    fn invalidate_after_external_factor_mutation() {
+        let (xp, xu, xr, graph, sf0) = instance(9);
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
+        let mut warmed = UpdateWorkspace::new();
+        let mut f_warmed = TriFactors::random(12, 8, 10, 3, 21);
+        warmed.bind(&input);
+        warmed.sweep_offline(&input, &mut f_warmed, 0.07, 0.4, &sf0);
+        warmed.objective_offline(&input, &f_warmed, 0.07, 0.4);
+        // Simulate the sharded merge: replace Sf from outside.
+        f_warmed.sf.map_in_place(|v| (v * 0.9).max(1e-12));
+        warmed.invalidate_factor_caches();
+        let mut f_fresh = f_warmed.clone();
+        warmed.sweep_offline(&input, &mut f_warmed, 0.07, 0.4, &sf0);
+        let mut fresh = UpdateWorkspace::new();
+        fresh.bind(&input);
+        fresh.sweep_offline(&input, &mut f_fresh, 0.07, 0.4, &sf0);
+        assert_factors_identical(&f_warmed, &f_fresh, "post-mutation sweep");
     }
 
     #[test]

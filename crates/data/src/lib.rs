@@ -33,7 +33,7 @@ pub use generator::{daily_volume_weights, generate};
 pub use io::{read_corpus, write_corpus, CorpusIoError};
 pub use matrices::{
     assemble_snapshot_matrices, build_offline, day_windows, ProblemInstance, SnapshotBuilder,
-    SnapshotInstance, SnapshotMatrices,
+    SnapshotInstance, SnapshotMatrices, SnapshotScratch,
 };
 pub use model::{Corpus, Retweet, Trajectory, Tweet, UserProfile};
 pub use partition::{

@@ -219,6 +219,20 @@ impl SnapshotBuilder {
 
     /// Builds the instance for days `lo..hi`.
     pub fn snapshot(&self, corpus: &Corpus, lo: u32, hi: u32) -> SnapshotInstance {
+        self.snapshot_with(corpus, lo, hi, &mut SnapshotScratch::default())
+    }
+
+    /// Buffer-reusing variant of [`SnapshotBuilder::snapshot`]: the
+    /// per-document encode buffers live in `scratch` and are recycled
+    /// across calls, so a stream driver building one snapshot per day
+    /// stops allocating a fresh id `Vec` per document once warm.
+    pub fn snapshot_with(
+        &self,
+        corpus: &Corpus,
+        lo: u32,
+        hi: u32,
+        scratch: &mut SnapshotScratch,
+    ) -> SnapshotInstance {
         let tweet_ids = corpus.tweets_in_days(lo, hi);
         let tweet_local: std::collections::HashMap<usize, usize> = tweet_ids
             .iter()
@@ -247,14 +261,18 @@ impl SnapshotBuilder {
             .collect();
 
         // Text + interaction matrices over the *global* vocabulary,
-        // through the shared assembly pipeline.
-        let encoded: Vec<Vec<usize>> = tweet_ids
-            .iter()
-            .map(|&tid| {
-                self.vocab
-                    .encode(corpus.tweets[tid].tokens.iter().map(String::as_str))
-            })
-            .collect();
+        // through the shared assembly pipeline (encode buffers recycled
+        // via `scratch`).
+        let n = tweet_ids.len();
+        // Grow-only: buffers beyond `n` are kept (high-water reuse),
+        // the assembly below reads exactly `..n`.
+        if scratch.encoded.len() < n {
+            scratch.encoded.resize_with(n, Vec::new);
+        }
+        for (&tid, ids) in tweet_ids.iter().zip(scratch.encoded.iter_mut()) {
+            self.vocab
+                .encode_into(corpus.tweets[tid].tokens.iter().map(String::as_str), ids);
+        }
         let doc_user_local: Vec<usize> = tweet_ids
             .iter()
             .map(|&tid| user_local[&corpus.tweets[tid].author])
@@ -265,7 +283,7 @@ impl SnapshotBuilder {
             .collect();
         let SnapshotMatrices { xp, xu, xr, graph } = assemble_snapshot_matrices(
             &self.vocab,
-            &encoded,
+            &scratch.encoded[..n],
             &doc_user_local,
             user_ids.len(),
             &retweet_pairs,
@@ -293,6 +311,14 @@ impl SnapshotBuilder {
             user_truth,
         }
     }
+}
+
+/// Reusable encode buffers for [`SnapshotBuilder::snapshot_with`]: the
+/// per-document id buffers are recycled across snapshots (only growth
+/// beyond previous high-water marks allocates).
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotScratch {
+    encoded: Vec<Vec<usize>>,
 }
 
 /// Enumerates `[lo, hi)` windows of `window` days covering `0..num_days`.

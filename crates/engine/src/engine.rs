@@ -11,7 +11,7 @@ use parking_lot::Mutex;
 use tgs_core::{OnlineConfig, OnlineSolver, SnapshotData, SnapshotStore, TgsError, TriInput};
 use tgs_data::{assemble_snapshot_matrices, SnapshotMatrices};
 use tgs_linalg::DenseMatrix;
-use tgs_text::{tokenize_features, TokenizerConfig, Vocabulary, Weighting};
+use tgs_text::{tokenize_features_into, TokenizerConfig, Vocabulary, Weighting};
 
 use crate::checkpoint::{self, EngineCheckpoint};
 use crate::query::{EngineQuery, TimelineEntry};
@@ -90,18 +90,29 @@ pub struct EngineStats {
     /// Wall-clock nanoseconds the worker spent on the most recent
     /// snapshot (tokenize + assemble + solve + commit).
     pub last_step_ns: u64,
+    /// The SIMD tier the solver kernels execute under in this process
+    /// (`tgs_linalg::simd_tier_name()`: detected ISA clamped by the
+    /// `TGS_SIMD` override) — recorded so bench runs and bug reports
+    /// state which code path produced their numbers.
+    pub simd: &'static str,
 }
 
 impl EngineStats {
     /// Element-wise accumulation for multi-shard aggregation: counters
     /// sum; `last_step_ns` takes the maximum (the slowest shard gates a
-    /// fan-out step's latency).
+    /// fan-out step's latency); `simd` is process-wide and carried
+    /// through.
     pub fn merge(&self, other: &EngineStats) -> EngineStats {
         EngineStats {
             queued: self.queued + other.queued,
             ingested: self.ingested + other.ingested,
             dropped_capacity: self.dropped_capacity + other.dropped_capacity,
             last_step_ns: self.last_step_ns.max(other.last_step_ns),
+            simd: if self.simd.is_empty() {
+                other.simd
+            } else {
+                self.simd
+            },
         }
     }
 }
@@ -209,6 +220,7 @@ impl SentimentEngine {
             ingested: self.metrics.ingested.load(Ordering::Relaxed),
             dropped_capacity: self.metrics.dropped_capacity.load(Ordering::Relaxed),
             last_step_ns: self.metrics.last_step_ns.load(Ordering::Relaxed),
+            simd: tgs_linalg::simd_tier_name(),
         }
     }
 
@@ -294,6 +306,26 @@ impl Drop for SentimentEngine {
     }
 }
 
+/// Reusable per-worker ingest buffers, hoisted across snapshots so the
+/// steady-state tokenize/encode path does not allocate a fresh scratch
+/// `Vec` per document (the per-document token and id buffers are
+/// recycled; only growth beyond previous high-water marks allocates).
+#[derive(Default)]
+struct IngestScratch {
+    /// One document's feature strings (cleared per document).
+    tokens: Vec<String>,
+    /// Encoded feature ids per document (outer and inner reused).
+    encoded: Vec<Vec<usize>>,
+    /// Author global id per document.
+    doc_users: Vec<usize>,
+    /// Sorted, deduplicated global user ids of the snapshot.
+    user_ids: Vec<usize>,
+    /// Local (dense) author index per document.
+    doc_user_local: Vec<usize>,
+    /// `(local user, doc)` re-tweet pairs.
+    retweet_pairs: Vec<(usize, usize)>,
+}
+
 fn worker_loop(
     rx: Receiver<Command>,
     shared: Arc<EngineShared>,
@@ -301,12 +333,13 @@ fn worker_loop(
     state: Arc<Mutex<EngineState>>,
     metrics: Arc<EngineMetrics>,
 ) {
+    let mut scratch = IngestScratch::default();
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Command::Ingest(snapshot) => {
                 let timestamp = snapshot.timestamp;
                 let started = Instant::now();
-                match process(&shared, &solver, &state, snapshot) {
+                match process(&shared, &solver, &state, snapshot, &mut scratch) {
                     Ok(()) => {
                         metrics.ingested.fetch_add(1, Ordering::Relaxed);
                         metrics.last_step_ns.store(
@@ -332,6 +365,7 @@ fn process(
     solver: &Mutex<OnlineSolver>,
     state: &Mutex<EngineState>,
     snapshot: EngineSnapshot,
+    scratch: &mut IngestScratch,
 ) -> Result<(), TgsError> {
     let EngineSnapshot {
         timestamp,
@@ -352,17 +386,33 @@ fn process(
     }
     let k = shared.config.k;
 
-    // --- Tokenize (raw text) / adopt (pre-tokenized) ---
-    let mut doc_users = Vec::with_capacity(docs.len());
-    let mut tokenized: Vec<Vec<String>> = Vec::with_capacity(docs.len());
-    for doc in docs {
-        doc_users.push(doc.user);
-        tokenized.push(match doc.content {
-            DocContent::Raw(text) => tokenize_features(&text, &shared.tokenizer),
-            DocContent::Tokens(tokens) => tokens,
-        });
+    // --- Tokenize + encode in one pass, through the reused scratch ---
+    // Raw documents tokenize into one recycled token buffer and encode
+    // straight into the per-document id buffers; the intermediate
+    // `Vec<Vec<String>>` the seed path materialized is gone entirely.
+    let n = docs.len();
+    // Grow-only: buffers beyond `n` are kept (high-water reuse), the
+    // assembly below reads exactly `..n`.
+    if scratch.encoded.len() < n {
+        scratch.encoded.resize_with(n, Vec::new);
     }
-    let n = tokenized.len();
+    scratch.doc_users.clear();
+    for (doc, ids) in docs.into_iter().zip(scratch.encoded.iter_mut()) {
+        scratch.doc_users.push(doc.user);
+        match doc.content {
+            DocContent::Raw(text) => {
+                tokenize_features_into(&text, &shared.tokenizer, &mut scratch.tokens);
+                shared
+                    .vocab
+                    .encode_into(scratch.tokens.iter().map(String::as_str), ids);
+            }
+            DocContent::Tokens(tokens) => {
+                shared
+                    .vocab
+                    .encode_into(tokens.iter().map(String::as_str), ids);
+            }
+        }
+    }
     for r in &retweets {
         if r.doc >= n {
             return Err(TgsError::invalid_argument(format!(
@@ -373,30 +423,35 @@ fn process(
     }
 
     // --- Local user index (global ids may be sparse) ---
-    let mut user_ids: Vec<usize> = doc_users
-        .iter()
-        .copied()
-        .chain(retweets.iter().map(|r| r.user))
-        .collect();
-    user_ids.sort_unstable();
-    user_ids.dedup();
+    scratch.user_ids.clear();
+    scratch.user_ids.extend(
+        scratch
+            .doc_users
+            .iter()
+            .copied()
+            .chain(retweets.iter().map(|r| r.user)),
+    );
+    scratch.user_ids.sort_unstable();
+    scratch.user_ids.dedup();
+    let user_ids = &scratch.user_ids;
     let local: HashMap<usize, usize> = user_ids.iter().enumerate().map(|(i, &u)| (u, i)).collect();
     let m = user_ids.len();
 
     // --- Vectorize + assemble through the shared snapshot pipeline ---
-    let encoded: Vec<Vec<usize>> = tokenized
-        .iter()
-        .map(|d| shared.vocab.encode(d.iter().map(String::as_str)))
-        .collect();
-    let doc_user_local: Vec<usize> = doc_users.iter().map(|u| local[u]).collect();
-    let retweet_pairs: Vec<(usize, usize)> =
-        retweets.iter().map(|r| (local[&r.user], r.doc)).collect();
+    scratch.doc_user_local.clear();
+    scratch
+        .doc_user_local
+        .extend(scratch.doc_users.iter().map(|u| local[u]));
+    scratch.retweet_pairs.clear();
+    scratch
+        .retweet_pairs
+        .extend(retweets.iter().map(|r| (local[&r.user], r.doc)));
     let SnapshotMatrices { xp, xu, xr, graph } = assemble_snapshot_matrices(
         &shared.vocab,
-        &encoded,
-        &doc_user_local,
+        &scratch.encoded[..n],
+        &scratch.doc_user_local,
         m,
-        &retweet_pairs,
+        &scratch.retweet_pairs,
         shared.weighting,
     );
 
@@ -408,10 +463,7 @@ fn process(
         graph: &graph,
         sf0: &shared.sf0,
     };
-    let step = solver.lock().try_step(&SnapshotData {
-        input,
-        user_ids: &user_ids,
-    })?;
+    let step = solver.lock().try_step(&SnapshotData { input, user_ids })?;
 
     // --- Commit ---
     let mut tweet_counts = vec![0usize; k];

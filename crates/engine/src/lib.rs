@@ -282,7 +282,13 @@ mod tests {
             .queue_depth(1)
             .fit(&c)
             .expect("valid build");
-        assert_eq!(engine.stats(), EngineStats::default());
+        assert_eq!(
+            engine.stats(),
+            EngineStats {
+                simd: tgs_linalg::simd_tier_name(),
+                ..EngineStats::default()
+            }
+        );
         // Fill the bounded queue through the non-blocking path; with a
         // queue depth of 1 and multi-millisecond solves per snapshot,
         // capacity drops must appear long before the stream runs out.
@@ -308,17 +314,25 @@ mod tests {
         assert_eq!(stats.queued, 0, "flush drains the queue");
         assert!(stats.last_step_ns > 0);
         assert_eq!(engine.query().timeline(..).len() as u64, accepted);
-        // Aggregation: counters sum, latency takes the max.
+        assert_eq!(
+            stats.simd,
+            tgs_linalg::simd_tier_name(),
+            "stats must record the active SIMD tier"
+        );
+        // Aggregation: counters sum, latency takes the max, the SIMD
+        // tier carries through.
         let merged = stats.merge(&EngineStats {
             queued: 1,
             ingested: 2,
             dropped_capacity: 3,
             last_step_ns: u64::MAX,
+            simd: "",
         });
         assert_eq!(merged.queued, 1);
         assert_eq!(merged.ingested, stats.ingested + 2);
         assert_eq!(merged.dropped_capacity, stats.dropped_capacity + 3);
         assert_eq!(merged.last_step_ns, u64::MAX);
+        assert_eq!(merged.simd, stats.simd);
     }
 
     #[test]

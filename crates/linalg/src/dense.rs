@@ -6,6 +6,7 @@
 //! and sufficient. All hot kernels operate on row slices to let the compiler
 //! elide bounds checks.
 
+use crate::simd::simd_kernel;
 use crate::LinalgError;
 
 /// A dense row-major `rows × cols` matrix of `f64`. `Default` is the
@@ -172,7 +173,8 @@ impl DenseMatrix {
     }
 
     /// In-place variant of [`DenseMatrix::matmul`]: writes `self · other`
-    /// into `out` (reshaped as needed), row-parallel on large inputs.
+    /// into `out` (reshaped as needed), row-parallel on large inputs and
+    /// SIMD-dispatched (see [`crate::simd`]; bit-identical across tiers).
     pub fn matmul_into(&self, other: &DenseMatrix, out: &mut DenseMatrix) {
         assert_eq!(
             self.cols, other.rows,
@@ -180,22 +182,7 @@ impl DenseMatrix {
             self.rows, self.cols, other.rows, other.cols
         );
         out.resize_zeroed(self.rows, other.cols);
-        let width = other.cols;
-        let work = self.rows * self.cols * width;
-        crate::parallel::for_each_row_chunk(self.rows, work, &mut out.data, width, |r0, chunk| {
-            for (local, out_row) in chunk.chunks_exact_mut(width.max(1)).enumerate() {
-                let a_row = self.row(r0 + local);
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = other.row(k);
-                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += a * b;
-                    }
-                }
-            }
-        });
+        matmul_into_kernel(self, other, out);
     }
 
     /// Gram matrix `selfᵀ · self` (`cols × cols`).
@@ -210,32 +197,10 @@ impl DenseMatrix {
 
     /// In-place variant of [`DenseMatrix::gram`]: writes `selfᵀ·self` into
     /// `out` (reshaped as needed), with a chunked parallel reduction on
-    /// large inputs.
-    #[allow(clippy::needless_range_loop)] // symmetric triangular indexing
+    /// large inputs. SIMD-dispatched; bit-identical across tiers.
     pub fn gram_into(&self, out: &mut DenseMatrix) {
-        let k = self.cols;
-        out.resize_zeroed(k, k);
-        let work = self.rows * k * k;
-        crate::parallel::reduce_rows(self.rows, work, &mut out.data, |r0, r1, acc| {
-            for i in r0..r1 {
-                let row = self.row(i);
-                for a in 0..k {
-                    let ra = row[a];
-                    if ra == 0.0 {
-                        continue;
-                    }
-                    for b in a..k {
-                        acc[a * k + b] += ra * row[b];
-                    }
-                }
-            }
-        });
-        // mirror the upper triangle
-        for a in 0..k {
-            for b in (a + 1)..k {
-                out.data[b * k + a] = out.data[a * k + b];
-            }
-        }
+        out.resize_zeroed(self.cols, self.cols);
+        gram_into_kernel(self, out);
     }
 
     /// `selfᵀ · other` without materializing the transpose.
@@ -247,7 +212,8 @@ impl DenseMatrix {
 
     /// In-place variant of [`DenseMatrix::transpose_matmul`]: writes
     /// `selfᵀ · other` into `out` (reshaped as needed), with a chunked
-    /// parallel reduction on large inputs.
+    /// parallel reduction on large inputs. SIMD-dispatched; bit-identical
+    /// across tiers.
     pub fn transpose_matmul_into(&self, other: &DenseMatrix, out: &mut DenseMatrix) {
         assert_eq!(
             self.rows, other.rows,
@@ -255,23 +221,7 @@ impl DenseMatrix {
             self.rows, self.cols, other.rows, other.cols
         );
         out.resize_zeroed(self.cols, other.cols);
-        let width = other.cols;
-        let work = self.rows * self.cols * width;
-        crate::parallel::reduce_rows(self.rows, work, &mut out.data, |r0, r1, acc| {
-            for i in r0..r1 {
-                let a_row = self.row(i);
-                let b_row = other.row(i);
-                for (a_idx, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let out_row = &mut acc[a_idx * width..(a_idx + 1) * width];
-                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += a * b;
-                    }
-                }
-            }
-        });
+        transpose_matmul_into_kernel(self, other, out);
     }
 
     /// Computes `selfᵀ · x` and `selfᵀ · y` in a single pass over the
@@ -299,58 +249,7 @@ impl DenseMatrix {
         let width = x.cols();
         out_x.resize_zeroed(self.cols, width);
         out_y.resize_zeroed(self.cols, width);
-        let work = 2 * self.rows * self.cols * width;
-        // Both accumulators ride in one reduction buffer so the pass stays
-        // a single reduce_rows call (and a single parallel dispatch).
-        let len = self.cols * width;
-        if 2 * len <= crate::parallel::MAX_REDUCE_LEN {
-            let mut acc = [0.0f64; crate::parallel::MAX_REDUCE_LEN];
-            crate::parallel::reduce_rows(self.rows, work, &mut acc[..2 * len], |r0, r1, acc| {
-                let (ax, ay) = acc.split_at_mut(len);
-                self.transpose_matmul_pair_rows(x, y, r0, r1, ax, ay);
-            });
-            out_x.as_mut_slice().copy_from_slice(&acc[..len]);
-            out_y.as_mut_slice().copy_from_slice(&acc[len..2 * len]);
-        } else {
-            // Wide outputs: the accumulators don't fit the shared
-            // reduction buffer, so reduce each product separately — same
-            // fixed-block summation tree as `transpose_matmul_into`, so
-            // the bit-identity contract holds at every width (the fused
-            // single-pass saving only applies to thin factors anyway).
-            self.transpose_matmul_into(x, out_x);
-            self.transpose_matmul_into(y, out_y);
-            let _ = work;
-        }
-    }
-
-    fn transpose_matmul_pair_rows(
-        &self,
-        x: &DenseMatrix,
-        y: &DenseMatrix,
-        r0: usize,
-        r1: usize,
-        acc_x: &mut [f64],
-        acc_y: &mut [f64],
-    ) {
-        let width = x.cols();
-        for i in r0..r1 {
-            let a_row = self.row(i);
-            let x_row = x.row(i);
-            let y_row = y.row(i);
-            for (a_idx, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_x = &mut acc_x[a_idx * width..(a_idx + 1) * width];
-                for (o, &b) in out_x.iter_mut().zip(x_row.iter()) {
-                    *o += a * b;
-                }
-                let out_y = &mut acc_y[a_idx * width..(a_idx + 1) * width];
-                for (o, &b) in out_y.iter_mut().zip(y_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        transpose_matmul_pair_kernel(self, x, y, out_x, out_y);
     }
 
     /// `self · otherᵀ`.
@@ -362,7 +261,7 @@ impl DenseMatrix {
 
     /// In-place variant of [`DenseMatrix::matmul_transpose`]: writes
     /// `self · otherᵀ` into `out` (reshaped as needed), row-parallel on
-    /// large inputs.
+    /// large inputs. SIMD-dispatched; bit-identical across tiers.
     pub fn matmul_transpose_into(&self, other: &DenseMatrix, out: &mut DenseMatrix) {
         assert_eq!(
             self.cols, other.cols,
@@ -370,16 +269,7 @@ impl DenseMatrix {
             self.rows, self.cols, other.rows, other.cols
         );
         out.resize_zeroed(self.rows, other.rows);
-        let width = other.rows;
-        let work = self.rows * self.cols * width;
-        crate::parallel::for_each_row_chunk(self.rows, work, &mut out.data, width, |r0, chunk| {
-            for (local, out_row) in chunk.chunks_exact_mut(width.max(1)).enumerate() {
-                let a_row = self.row(r0 + local);
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    *o = dot(a_row, other.row(j));
-                }
-            }
-        });
+        matmul_transpose_into_kernel(self, other, out);
     }
 
     /// Element-wise (Hadamard) product.
@@ -400,17 +290,13 @@ impl DenseMatrix {
     /// In-place element-wise addition: `self += other`.
     pub fn add_assign(&mut self, other: &DenseMatrix) {
         assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += b;
-        }
+        add_assign_kernel(crate::simd::active_tier(), &mut self.data, &other.data);
     }
 
     /// In-place element-wise subtraction: `self -= other`.
     pub fn sub_assign(&mut self, other: &DenseMatrix) {
         assert_eq!(self.shape(), other.shape(), "sub_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a -= b;
-        }
+        sub_assign_kernel(crate::simd::active_tier(), &mut self.data, &other.data);
     }
 
     /// In-place `self -= scale * other`, with the product grouped as
@@ -423,9 +309,12 @@ impl DenseMatrix {
             other.shape(),
             "sub_scaled_assign shape mismatch"
         );
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a -= scale * b;
-        }
+        sub_scaled_assign_kernel(
+            crate::simd::active_tier(),
+            &mut self.data,
+            scale,
+            &other.data,
+        );
     }
 
     /// In-place scalar multiplication (alias of
@@ -438,9 +327,12 @@ impl DenseMatrix {
     /// In-place element-wise addition of `scale * other`.
     pub fn axpy(&mut self, scale: f64, other: &DenseMatrix) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += scale * b;
-        }
+        axpy_kernel(
+            crate::simd::active_tier(),
+            &mut self.data,
+            scale,
+            &other.data,
+        );
     }
 
     /// Returns `self * scalar`.
@@ -450,9 +342,7 @@ impl DenseMatrix {
 
     /// In-place scalar multiplication.
     pub fn scale_in_place(&mut self, scalar: f64) {
-        for v in &mut self.data {
-            *v *= scalar;
-        }
+        scale_kernel(crate::simd::active_tier(), &mut self.data, scalar);
     }
 
     /// Applies `f` to every entry, returning a new matrix.
@@ -635,6 +525,336 @@ impl DenseMatrix {
         );
         for (src, &dst) in rows.iter().enumerate() {
             self.copy_row_from(dst, block, src);
+        }
+    }
+}
+
+// --- SIMD-dispatched hot loops (see `crate::simd`) ---
+//
+// Each kernel below is the scalar body of the corresponding public
+// method, re-instantiated under runtime-selected `target_feature`
+// wrappers. The bodies are unchanged from the pre-dispatch
+// implementations, so every tier is bit-identical (property-tested in
+// `tests/simd_parity.rs`); shape checks and output sizing stay in the
+// public methods. The tier is resolved once on the calling thread and
+// passed into the row-parallel chunk closures, so worker threads run
+// the caller's tier (including test overrides).
+
+/// Hot loop of [`DenseMatrix::matmul_into`]: row-parallel over output
+/// chunks, each chunk dispatched to the active tier.
+fn matmul_into_kernel(a: &DenseMatrix, other: &DenseMatrix, out: &mut DenseMatrix) {
+    let tier = crate::simd::active_tier();
+    let width = other.cols;
+    let work = a.rows * a.cols * width;
+    crate::parallel::for_each_row_chunk(a.rows, work, &mut out.data, width, |r0, chunk| {
+        matmul_chunk(tier, a, other, r0, chunk);
+    });
+}
+
+simd_kernel! {
+    /// One output-row chunk of `matmul_into` (i-k-j order, zero-skip).
+    fn matmul_chunk(a: &DenseMatrix, other: &DenseMatrix, r0: usize, chunk: &mut [f64]) {
+        let width = other.cols;
+        for (local, out_row) in chunk.chunks_exact_mut(width.max(1)).enumerate() {
+            let a_row = a.row(r0 + local);
+            for (k, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += av * b;
+                }
+            }
+        }
+    }
+}
+
+/// Hot loop of [`DenseMatrix::gram_into`]: blocked parallel reduction,
+/// each row range dispatched to the active tier, then the mirror.
+fn gram_into_kernel(a: &DenseMatrix, out: &mut DenseMatrix) {
+    let tier = crate::simd::active_tier();
+    let k = a.cols;
+    let work = a.rows * k * k;
+    crate::parallel::reduce_rows(a.rows, work, &mut out.data, |r0, r1, acc| {
+        gram_rows(tier, a, r0, r1, acc);
+    });
+    // mirror the upper triangle
+    for p in 0..k {
+        for q in (p + 1)..k {
+            out.data[q * k + p] = out.data[p * k + q];
+        }
+    }
+}
+
+simd_kernel! {
+    /// Rows `[r0, r1)` of the Gram reduction: symmetric rank-1
+    /// accumulation over the upper triangle. The triangle is walked via
+    /// subslices (not `acc[p * k + q]` indexing) so the inner loop is a
+    /// bounds-check-free lane-ordered axpy — same operations in the same
+    /// order, just better codegen.
+    fn gram_rows(a: &DenseMatrix, r0: usize, r1: usize, acc: &mut [f64]) {
+        match a.cols {
+            2 => gram_rows_w::<2>(a, r0, r1, acc),
+            3 => gram_rows_w::<3>(a, r0, r1, acc),
+            10 => gram_rows_w::<10>(a, r0, r1, acc),
+            _ => gram_rows_w::<0>(a, r0, r1, acc),
+        }
+    }
+}
+
+/// Width-monomorphized body of [`gram_rows`] (`W = 0` means runtime
+/// width).
+#[inline(always)]
+fn gram_rows_w<const W: usize>(a: &DenseMatrix, r0: usize, r1: usize, acc: &mut [f64]) {
+    let k = if W > 0 { W } else { a.cols };
+    for i in r0..r1 {
+        let row = &a.row(i)[..k];
+        for (p, &rp) in row.iter().enumerate() {
+            if rp == 0.0 {
+                continue;
+            }
+            let acc_row = &mut acc[p * k + p..(p + 1) * k];
+            for (o, &b) in acc_row.iter_mut().zip(row[p..].iter()) {
+                *o += rp * b;
+            }
+        }
+    }
+}
+
+/// Hot loop of [`DenseMatrix::transpose_matmul_into`].
+fn transpose_matmul_into_kernel(a: &DenseMatrix, other: &DenseMatrix, out: &mut DenseMatrix) {
+    let tier = crate::simd::active_tier();
+    let width = other.cols;
+    let work = a.rows * a.cols * width;
+    crate::parallel::reduce_rows(a.rows, work, &mut out.data, |r0, r1, acc| {
+        transpose_matmul_rows(tier, a, other, r0, r1, acc);
+    });
+}
+
+simd_kernel! {
+    /// Rows `[r0, r1)` of the `selfᵀ·other` reduction, monomorphized on
+    /// the common thin widths so the inner axpy fully unrolls (identical
+    /// floating-point sequence at every width).
+    fn transpose_matmul_rows(
+        a: &DenseMatrix,
+        other: &DenseMatrix,
+        r0: usize,
+        r1: usize,
+        acc: &mut [f64],
+    ) {
+        match other.cols {
+            2 => transpose_matmul_rows_w::<2>(a, other, r0, r1, acc),
+            3 => transpose_matmul_rows_w::<3>(a, other, r0, r1, acc),
+            10 => transpose_matmul_rows_w::<10>(a, other, r0, r1, acc),
+            _ => transpose_matmul_rows_w::<0>(a, other, r0, r1, acc),
+        }
+    }
+}
+
+/// Width-monomorphized body of [`transpose_matmul_rows`] (`W = 0` means
+/// runtime width). `#[inline(always)]` so it compiles into each
+/// dispatched wrapper with that wrapper's target features.
+#[inline(always)]
+fn transpose_matmul_rows_w<const W: usize>(
+    a: &DenseMatrix,
+    other: &DenseMatrix,
+    r0: usize,
+    r1: usize,
+    acc: &mut [f64],
+) {
+    let width = if W > 0 { W } else { other.cols };
+    for i in r0..r1 {
+        let a_row = a.row(i);
+        let b_row = &other.row(i)[..width];
+        for (a_idx, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = &mut acc[a_idx * width..(a_idx + 1) * width];
+            for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * b;
+            }
+        }
+    }
+}
+
+/// Hot loop of [`DenseMatrix::transpose_matmul_pair_into`]: both
+/// accumulators ride in one reduction buffer so the pass stays a single
+/// `reduce_rows` call (and a single parallel dispatch).
+fn transpose_matmul_pair_kernel(
+    s: &DenseMatrix,
+    x: &DenseMatrix,
+    y: &DenseMatrix,
+    out_x: &mut DenseMatrix,
+    out_y: &mut DenseMatrix,
+) {
+    let tier = crate::simd::active_tier();
+    let width = x.cols();
+    let work = 2 * s.rows * s.cols * width;
+    let len = s.cols * width;
+    if 2 * len <= crate::parallel::MAX_REDUCE_LEN {
+        let mut acc = [0.0f64; crate::parallel::MAX_REDUCE_LEN];
+        crate::parallel::reduce_rows(s.rows, work, &mut acc[..2 * len], |r0, r1, acc| {
+            let (ax, ay) = acc.split_at_mut(len);
+            transpose_matmul_pair_rows(tier, s, x, y, r0, r1, ax, ay);
+        });
+        out_x.as_mut_slice().copy_from_slice(&acc[..len]);
+        out_y.as_mut_slice().copy_from_slice(&acc[len..2 * len]);
+    } else {
+        // Wide outputs: the accumulators don't fit the shared
+        // reduction buffer, so reduce each product separately — same
+        // fixed-block summation tree as `transpose_matmul_into`, so
+        // the bit-identity contract holds at every width (the fused
+        // single-pass saving only applies to thin factors anyway).
+        transpose_matmul_into_kernel(s, x, out_x);
+        transpose_matmul_into_kernel(s, y, out_y);
+        let _ = work;
+    }
+}
+
+simd_kernel! {
+    /// Rows `[r0, r1)` of the fused pair reduction, monomorphized on the
+    /// common thin widths (identical floating-point sequence).
+    fn transpose_matmul_pair_rows(
+        s: &DenseMatrix,
+        x: &DenseMatrix,
+        y: &DenseMatrix,
+        r0: usize,
+        r1: usize,
+        acc_x: &mut [f64],
+        acc_y: &mut [f64],
+    ) {
+        match x.cols() {
+            2 => pair_rows_w::<2>(s, x, y, r0, r1, acc_x, acc_y),
+            3 => pair_rows_w::<3>(s, x, y, r0, r1, acc_x, acc_y),
+            10 => pair_rows_w::<10>(s, x, y, r0, r1, acc_x, acc_y),
+            _ => pair_rows_w::<0>(s, x, y, r0, r1, acc_x, acc_y),
+        }
+    }
+}
+
+/// Width-monomorphized body of [`transpose_matmul_pair_rows`] (`W = 0`
+/// means runtime width).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn pair_rows_w<const W: usize>(
+    s: &DenseMatrix,
+    x: &DenseMatrix,
+    y: &DenseMatrix,
+    r0: usize,
+    r1: usize,
+    acc_x: &mut [f64],
+    acc_y: &mut [f64],
+) {
+    let width = if W > 0 { W } else { x.cols() };
+    for i in r0..r1 {
+        let a_row = s.row(i);
+        let x_row = &x.row(i)[..width];
+        let y_row = &y.row(i)[..width];
+        for (a_idx, &a) in a_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let out_x = &mut acc_x[a_idx * width..(a_idx + 1) * width];
+            for (o, &b) in out_x.iter_mut().zip(x_row.iter()) {
+                *o += a * b;
+            }
+            let out_y = &mut acc_y[a_idx * width..(a_idx + 1) * width];
+            for (o, &b) in out_y.iter_mut().zip(y_row.iter()) {
+                *o += a * b;
+            }
+        }
+    }
+}
+
+/// Hot loop of [`DenseMatrix::matmul_transpose_into`].
+fn matmul_transpose_into_kernel(a: &DenseMatrix, other: &DenseMatrix, out: &mut DenseMatrix) {
+    let tier = crate::simd::active_tier();
+    let width = other.rows;
+    let work = a.rows * a.cols * width;
+    crate::parallel::for_each_row_chunk(a.rows, work, &mut out.data, width, |r0, chunk| {
+        matmul_transpose_chunk(tier, a, other, r0, chunk);
+    });
+}
+
+simd_kernel! {
+    /// One output-row chunk of `matmul_transpose_into` (row-dot layout).
+    /// Outputs are computed four at a time: the four dot chains run in
+    /// independent lanes, and every individual output still accumulates
+    /// `(((0 + a₀b₀) + a₁b₁) + …)` in exactly [`dot`]'s order, so the
+    /// tile is bit-identical to the plain per-output loop while breaking
+    /// the add-latency chain that serializes it.
+    fn matmul_transpose_chunk(a: &DenseMatrix, other: &DenseMatrix, r0: usize, chunk: &mut [f64]) {
+        let width = other.rows;
+        for (local, out_row) in chunk.chunks_exact_mut(width.max(1)).enumerate() {
+            let a_row = a.row(r0 + local);
+            let mut j = 0;
+            while j + 4 <= width {
+                let (b0, b1, b2, b3) = (
+                    other.row(j),
+                    other.row(j + 1),
+                    other.row(j + 2),
+                    other.row(j + 3),
+                );
+                let mut acc = [0.0f64; 4];
+                for (t, &av) in a_row.iter().enumerate() {
+                    acc[0] += av * b0[t];
+                    acc[1] += av * b1[t];
+                    acc[2] += av * b2[t];
+                    acc[3] += av * b3[t];
+                }
+                out_row[j..j + 4].copy_from_slice(&acc);
+                j += 4;
+            }
+            for (jj, o) in out_row.iter_mut().enumerate().skip(j) {
+                *o = dot(a_row, other.row(jj));
+            }
+        }
+    }
+}
+
+simd_kernel! {
+    /// Element-wise `a += b`.
+    fn add_assign_kernel(a: &mut [f64], b: &[f64]) {
+        for (av, &bv) in a.iter_mut().zip(b.iter()) {
+            *av += bv;
+        }
+    }
+}
+
+simd_kernel! {
+    /// Element-wise `a -= b`.
+    fn sub_assign_kernel(a: &mut [f64], b: &[f64]) {
+        for (av, &bv) in a.iter_mut().zip(b.iter()) {
+            *av -= bv;
+        }
+    }
+}
+
+simd_kernel! {
+    /// Element-wise `a -= scale * b` (product grouped as `scale * b`).
+    fn sub_scaled_assign_kernel(a: &mut [f64], scale: f64, b: &[f64]) {
+        for (av, &bv) in a.iter_mut().zip(b.iter()) {
+            *av -= scale * bv;
+        }
+    }
+}
+
+simd_kernel! {
+    /// Element-wise `a += scale * b`.
+    fn axpy_kernel(a: &mut [f64], scale: f64, b: &[f64]) {
+        for (av, &bv) in a.iter_mut().zip(b.iter()) {
+            *av += scale * bv;
+        }
+    }
+}
+
+simd_kernel! {
+    /// Element-wise `a *= scalar`.
+    fn scale_kernel(a: &mut [f64], scalar: f64) {
+        for v in a.iter_mut() {
+            *v *= scalar;
         }
     }
 }

@@ -27,6 +27,7 @@ pub mod dense;
 pub mod ops;
 pub mod parallel;
 pub mod rng;
+pub mod simd;
 pub mod sparse;
 
 pub use dense::{dot, DenseMatrix};
@@ -39,6 +40,10 @@ pub use parallel::{
     DEFAULT_PARALLEL_WORK_THRESHOLD, HARD_THREAD_CAP,
 };
 pub use rng::{random_factor, random_factor_with, seeded_rng};
+pub use simd::{
+    active_tier as simd_tier, active_tier_name as simd_tier_name, detected_tier as simd_detected,
+    set_simd_tier_override, SimdTier,
+};
 pub use sparse::{CscView, CsrMatrix};
 
 /// Errors produced when constructing matrices from user data.

@@ -3,6 +3,7 @@
 //! and factored-form objective evaluation.
 
 use crate::dense::DenseMatrix;
+use crate::simd::simd_kernel;
 use crate::sparse::CsrMatrix;
 
 /// Denominator guard for multiplicative updates. Entries of the factor
@@ -26,15 +27,27 @@ pub fn split_pos_neg(delta: &DenseMatrix) -> (DenseMatrix, DenseMatrix) {
 }
 
 /// In-place variant of [`split_pos_neg`]: writes `Δ⁺` into `pos` and `Δ⁻`
-/// into `neg`, reusing their allocations.
+/// into `neg`, reusing their allocations. SIMD-dispatched (see
+/// [`crate::simd`]); bit-identical across tiers.
 pub fn split_pos_neg_into(delta: &DenseMatrix, pos: &mut DenseMatrix, neg: &mut DenseMatrix) {
     let (rows, cols) = delta.shape();
     pos.resize_zeroed(rows, cols);
     neg.resize_zeroed(rows, cols);
-    let (pv, nv) = (pos.as_mut_slice(), neg.as_mut_slice());
-    for (i, &v) in delta.as_slice().iter().enumerate() {
-        pv[i] = if v > 0.0 { v } else { 0.0 };
-        nv[i] = if v < 0.0 { -v } else { 0.0 };
+    split_pos_neg_kernel(
+        crate::simd::active_tier(),
+        delta.as_slice(),
+        pos.as_mut_slice(),
+        neg.as_mut_slice(),
+    );
+}
+
+simd_kernel! {
+    /// Element-wise positive/negative split.
+    fn split_pos_neg_kernel(delta: &[f64], pv: &mut [f64], nv: &mut [f64]) {
+        for (i, &v) in delta.iter().enumerate() {
+            pv[i] = if v > 0.0 { v } else { 0.0 };
+            nv[i] = if v < 0.0 { -v } else { 0.0 };
+        }
     }
 }
 
@@ -54,17 +67,26 @@ pub fn mult_update(s: &mut DenseMatrix, num: &DenseMatrix, den: &DenseMatrix) {
         den.shape(),
         "mult_update denominator shape mismatch"
     );
-    let sv = s.as_mut_slice();
-    let nv = num.as_slice();
-    let dv = den.as_slice();
-    for i in 0..sv.len() {
-        let ratio = nv[i].max(0.0) / (dv[i].max(0.0) + EPS);
-        let updated = sv[i] * ratio.sqrt();
-        sv[i] = if updated.is_finite() {
-            updated.max(FACTOR_FLOOR)
-        } else {
-            FACTOR_FLOOR
-        };
+    mult_update_kernel(
+        crate::simd::active_tier(),
+        s.as_mut_slice(),
+        num.as_slice(),
+        den.as_slice(),
+    );
+}
+
+simd_kernel! {
+    /// Element-wise `s ← s ∘ sqrt(num / (den + EPS))` with the floor.
+    fn mult_update_kernel(sv: &mut [f64], nv: &[f64], dv: &[f64]) {
+        for i in 0..sv.len() {
+            let ratio = nv[i].max(0.0) / (dv[i].max(0.0) + EPS);
+            let updated = sv[i] * ratio.sqrt();
+            sv[i] = if updated.is_finite() {
+                updated.max(FACTOR_FLOOR)
+            } else {
+                FACTOR_FLOOR
+            };
+        }
     }
 }
 
@@ -100,6 +122,14 @@ pub const MAX_FUSED_K: usize = 64;
 ///   denominator (the `β·Du·S` Laplacian degree term).
 /// * `den_self_scale` — adds `c·S[i,j]` to the denominator (the `α`/`γ`
 ///   proximal terms); `0.0` disables.
+/// * `gram` — the fused gram-in-update pass: when present, receives
+///   `SᵀS` of the **updated** factor, accumulated inside the same sweep
+///   over the rows instead of a separate `O(rows·k²)` re-Gram
+///   afterwards. The accumulation runs over the same fixed
+///   [`crate::parallel::REDUCE_BLOCK_ROWS`] blocks (partials folded in
+///   block order) as [`DenseMatrix::gram_into`], so the result is
+///   **bit-identical** to calling `s.gram_into(gram)` after the update,
+///   at every thread count.
 ///
 /// For `k > MAX_FUSED_K` a heap-buffered fallback is used (cold path —
 /// the zero-allocation guarantee covers realistic ranks only).
@@ -113,6 +143,7 @@ pub fn mult_update_from_parts(
     num_axpys: &[(f64, &DenseMatrix)],
     den_row_scale: Option<(f64, &[f64])>,
     den_self_scale: f64,
+    gram: Option<&mut DenseMatrix>,
 ) {
     let (rows, k) = s.shape();
     assert_eq!(
@@ -144,6 +175,9 @@ pub fn mult_update_from_parts(
         );
     }
     if k == 0 || rows == 0 {
+        if let Some(g) = gram {
+            s.gram_into(g); // degenerate shapes: keep gram semantics
+        }
         return;
     }
     let args = FusedUpdateArgs {
@@ -157,13 +191,15 @@ pub fn mult_update_from_parts(
     };
     // The paper's ranks (k ∈ {2, 3}) are so thin that per-row loop setup
     // dominates the arithmetic; monomorphized fixed-rank bodies keep the
-    // kernel competitive there. All variants execute the identical
-    // floating-point sequence, so results do not depend on the dispatch.
+    // kernel competitive there (k = 10 is the scaling rank the benches
+    // track). All variants execute the identical floating-point
+    // sequence, so results do not depend on the dispatch.
     match k {
-        2 => fused_update_rows::<2>(s, &args),
-        3 => fused_update_rows::<3>(s, &args),
-        4 => fused_update_rows::<4>(s, &args),
-        _ => fused_update_rows::<0>(s, &args), // 0 = dynamic width
+        2 => fused_update_rows::<2>(s, &args, gram),
+        3 => fused_update_rows::<3>(s, &args, gram),
+        4 => fused_update_rows::<4>(s, &args, gram),
+        10 => fused_update_rows::<10>(s, &args, gram),
+        _ => fused_update_rows::<0>(s, &args, gram), // 0 = dynamic width
     }
 }
 
@@ -180,12 +216,131 @@ struct FusedUpdateArgs<'a> {
 
 /// Row loop of the fused update. `K > 0` monomorphizes the rank (loops
 /// fully unrolled, scratch in registers); `K = 0` uses runtime width.
-fn fused_update_rows<const K: usize>(s: &mut DenseMatrix, args: &FusedUpdateArgs<'_>) {
+/// With `gram` present the rows run through the fixed-block reduction
+/// of [`crate::parallel::for_each_row_block_reduce`] so the fused
+/// `SᵀS` matches a post-hoc `gram_into` bit-for-bit (the per-row update
+/// itself is row-independent, so chunking never affects the factor).
+fn fused_update_rows<const K: usize>(
+    s: &mut DenseMatrix,
+    args: &FusedUpdateArgs<'_>,
+    gram: Option<&mut DenseMatrix>,
+) {
     let (rows, k) = s.shape();
     debug_assert!(K == 0 || K == k);
+    let tier = crate::simd::active_tier();
     // ~3 k-wide dots per output entry.
     let work = rows * k * k * 3;
-    crate::parallel::for_each_row_chunk(rows, work, s.as_mut_slice(), k, |r0, chunk| {
+    match gram {
+        None => {
+            crate::parallel::for_each_row_chunk(rows, work, s.as_mut_slice(), k, |r0, chunk| {
+                fused_update_chunk::<K>(tier, args, k, r0, chunk);
+            });
+        }
+        Some(g) => {
+            g.resize_zeroed(k, k);
+            crate::parallel::for_each_row_block_reduce(
+                rows,
+                work,
+                s.as_mut_slice(),
+                k,
+                g.as_mut_slice(),
+                |r0, chunk, partial| {
+                    fused_update_gram_chunk::<K>(tier, args, k, r0, chunk, partial);
+                },
+            );
+            // mirror the upper triangle (same tail as `gram_into`)
+            let gv = g.as_mut_slice();
+            for p in 0..k {
+                for q in (p + 1)..k {
+                    gv[q * k + p] = gv[p * k + q];
+                }
+            }
+        }
+    }
+}
+
+/// The per-row arithmetic of the fused update, shared by the plain and
+/// gram-accumulating chunk kernels. `#[inline(always)]` so it compiles
+/// into each dispatched wrapper with that wrapper's target features.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn fused_update_one_row<const K: usize>(
+    args: &FusedUpdateArgs<'_>,
+    i: usize,
+    s_row: &mut [f64],
+    s_old: &mut [f64],
+    num_row: &mut [f64],
+    den_row: &mut [f64],
+) {
+    s_old.copy_from_slice(s_row);
+    // (S·Δ⁻)[i,:] and (S·den_k)[i,:], accumulated in the exact
+    // i-k-j order (and zero-skip) of DenseMatrix::matmul, with
+    // `dm`/`den_k` rows streamed contiguously.
+    num_row.fill(0.0);
+    den_row.fill(0.0);
+    for (a, &sa) in s_old.iter().enumerate() {
+        if sa != 0.0 {
+            for (o, &b) in num_row.iter_mut().zip(args.dm.row(a)) {
+                *o += sa * b;
+            }
+            for (o, &b) in den_row.iter_mut().zip(args.den_k.row(a)) {
+                *o += sa * b;
+            }
+        }
+    }
+    // num = num_base[i,:] (+ num_base2[i,:]) + S·Δ⁻ (+ axpys
+    // in order) — grouped as (base1 + base2) + prod, matching
+    // `a.add(&c).add(&s.matmul(&dm))`.
+    #[allow(clippy::assign_op_pattern)] // written as (base + prod) to mirror the chain
+    match args.num_base2 {
+        Some(b2) => {
+            for ((o, &b), &b2v) in num_row.iter_mut().zip(args.num_base.row(i)).zip(b2.row(i)) {
+                *o = (b + b2v) + *o;
+            }
+        }
+        None => {
+            for (o, &b) in num_row.iter_mut().zip(args.num_base.row(i)) {
+                *o = b + *o;
+            }
+        }
+    }
+    for &(c, m) in args.num_axpys {
+        for (o, &b) in num_row.iter_mut().zip(m.row(i)) {
+            *o += c * b;
+        }
+    }
+    // den += degree / proximal terms.
+    if let Some((c, vec)) = args.den_row_scale {
+        let vi = vec[i];
+        for (o, &sv) in den_row.iter_mut().zip(s_old.iter()) {
+            *o += c * (sv * vi);
+        }
+    }
+    if args.den_self_scale != 0.0 {
+        for (o, &sv) in den_row.iter_mut().zip(s_old.iter()) {
+            *o += args.den_self_scale * sv;
+        }
+    }
+    // The exact arithmetic of `mult_update`.
+    for (j, sv) in s_row.iter_mut().enumerate() {
+        let ratio = num_row[j].max(0.0) / (den_row[j].max(0.0) + EPS);
+        let updated = s_old[j] * ratio.sqrt();
+        *sv = if updated.is_finite() {
+            updated.max(FACTOR_FLOOR)
+        } else {
+            FACTOR_FLOOR
+        };
+    }
+}
+
+simd_kernel! {
+    /// One row chunk of the fused update (no gram accumulation).
+    fn fused_update_chunk<const K: usize>(
+        args: &FusedUpdateArgs<'_>,
+        k: usize,
+        r0: usize,
+        chunk: &mut [f64],
+    ) {
         let mut stack = [0.0f64; 3 * MAX_FUSED_K];
         let mut heap; // cold fallback for very wide factors
         let scratch: &mut [f64] = if k <= MAX_FUSED_K {
@@ -197,76 +352,66 @@ fn fused_update_rows<const K: usize>(s: &mut DenseMatrix, args: &FusedUpdateArgs
         let (s_old, rest) = scratch.split_at_mut(k);
         let (num_row, den_row) = rest.split_at_mut(k);
         for (local, s_row) in chunk.chunks_exact_mut(k).enumerate() {
-            let i = r0 + local;
             // Fix the slice lengths to the monomorphized rank so every
-            // inner loop below has a compile-time trip count.
+            // inner loop has a compile-time trip count.
             let width = if K > 0 { K } else { k };
-            let s_old = &mut s_old[..width];
-            let num_row = &mut num_row[..width];
-            let den_row = &mut den_row[..width];
-            s_old.copy_from_slice(s_row);
-            // (S·Δ⁻)[i,:] and (S·den_k)[i,:], accumulated in the exact
-            // i-k-j order (and zero-skip) of DenseMatrix::matmul, with
-            // `dm`/`den_k` rows streamed contiguously.
-            num_row.fill(0.0);
-            den_row.fill(0.0);
-            for (a, &sa) in s_old.iter().enumerate() {
-                if sa != 0.0 {
-                    for (o, &b) in num_row.iter_mut().zip(args.dm.row(a)) {
-                        *o += sa * b;
-                    }
-                    for (o, &b) in den_row.iter_mut().zip(args.den_k.row(a)) {
-                        *o += sa * b;
-                    }
+            fused_update_one_row::<K>(
+                args,
+                r0 + local,
+                s_row,
+                &mut s_old[..width],
+                &mut num_row[..width],
+                &mut den_row[..width],
+            );
+        }
+    }
+}
+
+simd_kernel! {
+    /// One row block of the fused update **with** gram accumulation:
+    /// after updating each row, its outer product accumulates into
+    /// `partial` with exactly the upper-triangle loop of `gram_into`.
+    fn fused_update_gram_chunk<const K: usize>(
+        args: &FusedUpdateArgs<'_>,
+        k: usize,
+        r0: usize,
+        chunk: &mut [f64],
+        partial: &mut [f64],
+    ) {
+        let mut stack = [0.0f64; 3 * MAX_FUSED_K];
+        let mut heap; // cold fallback for very wide factors
+        let scratch: &mut [f64] = if k <= MAX_FUSED_K {
+            &mut stack[..3 * k]
+        } else {
+            heap = vec![0.0f64; 3 * k];
+            &mut heap
+        };
+        let (s_old, rest) = scratch.split_at_mut(k);
+        let (num_row, den_row) = rest.split_at_mut(k);
+        for (local, s_row) in chunk.chunks_exact_mut(k).enumerate() {
+            let width = if K > 0 { K } else { k };
+            fused_update_one_row::<K>(
+                args,
+                r0 + local,
+                s_row,
+                &mut s_old[..width],
+                &mut num_row[..width],
+                &mut den_row[..width],
+            );
+            // Same loop shape (zero-skip, upper triangle, increasing
+            // rows) as `gram_into`'s reduction body, subslice-walked
+            // like `gram_rows` so the inner axpy is bounds-check free.
+            for (p, &rp) in s_row.iter().enumerate() {
+                if rp == 0.0 {
+                    continue;
                 }
-            }
-            // num = num_base[i,:] (+ num_base2[i,:]) + S·Δ⁻ (+ axpys
-            // in order) — grouped as (base1 + base2) + prod, matching
-            // `a.add(&c).add(&s.matmul(&dm))`.
-            #[allow(clippy::assign_op_pattern)] // written as (base + prod) to mirror the chain
-            match args.num_base2 {
-                Some(b2) => {
-                    for ((o, &b), &b2v) in
-                        num_row.iter_mut().zip(args.num_base.row(i)).zip(b2.row(i))
-                    {
-                        *o = (b + b2v) + *o;
-                    }
+                let acc_row = &mut partial[p * k + p..(p + 1) * k];
+                for (o, &b) in acc_row.iter_mut().zip(s_row[p..].iter()) {
+                    *o += rp * b;
                 }
-                None => {
-                    for (o, &b) in num_row.iter_mut().zip(args.num_base.row(i)) {
-                        *o = b + *o;
-                    }
-                }
-            }
-            for &(c, m) in args.num_axpys {
-                for (o, &b) in num_row.iter_mut().zip(m.row(i)) {
-                    *o += c * b;
-                }
-            }
-            // den += degree / proximal terms.
-            if let Some((c, vec)) = args.den_row_scale {
-                let vi = vec[i];
-                for (o, &sv) in den_row.iter_mut().zip(s_old.iter()) {
-                    *o += c * (sv * vi);
-                }
-            }
-            if args.den_self_scale != 0.0 {
-                for (o, &sv) in den_row.iter_mut().zip(s_old.iter()) {
-                    *o += args.den_self_scale * sv;
-                }
-            }
-            // The exact arithmetic of `mult_update`.
-            for (j, sv) in s_row.iter_mut().enumerate() {
-                let ratio = num_row[j].max(0.0) / (den_row[j].max(0.0) + EPS);
-                let updated = s_old[j] * ratio.sqrt();
-                *sv = if updated.is_finite() {
-                    updated.max(FACTOR_FLOOR)
-                } else {
-                    FACTOR_FLOOR
-                };
             }
         }
-    });
+    }
 }
 
 /// `‖X − A·Bᵀ‖²_F` without densifying `A·Bᵀ`:
@@ -305,10 +450,36 @@ pub fn laplacian_quad(g: &CsrMatrix, degrees: &[f64], s: &DenseMatrix) -> f64 {
         let row = s.row(i);
         total += d * crate::dense::dot(row, row);
     }
+    // Edges four at a time: four independent dot lanes (each in exactly
+    // `dot`'s order), `total` still accumulating one term per edge in
+    // edge order — bit-identical to the plain loop without its serial
+    // add-latency chain.
     for i in 0..g.rows() {
         let si = s.row(i);
-        for (j, w) in g.iter_row(i) {
-            total -= w * crate::dense::dot(si, s.row(j));
+        let (cols, weights) = g.row_entries(i);
+        let mut idx = 0;
+        while idx + 4 <= cols.len() {
+            let (s0, s1, s2, s3) = (
+                s.row(cols[idx] as usize),
+                s.row(cols[idx + 1] as usize),
+                s.row(cols[idx + 2] as usize),
+                s.row(cols[idx + 3] as usize),
+            );
+            let mut acc = [0.0f64; 4];
+            for (t, &av) in si.iter().enumerate() {
+                acc[0] += av * s0[t];
+                acc[1] += av * s1[t];
+                acc[2] += av * s2[t];
+                acc[3] += av * s3[t];
+            }
+            total -= weights[idx] * acc[0];
+            total -= weights[idx + 1] * acc[1];
+            total -= weights[idx + 2] * acc[2];
+            total -= weights[idx + 3] * acc[3];
+            idx += 4;
+        }
+        for (&c, &w) in cols[idx..].iter().zip(weights[idx..].iter()) {
+            total -= w * crate::dense::dot(si, s.row(c as usize));
         }
     }
     total

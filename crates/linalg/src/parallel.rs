@@ -164,6 +164,98 @@ where
     }
 }
 
+/// Combined row-chunked map + blocked reduction: like
+/// [`for_each_row_chunk`] for the disjoint output rows in `buf`, but each
+/// call also accumulates into a partial that is folded into `acc` with
+/// **exactly the reduction structure of [`reduce_rows`]** — fixed
+/// [`REDUCE_BLOCK_ROWS`] blocks, partials merged in block order — so a
+/// kernel that fuses a per-row update with a Gram-style reduction
+/// produces an accumulator bit-identical to running [`reduce_rows`] over
+/// the updated rows afterwards, at every thread count.
+///
+/// `body(first_row, rows_chunk, partial)` must write the owned rows of
+/// `buf` (disjoint across calls) and accumulate into `partial`
+/// (pre-zeroed). `acc` must be pre-zeroed by the caller. Mirroring
+/// [`reduce_rows`], the whole range is handed to one `body` call
+/// (`partial` = `acc` directly) when everything fits a single block or
+/// when `acc.len() > MAX_REDUCE_LEN`; those regimes are sequential and
+/// allocation-free.
+pub fn for_each_row_block_reduce<F>(
+    rows: usize,
+    work: usize,
+    buf: &mut [f64],
+    row_width: usize,
+    acc: &mut [f64],
+    body: F,
+) where
+    F: Fn(usize, &mut [f64], &mut [f64]) + Sync,
+{
+    debug_assert_eq!(buf.len(), rows * row_width);
+    let len = acc.len();
+    if rows <= REDUCE_BLOCK_ROWS || len > MAX_REDUCE_LEN {
+        body(0, buf, acc);
+        return;
+    }
+    let blocks = rows.div_ceil(REDUCE_BLOCK_ROWS);
+    let block_len = REDUCE_BLOCK_ROWS * row_width;
+    let threads = desired_threads(rows, work).min(blocks);
+    if threads <= 1 {
+        // Sequential, but over the same fixed blocks the parallel path
+        // uses, so both summation orders are identical.
+        let mut partial = [0.0f64; MAX_REDUCE_LEN];
+        for (b, chunk) in buf.chunks_mut(block_len.max(1)).enumerate() {
+            partial[..len].fill(0.0);
+            body(b * REDUCE_BLOCK_ROWS, chunk, &mut partial[..len]);
+            for (a, p) in acc.iter_mut().zip(partial[..len].iter()) {
+                *a += p;
+            }
+        }
+        return;
+    }
+    // Workers claim blocks by atomic counter; each takes its disjoint
+    // chunk of `buf` from a slot and parks its partial for the in-order
+    // fold below.
+    let chunk_slots: Vec<std::sync::Mutex<Option<&mut [f64]>>> = buf
+        .chunks_mut(block_len.max(1))
+        .map(|c| std::sync::Mutex::new(Some(c)))
+        .collect();
+    let partial_slots = std::sync::Mutex::new(vec![None::<Box<[f64]>>; blocks]);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let body = &body;
+            let chunk_slots = &chunk_slots;
+            let partial_slots = &partial_slots;
+            let next = &next;
+            scope.spawn(move || {
+                let mut partial = [0.0f64; MAX_REDUCE_LEN];
+                loop {
+                    let b = next.fetch_add(1, Ordering::Relaxed);
+                    if b >= blocks {
+                        break;
+                    }
+                    let chunk = chunk_slots[b]
+                        .lock()
+                        .expect("block chunk lock")
+                        .take()
+                        .expect("each block claimed once");
+                    partial[..len].fill(0.0);
+                    body(b * REDUCE_BLOCK_ROWS, chunk, &mut partial[..len]);
+                    partial_slots.lock().expect("partial slot lock")[b] =
+                        Some(partial[..len].to_vec().into_boxed_slice());
+                }
+            });
+        }
+    });
+    let partials = partial_slots.into_inner().expect("partial slots");
+    for slot in partials.into_iter() {
+        let slot = slot.expect("every block reduced");
+        for (a, p) in acc.iter_mut().zip(slot.iter()) {
+            *a += p;
+        }
+    }
+}
+
 fn desired_threads(rows: usize, work: usize) -> usize {
     let threshold = parallel_work_threshold();
     if work < threshold || rows < 2 {

@@ -8,6 +8,7 @@
 //! index memory versus `usize`.
 
 use crate::dense::DenseMatrix;
+use crate::simd::simd_kernel;
 use crate::LinalgError;
 
 /// A CSR sparse matrix of `f64` values.
@@ -139,6 +140,14 @@ impl CsrMatrix {
             .map(|(&c, &v)| (c as usize, v))
     }
 
+    /// Column-index and value slices of row `i` (zero-copy row access
+    /// for kernels that tile over a row's entries).
+    #[inline]
+    pub fn row_entries(&self, i: usize) -> (&[u32], &[f64]) {
+        let range = self.indptr[i]..self.indptr[i + 1];
+        (&self.indices[range.clone()], &self.values[range])
+    }
+
     /// Iterator over all `(row, col, value)` entries.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.rows).flat_map(move |r| self.iter_row(r).map(move |(c, v)| (r, c, v)))
@@ -161,7 +170,8 @@ impl CsrMatrix {
     }
 
     /// In-place variant of [`CsrMatrix::mul_dense`]: writes `self · d`
-    /// into `out` (reshaped as needed), row-parallel on large inputs.
+    /// into `out` (reshaped as needed), row-parallel on large inputs and
+    /// SIMD-dispatched (see [`crate::simd`]; bit-identical across tiers).
     pub fn mul_dense_into(&self, d: &DenseMatrix, out: &mut DenseMatrix) {
         assert_eq!(
             self.cols,
@@ -174,21 +184,14 @@ impl CsrMatrix {
         );
         let k = d.cols();
         out.resize_zeroed(self.rows, k);
+        let tier = crate::simd::active_tier();
         crate::parallel::for_each_row_chunk(
             self.rows,
             self.nnz() * k,
             out.as_mut_slice(),
             k,
             |r0, chunk| {
-                for (local, out_row) in chunk.chunks_exact_mut(k.max(1)).enumerate() {
-                    let r = r0 + local;
-                    for (c, v) in self.iter_row(r) {
-                        let d_row = d.row(c);
-                        for (o, &dv) in out_row.iter_mut().zip(d_row.iter()) {
-                            *o += v * dv;
-                        }
-                    }
-                }
+                spmm_chunk(tier, self, d, r0, chunk);
             },
         );
     }
@@ -219,69 +222,104 @@ impl CsrMatrix {
         );
         let k = d.cols();
         out.resize_zeroed(self.cols, k);
+        let tier = crate::simd::active_tier();
         crate::parallel::for_each_row_chunk(
             self.cols,
             self.nnz() * k,
             out.as_mut_slice(),
             k,
             |c0, chunk| {
-                // Each chunk owns output rows (= input columns) [c0, c1):
-                // every thread walks all input rows but, since columns are
-                // sorted within a row, binary-searches straight to its
-                // range. Column contributions stay in increasing input-row
-                // order, so the result is bit-identical to the sequential
-                // scatter.
-                let c1 = c0 + chunk.len() / k.max(1);
-                for r in 0..self.rows {
-                    let d_row = d.row(r);
-                    let row_range = self.indptr[r]..self.indptr[r + 1];
-                    let row_cols = &self.indices[row_range.clone()];
-                    let lo = row_cols.partition_point(|&c| (c as usize) < c0);
-                    for (idx, &c) in row_cols.iter().enumerate().skip(lo) {
-                        let c = c as usize;
-                        if c >= c1 {
-                            break;
-                        }
-                        let v = self.values[row_range.start + idx];
-                        let off = (c - c0) * k;
-                        let out_row = &mut chunk[off..off + k];
-                        for (o, &dv) in out_row.iter_mut().zip(d_row.iter()) {
-                            *o += v * dv;
-                        }
-                    }
-                }
+                spmm_transpose_chunk(tier, self, d, c0, chunk);
             },
         );
     }
 
     /// Materialized transpose (CSR of the transposed matrix).
     pub fn transpose(&self) -> CsrMatrix {
-        let mut counts = vec![0usize; self.cols + 1];
+        let mut out = CsrMatrix::zeros(0, 0);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// In-place variant of [`CsrMatrix::transpose`]: writes the
+    /// transposed CSR into `out`, reusing its buffers whenever their
+    /// capacity suffices. This is what lets a rebinding solver workspace
+    /// refresh its cached `Xᵀ` views without reallocating per snapshot
+    /// (see `UpdateWorkspace::bind`). The produced structure is
+    /// bit-identical to [`CsrMatrix::transpose`] (same counting sort and
+    /// fill order).
+    pub fn transpose_into(&self, out: &mut CsrMatrix) {
+        out.rows = self.cols;
+        out.cols = self.rows;
+        let nnz = self.nnz();
+        out.indptr.clear();
+        out.indptr.resize(self.cols + 1, 0);
+        out.indices.clear();
+        out.indices.resize(nnz, 0);
+        out.values.clear();
+        out.values.resize(nnz, 0.0);
+        // Counting pass: start offset of each output row (input column),
+        // built directly in `out.indptr` (shifted back after the fill,
+        // which uses it as the write cursor — no scratch allocation).
         for &c in &self.indices {
-            counts[c as usize + 1] += 1;
+            out.indptr[c as usize + 1] += 1;
         }
         for i in 0..self.cols {
-            counts[i + 1] += counts[i];
+            out.indptr[i + 1] += out.indptr[i];
         }
-        let mut indptr = counts.clone();
-        let mut indices = vec![0u32; self.nnz()];
-        let mut values = vec![0.0; self.nnz()];
         for r in 0..self.rows {
             for (c, v) in self.iter_row(r) {
-                let pos = indptr[c];
-                indices[pos] = r as u32;
-                values[pos] = v;
-                indptr[c] += 1;
+                let pos = out.indptr[c];
+                out.indices[pos] = r as u32;
+                out.values[pos] = v;
+                out.indptr[c] += 1;
             }
         }
-        // `indptr` was shifted by the fill; rebuild it from counts.
-        CsrMatrix {
-            rows: self.cols,
-            cols: self.rows,
-            indptr: counts,
-            indices,
-            values,
+        // After the fill, indptr[c] holds the *end* of row c (= the next
+        // row's start); shift right once to restore start offsets.
+        for c in (1..=self.cols).rev() {
+            out.indptr[c] = out.indptr[c - 1];
         }
+        out.indptr[0] = 0;
+    }
+
+    /// A fast 64-bit content fingerprint over shape, structure and
+    /// values, used by solver workspaces to detect that a rebind is
+    /// against the *same* matrix and skip rebuilding cached transposes.
+    /// Multi-lane multiply-xor mixing (~1 cycle/word) — far cheaper than
+    /// the transpose it guards. Equal matrices always collide; unequal
+    /// matrices collide with probability ~2⁻⁶⁴ (and only matter when
+    /// shape and nnz also agree).
+    pub fn content_fingerprint(&self) -> u64 {
+        const M: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut lanes = [
+            0x243F_6A88_85A3_08D3u64, // independent lane seeds (π digits)
+            0x1319_8A2E_0370_7344,
+            0xA409_3822_299F_31D0,
+            0x082E_FA98_EC4E_6C89,
+        ];
+        let mut feed = |lane: usize, v: u64| {
+            let l = &mut lanes[lane & 3];
+            *l = (*l ^ v).wrapping_mul(M).rotate_left(23);
+        };
+        feed(0, self.rows as u64);
+        feed(1, self.cols as u64);
+        feed(2, self.nnz() as u64);
+        for (i, &p) in self.indptr.iter().enumerate() {
+            feed(i, p as u64);
+        }
+        for (i, &c) in self.indices.iter().enumerate() {
+            feed(i, c as u64);
+        }
+        for (i, &v) in self.values.iter().enumerate() {
+            feed(i, v.to_bits());
+        }
+        let mut h = 0u64;
+        for l in lanes {
+            h = (h ^ l).wrapping_mul(M);
+            h ^= h >> 29;
+        }
+        h
     }
 
     /// Per-row sums (for degree vectors of adjacency matrices).
@@ -327,11 +365,40 @@ impl CsrMatrix {
             "inner_with_factored: col factor mismatch"
         );
         assert_eq!(a.cols(), b.cols(), "inner_with_factored: rank mismatch");
+        // Entries are processed four at a time: the four dot chains run
+        // in independent lanes (each in exactly `dot`'s order) and
+        // `total` still accumulates one `v·⟨a,b⟩` term per entry in
+        // entry order — bit-identical to the plain loop, without its
+        // serial add-latency chain.
         let mut total = 0.0;
         for r in 0..self.rows {
             let a_row = a.row(r);
-            for (c, v) in self.iter_row(r) {
-                total += v * crate::dense::dot(a_row, b.row(c));
+            let range = self.indptr[r]..self.indptr[r + 1];
+            let cols = &self.indices[range.clone()];
+            let vals = &self.values[range];
+            let mut idx = 0;
+            while idx + 4 <= cols.len() {
+                let (b0, b1, b2, b3) = (
+                    b.row(cols[idx] as usize),
+                    b.row(cols[idx + 1] as usize),
+                    b.row(cols[idx + 2] as usize),
+                    b.row(cols[idx + 3] as usize),
+                );
+                let mut acc = [0.0f64; 4];
+                for (t, &av) in a_row.iter().enumerate() {
+                    acc[0] += av * b0[t];
+                    acc[1] += av * b1[t];
+                    acc[2] += av * b2[t];
+                    acc[3] += av * b3[t];
+                }
+                total += vals[idx] * acc[0];
+                total += vals[idx + 1] * acc[1];
+                total += vals[idx + 2] * acc[2];
+                total += vals[idx + 3] * acc[3];
+                idx += 4;
+            }
+            for i in idx..cols.len() {
+                total += vals[i] * crate::dense::dot(a_row, b.row(cols[i] as usize));
             }
         }
         total
@@ -422,6 +489,97 @@ impl CsrMatrix {
     }
 }
 
+simd_kernel! {
+    /// One output-row chunk of the CSR×dense product: the row-accumulate
+    /// inner loop streams `d` rows into the output row `k` lanes wide,
+    /// monomorphized on the common thin widths (identical floating-point
+    /// sequence at every width).
+    fn spmm_chunk(x: &CsrMatrix, d: &DenseMatrix, r0: usize, chunk: &mut [f64]) {
+        match d.cols() {
+            2 => spmm_chunk_w::<2>(x, d, r0, chunk),
+            3 => spmm_chunk_w::<3>(x, d, r0, chunk),
+            10 => spmm_chunk_w::<10>(x, d, r0, chunk),
+            _ => spmm_chunk_w::<0>(x, d, r0, chunk),
+        }
+    }
+}
+
+/// Width-monomorphized body of [`spmm_chunk`] (`W = 0` means runtime
+/// width). The gathered `d` rows are the kernel's cache-miss source, so
+/// each iteration issues a prefetch hint a few entries ahead — a pure
+/// latency hint with no effect on the computed values.
+#[inline(always)]
+fn spmm_chunk_w<const W: usize>(x: &CsrMatrix, d: &DenseMatrix, r0: usize, chunk: &mut [f64]) {
+    let k = if W > 0 { W } else { d.cols() };
+    const LOOKAHEAD: usize = 8;
+    for (local, out_row) in chunk.chunks_exact_mut(k.max(1)).enumerate() {
+        let r = r0 + local;
+        let range = x.indptr[r]..x.indptr[r + 1];
+        let cols = &x.indices[range.clone()];
+        let vals = &x.values[range];
+        for (idx, (&c, &v)) in cols.iter().zip(vals.iter()).enumerate() {
+            if let Some(&cn) = cols.get(idx + LOOKAHEAD) {
+                prefetch_read(d.row(cn as usize));
+            }
+            let d_row = &d.row(c as usize)[..k];
+            for (o, &dv) in out_row.iter_mut().zip(d_row.iter()) {
+                *o += v * dv;
+            }
+        }
+    }
+}
+
+/// Architectural prefetch hint for an upcoming read. Hints never change
+/// results — only when the cache lines arrive.
+#[inline(always)]
+fn prefetch_read(s: &[f64]) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is a hint; it performs no memory access
+    // that could fault and has no architectural effect on state beyond
+    // the caches. The pointer is derived from a live slice.
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch::<_MM_HINT_T0>(s.as_ptr() as *const i8);
+        if s.len() > 8 {
+            // thin rows can straddle two cache lines
+            _mm_prefetch::<_MM_HINT_T0>(s.as_ptr().wrapping_add(s.len() - 1) as *const i8);
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = s;
+}
+
+simd_kernel! {
+    /// One output-row chunk of the transposed CSR×dense product. Each
+    /// chunk owns output rows (= input columns) `[c0, c1)`: every thread
+    /// walks all input rows but, since columns are sorted within a row,
+    /// binary-searches straight to its range. Column contributions stay
+    /// in increasing input-row order, so the result is bit-identical to
+    /// the sequential scatter.
+    fn spmm_transpose_chunk(x: &CsrMatrix, d: &DenseMatrix, c0: usize, chunk: &mut [f64]) {
+        let k = d.cols();
+        let c1 = c0 + chunk.len() / k.max(1);
+        for r in 0..x.rows {
+            let d_row = d.row(r);
+            let row_range = x.indptr[r]..x.indptr[r + 1];
+            let row_cols = &x.indices[row_range.clone()];
+            let lo = row_cols.partition_point(|&c| (c as usize) < c0);
+            for (idx, &c) in row_cols.iter().enumerate().skip(lo) {
+                let c = c as usize;
+                if c >= c1 {
+                    break;
+                }
+                let v = x.values[row_range.start + idx];
+                let off = (c - c0) * k;
+                let out_row = &mut chunk[off..off + k];
+                for (o, &dv) in out_row.iter_mut().zip(d_row.iter()) {
+                    *o += v * dv;
+                }
+            }
+        }
+    }
+}
+
 /// A cached column-oriented view of a [`CsrMatrix`]: the transposed CSR,
 /// built once, turning every later `Aᵀ·D` product into a forward,
 /// row-parallel gather pass instead of a cache-hostile scatter.
@@ -443,6 +601,15 @@ impl CscView {
         CscView {
             transposed: a.transpose(),
         }
+    }
+
+    /// Rebuilds the view for a new matrix, reusing the existing buffers
+    /// whenever their capacity suffices (via
+    /// [`CsrMatrix::transpose_into`]). This is the amortized-rebind path:
+    /// a solver workspace that re-binds every snapshot refreshes its
+    /// cached transposes without per-snapshot allocations once warm.
+    pub fn rebind(&mut self, a: &CsrMatrix) {
+        a.transpose_into(&mut self.transposed);
     }
 
     /// Rows of the *original* matrix.

@@ -266,8 +266,11 @@ proptest! {
         den.axpy(beta, &du_s);
         den.axpy(gamma, &s_ref);
         mult_update(&mut s_ref, &num, &den);
-        // Fused: one pass, no intermediates.
+        // Fused: one pass, no intermediates — with the gram-in-update
+        // output, which must equal a post-hoc Gram of the result
+        // bit-for-bit.
         let mut s_fused = s0.clone();
+        let mut fused_gram = DenseMatrix::default();
         mult_update_from_parts(
             &mut s_fused,
             &num_base,
@@ -277,7 +280,9 @@ proptest! {
             &[(beta, &extra), (gamma, &scaled)],
             Some((beta, &deg)),
             gamma,
+            Some(&mut fused_gram),
         );
+        prop_assert_eq!(fused_gram, s_fused.gram());
         prop_assert_eq!(s_fused, s_ref);
     }
 

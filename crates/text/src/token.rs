@@ -119,7 +119,18 @@ fn strip_non_alnum(s: &str) -> String {
 
 /// Convenience: tokenize and return feature strings directly.
 pub fn tokenize_features(text: &str, config: &TokenizerConfig) -> Vec<String> {
-    tokenize(text, config).iter().map(Token::feature).collect()
+    let mut out = Vec::new();
+    tokenize_features_into(text, config, &mut out);
+    out
+}
+
+/// Buffer-reusing variant of [`tokenize_features`]: clears `out` and
+/// fills it with the feature strings. High-rate ingest paths (the
+/// `tgs-engine` worker) call this with a scratch buffer hoisted across
+/// documents instead of allocating a fresh `Vec` per document.
+pub fn tokenize_features_into(text: &str, config: &TokenizerConfig, out: &mut Vec<String>) {
+    out.clear();
+    out.extend(tokenize(text, config).iter().map(Token::feature));
 }
 
 #[cfg(test)]

@@ -132,7 +132,17 @@ impl Vocabulary {
 
     /// Maps a document to feature ids, dropping out-of-vocabulary tokens.
     pub fn encode<'a>(&self, doc: impl IntoIterator<Item = &'a str>) -> Vec<usize> {
-        doc.into_iter().filter_map(|t| self.id(t)).collect()
+        let mut out = Vec::new();
+        self.encode_into(doc, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of [`Vocabulary::encode`]: clears `out`
+    /// and fills it with the known-token ids. Lets ingest paths reuse
+    /// per-document id buffers across snapshots.
+    pub fn encode_into<'a>(&self, doc: impl IntoIterator<Item = &'a str>, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(doc.into_iter().filter_map(|t| self.id(t)));
     }
 }
 

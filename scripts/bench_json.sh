@@ -8,12 +8,31 @@
 # The `sharded_offline_solve/10_iters/{1,2,4}` series tracks the
 # user-range sharded solver (parallel shard-local sweeps + global Sf
 # merge); on a single-vCPU host it measures sharding overhead, on
-# multi-core hosts it is the scaling series (see PERF.md).
+# multi-core hosts it is the scaling series (see PERF.md). PR 4 added
+# `simd_kernels/{scalar,dispatched}/*` (per-kernel SIMD-dispatch A/B;
+# results are bit-identical across tiers, the series records the speed
+# delta only) and `online_step_rebind/{cold,amortized}` (per-snapshot
+# `UpdateWorkspace::bind` cost, throwaway vs fingerprint-amortized).
 #
-# Set BENCH_FAST=1 for a quick smoke regeneration (fewer samples).
+# Usage:
+#   ./scripts/bench_json.sh           # full regeneration (commit these)
+#   ./scripts/bench_json.sh --quick   # bench-smoke mode: BENCH_FAST=1,
+#                                     # artifacts land in target/bench-smoke/
+#                                     # (the ci.sh gate so bench code can't
+#                                     # bit-rot; numbers NOT for committing)
+#
+# Set BENCH_FAST=1 yourself for a quick regeneration in-place.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_JSON="$PWD/BENCH_kernels.json" cargo bench -p tgs_bench --bench kernels
-BENCH_JSON="$PWD/BENCH_solvers.json" cargo bench -p tgs_bench --bench solvers
-echo "wrote BENCH_kernels.json and BENCH_solvers.json"
+OUT_DIR="$PWD"
+if [[ "${1:-}" == "--quick" ]]; then
+    export BENCH_FAST=1
+    OUT_DIR="$PWD/target/bench-smoke"
+    mkdir -p "$OUT_DIR"
+    echo "bench smoke mode: fast samples, artifacts under target/bench-smoke/"
+fi
+
+BENCH_JSON="$OUT_DIR/BENCH_kernels.json" cargo bench -p tgs_bench --bench kernels
+BENCH_JSON="$OUT_DIR/BENCH_solvers.json" cargo bench -p tgs_bench --bench solvers
+echo "wrote $OUT_DIR/BENCH_kernels.json and $OUT_DIR/BENCH_solvers.json"

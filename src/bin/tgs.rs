@@ -511,12 +511,13 @@ fn cmd_stream(flags: &Flags) -> Result<(), TgsError> {
         let s = engine.stats();
         eprintln!(
             "stats: queued {} | ingested {} | dropped_capacity {} | last_step {:.3} ms | \
-             cross-shard retweets dropped {}",
+             cross-shard retweets dropped {} | simd {}",
             s.queued,
             s.ingested,
             s.dropped_capacity,
             s.last_step_ns as f64 / 1e6,
             engine.dropped_cross_shard(),
+            s.simd,
         );
     }
 
