@@ -86,6 +86,84 @@ fn bench_sharded_offline(c: &mut Criterion) {
             b.iter(|| black_box(solve_offline_sharded(&inputs, &cfg)))
         });
     }
+    // The Zipf-skew point: real social-media load concentrates on a few
+    // super-active users (the generator's user-activity exponent), so an
+    // even user-range split gives one shard most of the tweets — the
+    // worst case for shard-parallel sweeps (the hottest shard gates the
+    // iteration) and the motivation for `ShardedEngine::maybe_rebalance`.
+    let skewed = generate(&GeneratorConfig {
+        user_activity_exponent: 1.3,
+        ..corpus_of_size(8_000)
+    });
+    let problem = build_offline_sharded(&skewed, 3, 4, &pipeline());
+    let inputs: Vec<TriInput> = problem
+        .shards
+        .iter()
+        .map(|s| TriInput {
+            xp: &s.matrices.xp,
+            xu: &s.matrices.xu,
+            xr: &s.matrices.xr,
+            graph: &s.matrices.graph,
+            sf0: &problem.sf0,
+        })
+        .collect();
+    group.bench_with_input(BenchmarkId::new("zipf_skew", 4), &4, |b, _| {
+        b.iter(|| black_box(solve_offline_sharded(&inputs, &cfg)))
+    });
+    group.finish();
+}
+
+/// Live-rebalance cost: a boundary move and its inverse (a full round
+/// trip, so every iteration starts from identical fleet state) against
+/// a warmed streaming fleet, scaled by how many users each direction
+/// migrates. The round trip prices two quiesces plus two export/import
+/// passes over the moved range — the marginal cost a `--max-skew`
+/// trigger pays mid-stream.
+fn bench_sharded_rebalance(c: &mut Criterion) {
+    use tgs_data::{RepartitionOp, RepartitionPlan};
+    use tgs_engine::{EngineBuilder, EngineSnapshot};
+
+    let corpus = generate(&GeneratorConfig {
+        topic: "bench-rebalance".into(),
+        num_users: 2_000,
+        total_tweets: 6_000,
+        num_days: 6,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("sharded_rebalance");
+    group.sample_size(10);
+    for &moved in &[25usize, 100, 400] {
+        let engine = EngineBuilder::new()
+            .k(3)
+            .max_iters(6)
+            .fit_sharded(&corpus, 4)
+            .expect("valid build");
+        for (lo, hi) in tgs_data::day_windows(corpus.num_days, 1) {
+            engine
+                .ingest(EngineSnapshot::from_corpus_window(&corpus, lo, hi))
+                .unwrap();
+        }
+        engine.flush().unwrap();
+        let b1 = engine.map().starts()[1];
+        let forward = RepartitionPlan::single(RepartitionOp::MoveBoundary {
+            boundary: 1,
+            to: b1 + moved,
+        });
+        let inverse = RepartitionPlan::single(RepartitionOp::MoveBoundary {
+            boundary: 1,
+            to: b1,
+        });
+        group.bench_with_input(
+            BenchmarkId::new("move_roundtrip_users", moved),
+            &moved,
+            |b, _| {
+                b.iter(|| {
+                    engine.rebalance(&forward).unwrap();
+                    black_box(engine.rebalance(&inverse).unwrap());
+                })
+            },
+        );
+    }
     group.finish();
 }
 
@@ -327,6 +405,7 @@ criterion_group!(
     bench_offline_iteration_fused_vs_reference,
     bench_offline_scaling,
     bench_sharded_offline,
+    bench_sharded_rebalance,
     bench_online_vs_batch,
     bench_online_step_rebind
 );

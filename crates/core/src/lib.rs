@@ -64,10 +64,12 @@ pub use objective::{offline_objective, online_objective, ObjectiveParts};
 pub use offline::{
     solve_offline, solve_offline_from, try_solve_offline, try_solve_offline_from, OfflineResult,
 };
-pub use online::{OnlineSolver, OnlineSolverState, OnlineStepResult, SnapshotData};
+pub use online::{
+    GhostFactor, MigratedUsers, OnlineSolver, OnlineSolverState, OnlineStepResult, SnapshotData,
+};
 pub use sharded::{
-    solve_offline_sharded, try_solve_offline_sharded, ShardedOfflineResult, ShardedOnlineSolver,
-    ShardedStepOutcome,
+    solve_offline_sharded, try_solve_offline_sharded, try_solve_offline_sharded_with_ghosts,
+    GhostRowLink, ShardedOfflineResult, ShardedOnlineSolver, ShardedStepOutcome,
 };
 pub use store::{decode_matrix, encode_matrix, SnapshotStore};
 pub use window::{FactorWindow, HistoryRows, SentimentHistory, UserHistoryRows, UserPartition};

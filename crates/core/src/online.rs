@@ -81,9 +81,27 @@ pub struct OnlineSolverState {
     /// The `Sf` window contents, most recent first.
     pub sf_window: Vec<tgs_linalg::DenseMatrix>,
     /// The per-user history's global step counter.
-    pub history_step: u64,
-    /// Per-user `(step, row)` observations, sorted by user id.
+    pub history_step: i64,
+    /// Per-user `(step, row)` observations, sorted by user id. Steps are
+    /// signed: rows imported through a live rebalance keep their age and
+    /// can predate the importing solver's step 0.
     pub history_rows: crate::window::HistoryRows,
+}
+
+/// One ghost row's prescription: the remote user's global id and their
+/// current sentiment factor (the raw decayed `Suw` aggregate broadcast by
+/// the owning shard; uniform when the owner has no history yet).
+pub type GhostFactor = (usize, Vec<f64>);
+
+/// Per-user temporal state exported for a live shard rebalance —
+/// everything the owning solver knows about a contiguous user-id range,
+/// in age-relative (placement-independent) form. Produced by
+/// [`OnlineSolver::export_users`]; consumed by
+/// [`OnlineSolver::import_users`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MigratedUsers {
+    /// Per-user `(age, Su row)` observations, sorted by user id.
+    pub rows: crate::window::AgedHistoryRows,
 }
 
 impl OnlineSolver {
@@ -188,7 +206,23 @@ impl OnlineSolver {
     /// history. Malformed inputs are reported as the matching
     /// [`TgsError`] shape variant.
     pub fn try_step(&mut self, data: &SnapshotData<'_>) -> Result<OnlineStepResult, TgsError> {
-        self.step_impl(data, None)
+        self.step_impl(data, None, &[])
+    }
+
+    /// Like [`OnlineSolver::try_step`], but with ghost rows: each
+    /// `(user, factor)` pair in `ghosts` names a user of `data.user_ids`
+    /// whose row is a ghost — a remote user materialized on this shard
+    /// for a cross-shard re-tweet edge. Ghost rows warm-start from (and
+    /// are γ-regularized toward) the carried remote factor instead of
+    /// local history, and they are **not** recorded into this solver's
+    /// per-user history — the owning shard records them. With an empty
+    /// list this is exactly `try_step`.
+    pub fn try_step_with_ghosts(
+        &mut self,
+        data: &SnapshotData<'_>,
+        ghosts: &[GhostFactor],
+    ) -> Result<OnlineStepResult, TgsError> {
+        self.step_impl(data, None, ghosts)
     }
 
     /// Like [`OnlineSolver::try_step`], but sourcing the `Sfw(t)`
@@ -207,17 +241,61 @@ impl OnlineSolver {
         data: &SnapshotData<'_>,
         shared: &FactorWindow,
     ) -> Result<OnlineStepResult, TgsError> {
-        self.step_impl(data, Some(shared))
+        self.step_impl(data, Some(shared), &[])
+    }
+
+    /// Shared-window stepping with ghost rows — the full sharded
+    /// protocol: `Sfw(t)` comes from the coordinator's merged window and
+    /// ghost rows carry the owning shards' broadcast factors (see
+    /// [`OnlineSolver::try_step_with_ghosts`]).
+    pub fn try_step_shared_with_ghosts(
+        &mut self,
+        data: &SnapshotData<'_>,
+        shared: &FactorWindow,
+        ghosts: &[GhostFactor],
+    ) -> Result<OnlineStepResult, TgsError> {
+        self.step_impl(data, Some(shared), ghosts)
+    }
+
+    /// True when this solver has in-window history for `user` (i.e. it
+    /// acts as the user's owner for ghost-factor broadcasts).
+    pub fn knows_user(&self, user: usize) -> bool {
+        self.history.knows(user)
+    }
+
+    /// Removes and returns the temporal state of every user with id in
+    /// `lo..hi` — the export half of a live shard rebalance. The
+    /// returned rows are age-relative, so importing them into a solver
+    /// with a different step counter preserves each observation's decay
+    /// age exactly; export followed by import into the same solver (with
+    /// no steps in between) is a lossless round trip.
+    pub fn export_users(&mut self, lo: usize, hi: usize) -> MigratedUsers {
+        MigratedUsers {
+            rows: self.history.take_users(lo, hi),
+        }
+    }
+
+    /// Imports user state exported from another solver (see
+    /// [`OnlineSolver::export_users`]). Rejects malformed rows and users
+    /// this solver already tracks — validation happens before any
+    /// insertion, and a rejection returns the state untouched so the
+    /// caller can restore it to its source instead of losing it.
+    #[allow(clippy::result_large_err)]
+    pub fn import_users(&mut self, users: MigratedUsers) -> Result<(), (TgsError, MigratedUsers)> {
+        self.history
+            .import_aged(users.rows)
+            .map_err(|(e, rows)| (e, MigratedUsers { rows }))
     }
 
     /// The one step implementation behind [`OnlineSolver::try_step`]
     /// (own window) and [`OnlineSolver::try_step_shared`] (coordinator's
-    /// window). Both paths are bit-identical given windows with equal
-    /// contents.
+    /// window), optionally with ghost rows. All paths are bit-identical
+    /// given windows with equal contents and no ghosts.
     fn step_impl(
         &mut self,
         data: &SnapshotData<'_>,
         shared: Option<&FactorWindow>,
+        ghosts: &[GhostFactor],
     ) -> Result<OnlineStepResult, TgsError> {
         let input = &data.input;
         input.try_validate(self.config.k)?;
@@ -228,7 +306,48 @@ impl OnlineSolver {
             });
         }
         let k = self.config.k;
-        let partition = self.history.partition(data.user_ids);
+        let mut partition = self.history.partition(data.user_ids);
+
+        // --- Resolve ghost rows (cross-shard re-tweet protocol) ---
+        // Each ghost is a remote user present only through a re-tweet
+        // edge; their row is prescribed by the carried remote factor and
+        // withheld from this shard's history.
+        let mut ghost_dists: Vec<(usize, &[f64])> = Vec::with_capacity(ghosts.len());
+        // One pass over the user ids instead of a scan per ghost.
+        let user_rows: std::collections::HashMap<usize, usize> = if ghosts.is_empty() {
+            std::collections::HashMap::new()
+        } else {
+            data.user_ids
+                .iter()
+                .enumerate()
+                .map(|(row, &u)| (u, row))
+                .collect()
+        };
+        for (user, dist) in ghosts {
+            let row = *user_rows.get(user).ok_or_else(|| {
+                TgsError::invalid_argument(format!(
+                    "ghost user {user} is not a row of this snapshot slice"
+                ))
+            })?;
+            if dist.len() != k {
+                return Err(TgsError::invalid_argument(format!(
+                    "ghost factor for user {user} has {} classes, expected {k}",
+                    dist.len()
+                )));
+            }
+            ghost_dists.push((row, dist.as_slice()));
+        }
+        if !ghost_dists.is_empty() {
+            ghost_dists.sort_unstable_by_key(|&(row, _)| row);
+            let ghost_rows: Vec<usize> = ghost_dists.iter().map(|&(row, _)| row).collect();
+            partition
+                .new_rows
+                .retain(|row| ghost_rows.binary_search(row).is_err());
+            partition
+                .evolving_rows
+                .retain(|row| ghost_rows.binary_search(row).is_err());
+            partition.ghost_rows = ghost_rows;
+        }
 
         // --- Warm start (Algorithm 2 lines 1–2) ---
         let step_seed = self
@@ -270,12 +389,57 @@ impl OnlineSolver {
         for (i, &row) in partition.new_rows.iter().enumerate() {
             factors.su.copy_row_from(row, &fresh, i);
         }
+        // Ghost rows: the carried remote factor, L1-normalized for the
+        // warm start (mirroring evolving users); the raw factor stays the
+        // γ-target below.
+        for &(row, dist) in &ghost_dists {
+            let total: f64 = dist.iter().sum();
+            let scale = if total > 0.0 { 1.0 / total } else { 1.0 };
+            for (j, &v) in dist.iter().enumerate() {
+                factors
+                    .su
+                    .set(row, j, (v * scale).max(tgs_linalg::FACTOR_FLOOR));
+            }
+        }
         // Keep Su at distribution scale (its rows are the temporal state);
         // Sp, Hp, Hu absorb the snapshot's data norms.
         self.workspace.bind(input);
         self.workspace.balance_init_scales(input, &mut factors);
 
         // --- Iterate (Algorithm 2 lines 3–8) ---
+        // The γ-regularized rows are the evolving users plus any ghost
+        // rows (pulled toward the owner's broadcast factor). Without
+        // ghosts this is exactly the evolving set — same slices, same
+        // matrix — preserving the no-ghost paths bit for bit.
+        let mut reg_rows_merged;
+        let mut reg_target_merged;
+        let (reg_rows, reg_target): (&[usize], &tgs_linalg::DenseMatrix) = if ghost_dists.is_empty()
+        {
+            (&partition.evolving_rows, &su_target)
+        } else {
+            reg_rows_merged =
+                Vec::with_capacity(partition.evolving_rows.len() + partition.ghost_rows.len());
+            reg_rows_merged.extend_from_slice(&partition.evolving_rows);
+            reg_rows_merged.extend_from_slice(&partition.ghost_rows);
+            reg_rows_merged.sort_unstable();
+            reg_target_merged = tgs_linalg::DenseMatrix::zeros(reg_rows_merged.len(), k);
+            for (i, &row) in reg_rows_merged.iter().enumerate() {
+                if let Ok(g) = ghost_dists.binary_search_by_key(&row, |&(r, _)| r) {
+                    for (j, &v) in ghost_dists[g].1.iter().enumerate() {
+                        reg_target_merged.set(i, j, v);
+                    }
+                } else {
+                    // `evolving_rows` is built in ascending row order by
+                    // `partition`, so the lookup stays logarithmic.
+                    let e = partition
+                        .evolving_rows
+                        .binary_search(&row)
+                        .expect("merged row is evolving or ghost");
+                    reg_target_merged.copy_row_from(i, &su_target, e);
+                }
+            }
+            (&reg_rows_merged, &reg_target_merged)
+        };
         let (alpha, beta, gamma) = (self.config.alpha, self.config.beta, self.config.gamma);
         let evaluate = |f: &TriFactors| {
             online_objective(
@@ -285,8 +449,8 @@ impl OnlineSolver {
                 &sf_target,
                 beta,
                 gamma,
-                Some(&su_target),
-                &partition.evolving_rows,
+                Some(reg_target),
+                reg_rows,
             )
         };
         let mut history = Vec::new();
@@ -305,8 +469,8 @@ impl OnlineSolver {
                 gamma,
                 &sf_target,
                 &partition.new_rows,
-                &partition.evolving_rows,
-                &su_target,
+                reg_rows,
+                reg_target,
             );
             iterations = it + 1;
             // In-loop evaluation through the workspace caches (agrees
@@ -318,8 +482,8 @@ impl OnlineSolver {
                 &sf_target,
                 beta,
                 gamma,
-                Some(&su_target),
-                &partition.evolving_rows,
+                Some(reg_target),
+                reg_rows,
             );
             if self.config.track_objective {
                 history.push(cur);
@@ -343,7 +507,9 @@ impl OnlineSolver {
         // class distribution, immune to the solver's arbitrary row scale.
         let mut su_dist = factors.su.clone();
         su_dist.normalize_rows_l1();
-        self.history.record(data.user_ids, &su_dist);
+        // Ghost rows are withheld: the owning shard records those users.
+        self.history
+            .record_masked(data.user_ids, &su_dist, &partition.ghost_rows);
         // Under a shared window the coordinator pushes the *merged* Sf(t)
         // after gathering every shard; pushing the local one here would
         // desynchronize the two windows.

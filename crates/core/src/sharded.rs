@@ -28,9 +28,27 @@ use crate::factors::TriFactors;
 use crate::input::TriInput;
 use crate::objective::{offline_objective, ObjectiveParts};
 use crate::offline::OfflineResult;
-use crate::online::{OnlineSolver, OnlineStepResult, SnapshotData};
+use crate::online::{GhostFactor, OnlineSolver, OnlineStepResult, SnapshotData};
 use crate::window::FactorWindow;
 use crate::workspace::UpdateWorkspace;
+
+/// A ghost row's coupling link for the offline sharded solver: shard
+/// `shard`'s local user row `row` is a ghost of shard `owner_shard`'s
+/// local user row `owner_row` (the same global user). Each coupling
+/// round broadcasts the owner's `Su` row into the ghost row, alongside
+/// the global `Sf` merge — so a cross-shard re-tweet edge regularizes
+/// against the remote user's *current* factor, not a stale copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GhostRowLink {
+    /// The shard holding the ghost row.
+    pub shard: usize,
+    /// Local user row of the ghost on `shard`.
+    pub row: usize,
+    /// The shard owning the user.
+    pub owner_shard: usize,
+    /// The user's local row on the owning shard.
+    pub owner_row: usize,
+}
 
 /// Deterministic per-shard RNG seed. Shard 0 keeps the configured seed so
 /// a single-shard solve draws the exact random stream of the unsharded
@@ -128,8 +146,34 @@ pub fn try_solve_offline_sharded(
     inputs: &[TriInput<'_>],
     config: &OfflineConfig,
 ) -> Result<ShardedOfflineResult, TgsError> {
+    try_solve_offline_sharded_with_ghosts(inputs, config, &[])
+}
+
+/// [`try_solve_offline_sharded`] under the ghost-user protocol: each
+/// [`GhostRowLink`] couples a cross-shard re-tweet edge's ghost row to
+/// its owning shard. Every coupling round (after the `Sf` merge) the
+/// owner's current `Su` row is broadcast into the ghost row, so the
+/// local graph regularizer sees the remote user's live factor. With an
+/// empty link list this is exactly [`try_solve_offline_sharded`] — the
+/// `shards = 1` bit-identity guarantee is untouched.
+pub fn try_solve_offline_sharded_with_ghosts(
+    inputs: &[TriInput<'_>],
+    config: &OfflineConfig,
+    ghosts: &[GhostRowLink],
+) -> Result<ShardedOfflineResult, TgsError> {
     config.try_validate()?;
     validate_shard_inputs(inputs, config.k)?;
+    for g in ghosts {
+        let ok = g.shard < inputs.len()
+            && g.owner_shard < inputs.len()
+            && g.row < inputs[g.shard].m()
+            && g.owner_row < inputs[g.owner_shard].m();
+        if !ok {
+            return Err(TgsError::invalid_argument(format!(
+                "ghost link {g:?} references rows outside its shards"
+            )));
+        }
+    }
     let (l, k) = (inputs[0].l(), config.k);
 
     let mut states: Vec<ShardState> = inputs
@@ -167,6 +211,23 @@ pub fn try_solve_offline_sharded(
         return Err(TgsError::invalid_argument(
             "every shard is empty; nothing to solve",
         ));
+    }
+
+    // Initial ghost broadcast: ghost rows start from the owner's init
+    // rather than their own random draw, and the affected shards'
+    // starting objectives are re-evaluated against the prescribed rows.
+    if !ghosts.is_empty() {
+        broadcast_ghost_rows(&mut states, ghosts);
+        let mut touched: Vec<usize> = ghosts.iter().map(|g| g.shard).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for s in touched {
+            if states[s].active {
+                states[s].workspace.invalidate_factor_caches();
+                states[s].cur =
+                    offline_objective(&inputs[s], &states[s].factors, config.alpha, config.beta);
+            }
+        }
     }
 
     let mut prev: f64 = states.iter().map(|s| s.cur.total()).sum();
@@ -230,6 +291,10 @@ pub fn try_solve_offline_sharded(
             // unsharded guarantee holds unchanged.)
             s.workspace.invalidate_factor_caches();
         }
+        // Ghost rows ride the same coupling round: each ghost picks up
+        // its owner's just-swept Su row (the caches above are already
+        // invalidated, so the next sweep sees the fresh rows).
+        broadcast_ghost_rows(&mut states, ghosts);
 
         if hit_tol {
             converged = true;
@@ -262,6 +327,18 @@ pub fn try_solve_offline_sharded(
         converged,
         objective: prev,
     })
+}
+
+/// Copies each ghost link's owner `Su` row into the ghost row.
+fn broadcast_ghost_rows(states: &mut [ShardState], ghosts: &[GhostRowLink]) {
+    for g in ghosts {
+        let row = states[g.owner_shard].factors.su.row(g.owner_row).to_vec();
+        states[g.shard]
+            .factors
+            .su
+            .row_mut(g.row)
+            .copy_from_slice(&row);
+    }
 }
 
 /// Panicking wrapper around [`try_solve_offline_sharded`], kept for the
@@ -357,6 +434,63 @@ impl ShardedOnlineSolver {
     /// Shard slices must be disjoint by user; the caller routes them with
     /// the partitioner.
     pub fn try_step(&mut self, data: &[SnapshotData<'_>]) -> Result<ShardedStepOutcome, TgsError> {
+        self.try_step_with_ghosts(data, &[])
+    }
+
+    /// [`ShardedOnlineSolver::try_step`] under the ghost-user protocol:
+    /// `ghosts[s]` lists the global ids of remote users materialized as
+    /// ghost rows on shard `s` (from ghost-mode routing). Before the
+    /// parallel shard steps, each ghost's *current* factor — the decayed
+    /// `Suw` aggregate of whichever shard owns the user's history, or
+    /// uniform for never-seen users — is sampled and broadcast alongside
+    /// the shared `Sf` window; ghost rows warm-start from it, are
+    /// γ-regularized toward it, and are excluded from the receiving
+    /// shard's history and merge weighting. An empty `ghosts` (or all
+    /// shards empty) is exactly [`ShardedOnlineSolver::try_step`].
+    pub fn try_step_with_ghosts(
+        &mut self,
+        data: &[SnapshotData<'_>],
+        ghosts: &[Vec<usize>],
+    ) -> Result<ShardedStepOutcome, TgsError> {
+        if !ghosts.is_empty() && ghosts.len() != self.solvers.len() {
+            return Err(TgsError::invalid_argument(format!(
+                "expected {} ghost lists, got {}",
+                self.solvers.len(),
+                ghosts.len()
+            )));
+        }
+        // Sample every ghost factor against the *pre-step* state, so the
+        // exchange is deterministic and simultaneous across shards.
+        let k = self.config.k;
+        let ghost_factors: Vec<Vec<GhostFactor>> = if ghosts.is_empty() {
+            vec![Vec::new(); self.solvers.len()]
+        } else {
+            ghosts
+                .iter()
+                .map(|users| {
+                    users
+                        .iter()
+                        .map(|&user| {
+                            let dist = self
+                                .solvers
+                                .iter()
+                                .find(|s| s.knows_user(user))
+                                .and_then(|owner| owner.sentiment_of(user))
+                                .unwrap_or_else(|| vec![1.0 / k as f64; k]);
+                            (user, dist)
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        self.step_impl(data, &ghost_factors)
+    }
+
+    fn step_impl(
+        &mut self,
+        data: &[SnapshotData<'_>],
+        ghost_factors: &[Vec<GhostFactor>],
+    ) -> Result<ShardedStepOutcome, TgsError> {
         if data.len() != self.solvers.len() {
             return Err(TgsError::invalid_argument(format!(
                 "expected {} shard slices, got {}",
@@ -386,17 +520,18 @@ impl ShardedOnlineSolver {
         let mut results: Vec<Option<Result<OnlineStepResult, TgsError>>> =
             std::iter::repeat_with(|| None).take(data.len()).collect();
         std::thread::scope(|scope| {
-            for ((solver, d), slot) in self
+            for (((solver, d), slot), ghosts) in self
                 .solvers
                 .iter_mut()
                 .zip(data.iter())
                 .zip(results.iter_mut())
+                .zip(ghost_factors.iter())
             {
                 if d.input.n() == 0 {
                     continue;
                 }
                 scope.spawn(move || {
-                    *slot = Some(solver.try_step_shared(d, window));
+                    *slot = Some(solver.try_step_shared_with_ghosts(d, window, ghosts));
                 });
             }
         });
@@ -665,6 +800,107 @@ mod tests {
             "shared-window shard must differ from an isolated solver once \
              the other shard's data enters the merged Sf"
         );
+    }
+
+    #[test]
+    fn offline_ghost_rows_track_their_owner() {
+        let users_a: Vec<usize> = (0..6).collect();
+        let users_b: Vec<usize> = (6..12).collect();
+        let (xp_a, xu_a, xr_a, g_a, sf0) = instance(&users_a, 30, 12, 7);
+        let (xp_b, xu_b, xr_b, g_b, _) = instance(&users_b, 26, 12, 8);
+        let input_a = TriInput {
+            xp: &xp_a,
+            xu: &xu_a,
+            xr: &xr_a,
+            graph: &g_a,
+            sf0: &sf0,
+        };
+        let input_b = TriInput {
+            xp: &xp_b,
+            xu: &xu_b,
+            xr: &xr_b,
+            graph: &g_b,
+            sf0: &sf0,
+        };
+        // Shard 1's row 2 is a ghost of shard 0's row 3 (imagine user 3
+        // re-tweeting one of shard 1's documents).
+        let links = [GhostRowLink {
+            shard: 1,
+            row: 2,
+            owner_shard: 0,
+            owner_row: 3,
+        }];
+        let cfg = offline_config();
+        let a = try_solve_offline_sharded_with_ghosts(&[input_a, input_b], &cfg, &links).unwrap();
+        let b = try_solve_offline_sharded_with_ghosts(&[input_a, input_b], &cfg, &links).unwrap();
+        assert_eq!(a.sf, b.sf, "ghost coupling must stay deterministic");
+        // The final broadcast leaves the ghost row equal to its owner's.
+        assert_eq!(
+            a.shards[1].factors.su.row(2),
+            a.shards[0].factors.su.row(3),
+            "ghost row mirrors the owner after the last coupling round"
+        );
+        // And the coupling actually changes the ghost shard's solve.
+        let plain = try_solve_offline_sharded(&[input_a, input_b], &cfg).unwrap();
+        assert_ne!(a.shards[1].factors.su, plain.shards[1].factors.su);
+        // Out-of-range links are typed errors.
+        let bad = GhostRowLink {
+            shard: 1,
+            row: 99,
+            owner_shard: 0,
+            owner_row: 0,
+        };
+        let err =
+            try_solve_offline_sharded_with_ghosts(&[input_a, input_b], &cfg, &[bad]).unwrap_err();
+        assert_eq!(err.kind(), crate::error::TgsErrorKind::InvalidArgument);
+    }
+
+    #[test]
+    fn online_ghosts_carry_owner_factors_and_stay_unrecorded() {
+        let users_a: Vec<usize> = (0..5).collect();
+        // Shard B's snapshot includes user 2 (owned by shard A) as a
+        // ghost row: B holds a re-tweet edge of A's user.
+        let users_b_with_ghost: Vec<usize> = vec![2, 5, 6, 7, 8];
+        let cfg = online_config();
+        let mut solver = ShardedOnlineSolver::try_new(cfg, 2).unwrap();
+        for t in 0..3u64 {
+            let (xp_a, xu_a, xr_a, g_a, sf0) = instance(&users_a, 24, 12, t + 300);
+            let (xp_b, xu_b, xr_b, g_b, _) = instance(&users_b_with_ghost, 24, 12, t + 400);
+            let input_a = TriInput {
+                xp: &xp_a,
+                xu: &xu_a,
+                xr: &xr_a,
+                graph: &g_a,
+                sf0: &sf0,
+            };
+            let input_b = TriInput {
+                xp: &xp_b,
+                xu: &xu_b,
+                xr: &xr_b,
+                graph: &g_b,
+                sf0: &sf0,
+            };
+            let data_a = SnapshotData {
+                input: input_a,
+                user_ids: &users_a,
+            };
+            let data_b = SnapshotData {
+                input: input_b,
+                user_ids: &users_b_with_ghost,
+            };
+            let out = solver
+                .try_step_with_ghosts(&[data_a, data_b], &[vec![], vec![2]])
+                .unwrap();
+            let b = out.shards[1].as_ref().unwrap();
+            assert_eq!(b.partition.ghost_rows, vec![0], "user 2 is row 0 of B");
+            assert!(
+                !b.partition.new_rows.contains(&0) && !b.partition.evolving_rows.contains(&0),
+                "ghost rows leave the new/evolving sets"
+            );
+        }
+        // Only shard A ever recorded user 2: the ghost shard withheld it.
+        assert!(solver.solvers[0].knows_user(2));
+        assert!(!solver.solvers[1].knows_user(2));
     }
 
     #[test]

@@ -9,12 +9,29 @@ use std::collections::{HashMap, VecDeque};
 use tgs_linalg::DenseMatrix;
 
 /// A user's checkpointed history: `(step, Su row)` observations, newest
-/// first (the in-memory order of [`SentimentHistory`]).
-pub type UserHistoryRows = Vec<(u64, Vec<f64>)>;
+/// first (the in-memory order of [`SentimentHistory`]). Steps are signed:
+/// a row imported from another shard (live rebalance) keeps its *age*,
+/// and an old observation landing on a young solver can predate step 0.
+pub type UserHistoryRows = Vec<(i64, Vec<f64>)>;
 
 /// The whole per-user history in checkpointable form: `(user, entries)`
 /// pairs sorted by user id.
 pub type HistoryRows = Vec<(usize, UserHistoryRows)>;
+
+/// Per-user history in *age-relative* form for migration between
+/// solvers: `(user, entries)` pairs sorted by user id, each entry an
+/// `(age, Su row)` observation with `age` = how many steps ago the
+/// owning solver recorded it (newest — smallest age — first). Ages are
+/// solver-independent, so a row re-anchors correctly on a destination
+/// whose step counter differs from the source's.
+pub type AgedHistoryRows = Vec<(usize, Vec<(u64, Vec<f64>)>)>;
+
+/// Lower bound on representable history steps and upper bound on
+/// migration ages: ±2⁶² steps. No real stream approaches this (it would
+/// take 4.6×10¹⁸ snapshots), but bounding the domain keeps the signed
+/// step arithmetic (`t + 1 − step`, `t − step`) overflow-free against
+/// crafted checkpoints whose u64 step fields wrap negative.
+const STEP_FLOOR: i64 = -(1 << 62);
 
 /// Ring buffer of the last `w − 1` feature-cluster matrices `Sf(t−i)`.
 #[derive(Debug, Clone)]
@@ -103,9 +120,10 @@ pub struct SentimentHistory {
     tau: f64,
     normalize: bool,
     /// Global step counter (one per processed snapshot).
-    t: u64,
+    t: i64,
     /// Per user: recent `(step, row)` observations, front = newest.
-    rows: HashMap<usize, VecDeque<(u64, Vec<f64>)>>,
+    /// Steps are signed — see [`UserHistoryRows`].
+    rows: HashMap<usize, VecDeque<(i64, Vec<f64>)>>,
 }
 
 /// The three user categories of the online framework, as *local row
@@ -119,6 +137,11 @@ pub struct UserPartition {
     pub evolving_rows: Vec<usize>,
     /// Global ids of users with history but absent from this snapshot.
     pub disappeared: Vec<usize>,
+    /// Local rows that are ghosts: remote users materialized for a
+    /// cross-shard re-tweet edge. Their factors are prescribed by the
+    /// owning shard and they are excluded from this shard's history.
+    /// Always empty outside the ghost-user protocol.
+    pub ghost_rows: Vec<usize>,
 }
 
 impl SentimentHistory {
@@ -136,7 +159,7 @@ impl SentimentHistory {
     }
 
     /// Steps processed so far.
-    pub fn steps(&self) -> u64 {
+    pub fn steps(&self) -> i64 {
         self.t
     }
 
@@ -183,7 +206,9 @@ impl SentimentHistory {
             // Aggregation targets the *next* snapshot (t + 1), so an entry
             // recorded at `step` is `i = (t + 1) − step` snapshots ago
             // (i = 1 for the most recent one, matching Σ τ^i·Su(t−i)).
-            let i = (self.t + 1 - step) as i32;
+            // Migrated rows can be arbitrarily old; saturate rather than
+            // wrap (τ^big underflows to 0, the right limit).
+            let i = i32::try_from(self.t + 1 - step).unwrap_or(i32::MAX);
             let w = self.tau.powi(i);
             for (a, &v) in acc.iter_mut().zip(row.iter()) {
                 *a += w * v;
@@ -236,9 +261,18 @@ impl SentimentHistory {
         window: usize,
         tau: f64,
         normalize: bool,
-        t: u64,
+        t: i64,
         rows: HistoryRows,
     ) -> Result<Self, crate::error::TgsError> {
+        // The counter itself must respect the representable band too: a
+        // crafted checkpoint whose u64 counter wrapped negative (or sits
+        // at i64::MAX) would overflow `t += 1` / the horizon arithmetic
+        // on the first post-restore snapshot even with zero rows.
+        if !(STEP_FLOOR..=-STEP_FLOOR).contains(&t) {
+            return Err(crate::error::TgsError::CorruptCheckpoint {
+                detail: format!("history step counter {t} is outside the representable band"),
+            });
+        }
         let mut h = Self::new(k, window, tau, normalize);
         h.t = t;
         for (user, entries) in rows {
@@ -260,6 +294,19 @@ impl SentimentHistory {
                         ),
                     });
                 }
+                // Steps are signed (migration ages), but a legitimate one
+                // can never approach i64::MIN — that shape only arises
+                // from a crafted checkpoint whose huge u64 wrapped
+                // negative, and it would overflow the `t + 1 - step` /
+                // `t - step` arithmetic downstream.
+                if *step < STEP_FLOOR {
+                    return Err(crate::error::TgsError::CorruptCheckpoint {
+                        detail: format!(
+                            "history row for user {user} is at step {step}, below the \
+                             representable age floor"
+                        ),
+                    });
+                }
             }
             h.rows.insert(user, entries.into_iter().collect());
         }
@@ -270,11 +317,23 @@ impl SentimentHistory {
     /// advances the step counter, pruning anything older than `w − 1`
     /// snapshots.
     pub fn record(&mut self, current_users: &[usize], su: &DenseMatrix) {
+        self.record_masked(current_users, su, &[]);
+    }
+
+    /// Like [`SentimentHistory::record`], but skipping the given sorted
+    /// local rows — the ghost-row protocol: a ghost row's user is owned
+    /// (and recorded) by another shard, so committing it here would fork
+    /// the user's history. The step counter still advances and pruning
+    /// still runs; with an empty mask this is exactly `record`.
+    pub fn record_masked(&mut self, current_users: &[usize], su: &DenseMatrix, skip: &[usize]) {
         assert_eq!(current_users.len(), su.rows(), "one row per user required");
         assert_eq!(su.cols(), self.k, "class count mismatch");
         self.t += 1;
         let t = self.t;
         for (row, &u) in current_users.iter().enumerate() {
+            if skip.binary_search(&row).is_ok() {
+                continue;
+            }
             let hist = self.rows.entry(u).or_default();
             hist.push_front((t, su.row(row).to_vec()));
         }
@@ -283,7 +342,7 @@ impl SentimentHistory {
         // users forward (Fig. 5 / the Su(d,e) block of Eq. 19) — a user
         // who goes quiet keeps a decaying estimate instead of being
         // forgotten.
-        let horizon = t.saturating_sub(self.window.saturating_sub(1) as u64);
+        let horizon = t - self.window.saturating_sub(1) as i64;
         self.rows.retain(|_, hist| {
             while hist.len() > 1 {
                 match hist.back() {
@@ -295,6 +354,109 @@ impl SentimentHistory {
             }
             !hist.is_empty()
         });
+    }
+
+    /// Removes and returns the history of every user with id in
+    /// `lo..hi`, in *age-relative* form (sorted by user id) for
+    /// migration into another solver via
+    /// [`SentimentHistory::import_aged`]. Ages are measured against this
+    /// solver's step counter, so the export is placement-independent:
+    /// exporting and re-importing (with no steps in between) restores
+    /// the exact original state.
+    pub fn take_users(&mut self, lo: usize, hi: usize) -> AgedHistoryRows {
+        let t = self.t;
+        let mut out: AgedHistoryRows = Vec::new();
+        let moving: Vec<usize> = self
+            .rows
+            .keys()
+            .copied()
+            .filter(|&u| u >= lo && u < hi)
+            .collect();
+        for user in moving {
+            let hist = self.rows.remove(&user).expect("key just listed");
+            let aged = hist
+                .into_iter()
+                .map(|(step, row)| ((t - step) as u64, row))
+                .collect();
+            out.push((user, aged));
+        }
+        out.sort_unstable_by_key(|(u, _)| *u);
+        out
+    }
+
+    /// Imports age-relative user histories produced by
+    /// [`SentimentHistory::take_users`] on another solver, re-anchoring
+    /// each row at `step = t − age` against *this* solver's counter.
+    /// Rejects rows of the wrong width, non-ascending ages (the
+    /// newest-first invariant), unrepresentable ages, and users this
+    /// solver already tracks (shards are user-disjoint — a collision
+    /// means two shards both claim ownership). Validation runs before
+    /// any insertion, and a rejection hands the rows back untouched so
+    /// a failed migration can restore them to their source.
+    #[allow(clippy::result_large_err)]
+    pub fn import_aged(
+        &mut self,
+        rows: AgedHistoryRows,
+    ) -> Result<(), (crate::error::TgsError, AgedHistoryRows)> {
+        let mut problem = None;
+        let mut prev_user = None;
+        'validate: for (user, entries) in &rows {
+            if self.rows.contains_key(user) {
+                problem = Some(crate::error::TgsError::invalid_argument(format!(
+                    "user {user} already has history here; refusing to merge \
+                     two shards' ownership of one user"
+                )));
+                break 'validate;
+            }
+            // The payload contract is strictly-ascending user ids; a
+            // duplicate within it is the same two-owners collision and
+            // would silently overwrite on insert.
+            if prev_user.is_some_and(|p| *user <= p) {
+                problem = Some(crate::error::TgsError::invalid_argument(format!(
+                    "migrated users are not strictly ascending at user {user}"
+                )));
+                break 'validate;
+            }
+            prev_user = Some(*user);
+            let mut prev_age = None;
+            for (age, row) in entries {
+                if row.len() != self.k {
+                    problem = Some(crate::error::TgsError::invalid_argument(format!(
+                        "migrated row for user {user} has {} classes, expected {}",
+                        row.len(),
+                        self.k
+                    )));
+                    break 'validate;
+                }
+                if prev_age.is_some_and(|p| *age < p) {
+                    problem = Some(crate::error::TgsError::invalid_argument(format!(
+                        "migrated rows for user {user} are not newest-first"
+                    )));
+                    break 'validate;
+                }
+                if *age > STEP_FLOOR.unsigned_abs() {
+                    problem = Some(crate::error::TgsError::invalid_argument(format!(
+                        "migrated row for user {user} claims an unrepresentable age {age}"
+                    )));
+                    break 'validate;
+                }
+                prev_age = Some(*age);
+            }
+        }
+        if let Some(e) = problem {
+            return Err((e, rows));
+        }
+        let t = self.t;
+        for (user, entries) in rows {
+            let hist: VecDeque<(i64, Vec<f64>)> = entries
+                .into_iter()
+                .map(|(age, row)| (t - age as i64, row))
+                .collect();
+            if !hist.is_empty() {
+                self.rows.insert(user, hist);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -396,6 +558,54 @@ mod tests {
             (agg[0] - 0.5).abs() < 1e-12,
             "only the newest row remains: {agg:?}"
         );
+    }
+
+    #[test]
+    fn take_and_import_round_trips_exactly() {
+        let mut h = SentimentHistory::new(2, 4, 0.5, false);
+        h.record(
+            &[1, 9],
+            &DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap(),
+        );
+        h.record(
+            &[9],
+            &DenseMatrix::from_vec(1, 2, vec![0.25, 0.75]).unwrap(),
+        );
+        let before_1 = h.aggregate_row(1).unwrap();
+        let before_9 = h.aggregate_row(9).unwrap();
+        let moved = h.take_users(5, usize::MAX);
+        assert_eq!(moved.len(), 1, "only user 9 is in range");
+        assert!(h.aggregate_row(9).is_none(), "taken users are removed");
+        h.import_aged(moved).unwrap();
+        assert_eq!(h.aggregate_row(1).unwrap(), before_1);
+        assert_eq!(h.aggregate_row(9).unwrap(), before_9);
+    }
+
+    #[test]
+    fn import_preserves_age_across_different_step_counters() {
+        // Record user 3 on a solver that has seen 2 steps, migrate to a
+        // cold solver: the observation must stay "1 step old" there.
+        let mut src = SentimentHistory::new(2, 4, 0.5, false);
+        src.record(&[], &DenseMatrix::zeros(0, 2));
+        src.record(&[3], &DenseMatrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap());
+        let expect = src.aggregate_row(3).unwrap();
+        let mut dst = SentimentHistory::new(2, 4, 0.5, false);
+        dst.import_aged(src.take_users(0, usize::MAX)).unwrap();
+        assert_eq!(dst.aggregate_row(3).unwrap(), expect);
+        // A second import of the same user is a typed ownership clash.
+        let mut src2 = SentimentHistory::new(2, 4, 0.5, false);
+        src2.record(&[3], &DenseMatrix::from_vec(1, 2, vec![0.5, 0.5]).unwrap());
+        assert!(dst.import_aged(src2.take_users(0, usize::MAX)).is_err());
+    }
+
+    #[test]
+    fn record_masked_skips_ghost_rows_but_advances_time() {
+        let mut h = SentimentHistory::new(2, 3, 0.5, false);
+        let su = DenseMatrix::from_vec(2, 2, vec![0.9, 0.1, 0.2, 0.8]).unwrap();
+        h.record_masked(&[10, 20], &su, &[1]);
+        assert!(h.knows(10));
+        assert!(!h.knows(20), "masked row must not be recorded");
+        assert_eq!(h.steps(), 1);
     }
 
     #[test]

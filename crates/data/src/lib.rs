@@ -37,8 +37,9 @@ pub use matrices::{
 };
 pub use model::{Corpus, Retweet, Trajectory, Tweet, UserProfile};
 pub use partition::{
-    build_offline_sharded, route_docs, ShardRouting, ShardSlice, ShardedProblem,
-    UserRangePartitioner,
+    build_offline_sharded, build_offline_sharded_ghost, route_docs, route_docs_ghost, GhostLink,
+    MigrationRange, PartitionError, PartitionMap, RepartitionOp, RepartitionPlan, ShardRouting,
+    ShardSlice, ShardedProblem, UserRangePartitioner,
 };
 pub use pools::{WordPool, WordPools};
 pub use stats::{

@@ -1,24 +1,39 @@
-//! User-range sharding of tripartite problems.
+//! Elastic user-range sharding of tripartite problems.
 //!
 //! The paper's co-clustering couples users to tweets and tweets to words,
 //! but the user/tweet dimensions dominate (`n ≈ 40k` tweets vs `k = 10`
-//! clusters). A [`UserRangePartitioner`] splits the heavy axes into `S`
-//! disjoint shards — every user, and all the tweets they author, land in
-//! exactly one shard — while the *word* axis stays global over the frozen
-//! vocabulary, so per-shard factor matrices keep a shared feature space
-//! and the small cluster-level factors (`Sf`, `Hp`, `Hu`) remain
-//! mergeable across shards.
+//! clusters). A [`PartitionMap`] splits the heavy axes into `S` disjoint
+//! contiguous user-id ranges — every user, and all the tweets they
+//! author, land in exactly one shard — while the *word* axis stays global
+//! over the frozen vocabulary, so per-shard factor matrices keep a shared
+//! feature space and the small cluster-level factors (`Sf`, `Hp`, `Hu`)
+//! remain mergeable across shards.
 //!
-//! Routing is deterministic and purely arithmetic (contiguous user-id
-//! ranges), so two processes with the same `(universe, shards)` pair
-//! agree on every assignment — the property the multi-shard checkpoint
-//! format validates via [`UserRangePartitioner::fingerprint`].
+//! Unlike the original stride-derived [`UserRangePartitioner`] (kept for
+//! v1 checkpoint compatibility — [`UserRangePartitioner::to_map`] lifts
+//! it into the elastic world), a [`PartitionMap`] carries an **explicit
+//! sorted boundary list**, so shard ranges can be reshaped at runtime: a
+//! [`RepartitionPlan`] describes split / merge / boundary-move deltas,
+//! [`RepartitionPlan::apply`] derives the successor map, and
+//! [`PartitionMap::diff`] lists exactly which user ranges change owner —
+//! the contract the engine-level live rebalance is built on.
 //!
 //! Cross-shard re-tweets (user in shard A re-tweeting a document authored
-//! in shard B) cannot be represented once the user axis is partitioned;
-//! they are counted and dropped. With `shards = 1` nothing is dropped and
-//! routing is the identity, which is the basis of the stack-wide
-//! "one shard is bit-identical to the unsharded path" guarantee.
+//! in shard B) have two routing modes:
+//!
+//! * **drop mode** ([`route_docs`]) — the PR-3 behaviour: the edge cannot
+//!   be represented once the user axis is partitioned, so it is counted
+//!   and dropped;
+//! * **ghost mode** ([`route_docs_ghost`]) — the edge follows its
+//!   document, and the re-tweeting user materializes as a *ghost row* on
+//!   the document's shard: the local `Gu` keeps the edge, the ghost row
+//!   carries the remote user's current sentiment factor (broadcast by the
+//!   solvers), and the row is excluded from that shard's ownership and
+//!   history weighting. No edge is ever dropped.
+//!
+//! With `shards = 1` both modes are the identity, which is the basis of
+//! the stack-wide "one shard is bit-identical to the unsharded path"
+//! guarantee.
 
 use tgs_linalg::DenseMatrix;
 use tgs_text::{PipelineConfig, Vocabulary};
@@ -27,6 +42,11 @@ use crate::matrices::{assemble_snapshot_matrices, SnapshotMatrices};
 use crate::model::Corpus;
 
 /// Deterministic contiguous-range partitioner over global user ids.
+///
+/// The frozen stride-derived layout of PR 3, kept because v1 multi-shard
+/// checkpoints validate against its `(shards, universe, stride)` triple.
+/// New code should route through [`PartitionMap`]
+/// (via [`UserRangePartitioner::to_map`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UserRangePartitioner {
     shards: usize,
@@ -84,8 +104,9 @@ impl UserRangePartitioner {
     }
 
     /// FNV-1a digest of the routing parameters. Two partitioners with
-    /// equal fingerprints make identical routing decisions; multi-shard
-    /// checkpoints embed it so a restore cannot silently re-route users.
+    /// equal fingerprints make identical routing decisions; v1
+    /// multi-shard checkpoints embed it so a restore cannot silently
+    /// re-route users.
     pub fn fingerprint(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for word in [self.shards as u64, self.universe as u64, self.stride as u64] {
@@ -96,25 +117,348 @@ impl UserRangePartitioner {
         }
         h
     }
+
+    /// The equivalent explicit-boundary [`PartitionMap`]: identical
+    /// routing decisions for every user id (tested below).
+    pub fn to_map(&self) -> PartitionMap {
+        let starts = (0..self.shards).map(|s| s * self.stride).collect();
+        PartitionMap::new(self.universe, starts).expect("stride layout is always well-formed")
+    }
+}
+
+/// A malformed [`PartitionMap`] or inapplicable [`RepartitionPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionError(pub String);
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, PartitionError> {
+    Err(PartitionError(message.into()))
+}
+
+/// An explicit contiguous user-range partition: shard `s` owns user ids
+/// `[starts[s], starts[s + 1])`, the last shard additionally owns every
+/// id `>= universe` (sparse ids first seen after fitting), so
+/// [`PartitionMap::shard_of`] is total.
+///
+/// The boundary list is the *whole* routing state — two maps with equal
+/// [`PartitionMap::fingerprint`]s make identical routing decisions — and
+/// it is what the v2 multi-shard checkpoint serializes verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionMap {
+    universe: usize,
+    /// Sorted, strictly increasing shard start ids; `starts[0] == 0`.
+    starts: Vec<usize>,
+}
+
+impl PartitionMap {
+    /// A map from an explicit start list. `starts` must begin at 0 and be
+    /// strictly increasing; starts at or beyond the universe are legal
+    /// (they describe empty shards, e.g. a stride layout over a tiny
+    /// universe).
+    pub fn new(universe: usize, starts: Vec<usize>) -> Result<Self, PartitionError> {
+        if starts.first() != Some(&0) {
+            return err("partition map must start at user 0");
+        }
+        if starts.windows(2).any(|w| w[0] >= w[1]) {
+            return err(format!(
+                "partition starts must be strictly increasing, got {starts:?}"
+            ));
+        }
+        Ok(Self { universe, starts })
+    }
+
+    /// The stride layout of [`UserRangePartitioner::new`] as an explicit
+    /// map — `S` near-equal ranges over `0..universe`.
+    pub fn even(universe: usize, shards: usize) -> Self {
+        UserRangePartitioner::new(universe, shards).to_map()
+    }
+
+    /// Number of shards `S`.
+    pub fn shards(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The user-id universe the map partitions.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// The explicit shard start ids (`starts[0] == 0`, strictly
+    /// increasing).
+    pub fn starts(&self) -> &[usize] {
+        &self.starts
+    }
+
+    /// The shard owning `user`. Total: ids beyond every boundary land in
+    /// the last shard.
+    pub fn shard_of(&self, user: usize) -> usize {
+        self.starts.partition_point(|&start| start <= user) - 1
+    }
+
+    /// The `[start, end)` user-id range of `shard` within the universe
+    /// (the last shard additionally owns every id `>= universe`).
+    pub fn range(&self, shard: usize) -> (usize, usize) {
+        assert!(
+            shard < self.shards(),
+            "shard {shard} out of {}",
+            self.shards()
+        );
+        let start = self.starts[shard];
+        let end = match self.starts.get(shard + 1) {
+            Some(&next) => next.min(self.universe),
+            None => self.universe.max(start),
+        };
+        (start, end)
+    }
+
+    /// FNV-1a digest of the routing state (universe + every boundary).
+    /// Embedded in the v2 multi-shard checkpoint so a restore cannot
+    /// silently re-route users.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let words = [self.universe as u64, self.starts.len() as u64]
+            .into_iter()
+            .chain(self.starts.iter().map(|&s| s as u64));
+        for word in words {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// The user ranges whose owner differs between `self` and `next`,
+    /// in ascending order. The final range is open-ended
+    /// (`hi == usize::MAX`) when ownership of the ids at and beyond the
+    /// last boundary changes — sparse ids beyond the universe follow the
+    /// last shard and must migrate with it.
+    pub fn diff(&self, next: &PartitionMap) -> Vec<MigrationRange> {
+        let mut cuts: Vec<usize> = self
+            .starts
+            .iter()
+            .chain(next.starts.iter())
+            .copied()
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut out = Vec::new();
+        for (i, &lo) in cuts.iter().enumerate() {
+            let hi = cuts.get(i + 1).copied().unwrap_or(usize::MAX);
+            let (from, to) = (self.shard_of(lo), next.shard_of(lo));
+            if from != to {
+                // Coalesce with the previous range when it is contiguous
+                // and moves between the same pair of shards.
+                if let Some(prev) = out.last_mut() {
+                    let prev: &mut MigrationRange = prev;
+                    if prev.hi == lo && prev.from == from && prev.to == to {
+                        prev.hi = hi;
+                        continue;
+                    }
+                }
+                out.push(MigrationRange { lo, hi, from, to });
+            }
+        }
+        out
+    }
+}
+
+/// One contiguous user range changing owner in a repartition:
+/// users `lo..hi` move from shard `from` (index in the old map) to shard
+/// `to` (index in the new map).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationRange {
+    /// First migrating user id (inclusive).
+    pub lo: usize,
+    /// One past the last migrating user id (`usize::MAX` = open-ended).
+    pub hi: usize,
+    /// Owning shard index in the *old* map.
+    pub from: usize,
+    /// Owning shard index in the *new* map.
+    pub to: usize,
+}
+
+/// One topology delta of a [`RepartitionPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepartitionOp {
+    /// Split `shard` in two at user id `at` (strictly inside its range):
+    /// the left half keeps the shard index, the right half becomes a new
+    /// shard at `shard + 1`, later shards shift up.
+    Split {
+        /// The shard to split.
+        shard: usize,
+        /// The first user id of the new right-hand shard.
+        at: usize,
+    },
+    /// Merge shard `left` with shard `left + 1` (the boundary between
+    /// them disappears; later shards shift down).
+    Merge {
+        /// The left-hand shard of the merged pair.
+        left: usize,
+    },
+    /// Move the boundary between shards `boundary - 1` and `boundary`
+    /// to user id `to` (strictly between the surrounding boundaries).
+    MoveBoundary {
+        /// Index of the boundary (`1..shards`): the start of shard
+        /// `boundary`.
+        boundary: usize,
+        /// The new start id of shard `boundary`.
+        to: usize,
+    },
+}
+
+/// An ordered list of topology deltas taking one [`PartitionMap`] to a
+/// successor. Applying a plan never changes the universe — only which
+/// shard owns which range — and [`PartitionMap::diff`] of the two maps
+/// lists exactly the user ranges that must migrate.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RepartitionPlan {
+    /// The deltas, applied in order.
+    pub ops: Vec<RepartitionOp>,
+}
+
+impl RepartitionPlan {
+    /// A plan with a single op.
+    pub fn single(op: RepartitionOp) -> Self {
+        Self { ops: vec![op] }
+    }
+
+    /// Applies every delta in order, validating each against the map it
+    /// operates on. The input map is untouched on error.
+    pub fn apply(&self, map: &PartitionMap) -> Result<PartitionMap, PartitionError> {
+        let mut starts = map.starts.clone();
+        let universe = map.universe;
+        for op in &self.ops {
+            match *op {
+                RepartitionOp::Split { shard, at } => {
+                    if shard >= starts.len() {
+                        return err(format!("split: shard {shard} out of {}", starts.len()));
+                    }
+                    let lo = starts[shard];
+                    let hi = starts.get(shard + 1).copied().unwrap_or(universe);
+                    if at <= lo || at >= hi {
+                        return err(format!(
+                            "split: boundary {at} must lie strictly inside shard {shard}'s \
+                             range [{lo}, {hi})"
+                        ));
+                    }
+                    starts.insert(shard + 1, at);
+                }
+                RepartitionOp::Merge { left } => {
+                    if left + 1 >= starts.len() {
+                        return err(format!(
+                            "merge: shard {left} has no right-hand neighbour (shards = {})",
+                            starts.len()
+                        ));
+                    }
+                    starts.remove(left + 1);
+                }
+                RepartitionOp::MoveBoundary { boundary, to } => {
+                    if boundary == 0 || boundary >= starts.len() {
+                        return err(format!(
+                            "move: boundary {boundary} out of 1..{}",
+                            starts.len()
+                        ));
+                    }
+                    let lo = starts[boundary - 1];
+                    let hi = starts.get(boundary + 1).copied().unwrap_or(universe);
+                    if to <= lo || to >= hi {
+                        return err(format!(
+                            "move: boundary {boundary} must land strictly inside \
+                             ({lo}, {hi}), got {to}"
+                        ));
+                    }
+                    starts[boundary] = to;
+                }
+            }
+        }
+        PartitionMap::new(universe, starts)
+    }
 }
 
 /// The routing decision for one document list: which shard every document
-/// goes to, per-shard document order, and per-shard re-tweets remapped to
-/// shard-local document indices.
+/// goes to, per-shard document order, per-shard re-tweets remapped to
+/// shard-local document indices, and (in ghost mode) the remote users
+/// materialized as ghost rows.
 #[derive(Debug, Clone)]
 pub struct ShardRouting {
     /// Shard of each input document (index-parallel to the input list).
     pub doc_shard: Vec<usize>,
     /// Per shard: global indices of its documents, in input order.
     pub shard_docs: Vec<Vec<usize>>,
-    /// Per shard: `(global user, shard-local doc index)` re-tweets whose
-    /// user shares the document's shard.
+    /// Per shard: `(global user, shard-local doc index)` re-tweets kept
+    /// on the shard (in ghost mode this includes cross-shard re-tweets,
+    /// whose users appear in [`ShardRouting::shard_ghosts`]).
     pub shard_retweets: Vec<Vec<(usize, usize)>>,
-    /// Cross-shard re-tweets that had to be dropped.
+    /// Per shard: sorted, deduplicated global ids of remote users
+    /// materialized as ghost rows (empty in drop mode).
+    pub shard_ghosts: Vec<Vec<usize>>,
+    /// Cross-shard re-tweets that had to be dropped (drop mode only).
     pub dropped_retweets: usize,
+    /// Cross-shard re-tweets kept as ghost edges (ghost mode only).
+    pub ghost_edges: usize,
 }
 
-/// Routes documents (by author) and re-tweets through the partitioner.
+fn route_docs_impl(
+    map: &PartitionMap,
+    doc_authors: &[usize],
+    retweets: &[(usize, usize)],
+    ghosts: bool,
+) -> ShardRouting {
+    let shards = map.shards();
+    let mut doc_shard = Vec::with_capacity(doc_authors.len());
+    let mut doc_local = Vec::with_capacity(doc_authors.len());
+    let mut shard_docs = vec![Vec::new(); shards];
+    for (doc, &author) in doc_authors.iter().enumerate() {
+        let s = map.shard_of(author);
+        doc_shard.push(s);
+        doc_local.push(shard_docs[s].len());
+        shard_docs[s].push(doc);
+    }
+    let mut shard_retweets = vec![Vec::new(); shards];
+    let mut shard_ghosts = vec![Vec::new(); shards];
+    let mut dropped_retweets = 0;
+    let mut ghost_edges = 0;
+    for &(user, doc) in retweets {
+        assert!(
+            doc < doc_authors.len(),
+            "retweet references document {doc} but only {} exist",
+            doc_authors.len()
+        );
+        let s = doc_shard[doc];
+        if map.shard_of(user) == s {
+            shard_retweets[s].push((user, doc_local[doc]));
+        } else if ghosts {
+            shard_retweets[s].push((user, doc_local[doc]));
+            shard_ghosts[s].push(user);
+            ghost_edges += 1;
+        } else {
+            dropped_retweets += 1;
+        }
+    }
+    for ghosts in &mut shard_ghosts {
+        ghosts.sort_unstable();
+        ghosts.dedup();
+    }
+    ShardRouting {
+        doc_shard,
+        shard_docs,
+        shard_retweets,
+        shard_ghosts,
+        dropped_retweets,
+        ghost_edges,
+    }
+}
+
+/// Routes documents (by author) and re-tweets through the partition map,
+/// dropping cross-shard re-tweets (the PR-3 behaviour).
 ///
 /// * `doc_authors[i]` — global user id authoring document `i`;
 /// * `retweets` — `(global user, global doc index)` events.
@@ -133,41 +477,24 @@ pub struct ShardRouting {
 /// snapshots must check the references first and surface a typed error
 /// (the `tgs-engine` router does exactly that before calling in).
 pub fn route_docs(
-    partitioner: &UserRangePartitioner,
+    map: &PartitionMap,
     doc_authors: &[usize],
     retweets: &[(usize, usize)],
 ) -> ShardRouting {
-    let shards = partitioner.shards();
-    let mut doc_shard = Vec::with_capacity(doc_authors.len());
-    let mut doc_local = Vec::with_capacity(doc_authors.len());
-    let mut shard_docs = vec![Vec::new(); shards];
-    for (doc, &author) in doc_authors.iter().enumerate() {
-        let s = partitioner.shard_of(author);
-        doc_shard.push(s);
-        doc_local.push(shard_docs[s].len());
-        shard_docs[s].push(doc);
-    }
-    let mut shard_retweets = vec![Vec::new(); shards];
-    let mut dropped_retweets = 0;
-    for &(user, doc) in retweets {
-        assert!(
-            doc < doc_authors.len(),
-            "retweet references document {doc} but only {} exist",
-            doc_authors.len()
-        );
-        let s = doc_shard[doc];
-        if partitioner.shard_of(user) == s {
-            shard_retweets[s].push((user, doc_local[doc]));
-        } else {
-            dropped_retweets += 1;
-        }
-    }
-    ShardRouting {
-        doc_shard,
-        shard_docs,
-        shard_retweets,
-        dropped_retweets,
-    }
+    route_docs_impl(map, doc_authors, retweets, false)
+}
+
+/// Like [`route_docs`], but cross-shard re-tweets are *kept* on their
+/// document's shard and the remote user is recorded as a ghost row
+/// ([`ShardRouting::shard_ghosts`]). No edge is ever dropped
+/// (`dropped_retweets == 0`); the kept cross-shard edges are counted in
+/// [`ShardRouting::ghost_edges`]. Same panic contract as [`route_docs`].
+pub fn route_docs_ghost(
+    map: &PartitionMap,
+    doc_authors: &[usize],
+    retweets: &[(usize, usize)],
+) -> ShardRouting {
+    route_docs_impl(map, doc_authors, retweets, true)
 }
 
 /// One shard's slice of an offline problem: its tweets, its users, and
@@ -178,10 +505,31 @@ pub struct ShardSlice {
     pub shard: usize,
     /// Global tweet ids, in row order of `xp`.
     pub tweet_ids: Vec<usize>,
-    /// Global user ids, in row order of `xu` / `xr`.
+    /// Global user ids, in row order of `xu` / `xr` (includes ghost
+    /// users when the problem was built in ghost mode).
     pub user_ids: Vec<usize>,
+    /// Sorted local row indices (into `user_ids`) that are ghost rows:
+    /// remote users materialized for a cross-shard re-tweet edge. Empty
+    /// in drop mode.
+    pub ghost_rows: Vec<usize>,
     /// The shard's matrices (`xp`, `xu`, `xr`, `graph`).
     pub matrices: SnapshotMatrices,
+}
+
+/// A ghost row's link back to its owning shard: shard `shard`'s local
+/// user row `row` mirrors shard `owner_shard`'s local user row
+/// `owner_row` (the solvers broadcast the owner's `Su` row into the
+/// ghost row each coupling round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GhostLink {
+    /// The shard holding the ghost row.
+    pub shard: usize,
+    /// Local user row of the ghost on `shard`.
+    pub row: usize,
+    /// The shard that owns the user.
+    pub owner_shard: usize,
+    /// The user's local row on the owning shard.
+    pub owner_row: usize,
 }
 
 /// A whole corpus partitioned into shard-local problem slices sharing one
@@ -189,7 +537,7 @@ pub struct ShardSlice {
 #[derive(Debug, Clone)]
 pub struct ShardedProblem {
     /// The routing function used (checkpointable via its fingerprint).
-    pub partitioner: UserRangePartitioner,
+    pub map: PartitionMap,
     /// The global vocabulary (shared feature axis of every shard).
     pub vocab: Vocabulary,
     /// The `l × k` lexicon prior, shared by every shard.
@@ -198,26 +546,22 @@ pub struct ShardedProblem {
     pub k: usize,
     /// One slice per shard (possibly with zero tweets for tiny corpora).
     pub shards: Vec<ShardSlice>,
-    /// Cross-shard re-tweets dropped during routing.
+    /// Ghost-row links (ghost mode only): how each ghost row mirrors its
+    /// owner. Ghosts whose owner has no presence on their home shard
+    /// (users who only ever re-tweet, cross-shard) carry no link.
+    pub ghosts: Vec<GhostLink>,
+    /// Cross-shard re-tweets dropped during routing (drop mode).
     pub dropped_retweets: usize,
+    /// Cross-shard re-tweets kept as ghost edges (ghost mode).
+    pub ghost_edges: usize,
 }
 
-/// Splits a corpus into `shards` disjoint shard-local offline problems:
-/// the vocabulary and lexicon prior are fitted globally (frozen feature
-/// axis), then each shard's matrices are assembled through the same
-/// [`assemble_snapshot_matrices`] pipeline the unsharded paths use.
-///
-/// Every user and all their tweets land in exactly one shard;
-/// concatenating the shard slices recovers the unsharded assembly up to
-/// row order (exactly for count/binary weighting — TF-IDF weights are
-/// fitted per document set, so they are shard-dependent by construction —
-/// and minus cross-shard re-tweet edges, which are counted in
-/// [`ShardedProblem::dropped_retweets`]).
-pub fn build_offline_sharded(
+fn build_offline_sharded_impl(
     corpus: &Corpus,
     k: usize,
-    shards: usize,
+    map: PartitionMap,
     config: &PipelineConfig,
+    ghosts: bool,
 ) -> ShardedProblem {
     let vocab = Vocabulary::build(
         corpus
@@ -229,16 +573,17 @@ pub fn build_offline_sharded(
     let sf0 = corpus
         .lexicon
         .prior_matrix(&vocab, k, config.lexicon_confidence);
-    let partitioner = UserRangePartitioner::new(corpus.num_users(), shards);
+    let shards = map.shards();
     let doc_authors: Vec<usize> = corpus.tweets.iter().map(|t| t.author).collect();
     let retweets: Vec<(usize, usize)> = corpus.retweets.iter().map(|r| (r.user, r.tweet)).collect();
-    let routing = route_docs(&partitioner, &doc_authors, &retweets);
+    let routing = route_docs_impl(&map, &doc_authors, &retweets, ghosts);
 
     let mut slices = Vec::with_capacity(shards);
     for shard in 0..shards {
         let tweet_ids = routing.shard_docs[shard].clone();
-        // Users present in the shard: authors of its tweets plus
-        // same-shard re-tweeters, in ascending global-id order.
+        // Users present in the shard: authors of its tweets plus its kept
+        // re-tweeters (same-shard, plus ghosts in ghost mode), in
+        // ascending global-id order.
         let mut user_ids: Vec<usize> = tweet_ids
             .iter()
             .map(|&t| doc_authors[t])
@@ -246,6 +591,10 @@ pub fn build_offline_sharded(
             .collect();
         user_ids.sort_unstable();
         user_ids.dedup();
+        let ghost_rows: Vec<usize> = routing.shard_ghosts[shard]
+            .iter()
+            .map(|g| user_ids.binary_search(g).expect("ghost user has a row"))
+            .collect();
         let user_local: std::collections::HashMap<usize, usize> =
             user_ids.iter().enumerate().map(|(i, &u)| (u, i)).collect();
         let encoded: Vec<Vec<usize>> = tweet_ids
@@ -272,17 +621,80 @@ pub fn build_offline_sharded(
             shard,
             tweet_ids,
             user_ids,
+            ghost_rows,
             matrices,
         });
     }
+
+    // Ghost links: each ghost row mirrors the owner's local row on the
+    // user's home shard (present iff the user has any activity there).
+    let mut ghost_links = Vec::new();
+    for slice in &slices {
+        for &row in &slice.ghost_rows {
+            let user = slice.user_ids[row];
+            let owner_shard = map.shard_of(user);
+            if let Ok(owner_row) = slices[owner_shard].user_ids.binary_search(&user) {
+                ghost_links.push(GhostLink {
+                    shard: slice.shard,
+                    row,
+                    owner_shard,
+                    owner_row,
+                });
+            }
+        }
+    }
+
     ShardedProblem {
-        partitioner,
+        map,
         vocab,
         sf0,
         k,
         shards: slices,
+        ghosts: ghost_links,
         dropped_retweets: routing.dropped_retweets,
+        ghost_edges: routing.ghost_edges,
     }
+}
+
+/// Splits a corpus into `shards` disjoint shard-local offline problems:
+/// the vocabulary and lexicon prior are fitted globally (frozen feature
+/// axis), then each shard's matrices are assembled through the same
+/// [`assemble_snapshot_matrices`] pipeline the unsharded paths use.
+///
+/// Every user and all their tweets land in exactly one shard;
+/// concatenating the shard slices recovers the unsharded assembly up to
+/// row order (exactly for count/binary weighting — TF-IDF weights are
+/// fitted per document set, so they are shard-dependent by construction —
+/// and minus cross-shard re-tweet edges, which are counted in
+/// [`ShardedProblem::dropped_retweets`]). Use
+/// [`build_offline_sharded_ghost`] to keep those edges instead.
+pub fn build_offline_sharded(
+    corpus: &Corpus,
+    k: usize,
+    shards: usize,
+    config: &PipelineConfig,
+) -> ShardedProblem {
+    build_offline_sharded_impl(
+        corpus,
+        k,
+        PartitionMap::even(corpus.num_users(), shards),
+        config,
+        false,
+    )
+}
+
+/// Like [`build_offline_sharded`], but over an explicit [`PartitionMap`]
+/// and in ghost mode: cross-shard re-tweet edges stay on their document's
+/// shard with the remote user materialized as a ghost row
+/// ([`ShardSlice::ghost_rows`], linked via [`ShardedProblem::ghosts`]).
+/// No edge is dropped.
+pub fn build_offline_sharded_ghost(
+    corpus: &Corpus,
+    k: usize,
+    map: PartitionMap,
+    config: &PipelineConfig,
+) -> ShardedProblem {
+    build_offline_sharded_impl(corpus, k, map, config, true)
 }
 
 #[cfg(test)]
@@ -330,6 +742,34 @@ mod tests {
     }
 
     #[test]
+    fn partition_map_matches_stride_partitioner_everywhere() {
+        for (universe, shards) in [(10, 3), (7, 7), (100, 8), (5, 1), (3, 8), (1, 4)] {
+            let p = UserRangePartitioner::new(universe, shards);
+            let m = p.to_map();
+            assert_eq!(m.shards(), shards);
+            assert_eq!(m.universe(), universe);
+            for u in 0..universe + 20 {
+                assert_eq!(m.shard_of(u), p.shard_of(u), "{universe}/{shards} user {u}");
+            }
+            for s in 0..shards {
+                assert_eq!(m.range(s), p.range(s), "{universe}/{shards} shard {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_map_rejects_malformed_starts() {
+        assert!(PartitionMap::new(10, vec![]).is_err());
+        assert!(
+            PartitionMap::new(10, vec![1, 5]).is_err(),
+            "must start at 0"
+        );
+        assert!(PartitionMap::new(10, vec![0, 5, 5]).is_err(), "not strict");
+        assert!(PartitionMap::new(10, vec![0, 7, 3]).is_err(), "not sorted");
+        assert!(PartitionMap::new(10, vec![0, 3, 7]).is_ok());
+    }
+
+    #[test]
     fn fingerprint_distinguishes_parameters() {
         let a = UserRangePartitioner::new(100, 4);
         assert_eq!(
@@ -344,22 +784,116 @@ mod tests {
             a.fingerprint(),
             UserRangePartitioner::new(99, 4).fingerprint()
         );
+        let m = PartitionMap::new(100, vec![0, 25, 50]).unwrap();
+        assert_eq!(
+            m.fingerprint(),
+            PartitionMap::new(100, vec![0, 25, 50])
+                .unwrap()
+                .fingerprint()
+        );
+        assert_ne!(
+            m.fingerprint(),
+            PartitionMap::new(100, vec![0, 25, 51])
+                .unwrap()
+                .fingerprint()
+        );
+        assert_ne!(
+            m.fingerprint(),
+            PartitionMap::new(99, vec![0, 25, 50])
+                .unwrap()
+                .fingerprint()
+        );
+    }
+
+    #[test]
+    fn plan_split_merge_move_roundtrip() {
+        let m = PartitionMap::even(100, 2); // starts [0, 50]
+        let split = RepartitionPlan::single(RepartitionOp::Split { shard: 1, at: 75 })
+            .apply(&m)
+            .unwrap();
+        assert_eq!(split.starts(), &[0, 50, 75]);
+        assert_eq!(split.shard_of(60), 1);
+        assert_eq!(split.shard_of(80), 2);
+        let moved = RepartitionPlan::single(RepartitionOp::MoveBoundary {
+            boundary: 1,
+            to: 40,
+        })
+        .apply(&split)
+        .unwrap();
+        assert_eq!(moved.starts(), &[0, 40, 75]);
+        let merged = RepartitionPlan::single(RepartitionOp::Merge { left: 1 })
+            .apply(&moved)
+            .unwrap();
+        assert_eq!(merged.starts(), &[0, 40]);
+        // Invalid deltas are rejected without touching the input.
+        assert!(
+            RepartitionPlan::single(RepartitionOp::Split { shard: 0, at: 0 })
+                .apply(&m)
+                .is_err()
+        );
+        assert!(
+            RepartitionPlan::single(RepartitionOp::Split { shard: 1, at: 50 })
+                .apply(&m)
+                .is_err()
+        );
+        assert!(RepartitionPlan::single(RepartitionOp::Merge { left: 1 })
+            .apply(&m)
+            .is_err());
+        assert!(
+            RepartitionPlan::single(RepartitionOp::MoveBoundary { boundary: 1, to: 0 })
+                .apply(&m)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn diff_lists_exactly_the_moved_ranges() {
+        let old = PartitionMap::new(100, vec![0, 30, 60]).unwrap();
+        let new = PartitionMap::new(100, vec![0, 40, 60]).unwrap();
+        assert_eq!(
+            old.diff(&new),
+            vec![MigrationRange {
+                lo: 30,
+                hi: 40,
+                from: 1,
+                to: 0
+            }]
+        );
+        // A split moves the tail of the split shard — including sparse
+        // ids beyond the universe, which follow the last shard.
+        let split = PartitionMap::new(100, vec![0, 30, 60, 80]).unwrap();
+        assert_eq!(
+            old.diff(&split),
+            vec![MigrationRange {
+                lo: 80,
+                hi: usize::MAX,
+                from: 2,
+                to: 3
+            }]
+        );
+        assert!(old.diff(&old).is_empty());
     }
 
     #[test]
     fn single_shard_routing_is_identity() {
-        let p = UserRangePartitioner::new(20, 1);
+        let p = PartitionMap::even(20, 1);
         let authors = [3, 17, 3, 9];
         let retweets = [(5, 0), (19, 3)];
-        let r = route_docs(&p, &authors, &retweets);
-        assert_eq!(r.shard_docs[0], vec![0, 1, 2, 3]);
-        assert_eq!(r.shard_retweets[0], vec![(5, 0), (19, 3)]);
-        assert_eq!(r.dropped_retweets, 0);
+        for r in [
+            route_docs(&p, &authors, &retweets),
+            route_docs_ghost(&p, &authors, &retweets),
+        ] {
+            assert_eq!(r.shard_docs[0], vec![0, 1, 2, 3]);
+            assert_eq!(r.shard_retweets[0], vec![(5, 0), (19, 3)]);
+            assert_eq!(r.dropped_retweets, 0);
+            assert_eq!(r.ghost_edges, 0);
+            assert!(r.shard_ghosts[0].is_empty());
+        }
     }
 
     #[test]
     fn cross_shard_retweets_are_dropped_and_counted() {
-        let p = UserRangePartitioner::new(4, 2); // users 0,1 -> shard 0; 2,3 -> shard 1
+        let p = PartitionMap::even(4, 2); // users 0,1 -> shard 0; 2,3 -> shard 1
         let authors = [0, 3];
         let retweets = [(1, 0), (2, 0), (3, 1)];
         let r = route_docs(&p, &authors, &retweets);
@@ -367,6 +901,21 @@ mod tests {
         assert_eq!(r.shard_retweets[0], vec![(1, 0)]);
         assert_eq!(r.shard_retweets[1], vec![(3, 0)]);
         assert_eq!(r.dropped_retweets, 1);
+    }
+
+    #[test]
+    fn ghost_mode_keeps_cross_shard_retweets() {
+        let p = PartitionMap::even(4, 2);
+        let authors = [0, 3];
+        let retweets = [(1, 0), (2, 0), (3, 1)];
+        let r = route_docs_ghost(&p, &authors, &retweets);
+        assert_eq!(r.dropped_retweets, 0);
+        assert_eq!(r.ghost_edges, 1);
+        // User 2 (shard 1) re-tweeted doc 0 (shard 0): the edge stays on
+        // shard 0 and user 2 becomes a ghost there.
+        assert_eq!(r.shard_retweets[0], vec![(1, 0), (2, 0)]);
+        assert_eq!(r.shard_ghosts[0], vec![2]);
+        assert!(r.shard_ghosts[1].is_empty());
     }
 
     #[test]
@@ -379,19 +928,61 @@ mod tests {
                 assert_eq!(slice.matrices.xp.rows(), slice.tweet_ids.len());
                 assert_eq!(slice.matrices.xp.cols(), p.vocab.len());
                 assert_eq!(slice.matrices.xu.rows(), slice.user_ids.len());
+                assert!(slice.ghost_rows.is_empty(), "drop mode has no ghosts");
                 for &t in &slice.tweet_ids {
                     tweet_seen[t] += 1;
                     assert_eq!(
-                        p.partitioner.shard_of(c.tweets[t].author),
+                        p.map.shard_of(c.tweets[t].author),
                         slice.shard,
                         "tweet {t} must follow its author"
                     );
                 }
                 for &u in &slice.user_ids {
-                    assert_eq!(p.partitioner.shard_of(u), slice.shard);
+                    assert_eq!(p.map.shard_of(u), slice.shard);
                 }
             }
             assert!(tweet_seen.iter().all(|&n| n == 1), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn ghost_problem_keeps_every_edge_and_links_owners() {
+        let c = corpus();
+        let map = PartitionMap::even(c.num_users(), 4);
+        let p = build_offline_sharded_ghost(&c, 3, map, &pipeline());
+        assert_eq!(p.dropped_retweets, 0);
+        // No re-tweet event vanishes: routing keeps every edge somewhere.
+        let authors: Vec<usize> = c.tweets.iter().map(|t| t.author).collect();
+        let events: Vec<(usize, usize)> = c.retweets.iter().map(|r| (r.user, r.tweet)).collect();
+        let routing = route_docs_ghost(&p.map, &authors, &events);
+        let kept: usize = routing.shard_retweets.iter().map(Vec::len).sum();
+        assert_eq!(kept, events.len());
+        assert!(p.ghost_edges > 0, "tiny corpus re-tweets across 4 shards");
+        for link in &p.ghosts {
+            let ghost_user = p.shards[link.shard].user_ids[link.row];
+            assert_eq!(
+                p.shards[link.owner_shard].user_ids[link.owner_row],
+                ghost_user
+            );
+            assert_eq!(p.map.shard_of(ghost_user), link.owner_shard);
+            assert!(p.shards[link.shard].ghost_rows.contains(&link.row));
+        }
+        // Every ghost row is either linked or its user has no home-shard
+        // presence.
+        for slice in &p.shards {
+            for &row in &slice.ghost_rows {
+                let user = slice.user_ids[row];
+                let owner = p.map.shard_of(user);
+                let linked = p
+                    .ghosts
+                    .iter()
+                    .any(|l| l.shard == slice.shard && l.row == row);
+                assert_eq!(
+                    linked,
+                    p.shards[owner].user_ids.binary_search(&user).is_ok(),
+                    "link present iff the owner shard has the user"
+                );
+            }
         }
     }
 

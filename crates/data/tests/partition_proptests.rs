@@ -12,9 +12,67 @@
 
 use proptest::prelude::*;
 use tgs_data::{
-    build_offline_sharded, generate, route_docs, GeneratorConfig, UserRangePartitioner,
+    build_offline_sharded, generate, route_docs, route_docs_ghost, GeneratorConfig, PartitionMap,
+    RepartitionOp, RepartitionPlan, UserRangePartitioner,
 };
 use tgs_text::{PipelineConfig, Weighting};
+
+/// Derives an arbitrary-but-valid repartition plan from a map and a
+/// stream of raw op choices, applying each op as it is derived so later
+/// ops see the updated topology. Returns the plan and the final map.
+fn derive_plan(
+    map: &PartitionMap,
+    raw_ops: &[(u8, usize, usize)],
+) -> (RepartitionPlan, PartitionMap) {
+    let mut plan = RepartitionPlan::default();
+    let mut cur = map.clone();
+    for &(kind, a, b) in raw_ops {
+        let shards = cur.shards();
+        let universe = cur.universe();
+        let op = match kind % 3 {
+            0 => {
+                // Split some shard strictly inside its range, if wide
+                // enough.
+                let shard = a % shards;
+                let (lo, _) = cur.range(shard);
+                let hi = cur.starts().get(shard + 1).copied().unwrap_or(universe);
+                if hi <= lo + 1 {
+                    continue;
+                }
+                let at = lo + 1 + b % (hi - lo - 1);
+                RepartitionOp::Split { shard, at }
+            }
+            1 => {
+                if shards < 2 {
+                    continue;
+                }
+                RepartitionOp::Merge {
+                    left: a % (shards - 1),
+                }
+            }
+            _ => {
+                if shards < 2 {
+                    continue;
+                }
+                let boundary = 1 + a % (shards - 1);
+                let lo = cur.starts()[boundary - 1];
+                let hi = cur.starts().get(boundary + 1).copied().unwrap_or(universe);
+                if hi <= lo + 1 {
+                    continue;
+                }
+                RepartitionOp::MoveBoundary {
+                    boundary,
+                    to: lo + 1 + b % (hi - lo - 1),
+                }
+            }
+        };
+        cur = RepartitionPlan::single(op)
+            .apply(&cur)
+            .expect("derived op is valid by construction");
+        plan.ops.push(op);
+    }
+    (plan, cur)
+}
 
 fn pipeline() -> PipelineConfig {
     let mut cfg = PipelineConfig::paper_defaults();
@@ -65,7 +123,7 @@ proptest! {
         seed in 0u64..1_000,
     ) {
         let corpus = generate(&corpus_config(users, tweets, days, seed));
-        let p = UserRangePartitioner::new(corpus.num_users(), shards);
+        let p = UserRangePartitioner::new(corpus.num_users(), shards).to_map();
         let authors: Vec<usize> = corpus.tweets.iter().map(|t| t.author).collect();
         let events: Vec<(usize, usize)> =
             corpus.retweets.iter().map(|r| (r.user, r.tweet)).collect();
@@ -89,6 +147,87 @@ proptest! {
             .count();
         prop_assert_eq!(routing.dropped_retweets, crossing);
         prop_assert_eq!(kept + crossing, events.len());
+    }
+
+    #[test]
+    fn any_plan_keeps_every_user_in_exactly_one_shard(
+        universe in 2usize..200,
+        shards in 1usize..=6,
+        raw_ops in proptest::collection::vec((0u8..3, 0usize..64, 0usize..256), 0..6),
+        probe in 0usize..500,
+    ) {
+        let map = PartitionMap::even(universe, shards);
+        let (plan, expected) = derive_plan(&map, &raw_ops);
+        let applied = plan.apply(&map).expect("derived plan must apply");
+        prop_assert_eq!(&applied, &expected, "op-at-a-time equals whole-plan");
+        // Every user — inside or beyond the universe — has exactly one
+        // owner, and the owner's range contains them.
+        let s = applied.shard_of(probe);
+        prop_assert!(s < applied.shards());
+        let mut owners = 0;
+        for shard in 0..applied.shards() {
+            let (lo, hi) = applied.range(shard);
+            if (lo..hi).contains(&probe.min(universe - 1)) {
+                owners += 1;
+            }
+        }
+        prop_assert_eq!(owners, 1);
+        // The diff lists a range for every user whose owner changed and
+        // nothing else.
+        let diff = map.diff(&applied);
+        for user in 0..universe + 10 {
+            let moved = map.shard_of(user) != applied.shard_of(user);
+            let listed = diff
+                .iter()
+                .any(|m| user >= m.lo && (m.hi == usize::MAX || user < m.hi));
+            prop_assert_eq!(moved, listed, "user {}: moved={} listed={}", user, moved, listed);
+            if let Some(m) = diff
+                .iter()
+                .find(|m| user >= m.lo && (m.hi == usize::MAX || user < m.hi))
+            {
+                prop_assert_eq!(m.from, map.shard_of(user));
+                prop_assert_eq!(m.to, applied.shard_of(user));
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_routing_preserves_the_retweet_edge_multiset(
+        (users, tweets, days) in (4usize..30, 20usize..120, 1u32..6),
+        shards in 1usize..=8,
+        seed in 0u64..1_000,
+    ) {
+        let corpus = generate(&corpus_config(users, tweets, days, seed));
+        let map = PartitionMap::even(corpus.num_users(), shards);
+        let authors: Vec<usize> = corpus.tweets.iter().map(|t| t.author).collect();
+        let events: Vec<(usize, usize)> =
+            corpus.retweets.iter().map(|r| (r.user, r.tweet)).collect();
+        let routing = route_docs_ghost(&map, &authors, &events);
+        prop_assert_eq!(routing.dropped_retweets, 0, "ghost mode never drops");
+        // Re-assemble the global (user, doc) edge multiset from the
+        // per-shard slices: it must equal the input exactly.
+        let mut reassembled: Vec<(usize, usize)> = Vec::new();
+        for (shard, kept) in routing.shard_retweets.iter().enumerate() {
+            for &(user, local_doc) in kept {
+                reassembled.push((user, routing.shard_docs[shard][local_doc]));
+            }
+        }
+        let mut expected = events.clone();
+        reassembled.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(reassembled, expected);
+        // Ghost bookkeeping: ghosts are exactly the cross-shard users of
+        // kept edges, and the ghost-edge count is the cross-shard count.
+        let crossing = events
+            .iter()
+            .filter(|&&(u, doc)| map.shard_of(u) != map.shard_of(authors[doc]))
+            .count();
+        prop_assert_eq!(routing.ghost_edges, crossing);
+        for (shard, ghosts) in routing.shard_ghosts.iter().enumerate() {
+            for &g in ghosts {
+                prop_assert!(map.shard_of(g) != shard, "a ghost is always remote");
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Builder-style construction and validation of a [`SentimentEngine`].
 
 use tgs_core::{OfflineConfig, OnlineConfig, OnlineSolver, TgsError};
-use tgs_data::{Corpus, UserRangePartitioner};
+use tgs_data::{Corpus, PartitionMap};
 use tgs_linalg::DenseMatrix;
 use tgs_text::{PipelineConfig, Vocabulary};
 
@@ -37,6 +37,7 @@ pub struct EngineBuilder {
     pipeline: PipelineConfig,
     queue_depth: usize,
     store_budget_bytes: usize,
+    ghost_users: bool,
 }
 
 impl Default for EngineBuilder {
@@ -46,6 +47,7 @@ impl Default for EngineBuilder {
             pipeline: PipelineConfig::paper_defaults(),
             queue_depth: DEFAULT_QUEUE_DEPTH,
             store_budget_bytes: DEFAULT_STORE_BUDGET_BYTES,
+            ghost_users: false,
         }
     }
 }
@@ -153,6 +155,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables the ghost-user protocol on [`EngineBuilder::fit_sharded`]
+    /// fleets: cross-shard re-tweet edges are kept on their document's
+    /// shard (the remote user materializes as a ghost row carrying their
+    /// current sentiment factor) instead of being dropped. Off by
+    /// default, matching the original drop-and-count behaviour.
+    pub fn ghost_users(mut self, on: bool) -> Self {
+        self.ghost_users = on;
+        self
+    }
+
     fn try_validate(&self) -> Result<(), TgsError> {
         self.config.try_validate()?;
         if self.queue_depth == 0 {
@@ -215,13 +227,15 @@ impl EngineBuilder {
             });
         }
         self.try_validate()?;
+        let ghost_users = self.ghost_users;
         let (vocab, sf0) = self.fit_globals(corpus)?;
         let workers = (0..shards)
             .map(|_| self.clone().start(vocab.clone(), sf0.clone()))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(ShardedEngine::start(
-            UserRangePartitioner::new(corpus.num_users(), shards),
+            PartitionMap::even(corpus.num_users(), shards),
             workers,
+            ghost_users,
         ))
     }
 

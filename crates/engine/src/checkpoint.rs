@@ -248,13 +248,17 @@ pub(crate) fn encode(
             }
         }
     }
-    buf.put_u64_le(solver_state.history_step);
+    // History steps are signed (rebalance-migrated rows can predate a
+    // young solver's step 0); two's-complement u64 round-trips them
+    // exactly, and pre-elastic checkpoints only ever held non-negative
+    // values, so old streams decode unchanged.
+    buf.put_u64_le(solver_state.history_step as u64);
     buf.put_u64_le(solver_state.history_rows.len() as u64);
     for (user, entries) in &solver_state.history_rows {
         buf.put_u64_le(*user as u64);
         buf.put_u64_le(entries.len() as u64);
         for (step, row) in entries {
-            buf.put_u64_le(*step);
+            buf.put_u64_le(*step as u64);
             for &v in row {
                 buf.put_f64_le(v);
             }
@@ -396,7 +400,8 @@ pub(crate) fn decode(
             _ => return Err(corrupt("sf window entry tag")),
         }
     }
-    let history_step = rd_u64(&mut b, "history step")?;
+    // Signed via two's complement — see the encode side.
+    let history_step = rd_u64(&mut b, "history step")? as i64;
     let history_users = rd_count(&mut b, 16, "history user count")?;
     let mut history_rows = Vec::with_capacity(history_users);
     for _ in 0..history_users {
@@ -404,7 +409,7 @@ pub(crate) fn decode(
         let entry_count = rd_count(&mut b, 8 * (k + 1), "history entry count")?;
         let mut entries = Vec::with_capacity(entry_count);
         for _ in 0..entry_count {
-            let step = rd_u64(&mut b, "history entry step")?;
+            let step = rd_u64(&mut b, "history entry step")? as i64;
             let mut row = Vec::with_capacity(k);
             for _ in 0..k {
                 row.push(rd_f64(&mut b, "history entry value")?);

@@ -90,6 +90,13 @@ pub struct EngineStats {
     /// Wall-clock nanoseconds the worker spent on the most recent
     /// snapshot (tokenize + assemble + solve + commit).
     pub last_step_ns: u64,
+    /// Cross-shard re-tweet edges *kept* as ghost rows (multi-shard
+    /// router, ghost mode). Always 0 on a single engine.
+    pub ghost_edges: u64,
+    /// Cross-shard re-tweet edges dropped at ingest (multi-shard router,
+    /// legacy drop mode — with ghost mode on, this stays 0 by
+    /// construction). Always 0 on a single engine.
+    pub dropped_cross_shard: u64,
     /// The SIMD tier the solver kernels execute under in this process
     /// (`tgs_linalg::simd_tier_name()`: detected ISA clamped by the
     /// `TGS_SIMD` override) — recorded so bench runs and bug reports
@@ -108,6 +115,8 @@ impl EngineStats {
             ingested: self.ingested + other.ingested,
             dropped_capacity: self.dropped_capacity + other.dropped_capacity,
             last_step_ns: self.last_step_ns.max(other.last_step_ns),
+            ghost_edges: self.ghost_edges + other.ghost_edges,
+            dropped_cross_shard: self.dropped_cross_shard + other.dropped_cross_shard,
             simd: if self.simd.is_empty() {
                 other.simd
             } else {
@@ -220,6 +229,8 @@ impl SentimentEngine {
             ingested: self.metrics.ingested.load(Ordering::Relaxed),
             dropped_capacity: self.metrics.dropped_capacity.load(Ordering::Relaxed),
             last_step_ns: self.metrics.last_step_ns.load(Ordering::Relaxed),
+            ghost_edges: 0,
+            dropped_cross_shard: 0,
             simd: tgs_linalg::simd_tier_name(),
         }
     }
@@ -300,6 +311,189 @@ impl SentimentEngine {
     }
 }
 
+/// Per-user `(timestamp, distribution)` observation lists keyed by
+/// global user id — the queryable half of a migrated user range.
+pub(crate) type UserTrackRows = Vec<(usize, Vec<(u64, Vec<f64>)>)>;
+
+/// One worker's per-user state for a contiguous user-id range, removed
+/// from its source for a live rebalance: the queryable observation
+/// history plus the solver's temporal rows (age-relative, so they
+/// re-anchor exactly on a destination with a different step counter).
+pub(crate) struct UserRangeState {
+    /// Per-user observations, sorted by id.
+    track: UserTrackRows,
+    /// The solver's migrated per-user temporal state.
+    solver: tgs_core::MigratedUsers,
+}
+
+impl UserRangeState {
+    /// Users carried (track and solver rows may differ when a user was
+    /// evicted from one side; the union is reported).
+    pub(crate) fn len(&self) -> usize {
+        self.track.len().max(self.solver.rows.len())
+    }
+}
+
+/// Live-rebalance surface, driven by the multi-shard router with every
+/// affected worker quiesced (flushed) first.
+impl SentimentEngine {
+    /// Starts a fresh worker sharing this one's frozen configuration
+    /// (vocabulary, prior, solver config, pipeline, budgets) with a cold
+    /// solver and empty history — the spawn path of a shard split.
+    pub(crate) fn spawn_sibling(&self) -> Result<SentimentEngine, TgsError> {
+        let shared = EngineShared {
+            vocab: self.shared.vocab.clone(),
+            sf0: self.shared.sf0.clone(),
+            config: self.shared.config.clone(),
+            tokenizer: self.shared.tokenizer.clone(),
+            weighting: self.shared.weighting,
+            queue_depth: self.shared.queue_depth,
+        };
+        let solver = OnlineSolver::try_new(shared.config.clone())?;
+        let state = EngineState::new(self.state.lock().sf_store.budget_bytes());
+        Ok(SentimentEngine::start(shared, solver, state))
+    }
+
+    /// The solver's current decayed sentiment estimate for a user — the
+    /// factor broadcast into ghost rows on other shards. Callers flush
+    /// first so the estimate reflects every committed snapshot.
+    pub(crate) fn user_factor(&self, user: usize) -> Option<Vec<f64>> {
+        self.solver.lock().sentiment_of(user)
+    }
+
+    /// Removes and returns all per-user state for ids in `lo..hi`.
+    /// The caller must have flushed this worker (quiesce) first.
+    pub(crate) fn export_user_range(&self, lo: usize, hi: usize) -> UserRangeState {
+        let mut st = self.state.lock();
+        let mut moving: Vec<usize> = st
+            .user_track
+            .keys()
+            .copied()
+            .filter(|&u| u >= lo && u < hi)
+            .collect();
+        moving.sort_unstable();
+        let track = moving
+            .into_iter()
+            .map(|u| {
+                let rows = st.user_track.remove(&u).expect("key just listed");
+                (u, rows)
+            })
+            .collect();
+        let solver = self.solver.lock().export_users(lo, hi);
+        UserRangeState { track, solver }
+    }
+
+    /// Imports per-user state exported from another worker. Rejects
+    /// users this worker already tracks (shards are user-disjoint; a
+    /// collision means two workers both claim ownership) before touching
+    /// any state.
+    /// A rejection returns the state untouched, so a failed migration
+    /// can restore it to its source worker instead of losing it.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn import_user_range(
+        &self,
+        users: UserRangeState,
+    ) -> Result<(), (TgsError, UserRangeState)> {
+        let mut st = self.state.lock();
+        let collision = users
+            .track
+            .iter()
+            .find(|(user, _)| st.user_track.contains_key(user))
+            .map(|(user, _)| *user);
+        if let Some(user) = collision {
+            return Err((
+                TgsError::invalid_argument(format!(
+                    "user {user} already tracked here; refusing to merge two \
+                     shards' ownership of one user"
+                )),
+                users,
+            ));
+        }
+        // Same two-owners collision *within* the payload: the contract
+        // is strictly-ascending user ids, and a duplicate would silently
+        // overwrite on insert.
+        let duplicate = users
+            .track
+            .windows(2)
+            .find(|w| w[0].0 >= w[1].0)
+            .map(|w| w[1].0);
+        if let Some(user) = duplicate {
+            return Err((
+                TgsError::invalid_argument(format!(
+                    "migrated users are not strictly ascending at user {user}"
+                )),
+                users,
+            ));
+        }
+        let UserRangeState { track, solver } = users;
+        if let Err((e, solver)) = self.solver.lock().import_users(solver) {
+            return Err((e, UserRangeState { track, solver }));
+        }
+        for (user, rows) in track {
+            st.user_track.insert(user, rows);
+        }
+        Ok(())
+    }
+
+    /// Folds another (flushed) worker's entire recorded state into this
+    /// one — the absorb path of a shard merge. Per-user state moves
+    /// wholesale; timeline entries at shared timestamps merge exactly as
+    /// the query fan-in would have merged them; `Sf` factors at shared
+    /// timestamps merge through the solvers' tweet-count-weighted policy
+    /// (`Sp` factors are per-tweet and shard-shaped, so the absorber's
+    /// are kept on collision). The other worker's own `Sf` window and
+    /// step counter are discarded — the absorber's temporal frame wins.
+    pub(crate) fn absorb(&self, other: &SentimentEngine) -> Result<(), TgsError> {
+        let moved = other.export_user_range(0, usize::MAX);
+        if let Err((e, moved_back)) = self.import_user_range(moved) {
+            // Hand the state back to its source (it just exported these
+            // users, so re-import cannot collide) and surface the error.
+            other.import_user_range(moved_back).map_err(|(e2, _)| e2)?;
+            return Err(e);
+        }
+        let mut ost = other.state.lock();
+        let mut st = self.state.lock();
+        // Weights for the factor merges: each side's tweet count per
+        // timestamp, captured before the timelines fold.
+        let my_tweets: std::collections::HashMap<u64, usize> =
+            st.timeline.iter().map(|(&t, e)| (t, e.tweets)).collect();
+        let other_tweets: std::collections::HashMap<u64, usize> =
+            ost.timeline.iter().map(|(&t, e)| (t, e.tweets)).collect();
+        for (t, entry) in std::mem::take(&mut ost.timeline) {
+            match st.timeline.entry(t) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(entry);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    slot.get_mut().merge_from(&entry);
+                }
+            }
+        }
+        let other_sf_ts: Vec<u64> = ost.sf_store.iter().map(|(t, _)| t).collect();
+        for t in other_sf_ts {
+            let theirs = ost.sf_store.get(t).expect("timestamp just listed");
+            let merged = match st.sf_store.get(t) {
+                Some(mine) => {
+                    let w_mine = my_tweets.get(&t).copied().unwrap_or(0) as f64;
+                    let w_theirs = other_tweets.get(&t).copied().unwrap_or(0) as f64;
+                    tgs_core::sharded::merge_sf(&[(w_mine, &mine), (w_theirs, &theirs)])
+                        .expect("two parts always merge")
+                }
+                None => theirs,
+            };
+            st.sf_store.put(t, &merged);
+        }
+        let other_sp_ts: Vec<u64> = ost.sp_store.iter().map(|(t, _)| t).collect();
+        for t in other_sp_ts {
+            if st.sp_store.get(t).is_none() {
+                let theirs = ost.sp_store.get(t).expect("timestamp just listed");
+                st.sp_store.put(t, &theirs);
+            }
+        }
+        Ok(())
+    }
+}
+
 impl Drop for SentimentEngine {
     fn drop(&mut self) {
         self.close();
@@ -371,6 +565,7 @@ fn process(
         timestamp,
         docs,
         retweets,
+        ghosts,
     } = snapshot;
     if docs.is_empty() {
         // Nothing to solve; empty slices do not advance the stream.
@@ -463,23 +658,31 @@ fn process(
         graph: &graph,
         sf0: &shared.sf0,
     };
-    let step = solver.lock().try_step(&SnapshotData { input, user_ids })?;
+    let step = solver
+        .lock()
+        .try_step_with_ghosts(&SnapshotData { input, user_ids }, &ghosts)?;
 
     // --- Commit ---
+    // Ghost rows belong to another shard: they are excluded from this
+    // engine's user aggregates and per-user history (the owning shard
+    // commits them), exactly as the solver excluded them from its own.
+    let ghost_rows = &step.partition.ghost_rows;
     let mut tweet_counts = vec![0usize; k];
     for &label in &step.tweet_labels() {
         tweet_counts[label] += 1;
     }
     let mut user_counts = vec![0usize; k];
-    for &label in &step.user_labels() {
-        user_counts[label] += 1;
+    for (row, &label) in step.user_labels().iter().enumerate() {
+        if ghost_rows.binary_search(&row).is_err() {
+            user_counts[label] += 1;
+        }
     }
     let mut su_dist = step.factors.su.clone();
     su_dist.normalize_rows_l1();
     let entry = TimelineEntry {
         timestamp,
         tweets: n,
-        users: m,
+        users: m - ghost_rows.len(),
         new_users: step.partition.new_rows.len(),
         evolving_users: step.partition.evolving_rows.len(),
         iterations: step.iterations,
@@ -491,6 +694,9 @@ fn process(
     let mut st = state.lock();
     st.timeline.insert(timestamp, entry);
     for (row, &user) in user_ids.iter().enumerate() {
+        if ghost_rows.binary_search(&row).is_ok() {
+            continue;
+        }
         // Timestamps are unique (checked above), so plain appends; the
         // queries sort / max-filter, so out-of-order ingest is fine.
         st.user_track

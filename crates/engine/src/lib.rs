@@ -326,12 +326,16 @@ mod tests {
             ingested: 2,
             dropped_capacity: 3,
             last_step_ns: u64::MAX,
+            ghost_edges: 4,
+            dropped_cross_shard: 5,
             simd: "",
         });
         assert_eq!(merged.queued, 1);
         assert_eq!(merged.ingested, stats.ingested + 2);
         assert_eq!(merged.dropped_capacity, stats.dropped_capacity + 3);
         assert_eq!(merged.last_step_ns, u64::MAX);
+        assert_eq!(merged.ghost_edges, 4);
+        assert_eq!(merged.dropped_cross_shard, 5);
         assert_eq!(merged.simd, stats.simd);
     }
 

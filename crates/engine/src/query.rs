@@ -42,6 +42,30 @@ pub struct TimelineEntry {
 }
 
 impl TimelineEntry {
+    /// Folds another shard's entry for the *same timestamp* into this
+    /// one: aggregates sum, `iterations` is the slowest shard's,
+    /// `converged` requires every shard to have converged. Shared by the
+    /// multi-shard query fan-in and the shard-merge absorb path, so the
+    /// two can never disagree.
+    pub(crate) fn merge_from(&mut self, other: &TimelineEntry) {
+        self.tweets += other.tweets;
+        self.users += other.users;
+        self.new_users += other.new_users;
+        self.evolving_users += other.evolving_users;
+        // The slowest shard gates the step; convergence means *every*
+        // shard converged; objectives are additive across disjoint
+        // shards.
+        self.iterations = self.iterations.max(other.iterations);
+        self.converged &= other.converged;
+        self.objective += other.objective;
+        for (x, y) in self.tweet_counts.iter_mut().zip(&other.tweet_counts) {
+            *x += y;
+        }
+        for (x, y) in self.user_counts.iter_mut().zip(&other.user_counts) {
+            *x += y;
+        }
+    }
+
     /// Per-cluster tweet share in `[0, 1]` (all zeros for an empty
     /// snapshot).
     pub fn tweet_shares(&self) -> Vec<f64> {

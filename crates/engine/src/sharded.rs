@@ -1,15 +1,35 @@
 //! The multi-shard router: `S` [`SentimentEngine`] workers behind one
-//! ingest/query seam.
+//! ingest/query seam, over an **elastic** user-range topology.
 //!
-//! A [`ShardedEngine`] owns one worker per user-range shard (see
-//! `tgs_data::UserRangePartitioner`). Ingest **fans out**: each document
-//! follows its author's shard (re-tweets follow their document and are
-//! dropped — and counted — when they cross shards); every worker keeps
-//! its own ingest queue, worker thread and solver, so shard-local solves
-//! run concurrently on multi-core hosts. Queries **fan in**: timelines
-//! merge per timestamp, `top_words` merges the per-shard word–sentiment
-//! factors (weighted by shard tweet counts) before ranking, and per-user
-//! queries route transparently to the owning shard.
+//! A [`ShardedEngine`] owns one worker per shard of a
+//! `tgs_data::PartitionMap` (explicit sorted user-range boundaries).
+//! Ingest **fans out**: each document follows its author's shard; every
+//! worker keeps its own ingest queue, worker thread and solver, so
+//! shard-local solves run concurrently on multi-core hosts. Queries
+//! **fan in**: timelines merge per timestamp, `top_words` merges the
+//! per-shard word–sentiment factors (weighted by shard tweet counts)
+//! before ranking, and per-user queries route transparently to the
+//! owning shard.
+//!
+//! **Cross-shard re-tweets.** In legacy drop mode a re-tweet whose user
+//! lives on another shard is counted and dropped. With the ghost-user
+//! protocol ([`crate::EngineBuilder::ghost_users`]) the edge is *kept*
+//! on its document's shard: the remote user materializes as a ghost row
+//! carrying their current sentiment factor (sampled from the owning
+//! worker after a fleet quiesce, so the exchange is deterministic),
+//! excluded from the receiving shard's history and user aggregates. No
+//! edge is dropped — `dropped_cross_shard` stays 0 by construction.
+//!
+//! **Live rebalance.** [`ShardedEngine::rebalance`] applies a
+//! `RepartitionPlan` (split / merge / boundary move) to a running
+//! fleet: quiesce, evolve the worker set op by op in lockstep with the
+//! map (a split spawns a cold sibling for the right half, a merge
+//! absorbs the retired worker's recorded state into its neighbour, a
+//! boundary move keeps both workers), migrate every re-owned user's
+//! history through the per-user export/import seam (age-relative
+//! solver rows — placement-independent), swap the map, resume.
+//! [`ShardedEngine::maybe_rebalance`] automates this from per-shard
+//! tweet-count skew (`tgs stream --max-skew`).
 //!
 //! With `shards = 1` the router is the identity: the single worker
 //! receives byte-identical snapshots, records a byte-identical timeline,
@@ -23,12 +43,16 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::RangeBounds;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parking_lot::Mutex;
 use tgs_core::sharded::merge_sf;
 use tgs_core::TgsError;
-use tgs_data::{route_docs, UserRangePartitioner};
+use tgs_data::{
+    route_docs, route_docs_ghost, PartitionMap, RepartitionOp, RepartitionPlan,
+    UserRangePartitioner,
+};
 use tgs_linalg::DenseMatrix;
 
 use crate::checkpoint::EngineCheckpoint;
@@ -36,11 +60,15 @@ use crate::engine::{EngineStats, SentimentEngine};
 use crate::query::{rank_top_words, ClusterSummary, EngineQuery, TimelineEntry, UserSentiment};
 use crate::snapshot::{EngineRetweet, EngineSnapshot};
 
-/// Magic + format version prefix of the multi-shard checkpoint.
-const SHARD_MAGIC: &[u8; 8] = b"TGSSHR\x00\x01";
+/// Magic + format version prefix of the v1 (stride-map) multi-shard
+/// checkpoint. Still restorable; no longer written.
+const SHARD_MAGIC_V1: &[u8; 8] = b"TGSSHR\x00\x01";
+/// Magic + format version prefix of the v2 (explicit partition map +
+/// ghost flag) multi-shard checkpoint.
+const SHARD_MAGIC_V2: &[u8; 8] = b"TGSSHR\x00\x02";
 
-/// A serialized multi-shard session: a validated header (shard count +
-/// partitioner parameters + fingerprint) followed by one length-prefixed
+/// A serialized multi-shard session: a validated header (partition map +
+/// ghost flag + fingerprint) followed by one length-prefixed
 /// [`EngineCheckpoint`] section per shard.
 #[derive(Debug, Clone)]
 pub struct ShardedCheckpoint {
@@ -71,17 +99,18 @@ impl ShardedCheckpoint {
         self.bytes.is_empty()
     }
 
-    /// True when `data` carries the multi-shard magic (as opposed to a
-    /// single-engine [`EngineCheckpoint`] stream).
+    /// True when `data` carries a multi-shard magic — either format
+    /// version — as opposed to a single-engine [`EngineCheckpoint`]
+    /// stream.
     pub fn sniff(data: &[u8]) -> bool {
-        data.starts_with(SHARD_MAGIC)
+        data.starts_with(SHARD_MAGIC_V1) || data.starts_with(SHARD_MAGIC_V2)
     }
 
     /// The per-shard checkpoint sections, in shard order. Each section is
     /// a complete single-engine checkpoint byte stream.
     pub fn sections(&self) -> Result<Vec<Vec<u8>>, TgsError> {
-        let (_, sections) = decode_header(&self.bytes)?;
-        Ok(sections)
+        let header = decode_header(&self.bytes)?;
+        Ok(header.sections)
     }
 }
 
@@ -96,41 +125,85 @@ fn rd_u64(b: &mut Bytes, what: &str) -> Result<u64, TgsError> {
     Ok(b.get_u64_le())
 }
 
-/// Parses the header and splits off the per-shard sections.
-fn decode_header(bytes: &Bytes) -> Result<(UserRangePartitioner, Vec<Vec<u8>>), TgsError> {
+struct ShardedHeader {
+    map: PartitionMap,
+    ghost_mode: bool,
+    sections: Vec<Vec<u8>>,
+}
+
+/// Parses either header version and splits off the per-shard sections.
+fn decode_header(bytes: &Bytes) -> Result<ShardedHeader, TgsError> {
     let mut b = bytes.clone();
-    if b.remaining() < SHARD_MAGIC.len() {
+    if b.remaining() < SHARD_MAGIC_V2.len() {
         return Err(corrupt("sharded magic header"));
     }
     let mut magic = [0u8; 8];
     b.copy_to_slice(&mut magic);
-    if &magic != SHARD_MAGIC {
-        return Err(TgsError::corrupt(
-            "unrecognized magic header (not a multi-shard tgs-engine checkpoint)",
-        ));
-    }
-    // Bound the count against the remaining bytes (each section needs at
-    // least an 8-byte length prefix) so a crafted header cannot trigger a
-    // huge allocation — mirrors `rd_count` in the single-engine decoder.
+    let v2 = match &magic {
+        m if m == SHARD_MAGIC_V2 => true,
+        m if m == SHARD_MAGIC_V1 => false,
+        _ => {
+            return Err(TgsError::corrupt(
+                "unrecognized magic header (not a multi-shard tgs-engine checkpoint)",
+            ))
+        }
+    };
+    // Bound the count against the remaining bytes (each shard needs at
+    // least an 8-byte section length prefix, and in v2 an 8-byte start)
+    // so a crafted header cannot trigger a huge allocation — mirrors
+    // `rd_count` in the single-engine decoder.
+    let per_shard_floor = if v2 { 16 } else { 8 };
     let shards = usize::try_from(rd_u64(&mut b, "shard count")?)
         .ok()
-        .filter(|&s| s >= 1 && s.saturating_mul(8) <= b.remaining())
+        .filter(|&s| s >= 1 && s.saturating_mul(per_shard_floor) <= b.remaining())
         .ok_or_else(|| corrupt("shard count"))?;
     let universe = usize::try_from(rd_u64(&mut b, "partitioner universe")?)
         .map_err(|_| corrupt("universe"))?;
-    let stride =
-        usize::try_from(rd_u64(&mut b, "partitioner stride")?).map_err(|_| corrupt("stride"))?;
-    let fingerprint = rd_u64(&mut b, "partitioner fingerprint")?;
-    let partitioner = UserRangePartitioner::new(universe, shards);
-    if partitioner.stride() != stride || partitioner.fingerprint() != fingerprint {
-        return Err(TgsError::corrupt(format!(
-            "partitioner mismatch: checkpoint declares stride {stride} / fingerprint \
-             {fingerprint:#x}, but {shards} shards over {universe} users derive stride {} / \
-             fingerprint {:#x}",
-            partitioner.stride(),
-            partitioner.fingerprint()
-        )));
-    }
+    let (map, ghost_mode) = if v2 {
+        if b.remaining() < 1 {
+            return Err(corrupt("ghost mode flag"));
+        }
+        let mut flag = [0u8; 1];
+        b.copy_to_slice(&mut flag);
+        let ghost_mode = match flag[0] {
+            0 => false,
+            1 => true,
+            _ => return Err(corrupt("ghost mode flag")),
+        };
+        let mut starts = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            starts.push(
+                usize::try_from(rd_u64(&mut b, "partition start")?)
+                    .map_err(|_| corrupt("partition start"))?,
+            );
+        }
+        let map = PartitionMap::new(universe, starts)
+            .map_err(|e| TgsError::corrupt(format!("malformed partition map: {e}")))?;
+        let fingerprint = rd_u64(&mut b, "partition fingerprint")?;
+        if map.fingerprint() != fingerprint {
+            return Err(TgsError::corrupt(format!(
+                "partition map fingerprint mismatch: checkpoint declares {fingerprint:#x}, \
+                 the serialized boundaries derive {:#x}",
+                map.fingerprint()
+            )));
+        }
+        (map, ghost_mode)
+    } else {
+        let stride = usize::try_from(rd_u64(&mut b, "partitioner stride")?)
+            .map_err(|_| corrupt("stride"))?;
+        let fingerprint = rd_u64(&mut b, "partitioner fingerprint")?;
+        let partitioner = UserRangePartitioner::new(universe, shards);
+        if partitioner.stride() != stride || partitioner.fingerprint() != fingerprint {
+            return Err(TgsError::corrupt(format!(
+                "partitioner mismatch: checkpoint declares stride {stride} / fingerprint \
+                 {fingerprint:#x}, but {shards} shards over {universe} users derive stride {} / \
+                 fingerprint {:#x}",
+                partitioner.stride(),
+                partitioner.fingerprint()
+            )));
+        }
+        (partitioner.to_map(), false)
+    };
     let mut sections = Vec::with_capacity(shards);
     for shard in 0..shards {
         let len = usize::try_from(rd_u64(&mut b, "shard section length")?)
@@ -151,18 +224,52 @@ fn decode_header(bytes: &Bytes) -> Result<(UserRangePartitioner, Vec<Vec<u8>>), 
             b.remaining()
         )));
     }
-    Ok((partitioner, sections))
+    Ok(ShardedHeader {
+        map,
+        ghost_mode,
+        sections,
+    })
 }
 
-/// A fleet of per-shard [`SentimentEngine`] workers behind one router.
+/// The mutable topology of the fleet: the partition map and one worker
+/// per shard, swapped atomically by a rebalance.
+struct Fleet {
+    map: PartitionMap,
+    workers: Vec<SentimentEngine>,
+}
+
+/// One shard's load summary (see [`ShardedEngine::shard_loads`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// The shard index.
+    pub shard: usize,
+    /// The shard's `[lo, hi)` user-id range (the last shard additionally
+    /// owns every id `>= hi`).
+    pub range: (usize, usize),
+    /// Documents routed to the shard by this router (process-local, like
+    /// [`EngineStats`]).
+    pub tweets: u64,
+    /// Users with recorded history on the shard's worker.
+    pub users: usize,
+}
+
+/// A fleet of per-shard [`SentimentEngine`] workers behind one elastic
+/// router.
 ///
 /// Built via [`crate::EngineBuilder::fit_sharded`]; see the module docs
-/// for the fan-out/fan-in semantics and the single-shard identity
-/// guarantee.
+/// for the fan-out/fan-in semantics, the ghost-user protocol, live
+/// rebalancing, and the single-shard identity guarantee.
 pub struct ShardedEngine {
-    partitioner: UserRangePartitioner,
-    workers: Vec<SentimentEngine>,
+    inner: RwLock<Fleet>,
+    /// Ghost-user protocol switch (frozen at construction; serialized in
+    /// the v2 checkpoint header).
+    ghost_mode: bool,
     dropped_cross_shard: AtomicU64,
+    ghost_edges: AtomicU64,
+    /// Documents routed per author id — the load statistic behind
+    /// [`ShardedEngine::shard_loads`] and the `--max-skew` auto-trigger.
+    /// Process-local (reset on restore), like [`EngineStats`].
+    doc_counts: Mutex<BTreeMap<usize, u64>>,
     /// Every timestamp ever fanned out (or restored). Workers enforce
     /// append-only per shard, but a re-ingested timestamp whose documents
     /// route to *different* shards than the original would slip past the
@@ -172,76 +279,63 @@ pub struct ShardedEngine {
 }
 
 impl ShardedEngine {
-    pub(crate) fn start(partitioner: UserRangePartitioner, workers: Vec<SentimentEngine>) -> Self {
-        assert_eq!(
-            workers.len(),
-            partitioner.shards(),
-            "one worker per shard required"
-        );
+    /// Read access to the fleet. The lock is poisoned only if a panic
+    /// escaped a rebalance, which leaves no coherent topology to serve.
+    fn fleet(&self) -> std::sync::RwLockReadGuard<'_, Fleet> {
+        self.inner.read().expect("fleet lock poisoned")
+    }
+
+    fn fleet_mut(&self) -> std::sync::RwLockWriteGuard<'_, Fleet> {
+        self.inner.write().expect("fleet lock poisoned")
+    }
+
+    pub(crate) fn start(
+        map: PartitionMap,
+        workers: Vec<SentimentEngine>,
+        ghost_mode: bool,
+    ) -> Self {
+        assert_eq!(workers.len(), map.shards(), "one worker per shard required");
         let ingested = workers
             .iter()
             .flat_map(|w| w.query().timestamps())
             .collect();
         Self {
-            partitioner,
-            workers,
+            inner: RwLock::new(Fleet { map, workers }),
+            ghost_mode,
             dropped_cross_shard: AtomicU64::new(0),
+            ghost_edges: AtomicU64::new(0),
+            doc_counts: Mutex::new(BTreeMap::new()),
             ingested: Mutex::new(ingested),
         }
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.workers.len()
+        self.fleet().workers.len()
     }
 
-    /// The routing function (shared with the checkpoint format).
-    pub fn partitioner(&self) -> &UserRangePartitioner {
-        &self.partitioner
+    /// The current partition map (a snapshot — a concurrent rebalance
+    /// may swap the fleet's map afterwards).
+    pub fn map(&self) -> PartitionMap {
+        self.fleet().map.clone()
     }
 
-    /// Cross-shard re-tweets dropped at ingest so far (a re-tweet whose
-    /// user lives in a different shard than the document's author cannot
-    /// be represented once the user axis is partitioned).
+    /// Whether the ghost-user protocol is on (cross-shard re-tweet edges
+    /// kept via ghost rows instead of dropped).
+    pub fn ghost_mode(&self) -> bool {
+        self.ghost_mode
+    }
+
+    /// Cross-shard re-tweets dropped at ingest so far (always 0 in ghost
+    /// mode).
     pub fn dropped_cross_shard(&self) -> u64 {
         self.dropped_cross_shard.load(Ordering::Relaxed)
     }
 
-    /// Splits one snapshot into per-shard snapshots: documents follow
-    /// their author's shard; re-tweets follow their document and are
-    /// dropped when they cross shards. Pure routing — the caller commits
-    /// the dropped count only once the snapshot is accepted.
-    fn split(&self, snapshot: EngineSnapshot) -> Result<(Vec<EngineSnapshot>, usize), TgsError> {
-        let EngineSnapshot {
-            timestamp,
-            docs,
-            retweets,
-        } = snapshot;
-        let n = docs.len();
-        for r in &retweets {
-            if r.doc >= n {
-                return Err(TgsError::invalid_argument(format!(
-                    "retweet references document {} but the snapshot has {n}",
-                    r.doc
-                )));
-            }
-        }
-        let authors: Vec<usize> = docs.iter().map(|d| d.user).collect();
-        let events: Vec<(usize, usize)> = retweets.iter().map(|r| (r.user, r.doc)).collect();
-        let routing = route_docs(&self.partitioner, &authors, &events);
-        let mut shards: Vec<EngineSnapshot> = (0..self.shards())
-            .map(|_| EngineSnapshot::new(timestamp))
-            .collect();
-        for (doc, &shard) in docs.into_iter().zip(routing.doc_shard.iter()) {
-            shards[shard].docs.push(doc);
-        }
-        for (shard, events) in routing.shard_retweets.iter().enumerate() {
-            shards[shard].retweets = events
-                .iter()
-                .map(|&(user, doc)| EngineRetweet { user, doc })
-                .collect();
-        }
-        Ok((shards, routing.dropped_retweets))
+    /// Cross-shard re-tweets kept as ghost edges so far (always 0 in
+    /// drop mode).
+    pub fn ghost_edges(&self) -> u64 {
+        self.ghost_edges.load(Ordering::Relaxed)
     }
 
     /// Fans one snapshot out to the owning shards. Returns as soon as
@@ -251,16 +345,23 @@ impl ShardedEngine {
     /// is rejected here (synchronously), not per worker, so a duplicate
     /// whose documents route to different shards than the original can
     /// never partially commit.
+    ///
+    /// In ghost mode, a snapshot carrying cross-shard re-tweets quiesces
+    /// the fleet first: ghost factors are sampled from the owning
+    /// workers' *committed* state, so the exchange is deterministic
+    /// (snapshots without cross-shard edges keep the fully pipelined
+    /// path).
     pub fn ingest(&self, snapshot: EngineSnapshot) -> Result<(), TgsError> {
         if snapshot.is_empty() {
             // Workers skip empty snapshots without advancing the stream;
             // the router mirrors that (the timestamp stays claimable).
             return Ok(());
         }
+        let fleet = self.fleet();
         let timestamp = snapshot.timestamp;
         // Validate + route before claiming the timestamp, so a malformed
         // snapshot (dangling re-tweet reference) does not burn it.
-        let (subs, dropped) = self.split(snapshot)?;
+        let (subs, dropped, ghost_edges, authors) = split(&fleet, self.ghost_mode, snapshot)?;
         if !self.ingested.lock().insert(timestamp) {
             return Err(TgsError::invalid_argument(format!(
                 "timestamp {timestamp} already ingested; the stream is append-only"
@@ -268,9 +369,17 @@ impl ShardedEngine {
         }
         self.dropped_cross_shard
             .fetch_add(dropped as u64, Ordering::Relaxed);
+        self.ghost_edges
+            .fetch_add(ghost_edges as u64, Ordering::Relaxed);
+        {
+            let mut counts = self.doc_counts.lock();
+            for author in authors {
+                *counts.entry(author).or_insert(0) += 1;
+            }
+        }
         for (shard, sub) in subs.into_iter().enumerate() {
             if !sub.is_empty() {
-                self.workers[shard].ingest(sub)?;
+                fleet.workers[shard].ingest(sub)?;
             }
         }
         Ok(())
@@ -280,62 +389,224 @@ impl ShardedEngine {
     /// first pending ingest failure (if any) or the number of distinct
     /// timestamps in the merged timeline.
     pub fn flush(&self) -> Result<u64, TgsError> {
-        let mut first_err = None;
-        for worker in &self.workers {
-            // Drain every worker even after a failure so the router never
-            // leaves queues half-processed.
-            if let Err(e) = worker.flush() {
-                first_err.get_or_insert(e);
-            }
-        }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(self.steps()),
-        }
+        let fleet = self.fleet();
+        flush_fleet(&fleet)?;
+        Ok(steps_of(&fleet))
     }
 
     /// Distinct timestamps committed across all shards.
     pub fn steps(&self) -> u64 {
-        let mut seen = BTreeSet::new();
-        for worker in &self.workers {
-            seen.extend(worker.query().timestamps());
-        }
-        seen.len() as u64
+        steps_of(&self.fleet())
     }
 
-    /// A read handle that fans queries across all shards.
+    /// A read handle that fans queries across all shards. The handle
+    /// snapshots the current topology: after a rebalance, obtain a fresh
+    /// one (stale handles keep answering, but route per-user queries by
+    /// the old map and may miss migrated users).
     pub fn query(&self) -> ShardedQuery {
+        let fleet = self.fleet();
         ShardedQuery {
-            partitioner: self.partitioner.clone(),
-            queries: self.workers.iter().map(|w| w.query()).collect(),
+            map: fleet.map.clone(),
+            queries: fleet.workers.iter().map(|w| w.query()).collect(),
         }
     }
 
     /// Merged ingest metrics: counters sum across shards;
     /// `last_step_ns` is the slowest shard's (it gates the fan-out's
-    /// latency).
+    /// latency); the router's cross-shard edge counters ride along.
     pub fn stats(&self) -> EngineStats {
-        self.workers
+        let merged = self
+            .fleet()
+            .workers
             .iter()
             .map(SentimentEngine::stats)
-            .fold(EngineStats::default(), |acc, s| acc.merge(&s))
+            .fold(EngineStats::default(), |acc, s| acc.merge(&s));
+        EngineStats {
+            ghost_edges: self.ghost_edges(),
+            dropped_cross_shard: self.dropped_cross_shard(),
+            ..merged
+        }
     }
 
-    /// Drains every queue and serializes the whole fleet: a validated
-    /// header (shard count + partitioner parameters) followed by each
+    /// Per-shard load: the shard's user range, the documents this router
+    /// fanned to it (process-local), and its worker's known users.
+    pub fn shard_loads(&self) -> Vec<ShardLoad> {
+        self.shard_loads_of(&self.fleet())
+    }
+
+    /// [`ShardedEngine::shard_loads`] against an already-held guard, so
+    /// the rebalance paths never re-enter the fleet lock (a recursive
+    /// `RwLock` read can deadlock behind a queued writer).
+    fn shard_loads_of(&self, fleet: &Fleet) -> Vec<ShardLoad> {
+        let counts = self.doc_counts.lock();
+        let starts = fleet.map.starts();
+        (0..fleet.map.shards())
+            .map(|shard| {
+                let lo = starts[shard];
+                let hi = starts.get(shard + 1).copied().unwrap_or(usize::MAX);
+                let tweets = counts.range(lo..hi).map(|(_, &c)| c).sum();
+                ShardLoad {
+                    shard,
+                    range: fleet.map.range(shard),
+                    tweets,
+                    users: fleet.workers[shard].query().known_users(),
+                }
+            })
+            .collect()
+    }
+
+    /// The fleet's tweet-count skew: the hottest shard's routed document
+    /// count over the per-shard mean (1.0 = perfectly even; 0.0 before
+    /// any document routed).
+    pub fn load_skew(&self) -> f64 {
+        Self::skew_of(&self.shard_loads())
+    }
+
+    fn skew_of(loads: &[ShardLoad]) -> f64 {
+        let total: u64 = loads.iter().map(|l| l.tweets).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let max = loads.iter().map(|l| l.tweets).max().unwrap_or(0);
+        max as f64 * loads.len() as f64 / total as f64
+    }
+
+    /// Applies a repartition plan to the running fleet: quiesce, evolve
+    /// the worker set op by op (a split spawns a cold sibling for the
+    /// right half; a merge absorbs the retired worker's recorded state
+    /// into its left neighbour; a boundary move keeps both workers),
+    /// migrate every re-owned user's history (solver temporal rows
+    /// age-relative + queryable per-user observations), swap the map,
+    /// resume. Returns the new map.
+    ///
+    /// Migration is lossless: applying a plan and its inverse with no
+    /// ingest in between restores byte-identical behaviour (tested in
+    /// `tests/rebalance.rs`).
+    pub fn rebalance(&self, plan: &RepartitionPlan) -> Result<PartitionMap, TgsError> {
+        let mut fleet = self.fleet_mut();
+        self.rebalance_locked(&mut fleet, plan)
+    }
+
+    /// The rebalance body, against an already-held write guard (shared
+    /// with [`ShardedEngine::maybe_rebalance`], whose skew inspection
+    /// and plan application must be one atomic step).
+    fn rebalance_locked(
+        &self,
+        fleet: &mut Fleet,
+        plan: &RepartitionPlan,
+    ) -> Result<PartitionMap, TgsError> {
+        // Validate the whole plan against the current map before
+        // quiescing or touching any worker.
+        let new_map = plan
+            .apply(&fleet.map)
+            .map_err(|e| TgsError::invalid_argument(format!("inapplicable plan: {e}")))?;
+        if new_map == fleet.map {
+            return Ok(new_map);
+        }
+        // Quiesce: every worker drains (and surfaces pending failures)
+        // before any state moves.
+        flush_fleet(fleet)?;
+
+        // The phases below keep `cur_map` and the worker vec in lockstep
+        // after every delta, and the fleet is restored from them on ANY
+        // outcome — an error mid-plan leaves a consistent, servable
+        // topology (partially applied, never zero workers).
+        let mut cur_map = fleet.map.clone();
+        let mut workers = std::mem::take(&mut fleet.workers);
+        let outcome = apply_plan(plan, &new_map, &mut cur_map, &mut workers);
+        fleet.workers = workers;
+        fleet.map = cur_map;
+        outcome.map(|()| fleet.map.clone())
+    }
+
+    /// The `--max-skew` auto-trigger: when the fleet's tweet-count skew
+    /// exceeds `max_skew`, split the hottest shard at its load midpoint
+    /// (the user id halving its routed document count) and rebalance.
+    /// Returns the new map when a rebalance ran, `None` when the fleet
+    /// is within budget or no useful split exists (e.g. the whole load
+    /// sits on ids past the universe). Inspection and rebalance happen
+    /// under one lock acquisition, so a concurrent caller can neither
+    /// deadlock a recursive read nor apply the plan to a swapped map.
+    pub fn maybe_rebalance(&self, max_skew: f64) -> Result<Option<PartitionMap>, TgsError> {
+        let mut fleet = self.fleet_mut();
+        if fleet.map.shards() < 2 {
+            // With one shard the skew statistic is identically 1;
+            // there is no imbalance to detect yet.
+            return Ok(None);
+        }
+        if Self::skew_of(&self.shard_loads_of(&fleet)) <= max_skew {
+            return Ok(None);
+        }
+        let Some(plan) = self.split_plan(&fleet.map) else {
+            return Ok(None);
+        };
+        self.rebalance_locked(&mut fleet, &plan).map(Some)
+    }
+
+    /// Builds the hottest-shard split plan behind
+    /// [`ShardedEngine::maybe_rebalance`].
+    fn split_plan(&self, map: &PartitionMap) -> Option<RepartitionPlan> {
+        let counts = self.doc_counts.lock();
+        let starts = map.starts();
+        let per_shard: Vec<u64> = (0..map.shards())
+            .map(|s| {
+                let lo = starts[s];
+                let hi = starts.get(s + 1).copied().unwrap_or(usize::MAX);
+                counts.range(lo..hi).map(|(_, &c)| c).sum()
+            })
+            .collect();
+        let hot = per_shard
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(s, _)| s)?;
+        let lo = starts[hot];
+        let hi_raw = starts.get(hot + 1).copied().unwrap_or(usize::MAX);
+        // The split boundary must be strictly inside (lo, min(hi, universe)).
+        let hi_valid = hi_raw.min(map.universe());
+        let half = per_shard[hot] / 2;
+        let mut acc = 0u64;
+        let mut at = None;
+        for (&user, &c) in counts.range(lo..hi_raw) {
+            acc += c;
+            if acc >= half.max(1) {
+                // Prefer splitting *after* the crossing user (they stay
+                // on the left half); when that boundary is out of range
+                // — the hot user is the shard's last in-range id — fall
+                // back to splitting *before* them, isolating the hot
+                // user on the right half instead of giving up.
+                let after = user + 1;
+                if after > lo && after < hi_valid {
+                    at = Some(after);
+                } else if user > lo && user < hi_valid {
+                    at = Some(user);
+                }
+                break;
+            }
+        }
+        at.map(|at| RepartitionPlan::single(RepartitionOp::Split { shard: hot, at }))
+    }
+
+    /// Drains every queue and serializes the whole fleet: a validated v2
+    /// header (explicit partition map + ghost flag) followed by each
     /// worker's [`EngineCheckpoint`] section.
     pub fn checkpoint(&self) -> Result<ShardedCheckpoint, TgsError> {
-        let mut sections = Vec::with_capacity(self.workers.len());
-        for worker in &self.workers {
+        let fleet = self.fleet();
+        let mut sections = Vec::with_capacity(fleet.workers.len());
+        for worker in &fleet.workers {
             sections.push(worker.checkpoint()?);
         }
-        let mut buf =
-            BytesMut::with_capacity(64 + sections.iter().map(|s| s.len() + 8).sum::<usize>());
-        buf.put_slice(SHARD_MAGIC);
-        buf.put_u64_le(self.workers.len() as u64);
-        buf.put_u64_le(self.partitioner.universe() as u64);
-        buf.put_u64_le(self.partitioner.stride() as u64);
-        buf.put_u64_le(self.partitioner.fingerprint());
+        let mut buf = BytesMut::with_capacity(
+            64 + 8 * fleet.map.shards() + sections.iter().map(|s| s.len() + 8).sum::<usize>(),
+        );
+        buf.put_slice(SHARD_MAGIC_V2);
+        buf.put_u64_le(fleet.map.shards() as u64);
+        buf.put_u64_le(fleet.map.universe() as u64);
+        buf.put_slice(&[self.ghost_mode as u8]);
+        for &start in fleet.map.starts() {
+            buf.put_u64_le(start as u64);
+        }
+        buf.put_u64_le(fleet.map.fingerprint());
         for section in &sections {
             buf.put_u64_le(section.len() as u64);
             buf.put_slice(section.as_bytes());
@@ -345,36 +616,44 @@ impl ShardedEngine {
         })
     }
 
-    /// Rebuilds a fleet from a multi-shard checkpoint. The header's shard
-    /// count and partitioner parameters are validated against each other
-    /// (and the fingerprint) before any section decodes, so a restore can
-    /// never silently re-route users.
+    /// Rebuilds a fleet from a multi-shard checkpoint (either format
+    /// version). The header's shard count, partition boundaries and
+    /// fingerprint are validated against each other before any section
+    /// decodes, so a restore can never silently re-route users. v1
+    /// headers restore with the equivalent explicit map and ghost mode
+    /// off (the v1 fleets always dropped cross-shard edges).
     pub fn restore(ckpt: &ShardedCheckpoint) -> Result<Self, TgsError> {
-        let (partitioner, sections) = decode_header(&ckpt.bytes)?;
-        let workers = sections
+        let header = decode_header(&ckpt.bytes)?;
+        let workers = header
+            .sections
             .into_iter()
             .map(|raw| SentimentEngine::restore(&EngineCheckpoint::from_bytes(raw)))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self::start(partitioner, workers))
+        Ok(Self::start(header.map, workers, header.ghost_mode))
     }
 
-    /// Restores either checkpoint flavor from raw bytes: a multi-shard
-    /// stream rebuilds the fleet; a single-engine [`EngineCheckpoint`]
-    /// stream is wrapped as a one-shard fleet (the router is then the
-    /// identity). This is what `tgs query` serves from.
+    /// Restores any checkpoint flavor from raw bytes: a multi-shard
+    /// stream (v1 or v2) rebuilds the fleet; a single-engine
+    /// [`EngineCheckpoint`] stream is wrapped as a one-shard fleet (the
+    /// router is then the identity). This is what `tgs query` serves
+    /// from.
     pub fn restore_any(data: Vec<u8>) -> Result<Self, TgsError> {
         if ShardedCheckpoint::sniff(&data) {
             return Self::restore(&ShardedCheckpoint::from_bytes(data));
         }
         let worker = SentimentEngine::restore(&EngineCheckpoint::from_bytes(data))?;
-        Ok(Self::start(UserRangePartitioner::new(1, 1), vec![worker]))
+        Ok(Self::start(PartitionMap::even(1, 1), vec![worker], false))
     }
 
     /// Drains every queue and stops all workers, surfacing the first
     /// pending ingest failure instead of discarding it.
     pub fn shutdown(self) -> Result<(), TgsError> {
         let outcome = self.flush();
-        for worker in self.workers {
+        let fleet = self
+            .inner
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        for worker in fleet.workers {
             // Queues are already drained; shutdown only joins the worker
             // (and would re-surface the same failure we already hold).
             let _ = worker.shutdown();
@@ -383,30 +662,197 @@ impl ShardedEngine {
     }
 }
 
-/// Read handle over a [`ShardedEngine`]'s merged history.
-#[derive(Clone)]
-pub struct ShardedQuery {
-    partitioner: UserRangePartitioner,
-    queries: Vec<EngineQuery>,
+/// Runs both rebalance phases against a (map, workers) pair that the
+/// caller restores into the fleet regardless of outcome.
+///
+/// Phase A — topology. The worker vec evolves in lockstep with the map,
+/// one delta at a time, so worker identity follows the operator's
+/// intent: a boundary move keeps both workers (only users migrate, in
+/// phase B); a split keeps the left half's worker and spawns a cold
+/// sibling for the right; a merge absorbs the right worker's recorded
+/// state into the left and retires it. Workers mutate *before* the map
+/// advances (with the merge's removal rolled back on absorb failure),
+/// so `cur_map.shards() == workers.len()` holds at every exit point.
+///
+/// Phase B — user migration. For every shard's new range, pull matching
+/// users from every other worker; exports of ranges a worker never held
+/// are empty and free, so this is correct for any combination of deltas
+/// without tracking provenance.
+fn apply_plan(
+    plan: &RepartitionPlan,
+    new_map: &PartitionMap,
+    cur_map: &mut PartitionMap,
+    workers: &mut Vec<SentimentEngine>,
+) -> Result<(), TgsError> {
+    let mut retired_workers = Vec::new();
+    for op in &plan.ops {
+        match *op {
+            RepartitionOp::Split { shard, .. } => {
+                let sibling = workers[shard].spawn_sibling()?;
+                workers.insert(shard + 1, sibling);
+            }
+            RepartitionOp::Merge { left } => {
+                let retired = workers.remove(left + 1);
+                if let Err(e) = workers[left].absorb(&retired) {
+                    workers.insert(left + 1, retired);
+                    return Err(e);
+                }
+                retired_workers.push(retired);
+            }
+            RepartitionOp::MoveBoundary { .. } => {}
+        }
+        *cur_map = RepartitionPlan::single(*op)
+            .apply(cur_map)
+            .expect("whole plan validated before phase A");
+    }
+    debug_assert_eq!(cur_map, new_map);
+
+    let starts = new_map.starts();
+    for (j, &lo) in starts.iter().enumerate() {
+        let hi = starts.get(j + 1).copied().unwrap_or(usize::MAX);
+        for i in 0..workers.len() {
+            if i == j {
+                continue;
+            }
+            let moved = workers[i].export_user_range(lo, hi);
+            if moved.len() > 0 {
+                if let Err((e, moved_back)) = workers[j].import_user_range(moved) {
+                    // Restore the exported state to its source (which
+                    // just released these users, so re-import cannot
+                    // collide) before surfacing the error: a rejected
+                    // migration must never destroy user history.
+                    workers[i]
+                        .import_user_range(moved_back)
+                        .map_err(|(e2, _)| e2)?;
+                    return Err(e);
+                }
+            }
+        }
+    }
+    // Retired merge workers join only once every delta landed, so an
+    // error above never leaves the map and worker vec out of step. The
+    // fleet was quiesced before the plan ran, so these shutdown flushes
+    // have nothing pending to surface.
+    for retired in retired_workers {
+        retired.shutdown()?;
+    }
+    Ok(())
 }
 
-/// Folds shard `b` into the merged entry `a` (same timestamp).
-fn merge_entries(a: &mut TimelineEntry, b: &TimelineEntry) {
-    a.tweets += b.tweets;
-    a.users += b.users;
-    a.new_users += b.new_users;
-    a.evolving_users += b.evolving_users;
-    // The slowest shard gates the step; convergence means *every* shard
-    // converged; objectives are additive across disjoint shards.
-    a.iterations = a.iterations.max(b.iterations);
-    a.converged &= b.converged;
-    a.objective += b.objective;
-    for (x, y) in a.tweet_counts.iter_mut().zip(&b.tweet_counts) {
-        *x += y;
+/// Flushes every worker, reporting the first failure after draining all.
+fn flush_fleet(fleet: &Fleet) -> Result<(), TgsError> {
+    let mut first_err = None;
+    for worker in &fleet.workers {
+        // Drain every worker even after a failure so the router never
+        // leaves queues half-processed.
+        if let Err(e) = worker.flush() {
+            first_err.get_or_insert(e);
+        }
     }
-    for (x, y) in a.user_counts.iter_mut().zip(&b.user_counts) {
-        *x += y;
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
+}
+
+fn steps_of(fleet: &Fleet) -> u64 {
+    let mut seen = BTreeSet::new();
+    for worker in &fleet.workers {
+        seen.extend(worker.query().timestamps());
+    }
+    seen.len() as u64
+}
+
+/// Splits one snapshot into per-shard snapshots: documents follow their
+/// author's shard; re-tweets follow their document; cross-shard
+/// re-tweets are dropped (drop mode) or kept with their user attached as
+/// a ghost seed (ghost mode — this quiesces the fleet to sample each
+/// ghost's committed factor from its owning worker). Returns the
+/// sub-snapshots, the dropped count, the ghost-edge count, and the
+/// authors (for load accounting); the caller commits the counters only
+/// once the snapshot is accepted.
+#[allow(clippy::type_complexity)]
+fn split(
+    fleet: &Fleet,
+    ghost_mode: bool,
+    snapshot: EngineSnapshot,
+) -> Result<(Vec<EngineSnapshot>, usize, usize, Vec<usize>), TgsError> {
+    let EngineSnapshot {
+        timestamp,
+        docs,
+        retweets,
+        ghosts,
+    } = snapshot;
+    if !ghosts.is_empty() {
+        // Ghost seeds are the router's output, not its input: silently
+        // recomputing them would discard whatever the producer thought
+        // they were injecting.
+        return Err(TgsError::invalid_argument(
+            "snapshots ingested through the sharded router must leave `ghosts` \
+             empty; the router derives ghost seeds from its own routing",
+        ));
+    }
+    let n = docs.len();
+    for r in &retweets {
+        if r.doc >= n {
+            return Err(TgsError::invalid_argument(format!(
+                "retweet references document {} but the snapshot has {n}",
+                r.doc
+            )));
+        }
+    }
+    let authors: Vec<usize> = docs.iter().map(|d| d.user).collect();
+    let events: Vec<(usize, usize)> = retweets.iter().map(|r| (r.user, r.doc)).collect();
+    let routing = if ghost_mode {
+        route_docs_ghost(&fleet.map, &authors, &events)
+    } else {
+        route_docs(&fleet.map, &authors, &events)
+    };
+    let mut shards: Vec<EngineSnapshot> = (0..fleet.map.shards())
+        .map(|_| EngineSnapshot::new(timestamp))
+        .collect();
+    for (doc, &shard) in docs.into_iter().zip(routing.doc_shard.iter()) {
+        shards[shard].docs.push(doc);
+    }
+    for (shard, events) in routing.shard_retweets.iter().enumerate() {
+        shards[shard].retweets = events
+            .iter()
+            .map(|&(user, doc)| EngineRetweet { user, doc })
+            .collect();
+    }
+    if routing.ghost_edges > 0 {
+        // Quiesce so every ghost factor reflects the owners' committed
+        // state — the sampled exchange is then a pure function of the
+        // stream prefix, independent of queue timing.
+        flush_fleet(fleet)?;
+        let k = fleet.workers[0].config().k;
+        for (shard, ghost_users) in routing.shard_ghosts.iter().enumerate() {
+            shards[shard].ghosts = ghost_users
+                .iter()
+                .map(|&user| {
+                    let owner = fleet.map.shard_of(user);
+                    let factor = fleet.workers[owner]
+                        .user_factor(user)
+                        .unwrap_or_else(|| vec![1.0 / k as f64; k]);
+                    (user, factor)
+                })
+                .collect();
+        }
+    }
+    Ok((
+        shards,
+        routing.dropped_retweets,
+        routing.ghost_edges,
+        authors,
+    ))
+}
+
+/// Read handle over a [`ShardedEngine`]'s merged history. Snapshots the
+/// topology at creation; see [`ShardedEngine::query`].
+#[derive(Clone)]
+pub struct ShardedQuery {
+    map: PartitionMap,
+    queries: Vec<EngineQuery>,
 }
 
 impl ShardedQuery {
@@ -418,6 +864,11 @@ impl ShardedQuery {
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.queries.len()
+    }
+
+    /// The partition map this handle routes per-user queries with.
+    pub fn map(&self) -> &PartitionMap {
+        &self.map
     }
 
     /// Merged timeline entries whose timestamp falls in `range`,
@@ -433,7 +884,7 @@ impl ShardedQuery {
                         slot.insert(entry);
                     }
                     std::collections::btree_map::Entry::Occupied(mut slot) => {
-                        merge_entries(slot.get_mut(), &entry);
+                        slot.get_mut().merge_from(&entry);
                     }
                 }
             }
@@ -454,16 +905,17 @@ impl ShardedQuery {
     /// The user's sentiment as of `at`, answered by the shard that owns
     /// the user (shard-transparent: callers never see the routing).
     pub fn user_sentiment(&self, user: usize, at: u64) -> Result<UserSentiment, TgsError> {
-        self.queries[self.partitioner.shard_of(user)].user_sentiment(user, at)
+        self.queries[self.map.shard_of(user)].user_sentiment(user, at)
     }
 
     /// Every recorded observation for the user, ascending by timestamp.
     pub fn user_timeline(&self, user: usize) -> Result<Vec<(u64, Vec<f64>)>, TgsError> {
-        self.queries[self.partitioner.shard_of(user)].user_timeline(user)
+        self.queries[self.map.shard_of(user)].user_timeline(user)
     }
 
     /// Users with recorded history across all shards (shards are
-    /// user-disjoint, so the sum never double-counts).
+    /// user-disjoint — ghost rows are never recorded — so the sum never
+    /// double-counts).
     pub fn known_users(&self) -> usize {
         self.queries.iter().map(EngineQuery::known_users).sum()
     }
@@ -567,6 +1019,13 @@ mod tests {
         let words = query.top_words(timeline[0].timestamp, 5).unwrap();
         assert_eq!(words.len(), 3);
         assert!(words.iter().all(|c| !c.is_empty()));
+        // Load accounting covers every routed document.
+        let loads = engine.shard_loads();
+        assert_eq!(
+            loads.iter().map(|l| l.tweets).sum::<u64>(),
+            c.num_tweets() as u64
+        );
+        assert!(engine.load_skew() >= 1.0);
     }
 
     #[test]
@@ -580,6 +1039,7 @@ mod tests {
 
         let restored = ShardedEngine::restore(&ckpt).unwrap();
         assert_eq!(restored.shards(), 2);
+        assert_eq!(restored.map(), engine.map());
         assert_eq!(restored.query().timeline(..), engine.query().timeline(..));
         // Restored fleet keeps solving bit-identically.
         let extra = EngineSnapshot::from_corpus_window(&c, 0, c.num_days);
@@ -600,14 +1060,16 @@ mod tests {
         let engine = sharded(&c, 2);
         stream(&engine, &c);
         let full = engine.checkpoint().unwrap().as_bytes().to_vec();
-        // Shard count flipped: partitioner fingerprint no longer matches.
+        // Shard count flipped: starts list length / fingerprint no longer
+        // match.
         let mut wrong_shards = full.clone();
         wrong_shards[8..16].copy_from_slice(&3u64.to_le_bytes());
         assert!(ShardedEngine::restore(&ShardedCheckpoint::from_bytes(wrong_shards)).is_err());
-        // Universe flipped: same.
-        let mut wrong_universe = full.clone();
-        wrong_universe[16..24].copy_from_slice(&7u64.to_le_bytes());
-        assert!(ShardedEngine::restore(&ShardedCheckpoint::from_bytes(wrong_universe)).is_err());
+        // A boundary flipped: fingerprint mismatch.
+        let mut wrong_start = full.clone();
+        // Layout: magic(8) + shards(8) + universe(8) + ghost(1) + starts.
+        wrong_start[25 + 8..25 + 16].copy_from_slice(&7u64.to_le_bytes());
+        assert!(ShardedEngine::restore(&ShardedCheckpoint::from_bytes(wrong_start)).is_err());
         // Truncated section.
         let cut = full.len() - 9;
         assert!(
@@ -649,7 +1111,49 @@ mod tests {
             // The synthetic corpus re-tweets across the user range, so 4
             // shards must drop at least one edge.
             assert!(engine.dropped_cross_shard() > 0);
+            assert_eq!(engine.ghost_edges(), 0, "drop mode has no ghosts");
         }
+    }
+
+    #[test]
+    fn ghost_mode_keeps_every_cross_shard_retweet() {
+        let c = corpus();
+        let engine = EngineBuilder::new()
+            .k(3)
+            .max_iters(8)
+            .ghost_users(true)
+            .fit_sharded(&c, 4)
+            .expect("valid build");
+        stream(&engine, &c);
+        assert_eq!(engine.dropped_cross_shard(), 0, "ghost mode drops nothing");
+        assert!(
+            engine.ghost_edges() > 0,
+            "the corpus re-tweets across shards"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.dropped_cross_shard, 0);
+        assert_eq!(stats.ghost_edges, engine.ghost_edges());
+        // Ghost rows never leak into ownership: the fleet-wide known-user
+        // total (a sum over shards) equals the count of users answering
+        // through owner routing — a ghost recorded on a foreign shard
+        // would inflate the sum. (A user whose *only* activity is a
+        // cross-shard re-tweet is withheld everywhere — the ghost row is
+        // prescribed, not owned — so the total is bounded by, and may
+        // fall below, an unsharded run's.)
+        let query = engine.query();
+        let routed = (0..c.num_users())
+            .filter(|&u| query.user_timeline(u).is_ok())
+            .count();
+        assert_eq!(query.known_users(), routed, "history only with the owner");
+        // Determinism: an identical ghost-mode run is byte-identical.
+        let twin = EngineBuilder::new()
+            .k(3)
+            .max_iters(8)
+            .ghost_users(true)
+            .fit_sharded(&c, 4)
+            .unwrap();
+        stream(&twin, &c);
+        assert_eq!(twin.query().timeline(..), engine.query().timeline(..));
     }
 
     #[test]
@@ -659,9 +1163,10 @@ mod tests {
         // the router must reject it synchronously.
         let c = corpus();
         let engine = sharded(&c, 2);
+        let map = engine.map();
         let shard_user = |shard: usize| {
             (0..c.num_users())
-                .find(|&u| engine.partitioner().shard_of(u) == shard)
+                .find(|&u| map.shard_of(u) == shard)
                 .expect("both shards own users")
         };
         let mut first = EngineSnapshot::new(5);

@@ -72,6 +72,15 @@ pub struct EngineSnapshot {
     pub docs: Vec<EngineDoc>,
     /// Re-tweet events among [`EngineSnapshot::docs`].
     pub retweets: Vec<EngineRetweet>,
+    /// Ghost seeds (multi-shard ghost-user protocol): `(global user,
+    /// carried sentiment factor)` for users of *other* shards who appear
+    /// here only through a cross-shard re-tweet edge. Ghost rows
+    /// warm-start from (and are regularized toward) the carried factor
+    /// and are excluded from this engine's per-user history — the owning
+    /// shard records them. Producers ingesting directly into a
+    /// [`crate::SentimentEngine`] leave this empty; the
+    /// [`crate::ShardedEngine`] router fills it during fan-out.
+    pub ghosts: Vec<(usize, Vec<f64>)>,
 }
 
 impl EngineSnapshot {
@@ -142,6 +151,7 @@ impl EngineSnapshot {
             timestamp: lo as u64,
             docs,
             retweets,
+            ghosts: Vec::new(),
         }
     }
 }

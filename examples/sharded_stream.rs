@@ -1,11 +1,14 @@
-//! Sharded streaming demo: fan a daily stream across a fleet of
-//! user-range shard workers, watch the backpressure metrics, then
-//! checkpoint the whole fleet and serve queries from the restored copy.
+//! Sharded streaming demo: fan a daily stream across an elastic fleet
+//! of user-range shard workers — ghost rows keep every cross-shard
+//! re-tweet edge, a live rebalance moves a shard boundary mid-stream —
+//! then checkpoint the whole fleet and serve queries from the restored
+//! copy.
 //!
 //! ```text
 //! cargo run --release --example sharded_stream
 //! ```
 
+use tripartite_sentiment::data::{RepartitionOp, RepartitionPlan};
 use tripartite_sentiment::prelude::*;
 
 fn main() -> Result<(), TgsError> {
@@ -19,14 +22,38 @@ fn main() -> Result<(), TgsError> {
 
     // One engine worker per user-range shard; documents follow their
     // author's shard, the word axis stays global. `--shards 1` would be
-    // bit-identical to the unsharded SentimentEngine.
+    // bit-identical to the unsharded SentimentEngine. Ghost mode keeps
+    // cross-shard re-tweet edges instead of dropping them.
     let shards = 4;
     let engine = EngineBuilder::new()
         .k(3)
         .max_iters(15)
+        .ghost_users(true)
         .fit_sharded(&corpus, shards)?;
 
-    for (lo, hi) in day_windows(corpus.num_days, 1) {
+    let windows = day_windows(corpus.num_days, 1);
+    let (head, tail) = windows.split_at(windows.len() / 2);
+    for &(lo, hi) in head {
+        engine.ingest(EngineSnapshot::from_corpus_window(&corpus, lo, hi))?;
+    }
+    engine.flush()?;
+
+    // Live rebalance mid-stream: move the first boundary a few users to
+    // the right. The affected users' history migrates losslessly (a
+    // plan plus its inverse would be byte-identical to never
+    // rebalancing); `--max-skew` automates this from load statistics.
+    let b1 = engine.map().starts()[1];
+    let new_map = engine.rebalance(&RepartitionPlan::single(RepartitionOp::MoveBoundary {
+        boundary: 1,
+        to: b1 + 5,
+    }))?;
+    println!(
+        "rebalanced mid-stream: boundaries now {:?} (skew {:.2})",
+        new_map.starts(),
+        engine.load_skew()
+    );
+
+    for &(lo, hi) in tail {
         engine.ingest(EngineSnapshot::from_corpus_window(&corpus, lo, hi))?;
     }
     let steps = engine.flush()?;
@@ -34,10 +61,11 @@ fn main() -> Result<(), TgsError> {
     println!(
         "streamed {steps} snapshots over {shards} shards \
          (ingested {} shard-slices, slowest step {:.2} ms, \
-         {} cross-shard retweets dropped)",
+         {} ghost edges kept, {} cross-shard retweets dropped)",
         stats.ingested,
         stats.last_step_ns as f64 / 1e6,
-        engine.dropped_cross_shard(),
+        stats.ghost_edges,
+        stats.dropped_cross_shard,
     );
 
     // Queries fan in: merged timeline, shard-transparent user lookups.

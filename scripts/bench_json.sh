@@ -13,6 +13,12 @@
 # results are bit-identical across tiers, the series records the speed
 # delta only) and `online_step_rebind/{cold,amortized}` (per-snapshot
 # `UpdateWorkspace::bind` cost, throwaway vs fingerprint-amortized).
+# PR 5 added `sharded_offline_solve/zipf_skew/4` (an activity-skewed
+# corpus under an even 4-way split: the hottest shard gates the
+# iteration — the case `tgs stream --max-skew` exists to fix) and
+# `sharded_rebalance/move_roundtrip_users/{25,100,400}` (a live
+# boundary-move rebalance and its inverse on a warmed 4-shard fleet:
+# two quiesces + two export/import migrations of that many users).
 #
 # Usage:
 #   ./scripts/bench_json.sh           # full regeneration (commit these)

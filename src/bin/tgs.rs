@@ -4,9 +4,10 @@
 //! tgs generate --preset prop30-small --seed 42 --out corpus.tsv
 //! tgs analyze  --corpus corpus.tsv [--k 3 --alpha 0.05 --beta 0.8] --out sentiments.tsv
 //! tgs stream   --corpus corpus.tsv [--window-days 1 --gamma 0.2 --shards 4] \
+//!              [--ghost-users] [--max-skew 1.5] \
 //!              --out timeline.tsv [--checkpoint engine.ckpt] [--stats]
 //! tgs query    --checkpoint engine.ckpt (--timeline LO..HI | --user U [--at T] |
-//!              --summary T | --top-words T [--words N])
+//!              --summary T | --top-words T [--words N] | --shard-info)
 //! tgs stats    --corpus corpus.tsv
 //! ```
 //!
@@ -14,11 +15,16 @@
 //! [`ShardedEngine`] router (`--shards N` user-range shards, each its own
 //! [`SentimentEngine`] worker; `--shards 1` is bit-identical to the
 //! single-engine path) and can persist the whole session as a
-//! checkpoint; `query` restores either checkpoint flavor and serves the
-//! history API (`timeline`, `user`, `summary`, `top-words`) without
-//! re-solving anything. `--stats` surfaces the ingest/backpressure
-//! metrics. Every subcommand accepts `--help`, all flags are declared in
-//! one table, and every failure is a typed [`TgsError`].
+//! checkpoint. `--ghost-users` keeps cross-shard re-tweet edges as ghost
+//! rows (nothing dropped); `--max-skew X` turns the topology elastic —
+//! when the routed tweet-count skew exceeds `X`, the hottest shard is
+//! split at its load midpoint by a live rebalance. `query` restores any
+//! checkpoint flavor (single-engine, v1 stride-map, v2 elastic) and
+//! serves the history API (`timeline`, `user`, `summary`, `top-words`,
+//! `shard-info`) without re-solving anything. `--stats` surfaces the
+//! ingest/backpressure metrics plus per-shard load and skew. Every
+//! subcommand accepts `--help`, all flags are declared in one table, and
+//! every failure is a typed [`TgsError`].
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -147,6 +153,15 @@ const COMMANDS: &[CommandSpec] = &[
                 "1",
                 "user-range shards (one engine worker per shard)",
             ),
+            switch(
+                "ghost-users",
+                "keep cross-shard retweets as ghost rows instead of dropping them",
+            ),
+            maybe(
+                "max-skew",
+                "X",
+                "auto-split the hottest shard when tweet-count skew exceeds X (e.g. 1.5)",
+            ),
             req("out", "PATH", "output timeline file"),
             maybe(
                 "checkpoint",
@@ -183,6 +198,10 @@ const COMMANDS: &[CommandSpec] = &[
                 "print each cluster's top features at snapshot T",
             ),
             opt("words", "N", "8", "feature count for --top-words"),
+            switch(
+                "shard-info",
+                "print the fleet's partition map and per-shard state",
+            ),
         ],
         run: cmd_query,
     },
@@ -468,12 +487,35 @@ fn cmd_stream(flags: &Flags) -> Result<(), TgsError> {
         ..Default::default()
     };
     let shards: usize = flags.get("shards")?;
+    let ghost_users = flags.str_opt("ghost-users").is_some();
+    let max_skew: Option<f64> = flags.get_opt("max-skew")?;
+    if let Some(x) = max_skew {
+        if x.is_nan() || x < 1.0 {
+            return Err(TgsError::invalid_argument(
+                "--max-skew must be >= 1.0 (1.0 = perfectly even load)",
+            ));
+        }
+    }
     let engine = EngineBuilder::new()
         .online(config)
         .pipeline(pipeline())
+        .ghost_users(ghost_users)
         .fit_sharded(&corpus, shards)?;
+    let mut rebalances = 0usize;
     for (lo, hi) in day_windows(corpus.num_days, window) {
         engine.ingest(EngineSnapshot::from_corpus_window(&corpus, lo, hi))?;
+        if let Some(x) = max_skew {
+            // The auto-trigger inspects router-side load counters (no
+            // flush needed); an actual rebalance quiesces the fleet.
+            if let Some(map) = engine.maybe_rebalance(x)? {
+                rebalances += 1;
+                eprintln!(
+                    "rebalanced: skew exceeded {x}; now {} shards (boundaries {:?})",
+                    map.shards(),
+                    map.starts()
+                );
+            }
+        }
     }
     let steps = engine.flush()?;
 
@@ -505,20 +547,38 @@ fn cmd_stream(flags: &Flags) -> Result<(), TgsError> {
         )
         .map_err(write_err)?;
     }
-    eprintln!("processed {steps} snapshots across {shards} shard(s); wrote timeline to {out_path}");
+    let final_shards = engine.shards();
+    eprintln!(
+        "processed {steps} snapshots across {final_shards} shard(s){}; wrote timeline to {out_path}",
+        if rebalances > 0 {
+            format!(" after {rebalances} rebalance(s)")
+        } else {
+            String::new()
+        }
+    );
 
     if flags.str_opt("stats").is_some() {
         let s = engine.stats();
         eprintln!(
             "stats: queued {} | ingested {} | dropped_capacity {} | last_step {:.3} ms | \
-             cross-shard retweets dropped {} | simd {}",
+             ghost edges {} | cross-shard retweets dropped {} | simd {}",
             s.queued,
             s.ingested,
             s.dropped_capacity,
             s.last_step_ns as f64 / 1e6,
-            engine.dropped_cross_shard(),
+            s.ghost_edges,
+            s.dropped_cross_shard,
             s.simd,
         );
+        let loads = engine.shard_loads();
+        let skew = engine.load_skew();
+        for l in &loads {
+            eprintln!(
+                "shard {}: users [{}, {}) | {} tweets | {} known users",
+                l.shard, l.range.0, l.range.1, l.tweets, l.users
+            );
+        }
+        eprintln!("load skew: {skew:.3} (hottest shard over per-shard mean)");
     }
 
     if let Some(path) = flags.str_opt("checkpoint") {
@@ -526,7 +586,7 @@ fn cmd_stream(flags: &Flags) -> Result<(), TgsError> {
         std::fs::write(path, ckpt.as_bytes())
             .map_err(|e| TgsError::io(format!("cannot write {path}"), e))?;
         eprintln!(
-            "checkpointed the {shards}-shard engine session ({} bytes) to {path}",
+            "checkpointed the {final_shards}-shard engine session ({} bytes) to {path}",
             ckpt.len()
         );
     }
@@ -541,6 +601,30 @@ fn cmd_query(flags: &Flags) -> Result<(), TgsError> {
     let engine = ShardedEngine::restore_any(bytes)?;
     let query = engine.query();
 
+    if flags.str_opt("shard-info").is_some() {
+        let map = engine.map();
+        println!(
+            "{} shard(s) over {} users | ghost mode {} | map fingerprint {:#018x}",
+            map.shards(),
+            map.universe(),
+            if engine.ghost_mode() { "on" } else { "off" },
+            map.fingerprint(),
+        );
+        for load in engine.shard_loads() {
+            let (lo, hi) = load.range;
+            println!(
+                "shard {}: users [{lo}, {hi}){} | {} known users",
+                load.shard,
+                if load.shard + 1 == map.shards() {
+                    " + overflow ids"
+                } else {
+                    ""
+                },
+                load.users,
+            );
+        }
+        return Ok(());
+    }
     if let Some(range) = flags.str_opt("timeline") {
         let (lo, hi) = parse_range(range)?;
         for entry in query.timeline(lo..hi) {
