@@ -252,6 +252,123 @@ fn bench_dense_small(c: &mut Criterion) {
     c.bench_function("kxk_matmul", |b| b.iter(|| black_box(a.matmul(&b2))));
 }
 
+/// The spawn-overhead A/B behind the PR 6 worker pool: the same
+/// row-chunked dispatch (2 chunks, near-trivial per-row body) issued
+/// through the persistent pool vs through a fresh `std::thread::scope`
+/// spawn per call — the pre-pool implementation. The per-row work is
+/// kept tiny so the series prices *dispatch* (queue hand-off + futex
+/// wake vs pthread create/join), which is what every below-threshold
+/// kernel call used to pay.
+fn bench_pool_overhead(c: &mut Criterion) {
+    use tgs_linalg::parallel::for_each_row_chunk;
+    use tgs_linalg::{set_parallel_work_threshold, set_pool_threads_override};
+
+    let mut group = c.benchmark_group("pool_overhead");
+    let prev_t = set_pool_threads_override(Some(2));
+    let prev_w = set_parallel_work_threshold(1);
+    for &rows in &[1_000usize, 10_000, 100_000] {
+        let width = 3usize;
+        let mut buf = vec![0.0f64; rows * width];
+        let body = |first_row: usize, chunk: &mut [f64]| {
+            for (local, out_row) in chunk.chunks_exact_mut(width).enumerate() {
+                let r = (first_row + local) as f64;
+                for v in out_row.iter_mut() {
+                    *v = r * 0.5 + 1.0;
+                }
+            }
+        };
+        group.bench_with_input(BenchmarkId::new("pooled", rows), &rows, |b, _| {
+            b.iter(|| {
+                for_each_row_chunk(rows, usize::MAX, &mut buf, width, body);
+                black_box(buf[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scoped_spawn", rows), &rows, |b, _| {
+            b.iter(|| {
+                // the pre-pool dispatch: fresh OS threads per call, same
+                // 2-chunk boundaries
+                let rows_per_chunk = rows.div_ceil(2);
+                std::thread::scope(|s| {
+                    for (ci, chunk) in buf.chunks_mut(rows_per_chunk * width).enumerate() {
+                        s.spawn(move || body(ci * rows_per_chunk, chunk));
+                    }
+                });
+                black_box(buf[0])
+            })
+        });
+    }
+    set_parallel_work_threshold(prev_w);
+    set_pool_threads_override(prev_t);
+    group.finish();
+}
+
+/// Multi-core scaling of the two row-parallel kernel shapes — the
+/// chunked map (`mult_update`, disjoint row writes) and the blocked
+/// reduction (`gram`, block-ordered partial fold) — at pool budgets
+/// 1/2/4. On a multi-core host these are the kernel scaling curves; on
+/// a single-vCPU host every budget shares one core, so the spread
+/// prices pure pool-dispatch overhead instead (see PERF.md).
+fn bench_thread_scaling(c: &mut Criterion) {
+    use tgs_linalg::{set_parallel_work_threshold, set_pool_threads_override};
+
+    let n = 100_000usize;
+    let mut group = c.benchmark_group("thread_scaling");
+    let prev_w = set_parallel_work_threshold(1);
+    for &threads in &[1usize, 2, 4] {
+        let prev_t = set_pool_threads_override(Some(threads));
+        let m = random_factor(n, 3, 3);
+        group.bench_with_input(BenchmarkId::new("gram_100k", threads), &threads, |b, _| {
+            b.iter(|| black_box(m.gram()))
+        });
+        let num = random_factor(n, 3, 1);
+        let den = random_factor(n, 3, 2);
+        let mut s = random_factor(n, 3, 4);
+        group.bench_with_input(
+            BenchmarkId::new("mult_update_100k", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    mult_update(&mut s, &num, &den);
+                    black_box(s.get(0, 0))
+                })
+            },
+        );
+        set_pool_threads_override(prev_t);
+    }
+    set_parallel_work_threshold(prev_w);
+    group.finish();
+}
+
+/// The `TGS_PREFETCH` sweep: CSR-gather SpMM with the software-prefetch
+/// lookahead forced to 0 (hints off) / 2 / 4 / 8 (default). Distance
+/// never changes the computed bits (asserted in `pool_parity.rs`), so
+/// the series records latency-hiding quality only.
+fn bench_prefetch_sweep(c: &mut Criterion) {
+    use tgs_linalg::set_prefetch_lookahead;
+
+    let n = 40_000usize;
+    let x = random_csr(n, 3_000, 10, 7);
+    let d = random_factor(3_000, 3, 8);
+    let mut out = DenseMatrix::default();
+    let mut group = c.benchmark_group("spmm_prefetch");
+    let prev = set_prefetch_lookahead(Some(8));
+    for &distance in &[0usize, 2, 4, 8] {
+        set_prefetch_lookahead(Some(distance));
+        group.bench_with_input(
+            BenchmarkId::new("mul_dense_into_40k", distance),
+            &distance,
+            |b, _| {
+                b.iter(|| {
+                    x.mul_dense_into(&d, &mut out);
+                    black_box(out.get(0, 0))
+                })
+            },
+        );
+    }
+    set_prefetch_lookahead(Some(prev));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_spmm,
@@ -260,6 +377,9 @@ criterion_group!(
     bench_fused_update,
     bench_simd_kernels,
     bench_objective,
-    bench_dense_small
+    bench_dense_small,
+    bench_pool_overhead,
+    bench_thread_scaling,
+    bench_prefetch_sweep
 );
 criterion_main!(benches);

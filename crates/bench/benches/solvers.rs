@@ -110,6 +110,40 @@ fn bench_sharded_offline(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("zipf_skew", 4), &4, |b, _| {
         b.iter(|| black_box(solve_offline_sharded(&inputs, &cfg)))
     });
+
+    // PR 6 scaling series: the same solves with the worker-pool budget
+    // pinned to 1/2/4 threads (`TGS_THREADS`). Results are bit-identical
+    // at every budget (the pool preserves chunk boundaries and the
+    // block-ordered reduction fold), so the series records wall-clock
+    // only. On a multi-core host this is the multi-core scaling curve;
+    // on a single-vCPU host all budgets share one core and the spread is
+    // pool-dispatch overhead (see PERF.md).
+    let problem = build_offline_sharded(&corpus, 3, 4, &pipeline());
+    let even_inputs: Vec<TriInput> = problem
+        .shards
+        .iter()
+        .map(|s| TriInput {
+            xp: &s.matrices.xp,
+            xu: &s.matrices.xu,
+            xr: &s.matrices.xr,
+            graph: &s.matrices.graph,
+            sf0: &problem.sf0,
+        })
+        .collect();
+    for &threads in &[1usize, 2, 4] {
+        let prev = tgs_linalg::set_pool_threads_override(Some(threads));
+        group.bench_with_input(
+            BenchmarkId::new("10_iters_4shards_threads", threads),
+            &threads,
+            |b, _| b.iter(|| black_box(solve_offline_sharded(&even_inputs, &cfg))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("zipf_skew_4shards_threads", threads),
+            &threads,
+            |b, _| b.iter(|| black_box(solve_offline_sharded(&inputs, &cfg))),
+        );
+        tgs_linalg::set_pool_threads_override(prev);
+    }
     group.finish();
 }
 

@@ -240,27 +240,31 @@ pub fn try_solve_offline_sharded_with_ghosts(
     let mut iterations = 0;
     for it in 0..config.max_iters {
         // --- Parallel shard-local sweeps + objective evaluation ---
-        std::thread::scope(|scope| {
-            for (input, state) in inputs.iter().zip(states.iter_mut()) {
-                if !state.active {
-                    continue;
-                }
-                let (alpha, beta) = (config.alpha, config.beta);
-                scope.spawn(move || {
-                    state.workspace.sweep_offline(
-                        input,
-                        &mut state.factors,
-                        alpha,
-                        beta,
-                        input.sf0,
-                    );
-                    state.cur =
-                        state
-                            .workspace
-                            .objective_offline(input, &state.factors, alpha, beta);
-                });
-            }
+        // One pool task per active shard (replacing a per-iteration
+        // thread spawn); each task takes its shard exactly once from a
+        // claim slot. Shard sweeps are independent, so pooled execution
+        // is bit-identical to the scoped-thread era.
+        let (alpha, beta) = (config.alpha, config.beta);
+        let tasks: Vec<_> = inputs
+            .iter()
+            .zip(states.iter_mut())
+            .filter(|(_, state)| state.active)
+            .map(|pair| std::sync::Mutex::new(Some(pair)))
+            .collect();
+        tgs_linalg::pool_run_tasks(tasks.len(), |i| {
+            let (input, state) = tasks[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("each shard task claimed once");
+            state
+                .workspace
+                .sweep_offline(input, &mut state.factors, alpha, beta, input.sf0);
+            state.cur = state
+                .workspace
+                .objective_offline(input, &state.factors, alpha, beta);
         });
+        drop(tasks);
         iterations = it + 1;
         let cur: f64 = states.iter().map(|s| s.cur.total()).sum();
         if config.track_objective {
@@ -519,22 +523,29 @@ impl ShardedOnlineSolver {
         let window = &self.sf_window;
         let mut results: Vec<Option<Result<OnlineStepResult, TgsError>>> =
             std::iter::repeat_with(|| None).take(data.len()).collect();
-        std::thread::scope(|scope| {
-            for (((solver, d), slot), ghosts) in self
-                .solvers
-                .iter_mut()
-                .zip(data.iter())
-                .zip(results.iter_mut())
-                .zip(ghost_factors.iter())
-            {
-                if d.input.n() == 0 {
-                    continue;
-                }
-                scope.spawn(move || {
-                    *slot = Some(solver.try_step_shared_with_ghosts(d, window, ghosts));
-                });
-            }
+        // One pool task per non-empty shard (replacing a per-step thread
+        // spawn); each task takes its solver exactly once from a claim
+        // slot.
+        let tasks: Vec<_> = self
+            .solvers
+            .iter_mut()
+            .zip(data.iter())
+            .zip(results.iter_mut())
+            .zip(ghost_factors.iter())
+            .filter(|(((_, d), _), _)| d.input.n() > 0)
+            .map(|(((solver, d), slot), ghosts)| {
+                std::sync::Mutex::new(Some((solver, d, slot, ghosts)))
+            })
+            .collect();
+        tgs_linalg::pool_run_tasks(tasks.len(), |i| {
+            let (solver, d, slot, ghosts) = tasks[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("each shard step claimed once");
+            *slot = Some(solver.try_step_shared_with_ghosts(d, window, ghosts));
         });
+        drop(tasks);
         let mut shards = Vec::with_capacity(results.len());
         for slot in results {
             match slot {
@@ -716,6 +727,59 @@ mod tests {
         assert_eq!(result.shards[1].iterations, 0);
         assert!(result.shards[0].iterations > 0);
         assert!(result.objective.is_finite());
+    }
+
+    #[test]
+    fn pooled_threads_preserve_parity_and_survive_contention() {
+        // Regression for the worker-pool migration: forcing a
+        // multi-thread pool budget must not perturb the `shards = 1`
+        // bit-identity guarantee, and two solves hammering the shared
+        // pool from different caller threads must neither deadlock nor
+        // cross-talk. (The pool budget is process-global, but every
+        // kernel is bit-identical at every budget, so flipping it here
+        // cannot perturb concurrently-running tests.)
+        let prev = tgs_linalg::set_pool_threads_override(Some(4));
+        let users: Vec<usize> = (0..8).collect();
+        let (xp, xu, xr, graph, sf0) = instance(&users, 40, 12, 5);
+        let input = TriInput {
+            xp: &xp,
+            xu: &xu,
+            xr: &xr,
+            graph: &graph,
+            sf0: &sf0,
+        };
+        let cfg = offline_config();
+        let single = crate::try_solve_offline(&input, &cfg).unwrap();
+        let sharded = try_solve_offline_sharded(&[input], &cfg).unwrap();
+        assert_eq!(sharded.objective, single.objective);
+        assert_eq!(sharded.iterations, single.iterations);
+        assert_eq!(sharded.shards[0].factors.su, single.factors.su);
+        assert_eq!(sharded.shards[0].factors.sf, single.factors.sf);
+
+        // Contention: the same 2-shard solve from two caller threads at
+        // once must reproduce the solo result on both.
+        let users_b: Vec<usize> = (8..14).collect();
+        let (xp_b, xu_b, xr_b, g_b, _) = instance(&users_b, 26, 12, 8);
+        let input_b = TriInput {
+            xp: &xp_b,
+            xu: &xu_b,
+            xr: &xr_b,
+            graph: &g_b,
+            sf0: &sf0,
+        };
+        let solo = solve_offline_sharded(&[input, input_b], &cfg);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| s.spawn(|| solve_offline_sharded(&[input, input_b], &cfg)))
+                .collect();
+            for h in handles {
+                let got = h.join().expect("concurrent solve must not die");
+                assert_eq!(got.objective, solo.objective, "cross-talk under contention");
+                assert_eq!(got.sf, solo.sf);
+                assert_eq!(got.shards[1].factors.su, solo.shards[1].factors.su);
+            }
+        });
+        tgs_linalg::set_pool_threads_override(prev);
     }
 
     #[test]

@@ -285,8 +285,8 @@ impl UpdateWorkspace {
         // Grams of the factors as they stand at iteration start; Sf's
         // shared products are computed after its own update below. Grams
         // left fresh by the previous iteration's tail — `sp_gram` by the
-        // fused `Sp` rule, `su_gram` by the objective evaluation — are
-        // reused (the recompute would be bit-identical).
+        // fused `Sp` rule, `su_gram` by the fused Su scatter + Gram pass
+        // — are reused (the recompute would be bit-identical).
         if !self.sp_gram_fresh {
             f.sp.gram_into(&mut self.sp_gram);
         }
@@ -304,7 +304,10 @@ impl UpdateWorkspace {
         self.rule_hp(f);
         self.rule_hu(f);
         self.rule_su_online(input, f, beta, gamma, new_rows, evolving_rows, su_target);
-        self.su_gram_fresh = false;
+        // The fused scatter + Gram pass inside the Su rule left `su_gram`
+        // holding the Gram of the updated Su, so the objective (and the
+        // next iteration's sweep) skip their full re-Gram.
+        self.su_gram_fresh = true;
     }
 
     /// Eq. (9) / Eq. (22): `Sp` update. Requires fresh `xp_sf`,
@@ -473,12 +476,40 @@ impl UpdateWorkspace {
         self.base_k.copy_from(&self.k1);
         self.base_k.add_assign(&self.sp_gram);
 
-        self.su_block(f, beta, gamma, new_rows, None, degrees);
-        self.su_block(f, beta, gamma, evolving_rows, Some(su_target), degrees);
+        // The new-user block scatters immediately; the evolving block's
+        // scatter is deferred into one fused full-row-order pass that
+        // also leaves `su_gram` holding the Gram of the **updated** Su.
+        // This closes the gather-order blocker that kept the online Su
+        // rules out of the gram-in-update fusion: the reduction below
+        // runs in full-matrix row order (the order `su_gram` needs),
+        // sourcing the updated evolving rows mid-pass instead of
+        // accumulating a gathered block in gather order.
+        self.su_block(f, beta, gamma, new_rows, None, degrees, true);
+        self.su_block(
+            f,
+            beta,
+            gamma,
+            evolving_rows,
+            Some(su_target),
+            degrees,
+            false,
+        );
+        let mut gram = std::mem::take(&mut self.su_gram);
+        if evolving_rows.is_empty() {
+            // Nothing deferred (blk_su holds the new block, if any);
+            // the pass degenerates to a plain full-matrix Gram.
+            f.su.scatter_rows_with_gram(&[], &DenseMatrix::default(), &mut gram);
+        } else {
+            f.su.scatter_rows_with_gram(evolving_rows, &self.blk_su, &mut gram);
+        }
+        self.su_gram = gram;
     }
 
     /// One `Su` block (Δ per Eq. 24 / Eq. 26), gathered into the block
-    /// buffers, updated, and scattered back into `f.su`.
+    /// buffers and updated; with `scatter` the result is written back
+    /// into `f.su` here, otherwise it stays in `blk_su` for the caller's
+    /// fused scatter + Gram pass.
+    #[allow(clippy::too_many_arguments)]
     fn su_block(
         &mut self,
         f: &mut TriFactors,
@@ -487,6 +518,7 @@ impl UpdateWorkspace {
         rows: &[usize],
         target: Option<&DenseMatrix>,
         degrees: &[f64],
+        scatter: bool,
     ) {
         if rows.is_empty() {
             return;
@@ -534,9 +566,10 @@ impl UpdateWorkspace {
                 &[(beta, &self.blk_g), (gamma, t)],
                 Some((beta, &self.blk_deg)),
                 gamma,
-                // No gram fusion here: the block is a gather over a row
-                // subset, whose fused Gram would accumulate in gather
-                // order — not the full-matrix row order `su_gram` needs.
+                // No gram fusion at the block level: a gathered subset's
+                // fused Gram would accumulate in gather order. The
+                // caller's `scatter_rows_with_gram` pass does the fusion
+                // in full-matrix row order instead.
                 None,
             ),
             None => mult_update_from_parts(
@@ -551,7 +584,9 @@ impl UpdateWorkspace {
                 None,
             ),
         }
-        f.su.scatter_rows_from(rows, &self.blk_su);
+        if scatter {
+            f.su.scatter_rows_from(rows, &self.blk_su);
+        }
     }
 
     /// Fused evaluation of the offline objective (Eq. 1), valid

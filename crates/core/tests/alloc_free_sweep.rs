@@ -204,4 +204,48 @@ fn sweeps_are_allocation_free_after_warmup() {
          allocations vs {short} for 4 iterations — the extra 8 sweeps \
          must be allocation-free"
     );
+
+    // --- pooled dispatch, same contract on the caller side ---
+    //
+    // The persistent worker pool replaced per-call scoped spawns exactly
+    // so parallel dispatch stops allocating: jobs live on the caller's
+    // stack and the queue/scratch buffers are reused. With the work
+    // threshold forced to 1 (every kernel takes its parallel path) and a
+    // multi-thread budget, warmed sweeps must still allocate nothing on
+    // the measuring thread. (Worker threads are excluded by the
+    // thread-local counter, but they run the same allocation-free kernel
+    // bodies.)
+    let prev_threads = tgs_linalg::set_pool_threads_override(Some(2));
+    let prev_threshold = set_parallel_work_threshold(1);
+    let (xp, xu, xr, graph, sf0) = instance();
+    let input = TriInput {
+        xp: &xp,
+        xu: &xu,
+        xr: &xr,
+        graph: &graph,
+        sf0: &sf0,
+    };
+    let mut f = TriFactors::random(80, 30, 40, 3, 17);
+    let mut ws = UpdateWorkspace::new();
+    ws.bind(&input);
+    // Warm-up sizes the workspace buffers AND spawns the pool workers /
+    // sizes the pool's reusable queue and scratch storage.
+    ws.sweep_offline(&input, &mut f, 0.1, 0.5, &sf0);
+    let before = allocations();
+    tracked(|| {
+        for _ in 0..5 {
+            ws.sweep_offline(&input, &mut f, 0.1, 0.5, &sf0);
+        }
+    });
+    let after = allocations();
+    set_parallel_work_threshold(prev_threshold);
+    tgs_linalg::set_pool_threads_override(prev_threads);
+    assert_eq!(
+        after - before,
+        0,
+        "pooled offline sweep allocated {} times after warm-up — pool \
+         dispatch must be allocation-free in steady state",
+        after - before
+    );
+    assert!(f.all_nonnegative(), "pooled sweeps must stay valid");
 }

@@ -63,6 +63,14 @@ impl EngineState {
 enum Command {
     Ingest(EngineSnapshot),
     Sync(mpsc::Sender<()>),
+    /// Asks the worker thread to pin itself to the `set_index`-th of
+    /// `n_sets` disjoint core groups (best effort, `TGS_PIN`-gated) —
+    /// affinity must be set from the thread itself, so the router sends
+    /// it through the queue instead of reaching into the thread.
+    Pin {
+        set_index: usize,
+        n_sets: usize,
+    },
 }
 
 /// Ingest-path counters, shared between producers, the worker thread and
@@ -102,13 +110,21 @@ pub struct EngineStats {
     /// `TGS_SIMD` override) — recorded so bench runs and bug reports
     /// state which code path produced their numbers.
     pub simd: &'static str,
+    /// The worker-pool thread budget the solver kernels run under
+    /// (`tgs_linalg::pool_threads()`: `TGS_THREADS` / detected cores,
+    /// clamped) — process-wide, recorded for the same reason as `simd`.
+    pub threads: u64,
+    /// Whether core pinning is requested (`TGS_PIN`): pool workers take
+    /// a core each and fleet shard workers request disjoint core sets.
+    /// Best-effort — on non-Linux platforms the request is a no-op.
+    pub pinned: bool,
 }
 
 impl EngineStats {
     /// Element-wise accumulation for multi-shard aggregation: counters
     /// sum; `last_step_ns` takes the maximum (the slowest shard gates a
-    /// fan-out step's latency); `simd` is process-wide and carried
-    /// through.
+    /// fan-out step's latency); `simd`, `threads` and `pinned` are
+    /// process-wide and carried through.
     pub fn merge(&self, other: &EngineStats) -> EngineStats {
         EngineStats {
             queued: self.queued + other.queued,
@@ -122,6 +138,8 @@ impl EngineStats {
             } else {
                 self.simd
             },
+            threads: self.threads.max(other.threads),
+            pinned: self.pinned || other.pinned,
         }
     }
 }
@@ -232,6 +250,19 @@ impl SentimentEngine {
             ghost_edges: 0,
             dropped_cross_shard: 0,
             simd: tgs_linalg::simd_tier_name(),
+            threads: tgs_linalg::pool_threads() as u64,
+            pinned: tgs_linalg::pinning_enabled(),
+        }
+    }
+
+    /// Asks this engine's worker thread to pin itself to the
+    /// `set_index`-th of `n_sets` disjoint core groups (best effort,
+    /// gated on `TGS_PIN`; see
+    /// [`tgs_linalg::pin_current_to_core_set`]). Fire-and-forget: the
+    /// request rides the command queue and a closed engine ignores it.
+    pub(crate) fn request_core_set(&self, set_index: usize, n_sets: usize) {
+        if let Some(tx) = self.tx.as_ref() {
+            let _ = tx.try_send(Command::Pin { set_index, n_sets });
         }
     }
 
@@ -547,6 +578,9 @@ fn worker_loop(
             }
             Command::Sync(ack) => {
                 let _ = ack.send(());
+            }
+            Command::Pin { set_index, n_sets } => {
+                let _ = tgs_linalg::pin_current_to_core_set(set_index, n_sets);
             }
         }
     }

@@ -286,6 +286,8 @@ mod tests {
             engine.stats(),
             EngineStats {
                 simd: tgs_linalg::simd_tier_name(),
+                threads: tgs_linalg::pool_threads() as u64,
+                pinned: tgs_linalg::pinning_enabled(),
                 ..EngineStats::default()
             }
         );
@@ -329,6 +331,8 @@ mod tests {
             ghost_edges: 4,
             dropped_cross_shard: 5,
             simd: "",
+            threads: 0,
+            pinned: false,
         });
         assert_eq!(merged.queued, 1);
         assert_eq!(merged.ingested, stats.ingested + 2);
@@ -337,6 +341,8 @@ mod tests {
         assert_eq!(merged.ghost_edges, 4);
         assert_eq!(merged.dropped_cross_shard, 5);
         assert_eq!(merged.simd, stats.simd);
+        assert_eq!(merged.threads, stats.threads, "threads carry through");
+        assert_eq!(merged.pinned, stats.pinned, "pinned carries through");
     }
 
     #[test]

@@ -295,6 +295,7 @@ impl ShardedEngine {
         ghost_mode: bool,
     ) -> Self {
         assert_eq!(workers.len(), map.shards(), "one worker per shard required");
+        assign_core_sets(&workers);
         let ingested = workers
             .iter()
             .flat_map(|w| w.query().timestamps())
@@ -516,6 +517,9 @@ impl ShardedEngine {
         let outcome = apply_plan(plan, &new_map, &mut cur_map, &mut workers);
         fleet.workers = workers;
         fleet.map = cur_map;
+        // The shard count may have changed: re-deal the disjoint core
+        // sets so solver threads stop overlapping (TGS_PIN-gated).
+        assign_core_sets(&fleet.workers);
         outcome.map(|()| fleet.map.clone())
     }
 
@@ -659,6 +663,19 @@ impl ShardedEngine {
             let _ = worker.shutdown();
         }
         outcome.map(|_| ())
+    }
+}
+
+/// Deals the fleet's workers disjoint, near-equal core sets (worker `i`
+/// of `n` gets the `i`-th of `n` groups). Best-effort and `TGS_PIN`-
+/// gated; a no-op request costs one queued command per worker.
+fn assign_core_sets(workers: &[SentimentEngine]) {
+    if !tgs_linalg::pinning_enabled() {
+        return;
+    }
+    let n = workers.len();
+    for (i, worker) in workers.iter().enumerate() {
+        worker.request_core_set(i, n);
     }
 }
 

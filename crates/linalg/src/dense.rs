@@ -527,6 +527,45 @@ impl DenseMatrix {
             self.copy_row_from(dst, block, src);
         }
     }
+
+    /// Fused scatter + Gram: row `i` of `block` overwrites row `rows[i]`
+    /// of `self` (exactly [`DenseMatrix::scatter_rows_from`]) while one
+    /// blocked pass accumulates `selfᵀ·self` **post-scatter** into
+    /// `gram`. Bit-identical to scattering first and calling
+    /// [`DenseMatrix::gram_into`] afterwards, at every thread count
+    /// (property-tested): the pass reuses `reduce_rows`'s fixed blocks
+    /// and block-ordered fold, and each block overwrites the rows it
+    /// owns before reading them — so the gather-order problem that kept
+    /// the online `Su` block rules out of the gram-in-update fusion does
+    /// not arise (the reduction runs in full-matrix row order, not
+    /// gather order). `rows` must be strictly ascending (the online
+    /// solver's row partitions are).
+    pub fn scatter_rows_with_gram(
+        &mut self,
+        rows: &[usize],
+        block: &DenseMatrix,
+        gram: &mut DenseMatrix,
+    ) {
+        assert_eq!(
+            rows.len(),
+            block.rows(),
+            "scatter_rows_with_gram row-count mismatch"
+        );
+        debug_assert!(
+            rows.windows(2).all(|w| w[0] < w[1]),
+            "scatter rows must be strictly ascending"
+        );
+        if let Some(&last) = rows.last() {
+            assert!(last < self.rows, "scatter row {last} out of bounds");
+            assert_eq!(
+                block.cols(),
+                self.cols,
+                "scatter_rows_with_gram width mismatch"
+            );
+        }
+        gram.resize_zeroed(self.cols, self.cols);
+        scatter_gram_kernel(self, rows, block, gram);
+    }
 }
 
 // --- SIMD-dispatched hot loops (see `crate::simd`) ---
@@ -610,6 +649,92 @@ fn gram_rows_w<const W: usize>(a: &DenseMatrix, r0: usize, r1: usize, acc: &mut 
     let k = if W > 0 { W } else { a.cols };
     for i in r0..r1 {
         let row = &a.row(i)[..k];
+        for (p, &rp) in row.iter().enumerate() {
+            if rp == 0.0 {
+                continue;
+            }
+            let acc_row = &mut acc[p * k + p..(p + 1) * k];
+            for (o, &b) in acc_row.iter_mut().zip(row[p..].iter()) {
+                *o += rp * b;
+            }
+        }
+    }
+}
+
+/// Hot loop of [`DenseMatrix::scatter_rows_with_gram`]: exactly
+/// [`gram_into_kernel`]'s blocked reduction, with each block first
+/// overwriting the listed rows it owns. The matrix is threaded through
+/// as a raw base address because block bodies both write (their own
+/// rows, disjoint across blocks) and read (the Gram accumulation) —
+/// a shared `&DenseMatrix` could not coexist with those writes.
+fn scatter_gram_kernel(
+    a: &mut DenseMatrix,
+    rows: &[usize],
+    block: &DenseMatrix,
+    out: &mut DenseMatrix,
+) {
+    let tier = crate::simd::active_tier();
+    let k = a.cols;
+    let total_rows = a.rows;
+    let work = total_rows * k * k;
+    let base = a.data.as_mut_ptr() as usize;
+    crate::parallel::reduce_rows(total_rows, work, &mut out.data, |r0, r1, acc| {
+        // The listed rows falling in this block's half-open range; they
+        // are strictly ascending, so this is a binary-searched subslice.
+        let lo = rows.partition_point(|&r| r < r0);
+        let hi = rows.partition_point(|&r| r < r1);
+        scatter_gram_rows(tier, base, k, block, &rows[lo..hi], lo, r0, r1, acc);
+    });
+    // mirror the upper triangle
+    for p in 0..k {
+        for q in (p + 1)..k {
+            out.data[q * k + p] = out.data[p * k + q];
+        }
+    }
+}
+
+simd_kernel! {
+    /// Rows `[r0, r1)` of the fused pass: scatter the listed rows
+    /// (global indices, all inside the range) from `block` rows starting
+    /// at `block_off`, then run the Gram accumulation over the whole
+    /// range — the same operations in the same order as a scatter
+    /// followed by [`gram_rows`].
+    fn scatter_gram_rows(
+        base: usize,
+        k: usize,
+        block: &DenseMatrix,
+        rows: &[usize],
+        block_off: usize,
+        r0: usize,
+        r1: usize,
+        acc: &mut [f64],
+    ) {
+        for (i, &dst) in rows.iter().enumerate() {
+            let src = &block.row(block_off + i)[..k];
+            // SAFETY: `dst ∈ [r0, r1)`, the row range owned by this call.
+            let dst_row =
+                unsafe { std::slice::from_raw_parts_mut((base as *mut f64).add(dst * k), k) };
+            dst_row.copy_from_slice(src);
+        }
+        match k {
+            2 => gram_span_w::<2>(base, k, r0, r1, acc),
+            3 => gram_span_w::<3>(base, k, r0, r1, acc),
+            10 => gram_span_w::<10>(base, k, r0, r1, acc),
+            _ => gram_span_w::<0>(base, k, r0, r1, acc),
+        }
+    }
+}
+
+/// Gram accumulation over rows `[r0, r1)` read through a raw base
+/// address: the same subslice-upper-triangle, zero-skip loop as
+/// [`gram_rows_w`], so the floating-point sequence is identical.
+#[inline(always)]
+fn gram_span_w<const W: usize>(base: usize, k: usize, r0: usize, r1: usize, acc: &mut [f64]) {
+    let k = if W > 0 { W } else { k };
+    for i in r0..r1 {
+        // SAFETY: row `i` lies in this call's owned range (disjoint
+        // across reduction blocks), and its scatter writes are done.
+        let row = unsafe { std::slice::from_raw_parts((base as *const f64).add(i * k), k) };
         for (p, &rp) in row.iter().enumerate() {
             if rp == 0.0 {
                 continue;

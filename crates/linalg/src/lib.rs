@@ -26,6 +26,7 @@
 pub mod dense;
 pub mod ops;
 pub mod parallel;
+pub mod pool;
 pub mod rng;
 pub mod simd;
 pub mod sparse;
@@ -37,14 +38,20 @@ pub use ops::{
 };
 pub use parallel::{
     max_threads, parallel_work_threshold, set_parallel_work_threshold,
-    DEFAULT_PARALLEL_WORK_THRESHOLD, HARD_THREAD_CAP,
+    DEFAULT_PARALLEL_WORK_THRESHOLD, HARD_THREAD_CAP, MAX_REDUCE_LEN, REDUCE_BLOCK_ROWS,
+};
+pub use pool::{
+    pin_current_to_core_set, pinning_enabled, pool_threads, run_tasks as pool_run_tasks,
+    set_pool_threads_override,
 };
 pub use rng::{random_factor, random_factor_with, seeded_rng};
 pub use simd::{
     active_tier as simd_tier, active_tier_name as simd_tier_name, detected_tier as simd_detected,
     set_simd_tier_override, SimdTier,
 };
-pub use sparse::{CscView, CsrMatrix};
+pub use sparse::{
+    prefetch_lookahead, set_prefetch_lookahead, CscView, CsrMatrix, DEFAULT_PREFETCH_LOOKAHEAD,
+};
 
 /// Errors produced when constructing matrices from user data.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,10 +1,17 @@
-//! Row-chunked parallelism on `std::thread::scope`.
+//! Row-chunked parallelism on the persistent worker pool.
 //!
 //! Matrix kernels in this workspace are embarrassingly row-parallel: each
 //! output row depends on one input row. Rather than pulling in a thread-pool
 //! dependency we split the output buffer into disjoint row chunks and run
-//! them on scoped threads — zero unsafe, zero dependencies. Small problems
-//! stay single-threaded to avoid spawn overhead.
+//! them as tasks on the process-wide [`crate::pool`] — long-lived workers
+//! parked on a condvar, replacing the per-call `std::thread::scope` spawns
+//! these primitives used before. Small problems stay single-threaded to
+//! avoid dispatch overhead entirely.
+//!
+//! Determinism: chunk boundaries and the blocked-reduction summation tree
+//! are computed here, exactly as in the scoped-thread era, so every kernel
+//! built on these primitives is **bit-identical** at every thread count
+//! and on every machine (see [`REDUCE_BLOCK_ROWS`]).
 //!
 //! Two tunables govern dispatch:
 //!
@@ -12,16 +19,18 @@
 //!   stays sequential) — process-wide and overridable at runtime via
 //!   [`set_parallel_work_threshold`], which benches use to force both
 //!   paths and the allocation-counting test uses to pin the sequential
-//!   path (thread spawning allocates);
-//! * the *thread cap* — `std::thread::available_parallelism()` clamped to
-//!   [`HARD_THREAD_CAP`].
+//!   path;
+//! * the *thread budget* — `TGS_THREADS` / detected parallelism clamped to
+//!   [`HARD_THREAD_CAP`], see [`crate::pool::pool_threads`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::pool;
+
 /// Default work (in f64 multiply-adds) below which we stay
-/// single-threaded. A thread spawn costs on the order of 10µs; at ~1ns
-/// per FLOP the break-even is a few hundred thousand operations per
-/// thread.
+/// single-threaded. Pooled dispatch costs far less than the ~10µs thread
+/// spawn it replaced, but waking parked workers is still not free; the
+/// threshold keeps genuinely small kernels inline.
 pub const DEFAULT_PARALLEL_WORK_THRESHOLD: usize = 2_000_000;
 
 /// Hard upper bound on worker threads regardless of core count: the thin
@@ -37,48 +46,50 @@ pub fn parallel_work_threshold() -> usize {
 }
 
 /// Overrides the work threshold process-wide. `usize::MAX` disables
-/// parallelism entirely (used by the zero-allocation test); `0` forces it
-/// for any non-trivial problem (used by benches to exercise the parallel
-/// path on small inputs). Returns the previous value.
+/// parallelism entirely; `0` forces it for any non-trivial problem (used
+/// by benches to exercise the pooled path on small inputs). Returns the
+/// previous value.
 pub fn set_parallel_work_threshold(threshold: usize) -> usize {
     WORK_THRESHOLD.swap(threshold, Ordering::Relaxed)
 }
 
-/// Worker-thread cap: detected parallelism clamped to [`HARD_THREAD_CAP`].
+/// Worker-thread budget: `TGS_THREADS` (or detected parallelism) clamped
+/// to [`HARD_THREAD_CAP`], including any
+/// [`pool::set_pool_threads_override`] in effect.
 pub fn max_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(HARD_THREAD_CAP)
+    pool::pool_threads()
 }
 
 /// Splits `buf` (holding `rows` logical rows of `row_width` values) into
-/// near-equal chunks and invokes `body(first_row, chunk)` for each — in
-/// parallel when `work` (an estimate of total multiply-adds) is large
-/// enough, sequentially otherwise.
+/// near-equal chunks and invokes `body(first_row, chunk)` for each — as
+/// pool tasks when `work` (an estimate of total multiply-adds) is large
+/// enough, sequentially otherwise. Results are chunking-independent
+/// (each output row is written by exactly one call), so dispatch never
+/// changes the answer.
 pub fn for_each_row_chunk<F>(rows: usize, work: usize, buf: &mut [f64], row_width: usize, body: F)
 where
     F: Fn(usize, &mut [f64]) + Sync,
 {
     debug_assert_eq!(buf.len(), rows * row_width);
     let threads = desired_threads(rows, work);
-    if threads <= 1 {
+    if threads <= 1 || row_width == 0 {
         body(0, buf);
         return;
     }
+    // Same boundaries as the scoped-thread era: ceil-divided row chunks,
+    // the last one ragged.
     let rows_per_chunk = rows.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut rest = buf;
-        let mut first_row = 0;
-        while !rest.is_empty() {
-            let take = (rows_per_chunk * row_width).min(rest.len());
-            let (chunk, tail) = rest.split_at_mut(take);
-            let body = &body;
-            let row0 = first_row;
-            scope.spawn(move || body(row0, chunk));
-            first_row += take / row_width.max(1);
-            rest = tail;
-        }
+    let n_chunks = rows.div_ceil(rows_per_chunk);
+    let chunk_len = rows_per_chunk * row_width;
+    let total = buf.len();
+    let base = buf.as_mut_ptr() as usize;
+    pool::run_tasks(n_chunks, |c| {
+        let start = c * chunk_len;
+        let take = chunk_len.min(total - start);
+        // SAFETY: tasks cover disjoint `[start, start + take)` ranges of
+        // `buf`, which outlives the (synchronous) dispatch.
+        let chunk = unsafe { std::slice::from_raw_parts_mut((base as *mut f64).add(start), take) };
+        body(c * rows_per_chunk, chunk);
     });
 }
 
@@ -97,12 +108,14 @@ pub const REDUCE_BLOCK_ROWS: usize = 4096;
 /// rows `[r0, r1)` into `partial` (pre-zeroed, `acc.len()` long).
 ///
 /// Rows are processed in fixed [`REDUCE_BLOCK_ROWS`] blocks whose
-/// partials are folded into `acc` in block order — the parallel and
+/// partials are folded into `acc` in block order — the pooled and
 /// sequential paths produce **bit-identical** results, so kernels built
 /// on this (e.g. `gram_into`) stay deterministic across machines.
 /// Sequential (and allocation-free) when the work estimate is below
 /// threshold, when everything fits one block, or when
-/// `acc.len() > MAX_REDUCE_LEN`.
+/// `acc.len() > MAX_REDUCE_LEN`; the pooled path draws its per-block
+/// slots from the pool's reusable scratch stack, so it allocates nothing
+/// in steady state either.
 pub fn reduce_rows<F>(rows: usize, work: usize, acc: &mut [f64], body: F)
 where
     F: Fn(usize, usize, &mut [f64]) + Sync,
@@ -115,7 +128,7 @@ where
     let blocks = rows.div_ceil(REDUCE_BLOCK_ROWS);
     let threads = desired_threads(rows, work).min(blocks);
     if threads <= 1 {
-        // Sequential, but over the same fixed blocks the parallel path
+        // Sequential, but over the same fixed blocks the pooled path
         // uses, so both orders of summation are identical.
         let mut partial = [0.0f64; MAX_REDUCE_LEN];
         for b in 0..blocks {
@@ -129,39 +142,26 @@ where
         }
         return;
     }
-    // Each worker claims blocks by atomic counter; partials land in a
-    // per-block slot vector and are folded in block order afterwards.
-    let slots = std::sync::Mutex::new(vec![None::<Box<[f64]>>; blocks]);
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let body = &body;
-            let slots = &slots;
-            let next = &next;
-            scope.spawn(move || {
-                let mut partial = [0.0f64; MAX_REDUCE_LEN];
-                loop {
-                    let b = next.fetch_add(1, Ordering::Relaxed);
-                    if b >= blocks {
-                        break;
-                    }
-                    let r0 = b * REDUCE_BLOCK_ROWS;
-                    let r1 = (r0 + REDUCE_BLOCK_ROWS).min(rows);
-                    partial[..len].fill(0.0);
-                    body(r0, r1, &mut partial[..len]);
-                    slots.lock().expect("reduce_rows slot lock")[b] =
-                        Some(partial[..len].to_vec().into_boxed_slice());
-                }
-            });
+    // One task per fixed block; each writes its partial into a disjoint
+    // pre-zeroed slot, folded below in block order.
+    pool::with_scratch(blocks * len, |slots| {
+        let slot_base = slots.as_mut_ptr() as usize;
+        pool::run_tasks(blocks, |b| {
+            let r0 = b * REDUCE_BLOCK_ROWS;
+            let r1 = (r0 + REDUCE_BLOCK_ROWS).min(rows);
+            // SAFETY: slot `b` is the disjoint range `[b·len, (b+1)·len)`
+            // of `slots`, which outlives the dispatch.
+            let partial = unsafe {
+                std::slice::from_raw_parts_mut((slot_base as *mut f64).add(b * len), len)
+            };
+            body(r0, r1, partial);
+        });
+        for slot in slots.chunks_exact(len) {
+            for (a, p) in acc.iter_mut().zip(slot.iter()) {
+                *a += p;
+            }
         }
     });
-    let slots = slots.into_inner().expect("reduce_rows slots");
-    for slot in slots.into_iter() {
-        let slot = slot.expect("every block reduced");
-        for (a, p) in acc.iter_mut().zip(slot.iter()) {
-            *a += p;
-        }
-    }
 }
 
 /// Combined row-chunked map + blocked reduction: like
@@ -199,8 +199,8 @@ pub fn for_each_row_block_reduce<F>(
     let blocks = rows.div_ceil(REDUCE_BLOCK_ROWS);
     let block_len = REDUCE_BLOCK_ROWS * row_width;
     let threads = desired_threads(rows, work).min(blocks);
-    if threads <= 1 {
-        // Sequential, but over the same fixed blocks the parallel path
+    if threads <= 1 || row_width == 0 {
+        // Sequential, but over the same fixed blocks the pooled path
         // uses, so both summation orders are identical.
         let mut partial = [0.0f64; MAX_REDUCE_LEN];
         for (b, chunk) in buf.chunks_mut(block_len.max(1)).enumerate() {
@@ -212,48 +212,30 @@ pub fn for_each_row_block_reduce<F>(
         }
         return;
     }
-    // Workers claim blocks by atomic counter; each takes its disjoint
-    // chunk of `buf` from a slot and parks its partial for the in-order
-    // fold below.
-    let chunk_slots: Vec<std::sync::Mutex<Option<&mut [f64]>>> = buf
-        .chunks_mut(block_len.max(1))
-        .map(|c| std::sync::Mutex::new(Some(c)))
-        .collect();
-    let partial_slots = std::sync::Mutex::new(vec![None::<Box<[f64]>>; blocks]);
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let body = &body;
-            let chunk_slots = &chunk_slots;
-            let partial_slots = &partial_slots;
-            let next = &next;
-            scope.spawn(move || {
-                let mut partial = [0.0f64; MAX_REDUCE_LEN];
-                loop {
-                    let b = next.fetch_add(1, Ordering::Relaxed);
-                    if b >= blocks {
-                        break;
-                    }
-                    let chunk = chunk_slots[b]
-                        .lock()
-                        .expect("block chunk lock")
-                        .take()
-                        .expect("each block claimed once");
-                    partial[..len].fill(0.0);
-                    body(b * REDUCE_BLOCK_ROWS, chunk, &mut partial[..len]);
-                    partial_slots.lock().expect("partial slot lock")[b] =
-                        Some(partial[..len].to_vec().into_boxed_slice());
-                }
-            });
+    // One task per fixed block: task `b` owns rows-chunk `b` of `buf`
+    // and partial slot `b`; partials fold below in block order.
+    let total = buf.len();
+    let buf_base = buf.as_mut_ptr() as usize;
+    pool::with_scratch(blocks * len, |slots| {
+        let slot_base = slots.as_mut_ptr() as usize;
+        pool::run_tasks(blocks, |b| {
+            let start = b * block_len;
+            let take = block_len.min(total - start);
+            // SAFETY: tasks cover disjoint ranges of `buf` and disjoint
+            // `len`-long slots of `slots`; both outlive the dispatch.
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut((buf_base as *mut f64).add(start), take) };
+            let partial = unsafe {
+                std::slice::from_raw_parts_mut((slot_base as *mut f64).add(b * len), len)
+            };
+            body(b * REDUCE_BLOCK_ROWS, chunk, partial);
+        });
+        for slot in slots.chunks_exact(len) {
+            for (a, p) in acc.iter_mut().zip(slot.iter()) {
+                *a += p;
+            }
         }
     });
-    let partials = partial_slots.into_inner().expect("partial slots");
-    for slot in partials.into_iter() {
-        let slot = slot.expect("every block reduced");
-        for (a, p) in acc.iter_mut().zip(slot.iter()) {
-            *a += p;
-        }
-    }
 }
 
 fn desired_threads(rows: usize, work: usize) -> usize {
@@ -302,6 +284,29 @@ mod tests {
     }
 
     #[test]
+    fn pooled_chunking_covers_all_rows_at_many_budgets() {
+        // Ragged tails: rows deliberately not a multiple of any chunk
+        // count; every budget must write every row exactly once.
+        let rows = 997;
+        let width = 3;
+        for budget in [2usize, 3, 5, 8] {
+            let prev = crate::pool::set_pool_threads_override(Some(budget));
+            let mut buf = vec![-1.0; rows * width];
+            for_each_row_chunk(rows, usize::MAX / 2, &mut buf, width, |r0, chunk| {
+                for (i, row) in chunk.chunks_exact_mut(width).enumerate() {
+                    for v in row.iter_mut() {
+                        *v = (r0 + i) as f64;
+                    }
+                }
+            });
+            crate::pool::set_pool_threads_override(prev);
+            for r in 0..rows {
+                assert_eq!(buf[r * width], r as f64, "budget {budget} row {r}");
+            }
+        }
+    }
+
+    #[test]
     fn thread_count_bounds() {
         assert_eq!(desired_threads(100, 10), 1);
         assert!(desired_threads(100, usize::MAX / 2) <= HARD_THREAD_CAP);
@@ -335,7 +340,7 @@ mod tests {
     #[test]
     fn reduce_rows_blocked_paths_bit_identical() {
         // Non-associative float data: sequential-blocked and
-        // parallel-blocked must still agree bit-for-bit because the block
+        // pool-blocked must still agree bit-for-bit because the block
         // boundaries and merge order are fixed.
         let rows = 2 * REDUCE_BLOCK_ROWS + 123;
         let len = 4;
@@ -352,7 +357,7 @@ mod tests {
             acc
         };
         let sequential = run(0); // below threshold → sequential blocked path
-        let parallel = run(usize::MAX / 2); // threaded path (when cores allow)
+        let parallel = run(usize::MAX / 2); // pooled path (when budget allows)
         assert_eq!(sequential, parallel);
     }
 

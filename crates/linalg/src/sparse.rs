@@ -7,9 +7,54 @@
 //! tens of thousands of columns, far below the 4.3B limit — which halves the
 //! index memory versus `usize`.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use crate::dense::DenseMatrix;
 use crate::simd::simd_kernel;
 use crate::LinalgError;
+
+/// Default CSR-gather prefetch distance: how many entries ahead of the
+/// current nonzero the dense-row prefetch hint is issued. 8 entries ≈
+/// the L2 latency a thin-row gather needs to hide on the campaign box
+/// (see the `spmm_prefetch` bench sweep).
+pub const DEFAULT_PREFETCH_LOOKAHEAD: usize = 8;
+
+/// Upper clamp for `TGS_PREFETCH`: beyond this the hints evict lines
+/// before the gather arrives, so larger requests are meaningless.
+const MAX_PREFETCH_LOOKAHEAD: usize = 64;
+
+/// Cached effective distance; `usize::MAX` means "not yet resolved".
+static PREFETCH_LOOKAHEAD: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Effective CSR-gather prefetch distance: `TGS_PREFETCH` (clamped to
+/// `0..=64`; `0` disables the hints) or
+/// [`DEFAULT_PREFETCH_LOOKAHEAD`]. Prefetching is a pure latency hint —
+/// the distance never changes computed values, only when cache lines
+/// arrive.
+pub fn prefetch_lookahead() -> usize {
+    let cached = PREFETCH_LOOKAHEAD.load(Ordering::Relaxed);
+    if cached != usize::MAX {
+        return cached;
+    }
+    let resolved = std::env::var("TGS_PREFETCH")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .map(|n| n.min(MAX_PREFETCH_LOOKAHEAD))
+        .unwrap_or(DEFAULT_PREFETCH_LOOKAHEAD);
+    PREFETCH_LOOKAHEAD.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Overrides the prefetch distance process-wide (clamped like
+/// `TGS_PREFETCH`); `None` re-resolves from the environment on next
+/// use. Returns the previous effective distance. Benches use this to
+/// sweep distances within one process.
+pub fn set_prefetch_lookahead(distance: Option<usize>) -> usize {
+    let prev = prefetch_lookahead();
+    let raw = distance.map_or(usize::MAX, |n| n.min(MAX_PREFETCH_LOOKAHEAD));
+    PREFETCH_LOOKAHEAD.store(raw, Ordering::Relaxed);
+    prev
+}
 
 /// A CSR sparse matrix of `f64` values.
 #[derive(Debug, Clone, PartialEq)]
@@ -506,20 +551,23 @@ simd_kernel! {
 
 /// Width-monomorphized body of [`spmm_chunk`] (`W = 0` means runtime
 /// width). The gathered `d` rows are the kernel's cache-miss source, so
-/// each iteration issues a prefetch hint a few entries ahead — a pure
-/// latency hint with no effect on the computed values.
+/// each iteration issues a prefetch hint [`prefetch_lookahead`] entries
+/// ahead — a pure latency hint with no effect on the computed values
+/// (distance 0 disables the hints entirely).
 #[inline(always)]
 fn spmm_chunk_w<const W: usize>(x: &CsrMatrix, d: &DenseMatrix, r0: usize, chunk: &mut [f64]) {
     let k = if W > 0 { W } else { d.cols() };
-    const LOOKAHEAD: usize = 8;
+    let lookahead = prefetch_lookahead();
     for (local, out_row) in chunk.chunks_exact_mut(k.max(1)).enumerate() {
         let r = r0 + local;
         let range = x.indptr[r]..x.indptr[r + 1];
         let cols = &x.indices[range.clone()];
         let vals = &x.values[range];
         for (idx, (&c, &v)) in cols.iter().zip(vals.iter()).enumerate() {
-            if let Some(&cn) = cols.get(idx + LOOKAHEAD) {
-                prefetch_read(d.row(cn as usize));
+            if lookahead != 0 {
+                if let Some(&cn) = cols.get(idx + lookahead) {
+                    prefetch_read(d.row(cn as usize));
+                }
             }
             let d_row = &d.row(c as usize)[..k];
             for (o, &dv) in out_row.iter_mut().zip(d_row.iter()) {

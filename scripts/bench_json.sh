@@ -19,6 +19,19 @@
 # `sharded_rebalance/move_roundtrip_users/{25,100,400}` (a live
 # boundary-move rebalance and its inverse on a warmed 4-shard fleet:
 # two quiesces + two export/import migrations of that many users).
+# PR 6 (persistent worker pool) added:
+#   `pool_overhead/{pooled,scoped_spawn}/{1000,10000,100000}` — the same
+#     2-chunk row dispatch through the persistent pool vs a fresh
+#     `std::thread::scope` spawn (the pre-pool implementation); the gap
+#     is pure dispatch cost.
+#   `thread_scaling/{gram_100k,mult_update_100k}/{1,2,4}` — row-parallel
+#     kernel shapes at pinned TGS_THREADS budgets (scaling curve on
+#     multi-core hosts, dispatch overhead on a single vCPU).
+#   `sharded_offline_solve/{10_iters,zipf_skew}_4shards_threads/{1,2,4}`
+#     — the 4-shard solve at pinned pool budgets; results are
+#     bit-identical at every budget, the series is wall-clock only.
+#   `spmm_prefetch/mul_dense_into_40k/{0,2,4,8}` — the TGS_PREFETCH
+#     lookahead sweep for the CSR-gather SpMM (0 = hints off).
 #
 # Usage:
 #   ./scripts/bench_json.sh           # full regeneration (commit these)

@@ -561,7 +561,7 @@ fn cmd_stream(flags: &Flags) -> Result<(), TgsError> {
         let s = engine.stats();
         eprintln!(
             "stats: queued {} | ingested {} | dropped_capacity {} | last_step {:.3} ms | \
-             ghost edges {} | cross-shard retweets dropped {} | simd {}",
+             ghost edges {} | cross-shard retweets dropped {} | simd {} | threads {} | pinned {}",
             s.queued,
             s.ingested,
             s.dropped_capacity,
@@ -569,6 +569,8 @@ fn cmd_stream(flags: &Flags) -> Result<(), TgsError> {
             s.ghost_edges,
             s.dropped_cross_shard,
             s.simd,
+            s.threads,
+            s.pinned,
         );
         let loads = engine.shard_loads();
         let skew = engine.load_skew();
