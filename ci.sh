@@ -25,6 +25,9 @@ cargo test --workspace -q
 echo "==> bench smoke (quick run so bench code can't bit-rot)"
 ./scripts/bench_json.sh --quick
 
+echo "==> net smoke (2 shard servers + router on loopback)"
+./scripts/net_smoke.sh
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "==> regenerating benchmark artifacts"
     ./scripts/bench_json.sh

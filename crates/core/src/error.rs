@@ -19,6 +19,10 @@
 //!    [`TgsError::CorruptCheckpoint`]).
 //! 4. **Front-end errors** — IO and argument problems surfaced by the
 //!    CLI ([`TgsError::Io`], [`TgsError::InvalidArgument`]).
+//! 5. **Fleet errors** — failures of the distributed shard fleet
+//!    ([`TgsError::Net`] for unreachable peers and wire faults,
+//!    [`TgsError::StaleTopology`] for requests routed through an
+//!    outdated partition map after a rebalance).
 //!
 //! The legacy panicking entry points (`validate`, `solve_offline`,
 //! `OnlineSolver::step`) are retained as thin wrappers that format the
@@ -56,6 +60,10 @@ pub enum TgsErrorKind {
     Io,
     /// See [`TgsError::InvalidArgument`].
     InvalidArgument,
+    /// See [`TgsError::Net`].
+    Net,
+    /// See [`TgsError::StaleTopology`].
+    StaleTopology,
 }
 
 /// A typed failure from any layer of the tripartite-sentiment stack.
@@ -138,6 +146,25 @@ pub enum TgsError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A network operation against a fleet peer failed (connect, send,
+    /// receive, or protocol violation). The peer may be down or
+    /// unreachable; the call may be retried once it recovers.
+    Net {
+        /// The peer address (or role) the operation targeted.
+        peer: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The caller routed through an outdated topology: the request was
+    /// stamped with generation `have`, but the shard has already adopted
+    /// `current`. Refresh the partition map and retry — handles re-key
+    /// lazily on this error instead of misrouting.
+    StaleTopology {
+        /// The generation the caller routed with.
+        have: u64,
+        /// The generation the shard is at.
+        current: u64,
+    },
 }
 
 impl TgsError {
@@ -156,6 +183,8 @@ impl TgsError {
             TgsError::CorruptCheckpoint { .. } => TgsErrorKind::CorruptCheckpoint,
             TgsError::Io { .. } => TgsErrorKind::Io,
             TgsError::InvalidArgument { .. } => TgsErrorKind::InvalidArgument,
+            TgsError::Net { .. } => TgsErrorKind::Net,
+            TgsError::StaleTopology { .. } => TgsErrorKind::StaleTopology,
         }
     }
 
@@ -177,6 +206,14 @@ impl TgsError {
     /// Convenience constructor for [`TgsError::CorruptCheckpoint`].
     pub fn corrupt(detail: impl Into<String>) -> Self {
         TgsError::CorruptCheckpoint {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`TgsError::Net`].
+    pub fn net(peer: impl Into<String>, detail: impl Into<String>) -> Self {
+        TgsError::Net {
+            peer: peer.into(),
             detail: detail.into(),
         }
     }
@@ -222,6 +259,13 @@ impl std::fmt::Display for TgsError {
             }
             TgsError::Io { context, source } => write!(f, "{context}: {source}"),
             TgsError::InvalidArgument { message } => f.write_str(message),
+            TgsError::Net { peer, detail } => {
+                write!(f, "network error talking to {peer}: {detail}")
+            }
+            TgsError::StaleTopology { have, current } => write!(
+                f,
+                "stale topology: routed with generation {have} but the shard is at {current}"
+            ),
         }
     }
 }
@@ -270,6 +314,18 @@ mod tests {
         assert_eq!(
             TgsError::corrupt("truncated").kind(),
             TgsErrorKind::CorruptCheckpoint
+        );
+        assert_eq!(
+            TgsError::net("127.0.0.1:9000", "connection refused").kind(),
+            TgsErrorKind::Net
+        );
+        assert_eq!(
+            TgsError::StaleTopology {
+                have: 1,
+                current: 3
+            }
+            .kind(),
+            TgsErrorKind::StaleTopology
         );
     }
 

@@ -150,11 +150,31 @@ fn err<T>(message: impl Into<String>) -> Result<T, PartitionError> {
 /// The boundary list is the *whole* routing state — two maps with equal
 /// [`PartitionMap::fingerprint`]s make identical routing decisions — and
 /// it is what the v2 multi-shard checkpoint serializes verbatim.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// A map additionally carries a **topology generation** counter: every
+/// [`RepartitionPlan::apply`] bumps it by one, and the distributed fleet
+/// stamps it into every wire frame so a stale handle routing through an
+/// outdated map is rejected with `StaleTopology` instead of silently
+/// misrouting. The generation is an *ephemeral routing epoch*, not
+/// routing state: it is excluded from equality, from the fingerprint,
+/// and from checkpoints (a restored fleet starts a fresh epoch).
+#[derive(Debug, Clone, Eq)]
 pub struct PartitionMap {
     universe: usize,
     /// Sorted, strictly increasing shard start ids; `starts[0] == 0`.
     starts: Vec<usize>,
+    /// Topology epoch; bumped by every applied repartition plan.
+    generation: u64,
+}
+
+impl PartialEq for PartitionMap {
+    /// Routing-state equality: two maps are equal when they make the same
+    /// routing decisions. The [`PartitionMap::generation`] epoch is
+    /// deliberately ignored — a rebalanced-then-reverted fleet routes
+    /// identically to one that never rebalanced.
+    fn eq(&self, other: &Self) -> bool {
+        self.universe == other.universe && self.starts == other.starts
+    }
 }
 
 impl PartitionMap {
@@ -171,7 +191,11 @@ impl PartitionMap {
                 "partition starts must be strictly increasing, got {starts:?}"
             ));
         }
-        Ok(Self { universe, starts })
+        Ok(Self {
+            universe,
+            starts,
+            generation: 0,
+        })
     }
 
     /// The stride layout of [`UserRangePartitioner::new`] as an explicit
@@ -194,6 +218,21 @@ impl PartitionMap {
     /// increasing).
     pub fn starts(&self) -> &[usize] {
         &self.starts
+    }
+
+    /// The topology generation (routing epoch) of this map. Freshly
+    /// constructed maps start at 0; every [`RepartitionPlan::apply`]
+    /// returns a successor with the epoch bumped by one. Excluded from
+    /// equality, [`PartitionMap::fingerprint`], and checkpoints.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The same routing state re-stamped with an explicit generation
+    /// (used when adopting a topology announced by a remote router).
+    pub fn with_generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
     }
 
     /// The shard owning `user`. Total: ids beyond every boundary land in
@@ -317,7 +356,8 @@ pub enum RepartitionOp {
 /// An ordered list of topology deltas taking one [`PartitionMap`] to a
 /// successor. Applying a plan never changes the universe — only which
 /// shard owns which range — and [`PartitionMap::diff`] of the two maps
-/// lists exactly the user ranges that must migrate.
+/// lists exactly the user ranges that must migrate. The successor's
+/// [`PartitionMap::generation`] is the input's plus one.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RepartitionPlan {
     /// The deltas, applied in order.
@@ -379,7 +419,7 @@ impl RepartitionPlan {
                 }
             }
         }
-        PartitionMap::new(universe, starts)
+        PartitionMap::new(universe, starts).map(|next| next.with_generation(map.generation + 1))
     }
 }
 
@@ -844,6 +884,25 @@ mod tests {
                 .apply(&m)
                 .is_err()
         );
+    }
+
+    #[test]
+    fn generation_bumps_on_apply_but_never_affects_equality() {
+        let m = PartitionMap::even(100, 2);
+        assert_eq!(m.generation(), 0);
+        let split = RepartitionPlan::single(RepartitionOp::Split { shard: 1, at: 75 })
+            .apply(&m)
+            .unwrap();
+        assert_eq!(split.generation(), 1);
+        let merged = RepartitionPlan::single(RepartitionOp::Merge { left: 1 })
+            .apply(&split)
+            .unwrap();
+        assert_eq!(merged.generation(), 2);
+        // Routing state round-tripped: equal (and equal fingerprints)
+        // despite the epoch difference.
+        assert_eq!(merged, m);
+        assert_eq!(merged.fingerprint(), m.fingerprint());
+        assert_eq!(m.clone().with_generation(7).generation(), 7);
     }
 
     #[test]

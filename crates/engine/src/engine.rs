@@ -105,6 +105,10 @@ pub struct EngineStats {
     /// legacy drop mode — with ghost mode on, this stays 0 by
     /// construction). Always 0 on a single engine.
     pub dropped_cross_shard: u64,
+    /// Shard calls the multi-shard router observed failing with a
+    /// network error (cumulative; see [`tgs_core::TgsErrorKind::Net`]).
+    /// Always 0 on a single engine or an all-local fleet.
+    pub shard_unavailable: u64,
     /// The SIMD tier the solver kernels execute under in this process
     /// (`tgs_linalg::simd_tier_name()`: detected ISA clamped by the
     /// `TGS_SIMD` override) — recorded so bench runs and bug reports
@@ -133,6 +137,7 @@ impl EngineStats {
             last_step_ns: self.last_step_ns.max(other.last_step_ns),
             ghost_edges: self.ghost_edges + other.ghost_edges,
             dropped_cross_shard: self.dropped_cross_shard + other.dropped_cross_shard,
+            shard_unavailable: self.shard_unavailable + other.shard_unavailable,
             simd: if self.simd.is_empty() {
                 other.simd
             } else {
@@ -249,6 +254,7 @@ impl SentimentEngine {
             last_step_ns: self.metrics.last_step_ns.load(Ordering::Relaxed),
             ghost_edges: 0,
             dropped_cross_shard: 0,
+            shard_unavailable: 0,
             simd: tgs_linalg::simd_tier_name(),
             threads: tgs_linalg::pool_threads() as u64,
             pinned: tgs_linalg::pinning_enabled(),
@@ -260,7 +266,9 @@ impl SentimentEngine {
     /// gated on `TGS_PIN`; see
     /// [`tgs_linalg::pin_current_to_core_set`]). Fire-and-forget: the
     /// request rides the command queue and a closed engine ignores it.
-    pub(crate) fn request_core_set(&self, set_index: usize, n_sets: usize) {
+    /// Public for fleet transports (shard servers pin within their own
+    /// host's core budget); direct users rarely need it.
+    pub fn request_core_set(&self, set_index: usize, n_sets: usize) {
         if let Some(tx) = self.tx.as_ref() {
             let _ = tx.try_send(Command::Pin { set_index, n_sets });
         }
@@ -357,21 +365,14 @@ pub(crate) struct UserRangeState {
     solver: tgs_core::MigratedUsers,
 }
 
-impl UserRangeState {
-    /// Users carried (track and solver rows may differ when a user was
-    /// evicted from one side; the union is reported).
-    pub(crate) fn len(&self) -> usize {
-        self.track.len().max(self.solver.rows.len())
-    }
-}
-
 /// Live-rebalance surface, driven by the multi-shard router with every
 /// affected worker quiesced (flushed) first.
 impl SentimentEngine {
     /// Starts a fresh worker sharing this one's frozen configuration
     /// (vocabulary, prior, solver config, pipeline, budgets) with a cold
     /// solver and empty history — the spawn path of a shard split.
-    pub(crate) fn spawn_sibling(&self) -> Result<SentimentEngine, TgsError> {
+    /// Public for fleet transports; meaningless outside a rebalance.
+    pub fn spawn_sibling(&self) -> Result<SentimentEngine, TgsError> {
         let shared = EngineShared {
             vocab: self.shared.vocab.clone(),
             sf0: self.shared.sf0.clone(),
@@ -388,7 +389,7 @@ impl SentimentEngine {
     /// The solver's current decayed sentiment estimate for a user — the
     /// factor broadcast into ghost rows on other shards. Callers flush
     /// first so the estimate reflects every committed snapshot.
-    pub(crate) fn user_factor(&self, user: usize) -> Option<Vec<f64>> {
+    pub fn user_factor(&self, user: usize) -> Option<Vec<f64>> {
         self.solver.lock().sentiment_of(user)
     }
 
@@ -412,6 +413,28 @@ impl SentimentEngine {
             .collect();
         let solver = self.solver.lock().export_users(lo, hi);
         UserRangeState { track, solver }
+    }
+
+    /// The per-user migration state for ids in `lo..hi`, serialized
+    /// through the migration byte codec (see `crate::transport`) — the
+    /// form a remote transport ships across the wire. Removes the users
+    /// from this worker; the caller must have flushed it first.
+    pub fn export_users_bytes(&self, lo: usize, hi: usize) -> Vec<u8> {
+        let state = self.export_user_range(lo, hi);
+        crate::transport::encode_user_range(&state.track, &state.solver.rows)
+    }
+
+    /// The inverse of [`SentimentEngine::export_users_bytes`]: adopts
+    /// per-user migration state from the byte codec. On rejection the
+    /// payload is untouched (it is only read), so the caller re-imports
+    /// the same bytes to the source worker to roll the migration back.
+    pub fn import_users_bytes(&self, bytes: &[u8]) -> Result<(), TgsError> {
+        let (track, rows) = crate::transport::decode_user_range(bytes)?;
+        self.import_user_range(UserRangeState {
+            track,
+            solver: tgs_core::MigratedUsers { rows },
+        })
+        .map_err(|(e, _)| e)
     }
 
     /// Imports per-user state exported from another worker. Rejects
@@ -474,7 +497,8 @@ impl SentimentEngine {
     /// (`Sp` factors are per-tweet and shard-shaped, so the absorber's
     /// are kept on collision). The other worker's own `Sf` window and
     /// step counter are discarded — the absorber's temporal frame wins.
-    pub(crate) fn absorb(&self, other: &SentimentEngine) -> Result<(), TgsError> {
+    /// Public for fleet transports; meaningless outside a shard merge.
+    pub fn absorb(&self, other: &SentimentEngine) -> Result<(), TgsError> {
         let moved = other.export_user_range(0, usize::MAX);
         if let Err((e, moved_back)) = self.import_user_range(moved) {
             // Hand the state back to its source (it just exported these

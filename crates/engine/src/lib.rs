@@ -47,13 +47,15 @@ mod engine;
 pub mod query;
 pub mod sharded;
 pub mod snapshot;
+pub mod transport;
 
 pub use builder::{EngineBuilder, DEFAULT_QUEUE_DEPTH, DEFAULT_STORE_BUDGET_BYTES};
 pub use checkpoint::EngineCheckpoint;
 pub use engine::{EngineStats, SentimentEngine};
 pub use query::{ClusterSummary, EngineQuery, TimelineEntry, UserSentiment};
-pub use sharded::{ShardedCheckpoint, ShardedEngine, ShardedQuery};
+pub use sharded::{ShardLoad, ShardedCheckpoint, ShardedEngine, ShardedQuery};
 pub use snapshot::{DocContent, EngineDoc, EngineRetweet, EngineSnapshot};
+pub use transport::{exported_users_len, LocalShard, ShardTransport};
 
 #[cfg(test)]
 mod tests {
@@ -330,6 +332,7 @@ mod tests {
             last_step_ns: u64::MAX,
             ghost_edges: 4,
             dropped_cross_shard: 5,
+            shard_unavailable: 6,
             simd: "",
             threads: 0,
             pinned: false,
@@ -340,6 +343,7 @@ mod tests {
         assert_eq!(merged.last_step_ns, u64::MAX);
         assert_eq!(merged.ghost_edges, 4);
         assert_eq!(merged.dropped_cross_shard, 5);
+        assert_eq!(merged.shard_unavailable, 6);
         assert_eq!(merged.simd, stats.simd);
         assert_eq!(merged.threads, stats.threads, "threads carry through");
         assert_eq!(merged.pinned, stats.pinned, "pinned carries through");

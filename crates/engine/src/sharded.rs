@@ -41,24 +41,26 @@
 //! tolerance rather than exactly.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::ops::RangeBounds;
+use std::ops::{Bound, RangeBounds};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parking_lot::Mutex;
 use tgs_core::sharded::merge_sf;
-use tgs_core::TgsError;
+use tgs_core::{TgsError, TgsErrorKind};
 use tgs_data::{
     route_docs, route_docs_ghost, PartitionMap, RepartitionOp, RepartitionPlan,
     UserRangePartitioner,
 };
 use tgs_linalg::DenseMatrix;
+use tgs_text::Vocabulary;
 
 use crate::checkpoint::EngineCheckpoint;
 use crate::engine::{EngineStats, SentimentEngine};
-use crate::query::{rank_top_words, ClusterSummary, EngineQuery, TimelineEntry, UserSentiment};
+use crate::query::{rank_top_words, ClusterSummary, TimelineEntry, UserSentiment};
 use crate::snapshot::{EngineRetweet, EngineSnapshot};
+use crate::transport::{exported_users_len, LocalShard, ShardTransport};
 
 /// Magic + format version prefix of the v1 (stride-map) multi-shard
 /// checkpoint. Still restorable; no longer written.
@@ -232,10 +234,12 @@ fn decode_header(bytes: &Bytes) -> Result<ShardedHeader, TgsError> {
 }
 
 /// The mutable topology of the fleet: the partition map and one worker
-/// per shard, swapped atomically by a rebalance.
+/// transport per shard, swapped atomically by a rebalance. Workers are
+/// location-agnostic [`ShardTransport`]s — in-process engines behind
+/// [`LocalShard`], or TCP clients to `tgs shard` servers (`tgs-net`).
 struct Fleet {
     map: PartitionMap,
-    workers: Vec<SentimentEngine>,
+    workers: Vec<Arc<dyn ShardTransport>>,
 }
 
 /// One shard's load summary (see [`ShardedEngine::shard_loads`]).
@@ -260,12 +264,15 @@ pub struct ShardLoad {
 /// for the fan-out/fan-in semantics, the ghost-user protocol, live
 /// rebalancing, and the single-shard identity guarantee.
 pub struct ShardedEngine {
-    inner: RwLock<Fleet>,
+    inner: Arc<RwLock<Fleet>>,
     /// Ghost-user protocol switch (frozen at construction; serialized in
     /// the v2 checkpoint header).
     ghost_mode: bool,
     dropped_cross_shard: AtomicU64,
     ghost_edges: AtomicU64,
+    /// Shard calls that failed with a network error (cumulative; see
+    /// [`EngineStats::shard_unavailable`]). Always 0 on all-local fleets.
+    shard_unavailable: AtomicU64,
     /// Documents routed per author id — the load statistic behind
     /// [`ShardedEngine::shard_loads`] and the `--max-skew` auto-trigger.
     /// Process-local (reset on restore), like [`EngineStats`].
@@ -276,6 +283,11 @@ pub struct ShardedEngine {
     /// per-worker check and silently mix two snapshots in the merged
     /// timeline — so the router enforces the invariant fleet-wide.
     ingested: Mutex<BTreeSet<u64>>,
+    /// The fleet's frozen vocabulary (identical on every worker), cached
+    /// at construction so `top_words` never re-fetches token lists.
+    vocab: Vocabulary,
+    /// Number of sentiment clusters (identical on every worker).
+    k: usize,
 }
 
 impl ShardedEngine {
@@ -289,25 +301,83 @@ impl ShardedEngine {
         self.inner.write().expect("fleet lock poisoned")
     }
 
+    /// Counts a worker-call failure when it was a network error — the
+    /// `shard_unavailable` monitoring surface. Other error kinds are the
+    /// caller's to surface, not a fleet-health signal.
+    fn note(&self, e: &TgsError) {
+        if e.kind() == TgsErrorKind::Net {
+            self.shard_unavailable.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     pub(crate) fn start(
         map: PartitionMap,
         workers: Vec<SentimentEngine>,
         ghost_mode: bool,
     ) -> Self {
         assert_eq!(workers.len(), map.shards(), "one worker per shard required");
-        assign_core_sets(&workers);
-        let ingested = workers
-            .iter()
-            .flat_map(|w| w.query().timestamps())
+        let vocab = workers[0].vocabulary().clone();
+        let k = workers[0].config().k;
+        let transports: Vec<Arc<dyn ShardTransport>> = workers
+            .into_iter()
+            .map(|w| Arc::new(LocalShard::new(w)) as Arc<dyn ShardTransport>)
             .collect();
-        Self {
-            inner: RwLock::new(Fleet { map, workers }),
+        Self::assemble(map, transports, ghost_mode, vocab, k).expect("local transports cannot fail")
+    }
+
+    /// Builds a router over caller-supplied transports — the entry point
+    /// for distributed fleets (`tgs-net` hands in TCP shard clients).
+    /// Each worker must already hold the state for its shard's user
+    /// range; the fleet's vocabulary and cluster count are fetched from
+    /// the first worker, every worker's generation floor is advanced to
+    /// the map's, and previously committed timestamps are re-claimed so
+    /// the fleet-wide append-only check survives reconnects.
+    pub fn from_transports(
+        map: PartitionMap,
+        transports: Vec<Arc<dyn ShardTransport>>,
+        ghost_mode: bool,
+    ) -> Result<Self, TgsError> {
+        if transports.len() != map.shards() {
+            return Err(TgsError::invalid_argument(format!(
+                "{} transports for a {}-shard partition map",
+                transports.len(),
+                map.shards()
+            )));
+        }
+        let k = transports[0].k()?;
+        let vocab = Vocabulary::from_tokens(transports[0].vocab_tokens()?);
+        Self::assemble(map, transports, ghost_mode, vocab, k)
+    }
+
+    fn assemble(
+        map: PartitionMap,
+        transports: Vec<Arc<dyn ShardTransport>>,
+        ghost_mode: bool,
+        vocab: Vocabulary,
+        k: usize,
+    ) -> Result<Self, TgsError> {
+        for t in &transports {
+            t.set_generation(map.generation())?;
+        }
+        assign_core_sets(&transports);
+        let mut ingested = BTreeSet::new();
+        for t in &transports {
+            ingested.extend(t.timestamps()?);
+        }
+        Ok(Self {
+            inner: Arc::new(RwLock::new(Fleet {
+                map,
+                workers: transports,
+            })),
             ghost_mode,
             dropped_cross_shard: AtomicU64::new(0),
             ghost_edges: AtomicU64::new(0),
+            shard_unavailable: AtomicU64::new(0),
             doc_counts: Mutex::new(BTreeMap::new()),
             ingested: Mutex::new(ingested),
-        }
+            vocab,
+            k,
+        })
     }
 
     /// Number of shards.
@@ -362,7 +432,14 @@ impl ShardedEngine {
         let timestamp = snapshot.timestamp;
         // Validate + route before claiming the timestamp, so a malformed
         // snapshot (dangling re-tweet reference) does not burn it.
-        let (subs, dropped, ghost_edges, authors) = split(&fleet, self.ghost_mode, snapshot)?;
+        let (subs, dropped, ghost_edges, authors) =
+            match split(&fleet, self.ghost_mode, self.k, snapshot) {
+                Ok(routed) => routed,
+                Err(e) => {
+                    self.note(&e);
+                    return Err(e);
+                }
+            };
         if !self.ingested.lock().insert(timestamp) {
             return Err(TgsError::invalid_argument(format!(
                 "timestamp {timestamp} already ingested; the stream is append-only"
@@ -378,9 +455,13 @@ impl ShardedEngine {
                 *counts.entry(author).or_insert(0) += 1;
             }
         }
+        let generation = fleet.map.generation();
         for (shard, sub) in subs.into_iter().enumerate() {
             if !sub.is_empty() {
-                fleet.workers[shard].ingest(sub)?;
+                if let Err(e) = fleet.workers[shard].ingest(generation, sub) {
+                    self.note(&e);
+                    return Err(e);
+                }
             }
         }
         Ok(())
@@ -391,40 +472,58 @@ impl ShardedEngine {
     /// timestamps in the merged timeline.
     pub fn flush(&self) -> Result<u64, TgsError> {
         let fleet = self.fleet();
-        flush_fleet(&fleet)?;
-        Ok(steps_of(&fleet))
+        if let Err(e) = flush_fleet(&fleet) {
+            self.note(&e);
+            return Err(e);
+        }
+        Ok(self.steps_of(&fleet))
     }
 
-    /// Distinct timestamps committed across all shards.
+    /// Distinct timestamps committed across all shards (best effort:
+    /// unreachable workers contribute nothing and count into
+    /// `shard_unavailable`).
     pub fn steps(&self) -> u64 {
-        steps_of(&self.fleet())
+        self.steps_of(&self.fleet())
     }
 
     /// A read handle that fans queries across all shards. The handle
-    /// snapshots the current topology: after a rebalance, obtain a fresh
-    /// one (stale handles keep answering, but route per-user queries by
-    /// the old map and may miss migrated users).
+    /// snapshots the current topology but keeps a reference to the
+    /// fleet: when a rebalance bumps the topology generation, workers
+    /// answer the handle's next routed call with
+    /// [`TgsError::StaleTopology`] and the handle re-keys itself from
+    /// the fleet before retrying — it can neither misroute nor miss
+    /// migrated users.
     pub fn query(&self) -> ShardedQuery {
         let fleet = self.fleet();
         ShardedQuery {
-            map: fleet.map.clone(),
-            queries: fleet.workers.iter().map(|w| w.query()).collect(),
+            fleet: Arc::clone(&self.inner),
+            topo: Mutex::new(Topo {
+                map: fleet.map.clone(),
+                workers: fleet.workers.clone(),
+            }),
+            vocab: self.vocab.clone(),
+            k: self.k,
         }
     }
 
     /// Merged ingest metrics: counters sum across shards;
     /// `last_step_ns` is the slowest shard's (it gates the fan-out's
-    /// latency); the router's cross-shard edge counters ride along.
+    /// latency); the router's cross-shard edge counters and the
+    /// cumulative `shard_unavailable` count ride along. Unreachable
+    /// workers are skipped (and counted) rather than failing the merge.
     pub fn stats(&self) -> EngineStats {
-        let merged = self
-            .fleet()
-            .workers
-            .iter()
-            .map(SentimentEngine::stats)
-            .fold(EngineStats::default(), |acc, s| acc.merge(&s));
+        let fleet = self.fleet();
+        let mut merged = EngineStats::default();
+        for worker in &fleet.workers {
+            match worker.stats() {
+                Ok(s) => merged = merged.merge(&s),
+                Err(e) => self.note(&e),
+            }
+        }
         EngineStats {
             ghost_edges: self.ghost_edges(),
             dropped_cross_shard: self.dropped_cross_shard(),
+            shard_unavailable: self.shard_unavailable.load(Ordering::Relaxed),
             ..merged
         }
     }
@@ -441,16 +540,27 @@ impl ShardedEngine {
     fn shard_loads_of(&self, fleet: &Fleet) -> Vec<ShardLoad> {
         let counts = self.doc_counts.lock();
         let starts = fleet.map.starts();
+        let generation = fleet.map.generation();
         (0..fleet.map.shards())
             .map(|shard| {
                 let lo = starts[shard];
                 let hi = starts.get(shard + 1).copied().unwrap_or(usize::MAX);
                 let tweets = counts.range(lo..hi).map(|(_, &c)| c).sum();
+                // Best-effort monitoring: an unreachable worker reports 0
+                // users (and counts into `shard_unavailable`) rather than
+                // failing the whole load report.
+                let users = match fleet.workers[shard].known_users(generation) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        self.note(&e);
+                        0
+                    }
+                };
                 ShardLoad {
                     shard,
                     range: fleet.map.range(shard),
                     tweets,
-                    users: fleet.workers[shard].query().known_users(),
+                    users,
                 }
             })
             .collect()
@@ -502,7 +612,9 @@ impl ShardedEngine {
             .apply(&fleet.map)
             .map_err(|e| TgsError::invalid_argument(format!("inapplicable plan: {e}")))?;
         if new_map == fleet.map {
-            return Ok(new_map);
+            // Topology-identical plan (equality ignores the generation):
+            // return the *current* map so a no-op never bumps the epoch.
+            return Ok(fleet.map.clone());
         }
         // Quiesce: every worker drains (and surfaces pending failures)
         // before any state moves.
@@ -520,6 +632,16 @@ impl ShardedEngine {
         // The shard count may have changed: re-deal the disjoint core
         // sets so solver threads stop overlapping (TGS_PIN-gated).
         assign_core_sets(&fleet.workers);
+        // Stamp the surviving workers with the new topology generation.
+        // Any query handle still keyed to the old topology now gets
+        // `StaleTopology` from every worker and re-keys lazily; a worker
+        // unreachable here learns the generation from the next stamped
+        // call it serves (the floor is monotone), so this is best effort.
+        for worker in &fleet.workers {
+            if let Err(e) = worker.set_generation(fleet.map.generation()) {
+                self.note(&e);
+            }
+        }
         outcome.map(|()| fleet.map.clone())
     }
 
@@ -544,6 +666,39 @@ impl ShardedEngine {
         let Some(plan) = self.split_plan(&fleet.map) else {
             return Ok(None);
         };
+        self.rebalance_locked(&mut fleet, &plan).map(Some)
+    }
+
+    /// The merge counterpart of [`ShardedEngine::maybe_rebalance`]: when
+    /// the *coldest* shard's routed tweet share falls below `min_share`
+    /// of the per-shard mean, drain it into its left neighbour (the
+    /// first shard merges rightward) via `RepartitionPlan::merge` and
+    /// the per-user migration seam. Returns the new map when a merge
+    /// ran, `None` when every shard carries enough load or only one
+    /// shard remains. Inspection and rebalance happen under one lock
+    /// acquisition, exactly like the split trigger.
+    pub fn maybe_merge(&self, min_share: f64) -> Result<Option<PartitionMap>, TgsError> {
+        let mut fleet = self.fleet_mut();
+        if fleet.map.shards() < 2 {
+            return Ok(None);
+        }
+        let loads = self.shard_loads_of(&fleet);
+        let total: u64 = loads.iter().map(|l| l.tweets).sum();
+        if total == 0 {
+            // No routed documents yet: every shard is equally "cold" and
+            // collapsing the topology would be pure noise.
+            return Ok(None);
+        }
+        let mean = total as f64 / loads.len() as f64;
+        let cold = loads
+            .iter()
+            .min_by_key(|l| (l.tweets, l.shard))
+            .expect("at least two shards");
+        if cold.tweets as f64 >= mean * min_share {
+            return Ok(None);
+        }
+        let left = cold.shard.saturating_sub(1);
+        let plan = RepartitionPlan::single(RepartitionOp::Merge { left });
         self.rebalance_locked(&mut fleet, &plan).map(Some)
     }
 
@@ -598,7 +753,15 @@ impl ShardedEngine {
         let fleet = self.fleet();
         let mut sections = Vec::with_capacity(fleet.workers.len());
         for worker in &fleet.workers {
-            sections.push(worker.checkpoint()?);
+            match worker.checkpoint_section() {
+                Ok(section) => sections.push(section),
+                Err(e) => {
+                    // A fleet checkpoint missing a shard's users would
+                    // restore into silent data loss — fail it instead.
+                    self.note(&e);
+                    return Err(e);
+                }
+            }
         }
         let mut buf = BytesMut::with_capacity(
             64 + 8 * fleet.map.shards() + sections.iter().map(|s| s.len() + 8).sum::<usize>(),
@@ -613,7 +776,7 @@ impl ShardedEngine {
         buf.put_u64_le(fleet.map.fingerprint());
         for section in &sections {
             buf.put_u64_le(section.len() as u64);
-            buf.put_slice(section.as_bytes());
+            buf.put_slice(section);
         }
         Ok(ShardedCheckpoint {
             bytes: buf.freeze(),
@@ -650,17 +813,19 @@ impl ShardedEngine {
     }
 
     /// Drains every queue and stops all workers, surfacing the first
-    /// pending ingest failure instead of discarding it.
+    /// pending ingest failure instead of discarding it. Remote workers
+    /// release their server-side slot; in-process worker threads join
+    /// once the last query handle drops its transport.
     pub fn shutdown(self) -> Result<(), TgsError> {
         let outcome = self.flush();
-        let fleet = self
-            .inner
-            .into_inner()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        for worker in fleet.workers {
-            // Queues are already drained; shutdown only joins the worker
-            // (and would re-surface the same failure we already hold).
-            let _ = worker.shutdown();
+        {
+            let fleet = self.fleet();
+            for worker in &fleet.workers {
+                // Queues are already drained; shutdown only releases the
+                // worker (and would re-surface the failure we already
+                // hold).
+                let _ = worker.shutdown();
+            }
         }
         outcome.map(|_| ())
     }
@@ -669,7 +834,7 @@ impl ShardedEngine {
 /// Deals the fleet's workers disjoint, near-equal core sets (worker `i`
 /// of `n` gets the `i`-th of `n` groups). Best-effort and `TGS_PIN`-
 /// gated; a no-op request costs one queued command per worker.
-fn assign_core_sets(workers: &[SentimentEngine]) {
+fn assign_core_sets(workers: &[Arc<dyn ShardTransport>]) {
     if !tgs_linalg::pinning_enabled() {
         return;
     }
@@ -699,7 +864,7 @@ fn apply_plan(
     plan: &RepartitionPlan,
     new_map: &PartitionMap,
     cur_map: &mut PartitionMap,
-    workers: &mut Vec<SentimentEngine>,
+    workers: &mut Vec<Arc<dyn ShardTransport>>,
 ) -> Result<(), TgsError> {
     let mut retired_workers = Vec::new();
     for op in &plan.ops {
@@ -709,8 +874,15 @@ fn apply_plan(
                 workers.insert(shard + 1, sibling);
             }
             RepartitionOp::Merge { left } => {
+                // Absorb through the checkpoint-section seam: the
+                // retired worker serializes wholesale and the absorber
+                // folds the section in. The section is only read, so an
+                // absorb failure re-inserts the retired worker untouched.
                 let retired = workers.remove(left + 1);
-                if let Err(e) = workers[left].absorb(&retired) {
+                let outcome = retired
+                    .checkpoint_section()
+                    .and_then(|section| workers[left].absorb_section(&section));
+                if let Err(e) = outcome {
                     workers.insert(left + 1, retired);
                     return Err(e);
                 }
@@ -731,26 +903,26 @@ fn apply_plan(
             if i == j {
                 continue;
             }
-            let moved = workers[i].export_user_range(lo, hi);
-            if moved.len() > 0 {
-                if let Err((e, moved_back)) = workers[j].import_user_range(moved) {
+            let moved = workers[i].export_users(lo, hi)?;
+            if exported_users_len(&moved)? > 0 {
+                if let Err(e) = workers[j].import_users(&moved) {
                     // Restore the exported state to its source (which
                     // just released these users, so re-import cannot
                     // collide) before surfacing the error: a rejected
                     // migration must never destroy user history.
-                    workers[i]
-                        .import_user_range(moved_back)
-                        .map_err(|(e2, _)| e2)?;
+                    workers[i].import_users(&moved)?;
                     return Err(e);
                 }
             }
         }
     }
-    // Retired merge workers join only once every delta landed, so an
-    // error above never leaves the map and worker vec out of step. The
-    // fleet was quiesced before the plan ran, so these shutdown flushes
-    // have nothing pending to surface.
+    // Retired merge workers release only once every delta landed, so an
+    // error above never leaves the map and worker vec out of step. Their
+    // generation floor is poisoned first: a query handle still holding
+    // the retired transport gets `StaleTopology` (and re-keys) instead
+    // of silently double-counting state the absorber now owns.
     for retired in retired_workers {
+        let _ = retired.set_generation(u64::MAX);
         retired.shutdown()?;
     }
     Ok(())
@@ -772,12 +944,19 @@ fn flush_fleet(fleet: &Fleet) -> Result<(), TgsError> {
     }
 }
 
-fn steps_of(fleet: &Fleet) -> u64 {
-    let mut seen = BTreeSet::new();
-    for worker in &fleet.workers {
-        seen.extend(worker.query().timestamps());
+impl ShardedEngine {
+    /// Distinct committed timestamps across reachable workers; network
+    /// failures count into `shard_unavailable` and skip the worker.
+    fn steps_of(&self, fleet: &Fleet) -> u64 {
+        let mut seen = BTreeSet::new();
+        for worker in &fleet.workers {
+            match worker.timestamps() {
+                Ok(ts) => seen.extend(ts),
+                Err(e) => self.note(&e),
+            }
+        }
+        seen.len() as u64
     }
-    seen.len() as u64
 }
 
 /// Splits one snapshot into per-shard snapshots: documents follow their
@@ -792,6 +971,7 @@ fn steps_of(fleet: &Fleet) -> u64 {
 fn split(
     fleet: &Fleet,
     ghost_mode: bool,
+    k: usize,
     snapshot: EngineSnapshot,
 ) -> Result<(Vec<EngineSnapshot>, usize, usize, Vec<usize>), TgsError> {
     let EngineSnapshot {
@@ -842,18 +1022,16 @@ fn split(
         // state — the sampled exchange is then a pure function of the
         // stream prefix, independent of queue timing.
         flush_fleet(fleet)?;
-        let k = fleet.workers[0].config().k;
         for (shard, ghost_users) in routing.shard_ghosts.iter().enumerate() {
-            shards[shard].ghosts = ghost_users
-                .iter()
-                .map(|&user| {
-                    let owner = fleet.map.shard_of(user);
-                    let factor = fleet.workers[owner]
-                        .user_factor(user)
-                        .unwrap_or_else(|| vec![1.0 / k as f64; k]);
-                    (user, factor)
-                })
-                .collect();
+            let mut seeds = Vec::with_capacity(ghost_users.len());
+            for &user in ghost_users {
+                let owner = fleet.map.shard_of(user);
+                let factor = fleet.workers[owner]
+                    .user_factor(user)?
+                    .unwrap_or_else(|| vec![1.0 / k as f64; k]);
+                seeds.push((user, factor));
+            }
+            shards[shard].ghosts = seeds;
         }
     }
     Ok((
@@ -864,83 +1042,203 @@ fn split(
     ))
 }
 
-/// Read handle over a [`ShardedEngine`]'s merged history. Snapshots the
-/// topology at creation; see [`ShardedEngine::query`].
-#[derive(Clone)]
-pub struct ShardedQuery {
+/// One topology snapshot a query handle routes with: the map whose
+/// generation stamps every call, and the transports it fans out to.
+struct Topo {
     map: PartitionMap,
-    queries: Vec<EngineQuery>,
+    workers: Vec<Arc<dyn ShardTransport>>,
+}
+
+/// How many times a fanned-out query re-keys itself from the fleet after
+/// a `StaleTopology` rejection before giving up. More than one retry is
+/// only consumed when rebalances land *between* the re-key and the
+/// retried fan-out — vanishingly rare, but bounded so a rebalance storm
+/// cannot spin a reader forever.
+const REKEY_ATTEMPTS: usize = 3;
+
+/// Read handle over a [`ShardedEngine`]'s merged history.
+///
+/// The handle snapshots the topology at creation and keeps a reference
+/// to the fleet. Routed calls stamp the snapshot's generation; when a
+/// rebalance has bumped it, a worker answers [`TgsError::StaleTopology`]
+/// and the handle re-keys itself from the fleet before retrying
+/// (lazily — an idle handle costs nothing). Fan-outs are safe against
+/// mid-flight rebalances because every surviving worker rejects the old
+/// generation: partially merged results from a stale topology are
+/// discarded, never returned.
+pub struct ShardedQuery {
+    fleet: Arc<RwLock<Fleet>>,
+    topo: Mutex<Topo>,
+    /// The fleet's frozen vocabulary (for `top_words` ranking).
+    vocab: Vocabulary,
+    /// Number of sentiment clusters.
+    k: usize,
+}
+
+impl Clone for ShardedQuery {
+    fn clone(&self) -> Self {
+        let topo = self.topo.lock();
+        Self {
+            fleet: Arc::clone(&self.fleet),
+            topo: Mutex::new(Topo {
+                map: topo.map.clone(),
+                workers: topo.workers.clone(),
+            }),
+            vocab: self.vocab.clone(),
+            k: self.k,
+        }
+    }
 }
 
 impl ShardedQuery {
     /// Number of sentiment clusters.
     pub fn k(&self) -> usize {
-        self.queries[0].k()
+        self.k
     }
 
-    /// Number of shards.
+    /// Number of shards (as of this handle's topology snapshot).
     pub fn shards(&self) -> usize {
-        self.queries.len()
+        self.topo.lock().workers.len()
     }
 
-    /// The partition map this handle routes per-user queries with.
-    pub fn map(&self) -> &PartitionMap {
-        &self.map
+    /// The partition map this handle currently routes per-user queries
+    /// with (a snapshot; the handle re-keys lazily after rebalances).
+    pub fn map(&self) -> PartitionMap {
+        self.topo.lock().map.clone()
+    }
+
+    /// Refreshes this handle's topology snapshot from the fleet.
+    fn rekey(&self) {
+        let fleet = self.fleet.read().expect("fleet lock poisoned");
+        *self.topo.lock() = Topo {
+            map: fleet.map.clone(),
+            workers: fleet.workers.clone(),
+        };
+    }
+
+    /// Runs `f` against the current topology snapshot, re-keying from
+    /// the fleet and retrying (bounded) when a worker rejects the
+    /// snapshot's generation as stale.
+    fn with_topo<T>(&self, f: impl Fn(&Topo) -> Result<T, TgsError>) -> Result<T, TgsError> {
+        for _ in 1..REKEY_ATTEMPTS {
+            let outcome = {
+                let topo = self.topo.lock();
+                f(&topo)
+            };
+            match outcome {
+                Err(TgsError::StaleTopology { .. }) => self.rekey(),
+                other => return other,
+            }
+        }
+        let topo = self.topo.lock();
+        f(&topo)
     }
 
     /// Merged timeline entries whose timestamp falls in `range`,
     /// ascending. Per timestamp, shard aggregates sum (tweets, users,
     /// per-cluster counts, objective), `iterations` is the slowest
     /// shard's, and `converged` requires every shard to have converged.
-    pub fn timeline<R: RangeBounds<u64> + Clone>(&self, range: R) -> Vec<TimelineEntry> {
-        let mut merged: BTreeMap<u64, TimelineEntry> = BTreeMap::new();
-        for query in &self.queries {
-            for entry in query.timeline(range.clone()) {
-                match merged.entry(entry.timestamp) {
-                    std::collections::btree_map::Entry::Vacant(slot) => {
-                        slot.insert(entry);
-                    }
-                    std::collections::btree_map::Entry::Occupied(mut slot) => {
-                        slot.get_mut().merge_from(&entry);
+    pub fn timeline<R: RangeBounds<u64>>(&self, range: R) -> Result<Vec<TimelineEntry>, TgsError> {
+        // Normalize the bounds to an inclusive [lo, hi] once (the wire
+        // call is inclusive); inverted or empty ranges answer empty
+        // without fanning out, mirroring `EngineQuery::timeline`.
+        let lo = match range.start_bound() {
+            Bound::Unbounded => 0,
+            Bound::Included(&lo) => lo,
+            Bound::Excluded(&lo) => match lo.checked_add(1) {
+                Some(lo) => lo,
+                None => return Ok(Vec::new()),
+            },
+        };
+        let hi = match range.end_bound() {
+            Bound::Unbounded => u64::MAX,
+            Bound::Included(&hi) => hi,
+            Bound::Excluded(&hi) => match hi.checked_sub(1) {
+                Some(hi) => hi,
+                None => return Ok(Vec::new()),
+            },
+        };
+        if lo > hi {
+            return Ok(Vec::new());
+        }
+        self.with_topo(|topo| {
+            let generation = topo.map.generation();
+            let mut merged: BTreeMap<u64, TimelineEntry> = BTreeMap::new();
+            for worker in &topo.workers {
+                for entry in worker.timeline(generation, lo, hi)? {
+                    match merged.entry(entry.timestamp) {
+                        std::collections::btree_map::Entry::Vacant(slot) => {
+                            slot.insert(entry);
+                        }
+                        std::collections::btree_map::Entry::Occupied(mut slot) => {
+                            slot.get_mut().merge_from(&entry);
+                        }
                     }
                 }
             }
-        }
-        merged.into_values().collect()
+            Ok(merged.into_values().collect())
+        })
     }
 
     /// The most recent merged timeline entry, if any.
-    pub fn latest(&self) -> Option<TimelineEntry> {
-        let t = self
-            .queries
-            .iter()
-            .filter_map(|q| q.latest().map(|e| e.timestamp))
-            .max()?;
-        self.timeline(t..=t).pop()
+    pub fn latest(&self) -> Result<Option<TimelineEntry>, TgsError> {
+        self.with_topo(|topo| {
+            let generation = topo.map.generation();
+            let mut newest: Option<u64> = None;
+            for worker in &topo.workers {
+                if let Some(t) = worker.latest_timestamp(generation)? {
+                    newest = Some(newest.map_or(t, |n| n.max(t)));
+                }
+            }
+            let Some(t) = newest else {
+                return Ok(None);
+            };
+            let mut merged: Option<TimelineEntry> = None;
+            for worker in &topo.workers {
+                for entry in worker.timeline(generation, t, t)? {
+                    match merged.as_mut() {
+                        None => merged = Some(entry),
+                        Some(m) => m.merge_from(&entry),
+                    }
+                }
+            }
+            Ok(merged)
+        })
     }
 
     /// The user's sentiment as of `at`, answered by the shard that owns
     /// the user (shard-transparent: callers never see the routing).
     pub fn user_sentiment(&self, user: usize, at: u64) -> Result<UserSentiment, TgsError> {
-        self.queries[self.map.shard_of(user)].user_sentiment(user, at)
+        self.with_topo(|topo| {
+            topo.workers[topo.map.shard_of(user)].user_sentiment(topo.map.generation(), user, at)
+        })
     }
 
     /// Every recorded observation for the user, ascending by timestamp.
     pub fn user_timeline(&self, user: usize) -> Result<Vec<(u64, Vec<f64>)>, TgsError> {
-        self.queries[self.map.shard_of(user)].user_timeline(user)
+        self.with_topo(|topo| {
+            topo.workers[topo.map.shard_of(user)].user_timeline(topo.map.generation(), user)
+        })
     }
 
     /// Users with recorded history across all shards (shards are
     /// user-disjoint — ghost rows are never recorded — so the sum never
     /// double-counts).
-    pub fn known_users(&self) -> usize {
-        self.queries.iter().map(EngineQuery::known_users).sum()
+    pub fn known_users(&self) -> Result<usize, TgsError> {
+        self.with_topo(|topo| {
+            let generation = topo.map.generation();
+            let mut total = 0;
+            for worker in &topo.workers {
+                total += worker.known_users(generation)?;
+            }
+            Ok(total)
+        })
     }
 
     /// Per-cluster composition of the merged snapshot at exactly `t`.
     pub fn cluster_summary(&self, t: u64) -> Result<ClusterSummary, TgsError> {
         let entry = self
-            .timeline(t..=t)
+            .timeline(t..=t)?
             .pop()
             .ok_or(TgsError::SnapshotUnavailable { timestamp: t })?;
         Ok(ClusterSummary {
@@ -958,23 +1256,26 @@ impl ShardedQuery {
     /// when any shard that did has already evicted its factors (a partial
     /// merge would silently skew the ranking).
     pub fn top_words(&self, t: u64, topk: usize) -> Result<Vec<Vec<(String, f64)>>, TgsError> {
-        let mut parts: Vec<(f64, DenseMatrix)> = Vec::new();
-        for query in &self.queries {
-            match query.cluster_summary(t) {
-                Ok(summary) => {
-                    let weight = summary.tweet_counts.iter().sum::<usize>() as f64;
-                    parts.push((weight, query.sf_at(t)?));
+        let sf = self.with_topo(|topo| {
+            let generation = topo.map.generation();
+            let mut parts: Vec<(f64, DenseMatrix)> = Vec::new();
+            for worker in &topo.workers {
+                match worker.cluster_summary(generation, t) {
+                    Ok(summary) => {
+                        let weight = summary.tweet_counts.iter().sum::<usize>() as f64;
+                        parts.push((weight, worker.sf_at(generation, t)?));
+                    }
+                    Err(TgsError::SnapshotUnavailable { .. }) => continue,
+                    Err(e) => return Err(e),
                 }
-                Err(TgsError::SnapshotUnavailable { .. }) => continue,
-                Err(e) => return Err(e),
             }
-        }
-        // The solvers' merge policy verbatim (single part = bit-exact
-        // clone), so engine-level rankings can never drift from
-        // `solve_offline_sharded` / `ShardedOnlineSolver` semantics.
-        let borrowed: Vec<(f64, &DenseMatrix)> = parts.iter().map(|(w, sf)| (*w, sf)).collect();
-        let sf = merge_sf(&borrowed).ok_or(TgsError::SnapshotUnavailable { timestamp: t })?;
-        Ok(rank_top_words(&sf, &self.queries[0].shared.vocab, topk))
+            // The solvers' merge policy verbatim (single part = bit-exact
+            // clone), so engine-level rankings can never drift from
+            // `solve_offline_sharded` / `ShardedOnlineSolver` semantics.
+            let borrowed: Vec<(f64, &DenseMatrix)> = parts.iter().map(|(w, sf)| (*w, sf)).collect();
+            merge_sf(&borrowed).ok_or(TgsError::SnapshotUnavailable { timestamp: t })
+        })?;
+        Ok(rank_top_words(&sf, &self.vocab, topk))
     }
 }
 
@@ -1016,7 +1317,7 @@ mod tests {
         let engine = sharded(&c, 3);
         stream(&engine, &c);
         let query = engine.query();
-        let timeline = query.timeline(..);
+        let timeline = query.timeline(..).unwrap();
         assert_eq!(timeline.len() as u64, engine.steps());
         let total: usize = timeline.iter().map(|e| e.tweets).sum();
         assert_eq!(total, c.num_tweets(), "no tweet may vanish in fan-out");
@@ -1057,7 +1358,10 @@ mod tests {
         let restored = ShardedEngine::restore(&ckpt).unwrap();
         assert_eq!(restored.shards(), 2);
         assert_eq!(restored.map(), engine.map());
-        assert_eq!(restored.query().timeline(..), engine.query().timeline(..));
+        assert_eq!(
+            restored.query().timeline(..).unwrap(),
+            engine.query().timeline(..).unwrap()
+        );
         // Restored fleet keeps solving bit-identically.
         let extra = EngineSnapshot::from_corpus_window(&c, 0, c.num_days);
         let mut a_snap = extra.clone();
@@ -1068,7 +1372,10 @@ mod tests {
         restored.ingest(b_snap).unwrap();
         engine.flush().unwrap();
         restored.flush().unwrap();
-        assert_eq!(restored.query().timeline(..), engine.query().timeline(..));
+        assert_eq!(
+            restored.query().timeline(..).unwrap(),
+            engine.query().timeline(..).unwrap()
+        );
     }
 
     #[test]
@@ -1108,7 +1415,10 @@ mod tests {
         let ckpt = single.checkpoint().unwrap();
         let wrapped = ShardedEngine::restore_any(ckpt.as_bytes().to_vec()).unwrap();
         assert_eq!(wrapped.shards(), 1);
-        assert_eq!(wrapped.query().timeline(..), single.query().timeline(..));
+        assert_eq!(
+            wrapped.query().timeline(..).unwrap(),
+            single.query().timeline(..)
+        );
         let t = single.query().latest().unwrap().timestamp;
         assert_eq!(
             wrapped.query().top_words(t, 6).unwrap(),
@@ -1161,7 +1471,11 @@ mod tests {
         let routed = (0..c.num_users())
             .filter(|&u| query.user_timeline(u).is_ok())
             .count();
-        assert_eq!(query.known_users(), routed, "history only with the owner");
+        assert_eq!(
+            query.known_users().unwrap(),
+            routed,
+            "history only with the owner"
+        );
         // Determinism: an identical ghost-mode run is byte-identical.
         let twin = EngineBuilder::new()
             .k(3)
@@ -1170,7 +1484,10 @@ mod tests {
             .fit_sharded(&c, 4)
             .unwrap();
         stream(&twin, &c);
-        assert_eq!(twin.query().timeline(..), engine.query().timeline(..));
+        assert_eq!(
+            twin.query().timeline(..).unwrap(),
+            engine.query().timeline(..).unwrap()
+        );
     }
 
     #[test]

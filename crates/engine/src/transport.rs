@@ -1,0 +1,452 @@
+//! The shard transport seam: every call the multi-shard router makes
+//! against a worker, abstracted behind one object-safe trait.
+//!
+//! [`ShardedEngine`](crate::ShardedEngine) and
+//! [`ShardedQuery`](crate::ShardedQuery) route ingest, the per-round
+//! `Sf`/ghost exchange, queries, stats, checkpoint sections and the
+//! `export_users`/`import_users` migration seam through a
+//! [`ShardTransport`], so the same router code drives an in-process
+//! fleet ([`LocalShard`], one [`SentimentEngine`] per shard behind a
+//! thread) and a distributed one (`tgs-net`'s TCP client speaking the
+//! framed wire protocol to `tgs shard` servers).
+//!
+//! **Generation checking.** Data-plane calls carry the topology
+//! generation of the [`PartitionMap`](tgs_data::PartitionMap) the caller
+//! routed with. Every transport tracks the newest generation it has
+//! seen (monotone: newer generations are adopted on sight) and rejects
+//! older ones with [`TgsError::StaleTopology`] — a handle still routing
+//! with a pre-rebalance map would otherwise silently miss migrated
+//! users or double-count a merged worker's history. Control-plane calls
+//! (flush, stats, the rebalance/migration surface itself) are exempt:
+//! they are either process-local monitoring or driven by the router
+//! while it holds the fleet's topology lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tgs_core::TgsError;
+use tgs_linalg::DenseMatrix;
+
+use crate::engine::{EngineStats, SentimentEngine};
+use crate::query::{ClusterSummary, TimelineEntry, UserSentiment};
+use crate::snapshot::EngineSnapshot;
+
+/// One shard worker as seen by the multi-shard router: the full
+/// ingest/query/stats/checkpoint/migration surface, location-agnostic.
+///
+/// Calls taking a `generation` are data-plane: implementations must
+/// reject generations older than the newest they have seen with
+/// [`TgsError::StaleTopology`], and adopt newer ones (see the module
+/// docs). The remaining calls are control-plane and generation-exempt.
+pub trait ShardTransport: Send + Sync {
+    // --- data plane (generation-checked) ---
+
+    /// Queues one pre-routed sub-snapshot on the worker.
+    fn ingest(&self, generation: u64, snapshot: EngineSnapshot) -> Result<(), TgsError>;
+
+    /// Timeline entries with `lo <= timestamp <= hi`, ascending.
+    fn timeline(&self, generation: u64, lo: u64, hi: u64) -> Result<Vec<TimelineEntry>, TgsError>;
+
+    /// The newest committed timestamp, if any.
+    fn latest_timestamp(&self, generation: u64) -> Result<Option<u64>, TgsError>;
+
+    /// The user's sentiment as of `at` (see
+    /// [`crate::EngineQuery::user_sentiment`]).
+    fn user_sentiment(
+        &self,
+        generation: u64,
+        user: usize,
+        at: u64,
+    ) -> Result<UserSentiment, TgsError>;
+
+    /// Every recorded observation for the user, ascending.
+    fn user_timeline(&self, generation: u64, user: usize)
+        -> Result<Vec<(u64, Vec<f64>)>, TgsError>;
+
+    /// Users with recorded history on this worker.
+    fn known_users(&self, generation: u64) -> Result<usize, TgsError>;
+
+    /// Per-cluster composition of the worker's snapshot at exactly `t`.
+    fn cluster_summary(&self, generation: u64, t: u64) -> Result<ClusterSummary, TgsError>;
+
+    /// The worker's recorded `Sf` factor at exactly `t`.
+    fn sf_at(&self, generation: u64, t: u64) -> Result<DenseMatrix, TgsError>;
+
+    // --- control plane (generation-exempt) ---
+
+    /// Drains the worker's queue; surfaces the first pending ingest
+    /// failure or the worker's committed step count.
+    fn flush(&self) -> Result<u64, TgsError>;
+
+    /// The worker's ingest metrics.
+    fn stats(&self) -> Result<EngineStats, TgsError>;
+
+    /// Every committed snapshot timestamp, ascending.
+    fn timestamps(&self) -> Result<Vec<u64>, TgsError>;
+
+    /// Number of sentiment clusters.
+    fn k(&self) -> Result<usize, TgsError>;
+
+    /// The worker's frozen vocabulary, as its token list (token id =
+    /// list index). Fetched once per fleet; the router ranks
+    /// `top_words` locally against it.
+    fn vocab_tokens(&self) -> Result<Vec<String>, TgsError>;
+
+    /// The solver's current decayed sentiment estimate for a user —
+    /// the factor broadcast into ghost rows on other shards.
+    fn user_factor(&self, user: usize) -> Result<Option<Vec<f64>>, TgsError>;
+
+    /// Drains the queue and serializes the worker as one single-engine
+    /// checkpoint section (the fleet checkpoint's per-shard payload and
+    /// the wire serialization of a whole worker).
+    fn checkpoint_section(&self) -> Result<Vec<u8>, TgsError>;
+
+    /// Removes and returns all per-user state for ids in `lo..hi`,
+    /// serialized with [`SentimentEngine::export_users_bytes`]. The
+    /// caller must have flushed this worker first.
+    fn export_users(&self, lo: usize, hi: usize) -> Result<Vec<u8>, TgsError>;
+
+    /// Imports per-user state previously exported from another worker.
+    /// On rejection the exported bytes remain valid: re-import them to
+    /// the source to roll the migration back.
+    fn import_users(&self, users: &[u8]) -> Result<(), TgsError>;
+
+    /// Starts a fresh worker sharing this one's frozen configuration
+    /// with a cold solver and empty history — the spawn path of a shard
+    /// split. A remote transport spawns the sibling on the same server.
+    fn spawn_sibling(&self) -> Result<Arc<dyn ShardTransport>, TgsError>;
+
+    /// Folds an entire (flushed) worker's recorded state — serialized
+    /// as a checkpoint section — into this worker: the absorb path of a
+    /// shard merge. The section is only read, so a failed absorb leaves
+    /// both sides untouched.
+    fn absorb_section(&self, section: &[u8]) -> Result<(), TgsError>;
+
+    /// Advances the transport's generation floor (monotone: older
+    /// values are ignored). The router calls this on every worker after
+    /// a rebalance commits, and with `u64::MAX` on a retired worker so
+    /// any handle still holding it re-keys instead of double-counting.
+    fn set_generation(&self, generation: u64) -> Result<(), TgsError>;
+
+    /// Asks the worker to pin itself to the `set_index`-th of `n_sets`
+    /// disjoint core groups (best effort, `TGS_PIN`-gated). Remote
+    /// workers pin within their own host's core budget, so a remote
+    /// transport treats this as a no-op.
+    fn request_core_set(&self, set_index: usize, n_sets: usize);
+
+    /// Drains the worker and releases it (a remote transport drops the
+    /// server-side slot). Idempotent best effort during fleet teardown.
+    fn shutdown(&self) -> Result<(), TgsError>;
+
+    /// Where this worker lives, for error context and diagnostics —
+    /// `"local"` for in-process workers, the peer address for remote
+    /// ones.
+    fn peer(&self) -> String;
+}
+
+/// The in-process [`ShardTransport`]: a [`SentimentEngine`] plus the
+/// monotone generation floor. This is the transport every fleet built
+/// by [`crate::EngineBuilder::fit_sharded`] runs on; the router cannot
+/// tell it apart from a TCP shard.
+pub struct LocalShard {
+    engine: SentimentEngine,
+    generation: AtomicU64,
+}
+
+impl LocalShard {
+    /// Wraps an engine as a shard transport, starting at generation 0.
+    pub fn new(engine: SentimentEngine) -> Self {
+        Self {
+            engine,
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Adopts `generation` if newer; rejects it if older than the
+    /// newest seen (see the module docs for why both halves matter).
+    fn check(&self, generation: u64) -> Result<(), TgsError> {
+        let newest = self.generation.fetch_max(generation, Ordering::Relaxed);
+        if generation < newest {
+            return Err(TgsError::StaleTopology {
+                have: generation,
+                current: newest,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl ShardTransport for LocalShard {
+    fn ingest(&self, generation: u64, snapshot: EngineSnapshot) -> Result<(), TgsError> {
+        self.check(generation)?;
+        self.engine.ingest(snapshot)
+    }
+
+    fn timeline(&self, generation: u64, lo: u64, hi: u64) -> Result<Vec<TimelineEntry>, TgsError> {
+        self.check(generation)?;
+        Ok(self.engine.query().timeline(lo..=hi))
+    }
+
+    fn latest_timestamp(&self, generation: u64) -> Result<Option<u64>, TgsError> {
+        self.check(generation)?;
+        Ok(self.engine.query().latest().map(|e| e.timestamp))
+    }
+
+    fn user_sentiment(
+        &self,
+        generation: u64,
+        user: usize,
+        at: u64,
+    ) -> Result<UserSentiment, TgsError> {
+        self.check(generation)?;
+        self.engine.query().user_sentiment(user, at)
+    }
+
+    fn user_timeline(
+        &self,
+        generation: u64,
+        user: usize,
+    ) -> Result<Vec<(u64, Vec<f64>)>, TgsError> {
+        self.check(generation)?;
+        self.engine.query().user_timeline(user)
+    }
+
+    fn known_users(&self, generation: u64) -> Result<usize, TgsError> {
+        self.check(generation)?;
+        Ok(self.engine.query().known_users())
+    }
+
+    fn cluster_summary(&self, generation: u64, t: u64) -> Result<ClusterSummary, TgsError> {
+        self.check(generation)?;
+        self.engine.query().cluster_summary(t)
+    }
+
+    fn sf_at(&self, generation: u64, t: u64) -> Result<DenseMatrix, TgsError> {
+        self.check(generation)?;
+        self.engine.query().sf_at(t)
+    }
+
+    fn flush(&self) -> Result<u64, TgsError> {
+        self.engine.flush()
+    }
+
+    fn stats(&self) -> Result<EngineStats, TgsError> {
+        Ok(self.engine.stats())
+    }
+
+    fn timestamps(&self) -> Result<Vec<u64>, TgsError> {
+        Ok(self.engine.query().timestamps())
+    }
+
+    fn k(&self) -> Result<usize, TgsError> {
+        Ok(self.engine.config().k)
+    }
+
+    fn vocab_tokens(&self) -> Result<Vec<String>, TgsError> {
+        Ok(self.engine.vocabulary().tokens().to_vec())
+    }
+
+    fn user_factor(&self, user: usize) -> Result<Option<Vec<f64>>, TgsError> {
+        Ok(self.engine.user_factor(user))
+    }
+
+    fn checkpoint_section(&self) -> Result<Vec<u8>, TgsError> {
+        Ok(self.engine.checkpoint()?.as_bytes().to_vec())
+    }
+
+    fn export_users(&self, lo: usize, hi: usize) -> Result<Vec<u8>, TgsError> {
+        Ok(self.engine.export_users_bytes(lo, hi))
+    }
+
+    fn import_users(&self, users: &[u8]) -> Result<(), TgsError> {
+        self.engine.import_users_bytes(users)
+    }
+
+    fn spawn_sibling(&self) -> Result<Arc<dyn ShardTransport>, TgsError> {
+        let sibling = self.engine.spawn_sibling()?;
+        let transport = LocalShard::new(sibling);
+        // The sibling joins mid-rebalance: start it at this worker's
+        // floor so the post-rebalance generation bump lands uniformly.
+        transport
+            .generation
+            .store(self.generation.load(Ordering::Relaxed), Ordering::Relaxed);
+        Ok(Arc::new(transport))
+    }
+
+    fn absorb_section(&self, section: &[u8]) -> Result<(), TgsError> {
+        let donor = SentimentEngine::restore(&crate::checkpoint::EngineCheckpoint::from_bytes(
+            section.to_vec(),
+        ))?;
+        self.engine.absorb(&donor)?;
+        donor.shutdown()
+    }
+
+    fn set_generation(&self, generation: u64) -> Result<(), TgsError> {
+        self.generation.fetch_max(generation, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn request_core_set(&self, set_index: usize, n_sets: usize) {
+        self.engine.request_core_set(set_index, n_sets);
+    }
+
+    fn shutdown(&self) -> Result<(), TgsError> {
+        // Drain and surface pending failures; the worker thread itself
+        // joins when the last Arc drops (SentimentEngine's Drop).
+        self.engine.flush().map(|_| ())
+    }
+
+    fn peer(&self) -> String {
+        "local".to_string()
+    }
+}
+
+/// Reads the user count out of an [`ShardTransport::export_users`]
+/// payload without decoding the rows — the router skips the import call
+/// for empty migrations.
+pub fn exported_users_len(bytes: &[u8]) -> Result<u64, TgsError> {
+    if bytes.len() < 16 {
+        return Err(TgsError::corrupt(
+            "truncated migrated-users payload: missing row counts",
+        ));
+    }
+    let track = u64::from_le_bytes(bytes[..8].try_into().expect("checked length"));
+    let solver = u64::from_le_bytes(bytes[8..16].try_into().expect("checked length"));
+    Ok(track.max(solver))
+}
+
+fn corrupt(what: &str) -> TgsError {
+    TgsError::corrupt(format!("malformed migrated-users payload: {what}"))
+}
+
+fn rd_u64(b: &mut Bytes, what: &str) -> Result<u64, TgsError> {
+    if b.remaining() < 8 {
+        return Err(corrupt(what));
+    }
+    Ok(b.get_u64_le())
+}
+
+fn rd_count(b: &mut Bytes, elem_floor: usize, what: &str) -> Result<usize, TgsError> {
+    usize::try_from(rd_u64(b, what)?)
+        .ok()
+        .filter(|&n| n.saturating_mul(elem_floor.max(1)) <= b.remaining())
+        .ok_or_else(|| corrupt(what))
+}
+
+/// One user's `(timestamp key, distribution)` observations — the shared
+/// row shape of the queryable track and the solver's aged history.
+pub(crate) type UserRow = (usize, Vec<(u64, Vec<f64>)>);
+
+fn wr_dists(buf: &mut BytesMut, rows: &[(u64, Vec<f64>)]) {
+    buf.put_u64_le(rows.len() as u64);
+    for (key, dist) in rows {
+        buf.put_u64_le(*key);
+        buf.put_u64_le(dist.len() as u64);
+        for &v in dist {
+            buf.put_f64_le(v);
+        }
+    }
+}
+
+fn rd_dists(b: &mut Bytes, what: &str) -> Result<Vec<(u64, Vec<f64>)>, TgsError> {
+    let n = rd_count(b, 16, what)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = rd_u64(b, what)?;
+        let k = rd_count(b, 8, what)?;
+        let mut dist = Vec::with_capacity(k);
+        for _ in 0..k {
+            if b.remaining() < 8 {
+                return Err(corrupt(what));
+            }
+            dist.push(b.get_f64_le());
+        }
+        out.push((key, dist));
+    }
+    Ok(out)
+}
+
+/// Serializes rows of `(user id, [(key, distribution)])` — the shared
+/// shape of the queryable track and the solver's aged history rows.
+fn wr_user_rows(buf: &mut BytesMut, rows: &[UserRow]) {
+    for (user, observations) in rows {
+        buf.put_u64_le(*user as u64);
+        wr_dists(buf, observations);
+    }
+}
+
+fn rd_user_rows(b: &mut Bytes, n: usize, what: &str) -> Result<Vec<UserRow>, TgsError> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let user = usize::try_from(rd_u64(b, what)?).map_err(|_| corrupt(what))?;
+        out.push((user, rd_dists(b, what)?));
+    }
+    Ok(out)
+}
+
+/// Byte-level migration seam used by [`SentimentEngine`]'s
+/// `export_users_bytes` / `import_users_bytes` pair. Layout (all LE):
+/// `u64 track_users | u64 solver_rows | track rows | solver rows`,
+/// where each row is `u64 user | u64 n | n × (u64 key, u64 k, k × f64)`.
+/// `f64`s round-trip by bit pattern, so a local rebalance through bytes
+/// stays byte-identical to the former in-memory path.
+pub(crate) fn encode_user_range(track: &[UserRow], solver_rows: &[UserRow]) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_u64_le(track.len() as u64);
+    buf.put_u64_le(solver_rows.len() as u64);
+    wr_user_rows(&mut buf, track);
+    wr_user_rows(&mut buf, solver_rows);
+    buf.freeze().as_slice().to_vec()
+}
+
+pub(crate) fn decode_user_range(bytes: &[u8]) -> Result<(Vec<UserRow>, Vec<UserRow>), TgsError> {
+    let mut b = Bytes::from(bytes.to_vec());
+    let track_n = rd_count(&mut b, 8, "track user count")?;
+    let solver_n = rd_count(&mut b, 8, "solver row count")?;
+    let track = rd_user_rows(&mut b, track_n, "track rows")?;
+    let solver = rd_user_rows(&mut b, solver_n, "solver rows")?;
+    if b.remaining() != 0 {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok((track, solver))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_range_codec_roundtrips() {
+        let track = vec![
+            (
+                3usize,
+                vec![(10u64, vec![0.25, 0.75]), (11, vec![0.5, 0.5])],
+            ),
+            (9, vec![]),
+        ];
+        let solver = vec![(3usize, vec![(0u64, vec![1.0, 0.0])])];
+        let bytes = encode_user_range(&track, &solver);
+        assert_eq!(exported_users_len(&bytes).unwrap(), 2);
+        let (t2, s2) = decode_user_range(&bytes).unwrap();
+        assert_eq!(t2, track);
+        assert_eq!(s2, solver);
+        // Empty payloads are legal and read as zero users.
+        let empty = encode_user_range(&[], &[]);
+        assert_eq!(exported_users_len(&empty).unwrap(), 0);
+        assert!(decode_user_range(&empty).unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn user_range_codec_rejects_corruption() {
+        assert!(exported_users_len(&[0u8; 15]).is_err());
+        let bytes = encode_user_range(&[(1, vec![(5, vec![0.5])])], &[]);
+        assert!(decode_user_range(&bytes[..bytes.len() - 1]).is_err());
+        let mut huge = bytes.clone();
+        huge[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_user_range(&huge).is_err(), "bounded row count");
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(decode_user_range(&trailing).is_err());
+    }
+}

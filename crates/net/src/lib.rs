@@ -1,0 +1,46 @@
+//! Distributed shard fleet for the tripartite sentiment engine.
+//!
+//! The multi-shard router in `tgs-engine` drives its workers through
+//! the object-safe [`ShardTransport`] seam. This crate supplies the
+//! remote half of that seam over plain `std::net` TCP — no async
+//! runtime, no serialization framework, no new dependencies:
+//!
+//! - [`frame`] — the length-prefixed frame layer: `[u32 len][u8
+//!   version][u8 opcode][u64 generation][u64 slot][payload]` requests,
+//!   `[u32 len][u8 version][u8 status][payload]` responses.
+//! - [`wire`] — payload codecs for every engine value that crosses the
+//!   wire (snapshots, timelines, stats, factors, checkpoint sections)
+//!   plus a [`TgsError`](tgs_core::TgsError) codec that keeps
+//!   dispatch-relevant variants — above all `StaleTopology`, which the
+//!   router's lazy re-keying matches on — intact across the trip.
+//! - [`TcpShard`] — the client: one lazily-dialed connection per shard
+//!   slot, per-call timeouts, bounded reconnect with doubling backoff,
+//!   and retry only where replay is safe. A dead peer surfaces as
+//!   [`TgsError::Net`](tgs_core::TgsError::Net), never a panic.
+//! - [`ShardServer`] — the `tgs shard` side: a slot-hosting TCP server
+//!   whose slots are created over the wire (`INIT` from a checkpoint
+//!   section, `SPAWN_SIBLING` during a live split).
+//! - [`deploy_fleet`] / [`attach_fleet`] — the `tgs serve` bootstrap:
+//!   checkpoint a deterministic cold local fleet, ship one section per
+//!   server, rebuild the router over TCP transports. Restore is exact,
+//!   so a loopback fleet is bit-identical to the in-process engine it
+//!   was cloned from.
+//!
+//! Every frame carries the topology generation of the partition map the
+//! caller routed with; shards reject stale generations so a handle
+//! that slept through a rebalance re-keys instead of misrouting. The
+//! byte-level contract lives in `crates/net/PROTOCOL.md`.
+
+pub mod client;
+pub mod frame;
+pub mod router;
+pub mod server;
+pub mod wire;
+
+pub use client::{NetConfig, ServerInfo, TcpShard};
+pub use router::{attach_fleet, deploy_fleet};
+pub use server::ShardServer;
+
+// Re-exported so downstream code can name the seam without also
+// depending on tgs_engine directly.
+pub use tgs_engine::ShardTransport;

@@ -1,0 +1,82 @@
+//! Deploying a fleet onto remote shard servers.
+//!
+//! The router front-end (`tgs serve`) starts from the same place the
+//! in-process path does: a deterministic cold [`ShardedEngine`] built
+//! by `EngineBuilder::fit_sharded`. [`deploy_fleet`] checkpoints that
+//! template, ships one section to slot 0 of each `tgs shard` server,
+//! and rebuilds the router over the TCP transports — restore is exact,
+//! so the remote fleet is bit-identical to the local one it was cloned
+//! from.
+
+use std::sync::Arc;
+
+use tgs_core::TgsError;
+use tgs_engine::{ShardTransport, ShardedEngine};
+
+use crate::client::{NetConfig, TcpShard};
+
+/// Ships `template`'s per-shard state to the servers at `addrs` (one
+/// shard per server, slot 0) and returns a [`ShardedEngine`] routing
+/// over TCP. The template is consumed: its workers shut down once
+/// their state has been deployed.
+///
+/// Each server must be fresh (no slot 0 yet); a server that declared a
+/// `--range` at launch is checked against the template's partition map
+/// so a mis-wired fleet fails loudly at deploy time instead of
+/// misrouting users later.
+pub fn deploy_fleet(
+    template: ShardedEngine,
+    addrs: &[String],
+    cfg: &NetConfig,
+) -> Result<ShardedEngine, TgsError> {
+    if addrs.len() != template.shards() {
+        return Err(TgsError::invalid_argument(format!(
+            "{} shard servers for a {}-shard template",
+            addrs.len(),
+            template.shards()
+        )));
+    }
+    let map = template.map();
+    let ghost_mode = template.ghost_mode();
+    let sections = template.checkpoint()?.sections()?;
+    template.shutdown()?;
+
+    let mut transports: Vec<Arc<dyn ShardTransport>> = Vec::with_capacity(addrs.len());
+    for (shard, (addr, section)) in addrs.iter().zip(&sections).enumerate() {
+        let handle = TcpShard::new(addr.clone(), 0, cfg.clone());
+        let info = handle.server_info()?;
+        if let Some((lo, hi)) = info.range {
+            let expected = map.range(shard);
+            if (lo, hi) != expected {
+                return Err(TgsError::invalid_argument(format!(
+                    "shard server {addr} declared user range {lo}..{hi} but the \
+                     partition map assigns {}..{} to shard {shard}",
+                    expected.0, expected.1
+                )));
+            }
+        }
+        handle.init(section)?;
+        transports.push(Arc::new(handle));
+    }
+    ShardedEngine::from_transports(map, transports, ghost_mode)
+}
+
+/// Re-attaches to servers that already hold fleet state (slot 0 each)
+/// without shipping anything — the reconnect path after a router
+/// restart. `map` and `ghost_mode` must match what was deployed (take
+/// them from a saved fleet checkpoint header or the original launch
+/// configuration).
+pub fn attach_fleet(
+    map: tgs_data::PartitionMap,
+    addrs: &[String],
+    ghost_mode: bool,
+    cfg: &NetConfig,
+) -> Result<ShardedEngine, TgsError> {
+    let transports: Vec<Arc<dyn ShardTransport>> = addrs
+        .iter()
+        .map(|addr| {
+            Arc::new(TcpShard::new(addr.clone(), 0, cfg.clone())) as Arc<dyn ShardTransport>
+        })
+        .collect();
+    ShardedEngine::from_transports(map, transports, ghost_mode)
+}

@@ -1,0 +1,886 @@
+//! Payload codecs: how every engine value crosses the wire.
+//!
+//! All integers are little-endian `u64` (usizes widen losslessly),
+//! floats are `f64` by bit pattern (so factors and objectives
+//! round-trip byte-identically), strings and byte blobs are
+//! `u64`-length-prefixed. Decoders return a `String` description on
+//! malformed input; callers wrap it with peer context
+//! ([`tgs_core::TgsError::Net`] on the client, an error response on the
+//! server).
+
+use tgs_core::TgsError;
+use tgs_engine::{
+    ClusterSummary, DocContent, EngineDoc, EngineRetweet, EngineSnapshot, EngineStats,
+    TimelineEntry, UserSentiment,
+};
+use tgs_linalg::DenseMatrix;
+
+/// Opcode table — one per [`crate::ShardTransport`] method plus the
+/// server-management verbs. Values are wire-stable: append, never
+/// renumber.
+pub mod op {
+    /// Liveness probe; echoes an empty payload.
+    pub const PING: u8 = 0;
+    /// Creates a slot from a checkpoint section payload.
+    pub const INIT: u8 = 1;
+    /// [`crate::ShardTransport::ingest`].
+    pub const INGEST: u8 = 2;
+    /// [`crate::ShardTransport::flush`].
+    pub const FLUSH: u8 = 3;
+    /// [`crate::ShardTransport::stats`].
+    pub const STATS: u8 = 4;
+    /// [`crate::ShardTransport::timestamps`].
+    pub const TIMESTAMPS: u8 = 5;
+    /// [`crate::ShardTransport::timeline`].
+    pub const TIMELINE: u8 = 6;
+    /// [`crate::ShardTransport::latest_timestamp`].
+    pub const LATEST_TIMESTAMP: u8 = 7;
+    /// [`crate::ShardTransport::user_sentiment`].
+    pub const USER_SENTIMENT: u8 = 8;
+    /// [`crate::ShardTransport::user_timeline`].
+    pub const USER_TIMELINE: u8 = 9;
+    /// [`crate::ShardTransport::known_users`].
+    pub const KNOWN_USERS: u8 = 10;
+    /// [`crate::ShardTransport::cluster_summary`].
+    pub const CLUSTER_SUMMARY: u8 = 11;
+    /// [`crate::ShardTransport::sf_at`].
+    pub const SF_AT: u8 = 12;
+    /// [`crate::ShardTransport::k`].
+    pub const K: u8 = 13;
+    /// [`crate::ShardTransport::vocab_tokens`].
+    pub const VOCAB_TOKENS: u8 = 14;
+    /// [`crate::ShardTransport::user_factor`].
+    pub const USER_FACTOR: u8 = 15;
+    /// [`crate::ShardTransport::checkpoint_section`].
+    pub const CHECKPOINT_SECTION: u8 = 16;
+    /// [`crate::ShardTransport::export_users`].
+    pub const EXPORT_USERS: u8 = 17;
+    /// [`crate::ShardTransport::import_users`].
+    pub const IMPORT_USERS: u8 = 18;
+    /// [`crate::ShardTransport::spawn_sibling`]; returns the new slot id.
+    pub const SPAWN_SIBLING: u8 = 19;
+    /// [`crate::ShardTransport::absorb_section`].
+    pub const ABSORB_SECTION: u8 = 20;
+    /// [`crate::ShardTransport::set_generation`].
+    pub const SET_GENERATION: u8 = 21;
+    /// [`crate::ShardTransport::shutdown`] + slot removal (idempotent).
+    pub const SHUTDOWN_SLOT: u8 = 22;
+    /// Stops the whole server process after responding.
+    pub const TERMINATE: u8 = 23;
+    /// Server metadata: declared user range and live slot count.
+    pub const SERVER_INFO: u8 = 24;
+}
+
+// --- writer ---------------------------------------------------------
+
+/// Growable payload writer over a plain `Vec<u8>`.
+#[derive(Default)]
+pub struct Wr(Vec<u8>);
+
+impl Wr {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated payload bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `usize` widened to `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// `f64` by bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed byte blob.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.0.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Length-prefixed `f64` slice.
+    pub fn f64s(&mut self, v: &[f64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.f64(x);
+        }
+    }
+
+    /// Length-prefixed `usize` slice (widened).
+    pub fn usizes(&mut self, v: &[usize]) {
+        self.usize(v.len());
+        for &x in v {
+            self.usize(x);
+        }
+    }
+}
+
+// --- reader ---------------------------------------------------------
+
+/// Bounds-checked payload cursor. Every accessor fails with a
+/// description instead of panicking, so a malformed peer cannot crash
+/// the process.
+pub struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    /// A cursor over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless the payload was consumed exactly.
+    pub fn done(&self) -> Result<(), String> {
+        if self.remaining() != 0 {
+            return Err(format!("{} trailing payload bytes", self.remaining()));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "truncated payload reading {what}: need {n} bytes, have {}",
+                self.remaining()
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("length checked"),
+        ))
+    }
+
+    /// `u64` narrowed to `usize`.
+    pub fn usize(&mut self, what: &str) -> Result<usize, String> {
+        usize::try_from(self.u64(what)?).map_err(|_| format!("{what} exceeds usize"))
+    }
+
+    /// An element count, bounded by the bytes actually present so a
+    /// hostile count cannot trigger a huge allocation.
+    pub fn count(&mut self, elem_floor: usize, what: &str) -> Result<usize, String> {
+        let n = self.usize(what)?;
+        if n.saturating_mul(elem_floor.max(1)) > self.remaining() {
+            return Err(format!(
+                "implausible {what}: {n} elements but only {} bytes remain",
+                self.remaining()
+            ));
+        }
+        Ok(n)
+    }
+
+    /// `f64` by bit pattern.
+    pub fn f64(&mut self, what: &str) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("length checked"),
+        ))
+    }
+
+    /// Length-prefixed byte blob.
+    pub fn bytes(&mut self, what: &str) -> Result<Vec<u8>, String> {
+        let n = self.count(1, what)?;
+        Ok(self.take(n, what)?.to_vec())
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &str) -> Result<String, String> {
+        String::from_utf8(self.bytes(what)?).map_err(|_| format!("{what} is not UTF-8"))
+    }
+
+    /// Length-prefixed `f64` slice.
+    pub fn f64s(&mut self, what: &str) -> Result<Vec<f64>, String> {
+        let n = self.count(8, what)?;
+        (0..n).map(|_| self.f64(what)).collect()
+    }
+
+    /// Length-prefixed `usize` slice.
+    pub fn usizes(&mut self, what: &str) -> Result<Vec<usize>, String> {
+        let n = self.count(8, what)?;
+        (0..n).map(|_| self.usize(what)).collect()
+    }
+}
+
+// --- value codecs ---------------------------------------------------
+
+/// Encodes a bare `u64` payload.
+pub fn enc_u64(v: u64) -> Vec<u8> {
+    let mut w = Wr::new();
+    w.u64(v);
+    w.finish()
+}
+
+/// Decodes a bare `u64` payload.
+pub fn dec_u64(payload: &[u8]) -> Result<u64, String> {
+    let mut r = Rd::new(payload);
+    let v = r.u64("u64 value")?;
+    r.done()?;
+    Ok(v)
+}
+
+/// Encodes `Option<u64>` as a presence byte plus the value.
+pub fn enc_opt_u64(v: Option<u64>) -> Vec<u8> {
+    let mut w = Wr::new();
+    match v {
+        Some(x) => {
+            w.u8(1);
+            w.u64(x);
+        }
+        None => w.u8(0),
+    }
+    w.finish()
+}
+
+/// Decodes [`enc_opt_u64`].
+pub fn dec_opt_u64(payload: &[u8]) -> Result<Option<u64>, String> {
+    let mut r = Rd::new(payload);
+    let v = match r.u8("option tag")? {
+        0 => None,
+        1 => Some(r.u64("optional value")?),
+        t => return Err(format!("bad option tag {t}")),
+    };
+    r.done()?;
+    Ok(v)
+}
+
+/// Encodes `Option<Vec<f64>>` (the `user_factor` result).
+pub fn enc_opt_f64s(v: &Option<Vec<f64>>) -> Vec<u8> {
+    let mut w = Wr::new();
+    match v {
+        Some(x) => {
+            w.u8(1);
+            w.f64s(x);
+        }
+        None => w.u8(0),
+    }
+    w.finish()
+}
+
+/// Decodes [`enc_opt_f64s`].
+pub fn dec_opt_f64s(payload: &[u8]) -> Result<Option<Vec<f64>>, String> {
+    let mut r = Rd::new(payload);
+    let v = match r.u8("option tag")? {
+        0 => None,
+        1 => Some(r.f64s("factor")?),
+        t => return Err(format!("bad option tag {t}")),
+    };
+    r.done()?;
+    Ok(v)
+}
+
+/// Encodes a `u64` list (committed timestamps).
+pub fn enc_u64s(v: &[u64]) -> Vec<u8> {
+    let mut w = Wr::new();
+    w.usize(v.len());
+    for &x in v {
+        w.u64(x);
+    }
+    w.finish()
+}
+
+/// Decodes [`enc_u64s`].
+pub fn dec_u64s(payload: &[u8]) -> Result<Vec<u64>, String> {
+    let mut r = Rd::new(payload);
+    let n = r.count(8, "u64 list")?;
+    let v: Vec<u64> = (0..n)
+        .map(|_| r.u64("u64 element"))
+        .collect::<Result<_, _>>()?;
+    r.done()?;
+    Ok(v)
+}
+
+/// Encodes a string list (the frozen vocabulary's token table).
+pub fn enc_strs(v: &[String]) -> Vec<u8> {
+    let mut w = Wr::new();
+    w.usize(v.len());
+    for s in v {
+        w.str(s);
+    }
+    w.finish()
+}
+
+/// Decodes [`enc_strs`].
+pub fn dec_strs(payload: &[u8]) -> Result<Vec<String>, String> {
+    let mut r = Rd::new(payload);
+    let n = r.count(8, "string list")?;
+    let v: Vec<String> = (0..n)
+        .map(|_| r.str("string element"))
+        .collect::<Result<_, _>>()?;
+    r.done()?;
+    Ok(v)
+}
+
+/// Encodes one pre-routed [`EngineSnapshot`] (the `ingest` payload).
+pub fn enc_snapshot(s: &EngineSnapshot) -> Vec<u8> {
+    let mut w = Wr::new();
+    w.u64(s.timestamp);
+    w.usize(s.docs.len());
+    for doc in &s.docs {
+        w.usize(doc.user);
+        match &doc.content {
+            DocContent::Raw(text) => {
+                w.u8(0);
+                w.str(text);
+            }
+            DocContent::Tokens(tokens) => {
+                w.u8(1);
+                w.usize(tokens.len());
+                for t in tokens {
+                    w.str(t);
+                }
+            }
+        }
+    }
+    w.usize(s.retweets.len());
+    for rt in &s.retweets {
+        w.usize(rt.user);
+        w.usize(rt.doc);
+    }
+    w.usize(s.ghosts.len());
+    for (user, factor) in &s.ghosts {
+        w.usize(*user);
+        w.f64s(factor);
+    }
+    w.finish()
+}
+
+/// Decodes [`enc_snapshot`].
+pub fn dec_snapshot(payload: &[u8]) -> Result<EngineSnapshot, String> {
+    let mut r = Rd::new(payload);
+    let timestamp = r.u64("snapshot timestamp")?;
+    let n_docs = r.count(9, "doc count")?;
+    let mut docs = Vec::with_capacity(n_docs);
+    for _ in 0..n_docs {
+        let user = r.usize("doc author")?;
+        let content = match r.u8("doc content tag")? {
+            0 => DocContent::Raw(r.str("raw text")?),
+            1 => {
+                let n = r.count(8, "token count")?;
+                DocContent::Tokens(
+                    (0..n)
+                        .map(|_| r.str("token"))
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+            t => return Err(format!("bad doc content tag {t}")),
+        };
+        docs.push(EngineDoc { user, content });
+    }
+    let n_rts = r.count(16, "retweet count")?;
+    let mut retweets = Vec::with_capacity(n_rts);
+    for _ in 0..n_rts {
+        retweets.push(EngineRetweet {
+            user: r.usize("retweet user")?,
+            doc: r.usize("retweet doc")?,
+        });
+    }
+    let n_ghosts = r.count(16, "ghost count")?;
+    let mut ghosts = Vec::with_capacity(n_ghosts);
+    for _ in 0..n_ghosts {
+        let user = r.usize("ghost user")?;
+        ghosts.push((user, r.f64s("ghost factor")?));
+    }
+    r.done()?;
+    Ok(EngineSnapshot {
+        timestamp,
+        docs,
+        retweets,
+        ghosts,
+    })
+}
+
+fn wr_timeline_entry(w: &mut Wr, e: &TimelineEntry) {
+    w.u64(e.timestamp);
+    w.usize(e.tweets);
+    w.usize(e.users);
+    w.usize(e.new_users);
+    w.usize(e.evolving_users);
+    w.usize(e.iterations);
+    w.u8(e.converged as u8);
+    w.f64(e.objective);
+    w.usizes(&e.tweet_counts);
+    w.usizes(&e.user_counts);
+}
+
+fn rd_timeline_entry(r: &mut Rd<'_>) -> Result<TimelineEntry, String> {
+    Ok(TimelineEntry {
+        timestamp: r.u64("entry timestamp")?,
+        tweets: r.usize("tweets")?,
+        users: r.usize("users")?,
+        new_users: r.usize("new users")?,
+        evolving_users: r.usize("evolving users")?,
+        iterations: r.usize("iterations")?,
+        converged: r.u8("converged flag")? != 0,
+        objective: r.f64("objective")?,
+        tweet_counts: r.usizes("tweet counts")?,
+        user_counts: r.usizes("user counts")?,
+    })
+}
+
+/// Encodes a timeline slice.
+pub fn enc_timeline(entries: &[TimelineEntry]) -> Vec<u8> {
+    let mut w = Wr::new();
+    w.usize(entries.len());
+    for e in entries {
+        wr_timeline_entry(&mut w, e);
+    }
+    w.finish()
+}
+
+/// Decodes [`enc_timeline`].
+pub fn dec_timeline(payload: &[u8]) -> Result<Vec<TimelineEntry>, String> {
+    let mut r = Rd::new(payload);
+    let n = r.count(65, "timeline length")?;
+    let v: Vec<TimelineEntry> = (0..n)
+        .map(|_| rd_timeline_entry(&mut r))
+        .collect::<Result<_, _>>()?;
+    r.done()?;
+    Ok(v)
+}
+
+/// Encodes one [`UserSentiment`].
+pub fn enc_user_sentiment(s: &UserSentiment) -> Vec<u8> {
+    let mut w = Wr::new();
+    w.usize(s.user);
+    w.u64(s.timestamp);
+    w.f64s(&s.distribution);
+    w.finish()
+}
+
+/// Decodes [`enc_user_sentiment`].
+pub fn dec_user_sentiment(payload: &[u8]) -> Result<UserSentiment, String> {
+    let mut r = Rd::new(payload);
+    let s = UserSentiment {
+        user: r.usize("user")?,
+        timestamp: r.u64("timestamp")?,
+        distribution: r.f64s("distribution")?,
+    };
+    r.done()?;
+    Ok(s)
+}
+
+/// Encodes a user's full observation history.
+pub fn enc_user_timeline(rows: &[(u64, Vec<f64>)]) -> Vec<u8> {
+    let mut w = Wr::new();
+    w.usize(rows.len());
+    for (key, dist) in rows {
+        w.u64(*key);
+        w.f64s(dist);
+    }
+    w.finish()
+}
+
+/// Decodes [`enc_user_timeline`].
+pub fn dec_user_timeline(payload: &[u8]) -> Result<Vec<(u64, Vec<f64>)>, String> {
+    let mut r = Rd::new(payload);
+    let n = r.count(16, "observation count")?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = r.u64("observation timestamp")?;
+        rows.push((key, r.f64s("observation distribution")?));
+    }
+    r.done()?;
+    Ok(rows)
+}
+
+/// Encodes one [`ClusterSummary`].
+pub fn enc_cluster_summary(s: &ClusterSummary) -> Vec<u8> {
+    let mut w = Wr::new();
+    w.u64(s.timestamp);
+    w.usizes(&s.tweet_counts);
+    w.usizes(&s.user_counts);
+    w.f64s(&s.tweet_shares);
+    w.finish()
+}
+
+/// Decodes [`enc_cluster_summary`].
+pub fn dec_cluster_summary(payload: &[u8]) -> Result<ClusterSummary, String> {
+    let mut r = Rd::new(payload);
+    let s = ClusterSummary {
+        timestamp: r.u64("summary timestamp")?,
+        tweet_counts: r.usizes("tweet counts")?,
+        user_counts: r.usizes("user counts")?,
+        tweet_shares: r.f64s("tweet shares")?,
+    };
+    r.done()?;
+    Ok(s)
+}
+
+/// The SIMD tier names an engine can report. `simd` is a `&'static
+/// str`, so the decoder maps the wire string back onto the known names
+/// (an unknown name decodes as `""` rather than leaking).
+const SIMD_TIERS: [&str; 4] = ["scalar", "avx2", "avx2+fma", "neon"];
+
+/// Encodes one [`EngineStats`].
+pub fn enc_stats(s: &EngineStats) -> Vec<u8> {
+    let mut w = Wr::new();
+    w.u64(s.queued);
+    w.u64(s.ingested);
+    w.u64(s.dropped_capacity);
+    w.u64(s.last_step_ns);
+    w.u64(s.ghost_edges);
+    w.u64(s.dropped_cross_shard);
+    w.u64(s.shard_unavailable);
+    w.u64(s.threads);
+    w.u8(s.pinned as u8);
+    w.str(s.simd);
+    w.finish()
+}
+
+/// Decodes [`enc_stats`].
+pub fn dec_stats(payload: &[u8]) -> Result<EngineStats, String> {
+    let mut r = Rd::new(payload);
+    let mut s = EngineStats {
+        queued: r.u64("queued")?,
+        ingested: r.u64("ingested")?,
+        dropped_capacity: r.u64("dropped_capacity")?,
+        last_step_ns: r.u64("last_step_ns")?,
+        ghost_edges: r.u64("ghost_edges")?,
+        dropped_cross_shard: r.u64("dropped_cross_shard")?,
+        shard_unavailable: r.u64("shard_unavailable")?,
+        threads: r.u64("threads")?,
+        pinned: r.u8("pinned")? != 0,
+        simd: "",
+    };
+    let simd = r.str("simd tier")?;
+    s.simd = SIMD_TIERS
+        .iter()
+        .find(|&&name| name == simd)
+        .copied()
+        .unwrap_or("");
+    r.done()?;
+    Ok(s)
+}
+
+/// Encodes one [`DenseMatrix`] (the `sf_at` result).
+pub fn enc_matrix(m: &DenseMatrix) -> Vec<u8> {
+    let mut w = Wr::new();
+    w.usize(m.rows());
+    w.usize(m.cols());
+    for &v in m.as_slice() {
+        w.f64(v);
+    }
+    w.finish()
+}
+
+/// Decodes [`enc_matrix`].
+pub fn dec_matrix(payload: &[u8]) -> Result<DenseMatrix, String> {
+    let mut r = Rd::new(payload);
+    let rows = r.usize("matrix rows")?;
+    let cols = r.usize("matrix cols")?;
+    let n = rows
+        .checked_mul(cols)
+        .filter(|&n| n.saturating_mul(8) <= r.remaining())
+        .ok_or_else(|| format!("implausible matrix shape {rows}x{cols}"))?;
+    let data: Vec<f64> = (0..n)
+        .map(|_| r.f64("matrix element"))
+        .collect::<Result<_, _>>()?;
+    r.done()?;
+    DenseMatrix::from_vec(rows, cols, data).map_err(|e| format!("bad matrix payload: {e}"))
+}
+
+// --- error codec ----------------------------------------------------
+
+// Wire tags for TgsError variants that must survive the trip intact.
+// Tag 0 is the catch-all: any variant without a dedicated tag crosses
+// as its Display string and decodes as InvalidArgument.
+const ERR_GENERIC: u8 = 0;
+const ERR_INVALID_CONFIG: u8 = 1;
+const ERR_ENGINE_CLOSED: u8 = 2;
+const ERR_SNAPSHOT_UNAVAILABLE: u8 = 3;
+const ERR_UNKNOWN_USER: u8 = 4;
+const ERR_CORRUPT_CHECKPOINT: u8 = 5;
+const ERR_IO: u8 = 6;
+const ERR_INVALID_ARGUMENT: u8 = 7;
+const ERR_NET: u8 = 8;
+const ERR_STALE_TOPOLOGY: u8 = 9;
+
+/// Encodes a [`TgsError`] for a `STATUS_ERR` response. The variants
+/// clients dispatch on — [`TgsError::StaleTopology`] above all, since
+/// the router's lazy re-keying matches on it — round-trip exactly;
+/// everything else degrades to its display string.
+pub fn enc_error(e: &TgsError) -> Vec<u8> {
+    let mut w = Wr::new();
+    match e {
+        TgsError::InvalidConfig { message, .. } => {
+            w.u8(ERR_INVALID_CONFIG);
+            w.str(message);
+        }
+        TgsError::EngineClosed => w.u8(ERR_ENGINE_CLOSED),
+        TgsError::SnapshotUnavailable { timestamp } => {
+            w.u8(ERR_SNAPSHOT_UNAVAILABLE);
+            w.u64(*timestamp);
+        }
+        TgsError::UnknownUser { user } => {
+            w.u8(ERR_UNKNOWN_USER);
+            w.usize(*user);
+        }
+        TgsError::CorruptCheckpoint { detail } => {
+            w.u8(ERR_CORRUPT_CHECKPOINT);
+            w.str(detail);
+        }
+        TgsError::Io { context, source } => {
+            w.u8(ERR_IO);
+            w.str(context);
+            w.str(&source.to_string());
+        }
+        TgsError::InvalidArgument { message } => {
+            w.u8(ERR_INVALID_ARGUMENT);
+            w.str(message);
+        }
+        TgsError::Net { peer, detail } => {
+            w.u8(ERR_NET);
+            w.str(peer);
+            w.str(detail);
+        }
+        TgsError::StaleTopology { have, current } => {
+            w.u8(ERR_STALE_TOPOLOGY);
+            w.u64(*have);
+            w.u64(*current);
+        }
+        other => {
+            w.u8(ERR_GENERIC);
+            w.str(&other.to_string());
+        }
+    }
+    w.finish()
+}
+
+/// Decodes [`enc_error`]. A malformed error payload itself decodes as a
+/// [`TgsError::Net`] against `peer`.
+pub fn dec_error(payload: &[u8], peer: &str) -> TgsError {
+    match try_dec_error(payload) {
+        Ok(e) => e,
+        Err(detail) => TgsError::net(peer, format!("malformed error response: {detail}")),
+    }
+}
+
+fn try_dec_error(payload: &[u8]) -> Result<TgsError, String> {
+    let mut r = Rd::new(payload);
+    let e = match r.u8("error tag")? {
+        ERR_GENERIC => TgsError::invalid_argument(r.str("error message")?),
+        ERR_INVALID_CONFIG => TgsError::InvalidConfig {
+            field: "remote",
+            message: r.str("config message")?,
+        },
+        ERR_ENGINE_CLOSED => TgsError::EngineClosed,
+        ERR_SNAPSHOT_UNAVAILABLE => TgsError::SnapshotUnavailable {
+            timestamp: r.u64("timestamp")?,
+        },
+        ERR_UNKNOWN_USER => TgsError::UnknownUser {
+            user: r.usize("user")?,
+        },
+        ERR_CORRUPT_CHECKPOINT => TgsError::corrupt(r.str("detail")?),
+        ERR_IO => {
+            let context = r.str("io context")?;
+            let detail = r.str("io detail")?;
+            TgsError::io(context, std::io::Error::other(detail))
+        }
+        ERR_INVALID_ARGUMENT => TgsError::invalid_argument(r.str("message")?),
+        ERR_NET => {
+            let peer = r.str("net peer")?;
+            TgsError::net(peer, r.str("net detail")?)
+        }
+        ERR_STALE_TOPOLOGY => TgsError::StaleTopology {
+            have: r.u64("have generation")?,
+            current: r.u64("current generation")?,
+        },
+        t => return Err(format!("unknown error tag {t}")),
+    };
+    r.done()?;
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgs_core::TgsErrorKind;
+
+    #[test]
+    fn scalar_codecs_roundtrip() {
+        assert_eq!(dec_u64(&enc_u64(42)).unwrap(), 42);
+        assert_eq!(dec_opt_u64(&enc_opt_u64(None)).unwrap(), None);
+        assert_eq!(dec_opt_u64(&enc_opt_u64(Some(7))).unwrap(), Some(7));
+        assert_eq!(dec_u64s(&enc_u64s(&[3, 1, 4])).unwrap(), vec![3, 1, 4]);
+        let words = vec!["good".to_string(), "bad".to_string()];
+        assert_eq!(dec_strs(&enc_strs(&words)).unwrap(), words);
+        let factor = Some(vec![0.25, 0.75]);
+        assert_eq!(dec_opt_f64s(&enc_opt_f64s(&factor)).unwrap(), factor);
+        assert_eq!(dec_opt_f64s(&enc_opt_f64s(&None)).unwrap(), None);
+    }
+
+    #[test]
+    fn snapshot_codec_roundtrips_both_content_kinds() {
+        let mut s = EngineSnapshot::new(17);
+        s.push_text(3, "great game tonight");
+        s.push_tokens(5, vec!["great".to_string(), "game".to_string()]);
+        s.push_retweet(5, 0);
+        s.ghosts.push((9, vec![0.5, 0.25, 0.25]));
+        let back = dec_snapshot(&enc_snapshot(&s)).unwrap();
+        assert_eq!(back.timestamp, 17);
+        assert_eq!(back.docs.len(), 2);
+        assert_eq!(back.docs[0].user, 3);
+        assert!(matches!(&back.docs[0].content, DocContent::Raw(t) if t == "great game tonight"));
+        assert!(matches!(&back.docs[1].content, DocContent::Tokens(t) if t.len() == 2));
+        assert_eq!(back.retweets[0], EngineRetweet { user: 5, doc: 0 });
+        assert_eq!(back.ghosts, vec![(9, vec![0.5, 0.25, 0.25])]);
+    }
+
+    #[test]
+    fn aggregate_codecs_roundtrip() {
+        let entry = TimelineEntry {
+            timestamp: 5,
+            tweets: 10,
+            users: 4,
+            new_users: 1,
+            evolving_users: 2,
+            iterations: 12,
+            converged: true,
+            objective: 1.25e-3,
+            tweet_counts: vec![6, 3, 1],
+            user_counts: vec![2, 1, 1],
+        };
+        assert_eq!(
+            dec_timeline(&enc_timeline(std::slice::from_ref(&entry))).unwrap(),
+            vec![entry]
+        );
+
+        let sentiment = UserSentiment {
+            user: 9,
+            timestamp: 5,
+            distribution: vec![0.1, 0.2, 0.7],
+        };
+        assert_eq!(
+            dec_user_sentiment(&enc_user_sentiment(&sentiment)).unwrap(),
+            sentiment
+        );
+
+        let history = vec![(1u64, vec![0.5, 0.5]), (2, vec![0.75, 0.25])];
+        assert_eq!(
+            dec_user_timeline(&enc_user_timeline(&history)).unwrap(),
+            history
+        );
+
+        let summary = ClusterSummary {
+            timestamp: 2,
+            tweet_counts: vec![1, 2],
+            user_counts: vec![1, 1],
+            tweet_shares: vec![1.0 / 3.0, 2.0 / 3.0],
+        };
+        assert_eq!(
+            dec_cluster_summary(&enc_cluster_summary(&summary)).unwrap(),
+            summary
+        );
+    }
+
+    #[test]
+    fn stats_codec_pins_simd_to_known_tiers() {
+        let stats = EngineStats {
+            queued: 1,
+            ingested: 2,
+            dropped_capacity: 3,
+            last_step_ns: 4,
+            ghost_edges: 5,
+            dropped_cross_shard: 6,
+            shard_unavailable: 7,
+            simd: "avx2+fma",
+            threads: 8,
+            pinned: true,
+        };
+        assert_eq!(dec_stats(&enc_stats(&stats)).unwrap(), stats);
+        // An unknown tier name degrades to "" instead of failing.
+        let mut w = Wr::new();
+        for v in 1..=8u64 {
+            w.u64(v);
+        }
+        w.u8(0);
+        w.str("quantum");
+        assert_eq!(dec_stats(&w.finish()).unwrap().simd, "");
+    }
+
+    #[test]
+    fn matrix_codec_roundtrips_bit_exactly() {
+        let m = DenseMatrix::from_vec(2, 3, vec![1.0, 0.5, 0.25, -0.0, f64::MIN_POSITIVE, 9.75])
+            .unwrap();
+        let back = dec_matrix(&enc_matrix(&m)).unwrap();
+        assert_eq!((back.rows(), back.cols()), (2, 3));
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(dec_matrix(&enc_matrix(&m)[..10]).is_err());
+    }
+
+    #[test]
+    fn error_codec_preserves_dispatchable_variants() {
+        let stale = TgsError::StaleTopology {
+            have: 2,
+            current: 5,
+        };
+        match dec_error(&enc_error(&stale), "p") {
+            TgsError::StaleTopology {
+                have: 2,
+                current: 5,
+            } => {}
+            other => panic!("stale topology mangled: {other}"),
+        }
+        let unknown = TgsError::UnknownUser { user: 42 };
+        assert!(matches!(
+            dec_error(&enc_error(&unknown), "p"),
+            TgsError::UnknownUser { user: 42 }
+        ));
+        let missing = TgsError::SnapshotUnavailable { timestamp: 11 };
+        assert!(matches!(
+            dec_error(&enc_error(&missing), "p"),
+            TgsError::SnapshotUnavailable { timestamp: 11 }
+        ));
+        let net = TgsError::net("10.0.0.9:4000", "refused");
+        assert_eq!(dec_error(&enc_error(&net), "p").kind(), TgsErrorKind::Net);
+        // A shape error has no dedicated tag: it crosses as its message.
+        let shape = TgsError::FeatureDimMismatch {
+            xp_cols: 3,
+            xu_cols: 4,
+        };
+        let decoded = dec_error(&enc_error(&shape), "p");
+        assert_eq!(decoded.kind(), TgsErrorKind::InvalidArgument);
+        assert!(decoded.to_string().contains("feature space"));
+        // Garbage decodes as a Net error against the peer, not a panic.
+        assert_eq!(dec_error(&[250, 0, 1], "peer-x").kind(), TgsErrorKind::Net);
+    }
+}

@@ -70,7 +70,7 @@ fn main() -> Result<(), TgsError> {
 
     // Queries fan in: merged timeline, shard-transparent user lookups.
     let query = engine.query();
-    for entry in query.timeline(..).iter().take(3) {
+    for entry in query.timeline(..)?.iter().take(3) {
         let shares: Vec<String> = entry
             .tweet_shares()
             .iter()
@@ -89,7 +89,7 @@ fn main() -> Result<(), TgsError> {
     // per worker) and answer from the restored copy.
     let ckpt = engine.checkpoint()?;
     let restored = ShardedEngine::restore_any(ckpt.as_bytes().to_vec())?;
-    let last = restored.query().latest().expect("history recorded");
+    let last = restored.query().latest()?.expect("history recorded");
     let words = restored.query().top_words(last.timestamp, 4)?;
     println!(
         "restored {} shards from a {}-byte checkpoint; top words at t={}:",

@@ -9,6 +9,9 @@
 //! tgs query    --checkpoint engine.ckpt (--timeline LO..HI | --user U [--at T] |
 //!              --summary T | --top-words T [--words N] | --shard-info)
 //! tgs stats    --corpus corpus.tsv
+//! tgs shard    --listen 127.0.0.1:7401 [--range 0..500]
+//! tgs serve    --shards 127.0.0.1:7401,127.0.0.1:7402 --corpus corpus.tsv \
+//!              --out timeline.tsv [--checkpoint fleet.ckpt] [--terminate]
 //! ```
 //!
 //! `stream` runs the online solver (Algorithm 2) through the
@@ -25,6 +28,15 @@
 //! ingest/backpressure metrics plus per-shard load and skew. Every
 //! subcommand accepts `--help`, all flags are declared in one table, and
 //! every failure is a typed [`TgsError`].
+//!
+//! `shard` + `serve` are the distributed pair: each `tgs shard` process
+//! hosts engine slots over the `tgs-net` framed TCP protocol, and
+//! `tgs serve` deploys a deterministic cold fleet onto them and then
+//! streams exactly like `tgs stream` — same flags, same outputs,
+//! bit-identical timelines and checkpoints. `--merge-below X` (on both
+//! streaming commands) is the elastic shrink trigger: when the coldest
+//! shard's routed load falls below `X` of the per-shard mean it is
+//! drained into its neighbour, the inverse of `--max-skew` splits.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -32,6 +44,7 @@ use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
 use tripartite_sentiment::data::{presets, read_corpus, write_corpus, Corpus};
+use tripartite_sentiment::net::{deploy_fleet, NetConfig, ShardServer, TcpShard};
 use tripartite_sentiment::prelude::*;
 
 // ---------------------------------------------------------------------
@@ -162,6 +175,11 @@ const COMMANDS: &[CommandSpec] = &[
                 "X",
                 "auto-split the hottest shard when tweet-count skew exceeds X (e.g. 1.5)",
             ),
+            maybe(
+                "merge-below",
+                "X",
+                "auto-merge the coldest shard when its load falls below X of the per-shard mean (e.g. 0.25)",
+            ),
             req("out", "PATH", "output timeline file"),
             maybe(
                 "checkpoint",
@@ -174,6 +192,77 @@ const COMMANDS: &[CommandSpec] = &[
             ),
         ],
         run: cmd_stream,
+    },
+    CommandSpec {
+        name: "serve",
+        about: "Stream through a distributed fleet of `tgs shard` servers.",
+        flags: &[
+            req(
+                "shards",
+                "ADDRS",
+                "comma-separated shard server addresses, one shard per server",
+            ),
+            req("corpus", "PATH", "input corpus file"),
+            opt("window-days", "N", "1", "days per snapshot"),
+            opt("k", "N", "3", "number of sentiment clusters"),
+            opt(
+                "alpha",
+                "F",
+                "0.9",
+                "temporal feature-regularization weight",
+            ),
+            opt("beta", "F", "0.8", "graph-regularization weight"),
+            opt("gamma", "F", "0.2", "temporal user-regularization weight"),
+            opt("tau", "F", "0.9", "window decay factor"),
+            opt("iters", "N", "40", "per-snapshot iteration cap"),
+            opt("seed", "N", "42", "solver RNG seed"),
+            switch(
+                "ghost-users",
+                "keep cross-shard retweets as ghost rows instead of dropping them",
+            ),
+            maybe(
+                "max-skew",
+                "X",
+                "auto-split the hottest shard when tweet-count skew exceeds X (e.g. 1.5)",
+            ),
+            maybe(
+                "merge-below",
+                "X",
+                "auto-merge the coldest shard when its load falls below X of the per-shard mean (e.g. 0.25)",
+            ),
+            req("out", "PATH", "output timeline file"),
+            maybe(
+                "checkpoint",
+                "PATH",
+                "assemble and persist the fleet-wide checkpoint for `tgs query`",
+            ),
+            switch(
+                "stats",
+                "print merged fleet metrics (including shard_unavailable)",
+            ),
+            switch(
+                "terminate",
+                "shut the shard servers down after streaming",
+            ),
+        ],
+        run: cmd_serve,
+    },
+    CommandSpec {
+        name: "shard",
+        about: "Host engine shards over TCP for a `tgs serve` router.",
+        flags: &[
+            req(
+                "listen",
+                "ADDR",
+                "address to bind, e.g. 127.0.0.1:7401 (port 0 picks a free port)",
+            ),
+            maybe(
+                "range",
+                "LO..HI",
+                "declared user range; the router refuses to deploy a mismatched shard here",
+            ),
+        ],
+        run: cmd_shard,
     },
     CommandSpec {
         name: "query",
@@ -470,13 +559,9 @@ fn cmd_analyze(flags: &Flags) -> Result<(), TgsError> {
     Ok(())
 }
 
-fn cmd_stream(flags: &Flags) -> Result<(), TgsError> {
-    let corpus = load_corpus(flags)?;
-    let window: u32 = flags.get("window-days")?;
-    if window == 0 {
-        return Err(TgsError::invalid_argument("--window-days must be >= 1"));
-    }
-    let config = OnlineConfig {
+/// The solver knobs shared verbatim by `tgs stream` and `tgs serve`.
+fn online_config(flags: &Flags) -> Result<OnlineConfig, TgsError> {
+    Ok(OnlineConfig {
         k: flags.get("k")?,
         alpha: flags.get("alpha")?,
         beta: flags.get("beta")?,
@@ -485,9 +570,17 @@ fn cmd_stream(flags: &Flags) -> Result<(), TgsError> {
         max_iters: flags.get("iters")?,
         seed: flags.get("seed")?,
         ..Default::default()
-    };
-    let shards: usize = flags.get("shards")?;
-    let ghost_users = flags.str_opt("ghost-users").is_some();
+    })
+}
+
+/// The elastic-topology triggers: `--max-skew` splits the hottest
+/// shard, `--merge-below` drains the coldest one into its neighbour.
+struct ElasticPolicy {
+    max_skew: Option<f64>,
+    merge_below: Option<f64>,
+}
+
+fn elastic_policy(flags: &Flags) -> Result<ElasticPolicy, TgsError> {
     let max_skew: Option<f64> = flags.get_opt("max-skew")?;
     if let Some(x) = max_skew {
         if x.is_nan() || x < 1.0 {
@@ -496,21 +589,56 @@ fn cmd_stream(flags: &Flags) -> Result<(), TgsError> {
             ));
         }
     }
-    let engine = EngineBuilder::new()
-        .online(config)
-        .pipeline(pipeline())
-        .ghost_users(ghost_users)
-        .fit_sharded(&corpus, shards)?;
+    let merge_below: Option<f64> = flags.get_opt("merge-below")?;
+    if let Some(x) = merge_below {
+        if !(x > 0.0 && x < 1.0) {
+            return Err(TgsError::invalid_argument(
+                "--merge-below must be in (0, 1): the cold shard's share of the per-shard mean",
+            ));
+        }
+    }
+    Ok(ElasticPolicy {
+        max_skew,
+        merge_below,
+    })
+}
+
+/// Shared streaming body of `tgs stream` and `tgs serve`: fan the
+/// corpus through the router window by window with the elastic policy
+/// applied, then write the timeline/stats/checkpoint outputs. Keeping
+/// both commands on this one code path is what makes a distributed run
+/// flag-for-flag comparable to an in-process one.
+fn stream_and_report(
+    engine: &ShardedEngine,
+    corpus: &Corpus,
+    flags: &Flags,
+) -> Result<(), TgsError> {
+    let window: u32 = flags.get("window-days")?;
+    if window == 0 {
+        return Err(TgsError::invalid_argument("--window-days must be >= 1"));
+    }
+    let policy = elastic_policy(flags)?;
     let mut rebalances = 0usize;
+    let mut merges = 0usize;
     for (lo, hi) in day_windows(corpus.num_days, window) {
-        engine.ingest(EngineSnapshot::from_corpus_window(&corpus, lo, hi))?;
-        if let Some(x) = max_skew {
+        engine.ingest(EngineSnapshot::from_corpus_window(corpus, lo, hi))?;
+        if let Some(x) = policy.max_skew {
             // The auto-trigger inspects router-side load counters (no
             // flush needed); an actual rebalance quiesces the fleet.
             if let Some(map) = engine.maybe_rebalance(x)? {
                 rebalances += 1;
                 eprintln!(
                     "rebalanced: skew exceeded {x}; now {} shards (boundaries {:?})",
+                    map.shards(),
+                    map.starts()
+                );
+            }
+        }
+        if let Some(x) = policy.merge_below {
+            if let Some(map) = engine.maybe_merge(x)? {
+                merges += 1;
+                eprintln!(
+                    "merged: coldest shard below {x} of mean load; now {} shards (boundaries {:?})",
                     map.shards(),
                     map.starts()
                 );
@@ -529,7 +657,7 @@ fn cmd_stream(flags: &Flags) -> Result<(), TgsError> {
         share_header.join("\t")
     )
     .map_err(write_err)?;
-    for entry in query.timeline(..) {
+    for entry in query.timeline(..)? {
         let shares: Vec<String> = entry
             .tweet_shares()
             .iter()
@@ -548,26 +676,33 @@ fn cmd_stream(flags: &Flags) -> Result<(), TgsError> {
         .map_err(write_err)?;
     }
     let final_shards = engine.shards();
+    let mut topology_note = String::new();
+    if rebalances > 0 {
+        topology_note.push_str(&format!(" after {rebalances} rebalance(s)"));
+    }
+    if merges > 0 {
+        topology_note.push_str(&format!(
+            "{} {merges} merge(s)",
+            if rebalances > 0 { " and" } else { " after" }
+        ));
+    }
     eprintln!(
-        "processed {steps} snapshots across {final_shards} shard(s){}; wrote timeline to {out_path}",
-        if rebalances > 0 {
-            format!(" after {rebalances} rebalance(s)")
-        } else {
-            String::new()
-        }
+        "processed {steps} snapshots across {final_shards} shard(s){topology_note}; wrote timeline to {out_path}"
     );
 
     if flags.str_opt("stats").is_some() {
         let s = engine.stats();
         eprintln!(
             "stats: queued {} | ingested {} | dropped_capacity {} | last_step {:.3} ms | \
-             ghost edges {} | cross-shard retweets dropped {} | simd {} | threads {} | pinned {}",
+             ghost edges {} | cross-shard retweets dropped {} | shard_unavailable {} | \
+             simd {} | threads {} | pinned {}",
             s.queued,
             s.ingested,
             s.dropped_capacity,
             s.last_step_ns as f64 / 1e6,
             s.ghost_edges,
             s.dropped_cross_shard,
+            s.shard_unavailable,
             s.simd,
             s.threads,
             s.pinned,
@@ -593,6 +728,74 @@ fn cmd_stream(flags: &Flags) -> Result<(), TgsError> {
         );
     }
     Ok(())
+}
+
+fn cmd_stream(flags: &Flags) -> Result<(), TgsError> {
+    let corpus = load_corpus(flags)?;
+    let shards: usize = flags.get("shards")?;
+    let engine = EngineBuilder::new()
+        .online(online_config(flags)?)
+        .pipeline(pipeline())
+        .ghost_users(flags.str_opt("ghost-users").is_some())
+        .fit_sharded(&corpus, shards)?;
+    stream_and_report(&engine, &corpus, flags)
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), TgsError> {
+    let corpus = load_corpus(flags)?;
+    let addrs: Vec<String> = flags
+        .str("shards")
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .filter(|a| !a.is_empty())
+        .collect();
+    if addrs.is_empty() {
+        return Err(TgsError::invalid_argument(
+            "--shards needs at least one ADDR",
+        ));
+    }
+    // Build the same deterministic cold fleet `tgs stream` would, ship
+    // one checkpoint section per server, and route over TCP from then
+    // on — restore is exact, so the runs stay bit-identical.
+    let template = EngineBuilder::new()
+        .online(online_config(flags)?)
+        .pipeline(pipeline())
+        .ghost_users(flags.str_opt("ghost-users").is_some())
+        .fit_sharded(&corpus, addrs.len())?;
+    let engine = deploy_fleet(template, &addrs, &NetConfig::default())?;
+    eprintln!(
+        "deployed {} shard(s) onto {}",
+        addrs.len(),
+        addrs.join(", ")
+    );
+    stream_and_report(&engine, &corpus, flags)?;
+    if flags.str_opt("terminate").is_some() {
+        for addr in &addrs {
+            TcpShard::connect(addr.as_str()).terminate()?;
+        }
+        eprintln!("terminated {} shard server(s)", addrs.len());
+    }
+    Ok(())
+}
+
+fn cmd_shard(flags: &Flags) -> Result<(), TgsError> {
+    let listen = flags.str("listen");
+    let range = flags
+        .str_opt("range")
+        .map(|spec| -> Result<(usize, usize), TgsError> {
+            let (lo, hi) = spec.split_once("..").ok_or_else(|| {
+                TgsError::invalid_argument(format!("bad range '{spec}': expected LO..HI"))
+            })?;
+            Ok((parse_value("range", lo)?, parse_value("range", hi)?))
+        })
+        .transpose()?;
+    let server = ShardServer::bind(listen, range)?;
+    let addr = server.local_addr()?;
+    // Scripts and the loopback tests parse this line to learn the
+    // `:0`-assigned port; flush so a piped stdout delivers it promptly.
+    println!("listening on {addr}");
+    std::io::stdout().flush().map_err(write_err)?;
+    server.run()
 }
 
 fn cmd_query(flags: &Flags) -> Result<(), TgsError> {
@@ -629,7 +832,7 @@ fn cmd_query(flags: &Flags) -> Result<(), TgsError> {
     }
     if let Some(range) = flags.str_opt("timeline") {
         let (lo, hi) = parse_range(range)?;
-        for entry in query.timeline(lo..hi) {
+        for entry in query.timeline(lo..hi)? {
             let shares: Vec<String> = entry
                 .tweet_shares()
                 .iter()
@@ -652,7 +855,7 @@ fn cmd_query(flags: &Flags) -> Result<(), TgsError> {
         let at = match flags.get_opt::<u64>("at")? {
             Some(t) => t,
             None => query
-                .latest()
+                .latest()?
                 .map(|e| e.timestamp)
                 .ok_or(TgsError::SnapshotUnavailable { timestamp: 0 })?,
         };

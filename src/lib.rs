@@ -20,6 +20,10 @@
 //!   facade (async ingest, queryable history, checkpoint/restore), and
 //!   [`engine::ShardedEngine`]: the user-range multi-shard router over
 //!   `S` such workers (`tgs stream --shards N`);
+//! * [`net`] — the distributed fleet: a framed TCP protocol, the
+//!   `tgs shard` slot server, and [`net::TcpShard`] — a remote
+//!   `ShardTransport` the router drives exactly like a local worker
+//!   (`tgs serve --shards host:port,...`);
 //! * [`baselines`] — SVM, NB, LP, UserReg, ESSA, ONMTF, BACG, k-means;
 //! * [`eval`] — clustering accuracy, NMI, ARI, Hungarian assignment.
 //!
@@ -66,6 +70,7 @@ pub use tgs_engine as engine;
 pub use tgs_eval as eval;
 pub use tgs_graph as graph;
 pub use tgs_linalg as linalg;
+pub use tgs_net as net;
 pub use tgs_text as text;
 
 /// Solves a [`data::ShardedProblem`] with the sharded offline solver,
@@ -132,5 +137,6 @@ pub mod prelude {
     pub use tgs_eval::{clustering_accuracy, nmi, ConfusionMatrix};
     pub use tgs_graph::UserGraph;
     pub use tgs_linalg::{CsrMatrix, DenseMatrix};
+    pub use tgs_net::{attach_fleet, deploy_fleet, NetConfig, ShardServer, TcpShard};
     pub use tgs_text::{Lexicon, PipelineConfig, Sentiment, Vocabulary};
 }

@@ -102,8 +102,8 @@ fn rebalance_round_trip_is_byte_identical_to_never_rebalancing() {
     stream(&rebalanced, &c, tail);
     stream(&control, &c, tail);
     assert_eq!(
-        rebalanced.query().timeline(..),
-        control.query().timeline(..),
+        rebalanced.query().timeline(..).unwrap(),
+        control.query().timeline(..).unwrap(),
         "round-tripped fleet must match a never-rebalanced one exactly"
     );
     assert_eq!(
@@ -142,7 +142,10 @@ fn rebalanced_fleet_equals_its_static_topology_restore() {
 
     stream(&live, &c, tail);
     stream(&static_fleet, &c, tail);
-    assert_eq!(live.query().timeline(..), static_fleet.query().timeline(..));
+    assert_eq!(
+        live.query().timeline(..).unwrap(),
+        static_fleet.query().timeline(..).unwrap()
+    );
     assert_eq!(all_user_state(&live, &c), all_user_state(&static_fleet, &c));
     assert_eq!(
         live.checkpoint().unwrap().as_bytes(),
@@ -158,7 +161,7 @@ fn rebalance_preserves_history_and_merge_folds_timelines() {
     let engine = fleet(&c, 4, false);
     stream(&engine, &c, head);
 
-    let before_timeline = engine.query().timeline(..);
+    let before_timeline = engine.query().timeline(..).unwrap();
     let before_users = all_user_state(&engine, &c);
     let t0 = before_timeline[0].timestamp;
     let words_before = engine.query().top_words(t0, 5).ok();
@@ -172,7 +175,7 @@ fn rebalance_preserves_history_and_merge_folds_timelines() {
         .rebalance(&RepartitionPlan::single(RepartitionOp::Merge { left: 1 }))
         .unwrap();
     assert_eq!(engine.shards(), 3);
-    let after_timeline = engine.query().timeline(..);
+    let after_timeline = engine.query().timeline(..).unwrap();
     assert_eq!(after_timeline.len(), before_timeline.len());
     for (a, b) in after_timeline.iter().zip(&before_timeline) {
         let mut a_exact = a.clone();
@@ -231,7 +234,10 @@ fn ghost_mode_with_mid_stream_rebalance_drops_nothing() {
     }))
     .unwrap();
     stream(&twin, &c, tail);
-    assert_eq!(twin.query().timeline(..), engine.query().timeline(..));
+    assert_eq!(
+        twin.query().timeline(..).unwrap(),
+        engine.query().timeline(..).unwrap()
+    );
     assert_eq!(
         twin.checkpoint().unwrap().as_bytes(),
         engine.checkpoint().unwrap().as_bytes()
@@ -269,7 +275,10 @@ fn v1_sharded_checkpoints_still_restore() {
     assert_eq!(restored.shards(), 2);
     assert_eq!(restored.map(), engine.map());
     assert!(!restored.ghost_mode(), "v1 fleets always dropped edges");
-    assert_eq!(restored.query().timeline(..), engine.query().timeline(..));
+    assert_eq!(
+        restored.query().timeline(..).unwrap(),
+        engine.query().timeline(..).unwrap()
+    );
     // And the restored (v1-born) fleet is fully elastic: it can
     // rebalance and keep streaming.
     let new_map = restored
@@ -399,7 +408,7 @@ fn inapplicable_plans_are_typed_errors_and_leave_the_fleet_intact() {
     let c = corpus();
     let engine = fleet(&c, 2, false);
     stream(&engine, &c, &windows(&c));
-    let before = engine.query().timeline(..);
+    let before = engine.query().timeline(..).unwrap();
     let bad = RepartitionPlan::single(RepartitionOp::Split {
         shard: 7,
         at: 1_000,
@@ -407,7 +416,7 @@ fn inapplicable_plans_are_typed_errors_and_leave_the_fleet_intact() {
     let err = engine.rebalance(&bad).unwrap_err();
     assert_eq!(err.kind(), TgsErrorKind::InvalidArgument);
     assert_eq!(engine.shards(), 2);
-    assert_eq!(engine.query().timeline(..), before);
+    assert_eq!(engine.query().timeline(..).unwrap(), before);
     // An empty plan is a no-op, not an error.
     let map = engine.rebalance(&RepartitionPlan::default()).unwrap();
     assert_eq!(map, engine.map());
@@ -415,4 +424,84 @@ fn inapplicable_plans_are_typed_errors_and_leave_the_fleet_intact() {
     let ckpt = engine.checkpoint().unwrap();
     let restored = ShardedEngine::restore(&ckpt).unwrap();
     assert_eq!(restored.map(), PartitionMap::even(c.num_users(), 2));
+}
+
+#[test]
+fn auto_merge_drains_the_coldest_shard_leftward() {
+    // Shards 0 and 1 stay busy while shard 2's range goes quiet; the
+    // merge policy must fold the cold shard into its left neighbour
+    // without losing any of its users' history.
+    let c = corpus(); // 30 users → shards own [0,10), [10,20), [20,30)
+    let engine = fleet(&c, 3, false);
+    // Nothing routed yet: every shard is equally cold, so no merge.
+    assert!(engine.maybe_merge(0.5).unwrap().is_none());
+    for t in 0..4u64 {
+        let mut snap = EngineSnapshot::new(t);
+        for _ in 0..6 {
+            snap.push_tokens(2, vec!["busy".into(), "topic".into()]);
+            snap.push_tokens(12, vec!["busy".into(), "takes".into()]);
+        }
+        snap.push_tokens(22, vec!["quiet".into()]);
+        engine.ingest(snap).unwrap();
+    }
+    engine.flush().unwrap();
+    let before = all_user_state(&engine, &c);
+    let map = engine.maybe_merge(0.5).unwrap().expect("shard 2 is cold");
+    assert_eq!(map.shards(), 2);
+    assert_eq!(
+        map.starts(),
+        &[0, 10],
+        "the cold trailing shard folds into its left neighbour"
+    );
+    // Migration is lossless: the drained users answer as before.
+    assert_eq!(all_user_state(&engine, &c), before);
+    // The surviving topology is balanced enough for the same threshold.
+    assert!(engine.maybe_merge(0.5).unwrap().is_none());
+}
+
+#[test]
+fn auto_merge_of_the_leading_shard_folds_rightward() {
+    // Shard 0 has no left neighbour, so when it is the cold one the
+    // merge runs the other way: shard 1 absorbs it.
+    let c = corpus();
+    let engine = fleet(&c, 3, false);
+    for t in 0..4u64 {
+        let mut snap = EngineSnapshot::new(t);
+        for _ in 0..6 {
+            snap.push_tokens(12, vec!["busy".into(), "topic".into()]);
+            snap.push_tokens(22, vec!["busy".into(), "takes".into()]);
+        }
+        snap.push_tokens(2, vec!["quiet".into()]);
+        engine.ingest(snap).unwrap();
+    }
+    engine.flush().unwrap();
+    let map = engine.maybe_merge(0.5).unwrap().expect("shard 0 is cold");
+    assert_eq!(
+        map.starts(),
+        &[0, 20],
+        "the leading shard merges into its right neighbour"
+    );
+    assert!(engine.query().user_sentiment(2, 3).is_ok());
+}
+
+#[test]
+fn merge_is_a_no_op_without_a_cold_shard() {
+    let c = corpus();
+    // A single shard has nothing to merge with, whatever the threshold.
+    let single = fleet(&c, 1, false);
+    stream(&single, &c, &windows(&c)[..2]);
+    assert!(single.maybe_merge(0.9).unwrap().is_none());
+
+    // A balanced fleet stays put below the threshold.
+    let balanced = fleet(&c, 3, false);
+    for t in 0..3u64 {
+        let mut snap = EngineSnapshot::new(t);
+        for u in [2usize, 12, 22] {
+            snap.push_tokens(u, vec!["even".into(), "keel".into()]);
+        }
+        balanced.ingest(snap).unwrap();
+    }
+    balanced.flush().unwrap();
+    assert!(balanced.maybe_merge(0.5).unwrap().is_none());
+    assert_eq!(balanced.shards(), 3);
 }

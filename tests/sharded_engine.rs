@@ -54,7 +54,7 @@ fn single_shard_timeline_and_checkpoint_bytes_match_sentiment_engine() {
 
     // Timelines are exactly equal — every field of every entry.
     let a = single.query().timeline(..);
-    let b = sharded.query().timeline(..);
+    let b = sharded.query().timeline(..).unwrap();
     assert_eq!(a, b, "shards = 1 must be the identity");
     assert_eq!(sharded.dropped_cross_shard(), 0);
 
@@ -99,7 +99,7 @@ fn multi_shard_timelines_agree_with_single_shard_within_tolerance() {
                 .unwrap();
         }
         engine.flush().unwrap();
-        engine.query().timeline(..)
+        engine.query().timeline(..).unwrap()
     };
     let base = run(1);
     for shards in [2usize, 4] {
@@ -153,7 +153,10 @@ fn multi_shard_checkpoint_restores_and_keeps_solving_deterministically() {
     // Round-trip through raw bytes, as `tgs stream --checkpoint` would.
     let restored = ShardedEngine::restore_any(ckpt.as_bytes().to_vec()).unwrap();
     assert_eq!(restored.shards(), 4);
-    assert_eq!(restored.query().timeline(..), engine.query().timeline(..));
+    assert_eq!(
+        restored.query().timeline(..).unwrap(),
+        engine.query().timeline(..).unwrap()
+    );
 
     for &(lo, hi) in tail {
         let snap = EngineSnapshot::from_corpus_window(&c, lo, hi);
@@ -162,8 +165,8 @@ fn multi_shard_checkpoint_restores_and_keeps_solving_deterministically() {
     }
     engine.flush().unwrap();
     restored.flush().unwrap();
-    let a = engine.query().timeline(..);
-    let b = restored.query().timeline(..);
+    let a = engine.query().timeline(..).unwrap();
+    let b = restored.query().timeline(..).unwrap();
     assert_eq!(a, b, "post-restore multi-shard solves must be identical");
 
     // The restored fleet serves the full history API.
