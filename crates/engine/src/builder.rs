@@ -5,6 +5,7 @@ use tgs_data::{Corpus, PartitionMap};
 use tgs_linalg::DenseMatrix;
 use tgs_text::{PipelineConfig, Vocabulary};
 
+use crate::batch::BatchPolicy;
 use crate::engine::{EngineShared, EngineState, SentimentEngine};
 use crate::sharded::ShardedEngine;
 
@@ -38,6 +39,7 @@ pub struct EngineBuilder {
     queue_depth: usize,
     store_budget_bytes: usize,
     ghost_users: bool,
+    batch: BatchPolicy,
 }
 
 impl Default for EngineBuilder {
@@ -48,6 +50,7 @@ impl Default for EngineBuilder {
             queue_depth: DEFAULT_QUEUE_DEPTH,
             store_budget_bytes: DEFAULT_STORE_BUDGET_BYTES,
             ghost_users: false,
+            batch: BatchPolicy::default(),
         }
     }
 }
@@ -165,8 +168,41 @@ impl EngineBuilder {
         self
     }
 
+    /// Replaces the whole micro-batching policy for the engine's
+    /// [`SentimentEngine::batching`] / [`ShardedEngine::batching`] front
+    /// end (see [`BatchPolicy`]). Validated at fit time.
+    pub fn batch_policy(mut self, policy: BatchPolicy) -> Self {
+        self.batch = policy;
+        self
+    }
+
+    /// Batching time-bucket width: snapshot timestamps are floored to
+    /// multiples of this value and same-bucket snapshots coalesce into
+    /// one solver step. Width 1 (default) coalesces exact-timestamp
+    /// duplicates only.
+    pub fn batch_bucket_width(mut self, width: u64) -> Self {
+        self.batch.bucket_width = width;
+        self
+    }
+
+    /// Flush-on-size threshold: a pending batch flushes as soon as it
+    /// holds this many documents.
+    pub fn batch_max_docs(mut self, max_docs: usize) -> Self {
+        self.batch.max_docs = max_docs;
+        self
+    }
+
+    /// Flush-on-deadline: a pending batch flushes once it has been open
+    /// this long (checked on the next submit or tick — there is no timer
+    /// thread).
+    pub fn batch_max_delay(mut self, delay: std::time::Duration) -> Self {
+        self.batch.max_delay = Some(delay);
+        self
+    }
+
     fn try_validate(&self) -> Result<(), TgsError> {
         self.config.try_validate()?;
+        self.batch.validate()?;
         if self.queue_depth == 0 {
             return Err(TgsError::InvalidConfig {
                 field: "queue_depth",
@@ -229,14 +265,17 @@ impl EngineBuilder {
         self.try_validate()?;
         let ghost_users = self.ghost_users;
         let (vocab, sf0) = self.fit_globals(corpus)?;
+        let batch = self.batch;
         let workers = (0..shards)
             .map(|_| self.clone().start(vocab.clone(), sf0.clone()))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(ShardedEngine::start(
+        let mut fleet = ShardedEngine::start(
             PartitionMap::even(corpus.num_users(), shards),
             workers,
             ghost_users,
-        ))
+        );
+        fleet.set_batch_policy(batch);
+        Ok(fleet)
     }
 
     /// Starts the engine from an already-fitted vocabulary and `l × k`
@@ -268,6 +307,8 @@ impl EngineBuilder {
             queue_depth: self.queue_depth,
         };
         let state = EngineState::new(self.store_budget_bytes);
-        Ok(SentimentEngine::start(shared, solver, state))
+        let mut engine = SentimentEngine::start(shared, solver, state);
+        engine.set_batch_policy(self.batch);
+        Ok(engine)
     }
 }

@@ -13,7 +13,9 @@ use tgs_data::{assemble_snapshot_matrices, SnapshotMatrices};
 use tgs_linalg::DenseMatrix;
 use tgs_text::{tokenize_features_into, TokenizerConfig, Vocabulary, Weighting};
 
+use crate::batch::{BatchPolicy, BatchingIngest};
 use crate::checkpoint::{self, EngineCheckpoint};
+use crate::hist::{LatencyHistogram, HIST_BUCKETS};
 use crate::query::{EngineQuery, TimelineEntry};
 use crate::snapshot::{DocContent, EngineSnapshot};
 
@@ -76,12 +78,47 @@ enum Command {
 /// Ingest-path counters, shared between producers, the worker thread and
 /// [`SentimentEngine::stats`]. All relaxed atomics — the stats are a
 /// monitoring surface, not a synchronization primitive.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct EngineMetrics {
     queued: AtomicU64,
     ingested: AtomicU64,
     dropped_capacity: AtomicU64,
     last_step_ns: AtomicU64,
+    /// Per-bucket step-latency counts (log2-ns; see [`LatencyHistogram`]).
+    step_buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for EngineMetrics {
+    // Manual because `[AtomicU64; 40]` has no `Default` (the standard
+    // library stops deriving array impls at length 32).
+    fn default() -> Self {
+        Self {
+            queued: AtomicU64::new(0),
+            ingested: AtomicU64::new(0),
+            dropped_capacity: AtomicU64::new(0),
+            last_step_ns: AtomicU64::new(0),
+            step_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl EngineMetrics {
+    /// Worker-side: records one completed step's wall-clock nanoseconds
+    /// into both the gauge and the histogram.
+    fn record_step(&self, ns: u64) {
+        self.last_step_ns.store(ns, Ordering::Relaxed);
+        self.step_buckets[LatencyHistogram::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the step-latency histogram; sheds mirror
+    /// `dropped_capacity` (every full-queue rejection is a shed).
+    fn step_hist(&self) -> LatencyHistogram {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(self.step_buckets.iter()) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        LatencyHistogram::from_parts(&buckets, self.dropped_capacity.load(Ordering::Relaxed))
+    }
 }
 
 /// A point-in-time snapshot of an engine's ingest metrics — the
@@ -98,6 +135,12 @@ pub struct EngineStats {
     /// Wall-clock nanoseconds the worker spent on the most recent
     /// snapshot (tokenize + assemble + solve + commit).
     pub last_step_ns: u64,
+    /// Log2-bucket histogram of every step's wall-clock nanoseconds
+    /// (p50/p99/p999 accessors), plus a `shed` count of snapshots that
+    /// never reached the solver. On a single engine the sheds mirror
+    /// `dropped_capacity`; on the multi-shard router they additionally
+    /// include batches shed before splitting.
+    pub step_hist: LatencyHistogram,
     /// Cross-shard re-tweet edges *kept* as ghost rows (multi-shard
     /// router, ghost mode). Always 0 on a single engine.
     pub ghost_edges: u64,
@@ -126,15 +169,16 @@ pub struct EngineStats {
 
 impl EngineStats {
     /// Element-wise accumulation for multi-shard aggregation: counters
-    /// sum; `last_step_ns` takes the maximum (the slowest shard gates a
-    /// fan-out step's latency); `simd`, `threads` and `pinned` are
-    /// process-wide and carried through.
+    /// and histogram buckets sum; `last_step_ns` takes the maximum (the
+    /// slowest shard gates a fan-out step's latency); `simd`, `threads`
+    /// and `pinned` are process-wide and carried through.
     pub fn merge(&self, other: &EngineStats) -> EngineStats {
         EngineStats {
             queued: self.queued + other.queued,
             ingested: self.ingested + other.ingested,
             dropped_capacity: self.dropped_capacity + other.dropped_capacity,
             last_step_ns: self.last_step_ns.max(other.last_step_ns),
+            step_hist: self.step_hist.merge(&other.step_hist),
             ghost_edges: self.ghost_edges + other.ghost_edges,
             dropped_cross_shard: self.dropped_cross_shard + other.dropped_cross_shard,
             shard_unavailable: self.shard_unavailable + other.shard_unavailable,
@@ -165,6 +209,11 @@ pub struct SentimentEngine {
     state: Arc<Mutex<EngineState>>,
     solver: Arc<Mutex<OnlineSolver>>,
     metrics: Arc<EngineMetrics>,
+    /// Process-local micro-batching knobs (see [`BatchPolicy`]): set by
+    /// the builder, read by [`SentimentEngine::batching`]. Deliberately
+    /// not checkpointed — a tuning knob of this process, like the SIMD
+    /// tier, not part of the stream's history.
+    batch_policy: BatchPolicy,
     tx: Option<SyncSender<Command>>,
     worker: Option<JoinHandle<()>>,
 }
@@ -194,9 +243,29 @@ impl SentimentEngine {
             state,
             solver,
             metrics,
+            batch_policy: BatchPolicy::default(),
             tx: Some(tx),
             worker: Some(worker),
         }
+    }
+
+    /// Installs the micro-batching policy (builder-time only; validated
+    /// by the builder).
+    pub(crate) fn set_batch_policy(&mut self, policy: BatchPolicy) {
+        self.batch_policy = policy;
+    }
+
+    /// The micro-batching policy [`SentimentEngine::batching`] applies.
+    pub fn batch_policy(&self) -> BatchPolicy {
+        self.batch_policy
+    }
+
+    /// A micro-batching front end over this engine using the builder's
+    /// [`BatchPolicy`]: coalesces same-bucket snapshots so each solver
+    /// step amortizes one tokenize pass, one matrix assembly and one
+    /// workspace bind. See [`BatchingIngest`].
+    pub fn batching(&self) -> BatchingIngest<&SentimentEngine> {
+        BatchingIngest::with_policy_unchecked(self, self.batch_policy)
     }
 
     /// Submits a snapshot for asynchronous processing. Returns as soon as
@@ -222,24 +291,46 @@ impl SentimentEngine {
     /// full, instead of blocking the producer. Load-shedding front ends
     /// use this to keep their latency bounded under backpressure.
     pub fn try_ingest(&self, snapshot: EngineSnapshot) -> Result<bool, TgsError> {
+        Ok(self.try_ingest_reusable(snapshot)?.is_none())
+    }
+
+    /// Like [`SentimentEngine::try_ingest`], but a full-queue rejection
+    /// hands the snapshot back (`Ok(Some(snapshot))`) instead of dropping
+    /// it, so a shedding producer can retry or recycle its buffers — the
+    /// rejection path neither allocates nor frees. Sheds count in
+    /// [`EngineStats::dropped_capacity`] and the histogram's shed bucket.
+    pub fn try_ingest_reusable(
+        &self,
+        snapshot: EngineSnapshot,
+    ) -> Result<Option<EngineSnapshot>, TgsError> {
         let tx = self.tx.as_ref().ok_or(TgsError::EngineClosed)?;
         // Same ordering rationale as `ingest`: count first, undo on
         // failure, so the worker's decrement can never observe 0.
         self.metrics.queued.fetch_add(1, Ordering::Relaxed);
         match tx.try_send(Command::Ingest(snapshot)) {
-            Ok(()) => Ok(true),
-            Err(TrySendError::Full(_)) => {
+            Ok(()) => Ok(None),
+            Err(TrySendError::Full(Command::Ingest(snapshot))) => {
                 self.metrics.queued.fetch_sub(1, Ordering::Relaxed);
                 self.metrics
                     .dropped_capacity
                     .fetch_add(1, Ordering::Relaxed);
-                Ok(false)
+                Ok(Some(snapshot))
             }
+            Err(TrySendError::Full(_)) => unreachable!("we sent Command::Ingest"),
             Err(TrySendError::Disconnected(_)) => {
                 self.metrics.queued.fetch_sub(1, Ordering::Relaxed);
                 Err(TgsError::EngineClosed)
             }
         }
+    }
+
+    /// Whether the bounded ingest queue currently has room — the
+    /// capacity probe the multi-shard router uses to shed a whole batch
+    /// before splitting it (no partial commits). Advisory under
+    /// concurrent producers: another thread can take the slot between
+    /// the probe and the send.
+    pub fn has_capacity(&self) -> bool {
+        self.metrics.queued.load(Ordering::Relaxed) < self.shared.queue_depth as u64
     }
 
     /// Current ingest metrics: queue depth, processed count, snapshots
@@ -252,6 +343,7 @@ impl SentimentEngine {
             ingested: self.metrics.ingested.load(Ordering::Relaxed),
             dropped_capacity: self.metrics.dropped_capacity.load(Ordering::Relaxed),
             last_step_ns: self.metrics.last_step_ns.load(Ordering::Relaxed),
+            step_hist: self.metrics.step_hist(),
             ghost_edges: 0,
             dropped_cross_shard: 0,
             shard_unavailable: 0,
@@ -591,9 +683,8 @@ fn worker_loop(
                 match process(&shared, &solver, &state, snapshot, &mut scratch) {
                     Ok(()) => {
                         metrics.ingested.fetch_add(1, Ordering::Relaxed);
-                        metrics.last_step_ns.store(
+                        metrics.record_step(
                             u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                            Ordering::Relaxed,
                         );
                     }
                     Err(e) => state.lock().failures.push_back((timestamp, e)),

@@ -1,0 +1,215 @@
+//! Fixed-bucket log2 latency histogram — the step-latency surface behind
+//! [`crate::EngineStats`].
+//!
+//! A histogram because a single `last_step_ns` gauge cannot answer the
+//! question a soak run asks ("what did the *slow* steps look like?"), and
+//! log2 buckets because they cover nanoseconds-to-minutes in a fixed,
+//! mergeable 40-slot array: shard aggregation is an element-wise sum, and
+//! quantiles are a cumulative walk with at most 2× relative error —
+//! plenty for p50/p99/p999 monitoring.
+
+/// Number of power-of-two buckets. Bucket `i` counts samples whose
+/// nanosecond value `v` satisfies `2^i <= v < 2^(i+1)` (bucket 0 also
+/// takes `v = 0`), so the last bucket's ceiling is `2^40 - 1` ns ≈ 18
+/// minutes — anything slower clamps into it.
+pub const HIST_BUCKETS: usize = 40;
+
+/// A point-in-time latency histogram plus a `shed` counter for work that
+/// never reached the solver (snapshots rejected by a full queue — they
+/// have no latency to record, but a load test must still see them).
+///
+/// `[u64; 40]` has no `Default` impl (the standard library only provides
+/// one up to length 32), hence the manual implementations below —
+/// `EngineStats` keeps its plain `Default` derive through them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; HIST_BUCKETS],
+    shed: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+            shed: 0,
+        }
+    }
+
+    /// Rebuilds a histogram from raw parts (the wire codec's decode
+    /// path). `buckets` shorter than [`HIST_BUCKETS`] zero-fill the tail;
+    /// longer inputs clamp their excess into the last bucket so counts
+    /// are never silently lost across a bucket-width revision.
+    pub fn from_parts(buckets: &[u64], shed: u64) -> Self {
+        let mut h = Self::new();
+        for (i, &b) in buckets.iter().enumerate() {
+            h.buckets[i.min(HIST_BUCKETS - 1)] += b;
+        }
+        h.shed = shed;
+        h
+    }
+
+    /// The bucket index a nanosecond sample lands in.
+    pub fn bucket_index(ns: u64) -> usize {
+        if ns <= 1 {
+            0
+        } else {
+            (63 - ns.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// The inclusive upper bound (in nanoseconds) of bucket `i` — what
+    /// the quantile accessors report.
+    pub fn bucket_ceiling(i: usize) -> u64 {
+        (1u64 << (i.min(HIST_BUCKETS - 1) + 1)) - 1
+    }
+
+    /// Records one step-latency sample.
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[Self::bucket_index(ns)] += 1;
+    }
+
+    /// Records `n` snapshots shed before reaching the solver.
+    pub fn add_shed(&mut self, n: u64) {
+        self.shed += n;
+    }
+
+    /// The raw per-bucket counts.
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Total recorded samples (sheds excluded — they never ran).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Snapshots shed before reaching the solver (full-queue rejections).
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Whether no sample has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// The latency (bucket ceiling, ns) below which a fraction `q` of
+    /// samples fall. Returns 0 on an empty histogram; `q` outside
+    /// `[0, 1]` clamps.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Self::bucket_ceiling(i);
+            }
+        }
+        Self::bucket_ceiling(HIST_BUCKETS - 1)
+    }
+
+    /// Median step latency (ns, bucket ceiling).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile step latency (ns, bucket ceiling).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile step latency (ns, bucket ceiling).
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Element-wise accumulation: buckets and sheds sum — the multi-shard
+    /// merge (a fleet histogram is exactly the union of its shards'
+    /// samples).
+    pub fn merge(&self, other: &LatencyHistogram) -> LatencyHistogram {
+        let mut out = *self;
+        for (b, o) in out.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        out.shed += other.shed;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2_with_zero_clamped() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 0);
+        assert_eq!(LatencyHistogram::bucket_index(2), 1);
+        assert_eq!(LatencyHistogram::bucket_index(3), 1);
+        assert_eq!(LatencyHistogram::bucket_index(4), 2);
+        assert_eq!(LatencyHistogram::bucket_index(1 << 39), HIST_BUCKETS - 1);
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_counts() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..98 {
+            h.record(1_000); // bucket 9, ceiling 1023
+        }
+        h.record(1 << 20); // bucket 20
+        h.record(1 << 30); // bucket 30
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), LatencyHistogram::bucket_ceiling(9));
+        assert_eq!(h.p99(), LatencyHistogram::bucket_ceiling(20));
+        assert_eq!(h.p999(), LatencyHistogram::bucket_ceiling(30));
+        assert_eq!(h.quantile(1.0), LatencyHistogram::bucket_ceiling(30));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p999(), 0);
+        assert_eq!(h.shed(), 0);
+    }
+
+    #[test]
+    fn merge_sums_buckets_and_sheds() {
+        let mut a = LatencyHistogram::new();
+        a.record(10);
+        a.add_shed(2);
+        let mut b = LatencyHistogram::new();
+        b.record(10);
+        b.record(1 << 25);
+        b.add_shed(1);
+        let m = a.merge(&b);
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.shed(), 3);
+        assert_eq!(m.buckets()[LatencyHistogram::bucket_index(10)], 2);
+    }
+
+    #[test]
+    fn from_parts_clamps_and_zero_fills() {
+        let short = LatencyHistogram::from_parts(&[1, 2], 7);
+        assert_eq!(short.buckets()[0], 1);
+        assert_eq!(short.buckets()[1], 2);
+        assert_eq!(short.count(), 3);
+        assert_eq!(short.shed(), 7);
+        let long = LatencyHistogram::from_parts(&vec![1; HIST_BUCKETS + 3], 0);
+        assert_eq!(long.count(), (HIST_BUCKETS + 3) as u64);
+        assert_eq!(long.buckets()[HIST_BUCKETS - 1], 4);
+    }
+}

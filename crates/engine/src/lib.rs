@@ -41,17 +41,21 @@
 //! assert_eq!(timeline[0].tweet_counts.len(), 3);
 //! ```
 
+pub mod batch;
 pub mod builder;
 pub mod checkpoint;
 mod engine;
+pub mod hist;
 pub mod query;
 pub mod sharded;
 pub mod snapshot;
 pub mod transport;
 
+pub use batch::{BatchPolicy, BatchingIngest, IngestSink};
 pub use builder::{EngineBuilder, DEFAULT_QUEUE_DEPTH, DEFAULT_STORE_BUDGET_BYTES};
 pub use checkpoint::EngineCheckpoint;
 pub use engine::{EngineStats, SentimentEngine};
+pub use hist::{LatencyHistogram, HIST_BUCKETS};
 pub use query::{ClusterSummary, EngineQuery, TimelineEntry, UserSentiment};
 pub use sharded::{ShardLoad, ShardedCheckpoint, ShardedEngine, ShardedQuery};
 pub use snapshot::{DocContent, EngineDoc, EngineRetweet, EngineSnapshot};
@@ -317,19 +321,28 @@ mod tests {
         assert_eq!(stats.ingested, accepted);
         assert_eq!(stats.queued, 0, "flush drains the queue");
         assert!(stats.last_step_ns > 0);
+        // The histogram saw every committed step and every shed.
+        assert_eq!(stats.step_hist.count(), accepted);
+        assert_eq!(stats.step_hist.shed(), dropped);
+        assert!(stats.step_hist.p50() > 0);
+        assert!(stats.step_hist.p999() >= stats.step_hist.p50());
         assert_eq!(engine.query().timeline(..).len() as u64, accepted);
         assert_eq!(
             stats.simd,
             tgs_linalg::simd_tier_name(),
             "stats must record the active SIMD tier"
         );
-        // Aggregation: counters sum, latency takes the max, the SIMD
-        // tier carries through.
+        // Aggregation: counters and histogram buckets sum, latency takes
+        // the max, the SIMD tier carries through.
+        let mut other_hist = LatencyHistogram::new();
+        other_hist.record(1 << 20);
+        other_hist.add_shed(3);
         let merged = stats.merge(&EngineStats {
             queued: 1,
             ingested: 2,
             dropped_capacity: 3,
             last_step_ns: u64::MAX,
+            step_hist: other_hist,
             ghost_edges: 4,
             dropped_cross_shard: 5,
             shard_unavailable: 6,
@@ -341,12 +354,44 @@ mod tests {
         assert_eq!(merged.ingested, stats.ingested + 2);
         assert_eq!(merged.dropped_capacity, stats.dropped_capacity + 3);
         assert_eq!(merged.last_step_ns, u64::MAX);
+        assert_eq!(merged.step_hist.count(), stats.step_hist.count() + 1);
+        assert_eq!(merged.step_hist.shed(), stats.step_hist.shed() + 3);
         assert_eq!(merged.ghost_edges, 4);
         assert_eq!(merged.dropped_cross_shard, 5);
         assert_eq!(merged.shard_unavailable, 6);
         assert_eq!(merged.simd, stats.simd);
         assert_eq!(merged.threads, stats.threads, "threads carry through");
         assert_eq!(merged.pinned, stats.pinned, "pinned carries through");
+    }
+
+    #[test]
+    fn try_ingest_reusable_returns_the_snapshot_on_backpressure() {
+        let c = corpus();
+        let engine = EngineBuilder::new()
+            .k(3)
+            .max_iters(8)
+            .queue_depth(1)
+            .fit(&c)
+            .expect("valid build");
+        // Shed until the non-blocking path rejects, then check the exact
+        // payload comes back so producers can recycle it.
+        let mut returned = None;
+        for t in 0..10_000u64 {
+            let mut snap = EngineSnapshot::from_corpus_window(&c, 0, c.num_days);
+            snap.timestamp = t;
+            let expect = snap.clone();
+            if let Some(back) = engine.try_ingest_reusable(snap).unwrap() {
+                assert_eq!(back, expect, "rejection hands back the same snapshot");
+                returned = Some(back);
+                break;
+            }
+        }
+        let back = returned.expect("queue_depth = 1 must reject eventually");
+        assert!(engine.stats().step_hist.shed() >= 1);
+        engine.flush().unwrap();
+        // The returned snapshot is still ingestable (nothing was lost).
+        assert!(engine.try_ingest(back).unwrap());
+        engine.flush().unwrap();
     }
 
     #[test]

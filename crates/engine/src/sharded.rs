@@ -56,6 +56,7 @@ use tgs_data::{
 use tgs_linalg::DenseMatrix;
 use tgs_text::Vocabulary;
 
+use crate::batch::{BatchPolicy, BatchingIngest};
 use crate::checkpoint::EngineCheckpoint;
 use crate::engine::{EngineStats, SentimentEngine};
 use crate::query::{rank_top_words, ClusterSummary, TimelineEntry, UserSentiment};
@@ -273,6 +274,15 @@ pub struct ShardedEngine {
     /// Shard calls that failed with a network error (cumulative; see
     /// [`EngineStats::shard_unavailable`]). Always 0 on all-local fleets.
     shard_unavailable: AtomicU64,
+    /// Whole batches shed by [`ShardedEngine::try_ingest`]'s pre-split
+    /// capacity probe (some worker's queue was full). Overlaid onto the
+    /// merged stats' `dropped_capacity` and histogram shed count.
+    router_shed: AtomicU64,
+    /// Process-local micro-batching knobs for
+    /// [`ShardedEngine::batching`]; set by the builder, defaulted on
+    /// restore/`from_transports` (like the single engine's policy, this
+    /// is a tuning knob of the process, not checkpointed state).
+    batch_policy: BatchPolicy,
     /// Documents routed per author id — the load statistic behind
     /// [`ShardedEngine::shard_loads`] and the `--max-skew` auto-trigger.
     /// Process-local (reset on restore), like [`EngineStats`].
@@ -373,6 +383,8 @@ impl ShardedEngine {
             dropped_cross_shard: AtomicU64::new(0),
             ghost_edges: AtomicU64::new(0),
             shard_unavailable: AtomicU64::new(0),
+            router_shed: AtomicU64::new(0),
+            batch_policy: BatchPolicy::default(),
             doc_counts: Mutex::new(BTreeMap::new()),
             ingested: Mutex::new(ingested),
             vocab,
@@ -395,6 +407,11 @@ impl ShardedEngine {
     /// kept via ghost rows instead of dropped).
     pub fn ghost_mode(&self) -> bool {
         self.ghost_mode
+    }
+
+    /// The fleet's frozen vocabulary (identical on every worker).
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
     }
 
     /// Cross-shard re-tweets dropped at ingest so far (always 0 in ghost
@@ -467,6 +484,57 @@ impl ShardedEngine {
         Ok(())
     }
 
+    /// Non-blocking variant of [`ShardedEngine::ingest`]: probes every
+    /// worker's queue *before* splitting and hands the snapshot back
+    /// (`Ok(Some(snapshot))`) when any queue is full — the batch is shed
+    /// whole, allocation-free, before the timestamp is claimed, so the
+    /// caller can retry it later. Sheds count into the merged stats'
+    /// `dropped_capacity` and the histogram's shed bucket. The probe is
+    /// advisory under concurrent producers (a slot can be taken between
+    /// probe and send, in which case the ingest briefly blocks); with
+    /// one producer per router the shed decision is exact.
+    pub fn try_ingest(&self, snapshot: EngineSnapshot) -> Result<Option<EngineSnapshot>, TgsError> {
+        if snapshot.is_empty() {
+            return Ok(None);
+        }
+        {
+            let fleet = self.fleet();
+            for worker in &fleet.workers {
+                let room = match worker.queue_has_room() {
+                    Ok(room) => room,
+                    Err(e) => {
+                        self.note(&e);
+                        return Err(e);
+                    }
+                };
+                if !room {
+                    self.router_shed.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Some(snapshot));
+                }
+            }
+        }
+        self.ingest(snapshot).map(|()| None)
+    }
+
+    /// Installs the micro-batching policy (builder-time only; validated
+    /// by the builder).
+    pub(crate) fn set_batch_policy(&mut self, policy: BatchPolicy) {
+        self.batch_policy = policy;
+    }
+
+    /// The micro-batching policy [`ShardedEngine::batching`] applies.
+    pub fn batch_policy(&self) -> BatchPolicy {
+        self.batch_policy
+    }
+
+    /// A micro-batching front end over this router using the builder's
+    /// [`BatchPolicy`]: each flushed batch splits per-shard once, so the
+    /// whole fleet amortizes tokenize/assembly/bind costs per bucket
+    /// instead of per micro-snapshot. See [`BatchingIngest`].
+    pub fn batching(&self) -> BatchingIngest<&ShardedEngine> {
+        BatchingIngest::with_policy_unchecked(self, self.batch_policy)
+    }
+
     /// Blocks until every worker drained its queue, then reports the
     /// first pending ingest failure (if any) or the number of distinct
     /// timestamps in the merged timeline.
@@ -520,7 +588,15 @@ impl ShardedEngine {
                 Err(e) => self.note(&e),
             }
         }
+        // Router-level sheds (whole batches rejected before splitting)
+        // overlay the per-worker counts: they never reached a worker, so
+        // no worker's stats carry them.
+        let shed = self.router_shed.load(Ordering::Relaxed);
+        let mut step_hist = merged.step_hist;
+        step_hist.add_shed(shed);
         EngineStats {
+            dropped_capacity: merged.dropped_capacity + shed,
+            step_hist,
             ghost_edges: self.ghost_edges(),
             dropped_cross_shard: self.dropped_cross_shard(),
             shard_unavailable: self.shard_unavailable.load(Ordering::Relaxed),
@@ -928,13 +1004,46 @@ fn apply_plan(
     Ok(())
 }
 
+/// Issues `f` against every worker concurrently — one in-flight call per
+/// peer — and returns the results in shard order, so downstream merges
+/// stay deterministic. Over TCP transports this pipelines the fleet:
+/// a fan-out costs the slowest peer's round-trip instead of the sum of
+/// all of them. With one worker the call runs inline (no thread spawn on
+/// the single-shard path).
+fn fan_out<T, F>(workers: &[Arc<dyn ShardTransport>], f: F) -> Vec<Result<T, TgsError>>
+where
+    T: Send,
+    F: Fn(usize, &dyn ShardTransport) -> Result<T, TgsError> + Sync,
+{
+    if workers.len() <= 1 {
+        return workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| f(i, w.as_ref()))
+            .collect();
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| s.spawn(move || f(i, w.as_ref())))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fan-out worker panicked"))
+            .collect()
+    })
+}
+
 /// Flushes every worker, reporting the first failure after draining all.
 fn flush_fleet(fleet: &Fleet) -> Result<(), TgsError> {
+    // Every worker drains even after a failure (the router never leaves
+    // queues half-processed), and they drain concurrently: a quiesce is
+    // a barrier, so it costs the slowest worker, not the sum.
     let mut first_err = None;
-    for worker in &fleet.workers {
-        // Drain every worker even after a failure so the router never
-        // leaves queues half-processed.
-        if let Err(e) = worker.flush() {
+    for outcome in fan_out(&fleet.workers, |_, worker| worker.flush()) {
+        if let Err(e) = outcome {
             first_err.get_or_insert(e);
         }
     }
@@ -1164,8 +1273,9 @@ impl ShardedQuery {
         self.with_topo(|topo| {
             let generation = topo.map.generation();
             let mut merged: BTreeMap<u64, TimelineEntry> = BTreeMap::new();
-            for worker in &topo.workers {
-                for entry in worker.timeline(generation, lo, hi)? {
+            // Concurrent fan-out, merged in shard order (deterministic).
+            for entries in fan_out(&topo.workers, |_, w| w.timeline(generation, lo, hi)) {
+                for entry in entries? {
                     match merged.entry(entry.timestamp) {
                         std::collections::btree_map::Entry::Vacant(slot) => {
                             slot.insert(entry);
@@ -1185,8 +1295,8 @@ impl ShardedQuery {
         self.with_topo(|topo| {
             let generation = topo.map.generation();
             let mut newest: Option<u64> = None;
-            for worker in &topo.workers {
-                if let Some(t) = worker.latest_timestamp(generation)? {
+            for t in fan_out(&topo.workers, |_, w| w.latest_timestamp(generation)) {
+                if let Some(t) = t? {
                     newest = Some(newest.map_or(t, |n| n.max(t)));
                 }
             }
@@ -1194,8 +1304,8 @@ impl ShardedQuery {
                 return Ok(None);
             };
             let mut merged: Option<TimelineEntry> = None;
-            for worker in &topo.workers {
-                for entry in worker.timeline(generation, t, t)? {
+            for entries in fan_out(&topo.workers, |_, w| w.timeline(generation, t, t)) {
+                for entry in entries? {
                     match merged.as_mut() {
                         None => merged = Some(entry),
                         Some(m) => m.merge_from(&entry),
@@ -1227,11 +1337,9 @@ impl ShardedQuery {
     pub fn known_users(&self) -> Result<usize, TgsError> {
         self.with_topo(|topo| {
             let generation = topo.map.generation();
-            let mut total = 0;
-            for worker in &topo.workers {
-                total += worker.known_users(generation)?;
-            }
-            Ok(total)
+            fan_out(&topo.workers, |_, w| w.known_users(generation))
+                .into_iter()
+                .try_fold(0, |total, n| Ok(total + n?))
         })
     }
 
@@ -1258,15 +1366,22 @@ impl ShardedQuery {
     pub fn top_words(&self, t: u64, topk: usize) -> Result<Vec<Vec<(String, f64)>>, TgsError> {
         let sf = self.with_topo(|topo| {
             let generation = topo.map.generation();
-            let mut parts: Vec<(f64, DenseMatrix)> = Vec::new();
-            for worker in &topo.workers {
+            // Per peer: summary then factor, still one in-flight frame
+            // at a time on each connection, pipelined across peers.
+            let fetched = fan_out(&topo.workers, |_, worker| {
                 match worker.cluster_summary(generation, t) {
                     Ok(summary) => {
                         let weight = summary.tweet_counts.iter().sum::<usize>() as f64;
-                        parts.push((weight, worker.sf_at(generation, t)?));
+                        Ok(Some((weight, worker.sf_at(generation, t)?)))
                     }
-                    Err(TgsError::SnapshotUnavailable { .. }) => continue,
-                    Err(e) => return Err(e),
+                    Err(TgsError::SnapshotUnavailable { .. }) => Ok(None),
+                    Err(e) => Err(e),
+                }
+            });
+            let mut parts: Vec<(f64, DenseMatrix)> = Vec::new();
+            for part in fetched {
+                if let Some(part) = part? {
+                    parts.push(part);
                 }
             }
             // The solvers' merge policy verbatim (single part = bit-exact

@@ -12,7 +12,7 @@ use tgs_data::Corpus;
 /// One document's content: either raw text (tokenized by the engine with
 /// its configured [`tgs_text::TokenizerConfig`]) or pre-tokenized
 /// features.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DocContent {
     /// Raw tweet text; the engine tokenizes at ingest time.
     Raw(String),
@@ -21,7 +21,7 @@ pub enum DocContent {
 }
 
 /// A document plus its author.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineDoc {
     /// Global id of the authoring user (sparse ids are fine).
     pub user: usize,
@@ -59,7 +59,7 @@ pub struct EngineRetweet {
 /// One time slice of the stream, ready for [`ingest`].
 ///
 /// [`ingest`]: crate::SentimentEngine::ingest
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineSnapshot {
     /// The snapshot's timestamp (day index, epoch second — any monotone
     /// key). Queries and the snapshot store are keyed by this value.
@@ -118,6 +118,36 @@ impl EngineSnapshot {
     /// snapshots without recording a step).
     pub fn is_empty(&self) -> bool {
         self.docs.is_empty()
+    }
+
+    /// Clears the payload and re-stamps the snapshot — buffer reuse for
+    /// producers that recycle one snapshot allocation across a stream
+    /// (the outer `docs` / `retweets` vectors keep their capacity).
+    pub fn reset(&mut self, timestamp: u64) {
+        self.timestamp = timestamp;
+        self.docs.clear();
+        self.retweets.clear();
+        self.ghosts.clear();
+    }
+
+    /// Appends `other`'s payload onto this snapshot — the coalescing step
+    /// behind [`crate::BatchingIngest`]. Documents concatenate; re-tweet
+    /// doc indices shift by this snapshot's prior document count so they
+    /// keep pointing at their own documents; ghost seeds concatenate.
+    /// `self.timestamp` is kept: the batch is stamped by its bucket, not
+    /// by the micro-snapshots folded into it. By construction the result
+    /// is exactly the snapshot a producer would have built by pushing
+    /// both payloads in sequence — which is what makes a batched step
+    /// bit-identical to ingesting the pre-concatenated snapshot.
+    pub fn merge(&mut self, other: EngineSnapshot) {
+        let offset = self.docs.len();
+        self.docs.extend(other.docs);
+        self.retweets
+            .extend(other.retweets.into_iter().map(|r| EngineRetweet {
+                user: r.user,
+                doc: r.doc + offset,
+            }));
+        self.ghosts.extend(other.ghosts);
     }
 
     /// Builds the snapshot for days `lo..hi` of a corpus, timestamped by

@@ -82,6 +82,17 @@ pub trait ShardTransport: Send + Sync {
     /// The worker's ingest metrics.
     fn stats(&self) -> Result<EngineStats, TgsError>;
 
+    /// Whether the worker's bounded ingest queue currently has room —
+    /// the router's pre-split capacity probe, so a shed batch is shed
+    /// whole (no partial per-shard commits). Advisory: a slot can be
+    /// taken between the probe and the ingest. Remote transports keep
+    /// this default `Ok(true)` — a TCP worker's backpressure is applied
+    /// by its own server-side queue, and probing it would cost a
+    /// round-trip per ingest.
+    fn queue_has_room(&self) -> Result<bool, TgsError> {
+        Ok(true)
+    }
+
     /// Every committed snapshot timestamp, ascending.
     fn timestamps(&self) -> Result<Vec<u64>, TgsError>;
 
@@ -233,6 +244,10 @@ impl ShardTransport for LocalShard {
 
     fn stats(&self) -> Result<EngineStats, TgsError> {
         Ok(self.engine.stats())
+    }
+
+    fn queue_has_room(&self) -> Result<bool, TgsError> {
+        Ok(self.engine.has_capacity())
     }
 
     fn timestamps(&self) -> Result<Vec<u64>, TgsError> {

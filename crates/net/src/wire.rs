@@ -11,7 +11,7 @@
 use tgs_core::TgsError;
 use tgs_engine::{
     ClusterSummary, DocContent, EngineDoc, EngineRetweet, EngineSnapshot, EngineStats,
-    TimelineEntry, UserSentiment,
+    LatencyHistogram, TimelineEntry, UserSentiment,
 };
 use tgs_linalg::DenseMatrix;
 
@@ -548,7 +548,11 @@ pub fn dec_cluster_summary(payload: &[u8]) -> Result<ClusterSummary, String> {
 /// (an unknown name decodes as `""` rather than leaking).
 const SIMD_TIERS: [&str; 4] = ["scalar", "avx2", "avx2+fma", "neon"];
 
-/// Encodes one [`EngineStats`].
+/// Encodes one [`EngineStats`]. The step-latency histogram rides after
+/// the scalar fields as `shed: u64`, `buckets: u64` (count) and that
+/// many `u64` bucket values — length-prefixed so a future bucket-count
+/// revision stays decodable (the decoder zero-fills a short list and
+/// clamps a long one into its last bucket).
 pub fn enc_stats(s: &EngineStats) -> Vec<u8> {
     let mut w = Wr::new();
     w.u64(s.queued);
@@ -561,6 +565,12 @@ pub fn enc_stats(s: &EngineStats) -> Vec<u8> {
     w.u64(s.threads);
     w.u8(s.pinned as u8);
     w.str(s.simd);
+    w.u64(s.step_hist.shed());
+    let buckets = s.step_hist.buckets();
+    w.u64(buckets.len() as u64);
+    for &b in buckets {
+        w.u64(b);
+    }
     w.finish()
 }
 
@@ -572,6 +582,7 @@ pub fn dec_stats(payload: &[u8]) -> Result<EngineStats, String> {
         ingested: r.u64("ingested")?,
         dropped_capacity: r.u64("dropped_capacity")?,
         last_step_ns: r.u64("last_step_ns")?,
+        step_hist: LatencyHistogram::new(),
         ghost_edges: r.u64("ghost_edges")?,
         dropped_cross_shard: r.u64("dropped_cross_shard")?,
         shard_unavailable: r.u64("shard_unavailable")?,
@@ -585,6 +596,15 @@ pub fn dec_stats(payload: &[u8]) -> Result<EngineStats, String> {
         .find(|&&name| name == simd)
         .copied()
         .unwrap_or("");
+    let shed = r.u64("histogram shed")?;
+    let n = r.u64("histogram bucket count")? as usize;
+    if n.saturating_mul(8) > r.remaining() {
+        return Err(format!("implausible histogram bucket count {n}"));
+    }
+    let buckets: Vec<u64> = (0..n)
+        .map(|_| r.u64("histogram bucket"))
+        .collect::<Result<_, _>>()?;
+    s.step_hist = LatencyHistogram::from_parts(&buckets, shed);
     r.done()?;
     Ok(s)
 }
@@ -812,11 +832,16 @@ mod tests {
 
     #[test]
     fn stats_codec_pins_simd_to_known_tiers() {
+        let mut step_hist = LatencyHistogram::new();
+        step_hist.record(900);
+        step_hist.record(1 << 22);
+        step_hist.add_shed(9);
         let stats = EngineStats {
             queued: 1,
             ingested: 2,
             dropped_capacity: 3,
             last_step_ns: 4,
+            step_hist,
             ghost_edges: 5,
             dropped_cross_shard: 6,
             shard_unavailable: 7,
@@ -832,7 +857,40 @@ mod tests {
         }
         w.u8(0);
         w.str("quantum");
+        w.u64(0); // histogram shed
+        w.u64(0); // histogram bucket count
         assert_eq!(dec_stats(&w.finish()).unwrap().simd, "");
+        // An implausible bucket count is rejected before allocation.
+        let mut w = Wr::new();
+        for v in 1..=8u64 {
+            w.u64(v);
+        }
+        w.u8(0);
+        w.str("scalar");
+        w.u64(0);
+        w.u64(u64::MAX);
+        assert!(dec_stats(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn stats_codec_histogram_survives_bucket_count_revisions() {
+        // A peer built with fewer buckets zero-fills; one with more
+        // clamps its tail into the last bucket — counts never vanish.
+        let mut w = Wr::new();
+        for v in 1..=8u64 {
+            w.u64(v);
+        }
+        w.u8(1);
+        w.str("scalar");
+        w.u64(2); // shed
+        w.u64(3); // short bucket list
+        w.u64(10);
+        w.u64(20);
+        w.u64(30);
+        let s = dec_stats(&w.finish()).unwrap();
+        assert_eq!(s.step_hist.count(), 60);
+        assert_eq!(s.step_hist.shed(), 2);
+        assert_eq!(s.step_hist.buckets()[2], 30);
     }
 
     #[test]

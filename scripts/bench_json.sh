@@ -32,6 +32,13 @@
 #     bit-identical at every budget, the series is wall-clock only.
 #   `spmm_prefetch/mul_dense_into_40k/{0,2,4,8}` — the TGS_PREFETCH
 #     lookahead sweep for the CSR-gather SpMM (0 = hints off).
+# PR 8 added BENCH_soak.json (written by `tgs soak`, not by this
+# script): the `soak/{unbatched,batched}` series drives the identical
+# seeded Zipf firehose through per-snapshot `try_ingest` and through
+# the `BatchingIngest` front end, recording throughput, drop rate,
+# queue depth and the p50/p99/p999 step-latency quantiles. Regenerate
+# with `./target/release/tgs soak` at the repo root; the `--smoke`
+# variant is the ci.sh gate (artifacts under target/bench-smoke/).
 #
 # Usage:
 #   ./scripts/bench_json.sh           # full regeneration (commit these)

@@ -12,6 +12,8 @@
 //! tgs shard    --listen 127.0.0.1:7401 [--range 0..500]
 //! tgs serve    --shards 127.0.0.1:7401,127.0.0.1:7402 --corpus corpus.tsv \
 //!              --out timeline.tsv [--checkpoint fleet.ckpt] [--terminate]
+//! tgs soak     [--users 2000 --steps 192 --shards 2 --batch-bucket 8] \
+//!              [--budget-ms 10000] [--out BENCH_soak.json] [--smoke]
 //! ```
 //!
 //! `stream` runs the online solver (Algorithm 2) through the
@@ -37,6 +39,14 @@
 //! streaming commands) is the elastic shrink trigger: when the coldest
 //! shard's routed load falls below `X` of the per-shard mean it is
 //! drained into its neighbour, the inverse of `--max-skew` splits.
+//!
+//! `soak` is the load-test harness: a deterministic seeded Zipf
+//! firehose ([`tgs_load::LoadGen`] via the facade) driven through
+//! per-snapshot `try_ingest` and then through the micro-batching front
+//! end under a wall-clock budget, recording throughput, drop rate,
+//! queue depth and p50/p99/p999 step latency into a JSON artifact.
+//! `--smoke` is the CI leg: tiny sizes, zero drops and a sane p99
+//! asserted, nonzero exit on violation.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -299,6 +309,35 @@ const COMMANDS: &[CommandSpec] = &[
         about: "Print Table 3-style statistics of a corpus.",
         flags: &[req("corpus", "PATH", "input corpus file")],
         run: cmd_stats,
+    },
+    CommandSpec {
+        name: "soak",
+        about: "Drive a deterministic Zipf firehose through the engine and record throughput.",
+        flags: &[
+            opt("users", "N", "2000", "synthetic user universe"),
+            opt("seed", "N", "42", "load-generator and solver RNG seed"),
+            opt("steps", "N", "192", "snapshots per phase (unbatched, then batched)"),
+            opt("docs-per-step", "N", "16", "documents per generated snapshot"),
+            opt("words-per-doc", "N", "8", "tokens per generated document"),
+            opt("k", "N", "3", "number of sentiment clusters"),
+            opt("iters", "N", "20", "per-snapshot iteration cap"),
+            opt("shards", "N", "2", "user-range shards"),
+            opt("queue-depth", "N", "64", "per-worker ingest queue bound"),
+            opt(
+                "batch-bucket",
+                "N",
+                "8",
+                "batching time-bucket width (timestamps coalesce per bucket)",
+            ),
+            opt("batch-max-docs", "N", "4096", "flush a pending batch at this many docs"),
+            opt("budget-ms", "MS", "10000", "wall-clock budget per phase"),
+            opt("out", "PATH", "BENCH_soak.json", "JSON results file"),
+            switch(
+                "smoke",
+                "CI mode: tiny sizes, assert zero drops and a sane p99, nonzero exit on failure",
+            ),
+        ],
+        run: cmd_soak,
     },
 ];
 
@@ -707,6 +746,14 @@ fn stream_and_report(
             s.threads,
             s.pinned,
         );
+        eprintln!(
+            "step latency: p50 {:.3} ms | p99 {:.3} ms | p999 {:.3} ms over {} steps ({} shed)",
+            s.step_hist.p50() as f64 / 1e6,
+            s.step_hist.p99() as f64 / 1e6,
+            s.step_hist.p999() as f64 / 1e6,
+            s.step_hist.count(),
+            s.step_hist.shed(),
+        );
         let loads = engine.shard_loads();
         let skew = engine.load_skew();
         for l in &loads {
@@ -940,5 +987,340 @@ fn cmd_stats(flags: &Flags) -> Result<(), TgsError> {
         s.unlabeled_users
     );
     println!("retweets: {}", s.total_retweets);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// `tgs soak` — the Zipf firehose harness.
+// ---------------------------------------------------------------------
+
+/// What one soak phase measured.
+struct SoakPhase {
+    id: &'static str,
+    wall: std::time::Duration,
+    snapshots: u64,
+    docs: u64,
+    solver_steps: u64,
+    sheds: u64,
+    queue_max: u64,
+    queue_sum: u64,
+    queue_samples: u64,
+    batches: u64,
+    coalesced: u64,
+    stats: EngineStats,
+}
+
+impl SoakPhase {
+    fn docs_per_sec(&self) -> f64 {
+        self.docs as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn drop_rate(&self) -> f64 {
+        let submissions = self.snapshots + self.sheds;
+        if submissions == 0 {
+            0.0
+        } else {
+            self.sheds as f64 / submissions as f64
+        }
+    }
+
+    fn queue_mean(&self) -> f64 {
+        if self.queue_samples == 0 {
+            0.0
+        } else {
+            self.queue_sum as f64 / self.queue_samples as f64
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"id\": \"soak/{}\",\n",
+                "      \"wall_ms\": {:.3},\n",
+                "      \"snapshots\": {},\n",
+                "      \"docs\": {},\n",
+                "      \"docs_per_sec\": {:.1},\n",
+                "      \"solver_steps\": {},\n",
+                "      \"sheds\": {},\n",
+                "      \"drop_rate\": {:.6},\n",
+                "      \"dropped_capacity\": {},\n",
+                "      \"queue_depth_max\": {},\n",
+                "      \"queue_depth_mean\": {:.2},\n",
+                "      \"batches\": {},\n",
+                "      \"snapshots_coalesced\": {},\n",
+                "      \"p50_ns\": {},\n",
+                "      \"p99_ns\": {},\n",
+                "      \"p999_ns\": {}\n",
+                "    }}"
+            ),
+            self.id,
+            self.wall.as_secs_f64() * 1e3,
+            self.snapshots,
+            self.docs,
+            self.docs_per_sec(),
+            self.solver_steps,
+            self.sheds,
+            self.drop_rate(),
+            self.stats.dropped_capacity,
+            self.queue_max,
+            self.queue_mean(),
+            self.batches,
+            self.coalesced,
+            self.stats.step_hist.p50(),
+            self.stats.step_hist.p99(),
+            self.stats.step_hist.p999(),
+        )
+    }
+}
+
+/// Re-submits a shed snapshot until the fleet accepts it. The engine
+/// hands rejected snapshots back allocation-free, so the retry loop
+/// moves no bytes; past `deadline` it falls through to the blocking
+/// `ingest` so a wedged phase still terminates.
+fn ingest_with_retry(
+    engine: &ShardedEngine,
+    snapshot: EngineSnapshot,
+    deadline: std::time::Instant,
+    sheds: &mut u64,
+) -> Result<(), TgsError> {
+    let mut pending = snapshot;
+    loop {
+        match engine.try_ingest(pending)? {
+            None => return Ok(()),
+            Some(back) => {
+                *sheds += 1;
+                if std::time::Instant::now() >= deadline {
+                    return engine.ingest(back);
+                }
+                pending = back;
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
+    }
+}
+
+fn cmd_soak(flags: &Flags) -> Result<(), TgsError> {
+    let smoke = flags.str_opt("smoke").is_some();
+    let seed: u64 = flags.get("seed")?;
+    let mut users: usize = flags.get("users")?;
+    let mut steps: usize = flags.get("steps")?;
+    let mut docs_per_step: usize = flags.get("docs-per-step")?;
+    let words_per_doc: usize = flags.get("words-per-doc")?;
+    let shards: usize = flags.get("shards")?;
+    let mut queue_depth: usize = flags.get("queue-depth")?;
+    let bucket: u64 = flags.get("batch-bucket")?;
+    let batch_max_docs: usize = flags.get("batch-max-docs")?;
+    let budget_ms: u64 = flags.get("budget-ms")?;
+    if users < 2 {
+        // The corpus generator's own minimum; fail typed before it
+        // panics.
+        return Err(TgsError::invalid_argument("--users must be >= 2"));
+    }
+    if smoke {
+        // CI leg: small enough to finish in seconds, queue deep enough
+        // that nothing sheds — any drop is then a regression.
+        users = users.min(200);
+        steps = steps.min(24);
+        docs_per_step = docs_per_step.min(8);
+        queue_depth = queue_depth.max(256);
+    }
+
+    // Fit the vocabulary on a corpus with the same user universe the
+    // generator will address, so routing is even and generated tokens
+    // survive encoding.
+    let mut gcfg = presets::tiny(seed);
+    gcfg.num_users = users;
+    gcfg.total_tweets = (2 * users).max(600);
+    let corpus = generate(&gcfg);
+
+    let build = |batched: bool| -> Result<ShardedEngine, TgsError> {
+        let mut b = EngineBuilder::new()
+            .online(OnlineConfig {
+                k: flags.get("k")?,
+                max_iters: flags.get("iters")?,
+                seed,
+                ..Default::default()
+            })
+            .pipeline(pipeline())
+            .queue_depth(queue_depth);
+        if batched {
+            b = b.batch_bucket_width(bucket).batch_max_docs(batch_max_docs);
+        }
+        b.fit_sharded(&corpus, shards)
+    };
+
+    let load_config = |_phase: &str| LoadConfig {
+        seed,
+        users,
+        docs_per_step,
+        words_per_doc,
+        ..LoadConfig::default()
+    };
+
+    let budget = std::time::Duration::from_millis(budget_ms);
+
+    // Phase 1: one try_ingest (one solver step) per generated snapshot.
+    let engine = build(false)?;
+    let words = engine.vocabulary().tokens().to_vec();
+    let mut gen = LoadGen::new(load_config("unbatched"), words.clone())?;
+    let deadline = std::time::Instant::now() + budget;
+    let started = std::time::Instant::now();
+    let mut unbatched = SoakPhase {
+        id: "unbatched",
+        wall: std::time::Duration::ZERO,
+        snapshots: 0,
+        docs: 0,
+        solver_steps: 0,
+        sheds: 0,
+        queue_max: 0,
+        queue_sum: 0,
+        queue_samples: 0,
+        batches: 0,
+        coalesced: 0,
+        stats: engine.stats(),
+    };
+    while gen.step() < steps && std::time::Instant::now() < deadline {
+        let snap = gen.next_snapshot();
+        unbatched.docs += snap.docs.len() as u64;
+        ingest_with_retry(&engine, snap, deadline, &mut unbatched.sheds)?;
+        unbatched.snapshots += 1;
+        if unbatched.snapshots.is_multiple_of(8) {
+            let q = engine.stats().queued;
+            unbatched.queue_max = unbatched.queue_max.max(q);
+            unbatched.queue_sum += q;
+            unbatched.queue_samples += 1;
+        }
+    }
+    unbatched.solver_steps = engine.flush()?;
+    unbatched.wall = started.elapsed();
+    unbatched.stats = engine.stats();
+    engine.shutdown()?;
+
+    // Phase 2: the same seeded traffic through the batching front end —
+    // same-bucket snapshots coalesce into one assembled solver step.
+    let engine = build(true)?;
+    let mut gen = LoadGen::new(load_config("batched"), words)?;
+    let deadline = std::time::Instant::now() + budget;
+    let started = std::time::Instant::now();
+    let mut batched = SoakPhase {
+        id: "batched",
+        wall: std::time::Duration::ZERO,
+        snapshots: 0,
+        docs: 0,
+        solver_steps: 0,
+        sheds: 0,
+        queue_max: 0,
+        queue_sum: 0,
+        queue_samples: 0,
+        batches: 0,
+        coalesced: 0,
+        stats: engine.stats(),
+    };
+    {
+        let mut batcher = engine.batching();
+        while gen.step() < steps && std::time::Instant::now() < deadline {
+            let snap = gen.next_snapshot();
+            batched.docs += snap.docs.len() as u64;
+            if let Some(shed) = batcher.submit(snap)? {
+                ingest_with_retry(&engine, shed, deadline, &mut batched.sheds)?;
+            }
+            batched.snapshots += 1;
+            if batched.snapshots.is_multiple_of(8) {
+                let q = engine.stats().queued;
+                batched.queue_max = batched.queue_max.max(q);
+                batched.queue_sum += q;
+                batched.queue_samples += 1;
+            }
+        }
+        if let Some(shed) = batcher.flush()? {
+            ingest_with_retry(&engine, shed, deadline, &mut batched.sheds)?;
+        }
+        batched.batches = batcher.batches_flushed();
+        batched.coalesced = batcher.snapshots_coalesced();
+    }
+    batched.solver_steps = engine.flush()?;
+    batched.wall = started.elapsed();
+    batched.stats = engine.stats();
+    engine.shutdown()?;
+
+    for p in [&unbatched, &batched] {
+        eprintln!(
+            "{}: {} docs in {:.1} ms ({:.0} docs/s) | {} snapshots -> {} solver steps | \
+             {} sheds (drop rate {:.4}) | queue max {} mean {:.1} | \
+             p50 {:.3} ms p99 {:.3} ms p999 {:.3} ms",
+            p.id,
+            p.docs,
+            p.wall.as_secs_f64() * 1e3,
+            p.docs_per_sec(),
+            p.snapshots,
+            p.solver_steps,
+            p.sheds,
+            p.drop_rate(),
+            p.queue_max,
+            p.queue_mean(),
+            p.stats.step_hist.p50() as f64 / 1e6,
+            p.stats.step_hist.p99() as f64 / 1e6,
+            p.stats.step_hist.p999() as f64 / 1e6,
+        );
+    }
+    let speedup = batched.docs_per_sec() / unbatched.docs_per_sec().max(1e-9);
+    eprintln!("batched/unbatched throughput: {speedup:.2}x");
+
+    let out_path = flags.str("out");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema_version\": 1,\n",
+            "  \"config\": {{\n",
+            "    \"seed\": {}, \"users\": {}, \"steps\": {}, \"docs_per_step\": {},\n",
+            "    \"words_per_doc\": {}, \"shards\": {}, \"queue_depth\": {},\n",
+            "    \"batch_bucket\": {}, \"batch_max_docs\": {}, \"budget_ms\": {}, \"smoke\": {}\n",
+            "  }},\n",
+            "  \"benchmarks\": [\n{},\n{}\n  ]\n",
+            "}}\n"
+        ),
+        seed,
+        users,
+        steps,
+        docs_per_step,
+        words_per_doc,
+        shards,
+        queue_depth,
+        bucket,
+        batch_max_docs,
+        budget_ms,
+        smoke,
+        unbatched.to_json(),
+        batched.to_json(),
+    );
+    std::fs::write(out_path, json)
+        .map_err(|e| TgsError::io(format!("cannot write {out_path}"), e))?;
+    eprintln!("wrote {out_path}");
+
+    if smoke {
+        for p in [&unbatched, &batched] {
+            if p.stats.dropped_capacity > 0 || p.sheds > 0 {
+                return Err(TgsError::invalid_argument(format!(
+                    "soak smoke: phase {} shed {} / dropped {} snapshots (expected 0)",
+                    p.id, p.sheds, p.stats.dropped_capacity
+                )));
+            }
+            let p99 = p.stats.step_hist.p99();
+            if p99 > 30_000_000_000 {
+                return Err(TgsError::invalid_argument(format!(
+                    "soak smoke: phase {} p99 step latency {} ns is implausible",
+                    p.id, p99
+                )));
+            }
+        }
+        if batched.solver_steps >= unbatched.solver_steps {
+            return Err(TgsError::invalid_argument(format!(
+                "soak smoke: batching coalesced nothing ({} -> {} solver steps)",
+                unbatched.solver_steps, batched.solver_steps
+            )));
+        }
+        eprintln!("soak smoke: ok");
+    }
     Ok(())
 }

@@ -24,6 +24,8 @@
 //!   `tgs shard` slot server, and [`net::TcpShard`] — a remote
 //!   `ShardTransport` the router drives exactly like a local worker
 //!   (`tgs serve --shards host:port,...`);
+//! * [`load`] — [`load::LoadGen`]: the deterministic Zipf firehose
+//!   generator behind `tgs soak`;
 //! * [`baselines`] — SVM, NB, LP, UserReg, ESSA, ONMTF, BACG, k-means;
 //! * [`eval`] — clustering accuracy, NMI, ARI, Hungarian assignment.
 //!
@@ -70,6 +72,7 @@ pub use tgs_engine as engine;
 pub use tgs_eval as eval;
 pub use tgs_graph as graph;
 pub use tgs_linalg as linalg;
+pub use tgs_load as load;
 pub use tgs_net as net;
 pub use tgs_text as text;
 
@@ -130,13 +133,14 @@ pub mod prelude {
         SnapshotBuilder, UserRangePartitioner,
     };
     pub use tgs_engine::{
-        ClusterSummary, EngineBuilder, EngineCheckpoint, EngineDoc, EngineQuery, EngineSnapshot,
-        EngineStats, SentimentEngine, ShardedCheckpoint, ShardedEngine, ShardedQuery,
-        TimelineEntry, UserSentiment,
+        BatchPolicy, BatchingIngest, ClusterSummary, EngineBuilder, EngineCheckpoint, EngineDoc,
+        EngineQuery, EngineSnapshot, EngineStats, LatencyHistogram, SentimentEngine,
+        ShardedCheckpoint, ShardedEngine, ShardedQuery, TimelineEntry, UserSentiment,
     };
     pub use tgs_eval::{clustering_accuracy, nmi, ConfusionMatrix};
     pub use tgs_graph::UserGraph;
     pub use tgs_linalg::{CsrMatrix, DenseMatrix};
+    pub use tgs_load::{LoadConfig, LoadGen};
     pub use tgs_net::{attach_fleet, deploy_fleet, NetConfig, ShardServer, TcpShard};
     pub use tgs_text::{Lexicon, PipelineConfig, Sentiment, Vocabulary};
 }
