@@ -28,6 +28,9 @@ echo "==> bench smoke (quick run so bench code can't bit-rot)"
 echo "==> net smoke (2 shard servers + router on loopback)"
 ./scripts/net_smoke.sh
 
+echo "==> chaos smoke (seeded fault injection + supervised recovery)"
+./scripts/chaos_smoke.sh
+
 echo "==> soak smoke (Zipf firehose through the batching front end)"
 mkdir -p target/bench-smoke
 ./target/release/tgs soak --smoke --out target/bench-smoke/BENCH_soak.json

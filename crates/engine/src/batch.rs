@@ -205,15 +205,19 @@ impl<S: IngestSink> BatchingIngest<S> {
                 });
             }
         }
+        if shed.is_some() {
+            // The bucket-change flush shed its batch. The one return
+            // slot is taken: running the size/deadline valve now could
+            // shed the *new* batch too and silently overwrite this one.
+            // Leave the new bucket pending — the valve re-fires on the
+            // next submit/tick/flush, and no document is ever dropped.
+            return Ok(shed);
+        }
         let full = self
             .pending
             .as_ref()
             .is_some_and(|p| p.batch.len() >= self.policy.max_docs);
         if full || self.deadline_expired() {
-            // At most one of the two flushes can shed something: a
-            // bucket-change flush empties `pending` before the new
-            // snapshot is stashed, so this flush sees only the new batch.
-            debug_assert!(shed.is_none());
             shed = self.flush()?;
         }
         Ok(shed)

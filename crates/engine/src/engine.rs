@@ -165,6 +165,17 @@ pub struct EngineStats {
     /// a core each and fleet shard workers request disjoint core sets.
     /// Best-effort — on non-Linux platforms the request is a no-op.
     pub pinned: bool,
+    /// Shard slots the supervisor rebuilt from their last good
+    /// checkpoint section after a failure (cumulative). Always 0 on a
+    /// single engine or an unsupervised fleet.
+    pub respawns: u64,
+    /// Documents re-ingested from replay journals while rebuilding
+    /// failed shards (cumulative). Always 0 without a supervisor.
+    pub replayed_docs: u64,
+    /// Fan-out queries answered with partial coverage because at least
+    /// one shard was unavailable (cumulative). Always 0 on a single
+    /// engine.
+    pub degraded_queries: u64,
 }
 
 impl EngineStats {
@@ -189,6 +200,9 @@ impl EngineStats {
             },
             threads: self.threads.max(other.threads),
             pinned: self.pinned || other.pinned,
+            respawns: self.respawns + other.respawns,
+            replayed_docs: self.replayed_docs + other.replayed_docs,
+            degraded_queries: self.degraded_queries + other.degraded_queries,
         }
     }
 }
@@ -350,6 +364,9 @@ impl SentimentEngine {
             simd: tgs_linalg::simd_tier_name(),
             threads: tgs_linalg::pool_threads() as u64,
             pinned: tgs_linalg::pinning_enabled(),
+            respawns: 0,
+            replayed_docs: 0,
+            degraded_queries: 0,
         }
     }
 

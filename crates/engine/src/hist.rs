@@ -119,6 +119,17 @@ impl LatencyHistogram {
         Self::bucket_ceiling(HIST_BUCKETS - 1)
     }
 
+    /// Like [`LatencyHistogram::quantile`], but distinguishes "no
+    /// samples yet" (`None`) from a genuine sub-2ns quantile — printers
+    /// should show "n/a" rather than a fabricated 0ns latency.
+    pub fn quantile_opt(&self, q: f64) -> Option<u64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.quantile(q))
+        }
+    }
+
     /// Median step latency (ns, bucket ceiling).
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)
@@ -184,6 +195,16 @@ mod tests {
         assert_eq!(h.p50(), 0);
         assert_eq!(h.p999(), 0);
         assert_eq!(h.shed(), 0);
+        // The optional accessor makes "no samples" explicit instead of
+        // conflating it with a measured 0ns quantile.
+        assert_eq!(h.quantile_opt(0.5), None);
+        assert_eq!(h.quantile_opt(0.999), None);
+        let mut one = LatencyHistogram::new();
+        one.record(1_000);
+        assert_eq!(
+            one.quantile_opt(0.5),
+            Some(LatencyHistogram::bucket_ceiling(9))
+        );
     }
 
     #[test]

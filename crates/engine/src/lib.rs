@@ -45,6 +45,7 @@ pub mod batch;
 pub mod builder;
 pub mod checkpoint;
 mod engine;
+pub mod flaky;
 pub mod hist;
 pub mod query;
 pub mod sharded;
@@ -55,9 +56,12 @@ pub use batch::{BatchPolicy, BatchingIngest, IngestSink};
 pub use builder::{EngineBuilder, DEFAULT_QUEUE_DEPTH, DEFAULT_STORE_BUDGET_BYTES};
 pub use checkpoint::EngineCheckpoint;
 pub use engine::{EngineStats, SentimentEngine};
+pub use flaky::FlakyShard;
 pub use hist::{LatencyHistogram, HIST_BUCKETS};
 pub use query::{ClusterSummary, EngineQuery, TimelineEntry, UserSentiment};
-pub use sharded::{ShardLoad, ShardedCheckpoint, ShardedEngine, ShardedQuery};
+pub use sharded::{
+    Coverage, Partial, RecoveryCounters, ShardLoad, ShardedCheckpoint, ShardedEngine, ShardedQuery,
+};
 pub use snapshot::{DocContent, EngineDoc, EngineRetweet, EngineSnapshot};
 pub use transport::{exported_users_len, LocalShard, ShardTransport};
 
@@ -349,6 +353,9 @@ mod tests {
             simd: "",
             threads: 0,
             pinned: false,
+            respawns: 7,
+            replayed_docs: 8,
+            degraded_queries: 9,
         });
         assert_eq!(merged.queued, 1);
         assert_eq!(merged.ingested, stats.ingested + 2);
@@ -359,6 +366,9 @@ mod tests {
         assert_eq!(merged.ghost_edges, 4);
         assert_eq!(merged.dropped_cross_shard, 5);
         assert_eq!(merged.shard_unavailable, 6);
+        assert_eq!(merged.respawns, 7, "recovery counters sum");
+        assert_eq!(merged.replayed_docs, 8);
+        assert_eq!(merged.degraded_queries, 9);
         assert_eq!(merged.simd, stats.simd);
         assert_eq!(merged.threads, stats.threads, "threads carry through");
         assert_eq!(merged.pinned, stats.pinned, "pinned carries through");

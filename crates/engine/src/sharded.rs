@@ -243,6 +243,73 @@ struct Fleet {
     workers: Vec<Arc<dyn ShardTransport>>,
 }
 
+/// Cumulative fleet-recovery telemetry, shared between a supervisor
+/// (which rebuilds failed shards) and the router (which tags degraded
+/// queries). The router allocates a private set by default;
+/// [`ShardedEngine::set_recovery_counters`] swaps in a shared one so
+/// supervisor-side respawns surface in the merged [`EngineStats`].
+#[derive(Debug, Default)]
+pub struct RecoveryCounters {
+    /// Shard slots rebuilt from their last good checkpoint section.
+    pub respawns: AtomicU64,
+    /// Documents re-ingested from replay journals during rebuilds.
+    pub replayed_docs: AtomicU64,
+    /// Fan-out queries answered with partial coverage.
+    pub degraded_queries: AtomicU64,
+    /// Last successfully committed ingest timestamp per worker, keyed
+    /// by the transport's `Arc` data pointer (stable for a surviving
+    /// worker across rebalances) — the source of
+    /// [`Coverage::stale_since`] when that worker later goes down.
+    committed: Mutex<BTreeMap<usize, u64>>,
+}
+
+/// A transport's identity key in the per-worker commit registry.
+fn worker_key(worker: &Arc<dyn ShardTransport>) -> usize {
+    Arc::as_ptr(worker) as *const u8 as usize
+}
+
+impl RecoveryCounters {
+    /// Records that `worker` committed the snapshot stamped `t`.
+    pub fn note_commit(&self, worker: &Arc<dyn ShardTransport>, t: u64) {
+        self.committed.lock().insert(worker_key(worker), t);
+    }
+
+    /// The last timestamp `worker` is known to have committed, if any.
+    pub fn last_commit(&self, worker: &Arc<dyn ShardTransport>) -> Option<u64> {
+        self.committed.lock().get(&worker_key(worker)).copied()
+    }
+}
+
+/// How much of the fleet answered a degraded-capable fan-out query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coverage {
+    /// Shards that answered.
+    pub healthy: usize,
+    /// Shards the query fanned out to.
+    pub total: usize,
+    /// The oldest last-committed timestamp among the shards that did
+    /// *not* answer — results may miss anything those shards ingested
+    /// after it. `None` when every shard answered or when no commit is
+    /// on record for a missing shard.
+    pub stale_since: Option<u64>,
+}
+
+impl Coverage {
+    /// Whether every shard answered (the result is not degraded).
+    pub fn is_full(&self) -> bool {
+        self.healthy == self.total
+    }
+}
+
+/// A fan-out result tagged with the [`Coverage`] that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partial<T> {
+    /// The merged result over the shards that answered.
+    pub value: T,
+    /// How many shards that was.
+    pub coverage: Coverage,
+}
+
 /// One shard's load summary (see [`ShardedEngine::shard_loads`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardLoad {
@@ -298,6 +365,10 @@ pub struct ShardedEngine {
     vocab: Vocabulary,
     /// Number of sentiment clusters (identical on every worker).
     k: usize,
+    /// Recovery telemetry + per-worker commit registry; private by
+    /// default, swapped for a supervisor-shared set by
+    /// [`ShardedEngine::set_recovery_counters`].
+    recovery: Arc<RecoveryCounters>,
 }
 
 impl ShardedEngine {
@@ -389,7 +460,22 @@ impl ShardedEngine {
             ingested: Mutex::new(ingested),
             vocab,
             k,
+            recovery: Arc::new(RecoveryCounters::default()),
         })
+    }
+
+    /// Shares recovery telemetry with a supervisor: the supervisor bumps
+    /// `respawns`/`replayed_docs` as it rebuilds shards, the router bumps
+    /// `degraded_queries` and feeds the commit registry, and the merged
+    /// [`ShardedEngine::stats`] report all three. Call before the first
+    /// ingest (the registry starts empty).
+    pub fn set_recovery_counters(&mut self, counters: Arc<RecoveryCounters>) {
+        self.recovery = counters;
+    }
+
+    /// The recovery telemetry this router reports through.
+    pub fn recovery_counters(&self) -> Arc<RecoveryCounters> {
+        Arc::clone(&self.recovery)
     }
 
     /// Number of shards.
@@ -479,6 +565,9 @@ impl ShardedEngine {
                     self.note(&e);
                     return Err(e);
                 }
+                // Feed the commit registry so a later outage of this
+                // worker can report how stale partial results may be.
+                self.recovery.note_commit(&fleet.workers[shard], timestamp);
             }
         }
         Ok(())
@@ -571,6 +660,7 @@ impl ShardedEngine {
             }),
             vocab: self.vocab.clone(),
             k: self.k,
+            recovery: Arc::clone(&self.recovery),
         }
     }
 
@@ -600,8 +690,28 @@ impl ShardedEngine {
             ghost_edges: self.ghost_edges(),
             dropped_cross_shard: self.dropped_cross_shard(),
             shard_unavailable: self.shard_unavailable.load(Ordering::Relaxed),
+            respawns: self.recovery.respawns.load(Ordering::Relaxed),
+            replayed_docs: self.recovery.replayed_docs.load(Ordering::Relaxed),
+            degraded_queries: self.recovery.degraded_queries.load(Ordering::Relaxed),
             ..merged
         }
+    }
+
+    /// Every timestamp this fleet has committed (or restored), sorted —
+    /// the fleet-wide analogue of a worker's
+    /// [`ShardTransport::timestamps`].
+    pub fn timestamps(&self) -> Vec<u64> {
+        self.ingested.lock().iter().copied().collect()
+    }
+
+    /// The owning worker's current factor row for `user` (routed by the
+    /// current map; `None` for a user with no recorded history).
+    pub fn user_factor(&self, user: usize) -> Result<Option<Vec<f64>>, TgsError> {
+        let fleet = self.fleet();
+        let shard = fleet.map.shard_of(user);
+        fleet.workers[shard].user_factor(user).inspect_err(|e| {
+            self.note(e);
+        })
     }
 
     /// Per-shard load: the shard's user range, the documents this router
@@ -1182,6 +1292,10 @@ pub struct ShardedQuery {
     vocab: Vocabulary,
     /// Number of sentiment clusters.
     k: usize,
+    /// Shared recovery telemetry: the `*_partial` methods bump
+    /// `degraded_queries` and read the commit registry for
+    /// [`Coverage::stale_since`].
+    recovery: Arc<RecoveryCounters>,
 }
 
 impl Clone for ShardedQuery {
@@ -1195,6 +1309,7 @@ impl Clone for ShardedQuery {
             }),
             vocab: self.vocab.clone(),
             k: self.k,
+            recovery: Arc::clone(&self.recovery),
         }
     }
 }
@@ -1248,46 +1363,102 @@ impl ShardedQuery {
     /// per-cluster counts, objective), `iterations` is the slowest
     /// shard's, and `converged` requires every shard to have converged.
     pub fn timeline<R: RangeBounds<u64>>(&self, range: R) -> Result<Vec<TimelineEntry>, TgsError> {
-        // Normalize the bounds to an inclusive [lo, hi] once (the wire
-        // call is inclusive); inverted or empty ranges answer empty
-        // without fanning out, mirroring `EngineQuery::timeline`.
-        let lo = match range.start_bound() {
-            Bound::Unbounded => 0,
-            Bound::Included(&lo) => lo,
-            Bound::Excluded(&lo) => match lo.checked_add(1) {
-                Some(lo) => lo,
-                None => return Ok(Vec::new()),
-            },
-        };
-        let hi = match range.end_bound() {
-            Bound::Unbounded => u64::MAX,
-            Bound::Included(&hi) => hi,
-            Bound::Excluded(&hi) => match hi.checked_sub(1) {
-                Some(hi) => hi,
-                None => return Ok(Vec::new()),
-            },
-        };
-        if lo > hi {
+        let Some((lo, hi)) = normalize_range(&range) else {
             return Ok(Vec::new());
-        }
+        };
         self.with_topo(|topo| {
             let generation = topo.map.generation();
             let mut merged: BTreeMap<u64, TimelineEntry> = BTreeMap::new();
             // Concurrent fan-out, merged in shard order (deterministic).
             for entries in fan_out(&topo.workers, |_, w| w.timeline(generation, lo, hi)) {
-                for entry in entries? {
-                    match merged.entry(entry.timestamp) {
-                        std::collections::btree_map::Entry::Vacant(slot) => {
-                            slot.insert(entry);
-                        }
-                        std::collections::btree_map::Entry::Occupied(mut slot) => {
-                            slot.get_mut().merge_from(&entry);
-                        }
-                    }
-                }
+                merge_timeline_into(&mut merged, entries?);
             }
             Ok(merged.into_values().collect())
         })
+    }
+
+    /// Degraded-capable [`ShardedQuery::timeline`]: shards that fail
+    /// with a network error are skipped instead of failing the query,
+    /// and the merged entries come back tagged with the [`Coverage`]
+    /// that produced them. Fails only when *no* shard answered or a
+    /// non-network error surfaced.
+    pub fn timeline_partial<R: RangeBounds<u64>>(
+        &self,
+        range: R,
+    ) -> Result<Partial<Vec<TimelineEntry>>, TgsError> {
+        let Some((lo, hi)) = normalize_range(&range) else {
+            let shards = self.shards();
+            return Ok(Partial {
+                value: Vec::new(),
+                coverage: Coverage {
+                    healthy: shards,
+                    total: shards,
+                    stale_since: None,
+                },
+            });
+        };
+        self.with_topo(|topo| {
+            let generation = topo.map.generation();
+            let results = fan_out(&topo.workers, |_, w| w.timeline(generation, lo, hi));
+            let (answers, coverage) = self.degrade(topo, results)?;
+            let mut merged: BTreeMap<u64, TimelineEntry> = BTreeMap::new();
+            for entries in answers {
+                merge_timeline_into(&mut merged, entries);
+            }
+            Ok(Partial {
+                value: merged.into_values().collect(),
+                coverage: self.tag(coverage),
+            })
+        })
+    }
+
+    /// Folds a fan-out's per-shard outcomes for the degraded-capable
+    /// methods: a shard failing with a network error is counted out of
+    /// coverage (feeding `stale_since` from the commit registry), any
+    /// other error — including `StaleTopology`, which must reach
+    /// `with_topo`'s re-key — still fails the query, and so does a
+    /// fleet where *no* shard answered (a fully-empty answer would be
+    /// indistinguishable from an empty history).
+    fn degrade<T>(
+        &self,
+        topo: &Topo,
+        results: Vec<Result<T, TgsError>>,
+    ) -> Result<(Vec<T>, Coverage), TgsError> {
+        let total = results.len();
+        let mut answers = Vec::with_capacity(total);
+        let mut stale_since: Option<u64> = None;
+        let mut last_net: Option<TgsError> = None;
+        for (shard, outcome) in results.into_iter().enumerate() {
+            match outcome {
+                Ok(v) => answers.push(v),
+                Err(e) if e.kind() == TgsErrorKind::Net => {
+                    if let Some(t) = self.recovery.last_commit(&topo.workers[shard]) {
+                        stale_since = Some(stale_since.map_or(t, |s| s.min(t)));
+                    }
+                    last_net = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if let (0, Some(e)) = (answers.len(), last_net) {
+            return Err(e);
+        }
+        let coverage = Coverage {
+            healthy: answers.len(),
+            total,
+            stale_since,
+        };
+        Ok((answers, coverage))
+    }
+
+    /// Counts a degraded answer exactly once per public query.
+    fn tag(&self, coverage: Coverage) -> Coverage {
+        if !coverage.is_full() {
+            self.recovery
+                .degraded_queries
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        coverage
     }
 
     /// The most recent merged timeline entry, if any.
@@ -1313,6 +1484,44 @@ impl ShardedQuery {
                 }
             }
             Ok(merged)
+        })
+    }
+
+    /// Degraded-capable [`ShardedQuery::latest`]: the newest entry over
+    /// the shards that answered, tagged with the worse of the two
+    /// fan-outs' [`Coverage`] (finding the newest timestamp, then
+    /// merging that snapshot's per-shard entries).
+    pub fn latest_partial(&self) -> Result<Partial<Option<TimelineEntry>>, TgsError> {
+        self.with_topo(|topo| {
+            let generation = topo.map.generation();
+            let stamps = fan_out(&topo.workers, |_, w| w.latest_timestamp(generation));
+            let (stamps, stamp_cov) = self.degrade(topo, stamps)?;
+            let Some(t) = stamps.into_iter().flatten().max() else {
+                return Ok(Partial {
+                    value: None,
+                    coverage: self.tag(stamp_cov),
+                });
+            };
+            let entries = fan_out(&topo.workers, |_, w| w.timeline(generation, t, t));
+            let (answers, entry_cov) = self.degrade(topo, entries)?;
+            let mut merged: Option<TimelineEntry> = None;
+            for entries in answers {
+                for entry in entries {
+                    match merged.as_mut() {
+                        None => merged = Some(entry),
+                        Some(m) => m.merge_from(&entry),
+                    }
+                }
+            }
+            let coverage = if entry_cov.healthy < stamp_cov.healthy {
+                entry_cov
+            } else {
+                stamp_cov
+            };
+            Ok(Partial {
+                value: merged,
+                coverage: self.tag(coverage),
+            })
         })
     }
 
@@ -1343,6 +1552,20 @@ impl ShardedQuery {
         })
     }
 
+    /// Degraded-capable [`ShardedQuery::known_users`]: the sum over the
+    /// shards that answered, tagged with [`Coverage`].
+    pub fn known_users_partial(&self) -> Result<Partial<usize>, TgsError> {
+        self.with_topo(|topo| {
+            let generation = topo.map.generation();
+            let counts = fan_out(&topo.workers, |_, w| w.known_users(generation));
+            let (counts, coverage) = self.degrade(topo, counts)?;
+            Ok(Partial {
+                value: counts.into_iter().sum(),
+                coverage: self.tag(coverage),
+            })
+        })
+    }
+
     /// Per-cluster composition of the merged snapshot at exactly `t`.
     pub fn cluster_summary(&self, t: u64) -> Result<ClusterSummary, TgsError> {
         let entry = self
@@ -1364,7 +1587,16 @@ impl ShardedQuery {
     /// when any shard that did has already evicted its factors (a partial
     /// merge would silently skew the ranking).
     pub fn top_words(&self, t: u64, topk: usize) -> Result<Vec<Vec<(String, f64)>>, TgsError> {
-        let sf = self.with_topo(|topo| {
+        let sf = self.merged_sf(t)?;
+        Ok(rank_top_words(&sf, &self.vocab, topk))
+    }
+
+    /// The merged word–sentiment factor matrix at `t` — exactly what
+    /// [`ShardedQuery::top_words`] ranks (per-shard factors weighted by
+    /// that snapshot's tweet counts, merged in fixed shard order).
+    /// Public so wire endpoints can serve `sf_at` for a whole fleet.
+    pub fn merged_sf(&self, t: u64) -> Result<DenseMatrix, TgsError> {
+        self.with_topo(|topo| {
             let generation = topo.map.generation();
             // Per peer: summary then factor, still one in-flight frame
             // at a time on each connection, pipelined across peers.
@@ -1389,8 +1621,38 @@ impl ShardedQuery {
             // `solve_offline_sharded` / `ShardedOnlineSolver` semantics.
             let borrowed: Vec<(f64, &DenseMatrix)> = parts.iter().map(|(w, sf)| (*w, sf)).collect();
             merge_sf(&borrowed).ok_or(TgsError::SnapshotUnavailable { timestamp: t })
-        })?;
-        Ok(rank_top_words(&sf, &self.vocab, topk))
+        })
+    }
+}
+
+/// Normalizes any `RangeBounds<u64>` to an inclusive `[lo, hi]` pair
+/// (the wire call's shape); `None` means the range is empty or
+/// inverted and the query answers empty without fanning out.
+fn normalize_range<R: RangeBounds<u64>>(range: &R) -> Option<(u64, u64)> {
+    let lo = match range.start_bound() {
+        Bound::Unbounded => 0,
+        Bound::Included(&lo) => lo,
+        Bound::Excluded(&lo) => lo.checked_add(1)?,
+    };
+    let hi = match range.end_bound() {
+        Bound::Unbounded => u64::MAX,
+        Bound::Included(&hi) => hi,
+        Bound::Excluded(&hi) => hi.checked_sub(1)?,
+    };
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// Folds one shard's timeline slice into the merged per-timestamp map.
+fn merge_timeline_into(merged: &mut BTreeMap<u64, TimelineEntry>, entries: Vec<TimelineEntry>) {
+    for entry in entries {
+        match merged.entry(entry.timestamp) {
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(entry);
+            }
+            std::collections::btree_map::Entry::Occupied(mut slot) => {
+                slot.get_mut().merge_from(&entry);
+            }
+        }
     }
 }
 

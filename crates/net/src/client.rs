@@ -4,8 +4,9 @@
 //! hang or a panic.
 
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use tgs_core::TgsError;
@@ -14,6 +15,7 @@ use tgs_engine::{
 };
 use tgs_linalg::DenseMatrix;
 
+use crate::fault::{splitmix, FaultKind, FaultPolicy};
 use crate::frame::{read_response, write_request, STATUS_ERR, STATUS_OK};
 use crate::wire::{self, op, Rd, Wr};
 
@@ -26,8 +28,20 @@ pub struct NetConfig {
     pub io_timeout: Duration,
     /// Dial (and, for idempotent calls, resend) attempts per call.
     pub reconnect_attempts: u32,
-    /// Backoff before the first retry; doubles each further attempt.
+    /// Backoff before the first retry; doubles each further attempt,
+    /// with the actual sleep drawn from `[backoff/2, backoff]` off a
+    /// seeded per-handle stream so fleet-wide reconnects desynchronize.
     pub backoff_base: Duration,
+    /// Total wall-clock budget across all retries of one call: once a
+    /// call has been failing this long, the next retry is abandoned and
+    /// the last error surfaces instead.
+    pub retry_deadline: Duration,
+    /// Seed for the backoff-jitter stream. Mixed with the handle's
+    /// address and slot so no two handles share a schedule.
+    pub jitter_seed: u64,
+    /// Fault-injection schedule (tests and chaos drills only). The
+    /// default picks this up from the `TGS_FAULTS` environment variable.
+    pub faults: Option<FaultPolicy>,
 }
 
 impl Default for NetConfig {
@@ -37,6 +51,9 @@ impl Default for NetConfig {
             io_timeout: Duration::from_secs(10),
             reconnect_attempts: 3,
             backoff_base: Duration::from_millis(50),
+            retry_deadline: Duration::from_secs(30),
+            jitter_seed: 0xA5A5_5EED_0F0F_77C3,
+            faults: FaultPolicy::from_env(),
         }
     }
 }
@@ -79,6 +96,17 @@ fn retry_class(opcode: u8) -> Retry {
     }
 }
 
+/// FNV-1a over a handle's address bytes, mixed into its jitter seed so
+/// handles dialing different servers never share a backoff schedule.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// A TCP [`ShardTransport`] handle addressing one engine slot on a
 /// `tgs shard` server. Cloneable via `Arc`; the connection is dialed
 /// lazily on first use and re-dialed (with bounded backoff) after a
@@ -88,16 +116,31 @@ pub struct TcpShard {
     slot: u64,
     cfg: NetConfig,
     conn: Mutex<Option<TcpStream>>,
+    /// Counter behind the backoff-jitter stream (keyed by address+slot).
+    jitter: AtomicU64,
+    /// Counter behind the fault-decision stream. Keyed by the policy
+    /// seed and the slot only — never the address, whose ephemeral port
+    /// would change between runs and break chaos-run determinism.
+    fault_rng: AtomicU64,
 }
 
 impl TcpShard {
     /// A handle to `slot` on the server at `addr` (no IO happens here).
     pub fn new(addr: impl Into<String>, slot: u64, cfg: NetConfig) -> Self {
+        let addr = addr.into();
+        let jitter_base = cfg.jitter_seed ^ fnv1a(addr.as_bytes()) ^ slot.rotate_left(17);
+        let fault_base = cfg
+            .faults
+            .as_ref()
+            .map(|p| splitmix(p.seed ^ slot.wrapping_mul(0x9E37_79B9)))
+            .unwrap_or(0);
         Self {
-            addr: addr.into(),
+            addr,
             slot,
             cfg,
             conn: Mutex::new(None),
+            jitter: AtomicU64::new(jitter_base),
+            fault_rng: AtomicU64::new(fault_base),
         }
     }
 
@@ -126,6 +169,67 @@ impl TcpShard {
 
     fn net_err(&self, detail: impl Into<String>) -> TgsError {
         TgsError::net(self.peer(), detail.into())
+    }
+
+    /// Next value of the seeded fault-decision stream.
+    fn next_fault_draw(&self) -> u64 {
+        splitmix(self.fault_rng.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// A sleep drawn uniformly from `[backoff/2, backoff]` off this
+    /// handle's seeded jitter stream.
+    fn jittered(&self, backoff: Duration) -> Duration {
+        let nanos = backoff.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let half = nanos / 2;
+        let draw = splitmix(self.jitter.fetch_add(1, Ordering::Relaxed));
+        Duration::from_nanos(half + draw % (nanos - half + 1))
+    }
+
+    /// Consults the configured [`FaultPolicy`] for one call. `Ok(None)`
+    /// means proceed normally (possibly after an injected delay); the
+    /// other arms short-circuit `attempt` with the injected outcome.
+    #[allow(clippy::type_complexity)]
+    fn inject_fault(&self, opcode: u8) -> Result<Option<(u8, Vec<u8>)>, (bool, TgsError)> {
+        let Some(policy) = self.cfg.faults.as_ref() else {
+            return Ok(None);
+        };
+        match policy.decide(opcode, || self.next_fault_draw()) {
+            None => Ok(None),
+            Some(FaultKind::Delay) => {
+                std::thread::sleep(policy.delay);
+                Ok(None)
+            }
+            Some(FaultKind::Drop) => {
+                // Connection lost before the request left: provably
+                // unsent, so the retry loop may transparently resend.
+                *self.conn.lock() = None;
+                Err((
+                    false,
+                    self.net_err("injected fault: connection dropped before send"),
+                ))
+            }
+            Some(FaultKind::ErrorReply) => Ok(Some((
+                STATUS_ERR,
+                wire::enc_error(&self.net_err("injected fault: synthetic error reply")),
+            ))),
+            Some(FaultKind::Truncate) => {
+                let mut guard = self.conn.lock();
+                if guard.is_none() {
+                    *guard = Some(self.dial().map_err(|e| (false, e))?);
+                }
+                let stream = guard.as_mut().expect("dialed above");
+                // Half a length prefix, then hang up: real bytes hit the
+                // socket but can never parse as a request. Reported as
+                // `sent` so non-idempotent calls escalate to supervision
+                // instead of retrying.
+                let _ = std::io::Write::write_all(stream, &[0x02, 0x00]);
+                *guard = None;
+                Err((
+                    true,
+                    self.net_err("injected fault: request frame truncated mid-write"),
+                ))
+            }
+        }
     }
 
     fn dial(&self) -> Result<TcpStream, TgsError> {
@@ -163,6 +267,9 @@ impl TcpShard {
         generation: u64,
         payload: &[u8],
     ) -> Result<(u8, Vec<u8>), (bool, TgsError)> {
+        if let Some(reply) = self.inject_fault(opcode)? {
+            return Ok(reply);
+        }
         let mut guard = self.conn.lock();
         if guard.is_none() {
             *guard = Some(self.dial().map_err(|e| (false, e))?);
@@ -190,6 +297,7 @@ impl TcpShard {
         payload: &[u8],
         parse: impl FnOnce(&[u8]) -> Result<T, String>,
     ) -> Result<T, TgsError> {
+        let started = Instant::now();
         let mut backoff = self.cfg.backoff_base;
         let mut attempt_no = 0u32;
         let (status, body) = loop {
@@ -201,7 +309,14 @@ impl TcpShard {
                     if !retryable || attempt_no >= self.cfg.reconnect_attempts.max(1) {
                         return Err(err);
                     }
-                    std::thread::sleep(backoff);
+                    let wait = self.jittered(backoff);
+                    // Total-deadline cap: once this call has burned its
+                    // wall-clock budget, surface the last error rather
+                    // than sleeping into another attempt.
+                    if started.elapsed() + wait >= self.cfg.retry_deadline {
+                        return Err(err);
+                    }
+                    std::thread::sleep(wait);
                     backoff = backoff.saturating_mul(2);
                 }
             }
@@ -420,26 +535,90 @@ mod tests {
     use super::*;
     use std::time::Instant;
 
-    #[test]
-    fn handles_are_lazy_and_fail_typed_when_no_server_listens() {
-        // Port 1 on localhost: nothing listens there; connect refuses
-        // fast. The constructor itself must do no IO.
-        let cfg = NetConfig {
+    fn test_cfg() -> NetConfig {
+        NetConfig {
             connect_timeout: Duration::from_millis(200),
             io_timeout: Duration::from_millis(200),
             reconnect_attempts: 3,
             backoff_base: Duration::from_millis(10),
+            retry_deadline: Duration::from_secs(5),
+            jitter_seed: 1,
+            faults: None,
+        }
+    }
+
+    #[test]
+    fn handles_are_lazy_and_fail_typed_when_no_server_listens() {
+        // Port 1 on localhost: nothing listens there; connect refuses
+        // fast. The constructor itself must do no IO.
+        let shard = TcpShard::new("127.0.0.1:1", 0, test_cfg());
+        let started = Instant::now();
+        let err = shard.ping().expect_err("no server is listening");
+        assert_eq!(err.kind(), tgs_core::TgsErrorKind::Net);
+        // Three attempts with two sleeps between them, each jittered
+        // into [backoff/2, backoff]: at least 5ms + 10ms of waiting.
+        assert!(
+            started.elapsed() >= Duration::from_millis(15),
+            "backoff must actually wait"
+        );
+        assert_eq!(shard.peer(), "127.0.0.1:1#0");
+    }
+
+    #[test]
+    fn retry_deadline_caps_total_backoff() {
+        let cfg = NetConfig {
+            reconnect_attempts: 1_000,
+            backoff_base: Duration::from_millis(20),
+            retry_deadline: Duration::from_millis(60),
+            ..test_cfg()
         };
         let shard = TcpShard::new("127.0.0.1:1", 0, cfg);
         let started = Instant::now();
         let err = shard.ping().expect_err("no server is listening");
         assert_eq!(err.kind(), tgs_core::TgsErrorKind::Net);
-        // Three attempts with 10ms + 20ms backoff between them.
+        // 1000 attempts of doubling backoff would take minutes; the
+        // deadline must cut the loop off almost immediately.
         assert!(
-            started.elapsed() >= Duration::from_millis(30),
-            "backoff must actually wait"
+            started.elapsed() < Duration::from_secs(2),
+            "deadline must cap the retry loop"
         );
-        assert_eq!(shard.peer(), "127.0.0.1:1#0");
+    }
+
+    #[test]
+    fn injected_error_reply_surfaces_typed_without_touching_the_network() {
+        let cfg = NetConfig {
+            faults: Some(FaultPolicy::parse("*.error=1.0").expect("valid spec")),
+            ..test_cfg()
+        };
+        let shard = TcpShard::new("127.0.0.1:1", 0, cfg);
+        let started = Instant::now();
+        let err = shard.ping().expect_err("every call draws an error reply");
+        assert_eq!(err.kind(), tgs_core::TgsErrorKind::Net);
+        assert!(err.to_string().contains("injected fault"), "err: {err}");
+        // No dial, no backoff: the reply is synthesized client-side.
+        assert!(started.elapsed() < Duration::from_millis(150));
+    }
+
+    #[test]
+    fn injected_drops_exhaust_the_retry_budget() {
+        let cfg = NetConfig {
+            reconnect_attempts: 2,
+            backoff_base: Duration::from_millis(1),
+            faults: Some(FaultPolicy::parse("ingest.drop=1.0").expect("valid spec")),
+            ..test_cfg()
+        };
+        let shard = TcpShard::new("127.0.0.1:1", 0, cfg);
+        // A dropped-before-send fault is provably unsent, so even the
+        // non-idempotent INGEST retries — and then fails typed once the
+        // budget runs out.
+        let err = shard
+            .ingest(0, tgs_engine::EngineSnapshot::default())
+            .expect_err("every attempt drops the connection");
+        assert_eq!(err.kind(), tgs_core::TgsErrorKind::Net);
+        assert!(
+            err.to_string().contains("dropped before send"),
+            "err: {err}"
+        );
     }
 
     #[test]

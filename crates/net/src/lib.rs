@@ -30,16 +30,37 @@
 //! caller routed with; shards reject stale generations so a handle
 //! that slept through a rebalance re-keys instead of misrouting. The
 //! byte-level contract lives in `crates/net/PROTOCOL.md`.
+//!
+//! On top of the transport sit the robustness layers:
+//!
+//! - [`fault`] — deterministic, seeded fault injection
+//!   ([`FaultPolicy`], `TGS_FAULTS`) that makes a [`TcpShard`] drop,
+//!   delay, truncate, or error-reply with per-opcode probabilities, so
+//!   every failure mode is testable in-process and over loopback TCP.
+//! - [`supervise`] — [`SupervisedShard`] wraps each remote handle with
+//!   a bounded replay journal and an automatic recovery state machine
+//!   (reconnect with capped jittered backoff, re-`INIT` from the last
+//!   good checkpoint section, replay in order); [`Supervisor`] adds
+//!   periodic fleet-wide checkpoint refreshes and health probes with
+//!   consecutive-failure thresholds. [`deploy_supervised`] is the
+//!   supervised flavor of [`deploy_fleet`].
+//! - [`RouterEndpoint`] — exposes a whole `ShardedEngine` (tgs_engine)
+//!   behind the same wire protocol, so `tgs serve --hold` can keep
+//!   answering queries after the stream ends.
 
 pub mod client;
+pub mod fault;
 pub mod frame;
 pub mod router;
 pub mod server;
+pub mod supervise;
 pub mod wire;
 
 pub use client::{NetConfig, ServerInfo, TcpShard};
-pub use router::{attach_fleet, deploy_fleet};
+pub use fault::{FaultKind, FaultPolicy};
+pub use router::{attach_fleet, deploy_fleet, deploy_supervised, RouterEndpoint};
 pub use server::ShardServer;
+pub use supervise::{SupervisedShard, Supervisor, SupervisorConfig};
 
 // Re-exported so downstream code can name the seam without also
 // depending on tgs_engine directly.

@@ -11,9 +11,14 @@
 use std::sync::Arc;
 
 use tgs_core::TgsError;
-use tgs_engine::{ShardTransport, ShardedEngine};
+use tgs_engine::{
+    ClusterSummary, EngineSnapshot, EngineStats, RecoveryCounters, ShardTransport, ShardedEngine,
+    TimelineEntry, UserSentiment,
+};
+use tgs_linalg::DenseMatrix;
 
 use crate::client::{NetConfig, TcpShard};
+use crate::supervise::{SupervisedShard, Supervisor, SupervisorConfig};
 
 /// Ships `template`'s per-shard state to the servers at `addrs` (one
 /// shard per server, slot 0) and returns a [`ShardedEngine`] routing
@@ -61,6 +66,65 @@ pub fn deploy_fleet(
     ShardedEngine::from_transports(map, transports, ghost_mode)
 }
 
+/// Like [`deploy_fleet`], but wraps every remote worker in a
+/// [`SupervisedShard`] seeded with the exact section it was deployed
+/// from, and returns the [`Supervisor`] controlling the fleet alongside
+/// the engine. The engine's merged stats carry the supervisor's
+/// recovery counters (`respawns`, `replayed_docs`, `degraded_queries`).
+///
+/// The caller owns the control cadence: call [`Supervisor::tick`] once
+/// per ingested window (checkpoint refresh) and
+/// [`Supervisor::start_probes`] for background health probing.
+pub fn deploy_supervised(
+    template: ShardedEngine,
+    addrs: &[String],
+    cfg: &NetConfig,
+    sup_cfg: SupervisorConfig,
+) -> Result<(ShardedEngine, Arc<Supervisor>), TgsError> {
+    if addrs.len() != template.shards() {
+        return Err(TgsError::invalid_argument(format!(
+            "{} shard servers for a {}-shard template",
+            addrs.len(),
+            template.shards()
+        )));
+    }
+    let map = template.map();
+    let ghost_mode = template.ghost_mode();
+    let sections = template.checkpoint()?.sections()?;
+    template.shutdown()?;
+
+    let counters = Arc::new(RecoveryCounters::default());
+    let mut supervised = Vec::with_capacity(addrs.len());
+    let mut transports: Vec<Arc<dyn ShardTransport>> = Vec::with_capacity(addrs.len());
+    for (shard, (addr, section)) in addrs.iter().zip(&sections).enumerate() {
+        let handle = Arc::new(TcpShard::new(addr.clone(), 0, cfg.clone()));
+        let info = handle.server_info()?;
+        if let Some((lo, hi)) = info.range {
+            let expected = map.range(shard);
+            if (lo, hi) != expected {
+                return Err(TgsError::invalid_argument(format!(
+                    "shard server {addr} declared user range {lo}..{hi} but the \
+                     partition map assigns {}..{} to shard {shard}",
+                    expected.0, expected.1
+                )));
+            }
+        }
+        handle.init(section)?;
+        let wrapped = SupervisedShard::new(
+            handle,
+            Some(section.clone()),
+            Arc::clone(&counters),
+            sup_cfg.clone(),
+        );
+        supervised.push(Arc::clone(&wrapped));
+        transports.push(wrapped as Arc<dyn ShardTransport>);
+    }
+    let mut engine = ShardedEngine::from_transports(map, transports, ghost_mode)?;
+    engine.set_recovery_counters(Arc::clone(&counters));
+    let supervisor = Supervisor::new(supervised, counters, sup_cfg);
+    Ok((engine, supervisor))
+}
+
 /// Re-attaches to servers that already hold fleet state (slot 0 each)
 /// without shipping anything — the reconnect path after a router
 /// restart. `map` and `ghost_mode` must match what was deployed (take
@@ -79,4 +143,144 @@ pub fn attach_fleet(
         })
         .collect();
     ShardedEngine::from_transports(map, transports, ghost_mode)
+}
+
+/// The router itself as a [`ShardTransport`]: hosting one of these on a
+/// [`crate::ShardServer`] slot is how `tgs serve --hold` answers
+/// queries over the wire protocol after streaming. Data-plane reads fan
+/// out through the engine's degraded-tolerant query paths, so a client
+/// keeps getting (partial) answers while a shard is down and the
+/// supervisor rebuilds it.
+///
+/// Topology verbs (`EXPORT_USERS`, `IMPORT_USERS`, `SPAWN_SIBLING`,
+/// `ABSORB_SECTION`) are rejected: rebalancing a held fleet is the
+/// router's job, not a remote client's.
+pub struct RouterEndpoint {
+    engine: Arc<ShardedEngine>,
+}
+
+impl RouterEndpoint {
+    /// Wraps a deployed router for hosting.
+    pub fn new(engine: Arc<ShardedEngine>) -> Arc<Self> {
+        Arc::new(Self { engine })
+    }
+
+    fn unsupported(verb: &str) -> TgsError {
+        TgsError::invalid_argument(format!(
+            "{verb} is not supported on a router endpoint (rebalancing is router-side)"
+        ))
+    }
+}
+
+impl ShardTransport for RouterEndpoint {
+    fn ingest(&self, _generation: u64, snapshot: EngineSnapshot) -> Result<(), TgsError> {
+        // The router runs its own generation bookkeeping against its
+        // workers; the client-facing generation is ignored.
+        self.engine.ingest(snapshot)
+    }
+
+    fn timeline(&self, _generation: u64, lo: u64, hi: u64) -> Result<Vec<TimelineEntry>, TgsError> {
+        Ok(self.engine.query().timeline_partial(lo..=hi)?.value)
+    }
+
+    fn latest_timestamp(&self, _generation: u64) -> Result<Option<u64>, TgsError> {
+        Ok(self
+            .engine
+            .query()
+            .latest_partial()?
+            .value
+            .map(|e| e.timestamp))
+    }
+
+    fn user_sentiment(
+        &self,
+        _generation: u64,
+        user: usize,
+        at: u64,
+    ) -> Result<UserSentiment, TgsError> {
+        self.engine.query().user_sentiment(user, at)
+    }
+
+    fn user_timeline(
+        &self,
+        _generation: u64,
+        user: usize,
+    ) -> Result<Vec<(u64, Vec<f64>)>, TgsError> {
+        self.engine.query().user_timeline(user)
+    }
+
+    fn known_users(&self, _generation: u64) -> Result<usize, TgsError> {
+        Ok(self.engine.query().known_users_partial()?.value)
+    }
+
+    fn cluster_summary(&self, _generation: u64, t: u64) -> Result<ClusterSummary, TgsError> {
+        self.engine.query().cluster_summary(t)
+    }
+
+    fn sf_at(&self, _generation: u64, t: u64) -> Result<DenseMatrix, TgsError> {
+        self.engine.query().merged_sf(t)
+    }
+
+    fn flush(&self) -> Result<u64, TgsError> {
+        self.engine.flush()
+    }
+
+    fn stats(&self) -> Result<EngineStats, TgsError> {
+        Ok(self.engine.stats())
+    }
+
+    fn timestamps(&self) -> Result<Vec<u64>, TgsError> {
+        Ok(self.engine.timestamps())
+    }
+
+    fn k(&self) -> Result<usize, TgsError> {
+        Ok(self.engine.query().k())
+    }
+
+    fn vocab_tokens(&self) -> Result<Vec<String>, TgsError> {
+        Ok(self.engine.vocabulary().tokens().to_vec())
+    }
+
+    fn user_factor(&self, user: usize) -> Result<Option<Vec<f64>>, TgsError> {
+        self.engine.user_factor(user)
+    }
+
+    fn checkpoint_section(&self) -> Result<Vec<u8>, TgsError> {
+        // A held fleet's "section" is the whole multi-shard checkpoint:
+        // `tgs query --connect` restores it with `restore_any`.
+        Ok(self.engine.checkpoint()?.as_bytes().to_vec())
+    }
+
+    fn export_users(&self, _lo: usize, _hi: usize) -> Result<Vec<u8>, TgsError> {
+        Err(Self::unsupported("EXPORT_USERS"))
+    }
+
+    fn import_users(&self, _users: &[u8]) -> Result<(), TgsError> {
+        Err(Self::unsupported("IMPORT_USERS"))
+    }
+
+    fn spawn_sibling(&self) -> Result<Arc<dyn ShardTransport>, TgsError> {
+        Err(Self::unsupported("SPAWN_SIBLING"))
+    }
+
+    fn absorb_section(&self, _section: &[u8]) -> Result<(), TgsError> {
+        Err(Self::unsupported("ABSORB_SECTION"))
+    }
+
+    fn set_generation(&self, _generation: u64) -> Result<(), TgsError> {
+        // Harmless: the router re-keys its own workers during recovery.
+        Ok(())
+    }
+
+    fn request_core_set(&self, _set_index: usize, _n_sets: usize) {}
+
+    fn shutdown(&self) -> Result<(), TgsError> {
+        // Slot teardown must not kill the fleet the CLI still owns; the
+        // serve loop shuts the real engine down after `run()` returns.
+        Ok(())
+    }
+
+    fn peer(&self) -> String {
+        "router".to_string()
+    }
 }

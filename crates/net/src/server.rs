@@ -82,6 +82,26 @@ impl ShardServer {
         Ok(())
     }
 
+    /// Hosts an arbitrary transport under `slot`. This is how `tgs
+    /// serve --hold` exposes its whole fleet as one endpoint: the
+    /// hosted transport is a router fanning requests back out to the
+    /// real shards, not a single local engine.
+    pub fn add_transport(
+        &self,
+        slot: u64,
+        transport: Arc<dyn ShardTransport>,
+    ) -> Result<(), TgsError> {
+        let mut slots = self.srv.slots.lock();
+        if slots.contains_key(&slot) {
+            return Err(TgsError::invalid_argument(format!(
+                "slot {slot} already exists on this server"
+            )));
+        }
+        slots.insert(slot, transport);
+        self.srv.next_slot.fetch_max(slot + 1, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Asks the serve loop to wind down (same effect as a `TERMINATE`
     /// request). Safe from any thread.
     pub fn stop(&self) {
@@ -172,11 +192,17 @@ fn bad_payload(detail: String) -> TgsError {
 }
 
 fn slot_of(srv: &Srv, slot: u64) -> Result<Arc<dyn ShardTransport>, TgsError> {
-    srv.slots
-        .lock()
-        .get(&slot)
-        .cloned()
-        .ok_or_else(|| TgsError::invalid_argument(format!("no slot {slot} on this server")))
+    // A missing slot is a *Net*-kinded error, not InvalidArgument: the
+    // router only addresses slots it deployed, so reaching an empty one
+    // means the server restarted and lost its state — exactly the
+    // condition the supervisor's respawn path must classify as
+    // recoverable (see PROTOCOL.md, "Failure semantics").
+    srv.slots.lock().get(&slot).cloned().ok_or_else(|| {
+        TgsError::net(
+            format!("slot {slot}"),
+            "no such slot on this server (restarted or never initialised)",
+        )
+    })
 }
 
 fn dispatch(srv: &Srv, request: &Request) -> Result<Vec<u8>, TgsError> {
@@ -331,6 +357,11 @@ mod tests {
             io_timeout: Duration::from_secs(5),
             reconnect_attempts: 2,
             backoff_base: Duration::from_millis(10),
+            retry_deadline: Duration::from_secs(5),
+            jitter_seed: 1,
+            // Explicit `None` so an ambient TGS_FAULTS cannot leak
+            // chaos into unit tests.
+            faults: None,
         }
     }
 
@@ -347,10 +378,11 @@ mod tests {
         assert_eq!(info.slots, 0);
 
         // Engine calls against a slot nobody created fail typed, and
-        // the error survives the wire as InvalidArgument.
+        // the error survives the wire as Net — the recoverable class
+        // the supervisor keys respawn on.
         let err = shard.flush().expect_err("no slot 0 yet");
-        assert_eq!(err.kind(), TgsErrorKind::InvalidArgument);
-        assert!(err.to_string().contains("no slot 0"));
+        assert_eq!(err.kind(), TgsErrorKind::Net);
+        assert!(err.to_string().contains("slot 0"));
 
         shard.terminate().unwrap();
         handle.join().unwrap().unwrap();

@@ -552,7 +552,10 @@ const SIMD_TIERS: [&str; 4] = ["scalar", "avx2", "avx2+fma", "neon"];
 /// the scalar fields as `shed: u64`, `buckets: u64` (count) and that
 /// many `u64` bucket values — length-prefixed so a future bucket-count
 /// revision stays decodable (the decoder zero-fills a short list and
-/// clamps a long one into its last bucket).
+/// clamps a long one into its last bucket). The recovery counters
+/// (`respawns`, `replayed_docs`, `degraded_queries`) trail the
+/// histogram as an optional record: a pre-recovery peer's payload
+/// simply ends early and they decode as 0.
 pub fn enc_stats(s: &EngineStats) -> Vec<u8> {
     let mut w = Wr::new();
     w.u64(s.queued);
@@ -571,6 +574,9 @@ pub fn enc_stats(s: &EngineStats) -> Vec<u8> {
     for &b in buckets {
         w.u64(b);
     }
+    w.u64(s.respawns);
+    w.u64(s.replayed_docs);
+    w.u64(s.degraded_queries);
     w.finish()
 }
 
@@ -589,6 +595,9 @@ pub fn dec_stats(payload: &[u8]) -> Result<EngineStats, String> {
         threads: r.u64("threads")?,
         pinned: r.u8("pinned")? != 0,
         simd: "",
+        respawns: 0,
+        replayed_docs: 0,
+        degraded_queries: 0,
     };
     let simd = r.str("simd tier")?;
     s.simd = SIMD_TIERS
@@ -605,6 +614,13 @@ pub fn dec_stats(payload: &[u8]) -> Result<EngineStats, String> {
         .map(|_| r.u64("histogram bucket"))
         .collect::<Result<_, _>>()?;
     s.step_hist = LatencyHistogram::from_parts(&buckets, shed);
+    // Optional trailing record: absent on payloads from peers built
+    // before the recovery counters existed.
+    if r.remaining() > 0 {
+        s.respawns = r.u64("respawns")?;
+        s.replayed_docs = r.u64("replayed_docs")?;
+        s.degraded_queries = r.u64("degraded_queries")?;
+    }
     r.done()?;
     Ok(s)
 }
@@ -848,6 +864,9 @@ mod tests {
             simd: "avx2+fma",
             threads: 8,
             pinned: true,
+            respawns: 9,
+            replayed_docs: 10,
+            degraded_queries: 11,
         };
         assert_eq!(dec_stats(&enc_stats(&stats)).unwrap(), stats);
         // An unknown tier name degrades to "" instead of failing.
@@ -891,6 +910,11 @@ mod tests {
         assert_eq!(s.step_hist.count(), 60);
         assert_eq!(s.step_hist.shed(), 2);
         assert_eq!(s.step_hist.buckets()[2], 30);
+        // The payload above ends at the histogram — the optional
+        // recovery-counter tail is absent and must decode as zeros.
+        assert_eq!(s.respawns, 0);
+        assert_eq!(s.replayed_docs, 0);
+        assert_eq!(s.degraded_queries, 0);
     }
 
     #[test]

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Chaos smoke: `tgs serve` over a 2-shard loopback fleet with a seeded
+# TGS_FAULTS schedule truncating a quarter of the INGEST frames. The
+# supervised transports must rebuild every corrupted slot mid-stream
+# (respawns > 0, replayed_docs > 0 in the recovery stats) and the final
+# timeline + checkpoint must still be byte-identical to a fault-free
+# in-process `tgs stream --shards 2` — zero lost documents.
+#
+# Usage: ./scripts/chaos_smoke.sh   (run from anywhere; builds release tgs)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> build release tgs"
+cargo build --release --quiet --bin tgs
+TGS=target/release/tgs
+
+DIR=$(mktemp -d -t tgs_chaos_smoke.XXXXXX)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+echo "==> generate tiny corpus"
+"$TGS" generate --preset tiny --seed 42 --out "$DIR/corpus.tsv"
+
+echo "==> launch 2 shard servers"
+start_shard() { # $1: banner file
+    "$TGS" shard --listen 127.0.0.1:0 >"$1" &
+    PIDS+=("$!")
+    for _ in $(seq 1 100); do
+        if grep -q "^listening on " "$1"; then return 0; fi
+        sleep 0.05
+    done
+    echo "shard server never announced its address" >&2
+    return 1
+}
+start_shard "$DIR/a.log"
+start_shard "$DIR/b.log"
+A=$(sed -n 's/^listening on //p' "$DIR/a.log" | head -1)
+B=$(sed -n 's/^listening on //p' "$DIR/b.log" | head -1)
+echo "    shards at $A and $B"
+
+echo "==> tgs serve under seeded fault injection"
+TGS_FAULTS="seed=11, ingest.truncate=0.25" \
+    "$TGS" serve --shards "$A,$B" --corpus "$DIR/corpus.tsv" \
+    --out "$DIR/chaos.tsv" --checkpoint "$DIR/chaos.ckpt" \
+    --stats --terminate 2>"$DIR/serve.err"
+sed 's/^/    /' "$DIR/serve.err"
+
+echo "==> tgs stream --shards 2 (fault-free control)"
+"$TGS" stream --shards 2 --corpus "$DIR/corpus.tsv" \
+    --out "$DIR/control.tsv" --checkpoint "$DIR/control.ckpt"
+
+echo "==> chaos outputs must be byte-identical to the control"
+cmp "$DIR/chaos.tsv" "$DIR/control.tsv"
+cmp "$DIR/chaos.ckpt" "$DIR/control.ckpt"
+
+echo "==> recovery counters must show the chaos was real"
+RESPAWNS=$(sed -n 's/^recovery: respawns \([0-9]*\).*/\1/p' "$DIR/serve.err" | head -1)
+REPLAYED=$(sed -n 's/.*replayed_docs \([0-9]*\).*/\1/p' "$DIR/serve.err" | head -1)
+if [[ -z "$RESPAWNS" || -z "$REPLAYED" ]]; then
+    echo "no recovery stats line in serve stderr" >&2
+    exit 1
+fi
+if [[ "$RESPAWNS" -lt 1 || "$REPLAYED" -lt 1 ]]; then
+    echo "fault schedule injected nothing (respawns=$RESPAWNS replayed_docs=$REPLAYED)" >&2
+    exit 1
+fi
+echo "    respawns=$RESPAWNS replayed_docs=$REPLAYED"
+
+echo "==> --terminate must have stopped both servers"
+for i in $(seq 1 100); do
+    alive=0
+    for pid in "${PIDS[@]}"; do
+        if kill -0 "$pid" 2>/dev/null; then alive=1; fi
+    done
+    [[ "$alive" == 0 ]] && break
+    if [[ "$i" == 100 ]]; then
+        echo "shard servers still running after --terminate" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+PIDS=()
+
+echo "chaos smoke green."

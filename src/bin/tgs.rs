@@ -6,12 +6,14 @@
 //! tgs stream   --corpus corpus.tsv [--window-days 1 --gamma 0.2 --shards 4] \
 //!              [--ghost-users] [--max-skew 1.5] \
 //!              --out timeline.tsv [--checkpoint engine.ckpt] [--stats]
-//! tgs query    --checkpoint engine.ckpt (--timeline LO..HI | --user U [--at T] |
-//!              --summary T | --top-words T [--words N] | --shard-info)
+//! tgs query    (--checkpoint engine.ckpt | --connect 127.0.0.1:7400)
+//!              (--timeline LO..HI | --user U [--at T] | --summary T |
+//!              --top-words T [--words N] | --shard-info | --stats | --terminate)
 //! tgs stats    --corpus corpus.tsv
 //! tgs shard    --listen 127.0.0.1:7401 [--range 0..500]
 //! tgs serve    --shards 127.0.0.1:7401,127.0.0.1:7402 --corpus corpus.tsv \
-//!              --out timeline.tsv [--checkpoint fleet.ckpt] [--terminate]
+//!              --out timeline.tsv [--checkpoint fleet.ckpt] \
+//!              [--hold 127.0.0.1:7400] [--terminate]
 //! tgs soak     [--users 2000 --steps 192 --shards 2 --batch-bucket 8] \
 //!              [--budget-ms 10000] [--out BENCH_soak.json] [--smoke]
 //! ```
@@ -40,6 +42,18 @@
 //! shard's routed load falls below `X` of the per-shard mean it is
 //! drained into its neighbour, the inverse of `--max-skew` splits.
 //!
+//! `serve` runs under fleet supervision: periodic checkpoint snapshots
+//! (`--checkpoint-every N` windows), background health probes, and
+//! automatic respawn/re-seed of a dead shard from its last good section
+//! plus a bounded replay journal — a killed `tgs shard` process that
+//! comes back is reconverged bit-identically, counted in the `respawns`
+//! / `replayed_docs` stats. `--hold ADDR` keeps the fleet alive after
+//! streaming and serves the history API over the wire protocol;
+//! `tgs query --connect ADDR` is the matching client (`--stats` reads
+//! the live merged counters, `--terminate` winds the held fleet down
+//! cleanly). Seeded fault injection for chaos testing comes from the
+//! `TGS_FAULTS` environment variable (see `crates/net/PROTOCOL.md`).
+//!
 //! `soak` is the load-test harness: a deterministic seeded Zipf
 //! firehose ([`tgs_load::LoadGen`] via the facade) driven through
 //! per-snapshot `try_ingest` and then through the micro-batching front
@@ -54,7 +68,10 @@ use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
 use tripartite_sentiment::data::{presets, read_corpus, write_corpus, Corpus};
-use tripartite_sentiment::net::{deploy_fleet, NetConfig, ShardServer, TcpShard};
+use tripartite_sentiment::net::{
+    deploy_supervised, NetConfig, RouterEndpoint, ShardServer, ShardTransport, Supervisor,
+    SupervisorConfig, TcpShard,
+};
 use tripartite_sentiment::prelude::*;
 
 // ---------------------------------------------------------------------
@@ -248,11 +265,23 @@ const COMMANDS: &[CommandSpec] = &[
             ),
             switch(
                 "stats",
-                "print merged fleet metrics (including shard_unavailable)",
+                "print merged fleet metrics (including shard_unavailable and recovery counters)",
+            ),
+            opt(
+                "checkpoint-every",
+                "N",
+                "8",
+                "refresh the supervisor's per-shard recovery baselines every N windows",
+            ),
+            maybe(
+                "hold",
+                "ADDR",
+                "after streaming, keep the fleet alive and serve the history API over TCP at ADDR \
+                 until a TERMINATE request (`tgs query --connect ADDR --terminate`)",
             ),
             switch(
                 "terminate",
-                "shut the shard servers down after streaming",
+                "shut the shard servers down after streaming (with --hold: after the hold ends)",
             ),
         ],
         run: cmd_serve,
@@ -278,7 +307,12 @@ const COMMANDS: &[CommandSpec] = &[
         name: "query",
         about: "Serve the history API from a checkpointed engine session.",
         flags: &[
-            req("checkpoint", "PATH", "checkpoint written by `tgs stream`"),
+            maybe("checkpoint", "PATH", "checkpoint written by `tgs stream`"),
+            maybe(
+                "connect",
+                "ADDR",
+                "query a held fleet (`tgs serve --hold ADDR`) instead of a checkpoint file",
+            ),
             maybe(
                 "timeline",
                 "LO..HI",
@@ -300,6 +334,15 @@ const COMMANDS: &[CommandSpec] = &[
             switch(
                 "shard-info",
                 "print the fleet's partition map and per-shard state",
+            ),
+            switch(
+                "stats",
+                "print the held fleet's live merged metrics, including recovery counters \
+                 (needs --connect)",
+            ),
+            switch(
+                "terminate",
+                "wind the held fleet down after answering (needs --connect)",
             ),
         ],
         run: cmd_query,
@@ -651,6 +694,7 @@ fn stream_and_report(
     engine: &ShardedEngine,
     corpus: &Corpus,
     flags: &Flags,
+    supervisor: Option<&Supervisor>,
 ) -> Result<(), TgsError> {
     let window: u32 = flags.get("window-days")?;
     if window == 0 {
@@ -661,6 +705,9 @@ fn stream_and_report(
     let mut merges = 0usize;
     for (lo, hi) in day_windows(corpus.num_days, window) {
         engine.ingest(EngineSnapshot::from_corpus_window(corpus, lo, hi))?;
+        if let Some(sup) = supervisor {
+            sup.tick();
+        }
         if let Some(x) = policy.max_skew {
             // The auto-trigger inspects router-side load counters (no
             // flush needed); an actual rebalance quiesces the fleet.
@@ -685,6 +732,11 @@ fn stream_and_report(
         }
     }
     let steps = engine.flush()?;
+    if let Some(sup) = supervisor {
+        // On-quiesce snapshot: the stream has drained, so the refreshed
+        // baselines capture the complete run.
+        sup.refresh_checkpoints();
+    }
 
     let query = engine.query();
     let k = query.k();
@@ -746,14 +798,8 @@ fn stream_and_report(
             s.threads,
             s.pinned,
         );
-        eprintln!(
-            "step latency: p50 {:.3} ms | p99 {:.3} ms | p999 {:.3} ms over {} steps ({} shed)",
-            s.step_hist.p50() as f64 / 1e6,
-            s.step_hist.p99() as f64 / 1e6,
-            s.step_hist.p999() as f64 / 1e6,
-            s.step_hist.count(),
-            s.step_hist.shed(),
-        );
+        print_recovery_stats(&s);
+        print_latency_stats(&s.step_hist);
         let loads = engine.shard_loads();
         let skew = engine.load_skew();
         for l in &loads {
@@ -777,6 +823,32 @@ fn stream_and_report(
     Ok(())
 }
 
+/// The merged fleet's recovery counters — the supervision layer's
+/// scoreboard (all zeros on an unsupervised or never-faulted run).
+fn print_recovery_stats(s: &EngineStats) {
+    eprintln!(
+        "recovery: respawns {} | replayed_docs {} | degraded_queries {}",
+        s.respawns, s.replayed_docs, s.degraded_queries,
+    );
+}
+
+/// Step-latency quantiles, with "n/a" for an empty histogram instead of
+/// a fabricated 0 ms reading.
+fn print_latency_stats(hist: &LatencyHistogram) {
+    let ms = |q: f64| match hist.quantile_opt(q) {
+        Some(ns) => format!("{:.3} ms", ns as f64 / 1e6),
+        None => "n/a".to_string(),
+    };
+    eprintln!(
+        "step latency: p50 {} | p99 {} | p999 {} over {} steps ({} shed)",
+        ms(0.50),
+        ms(0.99),
+        ms(0.999),
+        hist.count(),
+        hist.shed(),
+    );
+}
+
 fn cmd_stream(flags: &Flags) -> Result<(), TgsError> {
     let corpus = load_corpus(flags)?;
     let shards: usize = flags.get("shards")?;
@@ -785,7 +857,7 @@ fn cmd_stream(flags: &Flags) -> Result<(), TgsError> {
         .pipeline(pipeline())
         .ghost_users(flags.str_opt("ghost-users").is_some())
         .fit_sharded(&corpus, shards)?;
-    stream_and_report(&engine, &corpus, flags)
+    stream_and_report(&engine, &corpus, flags, None)
 }
 
 fn cmd_serve(flags: &Flags) -> Result<(), TgsError> {
@@ -801,27 +873,67 @@ fn cmd_serve(flags: &Flags) -> Result<(), TgsError> {
             "--shards needs at least one ADDR",
         ));
     }
+    let checkpoint_every: u64 = flags.get("checkpoint-every")?;
+    if checkpoint_every == 0 {
+        return Err(TgsError::invalid_argument(
+            "--checkpoint-every must be >= 1",
+        ));
+    }
     // Build the same deterministic cold fleet `tgs stream` would, ship
     // one checkpoint section per server, and route over TCP from then
-    // on — restore is exact, so the runs stay bit-identical.
+    // on — restore is exact, so the runs stay bit-identical. The fleet
+    // is supervised: each shard keeps a recovery baseline + replay
+    // journal, and background probes respawn dead slots automatically.
     let template = EngineBuilder::new()
         .online(online_config(flags)?)
         .pipeline(pipeline())
         .ghost_users(flags.str_opt("ghost-users").is_some())
         .fit_sharded(&corpus, addrs.len())?;
-    let engine = deploy_fleet(template, &addrs, &NetConfig::default())?;
+    let sup_cfg = SupervisorConfig {
+        checkpoint_every,
+        ..SupervisorConfig::default()
+    };
+    let (engine, supervisor) = deploy_supervised(template, &addrs, &NetConfig::default(), sup_cfg)?;
+    // Shared with the `--hold` endpoint, which needs its own handle for
+    // the wire-serving thread pool.
+    let engine = std::sync::Arc::new(engine);
     eprintln!(
-        "deployed {} shard(s) onto {}",
+        "deployed {} supervised shard(s) onto {}",
         addrs.len(),
         addrs.join(", ")
     );
-    stream_and_report(&engine, &corpus, flags)?;
+    supervisor.start_probes();
+    let streamed = stream_and_report(&engine, &corpus, flags, Some(&supervisor));
+
+    if streamed.is_ok() {
+        if let Some(hold_addr) = flags.str_opt("hold") {
+            hold_fleet(&engine, hold_addr)?;
+        }
+    }
+    supervisor.stop();
+    streamed?;
     if flags.str_opt("terminate").is_some() {
         for addr in &addrs {
             TcpShard::connect(addr.as_str()).terminate()?;
         }
         eprintln!("terminated {} shard server(s)", addrs.len());
     }
+    Ok(())
+}
+
+/// `tgs serve --hold`: host the deployed router itself as a wire-protocol
+/// endpoint until a client sends TERMINATE, so queries (and further
+/// ingest) keep working after the corpus stream has drained — including
+/// degraded, partial answers while a shard is down mid-recovery.
+fn hold_fleet(engine: &std::sync::Arc<ShardedEngine>, hold_addr: &str) -> Result<(), TgsError> {
+    let server = ShardServer::bind(hold_addr, None)?;
+    let bound = server.local_addr()?;
+    server.add_transport(0, RouterEndpoint::new(std::sync::Arc::clone(engine)))?;
+    // Scripts parse this line (same contract as `tgs shard`'s banner).
+    println!("holding on {bound}");
+    std::io::stdout().flush().map_err(write_err)?;
+    server.run()?;
+    eprintln!("hold ended: received TERMINATE");
     Ok(())
 }
 
@@ -846,8 +958,74 @@ fn cmd_shard(flags: &Flags) -> Result<(), TgsError> {
 }
 
 fn cmd_query(flags: &Flags) -> Result<(), TgsError> {
-    let path = flags.str("checkpoint");
-    let bytes = std::fs::read(path).map_err(|e| TgsError::io(format!("cannot read {path}"), e))?;
+    let wants_history = ["timeline", "user", "summary", "top-words", "shard-info"]
+        .iter()
+        .any(|f| flags.str_opt(f).is_some());
+    let remote = match (flags.str_opt("checkpoint"), flags.str_opt("connect")) {
+        (Some(_), Some(_)) => {
+            return Err(TgsError::invalid_argument(
+                "--checkpoint and --connect are mutually exclusive",
+            ))
+        }
+        (None, None) => {
+            return Err(TgsError::invalid_argument(
+                "query needs a source: --checkpoint PATH or --connect ADDR",
+            ))
+        }
+        (_, connect) => connect.map(TcpShard::connect),
+    };
+    if remote.is_none()
+        && (flags.str_opt("stats").is_some() || flags.str_opt("terminate").is_some())
+    {
+        return Err(TgsError::invalid_argument(
+            "--stats and --terminate read a *live* fleet: they need --connect, not --checkpoint",
+        ));
+    }
+
+    if let Some(shard) = &remote {
+        if flags.str_opt("stats").is_some() {
+            // The held router's merged fleet metrics, straight off the
+            // wire — including the supervisor's recovery counters.
+            let s = shard.stats()?;
+            println!(
+                "queued {} | ingested {} | dropped_capacity {} | shard_unavailable {}",
+                s.queued, s.ingested, s.dropped_capacity, s.shard_unavailable,
+            );
+            println!(
+                "respawns {} | replayed_docs {} | degraded_queries {}",
+                s.respawns, s.replayed_docs, s.degraded_queries,
+            );
+        }
+        if !wants_history {
+            if flags.str_opt("terminate").is_some() {
+                shard.terminate()?;
+                eprintln!("terminated the held fleet at {}", shard.addr());
+            } else if flags.str_opt("stats").is_none() {
+                return Err(TgsError::invalid_argument(
+                    "query needs one of --timeline, --user, --summary, --top-words, \
+                     --shard-info, --stats, --terminate (see `tgs query --help`)",
+                ));
+            }
+            return Ok(());
+        }
+    }
+
+    let bytes = match &remote {
+        // A held fleet serializes its entire multi-shard session as the
+        // hold slot's checkpoint section; one fetch, then every history
+        // verb runs locally against the restored copy.
+        Some(shard) => shard.checkpoint_section()?,
+        None => {
+            let path = flags.str("checkpoint");
+            std::fs::read(path).map_err(|e| TgsError::io(format!("cannot read {path}"), e))?
+        }
+    };
+    if let Some(shard) = &remote {
+        if flags.str_opt("terminate").is_some() {
+            shard.terminate()?;
+            eprintln!("terminated the held fleet at {}", shard.addr());
+        }
+    }
     // Serves both checkpoint flavors: multi-shard streams rebuild the
     // fleet, single-engine streams are wrapped as a one-shard fleet.
     let engine = ShardedEngine::restore_any(bytes)?;

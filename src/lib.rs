@@ -21,9 +21,11 @@
 //!   [`engine::ShardedEngine`]: the user-range multi-shard router over
 //!   `S` such workers (`tgs stream --shards N`);
 //! * [`net`] — the distributed fleet: a framed TCP protocol, the
-//!   `tgs shard` slot server, and [`net::TcpShard`] — a remote
+//!   `tgs shard` slot server, [`net::TcpShard`] — a remote
 //!   `ShardTransport` the router drives exactly like a local worker
-//!   (`tgs serve --shards host:port,...`);
+//!   (`tgs serve --shards host:port,...`) — plus the robustness layer:
+//!   seeded fault injection ([`net::FaultPolicy`], `TGS_FAULTS`) and the
+//!   [`net::Supervisor`]'s automatic respawn/re-seed state machine;
 //! * [`load`] — [`load::LoadGen`]: the deterministic Zipf firehose
 //!   generator behind `tgs soak`;
 //! * [`baselines`] — SVM, NB, LP, UserReg, ESSA, ONMTF, BACG, k-means;
@@ -133,14 +135,18 @@ pub mod prelude {
         SnapshotBuilder, UserRangePartitioner,
     };
     pub use tgs_engine::{
-        BatchPolicy, BatchingIngest, ClusterSummary, EngineBuilder, EngineCheckpoint, EngineDoc,
-        EngineQuery, EngineSnapshot, EngineStats, LatencyHistogram, SentimentEngine,
-        ShardedCheckpoint, ShardedEngine, ShardedQuery, TimelineEntry, UserSentiment,
+        BatchPolicy, BatchingIngest, ClusterSummary, Coverage, EngineBuilder, EngineCheckpoint,
+        EngineDoc, EngineQuery, EngineSnapshot, EngineStats, FlakyShard, LatencyHistogram, Partial,
+        RecoveryCounters, SentimentEngine, ShardedCheckpoint, ShardedEngine, ShardedQuery,
+        TimelineEntry, UserSentiment,
     };
     pub use tgs_eval::{clustering_accuracy, nmi, ConfusionMatrix};
     pub use tgs_graph::UserGraph;
     pub use tgs_linalg::{CsrMatrix, DenseMatrix};
     pub use tgs_load::{LoadConfig, LoadGen};
-    pub use tgs_net::{attach_fleet, deploy_fleet, NetConfig, ShardServer, TcpShard};
+    pub use tgs_net::{
+        attach_fleet, deploy_fleet, deploy_supervised, FaultPolicy, NetConfig, RouterEndpoint,
+        ShardServer, Supervisor, SupervisorConfig, TcpShard,
+    };
     pub use tgs_text::{Lexicon, PipelineConfig, Sentiment, Vocabulary};
 }

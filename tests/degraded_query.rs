@@ -1,0 +1,239 @@
+//! Degraded-mode query contract: with one dead peer in the fleet, every
+//! [`ShardedQuery`] method must either fail with a typed
+//! [`TgsError::Net`] (strict methods) or answer with results tagged
+//! [`Coverage`] (the `*_partial` methods) — never panic, never hang,
+//! never silently pass off a partial answer as a full one. The dead
+//! peer is a [`FlakyShard`]-wrapped local worker, so the outage is
+//! deterministic and instant to flip.
+
+use std::sync::Arc;
+
+use tripartite_sentiment::engine::{
+    EngineCheckpoint, FlakyShard, LocalShard, SentimentEngine, ShardTransport,
+};
+use tripartite_sentiment::prelude::*;
+
+fn corpus() -> Corpus {
+    generate(&presets::tiny(42))
+}
+
+/// A 2-shard in-process fleet whose workers sit behind [`FlakyShard`]
+/// switches, built from the same deterministic template a TCP deploy
+/// ships (checkpoint sections → restore), so its answers match a plain
+/// `fit_sharded` fleet exactly.
+fn flaky_fleet(c: &Corpus) -> (ShardedEngine, Vec<Arc<FlakyShard>>) {
+    let template = EngineBuilder::new()
+        .k(3)
+        .max_iters(8)
+        .fit_sharded(c, 2)
+        .expect("fit template");
+    let map = template.map();
+    let sections = template
+        .checkpoint()
+        .expect("template checkpoint")
+        .sections()
+        .expect("sections");
+    template.shutdown().expect("template shutdown");
+    let flaky: Vec<Arc<FlakyShard>> = sections
+        .iter()
+        .map(|section| {
+            let engine = SentimentEngine::restore(&EngineCheckpoint::from_bytes(section.clone()))
+                .expect("restore section");
+            FlakyShard::new(Arc::new(LocalShard::new(engine)))
+        })
+        .collect();
+    let transports: Vec<Arc<dyn ShardTransport>> = flaky
+        .iter()
+        .map(|f| Arc::clone(f) as Arc<dyn ShardTransport>)
+        .collect();
+    let engine = ShardedEngine::from_transports(map, transports, false).expect("fleet");
+    (engine, flaky)
+}
+
+/// Streams all but the final window through the fleet and returns the
+/// held-out window, so tests can attempt a *fresh* ingest against a
+/// degraded fleet (re-ingesting a streamed timestamp would fail the
+/// append-only check before ever reaching a shard).
+fn stream(engine: &ShardedEngine, c: &Corpus) -> (u32, u32) {
+    let windows = day_windows(c.num_days, 2);
+    let (&held, rest) = windows.split_last().expect("at least one window");
+    for &(lo, hi) in rest {
+        engine
+            .ingest(EngineSnapshot::from_corpus_window(c, lo, hi))
+            .expect("ingest");
+    }
+    engine.flush().expect("flush");
+    held
+}
+
+#[test]
+fn every_query_method_is_typed_or_tagged_against_a_dead_shard() {
+    let c = corpus();
+    let (engine, flaky) = flaky_fleet(&c);
+    let (held_lo, held_hi) = stream(&engine, &c);
+    let query = engine.query();
+
+    // Healthy baseline for the recovery comparison at the end.
+    let full_timeline = query.timeline(..).expect("healthy timeline");
+    assert!(!full_timeline.is_empty());
+    let full_users = query.known_users().expect("healthy known_users");
+    let t = full_timeline.last().expect("nonempty").timestamp;
+    // A user each from shard 0's range and shard 1's range.
+    let (shard1_lo, _) = engine.map().range(1);
+    let user0 = 0;
+    let user1 = shard1_lo;
+    query
+        .user_sentiment(user1, t)
+        .expect("healthy shard-1 user lookup");
+
+    flaky[1].set_down(true);
+
+    // Strict methods: typed Net errors, never a panic.
+    for (what, err) in [
+        ("timeline", query.timeline(..).expect_err("timeline")),
+        ("latest", query.latest().map(|_| ()).expect_err("latest")),
+        (
+            "known_users",
+            query.known_users().map(|_| ()).expect_err("known_users"),
+        ),
+        (
+            "cluster_summary",
+            query.cluster_summary(t).map(|_| ()).expect_err("summary"),
+        ),
+        (
+            "top_words",
+            query.top_words(t, 5).map(|_| ()).expect_err("top_words"),
+        ),
+        (
+            "merged_sf",
+            query.merged_sf(t).map(|_| ()).expect_err("merged_sf"),
+        ),
+        (
+            "user_sentiment",
+            query
+                .user_sentiment(user1, t)
+                .map(|_| ())
+                .expect_err("user_sentiment on the dead shard"),
+        ),
+        (
+            "user_timeline",
+            query
+                .user_timeline(user1)
+                .map(|_| ())
+                .expect_err("user_timeline on the dead shard"),
+        ),
+    ] {
+        assert_eq!(
+            err.kind(),
+            TgsErrorKind::Net,
+            "{what} must fail typed: {err}"
+        );
+    }
+    // Routing away from the dead shard still answers.
+    query
+        .user_sentiment(user0, t)
+        .expect("shard 0 keeps serving its users");
+
+    // Partial methods: tagged answers from the surviving shard.
+    let tl = query.timeline_partial(..).expect("timeline_partial");
+    assert_eq!(
+        (tl.coverage.healthy, tl.coverage.total),
+        (1, 2),
+        "one of two shards answered"
+    );
+    assert!(!tl.coverage.is_full());
+    assert_eq!(
+        tl.coverage.stale_since,
+        Some(t),
+        "staleness bound must be the dead shard's last committed window"
+    );
+    assert!(!tl.value.is_empty(), "surviving shard's history serves");
+    assert!(
+        tl.value.len() <= full_timeline.len(),
+        "a partial answer never invents entries"
+    );
+
+    let latest = query.latest_partial().expect("latest_partial");
+    assert_eq!((latest.coverage.healthy, latest.coverage.total), (1, 2));
+    assert!(latest.value.is_some(), "surviving shard has history");
+
+    let users = query.known_users_partial().expect("known_users_partial");
+    assert_eq!((users.coverage.healthy, users.coverage.total), (1, 2));
+    assert!(
+        users.value < full_users,
+        "partial count must exclude the dead shard's users"
+    );
+
+    // The degraded answers are counted, the outage is counted, and the
+    // outage was actually exercised through the fault seam.
+    let stats = engine.stats();
+    assert!(
+        stats.degraded_queries >= 3,
+        "three partial queries ran degraded, stats say {}",
+        stats.degraded_queries
+    );
+    assert!(stats.shard_unavailable > 0);
+    assert!(flaky[1].rejected() > 0);
+
+    // Ingest against a dead fleet: typed error, never a hang. Both
+    // shards go down so neither worker can partially commit the window
+    // before the outage surfaces (which would skew the healed timeline).
+    flaky[0].set_down(true);
+    let err = engine
+        .ingest(EngineSnapshot::from_corpus_window(&c, held_lo, held_hi))
+        .expect_err("ingest needs every shard");
+    assert_eq!(err.kind(), TgsErrorKind::Net);
+    flaky[0].set_down(false);
+
+    // Heal: full coverage returns, answers match the healthy baseline.
+    flaky[1].set_down(false);
+    assert_eq!(query.timeline(..).expect("healed timeline"), full_timeline);
+    let healed = query.timeline_partial(..).expect("healed partial");
+    assert!(healed.coverage.is_full());
+    assert_eq!(healed.coverage.stale_since, None);
+    assert_eq!(healed.value, full_timeline);
+    assert_eq!(query.known_users().expect("healed users"), full_users);
+
+    engine.shutdown().expect("shutdown");
+}
+
+#[test]
+fn partial_queries_fail_typed_when_no_shard_answers() {
+    let c = corpus();
+    let (engine, flaky) = flaky_fleet(&c);
+    stream(&engine, &c);
+    let query = engine.query();
+    for f in &flaky {
+        f.set_down(true);
+    }
+
+    // Zero coverage is an error, not an empty Ok: an empty answer would
+    // be indistinguishable from an empty history.
+    for (what, err) in [
+        (
+            "timeline_partial",
+            query
+                .timeline_partial(..)
+                .map(|_| ())
+                .expect_err("timeline"),
+        ),
+        (
+            "latest_partial",
+            query.latest_partial().map(|_| ()).expect_err("latest"),
+        ),
+        (
+            "known_users_partial",
+            query
+                .known_users_partial()
+                .map(|_| ())
+                .expect_err("known_users"),
+        ),
+    ] {
+        assert_eq!(err.kind(), TgsErrorKind::Net, "{what}: {err}");
+    }
+
+    for f in &flaky {
+        f.set_down(false);
+    }
+    engine.shutdown().expect("shutdown");
+}

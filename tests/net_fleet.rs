@@ -40,6 +40,10 @@ fn test_cfg() -> NetConfig {
         io_timeout: Duration::from_secs(60),
         reconnect_attempts: 3,
         backoff_base: Duration::from_millis(25),
+        retry_deadline: Duration::from_secs(60),
+        jitter_seed: 7,
+        // Keep loopback parity tests immune to an ambient TGS_FAULTS.
+        faults: None,
     }
 }
 
@@ -226,6 +230,9 @@ fn handles_created_before_the_server_exists_connect_lazily() {
         io_timeout: Duration::from_secs(10),
         reconnect_attempts: 6,
         backoff_base: Duration::from_millis(50),
+        retry_deadline: Duration::from_secs(30),
+        jitter_seed: 7,
+        faults: None,
     };
     let shard = TcpShard::new(addr.clone(), 0, cfg);
     let server_addr = addr.clone();

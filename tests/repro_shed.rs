@@ -1,8 +1,8 @@
 use std::cell::RefCell;
 use std::time::Duration;
 
-use tgs::engine::{BatchPolicy, BatchingIngest, EngineSnapshot, IngestSink};
-use tgs::TgsError;
+use tripartite_sentiment::core::TgsError;
+use tripartite_sentiment::engine::{BatchPolicy, BatchingIngest, EngineSnapshot, IngestSink};
 
 struct SheddingSink {
     shed_all: RefCell<bool>,
@@ -29,7 +29,7 @@ fn snap(ts: u64, n: usize) -> EngineSnapshot {
 }
 
 #[test]
-fn bucket_change_shed_then_full_flush_loses_batch() {
+fn bucket_change_shed_then_full_flush_conserves_every_document() {
     let sink = SheddingSink {
         shed_all: RefCell::new(true),
         accepted: RefCell::new(Vec::new()),
