@@ -31,6 +31,9 @@ echo "==> net smoke (2 shard servers + router on loopback)"
 echo "==> chaos smoke (seeded fault injection + supervised recovery)"
 ./scripts/chaos_smoke.sh
 
+echo "==> delta smoke (delta checkpoints: stream cadence + kill/restore round trip)"
+./scripts/delta_smoke.sh
+
 echo "==> soak smoke (Zipf firehose through the batching front end)"
 mkdir -p target/bench-smoke
 ./target/release/tgs soak --smoke --out target/bench-smoke/BENCH_soak.json

@@ -162,6 +162,26 @@ impl OnlineSolver {
         }
     }
 
+    /// The per-user history's global step counter — exposed so delta
+    /// checkpoints can record the counter without the O(users) clone of
+    /// [`OnlineSolver::export_state`].
+    pub fn history_step(&self) -> i64 {
+        self.history.steps()
+    }
+
+    /// Exports the history rows of just the given users (see
+    /// [`crate::window::SentimentHistory::export_rows_for`]) — the
+    /// O(changes) read behind delta checkpoints.
+    pub fn export_history_rows_for(&self, users: &[usize]) -> crate::window::HistoryRows {
+        self.history.export_rows_for(users)
+    }
+
+    /// The `Sf` window's retained snapshots, most recent first, without
+    /// cloning (cf. the owned copies in [`OnlineSolver::export_state`]).
+    pub fn sf_window_snapshots(&self) -> impl Iterator<Item = &tgs_linalg::DenseMatrix> {
+        self.sf_window.snapshots()
+    }
+
     /// Rebuilds a solver from checkpointed state. The restored solver is
     /// bit-identical to the original: feeding both the same subsequent
     /// snapshots yields the same factors, objectives and partitions.

@@ -250,6 +250,25 @@ impl SentimentHistory {
         out
     }
 
+    /// Exports the history of just the given users (same shape and
+    /// newest-first entry order as [`SentimentHistory::export_rows`],
+    /// sorted by user id, users without history skipped) — the
+    /// O(changes) read used by delta checkpoints, which only ship rows
+    /// for users touched since the base snapshot.
+    pub fn export_rows_for(&self, users: &[usize]) -> HistoryRows {
+        let mut out: HistoryRows = users
+            .iter()
+            .filter_map(|&u| {
+                self.rows
+                    .get(&u)
+                    .map(|hist| (u, hist.iter().cloned().collect()))
+            })
+            .collect();
+        out.sort_unstable_by_key(|(u, _)| *u);
+        out.dedup_by_key(|(u, _)| *u);
+        out
+    }
+
     /// Rebuilds a history from checkpointed state: the global step
     /// counter `t` and the per-user `(step, row)` observations as
     /// produced by [`SentimentHistory::export_rows`]. Rows whose length

@@ -79,25 +79,25 @@ fn corrupt(what: &str) -> TgsError {
     TgsError::corrupt(format!("truncated or malformed field: {what}"))
 }
 
-fn rd_u64(b: &mut Bytes, what: &str) -> Result<u64, TgsError> {
+pub(crate) fn rd_u64(b: &mut Bytes, what: &str) -> Result<u64, TgsError> {
     if b.remaining() < 8 {
         return Err(corrupt(what));
     }
     Ok(b.get_u64_le())
 }
 
-fn rd_usize(b: &mut Bytes, what: &str) -> Result<usize, TgsError> {
+pub(crate) fn rd_usize(b: &mut Bytes, what: &str) -> Result<usize, TgsError> {
     usize::try_from(rd_u64(b, what)?).map_err(|_| corrupt(what))
 }
 
-fn rd_f64(b: &mut Bytes, what: &str) -> Result<f64, TgsError> {
+pub(crate) fn rd_f64(b: &mut Bytes, what: &str) -> Result<f64, TgsError> {
     if b.remaining() < 8 {
         return Err(corrupt(what));
     }
     Ok(b.get_f64_le())
 }
 
-fn rd_u8(b: &mut Bytes, what: &str) -> Result<u8, TgsError> {
+pub(crate) fn rd_u8(b: &mut Bytes, what: &str) -> Result<u8, TgsError> {
     if b.remaining() < 1 {
         return Err(corrupt(what));
     }
@@ -106,7 +106,7 @@ fn rd_u8(b: &mut Bytes, what: &str) -> Result<u8, TgsError> {
     Ok(byte[0])
 }
 
-fn rd_bool(b: &mut Bytes, what: &str) -> Result<bool, TgsError> {
+pub(crate) fn rd_bool(b: &mut Bytes, what: &str) -> Result<bool, TgsError> {
     match rd_u8(b, what)? {
         0 => Ok(false),
         1 => Ok(true),
@@ -116,7 +116,7 @@ fn rd_bool(b: &mut Bytes, what: &str) -> Result<bool, TgsError> {
 
 /// Guards list headers: each element needs at least `elem_bytes`, so a
 /// corrupt count can't trigger a huge allocation.
-fn rd_count(b: &mut Bytes, elem_bytes: usize, what: &str) -> Result<usize, TgsError> {
+pub(crate) fn rd_count(b: &mut Bytes, elem_bytes: usize, what: &str) -> Result<usize, TgsError> {
     let count = rd_usize(b, what)?;
     if count.saturating_mul(elem_bytes.max(1)) > b.remaining() {
         return Err(corrupt(what));
@@ -179,6 +179,58 @@ fn weighting_from_u8(v: u8) -> Result<Weighting, TgsError> {
         2 => Ok(Weighting::TfIdf),
         _ => Err(corrupt("weighting")),
     }
+}
+
+/// Serializes one timeline entry — the per-snapshot layout shared by the
+/// full checkpoint's timeline section and the delta codec's new-entry
+/// section (`crate::delta`).
+pub(crate) fn wr_timeline_entry(buf: &mut BytesMut, entry: &TimelineEntry) {
+    buf.put_u64_le(entry.timestamp);
+    buf.put_u64_le(entry.tweets as u64);
+    buf.put_u64_le(entry.users as u64);
+    buf.put_u64_le(entry.new_users as u64);
+    buf.put_u64_le(entry.evolving_users as u64);
+    buf.put_u64_le(entry.iterations as u64);
+    buf.put_slice(&[entry.converged as u8]);
+    buf.put_f64_le(entry.objective);
+    for &v in &entry.tweet_counts {
+        buf.put_u64_le(v as u64);
+    }
+    for &v in &entry.user_counts {
+        buf.put_u64_le(v as u64);
+    }
+}
+
+/// Inverse of [`wr_timeline_entry`].
+pub(crate) fn rd_timeline_entry(b: &mut Bytes, k: usize) -> Result<TimelineEntry, TgsError> {
+    let timestamp = rd_u64(b, "timeline timestamp")?;
+    let tweets = rd_usize(b, "timeline tweets")?;
+    let users = rd_usize(b, "timeline users")?;
+    let new_users = rd_usize(b, "timeline new users")?;
+    let evolving_users = rd_usize(b, "timeline evolving users")?;
+    let iterations = rd_usize(b, "timeline iterations")?;
+    let converged = rd_bool(b, "timeline converged")?;
+    let objective = rd_f64(b, "timeline objective")?;
+    let mut tweet_counts = Vec::with_capacity(k);
+    for _ in 0..k {
+        tweet_counts.push(rd_usize(b, "timeline tweet count")?);
+    }
+    let mut user_counts = Vec::with_capacity(k);
+    for _ in 0..k {
+        user_counts.push(rd_usize(b, "timeline user count")?);
+    }
+    Ok(TimelineEntry {
+        timestamp,
+        tweets,
+        users,
+        new_users,
+        evolving_users,
+        iterations,
+        converged,
+        objective,
+        tweet_counts,
+        user_counts,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -268,20 +320,7 @@ pub(crate) fn encode(
     // --- Timeline ---
     buf.put_u64_le(state.timeline.len() as u64);
     for entry in state.timeline.values() {
-        buf.put_u64_le(entry.timestamp);
-        buf.put_u64_le(entry.tweets as u64);
-        buf.put_u64_le(entry.users as u64);
-        buf.put_u64_le(entry.new_users as u64);
-        buf.put_u64_le(entry.evolving_users as u64);
-        buf.put_u64_le(entry.iterations as u64);
-        buf.put_slice(&[entry.converged as u8]);
-        buf.put_f64_le(entry.objective);
-        for &v in &entry.tweet_counts {
-            buf.put_u64_le(v as u64);
-        }
-        for &v in &entry.user_counts {
-            buf.put_u64_le(v as u64);
-        }
+        wr_timeline_entry(&mut buf, entry);
     }
 
     // --- Per-user observations (sorted by user id for determinism) ---
@@ -423,37 +462,8 @@ pub(crate) fn decode(
     let timeline_len = rd_count(&mut b, 8 * (7 + 2 * k) + 1, "timeline length")?;
     let mut timeline = std::collections::BTreeMap::new();
     for _ in 0..timeline_len {
-        let timestamp = rd_u64(&mut b, "timeline timestamp")?;
-        let tweets = rd_usize(&mut b, "timeline tweets")?;
-        let users = rd_usize(&mut b, "timeline users")?;
-        let new_users = rd_usize(&mut b, "timeline new users")?;
-        let evolving_users = rd_usize(&mut b, "timeline evolving users")?;
-        let iterations = rd_usize(&mut b, "timeline iterations")?;
-        let converged = rd_bool(&mut b, "timeline converged")?;
-        let objective = rd_f64(&mut b, "timeline objective")?;
-        let mut tweet_counts = Vec::with_capacity(k);
-        for _ in 0..k {
-            tweet_counts.push(rd_usize(&mut b, "timeline tweet count")?);
-        }
-        let mut user_counts = Vec::with_capacity(k);
-        for _ in 0..k {
-            user_counts.push(rd_usize(&mut b, "timeline user count")?);
-        }
-        timeline.insert(
-            timestamp,
-            TimelineEntry {
-                timestamp,
-                tweets,
-                users,
-                new_users,
-                evolving_users,
-                iterations,
-                converged,
-                objective,
-                tweet_counts,
-                user_counts,
-            },
-        );
+        let entry = rd_timeline_entry(&mut b, k)?;
+        timeline.insert(entry.timestamp, entry);
     }
 
     // --- Per-user observations ---
@@ -545,6 +555,7 @@ pub(crate) fn decode(
         sf_store,
         sp_store,
         failures: std::collections::VecDeque::new(),
+        tracker: crate::delta::DeltaTracker::default(),
     };
     Ok((shared, solver, state))
 }

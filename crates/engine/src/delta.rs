@@ -1,0 +1,973 @@
+//! Delta-encoded incremental checkpoints: O(changes) snapshots.
+//!
+//! A full [`EngineCheckpoint`] re-encodes
+//! O(state) — vocabulary, every user's history, every retained factor
+//! snapshot — on every call. Between consecutive steps of the paper's
+//! online algorithm only the rows touched by new documents change, so a
+//! checkpoint can instead ship a **base** plus per-step **deltas**:
+//!
+//! * [`SentimentEngine::checkpoint_base`](crate::SentimentEngine::checkpoint_base)
+//!   takes a full checkpoint and registers it as a *mark* (an engine-local
+//!   `u64` id) with the engine's `DeltaTracker`;
+//! * [`SentimentEngine::delta_since`](crate::SentimentEngine::delta_since)
+//!   encodes everything that changed since a mark — touched users'
+//!   history rows and track appends, new timeline entries, and the
+//!   factor stores' removed/appended entries — as a [`CheckpointDelta`],
+//!   registering the new tip as a mark so chains extend;
+//! * [`SentimentEngine::apply_delta`](crate::SentimentEngine::apply_delta)
+//!   folds a delta into a base, producing bytes **identical** to the
+//!   full checkpoint the engine would have written at the delta's tip
+//!   (the reconstruction re-runs the deterministic full encoder, so byte
+//!   equality follows from state equality);
+//! * [`DeltaChain`] keeps a base plus its deltas and **compacts** —
+//!   materializes a fresh base — once the chain's byte cost exceeds the
+//!   base's, bounding both storage and recovery replay cost.
+//!
+//! Deltas are *unavailable* (not an error — `Ok(None)`) when the engine
+//! cannot prove O(changes) coverage: an unknown or trimmed mark, or a
+//! structural epoch bump (user migration / absorb rewrites state outside
+//! the append-only stream). Callers fall back to a fresh base.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tgs_core::{decode_matrix, OnlineSolver, OnlineSolverState, SnapshotStore, TgsError};
+use tgs_linalg::DenseMatrix;
+
+use crate::checkpoint::{
+    self, rd_count, rd_f64, rd_timeline_entry, rd_u64, rd_u8, rd_usize, wr_timeline_entry,
+    EngineCheckpoint,
+};
+use crate::engine::{EngineShared, EngineState};
+use crate::query::TimelineEntry;
+
+/// Magic + format version prefix of a serialized delta.
+const MAGIC: &[u8; 8] = b"TGSDLT\x00\x01";
+
+/// Marks retained per engine: a delta can only be requested against one
+/// of the last this-many bases/tips. Old marks age out silently (their
+/// `delta_since` returns `None`), bounding the tracker's footprint.
+const MAX_MARKS: usize = 8;
+
+/// Change-log cap. If more steps than this commit between a mark and its
+/// `delta_since`, the log is trimmed and the mark degrades to
+/// unavailable — by then a delta would approach O(state) anyway.
+const MAX_RECORDS: usize = 4096;
+
+fn corrupt(what: &str) -> TgsError {
+    TgsError::corrupt(format!("malformed checkpoint delta: {what}"))
+}
+
+// ---------------------------------------------------------------------
+// Dirty tracking
+// ---------------------------------------------------------------------
+
+/// One committed step's footprint: which timestamp landed and which
+/// (non-ghost) users it touched.
+#[derive(Debug, Clone)]
+struct ChangeRecord {
+    /// Absolute commit sequence number (0-based over the engine's life).
+    seq: u64,
+    timestamp: u64,
+    users: Vec<usize>,
+}
+
+/// A registered base/tip: everything needed to later diff the live state
+/// against the state at registration time.
+#[derive(Debug, Clone)]
+struct Mark {
+    /// Commit count at registration: records with `seq >= this` are the
+    /// steps the delta must cover.
+    seq: u64,
+    /// Structural epoch at registration (see [`DeltaTracker::bump_epoch`]).
+    epoch: u64,
+    /// `sf_store` timestamps at registration, in insertion order.
+    sf_ts: Vec<u64>,
+    /// `sp_store` timestamps at registration, in insertion order.
+    sp_ts: Vec<u64>,
+}
+
+/// The engine's dirty-state log, fed by the ingest worker's commit path
+/// and consumed by the delta encoder. Lives inside `EngineState`, so the
+/// state lock covers it.
+#[derive(Debug, Default)]
+pub(crate) struct DeltaTracker {
+    records: VecDeque<ChangeRecord>,
+    /// Total commits ever logged (the next record's `seq`).
+    next_seq: u64,
+    marks: BTreeMap<u64, Mark>,
+    next_id: u64,
+    /// Bumped by any mutation outside the append-only stream (user
+    /// migration, absorb): existing marks can no longer express the
+    /// change as a delta and degrade to unavailable.
+    epoch: u64,
+}
+
+impl DeltaTracker {
+    /// Logs one committed step. Cheap when no marks are live (nothing
+    /// could ever ask for a delta spanning this step).
+    pub(crate) fn record_commit(&mut self, timestamp: u64, users: Vec<usize>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.marks.is_empty() {
+            return;
+        }
+        self.records.push_back(ChangeRecord {
+            seq,
+            timestamp,
+            users,
+        });
+        while self.records.len() > MAX_RECORDS {
+            self.records.pop_front();
+        }
+    }
+
+    /// Invalidates every live mark: state was rewritten outside the
+    /// append-only stream (rebalance migration, shard absorb), so no
+    /// retained mark can serve a delta anymore.
+    pub(crate) fn bump_epoch(&mut self) {
+        self.epoch += 1;
+        self.records.clear();
+        self.marks.clear();
+    }
+
+    /// Registers the *current* state as a mark and returns its id.
+    fn register_mark(&mut self, sf_store: &SnapshotStore, sp_store: &SnapshotStore) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.marks.insert(
+            id,
+            Mark {
+                seq: self.next_seq,
+                epoch: self.epoch,
+                sf_ts: sf_store.iter().map(|(t, _)| t).collect(),
+                sp_ts: sp_store.iter().map(|(t, _)| t).collect(),
+            },
+        );
+        while self.marks.len() > MAX_MARKS {
+            let oldest = *self.marks.keys().next().expect("non-empty map");
+            self.marks.remove(&oldest);
+        }
+        // Records older than every live mark can never be requested.
+        let floor = self.marks.values().map(|m| m.seq).min();
+        match floor {
+            Some(floor) => {
+                while self.records.front().is_some_and(|r| r.seq < floor) {
+                    self.records.pop_front();
+                }
+            }
+            None => self.records.clear(),
+        }
+        id
+    }
+}
+
+// ---------------------------------------------------------------------
+// The delta payload
+// ---------------------------------------------------------------------
+
+/// A serialized incremental checkpoint: everything that changed on one
+/// engine between a registered base (`base_id`) and the registration of
+/// its own tip (`new_id`). Produced by
+/// [`SentimentEngine::delta_since`](crate::SentimentEngine::delta_since);
+/// folded into a base with
+/// [`SentimentEngine::apply_delta`](crate::SentimentEngine::apply_delta).
+/// The raw bytes are stable for a given format version and safe to
+/// persist or ship between machines of any endianness.
+#[derive(Debug, Clone)]
+pub struct CheckpointDelta {
+    bytes: Bytes,
+}
+
+impl CheckpointDelta {
+    /// Wraps previously serialized delta bytes (e.g. read back from
+    /// disk). Validation happens at apply time.
+    pub fn from_bytes(data: Vec<u8>) -> Self {
+        Self {
+            bytes: Bytes::from(data),
+        }
+    }
+
+    /// The serialized byte stream.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.bytes.as_slice()
+    }
+
+    /// Serialized size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the delta holds no bytes (never produced by the engine).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    fn header_u64(&self, offset: usize, what: &str) -> Result<u64, TgsError> {
+        let bytes = self.bytes.as_slice();
+        if bytes.len() < MAGIC.len() + 16 {
+            return Err(corrupt("truncated header"));
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(corrupt(
+                "unrecognized magic header (not a tgs delta, or a newer format version)",
+            ));
+        }
+        bytes[offset..offset + 8]
+            .try_into()
+            .map(u64::from_le_bytes)
+            .map_err(|_| corrupt(what))
+    }
+
+    /// The mark id this delta applies on top of.
+    pub fn base_id(&self) -> Result<u64, TgsError> {
+        self.header_u64(MAGIC.len(), "base id")
+    }
+
+    /// The mark id of the state this delta produces — the next delta in
+    /// a chain names this as its `base_id`.
+    pub fn new_id(&self) -> Result<u64, TgsError> {
+        self.header_u64(MAGIC.len() + 8, "new id")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encode (engine side, under the state lock)
+// ---------------------------------------------------------------------
+
+/// The set difference between a store's marked timestamp list and its
+/// live entries. Stores only pop from the front (FIFO eviction) and
+/// append at the back within an epoch, so `(removed, appended)` replayed
+/// onto the marked store reproduces the live one entry-for-entry.
+fn store_diff(mark_ts: &[u64], store: &SnapshotStore) -> (Vec<u64>, Vec<(u64, Bytes)>) {
+    let live: Vec<(u64, Bytes)> = store.iter().collect();
+    let live_set: HashSet<u64> = live.iter().map(|(t, _)| *t).collect();
+    let mark_set: HashSet<u64> = mark_ts.iter().copied().collect();
+    let removed = mark_ts
+        .iter()
+        .copied()
+        .filter(|t| !live_set.contains(t))
+        .collect();
+    let appended = live
+        .into_iter()
+        .filter(|(t, _)| !mark_set.contains(t))
+        .collect();
+    (removed, appended)
+}
+
+fn wr_store_diff(buf: &mut BytesMut, removed: &[u64], appended: &[(u64, Bytes)]) {
+    buf.put_u64_le(removed.len() as u64);
+    for &t in removed {
+        buf.put_u64_le(t);
+    }
+    buf.put_u64_le(appended.len() as u64);
+    for (t, bytes) in appended {
+        buf.put_u64_le(*t);
+        buf.put_u64_le(bytes.len() as u64);
+        buf.put_slice(bytes.as_slice());
+    }
+}
+
+/// Encodes the changes since `base_id`, registering the resulting tip as
+/// a new mark. `Ok(None)` means the mark cannot serve a delta (unknown /
+/// aged out / epoch bumped / log trimmed) and the caller should take a
+/// fresh base instead. Called by the engine with the queue drained and
+/// both locks held.
+pub(crate) fn encode_delta(
+    shared: &EngineShared,
+    solver: &OnlineSolver,
+    state: &mut EngineState,
+    base_id: u64,
+) -> Result<Option<CheckpointDelta>, TgsError> {
+    let EngineState {
+        timeline,
+        user_track,
+        sf_store,
+        sp_store,
+        tracker,
+        ..
+    } = state;
+    let Some(mark) = tracker.marks.get(&base_id).cloned() else {
+        return Ok(None);
+    };
+    if mark.epoch != tracker.epoch {
+        return Ok(None);
+    }
+    // The log must fully cover the span since the mark.
+    let retained_floor = tracker.next_seq - tracker.records.len() as u64;
+    if mark.seq < retained_floor {
+        return Ok(None);
+    }
+    let since: Vec<&ChangeRecord> = tracker
+        .records
+        .iter()
+        .filter(|r| r.seq >= mark.seq)
+        .collect();
+
+    let mut touched: BTreeSet<usize> = BTreeSet::new();
+    let mut appends_per_user: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut new_timestamps: Vec<u64> = Vec::with_capacity(since.len());
+    for r in &since {
+        new_timestamps.push(r.timestamp);
+        for &u in &r.users {
+            touched.insert(u);
+            *appends_per_user.entry(u).or_insert(0) += 1;
+        }
+    }
+    new_timestamps.sort_unstable();
+
+    let new_id = tracker.register_mark(sf_store, sp_store);
+    let k = shared.config.k;
+
+    let mut buf = BytesMut::with_capacity(1 << 12);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(base_id);
+    buf.put_u64_le(new_id);
+    buf.put_u64_le(k as u64);
+    buf.put_u64_le(solver.steps());
+    // Signed via two's complement, like the full checkpoint.
+    buf.put_u64_le(solver.history_step() as u64);
+
+    // --- Sf window: refs into the (reconciled) sf store, inline on
+    // eviction — the same compaction the full encoder applies, so the
+    // window ships as a handful of bytes in the common case. ---
+    let window: Vec<&DenseMatrix> = solver.sf_window_snapshots().collect();
+    buf.put_u64_le(window.len() as u64);
+    for sf in window {
+        let encoded = tgs_core::encode_matrix(sf);
+        match sf_store
+            .iter()
+            .find(|(_, bytes)| bytes.as_slice() == encoded.as_slice())
+        {
+            Some((t, _)) => {
+                buf.put_slice(&[1u8]);
+                buf.put_u64_le(t);
+            }
+            None => {
+                buf.put_slice(&[0u8]);
+                buf.put_u64_le(encoded.len() as u64);
+                buf.put_slice(encoded.as_slice());
+            }
+        }
+    }
+
+    // --- Touched users' history rows (wholesale replacement: the rows
+    // are window-bounded, so this is O(touched), not O(stream)). ---
+    let touched_vec: Vec<usize> = touched.iter().copied().collect();
+    let rows = solver.export_history_rows_for(&touched_vec);
+    buf.put_u64_le(rows.len() as u64);
+    for (user, entries) in &rows {
+        buf.put_u64_le(*user as u64);
+        buf.put_u64_le(entries.len() as u64);
+        for (step, row) in entries {
+            buf.put_u64_le(*step as u64);
+            for &v in row {
+                buf.put_f64_le(v);
+            }
+        }
+    }
+
+    // --- New timeline entries, ascending by timestamp. ---
+    buf.put_u64_le(new_timestamps.len() as u64);
+    for &t in &new_timestamps {
+        let entry = timeline
+            .get(&t)
+            .ok_or_else(|| corrupt("change log names a timestamp the timeline lacks"))?;
+        wr_timeline_entry(&mut buf, entry);
+    }
+
+    // --- Per-user track appends: the commit path pushes exactly one
+    // observation per touched user per step, so the last `n` entries of
+    // a user's track are precisely the ones this span appended. ---
+    buf.put_u64_le(appends_per_user.len() as u64);
+    for (&user, &n) in &appends_per_user {
+        let track = user_track
+            .get(&user)
+            .ok_or_else(|| corrupt("change log names a user the track lacks"))?;
+        if track.len() < n {
+            return Err(corrupt("change log claims more appends than tracked"));
+        }
+        buf.put_u64_le(user as u64);
+        buf.put_u64_le(n as u64);
+        for (t, dist) in &track[track.len() - n..] {
+            buf.put_u64_le(*t);
+            for &v in dist {
+                buf.put_f64_le(v);
+            }
+        }
+    }
+
+    // --- Factor-store reconciliation. ---
+    let (sf_removed, sf_appended) = store_diff(&mark.sf_ts, sf_store);
+    wr_store_diff(&mut buf, &sf_removed, &sf_appended);
+    let (sp_removed, sp_appended) = store_diff(&mark.sp_ts, sp_store);
+    wr_store_diff(&mut buf, &sp_removed, &sp_appended);
+
+    Ok(Some(CheckpointDelta {
+        bytes: buf.freeze(),
+    }))
+}
+
+/// Registers the current state as a base mark. Called by the engine with
+/// the queue drained and the state lock held.
+pub(crate) fn register_base(state: &mut EngineState) -> u64 {
+    let EngineState {
+        sf_store,
+        sp_store,
+        tracker,
+        ..
+    } = state;
+    tracker.register_mark(sf_store, sp_store)
+}
+
+// ---------------------------------------------------------------------
+// Apply
+// ---------------------------------------------------------------------
+
+enum WindowEntry {
+    Inline(DenseMatrix),
+    Ref(u64),
+}
+
+/// One snapshot-store diff: removed timestamps plus appended
+/// `(timestamp, encoded matrix)` pairs.
+type StoreDiff = (Vec<u64>, Vec<(u64, Bytes)>);
+
+/// Per-user factor appends decoded from a delta section: each touched
+/// user with their `(step-or-timestamp, row)` entries.
+type UserRowAppends<T> = Vec<(usize, Vec<(T, Vec<f64>)>)>;
+
+fn rd_store_diff(b: &mut Bytes) -> Result<StoreDiff, TgsError> {
+    let removed_n = rd_count(b, 8, "store removed count")?;
+    let mut removed = Vec::with_capacity(removed_n);
+    for _ in 0..removed_n {
+        removed.push(rd_u64(b, "store removed timestamp")?);
+    }
+    let appended_n = rd_count(b, 16, "store appended count")?;
+    let mut appended = Vec::with_capacity(appended_n);
+    for _ in 0..appended_n {
+        let t = rd_u64(b, "store appended timestamp")?;
+        let len = rd_count(b, 1, "store appended length")?;
+        let mut raw = vec![0u8; len];
+        b.copy_to_slice(&mut raw);
+        appended.push((t, Bytes::from(raw)));
+    }
+    Ok((removed, appended))
+}
+
+fn reconcile(store: &mut SnapshotStore, removed: Vec<u64>, appended: Vec<(u64, Bytes)>) {
+    // Removals first: the surviving base entries keep their insertion
+    // order, then appends land behind them — matching the live store's
+    // FIFO history, so a later delta's diff lines up again.
+    for t in removed {
+        store.remove(t);
+    }
+    for (t, bytes) in appended {
+        store.push_encoded(t, bytes);
+    }
+}
+
+/// Folds `delta` into `base`, returning the full checkpoint of the
+/// delta's tip. Byte-identical to the checkpoint the source engine
+/// writes at that tip: the base is decoded, edited at the state level,
+/// and re-encoded through the same deterministic full encoder.
+pub fn apply_delta(
+    base: &EngineCheckpoint,
+    delta: &CheckpointDelta,
+) -> Result<EngineCheckpoint, TgsError> {
+    let (shared, solver, mut state) = checkpoint::decode(base)?;
+    let k = shared.config.k;
+    let base_state = solver.export_state();
+
+    let mut b = delta.bytes.clone();
+    if b.remaining() < MAGIC.len() {
+        return Err(corrupt("magic header"));
+    }
+    let mut magic = [0u8; 8];
+    b.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(corrupt(
+            "unrecognized magic header (not a tgs delta, or a newer format version)",
+        ));
+    }
+    let _base_id = rd_u64(&mut b, "base id")?;
+    let _new_id = rd_u64(&mut b, "new id")?;
+    let delta_k = rd_usize(&mut b, "k")?;
+    if delta_k != k {
+        return Err(corrupt("class count disagrees with the base checkpoint"));
+    }
+    let steps = rd_u64(&mut b, "solver steps")?;
+    if steps < base_state.steps {
+        return Err(corrupt("solver steps regress from the base checkpoint"));
+    }
+    let history_step = rd_u64(&mut b, "history step")? as i64;
+    if history_step < base_state.history_step {
+        return Err(corrupt("history step regresses from the base checkpoint"));
+    }
+
+    // --- Parse everything before mutating (truncation can't half-apply). ---
+    let window_len = rd_count(&mut b, 9, "sf window length")?;
+    let mut window_entries = Vec::with_capacity(window_len);
+    for _ in 0..window_len {
+        match rd_u8(&mut b, "sf window entry tag")? {
+            0 => {
+                let len = rd_count(&mut b, 1, "sf window snapshot")?;
+                let mut raw = vec![0u8; len];
+                b.copy_to_slice(&mut raw);
+                let m =
+                    decode_matrix(Bytes::from(raw)).ok_or_else(|| corrupt("sf window snapshot"))?;
+                window_entries.push(WindowEntry::Inline(m));
+            }
+            1 => window_entries.push(WindowEntry::Ref(rd_u64(&mut b, "sf window reference")?)),
+            _ => return Err(corrupt("sf window entry tag")),
+        }
+    }
+    let touched_n = rd_count(&mut b, 16, "touched user count")?;
+    let mut touched_rows: UserRowAppends<i64> = Vec::with_capacity(touched_n);
+    for _ in 0..touched_n {
+        let user = rd_usize(&mut b, "touched user id")?;
+        let entry_count = rd_count(&mut b, 8 * (k + 1), "touched entry count")?;
+        let mut entries = Vec::with_capacity(entry_count);
+        for _ in 0..entry_count {
+            let step = rd_u64(&mut b, "touched entry step")? as i64;
+            let mut row = Vec::with_capacity(k);
+            for _ in 0..k {
+                row.push(rd_f64(&mut b, "touched entry value")?);
+            }
+            entries.push((step, row));
+        }
+        touched_rows.push((user, entries));
+    }
+    let timeline_n = rd_count(&mut b, 8 * (7 + 2 * k) + 1, "timeline entry count")?;
+    let mut new_entries: Vec<TimelineEntry> = Vec::with_capacity(timeline_n);
+    for _ in 0..timeline_n {
+        new_entries.push(rd_timeline_entry(&mut b, k)?);
+    }
+    let track_n = rd_count(&mut b, 16, "track user count")?;
+    let mut track_appends: UserRowAppends<u64> = Vec::with_capacity(track_n);
+    for _ in 0..track_n {
+        let user = rd_usize(&mut b, "track user id")?;
+        let obs_count = rd_count(&mut b, 8 * (k + 1), "track append count")?;
+        let mut obs = Vec::with_capacity(obs_count);
+        for _ in 0..obs_count {
+            let t = rd_u64(&mut b, "track append timestamp")?;
+            let mut dist = Vec::with_capacity(k);
+            for _ in 0..k {
+                dist.push(rd_f64(&mut b, "track append value")?);
+            }
+            obs.push((t, dist));
+        }
+        track_appends.push((user, obs));
+    }
+    let (sf_removed, sf_appended) = rd_store_diff(&mut b)?;
+    let (sp_removed, sp_appended) = rd_store_diff(&mut b)?;
+    if b.remaining() != 0 {
+        return Err(corrupt("trailing bytes after the final field"));
+    }
+
+    // --- Stores first: the window refs resolve against the result. ---
+    reconcile(&mut state.sf_store, sf_removed, sf_appended);
+    reconcile(&mut state.sp_store, sp_removed, sp_appended);
+
+    // --- Timeline: strictly new entries (the stream is append-only). ---
+    for entry in new_entries {
+        let t = entry.timestamp;
+        if state.timeline.insert(t, entry).is_some() {
+            return Err(corrupt("delta re-adds a timeline timestamp the base holds"));
+        }
+    }
+
+    // --- Track appends extend (or start) each touched user's list. ---
+    for (user, obs) in track_appends {
+        state.user_track.entry(user).or_default().extend(obs);
+    }
+
+    // --- Per-user history: touched users are replaced wholesale; the
+    // rest replay the engine's horizon pruning. Pruning horizons are
+    // monotone in the step counter, so pruning untouched users once at
+    // the final horizon equals pruning them step by step (entries are
+    // newest-first, so the oldest candidates pop from the back). ---
+    let touched_set: BTreeSet<usize> = touched_rows.iter().map(|(u, _)| *u).collect();
+    let mut rows: BTreeMap<usize, Vec<(i64, Vec<f64>)>> =
+        base_state.history_rows.into_iter().collect();
+    for (user, entries) in touched_rows {
+        if entries.is_empty() {
+            return Err(corrupt("touched user with an empty history row"));
+        }
+        rows.insert(user, entries);
+    }
+    let horizon = history_step - shared.config.window.saturating_sub(1) as i64;
+    for (user, hist) in rows.iter_mut() {
+        if touched_set.contains(user) {
+            continue;
+        }
+        while hist.len() > 1 && hist.last().is_some_and(|(step, _)| *step <= horizon) {
+            hist.pop();
+        }
+    }
+
+    // --- Resolve the window and rebuild the solver (validates shapes). ---
+    let mut sf_window = Vec::with_capacity(window_entries.len());
+    for entry in window_entries {
+        let sf = match entry {
+            WindowEntry::Inline(sf) => sf,
+            WindowEntry::Ref(t) => state.sf_store.get(t).ok_or_else(|| {
+                corrupt("sf window references a timestamp the reconciled store lacks")
+            })?,
+        };
+        if sf.shape() != (shared.vocab.len(), k) {
+            return Err(corrupt("sf window snapshot shape disagrees with the base"));
+        }
+        sf_window.push(sf);
+    }
+    let solver = OnlineSolver::from_state(
+        shared.config.clone(),
+        OnlineSolverState {
+            steps,
+            sf_window,
+            history_step,
+            history_rows: rows.into_iter().collect(),
+        },
+    )?;
+
+    Ok(checkpoint::encode(&shared, &solver, &state))
+}
+
+// ---------------------------------------------------------------------
+// Bounded chains with automatic compaction
+// ---------------------------------------------------------------------
+
+/// A base checkpoint plus the deltas recorded on top of it, with
+/// automatic compaction: once the chain's cumulative delta bytes exceed
+/// the base's size, the chain folds into a fresh materialized base (at
+/// that point a full snapshot is cheaper than the chain it replaces).
+/// This is the client-side half of delta checkpointing — the supervisor
+/// and the CLI both hold one per source.
+#[derive(Debug, Clone)]
+pub struct DeltaChain {
+    base_id: u64,
+    base: EngineCheckpoint,
+    deltas: Vec<CheckpointDelta>,
+    delta_bytes: usize,
+}
+
+impl DeltaChain {
+    /// Starts a chain at a freshly taken base.
+    pub fn new(base_id: u64, base: EngineCheckpoint) -> Self {
+        Self {
+            base_id,
+            base,
+            deltas: Vec::new(),
+            delta_bytes: 0,
+        }
+    }
+
+    /// The mark id the next delta must name as its base — the last
+    /// delta's `new_id`, or the base's own id on a fresh/compacted chain.
+    pub fn tip(&self) -> Result<u64, TgsError> {
+        match self.deltas.last() {
+            Some(d) => d.new_id(),
+            None => Ok(self.base_id),
+        }
+    }
+
+    /// The chain's base checkpoint (post-compaction: the materialized
+    /// fold of every delta so far).
+    pub fn base(&self) -> &EngineCheckpoint {
+        &self.base
+    }
+
+    /// The deltas not yet folded into the base.
+    pub fn deltas(&self) -> &[CheckpointDelta] {
+        &self.deltas
+    }
+
+    /// Cumulative serialized size of the retained deltas.
+    pub fn delta_bytes(&self) -> usize {
+        self.delta_bytes
+    }
+
+    /// Appends a delta (which must extend the current tip), compacting
+    /// if the chain cost now exceeds a full snapshot. Returns whether a
+    /// compaction ran.
+    pub fn push(&mut self, delta: CheckpointDelta) -> Result<bool, TgsError> {
+        let tip = self.tip()?;
+        let base_id = delta.base_id()?;
+        if base_id != tip {
+            return Err(TgsError::invalid_argument(format!(
+                "delta extends mark {base_id}, but the chain tip is {tip}"
+            )));
+        }
+        self.delta_bytes += delta.len();
+        self.deltas.push(delta);
+        if self.delta_bytes > self.base.len() {
+            let tip = self.tip()?;
+            let materialized = self.materialize()?;
+            self.base_id = tip;
+            self.base = materialized;
+            self.deltas.clear();
+            self.delta_bytes = 0;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Folds every retained delta into the base: the full checkpoint at
+    /// the chain's tip, byte-identical to what the source engine would
+    /// write there.
+    pub fn materialize(&self) -> Result<EngineCheckpoint, TgsError> {
+        let mut current = self.base.clone();
+        for delta in &self.deltas {
+            current = apply_delta(&current, delta)?;
+        }
+        Ok(current)
+    }
+
+    /// Restarts the chain at a fresh base (the fallback when
+    /// `delta_since` reports the old tip unavailable).
+    pub fn reset(&mut self, base_id: u64, base: EngineCheckpoint) {
+        self.base_id = base_id;
+        self.base = base;
+        self.deltas.clear();
+        self.delta_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EngineBuilder, EngineSnapshot, SentimentEngine};
+
+    fn corpus() -> tgs_data::Corpus {
+        tgs_data::generate(&tgs_data::GeneratorConfig {
+            num_users: 24,
+            total_tweets: 200,
+            num_days: 10,
+            ..Default::default()
+        })
+    }
+
+    fn engine_over(c: &tgs_data::Corpus) -> SentimentEngine {
+        EngineBuilder::new().k(3).max_iters(6).fit(c).unwrap()
+    }
+
+    #[test]
+    fn delta_chain_matches_full_checkpoint_at_every_step() {
+        let c = corpus();
+        let engine = engine_over(&c);
+        let windows = tgs_data::day_windows(c.num_days, 1);
+        // Warm up two steps, then base.
+        for &(lo, hi) in &windows[..2] {
+            engine
+                .ingest(EngineSnapshot::from_corpus_window(&c, lo, hi))
+                .unwrap();
+        }
+        let (base_id, base) = engine.checkpoint_base().unwrap();
+        assert_eq!(
+            base.as_bytes(),
+            engine.checkpoint().unwrap().as_bytes(),
+            "a base is byte-identical to a plain checkpoint"
+        );
+        let mut chain = DeltaChain::new(base_id, base);
+        for &(lo, hi) in &windows[2..] {
+            engine
+                .ingest(EngineSnapshot::from_corpus_window(&c, lo, hi))
+                .unwrap();
+            let delta = engine
+                .delta_since(chain.tip().unwrap())
+                .unwrap()
+                .expect("live mark must serve a delta");
+            chain.push(delta).unwrap();
+            assert_eq!(
+                chain.materialize().unwrap().as_bytes(),
+                engine.checkpoint().unwrap().as_bytes(),
+                "base + deltas must be byte-identical to the full checkpoint"
+            );
+        }
+        assert!(chain.deltas().len() <= windows.len());
+    }
+
+    #[test]
+    fn empty_delta_round_trips_to_the_base() {
+        let c = corpus();
+        let engine = engine_over(&c);
+        engine
+            .ingest(EngineSnapshot::from_corpus_window(&c, 0, c.num_days))
+            .unwrap();
+        let (base_id, base) = engine.checkpoint_base().unwrap();
+        let delta = engine.delta_since(base_id).unwrap().unwrap();
+        assert!(
+            delta.len() < base.len() / 4,
+            "an idle delta must be tiny: {} vs base {}",
+            delta.len(),
+            base.len()
+        );
+        let applied = SentimentEngine::apply_delta(&base, &delta).unwrap();
+        assert_eq!(applied.as_bytes(), base.as_bytes());
+    }
+
+    #[test]
+    fn unknown_or_invalidated_marks_are_unavailable_not_errors() {
+        let c = corpus();
+        let engine = engine_over(&c);
+        engine
+            .ingest(EngineSnapshot::from_corpus_window(&c, 0, c.num_days))
+            .unwrap();
+        engine.flush().unwrap();
+        assert!(engine.delta_since(99).unwrap().is_none(), "unknown mark");
+        let (base_id, _) = engine.checkpoint_base().unwrap();
+        // A structural rewrite (user migration) invalidates live marks.
+        let _ = engine.export_users_bytes(0, usize::MAX);
+        assert!(
+            engine.delta_since(base_id).unwrap().is_none(),
+            "epoch bump must invalidate the mark"
+        );
+    }
+
+    #[test]
+    fn marks_age_out_beyond_the_retention_window() {
+        let c = corpus();
+        let engine = engine_over(&c);
+        engine
+            .ingest(EngineSnapshot::from_corpus_window(&c, 0, c.num_days))
+            .unwrap();
+        let (first_id, _) = engine.checkpoint_base().unwrap();
+        for _ in 0..MAX_MARKS {
+            engine.checkpoint_base().unwrap();
+        }
+        assert!(
+            engine.delta_since(first_id).unwrap().is_none(),
+            "aged-out mark must be unavailable"
+        );
+    }
+
+    #[test]
+    fn chain_compacts_once_deltas_outgrow_the_base() {
+        let c = corpus();
+        let engine = engine_over(&c);
+        let windows = tgs_data::day_windows(c.num_days, 1);
+        engine
+            .ingest(EngineSnapshot::from_corpus_window(
+                &c,
+                windows[0].0,
+                windows[0].1,
+            ))
+            .unwrap();
+        let (base_id, base) = engine.checkpoint_base().unwrap();
+        let mut chain = DeltaChain::new(base_id, base);
+        let mut compacted = false;
+        for &(lo, hi) in &windows[1..] {
+            engine
+                .ingest(EngineSnapshot::from_corpus_window(&c, lo, hi))
+                .unwrap();
+            let delta = engine.delta_since(chain.tip().unwrap()).unwrap().unwrap();
+            compacted |= chain.push(delta).unwrap();
+        }
+        // A tiny first base forces growth past it quickly; whether or not
+        // this corpus triggers it, the invariant must hold:
+        assert!(chain.delta_bytes() <= chain.base().len());
+        // And after any compaction the chain still materializes exactly.
+        assert_eq!(
+            chain.materialize().unwrap().as_bytes(),
+            engine.checkpoint().unwrap().as_bytes()
+        );
+        let _ = compacted;
+    }
+
+    #[test]
+    fn out_of_order_chain_pushes_are_rejected() {
+        let c = corpus();
+        let engine = engine_over(&c);
+        let windows = tgs_data::day_windows(c.num_days, 2);
+        engine
+            .ingest(EngineSnapshot::from_corpus_window(
+                &c,
+                windows[0].0,
+                windows[0].1,
+            ))
+            .unwrap();
+        let (base_id, base) = engine.checkpoint_base().unwrap();
+        engine
+            .ingest(EngineSnapshot::from_corpus_window(
+                &c,
+                windows[1].0,
+                windows[1].1,
+            ))
+            .unwrap();
+        let d1 = engine.delta_since(base_id).unwrap().unwrap();
+        engine
+            .ingest(EngineSnapshot::from_corpus_window(
+                &c,
+                windows[2].0,
+                windows[2].1,
+            ))
+            .unwrap();
+        let d2 = engine.delta_since(d1.new_id().unwrap()).unwrap().unwrap();
+        let mut chain = DeltaChain::new(base_id, base);
+        assert!(chain.push(d2.clone()).is_err(), "gap in the chain");
+        chain.push(d1).unwrap();
+        chain.push(d2).unwrap();
+    }
+
+    #[test]
+    fn corrupt_deltas_are_rejected_not_panicked() {
+        let c = corpus();
+        let engine = engine_over(&c);
+        let windows = tgs_data::day_windows(c.num_days, 2);
+        engine
+            .ingest(EngineSnapshot::from_corpus_window(
+                &c,
+                windows[0].0,
+                windows[0].1,
+            ))
+            .unwrap();
+        let (base_id, base) = engine.checkpoint_base().unwrap();
+        engine
+            .ingest(EngineSnapshot::from_corpus_window(
+                &c,
+                windows[1].0,
+                windows[1].1,
+            ))
+            .unwrap();
+        let delta = engine.delta_since(base_id).unwrap().unwrap();
+        let full = delta.as_bytes().to_vec();
+        for cut in (0..full.len()).step_by(131).chain([full.len() - 1]) {
+            let bad = CheckpointDelta::from_bytes(full[..cut].to_vec());
+            assert!(
+                apply_delta(&base, &bad).is_err(),
+                "prefix of {cut} bytes applied"
+            );
+        }
+        assert!(apply_delta(&base, &CheckpointDelta::from_bytes(b"garbage!".to_vec())).is_err());
+        assert!(apply_delta(&base, &delta).is_ok());
+    }
+
+    #[test]
+    fn restored_engines_serve_deltas_from_fresh_marks() {
+        let c = corpus();
+        let engine = engine_over(&c);
+        let windows = tgs_data::day_windows(c.num_days, 2);
+        engine
+            .ingest(EngineSnapshot::from_corpus_window(
+                &c,
+                windows[0].0,
+                windows[0].1,
+            ))
+            .unwrap();
+        let ckpt = engine.checkpoint().unwrap();
+        let restored = SentimentEngine::restore(&ckpt).unwrap();
+        let (base_id, base) = restored.checkpoint_base().unwrap();
+        restored
+            .ingest(EngineSnapshot::from_corpus_window(
+                &c,
+                windows[1].0,
+                windows[1].1,
+            ))
+            .unwrap();
+        let delta = restored.delta_since(base_id).unwrap().unwrap();
+        assert_eq!(
+            apply_delta(&base, &delta).unwrap().as_bytes(),
+            restored.checkpoint().unwrap().as_bytes()
+        );
+    }
+}

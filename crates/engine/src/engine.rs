@@ -48,6 +48,9 @@ pub(crate) struct EngineState {
     pub sp_store: SnapshotStore,
     /// Ingest failures not yet surfaced through [`SentimentEngine::flush`].
     pub failures: VecDeque<(u64, TgsError)>,
+    /// Dirty-state log behind delta checkpoints (see [`crate::delta`]).
+    /// Not checkpointed: marks are engine-local, like the metrics.
+    pub tracker: crate::delta::DeltaTracker,
 }
 
 impl EngineState {
@@ -58,6 +61,7 @@ impl EngineState {
             sf_store: SnapshotStore::new(store_budget_bytes),
             sp_store: SnapshotStore::new(store_budget_bytes),
             failures: VecDeque::new(),
+            tracker: crate::delta::DeltaTracker::default(),
         }
     }
 }
@@ -84,13 +88,14 @@ pub(crate) struct EngineMetrics {
     ingested: AtomicU64,
     dropped_capacity: AtomicU64,
     last_step_ns: AtomicU64,
-    /// Per-bucket step-latency counts (log2-ns; see [`LatencyHistogram`]).
+    /// Per-bucket step-latency counts (log-linear ns; see
+    /// [`LatencyHistogram`]).
     step_buckets: [AtomicU64; HIST_BUCKETS],
 }
 
 impl Default for EngineMetrics {
-    // Manual because `[AtomicU64; 40]` has no `Default` (the standard
-    // library stops deriving array impls at length 32).
+    // Manual because `[AtomicU64; HIST_BUCKETS]` has no `Default` (the
+    // standard library stops deriving array impls at length 32).
     fn default() -> Self {
         Self {
             queued: AtomicU64::new(0),
@@ -442,6 +447,46 @@ impl SentimentEngine {
         Ok(Self::start(shared, solver, state))
     }
 
+    /// Like [`SentimentEngine::checkpoint`], but also registers the
+    /// result as a *base* for delta checkpointing and returns its mark
+    /// id: subsequent [`SentimentEngine::delta_since`] calls against the
+    /// id (or any delta's `new_id` derived from it) encode only what
+    /// changed. Mark ids are engine-local and not persisted — a restored
+    /// engine starts fresh.
+    pub fn checkpoint_base(&self) -> Result<(u64, EngineCheckpoint), TgsError> {
+        self.flush()?;
+        let solver = self.solver.lock();
+        let mut state = self.state.lock();
+        let ckpt = checkpoint::encode(&self.shared, &solver, &state);
+        let id = crate::delta::register_base(&mut state);
+        Ok((id, ckpt))
+    }
+
+    /// Drains the queue and encodes everything that changed since the
+    /// mark `base_id` as a [`crate::CheckpointDelta`], registering the
+    /// tip as a new mark (so chains extend delta-by-delta). `Ok(None)`
+    /// means the mark cannot serve a delta — unknown, aged out, or
+    /// invalidated by a structural rewrite (user migration / absorb) —
+    /// and the caller should take a fresh
+    /// [`SentimentEngine::checkpoint_base`] instead.
+    pub fn delta_since(&self, base_id: u64) -> Result<Option<crate::CheckpointDelta>, TgsError> {
+        self.flush()?;
+        let solver = self.solver.lock();
+        let mut state = self.state.lock();
+        crate::delta::encode_delta(&self.shared, &solver, &mut state, base_id)
+    }
+
+    /// Folds a delta into its base checkpoint, producing the full
+    /// checkpoint of the delta's tip — byte-identical to what the source
+    /// engine's [`SentimentEngine::checkpoint`] returned there. Pure:
+    /// needs no running engine.
+    pub fn apply_delta(
+        base: &EngineCheckpoint,
+        delta: &crate::CheckpointDelta,
+    ) -> Result<EngineCheckpoint, TgsError> {
+        crate::delta::apply_delta(base, delta)
+    }
+
     /// Drains the queue and stops the worker. Equivalent to dropping the
     /// engine, but surfaces pending ingest failures instead of discarding
     /// them.
@@ -520,6 +565,9 @@ impl SentimentEngine {
                 (u, rows)
             })
             .collect();
+        // A migration rewrites state outside the append-only stream:
+        // existing delta marks can no longer describe it.
+        st.tracker.bump_epoch();
         let solver = self.solver.lock().export_users(lo, hi);
         UserRangeState { track, solver }
     }
@@ -595,6 +643,8 @@ impl SentimentEngine {
         for (user, rows) in track {
             st.user_track.insert(user, rows);
         }
+        // Same structural-rewrite rule as the export side.
+        st.tracker.bump_epoch();
         Ok(())
     }
 
@@ -859,6 +909,7 @@ fn process(
     };
     let mut st = state.lock();
     st.timeline.insert(timestamp, entry);
+    let mut touched = Vec::with_capacity(user_ids.len() - ghost_rows.len());
     for (row, &user) in user_ids.iter().enumerate() {
         if ghost_rows.binary_search(&row).is_ok() {
             continue;
@@ -869,8 +920,10 @@ fn process(
             .entry(user)
             .or_default()
             .push((timestamp, su_dist.row(row).to_vec()));
+        touched.push(user);
     }
     st.sf_store.put(timestamp, &step.factors.sf);
     st.sp_store.put(timestamp, &step.factors.sp);
+    st.tracker.record_commit(timestamp, touched);
     Ok(())
 }

@@ -154,6 +154,16 @@ impl ShardTransport for FlakyShard {
         self.inner.checkpoint_section()
     }
 
+    fn checkpoint_base(&self) -> Result<(u64, Vec<u8>), TgsError> {
+        self.check()?;
+        self.inner.checkpoint_base()
+    }
+
+    fn delta_since(&self, base_id: u64) -> Result<Option<Vec<u8>>, TgsError> {
+        self.check()?;
+        self.inner.delta_since(base_id)
+    }
+
     fn export_users(&self, lo: usize, hi: usize) -> Result<Vec<u8>, TgsError> {
         self.check()?;
         self.inner.export_users(lo, hi)

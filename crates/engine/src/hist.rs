@@ -1,26 +1,40 @@
-//! Fixed-bucket log2 latency histogram — the step-latency surface behind
-//! [`crate::EngineStats`].
+//! Fixed-bucket log-linear latency histogram — the step-latency surface
+//! behind [`crate::EngineStats`].
 //!
 //! A histogram because a single `last_step_ns` gauge cannot answer the
-//! question a soak run asks ("what did the *slow* steps look like?"), and
-//! log2 buckets because they cover nanoseconds-to-minutes in a fixed,
-//! mergeable 40-slot array: shard aggregation is an element-wise sum, and
-//! quantiles are a cumulative walk with at most 2× relative error —
-//! plenty for p50/p99/p999 monitoring.
+//! question a soak run asks ("what did the *slow* steps look like?").
+//! Log-linear (HdrHistogram-style) rather than plain log2 buckets: each
+//! power-of-two octave is split into `SUB_COUNT` equal sub-buckets, so
+//! the quantile walk's relative error drops from 2× to 1/8 = 12.5%.
+//! Plain log2 buckets saturated in practice — every soak configuration
+//! reported the identical p50/p99 ceilings because whole milliseconds
+//! of spread landed in one bucket. The array stays fixed-size and
+//! mergeable: shard aggregation is still an element-wise sum.
 
-/// Number of power-of-two buckets. Bucket `i` counts samples whose
-/// nanosecond value `v` satisfies `2^i <= v < 2^(i+1)` (bucket 0 also
-/// takes `v = 0`), so the last bucket's ceiling is `2^40 - 1` ns ≈ 18
-/// minutes — anything slower clamps into it.
-pub const HIST_BUCKETS: usize = 40;
+/// Sub-bucket resolution: each octave is split into `2^SUB_BITS` linear
+/// slices.
+const SUB_BITS: u32 = 3;
+
+/// Sub-buckets per octave (8): the quantile ceiling is at most 12.5%
+/// above the true sample value.
+const SUB_COUNT: usize = 1 << SUB_BITS;
+
+/// Octaves covered above the linear range, matching the old log2
+/// layout's span: the top bucket's ceiling stays `2^40 - 1` ns ≈ 18
+/// minutes, anything slower clamps into it.
+const OCTAVES: usize = 40 - SUB_BITS as usize;
+
+/// Total bucket count: values below `2^SUB_BITS` get one exact (width-1)
+/// bucket each, then `OCTAVES` octaves × `SUB_COUNT` sub-buckets.
+pub const HIST_BUCKETS: usize = SUB_COUNT + OCTAVES * SUB_COUNT;
 
 /// A point-in-time latency histogram plus a `shed` counter for work that
 /// never reached the solver (snapshots rejected by a full queue — they
 /// have no latency to record, but a load test must still see them).
 ///
-/// `[u64; 40]` has no `Default` impl (the standard library only provides
-/// one up to length 32), hence the manual implementations below —
-/// `EngineStats` keeps its plain `Default` derive through them.
+/// `[u64; HIST_BUCKETS]` has no `Default` impl (the standard library
+/// only provides one up to length 32), hence the manual implementations
+/// below — `EngineStats` keeps its plain `Default` derive through them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyHistogram {
     buckets: [u64; HIST_BUCKETS],
@@ -55,19 +69,33 @@ impl LatencyHistogram {
         h
     }
 
-    /// The bucket index a nanosecond sample lands in.
+    /// The bucket index a nanosecond sample lands in: exact below
+    /// `SUB_COUNT`, then octave `o = floor(log2 ns)` sliced into
+    /// `SUB_COUNT` equal sub-buckets by the bits just under the
+    /// leading one.
     pub fn bucket_index(ns: u64) -> usize {
-        if ns <= 1 {
-            0
-        } else {
-            (63 - ns.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+        if ns < SUB_COUNT as u64 {
+            return ns as usize;
         }
+        let o = 63 - ns.leading_zeros() as usize;
+        let g = o - SUB_BITS as usize;
+        if g >= OCTAVES {
+            return HIST_BUCKETS - 1;
+        }
+        let sub = (ns >> g) as usize - SUB_COUNT;
+        SUB_COUNT + g * SUB_COUNT + sub
     }
 
     /// The inclusive upper bound (in nanoseconds) of bucket `i` — what
     /// the quantile accessors report.
     pub fn bucket_ceiling(i: usize) -> u64 {
-        (1u64 << (i.min(HIST_BUCKETS - 1) + 1)) - 1
+        let i = i.min(HIST_BUCKETS - 1);
+        if i < SUB_COUNT {
+            return i as u64;
+        }
+        let g = (i - SUB_COUNT) / SUB_COUNT;
+        let sub = (i - SUB_COUNT) % SUB_COUNT;
+        (((SUB_COUNT + sub + 1) as u64) << g) - 1
     }
 
     /// Records one step-latency sample.
@@ -163,29 +191,72 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucket_index_is_log2_with_zero_clamped() {
-        assert_eq!(LatencyHistogram::bucket_index(0), 0);
-        assert_eq!(LatencyHistogram::bucket_index(1), 0);
-        assert_eq!(LatencyHistogram::bucket_index(2), 1);
-        assert_eq!(LatencyHistogram::bucket_index(3), 1);
-        assert_eq!(LatencyHistogram::bucket_index(4), 2);
-        assert_eq!(LatencyHistogram::bucket_index(1 << 39), HIST_BUCKETS - 1);
+    fn bucket_index_is_exact_below_the_linear_cutoff() {
+        for ns in 0..SUB_COUNT as u64 {
+            assert_eq!(LatencyHistogram::bucket_index(ns), ns as usize);
+            assert_eq!(LatencyHistogram::bucket_ceiling(ns as usize), ns);
+        }
+        // First log-linear bucket: exactly [8, 8].
+        assert_eq!(LatencyHistogram::bucket_index(8), SUB_COUNT);
+        assert_eq!(LatencyHistogram::bucket_ceiling(SUB_COUNT), 8);
+        // Top of the covered range and beyond clamp into the last bucket.
+        assert_eq!(
+            LatencyHistogram::bucket_index((1 << 40) - 1),
+            HIST_BUCKETS - 1
+        );
+        assert_eq!(LatencyHistogram::bucket_index(1 << 40), HIST_BUCKETS - 1);
         assert_eq!(LatencyHistogram::bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(
+            LatencyHistogram::bucket_ceiling(HIST_BUCKETS - 1),
+            (1 << 40) - 1
+        );
+    }
+
+    #[test]
+    fn sub_buckets_bound_the_ceiling_error_to_an_eighth() {
+        // The saturation the log2 layout had: milliseconds of spread in
+        // one bucket. Log-linear keeps every reported ceiling within
+        // 12.5% of the true sample.
+        for &ns in &[
+            9u64,
+            100,
+            1_000,
+            65_000,
+            1_000_000,
+            2_100_000,
+            3_900_000,
+            8_300_000,
+            123_456_789,
+        ] {
+            let ceiling = LatencyHistogram::bucket_ceiling(LatencyHistogram::bucket_index(ns));
+            assert!(ceiling >= ns, "ceiling {ceiling} below sample {ns}");
+            assert!(
+                (ceiling as f64) < ns as f64 * (1.0 + 1.0 / SUB_COUNT as f64),
+                "ceiling {ceiling} more than 12.5% above sample {ns}"
+            );
+        }
+        // Same octave, different sub-buckets: 2.1ms and 3.9ms no longer
+        // report the identical quantile ceiling.
+        let a = LatencyHistogram::bucket_index(2_100_000);
+        let b = LatencyHistogram::bucket_index(3_900_000);
+        assert_ne!(a, b);
     }
 
     #[test]
     fn quantiles_walk_the_cumulative_counts() {
+        let ceil = |ns| LatencyHistogram::bucket_ceiling(LatencyHistogram::bucket_index(ns));
         let mut h = LatencyHistogram::new();
         for _ in 0..98 {
-            h.record(1_000); // bucket 9, ceiling 1023
+            h.record(1_000); // ceiling 1023
         }
-        h.record(1 << 20); // bucket 20
-        h.record(1 << 30); // bucket 30
+        h.record(1 << 20);
+        h.record(1 << 30);
         assert_eq!(h.count(), 100);
-        assert_eq!(h.p50(), LatencyHistogram::bucket_ceiling(9));
-        assert_eq!(h.p99(), LatencyHistogram::bucket_ceiling(20));
-        assert_eq!(h.p999(), LatencyHistogram::bucket_ceiling(30));
-        assert_eq!(h.quantile(1.0), LatencyHistogram::bucket_ceiling(30));
+        assert_eq!(h.p50(), ceil(1_000));
+        assert_eq!(h.p50(), 1023);
+        assert_eq!(h.p99(), ceil(1 << 20));
+        assert_eq!(h.p999(), ceil(1 << 30));
+        assert_eq!(h.quantile(1.0), ceil(1 << 30));
     }
 
     #[test]
@@ -201,10 +272,7 @@ mod tests {
         assert_eq!(h.quantile_opt(0.999), None);
         let mut one = LatencyHistogram::new();
         one.record(1_000);
-        assert_eq!(
-            one.quantile_opt(0.5),
-            Some(LatencyHistogram::bucket_ceiling(9))
-        );
+        assert_eq!(one.quantile_opt(0.5), Some(1023));
     }
 
     #[test]

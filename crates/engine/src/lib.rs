@@ -44,6 +44,7 @@
 pub mod batch;
 pub mod builder;
 pub mod checkpoint;
+pub mod delta;
 mod engine;
 pub mod flaky;
 pub mod hist;
@@ -55,12 +56,14 @@ pub mod transport;
 pub use batch::{BatchPolicy, BatchingIngest, IngestSink};
 pub use builder::{EngineBuilder, DEFAULT_QUEUE_DEPTH, DEFAULT_STORE_BUDGET_BYTES};
 pub use checkpoint::EngineCheckpoint;
+pub use delta::{CheckpointDelta, DeltaChain};
 pub use engine::{EngineStats, SentimentEngine};
 pub use flaky::FlakyShard;
 pub use hist::{LatencyHistogram, HIST_BUCKETS};
 pub use query::{ClusterSummary, EngineQuery, TimelineEntry, UserSentiment};
 pub use sharded::{
-    Coverage, Partial, RecoveryCounters, ShardLoad, ShardedCheckpoint, ShardedEngine, ShardedQuery,
+    Coverage, FleetTips, Partial, RecoveryCounters, ShardLoad, ShardedCheckpoint, ShardedDelta,
+    ShardedEngine, ShardedQuery,
 };
 pub use snapshot::{DocContent, EngineDoc, EngineRetweet, EngineSnapshot};
 pub use transport::{exported_users_len, LocalShard, ShardTransport};

@@ -117,6 +117,168 @@ impl ShardedCheckpoint {
     }
 }
 
+/// Magic + format version prefix of a serialized multi-shard delta.
+const SHARD_DELTA_MAGIC: &[u8; 8] = b"TGSSDL\x00\x01";
+
+/// The delta-checkpoint tips of a whole fleet: the partition-map
+/// fingerprint the tips were taken under plus one worker-local mark id
+/// per slot. Feed the tips back to [`ShardedEngine::delta_since`] to
+/// get everything that changed since; a rebalance in between changes
+/// the fingerprint and the call reports the tips unavailable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetTips {
+    /// Fingerprint of the partition map the tips were taken under.
+    pub fingerprint: u64,
+    /// One worker-local mark id per shard slot, in shard order.
+    pub slots: Vec<u64>,
+}
+
+impl FleetTips {
+    /// A content-derived 64-bit key for these tips (splitmix-style
+    /// mixing over the fingerprint and slot ids). Both ends of a wire
+    /// protocol can derive the same key from the same tips, so a router
+    /// can hand it out as a fleet base id and a client holding a
+    /// [`ShardedDelta`] can recompute its next anchor from
+    /// [`ShardedDelta::tips`] without a second round trip.
+    pub fn key(&self) -> u64 {
+        fn mix(mut z: u64) -> u64 {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut acc = mix(self.fingerprint ^ (self.slots.len() as u64).rotate_left(17));
+        for (i, &slot) in self.slots.iter().enumerate() {
+            acc = mix(acc ^ slot.wrapping_add(i as u64).rotate_left(23));
+        }
+        acc
+    }
+}
+
+/// A serialized multi-shard incremental checkpoint: the same validated
+/// topology header as [`ShardedCheckpoint`], followed by one section
+/// per slot — a single-engine [`crate::CheckpointDelta`] where the
+/// worker could serve one, or a full checkpoint-base fallback where it
+/// could not (e.g. a freshly respawned slot). Coverage semantics match
+/// full fleet checkpoints: every slot is present or the encode fails.
+#[derive(Debug, Clone)]
+pub struct ShardedDelta {
+    bytes: Bytes,
+}
+
+impl ShardedDelta {
+    /// Wraps previously serialized bytes (validation happens at
+    /// [`ShardedEngine::apply_delta`]).
+    pub fn from_bytes(data: Vec<u8>) -> Self {
+        Self {
+            bytes: Bytes::from(data),
+        }
+    }
+
+    /// The serialized byte stream.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.bytes.as_slice()
+    }
+
+    /// Serialized size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the delta holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// True when `data` carries the multi-shard delta magic.
+    pub fn sniff(data: &[u8]) -> bool {
+        data.starts_with(SHARD_DELTA_MAGIC)
+    }
+
+    /// The tips this delta advances the fleet to — the next
+    /// [`ShardedEngine::delta_since`] call takes these.
+    pub fn tips(&self) -> Result<FleetTips, TgsError> {
+        let (fingerprint, slots) = decode_delta_sections(&self.bytes)?;
+        Ok(FleetTips {
+            fingerprint,
+            slots: slots
+                .iter()
+                .map(|s| match s {
+                    DeltaSection::Delta(bytes) => {
+                        crate::CheckpointDelta::from_bytes(bytes.clone()).new_id()
+                    }
+                    DeltaSection::Base(id, _) => Ok(*id),
+                })
+                .collect::<Result<Vec<u64>, TgsError>>()?,
+        })
+    }
+}
+
+/// One slot's payload inside a [`ShardedDelta`].
+enum DeltaSection {
+    /// An incremental [`crate::CheckpointDelta`] byte stream.
+    Delta(Vec<u8>),
+    /// A full checkpoint-base fallback: the new mark id plus the whole
+    /// single-engine checkpoint section.
+    Base(u64, Vec<u8>),
+}
+
+/// Parses a multi-shard delta into its declared fingerprint and
+/// per-slot sections. The topology fields beyond the fingerprint are
+/// validated at apply time against the base checkpoint's header.
+fn decode_delta_sections(bytes: &Bytes) -> Result<(u64, Vec<DeltaSection>), TgsError> {
+    let mut b = bytes.clone();
+    if b.remaining() < SHARD_DELTA_MAGIC.len() {
+        return Err(corrupt("sharded delta magic header"));
+    }
+    let mut magic = [0u8; 8];
+    b.copy_to_slice(&mut magic);
+    if &magic != SHARD_DELTA_MAGIC {
+        return Err(TgsError::corrupt(
+            "unrecognized magic header (not a multi-shard tgs-engine delta)",
+        ));
+    }
+    let shards = usize::try_from(rd_u64(&mut b, "shard count")?)
+        .ok()
+        .filter(|&s| s >= 1 && s.saturating_mul(9) <= b.remaining())
+        .ok_or_else(|| corrupt("shard count"))?;
+    let fingerprint = rd_u64(&mut b, "partition fingerprint")?;
+    let mut sections = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        if b.remaining() < 1 {
+            return Err(corrupt("slot section tag"));
+        }
+        let mut tag = [0u8; 1];
+        b.copy_to_slice(&mut tag);
+        let base_id = match tag[0] {
+            1 => None,
+            0 => Some(rd_u64(&mut b, "slot base mark id")?),
+            _ => return Err(corrupt("slot section tag")),
+        };
+        let len = usize::try_from(rd_u64(&mut b, "slot section length")?)
+            .map_err(|_| corrupt("slot section length"))?;
+        if b.remaining() < len {
+            return Err(TgsError::corrupt(format!(
+                "slot {shard} section claims {len} bytes but only {} remain",
+                b.remaining()
+            )));
+        }
+        let mut raw = vec![0u8; len];
+        b.copy_to_slice(&mut raw);
+        sections.push(match base_id {
+            None => DeltaSection::Delta(raw),
+            Some(id) => DeltaSection::Base(id, raw),
+        });
+    }
+    if b.remaining() != 0 {
+        return Err(TgsError::corrupt(format!(
+            "{} trailing bytes after the final slot section",
+            b.remaining()
+        )));
+    }
+    Ok((fingerprint, sections))
+}
+
 fn corrupt(what: &str) -> TgsError {
     TgsError::corrupt(format!("truncated or malformed field: {what}"))
 }
@@ -234,6 +396,35 @@ fn decode_header(bytes: &Bytes) -> Result<ShardedHeader, TgsError> {
     })
 }
 
+/// Assembles per-shard sections under the deterministic v2 header —
+/// shared by full checkpoints, base checkpoints, and delta application,
+/// so a reassembled checkpoint is byte-identical to a directly taken
+/// one given equal sections and topology.
+fn assemble_sharded(
+    map: &PartitionMap,
+    ghost_mode: bool,
+    sections: &[Vec<u8>],
+) -> ShardedCheckpoint {
+    let mut buf = BytesMut::with_capacity(
+        64 + 8 * map.shards() + sections.iter().map(|s| s.len() + 8).sum::<usize>(),
+    );
+    buf.put_slice(SHARD_MAGIC_V2);
+    buf.put_u64_le(map.shards() as u64);
+    buf.put_u64_le(map.universe() as u64);
+    buf.put_slice(&[ghost_mode as u8]);
+    for &start in map.starts() {
+        buf.put_u64_le(start as u64);
+    }
+    buf.put_u64_le(map.fingerprint());
+    for section in sections {
+        buf.put_u64_le(section.len() as u64);
+        buf.put_slice(section);
+    }
+    ShardedCheckpoint {
+        bytes: buf.freeze(),
+    }
+}
+
 /// The mutable topology of the fleet: the partition map and one worker
 /// transport per shard, swapped atomically by a rebalance. Workers are
 /// location-agnostic [`ShardTransport`]s — in-process engines behind
@@ -256,6 +447,10 @@ pub struct RecoveryCounters {
     pub replayed_docs: AtomicU64,
     /// Fan-out queries answered with partial coverage.
     pub degraded_queries: AtomicU64,
+    /// Slot baselines refreshed incrementally (base + delta chain)
+    /// instead of through a full checkpoint section — the supervisor's
+    /// O(changes) refresh path.
+    pub delta_refreshes: AtomicU64,
     /// Last successfully committed ingest timestamp per worker, keyed
     /// by the transport's `Arc` data pointer (stable for a surviving
     /// worker across rebalances) — the source of
@@ -949,24 +1144,130 @@ impl ShardedEngine {
                 }
             }
         }
-        let mut buf = BytesMut::with_capacity(
-            64 + 8 * fleet.map.shards() + sections.iter().map(|s| s.len() + 8).sum::<usize>(),
-        );
-        buf.put_slice(SHARD_MAGIC_V2);
-        buf.put_u64_le(fleet.map.shards() as u64);
-        buf.put_u64_le(fleet.map.universe() as u64);
-        buf.put_slice(&[self.ghost_mode as u8]);
-        for &start in fleet.map.starts() {
-            buf.put_u64_le(start as u64);
+        Ok(assemble_sharded(&fleet.map, self.ghost_mode, &sections))
+    }
+
+    /// Like [`ShardedEngine::checkpoint`], but also registers every
+    /// worker's section as a delta base and returns the fleet's
+    /// [`FleetTips`] alongside the full checkpoint. Feed the tips to
+    /// [`ShardedEngine::delta_since`] to ship only what changed since.
+    pub fn checkpoint_base(&self) -> Result<(FleetTips, ShardedCheckpoint), TgsError> {
+        let fleet = self.fleet();
+        let mut slots = Vec::with_capacity(fleet.workers.len());
+        let mut sections = Vec::with_capacity(fleet.workers.len());
+        for worker in &fleet.workers {
+            match worker.checkpoint_base() {
+                Ok((id, section)) => {
+                    slots.push(id);
+                    sections.push(section);
+                }
+                Err(e) => {
+                    self.note(&e);
+                    return Err(e);
+                }
+            }
         }
+        let tips = FleetTips {
+            fingerprint: fleet.map.fingerprint(),
+            slots,
+        };
+        Ok((
+            tips,
+            assemble_sharded(&fleet.map, self.ghost_mode, &sections),
+        ))
+    }
+
+    /// Everything that changed on the fleet since `tips`, as one
+    /// multi-section [`ShardedDelta`]: slots whose worker can serve an
+    /// incremental delta ship one; slots that cannot (respawned worker,
+    /// aged-out mark) fall back to a full checkpoint-base section, so
+    /// coverage always matches a full fleet checkpoint. `Ok(None)` means
+    /// the tips as a whole are unusable — the topology changed under
+    /// them (rebalance) — and the caller should take a fresh
+    /// [`ShardedEngine::checkpoint_base`].
+    pub fn delta_since(&self, tips: &FleetTips) -> Result<Option<ShardedDelta>, TgsError> {
+        let fleet = self.fleet();
+        if tips.fingerprint != fleet.map.fingerprint() || tips.slots.len() != fleet.workers.len() {
+            return Ok(None);
+        }
+        let mut buf = BytesMut::with_capacity(1 << 12);
+        buf.put_slice(SHARD_DELTA_MAGIC);
+        buf.put_u64_le(fleet.workers.len() as u64);
         buf.put_u64_le(fleet.map.fingerprint());
-        for section in &sections {
-            buf.put_u64_le(section.len() as u64);
-            buf.put_slice(section);
+        for (worker, &tip) in fleet.workers.iter().zip(&tips.slots) {
+            let outcome = worker.delta_since(tip).and_then(|d| match d {
+                Some(delta) => Ok((None, delta)),
+                None => {
+                    // This slot cannot serve a delta — re-base it inline
+                    // so the fleet delta still covers every shard.
+                    let (id, section) = worker.checkpoint_base()?;
+                    Ok((Some(id), section))
+                }
+            });
+            match outcome {
+                Ok((None, delta)) => {
+                    buf.put_slice(&[1u8]);
+                    buf.put_u64_le(delta.len() as u64);
+                    buf.put_slice(&delta);
+                }
+                Ok((Some(id), section)) => {
+                    buf.put_slice(&[0u8]);
+                    buf.put_u64_le(id);
+                    buf.put_u64_le(section.len() as u64);
+                    buf.put_slice(&section);
+                }
+                Err(e) => {
+                    // Same all-or-nothing rule as full fleet checkpoints:
+                    // a delta missing a shard would apply into data loss.
+                    self.note(&e);
+                    return Err(e);
+                }
+            }
         }
-        Ok(ShardedCheckpoint {
+        Ok(Some(ShardedDelta {
             bytes: buf.freeze(),
-        })
+        }))
+    }
+
+    /// Folds a fleet delta into its base fleet checkpoint, producing the
+    /// full [`ShardedCheckpoint`] of the delta's tips — byte-identical
+    /// to what [`ShardedEngine::checkpoint`] returned there. Pure: needs
+    /// no running fleet.
+    pub fn apply_delta(
+        base: &ShardedCheckpoint,
+        delta: &ShardedDelta,
+    ) -> Result<ShardedCheckpoint, TgsError> {
+        let header = decode_header(&base.bytes)?;
+        let (fingerprint, slot_deltas) = decode_delta_sections(&delta.bytes)?;
+        if fingerprint != header.map.fingerprint() {
+            return Err(TgsError::corrupt(format!(
+                "fleet delta keyed to partition fingerprint {fingerprint:#x}, but the base \
+                 checkpoint's map derives {:#x}",
+                header.map.fingerprint()
+            )));
+        }
+        if slot_deltas.len() != header.sections.len() {
+            return Err(TgsError::corrupt(format!(
+                "fleet delta carries {} slot sections, the base checkpoint {}",
+                slot_deltas.len(),
+                header.sections.len()
+            )));
+        }
+        let sections = header
+            .sections
+            .into_iter()
+            .zip(slot_deltas)
+            .map(|(section, slot)| match slot {
+                DeltaSection::Delta(d) => Ok(SentimentEngine::apply_delta(
+                    &EngineCheckpoint::from_bytes(section),
+                    &crate::CheckpointDelta::from_bytes(d),
+                )?
+                .as_bytes()
+                .to_vec()),
+                DeltaSection::Base(_, fresh) => Ok(fresh),
+            })
+            .collect::<Result<Vec<Vec<u8>>, TgsError>>()?;
+        Ok(assemble_sharded(&header.map, header.ghost_mode, &sections))
     }
 
     /// Rebuilds a fleet from a multi-shard checkpoint (either format
@@ -1721,6 +2022,77 @@ mod tests {
             c.num_tweets() as u64
         );
         assert!(engine.load_skew() >= 1.0);
+    }
+
+    #[test]
+    fn fleet_delta_chain_matches_full_checkpoint_at_every_step() {
+        let c = corpus();
+        let engine = sharded(&c, 3);
+        let windows = day_windows(c.num_days, 1);
+        for &(lo, hi) in &windows[..2] {
+            engine
+                .ingest(EngineSnapshot::from_corpus_window(&c, lo, hi))
+                .unwrap();
+        }
+        engine.flush().unwrap();
+        let (mut tips, base) = engine.checkpoint_base().unwrap();
+        assert_eq!(
+            base.as_bytes(),
+            engine.checkpoint().unwrap().as_bytes(),
+            "a fleet base is byte-identical to a plain fleet checkpoint"
+        );
+        let mut current = base;
+        for &(lo, hi) in &windows[2..] {
+            engine
+                .ingest(EngineSnapshot::from_corpus_window(&c, lo, hi))
+                .unwrap();
+            engine.flush().unwrap();
+            let delta = engine
+                .delta_since(&tips)
+                .unwrap()
+                .expect("unchanged topology must serve a delta");
+            assert!(ShardedDelta::sniff(delta.as_bytes()));
+            current = ShardedEngine::apply_delta(&current, &delta).unwrap();
+            assert_eq!(
+                current.as_bytes(),
+                engine.checkpoint().unwrap().as_bytes(),
+                "base + fleet deltas must be byte-identical to the full fleet checkpoint"
+            );
+            tips = delta.tips().unwrap();
+        }
+        // And the materialized checkpoint restores into a working fleet.
+        let restored = ShardedEngine::restore(&current).unwrap();
+        assert_eq!(
+            restored.query().timeline(..).unwrap(),
+            engine.query().timeline(..).unwrap()
+        );
+    }
+
+    #[test]
+    fn fleet_delta_unavailable_after_rebalance() {
+        let c = corpus();
+        let engine = sharded(&c, 2);
+        stream(&engine, &c);
+        let (tips, _) = engine.checkpoint_base().unwrap();
+        // A topology change re-keys the fingerprint: old tips are dead.
+        let plan = RepartitionPlan::single(RepartitionOp::MoveBoundary {
+            boundary: 1,
+            to: engine.map().starts()[1] + 1,
+        });
+        engine.rebalance(&plan).unwrap();
+        assert!(
+            engine.delta_since(&tips).unwrap().is_none(),
+            "stale fingerprint must report unavailable, not mis-apply"
+        );
+        // A fresh base serves deltas again.
+        let (tips, base) = engine.checkpoint_base().unwrap();
+        let delta = engine.delta_since(&tips).unwrap().unwrap();
+        assert_eq!(
+            ShardedEngine::apply_delta(&base, &delta)
+                .unwrap()
+                .as_bytes(),
+            engine.checkpoint().unwrap().as_bytes()
+        );
     }
 
     #[test]

@@ -113,6 +113,21 @@ pub trait ShardTransport: Send + Sync {
     /// the wire serialization of a whole worker).
     fn checkpoint_section(&self) -> Result<Vec<u8>, TgsError>;
 
+    /// Like [`ShardTransport::checkpoint_section`], but also registers
+    /// the section as a *base* for delta checkpointing and returns its
+    /// worker-local mark id (see [`crate::delta`]). Ids are per-worker
+    /// and not persisted: a respawned or restored worker starts fresh.
+    fn checkpoint_base(&self) -> Result<(u64, Vec<u8>), TgsError>;
+
+    /// The serialized [`crate::CheckpointDelta`] of everything that
+    /// changed on this worker since the mark `base_id`, registering the
+    /// tip as a new mark. `Ok(None)` means the mark cannot serve a
+    /// delta (unknown, aged out, invalidated by a migration) — take a
+    /// fresh [`ShardTransport::checkpoint_base`] instead. Idempotency:
+    /// re-asking the same `base_id` yields an equivalent delta (a new
+    /// mark id, same state), so retries after a lost reply are safe.
+    fn delta_since(&self, base_id: u64) -> Result<Option<Vec<u8>>, TgsError>;
+
     /// Removes and returns all per-user state for ids in `lo..hi`,
     /// serialized with [`SentimentEngine::export_users_bytes`]. The
     /// caller must have flushed this worker first.
@@ -268,6 +283,18 @@ impl ShardTransport for LocalShard {
 
     fn checkpoint_section(&self) -> Result<Vec<u8>, TgsError> {
         Ok(self.engine.checkpoint()?.as_bytes().to_vec())
+    }
+
+    fn checkpoint_base(&self) -> Result<(u64, Vec<u8>), TgsError> {
+        let (id, ckpt) = self.engine.checkpoint_base()?;
+        Ok((id, ckpt.as_bytes().to_vec()))
+    }
+
+    fn delta_since(&self, base_id: u64) -> Result<Option<Vec<u8>>, TgsError> {
+        Ok(self
+            .engine
+            .delta_since(base_id)?
+            .map(|d| d.as_bytes().to_vec()))
     }
 
     fn export_users(&self, lo: usize, hi: usize) -> Result<Vec<u8>, TgsError> {

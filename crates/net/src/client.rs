@@ -87,6 +87,12 @@ fn retry_class(opcode: u8) -> Retry {
         | op::VOCAB_TOKENS
         | op::USER_FACTOR
         | op::CHECKPOINT_SECTION
+        // Delta ops are idempotent by construction: re-asking the same
+        // base id yields an equivalent delta under a fresh mark id, and
+        // a lost reply's orphaned mark just ages out of the retention
+        // window.
+        | op::CHECKPOINT_BASE
+        | op::DELTA_SINCE
         | op::SET_GENERATION
         | op::SHUTDOWN_SLOT
         | op::TERMINATE
@@ -479,6 +485,19 @@ impl ShardTransport for TcpShard {
 
     fn checkpoint_section(&self) -> Result<Vec<u8>, TgsError> {
         self.call(op::CHECKPOINT_SECTION, 0, &[], |b| Ok(b.to_vec()))
+    }
+
+    fn checkpoint_base(&self) -> Result<(u64, Vec<u8>), TgsError> {
+        self.call(op::CHECKPOINT_BASE, 0, &[], wire::dec_id_bytes)
+    }
+
+    fn delta_since(&self, base_id: u64) -> Result<Option<Vec<u8>>, TgsError> {
+        self.call(
+            op::DELTA_SINCE,
+            0,
+            &wire::enc_u64(base_id),
+            wire::dec_opt_bytes,
+        )
     }
 
     fn export_users(&self, lo: usize, hi: usize) -> Result<Vec<u8>, TgsError> {

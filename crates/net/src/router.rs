@@ -8,12 +8,14 @@
 //! so the remote fleet is bit-identical to the local one it was cloned
 //! from.
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use tgs_core::TgsError;
 use tgs_engine::{
-    ClusterSummary, EngineSnapshot, EngineStats, RecoveryCounters, ShardTransport, ShardedEngine,
-    TimelineEntry, UserSentiment,
+    ClusterSummary, EngineSnapshot, EngineStats, FleetTips, RecoveryCounters, ShardTransport,
+    ShardedEngine, TimelineEntry, UserSentiment,
 };
 use tgs_linalg::DenseMatrix;
 
@@ -157,12 +159,45 @@ pub fn attach_fleet(
 /// router's job, not a remote client's.
 pub struct RouterEndpoint {
     engine: Arc<ShardedEngine>,
+    /// Fleet base ids handed out over `CHECKPOINT_BASE`, mapped back to
+    /// the per-slot tips they anchor. Ids are content-derived
+    /// ([`FleetTips::key`]), so a client holding a fleet delta can
+    /// recompute its next anchor locally, and re-registering the same
+    /// tips is a no-op — retries stay idempotent.
+    bases: Mutex<BaseMap>,
+}
+
+/// How many distinct fleet anchors the router remembers. An evicted id
+/// answers `DELTA_SINCE` with "unavailable" and the client re-bases —
+/// the same degradation as an aged-out engine mark.
+const ROUTER_BASE_CAP: usize = 16;
+
+#[derive(Default)]
+struct BaseMap {
+    order: VecDeque<u64>,
+    tips: HashMap<u64, FleetTips>,
+}
+
+impl BaseMap {
+    fn insert(&mut self, id: u64, tips: FleetTips) {
+        if self.tips.insert(id, tips).is_none() {
+            self.order.push_back(id);
+            while self.order.len() > ROUTER_BASE_CAP {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.tips.remove(&evicted);
+                }
+            }
+        }
+    }
 }
 
 impl RouterEndpoint {
     /// Wraps a deployed router for hosting.
     pub fn new(engine: Arc<ShardedEngine>) -> Arc<Self> {
-        Arc::new(Self { engine })
+        Arc::new(Self {
+            engine,
+            bases: Mutex::new(BaseMap::default()),
+        })
     }
 
     fn unsupported(verb: &str) -> TgsError {
@@ -249,6 +284,35 @@ impl ShardTransport for RouterEndpoint {
         // A held fleet's "section" is the whole multi-shard checkpoint:
         // `tgs query --connect` restores it with `restore_any`.
         Ok(self.engine.checkpoint()?.as_bytes().to_vec())
+    }
+
+    fn checkpoint_base(&self) -> Result<(u64, Vec<u8>), TgsError> {
+        // Fleet-level base: the full multi-shard checkpoint plus an id
+        // derived from the per-slot tips it was taken at.
+        let (tips, ckpt) = self.engine.checkpoint_base()?;
+        let id = tips.key();
+        self.bases.lock().insert(id, tips);
+        Ok((id, ckpt.as_bytes().to_vec()))
+    }
+
+    fn delta_since(&self, base_id: u64) -> Result<Option<Vec<u8>>, TgsError> {
+        let tips = match self.bases.lock().tips.get(&base_id) {
+            Some(tips) => tips.clone(),
+            // Unknown or evicted anchor: report unavailable so the
+            // client re-bases, mirroring an aged-out engine mark.
+            None => return Ok(None),
+        };
+        match self.engine.delta_since(&tips)? {
+            Some(delta) => {
+                // Remember the delta's own tips so the client's derived
+                // next anchor (FleetTips::key over ShardedDelta::tips)
+                // resolves on its next call.
+                let next = delta.tips()?;
+                self.bases.lock().insert(next.key(), next);
+                Ok(Some(delta.as_bytes().to_vec()))
+            }
+            None => Ok(None),
+        }
     }
 
     fn export_users(&self, _lo: usize, _hi: usize) -> Result<Vec<u8>, TgsError> {

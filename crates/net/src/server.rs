@@ -319,6 +319,15 @@ fn dispatch(srv: &Srv, request: &Request) -> Result<Vec<u8>, TgsError> {
                 .map(|f| wire::enc_opt_f64s(&f))
         }
         op::CHECKPOINT_SECTION => slot_of(srv, slot)?.checkpoint_section(),
+        op::CHECKPOINT_BASE => slot_of(srv, slot)?
+            .checkpoint_base()
+            .map(|(id, section)| wire::enc_id_bytes(id, &section)),
+        op::DELTA_SINCE => {
+            let base_id = wire::dec_u64(payload).map_err(bad_payload)?;
+            slot_of(srv, slot)?
+                .delta_since(base_id)
+                .map(|d| wire::enc_opt_bytes(d.as_deref()))
+        }
         op::EXPORT_USERS => {
             let mut r = wire::Rd::new(payload);
             let lo = r.usize("export lo").map_err(bad_payload)?;

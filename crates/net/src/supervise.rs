@@ -5,10 +5,13 @@
 //! worker is wrapped in a [`SupervisedShard`], which keeps two pieces of
 //! recovery state beside the live [`TcpShard`]:
 //!
-//! * **last good checkpoint section** — refreshed by the [`Supervisor`]
-//!   on a window cadence (and whenever anything else asks the shard for
-//!   its section), this is the byte-exact baseline a replacement slot is
-//!   re-seeded from;
+//! * **last good baseline** — refreshed by the [`Supervisor`] on a
+//!   window cadence (and whenever anything else asks the shard for its
+//!   section), this is the byte-exact baseline a replacement slot is
+//!   re-seeded from. Once anchored via `CHECKPOINT_BASE` the baseline
+//!   is a base checkpoint plus a bounded delta chain: refreshes ask
+//!   `DELTA_SINCE(tip)` and ship only changed bytes, and the supervisor
+//!   compacts the chain locally when its cost exceeds a full snapshot;
 //! * **replay journal** — every snapshot ingested since that baseline,
 //!   in order. Bounded: past [`SupervisorConfig::journal_limit`] the
 //!   shard first tries to refresh its baseline (which empties the
@@ -41,6 +44,8 @@ use tgs_core::{TgsError, TgsErrorKind};
 use tgs_engine::query::{ClusterSummary, TimelineEntry, UserSentiment};
 use tgs_engine::{EngineSnapshot, EngineStats, RecoveryCounters, ShardTransport};
 use tgs_linalg::DenseMatrix;
+
+use tgs_engine::{CheckpointDelta, DeltaChain, EngineCheckpoint};
 
 use crate::client::TcpShard;
 use crate::fault::splitmix;
@@ -86,12 +91,37 @@ impl Default for SupervisorConfig {
     }
 }
 
+/// The re-seed baseline a slot keeps beside its replay journal.
+///
+/// A deploy-time section has no server-side mark id, so it can only be
+/// refreshed wholesale; once a refresh goes through `CHECKPOINT_BASE`
+/// the slot holds a [`DeltaChain`] instead and subsequent refreshes
+/// ship only `DELTA_SINCE(tip)` bytes, compacting locally when the
+/// accumulated deltas outgrow the base.
+enum Baseline {
+    /// Full checkpoint bytes with no delta anchor.
+    Section(Vec<u8>),
+    /// Delta-capable: base checkpoint plus the chain of applied deltas,
+    /// keyed by the server-side mark id at its tip.
+    Chain(DeltaChain),
+}
+
+impl Baseline {
+    /// The byte-exact section a replacement slot is seeded from.
+    fn materialize(&self) -> Result<Vec<u8>, TgsError> {
+        match self {
+            Baseline::Section(bytes) => Ok(bytes.clone()),
+            Baseline::Chain(chain) => Ok(chain.materialize()?.as_bytes().to_vec()),
+        }
+    }
+}
+
 /// Per-slot recovery state guarded by one mutex (all of it changes
 /// together on the ingest/recover path).
 #[derive(Default)]
 struct SlotState {
-    /// Byte-exact section a replacement slot is re-seeded from.
-    last_good: Option<Vec<u8>>,
+    /// Byte-exact baseline a replacement slot is re-seeded from.
+    last_good: Option<Baseline>,
     /// Snapshots ingested since `last_good`, in order.
     journal: Vec<EngineSnapshot>,
     /// Set when user ranges moved through this shard (export / import /
@@ -134,7 +164,7 @@ impl SupervisedShard {
             counters,
             generation: AtomicU64::new(0),
             state: Mutex::new(SlotState {
-                last_good: baseline,
+                last_good: baseline.map(Baseline::Section),
                 ..Default::default()
             }),
             rng: AtomicU64::new(rng),
@@ -176,6 +206,53 @@ impl SupervisedShard {
         Duration::from_nanos(half + self.next_jitter() % (nanos - half + 1))
     }
 
+    /// Advances the slot's baseline to the shard's current state,
+    /// shipping only changed bytes when possible.
+    ///
+    /// With a delta-capable baseline this asks `DELTA_SINCE(tip)` and
+    /// appends the answer to the local chain (compacting when the chain
+    /// outgrows the base); an unavailable mark — aged out, or the slot
+    /// was respawned with fresh marks — falls back to a full
+    /// `CHECKPOINT_BASE`, which also re-anchors delta capability for a
+    /// slot deployed from a plain section.
+    fn refresh_locked(&self, state: &mut SlotState) -> Result<(), TgsError> {
+        if let Some(Baseline::Chain(chain)) = &mut state.last_good {
+            match self.inner.delta_since(chain.tip()?) {
+                Ok(Some(bytes)) => {
+                    let delta = CheckpointDelta::from_bytes(bytes);
+                    chain.push(delta)?;
+                    state.journal.clear();
+                    state.stale = false;
+                    state.overflowed = false;
+                    self.counters
+                        .delta_refreshes
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                // Mark unknown on the server: fall through to a full
+                // base rather than failing the refresh.
+                Ok(None) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let (id, section) = self.inner.checkpoint_base()?;
+        state.last_good = Some(Baseline::Chain(DeltaChain::new(
+            id,
+            EngineCheckpoint::from_bytes(section),
+        )));
+        state.journal.clear();
+        state.stale = false;
+        state.overflowed = false;
+        Ok(())
+    }
+
+    /// Public refresh entry point (the [`Supervisor`]'s checkpoint
+    /// cadence lands here): delta-first baseline advance.
+    pub fn refresh_baseline(&self) -> Result<(), TgsError> {
+        let mut state = self.state.lock();
+        self.refresh_locked(&mut state)
+    }
+
     /// Records a successfully ingested snapshot in the journal,
     /// refreshing the baseline when the journal hits its bound.
     fn record(&self, snapshot: EngineSnapshot) -> Result<(), TgsError> {
@@ -184,17 +261,11 @@ impl SupervisedShard {
         if state.journal.len() <= self.cfg.journal_limit {
             return Ok(());
         }
-        // Bound reached: fold the journal into a fresh baseline. The
-        // section read drains the worker queue first, so everything in
-        // the journal is already inside the bytes we get back.
-        match self.inner.checkpoint_section() {
-            Ok(section) => {
-                state.last_good = Some(section);
-                state.journal.clear();
-                state.stale = false;
-                state.overflowed = false;
-                Ok(())
-            }
+        // Bound reached: fold the journal into a fresh baseline (the
+        // refresh drains the worker queue first, so everything in the
+        // journal is already covered by the state we anchor to).
+        match self.refresh_locked(&mut state) {
+            Ok(()) => Ok(()),
             Err(e) => {
                 // Unreachable shard with a full journal: any future
                 // replay would be incomplete. Escalate rather than
@@ -233,11 +304,14 @@ impl SupervisedShard {
                 "cannot recover: replay journal overflowed while the shard was unreachable",
             ));
         }
-        let Some(baseline) = state.last_good.clone() else {
-            return Err(TgsError::net(
-                self.inner.peer(),
-                "cannot recover: no checkpoint baseline recorded for this slot",
-            ));
+        let baseline = match &state.last_good {
+            Some(b) => b.materialize()?,
+            None => {
+                return Err(TgsError::net(
+                    self.inner.peer(),
+                    "cannot recover: no checkpoint baseline recorded for this slot",
+                ));
+            }
         };
 
         let started = Instant::now();
@@ -257,6 +331,13 @@ impl SupervisedShard {
                     if let Some(snapshot) = pending {
                         state.journal.push(snapshot);
                     }
+                    // The respawned slot is a fresh engine with fresh
+                    // delta marks — a chain tip id kept across the
+                    // rebuild could collide with a newly minted mark on
+                    // unrelated state. Demote to a plain section; the
+                    // next refresh re-anchors delta capability with a
+                    // full CHECKPOINT_BASE.
+                    state.last_good = Some(Baseline::Section(baseline));
                     self.counters.respawns.fetch_add(1, Ordering::Relaxed);
                     self.counters
                         .replayed_docs
@@ -383,13 +464,38 @@ impl ShardTransport for SupervisedShard {
     }
 
     fn checkpoint_section(&self) -> Result<Vec<u8>, TgsError> {
-        let section = self.inner.checkpoint_section()?;
+        // Same bytes as a plain section read, but `CHECKPOINT_BASE`
+        // also mints a delta mark — so a full fetch doubles as the
+        // anchor for O(changes) refreshes afterwards.
+        let (id, section) = self.inner.checkpoint_base()?;
         let mut state = self.state.lock();
-        state.last_good = Some(section.clone());
+        state.last_good = Some(Baseline::Chain(DeltaChain::new(
+            id,
+            EngineCheckpoint::from_bytes(section.clone()),
+        )));
         state.journal.clear();
         state.stale = false;
         state.overflowed = false;
         Ok(section)
+    }
+
+    fn checkpoint_base(&self) -> Result<(u64, Vec<u8>), TgsError> {
+        let (id, section) = self.inner.checkpoint_base()?;
+        let mut state = self.state.lock();
+        state.last_good = Some(Baseline::Chain(DeltaChain::new(
+            id,
+            EngineCheckpoint::from_bytes(section.clone()),
+        )));
+        state.journal.clear();
+        state.stale = false;
+        state.overflowed = false;
+        Ok((id, section))
+    }
+
+    fn delta_since(&self, base_id: u64) -> Result<Option<Vec<u8>>, TgsError> {
+        // Pass-through: the caller's base id is their own anchor, not
+        // this slot's local chain tip.
+        self.inner.delta_since(base_id)
     }
 
     fn export_users(&self, lo: usize, hi: usize) -> Result<Vec<u8>, TgsError> {
@@ -485,12 +591,13 @@ impl Supervisor {
     }
 
     /// Best-effort fleet-wide baseline refresh (on-quiesce entry point:
-    /// the CLI calls this once after the stream drains). A shard that is
-    /// down keeps its previous baseline — recovery re-seeds from that
-    /// and replays the journal instead.
+    /// the CLI calls this once after the stream drains). Delta-first:
+    /// anchored shards ship only changed bytes. A shard that is down
+    /// keeps its previous baseline — recovery re-seeds from that and
+    /// replays the journal instead.
     pub fn refresh_checkpoints(&self) {
         for shard in &self.shards {
-            let _ = shard.checkpoint_section();
+            let _ = shard.refresh_baseline();
         }
     }
 

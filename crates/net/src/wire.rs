@@ -69,6 +69,12 @@ pub mod op {
     pub const TERMINATE: u8 = 23;
     /// Server metadata: declared user range and live slot count.
     pub const SERVER_INFO: u8 = 24;
+    /// [`crate::ShardTransport::checkpoint_base`]: a full checkpoint
+    /// section plus its delta-base mark id.
+    pub const CHECKPOINT_BASE: u8 = 25;
+    /// [`crate::ShardTransport::delta_since`]: everything that changed
+    /// on the slot since a mark, or an unavailability marker.
+    pub const DELTA_SINCE: u8 = 26;
 }
 
 // --- writer ---------------------------------------------------------
@@ -299,6 +305,51 @@ pub fn dec_opt_f64s(payload: &[u8]) -> Result<Option<Vec<f64>>, String> {
     let v = match r.u8("option tag")? {
         0 => None,
         1 => Some(r.f64s("factor")?),
+        t => return Err(format!("bad option tag {t}")),
+    };
+    r.done()?;
+    Ok(v)
+}
+
+/// Encodes the `checkpoint_base` result: the delta-base mark id plus
+/// the full checkpoint section bytes.
+pub fn enc_id_bytes(id: u64, bytes: &[u8]) -> Vec<u8> {
+    let mut w = Wr::new();
+    w.u64(id);
+    w.bytes(bytes);
+    w.finish()
+}
+
+/// Decodes [`enc_id_bytes`].
+pub fn dec_id_bytes(payload: &[u8]) -> Result<(u64, Vec<u8>), String> {
+    let mut r = Rd::new(payload);
+    let id = r.u64("mark id")?;
+    let bytes = r.bytes("checkpoint section")?;
+    r.done()?;
+    Ok((id, bytes))
+}
+
+/// Encodes the `delta_since` result: a presence byte plus the
+/// serialized delta (absent = the mark cannot serve a delta; the
+/// caller re-bases).
+pub fn enc_opt_bytes(v: Option<&[u8]>) -> Vec<u8> {
+    let mut w = Wr::new();
+    match v {
+        Some(bytes) => {
+            w.u8(1);
+            w.bytes(bytes);
+        }
+        None => w.u8(0),
+    }
+    w.finish()
+}
+
+/// Decodes [`enc_opt_bytes`].
+pub fn dec_opt_bytes(payload: &[u8]) -> Result<Option<Vec<u8>>, String> {
+    let mut r = Rd::new(payload);
+    let v = match r.u8("option tag")? {
+        0 => None,
+        1 => Some(r.bytes("delta bytes")?),
         t => return Err(format!("bad option tag {t}")),
     };
     r.done()?;

@@ -39,6 +39,14 @@
 # queue depth and the p50/p99/p999 step-latency quantiles. Regenerate
 # with `./target/release/tgs soak` at the repo root; the `--smoke`
 # variant is the ci.sh gate (artifacts under target/bench-smoke/).
+# PR 10 added BENCH_ckpt.json:
+#   `ckpt_encode_n40000_s{1,4}/{full,delta}_<bytes>B/<pct>` — full
+#     snapshot vs delta checkpoint encode on a 40k-user engine, at
+#     1/5/20/100% of users touched per step (plus `apply_delta` at the
+#     5% point). The measured artifact sizes are baked into the ids so
+#     the JSON carries bytes alongside nanoseconds; acceptance is the
+#     5% point staying ≥5× smaller and faster than full. BENCH_FAST=1
+#     shrinks the corpus to 4k users (smoke only, not for committing).
 #
 # Usage:
 #   ./scripts/bench_json.sh           # full regeneration (commit these)
@@ -61,4 +69,5 @@ fi
 
 BENCH_JSON="$OUT_DIR/BENCH_kernels.json" cargo bench -p tgs_bench --bench kernels
 BENCH_JSON="$OUT_DIR/BENCH_solvers.json" cargo bench -p tgs_bench --bench solvers
-echo "wrote $OUT_DIR/BENCH_kernels.json and $OUT_DIR/BENCH_solvers.json"
+BENCH_JSON="$OUT_DIR/BENCH_ckpt.json" cargo bench -p tgs_bench --bench ckpt
+echo "wrote $OUT_DIR/BENCH_{kernels,solvers,ckpt}.json"

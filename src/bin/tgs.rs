@@ -5,6 +5,7 @@
 //! tgs analyze  --corpus corpus.tsv [--k 3 --alpha 0.05 --beta 0.8] --out sentiments.tsv
 //! tgs stream   --corpus corpus.tsv [--window-days 1 --gamma 0.2 --shards 4] \
 //!              [--ghost-users] [--max-skew 1.5] \
+//!              [--checkpoint-every N [--delta]] \
 //!              --out timeline.tsv [--checkpoint engine.ckpt] [--stats]
 //! tgs query    (--checkpoint engine.ckpt | --connect 127.0.0.1:7400)
 //!              (--timeline LO..HI | --user U [--at T] | --summary T |
@@ -15,7 +16,8 @@
 //!              --out timeline.tsv [--checkpoint fleet.ckpt] \
 //!              [--hold 127.0.0.1:7400] [--terminate]
 //! tgs soak     [--users 2000 --steps 192 --shards 2 --batch-bucket 8] \
-//!              [--budget-ms 10000] [--out BENCH_soak.json] [--smoke]
+//!              [--budget-ms 10000] [--max-peak-bytes N] \
+//!              [--out BENCH_soak.json] [--smoke]
 //! ```
 //!
 //! `stream` runs the online solver (Algorithm 2) through the
@@ -25,7 +27,12 @@
 //! checkpoint. `--ghost-users` keeps cross-shard re-tweet edges as ghost
 //! rows (nothing dropped); `--max-skew X` turns the topology elastic —
 //! when the routed tweet-count skew exceeds `X`, the hottest shard is
-//! split at its load midpoint by a live rebalance. `query` restores any
+//! split at its load midpoint by a live rebalance. `--checkpoint-every
+//! N` snapshots the session every N windows in-run; with `--delta` the
+//! cadence anchors one full base and then ships O(changes) delta
+//! checkpoints, re-materializing locally and verifying base ⊕ deltas
+//! stays byte-identical to a full snapshot (re-anchoring automatically
+//! when a rebalance invalidates the base). `query` restores any
 //! checkpoint flavor (single-engine, v1 stride-map, v2 elastic) and
 //! serves the history API (`timeline`, `user`, `summary`, `top-words`,
 //! `shard-info`) without re-solving anything. `--stats` surfaces the
@@ -42,9 +49,11 @@
 //! shard's routed load falls below `X` of the per-shard mean it is
 //! drained into its neighbour, the inverse of `--max-skew` splits.
 //!
-//! `serve` runs under fleet supervision: periodic checkpoint snapshots
-//! (`--checkpoint-every N` windows), background health probes, and
-//! automatic respawn/re-seed of a dead shard from its last good section
+//! `serve` runs under fleet supervision: periodic baseline snapshots
+//! (`--checkpoint-every N` windows — after the first full base each
+//! refresh ships only a delta of changed bytes, counted as
+//! `delta_refreshes`), background health probes, and automatic
+//! respawn/re-seed of a dead shard from its baseline (base ⊕ deltas)
 //! plus a bounded replay journal — a killed `tgs shard` process that
 //! comes back is reconverged bit-identically, counted in the `respawns`
 //! / `replayed_docs` stats. `--hold ADDR` keeps the fleet alive after
@@ -58,7 +67,10 @@
 //! firehose ([`tgs_load::LoadGen`] via the facade) driven through
 //! per-snapshot `try_ingest` and then through the micro-batching front
 //! end under a wall-clock budget, recording throughput, drop rate,
-//! queue depth and p50/p99/p999 step latency into a JSON artifact.
+//! queue depth, p50/p99/p999 step latency (log-linear histogram, ≤12.5%
+//! quantile error) and the live-heap high-water mark (`peak_alloc_bytes`
+//! from the counting global allocator) into a JSON artifact.
+//! `--max-peak-bytes N` turns the high-water mark into a hard ceiling.
 //! `--smoke` is the CI leg: tiny sizes, zero drops and a sane p99
 //! asserted, nonzero exit on violation.
 
@@ -73,6 +85,72 @@ use tripartite_sentiment::net::{
     SupervisorConfig, TcpShard,
 };
 use tripartite_sentiment::prelude::*;
+
+// ---------------------------------------------------------------------
+// Live-heap accounting for `tgs soak`.
+// ---------------------------------------------------------------------
+
+/// A thin wrapper over the system allocator tracking live bytes and
+/// their high-water mark, so soak runs can report `peak_alloc_bytes`
+/// and `--smoke` can fail on a memory regression. Relaxed atomics — a
+/// sampled monitoring surface, not a synchronization point; the
+/// per-allocation cost is two relaxed RMW ops, invisible next to a
+/// solver step.
+mod alloc_meter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub struct MeteredAllocator;
+
+    static LIVE: AtomicU64 = AtomicU64::new(0);
+    static PEAK: AtomicU64 = AtomicU64::new(0);
+
+    fn grow(n: u64) {
+        let live = LIVE.fetch_add(n, Ordering::Relaxed) + n;
+        PEAK.fetch_max(live, Ordering::Relaxed);
+    }
+
+    unsafe impl GlobalAlloc for MeteredAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = unsafe { System.alloc(layout) };
+            if !p.is_null() {
+                grow(layout.size() as u64);
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) };
+            LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = unsafe { System.realloc(ptr, layout, new_size) };
+            if !p.is_null() {
+                if new_size >= layout.size() {
+                    grow((new_size - layout.size()) as u64);
+                } else {
+                    LIVE.fetch_sub((layout.size() - new_size) as u64, Ordering::Relaxed);
+                }
+            }
+            p
+        }
+    }
+
+    /// The live-heap high-water mark since the last reset.
+    pub fn peak_bytes() -> u64 {
+        PEAK.load(Ordering::Relaxed)
+    }
+
+    /// Drops the high-water mark back to the current live size, so a
+    /// soak phase measures its own peak rather than inheriting setup's.
+    pub fn reset_peak() {
+        PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+#[global_allocator]
+static GLOBAL_ALLOC: alloc_meter::MeteredAllocator = alloc_meter::MeteredAllocator;
 
 // ---------------------------------------------------------------------
 // The flag table: one declarative spec per subcommand.
@@ -212,6 +290,17 @@ const COMMANDS: &[CommandSpec] = &[
                 "checkpoint",
                 "PATH",
                 "also persist the full engine session for `tgs query`",
+            ),
+            maybe(
+                "checkpoint-every",
+                "N",
+                "take an in-run checkpoint every N windows (full snapshots; deltas with --delta)",
+            ),
+            switch(
+                "delta",
+                "encode in-run checkpoints as O(changes) deltas against the previous base and \
+                 verify base+deltas stays byte-identical to a full snapshot (needs \
+                 --checkpoint-every)",
             ),
             switch(
                 "stats",
@@ -375,6 +464,11 @@ const COMMANDS: &[CommandSpec] = &[
             opt("batch-max-docs", "N", "4096", "flush a pending batch at this many docs"),
             opt("budget-ms", "MS", "10000", "wall-clock budget per phase"),
             opt("out", "PATH", "BENCH_soak.json", "JSON results file"),
+            maybe(
+                "max-peak-bytes",
+                "N",
+                "fail when a phase's live-heap high-water mark exceeds N bytes",
+            ),
             switch(
                 "smoke",
                 "CI mode: tiny sizes, assert zero drops and a sane p99, nonzero exit on failure",
@@ -690,11 +784,140 @@ fn elastic_policy(flags: &Flags) -> Result<ElasticPolicy, TgsError> {
 /// applied, then write the timeline/stats/checkpoint outputs. Keeping
 /// both commands on this one code path is what makes a distributed run
 /// flag-for-flag comparable to an in-process one.
+/// In-run checkpoint cadence for `tgs stream --checkpoint-every N`.
+///
+/// Without `--delta` every cadence point takes a full fleet snapshot.
+/// With `--delta` the first point anchors a base via
+/// [`ShardedEngine::checkpoint_base`] and later points ship only
+/// [`ShardedEngine::delta_since`] bytes; the locally re-materialized
+/// checkpoint (base ⊕ deltas) is verified byte-identical to a fresh
+/// full snapshot when the stream drains. Unavailable tips — e.g. after
+/// a mid-run rebalance changed the partition fingerprint — re-base
+/// transparently.
+struct CheckpointCadence {
+    every: u64,
+    delta: bool,
+    windows: u64,
+    /// Delta mode: latest tips plus the materialized current state.
+    anchor: Option<(FleetTips, ShardedCheckpoint)>,
+    fulls: usize,
+    deltas: usize,
+    rebases: usize,
+    delta_bytes: u64,
+    full_bytes: u64,
+}
+
+impl CheckpointCadence {
+    fn from_flags(flags: &Flags) -> Result<Option<Self>, TgsError> {
+        let every: Option<u64> = flags.get_opt("checkpoint-every")?;
+        let delta = flags.str_opt("delta").is_some();
+        match every {
+            None if delta => Err(TgsError::invalid_argument(
+                "--delta needs an in-run cadence: pass --checkpoint-every N",
+            )),
+            None => Ok(None),
+            Some(0) => Err(TgsError::invalid_argument(
+                "--checkpoint-every must be >= 1",
+            )),
+            Some(every) => Ok(Some(Self {
+                every,
+                delta,
+                windows: 0,
+                anchor: None,
+                fulls: 0,
+                deltas: 0,
+                rebases: 0,
+                delta_bytes: 0,
+                full_bytes: 0,
+            })),
+        }
+    }
+
+    /// Called once per ingested window; takes a checkpoint on cadence.
+    fn tick(&mut self, engine: &ShardedEngine) -> Result<(), TgsError> {
+        self.windows += 1;
+        if !self.windows.is_multiple_of(self.every) {
+            return Ok(());
+        }
+        self.take(engine)
+    }
+
+    fn take(&mut self, engine: &ShardedEngine) -> Result<(), TgsError> {
+        if !self.delta {
+            let ckpt = engine.checkpoint()?;
+            self.fulls += 1;
+            self.full_bytes += ckpt.len() as u64;
+            return Ok(());
+        }
+        if let Some((tips, current)) = self.anchor.take() {
+            if let Some(delta) = engine.delta_since(&tips)? {
+                let next = ShardedEngine::apply_delta(&current, &delta)?;
+                self.deltas += 1;
+                self.delta_bytes += delta.len() as u64;
+                self.full_bytes += next.len() as u64;
+                self.anchor = Some((delta.tips()?, next));
+                return Ok(());
+            }
+            // Tips unavailable (rebalanced fleet or aged-out marks):
+            // fall through to a fresh base.
+            self.rebases += 1;
+        }
+        let (tips, base) = engine.checkpoint_base()?;
+        self.fulls += 1;
+        self.full_bytes += base.len() as u64;
+        self.anchor = Some((tips, base));
+        Ok(())
+    }
+
+    /// Stream drained: take the closing checkpoint, then (delta mode)
+    /// verify the materialized chain against a fresh full snapshot.
+    fn finish(&mut self, engine: &ShardedEngine) -> Result<(), TgsError> {
+        self.take(engine)?;
+        if !self.delta {
+            eprintln!(
+                "in-run checkpoints: {} full snapshot(s), {} bytes total",
+                self.fulls, self.full_bytes
+            );
+            return Ok(());
+        }
+        let (_, materialized) = self
+            .anchor
+            .as_ref()
+            .expect("delta cadence finished without an anchor");
+        let full = engine.checkpoint()?;
+        if materialized.as_bytes() != full.as_bytes() {
+            return Err(TgsError::corrupt(
+                "delta checkpoint verification: base+deltas materialized differently \
+                 from a full snapshot",
+            ));
+        }
+        let saved = if self.delta_bytes > 0 && self.deltas > 0 {
+            // Average full-equivalent size over the delta-shipped points.
+            let full_equiv = self.full_bytes / (self.deltas + self.fulls) as u64;
+            format!(
+                " (avg delta {} bytes vs {} full — {:.1}x smaller)",
+                self.delta_bytes / self.deltas as u64,
+                full_equiv,
+                full_equiv as f64 / (self.delta_bytes as f64 / self.deltas as f64),
+            )
+        } else {
+            String::new()
+        };
+        eprintln!(
+            "delta checkpoints: {} base(s) + {} delta(s), {} re-base(s), {} delta bytes{}; \
+             base+deltas verified byte-identical to the full snapshot",
+            self.fulls, self.deltas, self.rebases, self.delta_bytes, saved
+        );
+        Ok(())
+    }
+}
+
 fn stream_and_report(
     engine: &ShardedEngine,
     corpus: &Corpus,
     flags: &Flags,
     supervisor: Option<&Supervisor>,
+    mut cadence: Option<CheckpointCadence>,
 ) -> Result<(), TgsError> {
     let window: u32 = flags.get("window-days")?;
     if window == 0 {
@@ -707,6 +930,9 @@ fn stream_and_report(
         engine.ingest(EngineSnapshot::from_corpus_window(corpus, lo, hi))?;
         if let Some(sup) = supervisor {
             sup.tick();
+        }
+        if let Some(c) = cadence.as_mut() {
+            c.tick(engine)?;
         }
         if let Some(x) = policy.max_skew {
             // The auto-trigger inspects router-side load counters (no
@@ -736,6 +962,9 @@ fn stream_and_report(
         // On-quiesce snapshot: the stream has drained, so the refreshed
         // baselines capture the complete run.
         sup.refresh_checkpoints();
+    }
+    if let Some(c) = cadence.as_mut() {
+        c.finish(engine)?;
     }
 
     let query = engine.query();
@@ -799,6 +1028,17 @@ fn stream_and_report(
             s.pinned,
         );
         print_recovery_stats(&s);
+        if let Some(sup) = supervisor {
+            // Not part of the merged per-shard stats record: delta
+            // refreshes are a supervisor-local count of baseline
+            // updates that shipped only changed bytes.
+            eprintln!(
+                "supervisor: delta_refreshes {}",
+                sup.counters()
+                    .delta_refreshes
+                    .load(std::sync::atomic::Ordering::Relaxed)
+            );
+        }
         print_latency_stats(&s.step_hist);
         let loads = engine.shard_loads();
         let skew = engine.load_skew();
@@ -857,7 +1097,8 @@ fn cmd_stream(flags: &Flags) -> Result<(), TgsError> {
         .pipeline(pipeline())
         .ghost_users(flags.str_opt("ghost-users").is_some())
         .fit_sharded(&corpus, shards)?;
-    stream_and_report(&engine, &corpus, flags, None)
+    let cadence = CheckpointCadence::from_flags(flags)?;
+    stream_and_report(&engine, &corpus, flags, None, cadence)
 }
 
 fn cmd_serve(flags: &Flags) -> Result<(), TgsError> {
@@ -903,7 +1144,10 @@ fn cmd_serve(flags: &Flags) -> Result<(), TgsError> {
         addrs.join(", ")
     );
     supervisor.start_probes();
-    let streamed = stream_and_report(&engine, &corpus, flags, Some(&supervisor));
+    // `serve`'s --checkpoint-every drives the *supervisor's* recovery
+    // baselines (delta-first since they anchor via CHECKPOINT_BASE);
+    // the in-run cadence struct is `tgs stream`'s local equivalent.
+    let streamed = stream_and_report(&engine, &corpus, flags, Some(&supervisor), None);
 
     if streamed.is_ok() {
         if let Some(hold_addr) = flags.str_opt("hold") {
@@ -1185,6 +1429,8 @@ struct SoakPhase {
     queue_samples: u64,
     batches: u64,
     coalesced: u64,
+    /// Live-heap high-water mark over the phase (allocator-metered).
+    peak_alloc_bytes: u64,
     stats: EngineStats,
 }
 
@@ -1227,6 +1473,7 @@ impl SoakPhase {
                 "      \"queue_depth_mean\": {:.2},\n",
                 "      \"batches\": {},\n",
                 "      \"snapshots_coalesced\": {},\n",
+                "      \"peak_alloc_bytes\": {},\n",
                 "      \"p50_ns\": {},\n",
                 "      \"p99_ns\": {},\n",
                 "      \"p999_ns\": {}\n",
@@ -1245,6 +1492,7 @@ impl SoakPhase {
             self.queue_mean(),
             self.batches,
             self.coalesced,
+            self.peak_alloc_bytes,
             self.stats.step_hist.p50(),
             self.stats.step_hist.p99(),
             self.stats.step_hist.p999(),
@@ -1342,6 +1590,7 @@ fn cmd_soak(flags: &Flags) -> Result<(), TgsError> {
     let engine = build(false)?;
     let words = engine.vocabulary().tokens().to_vec();
     let mut gen = LoadGen::new(load_config("unbatched"), words.clone())?;
+    alloc_meter::reset_peak();
     let deadline = std::time::Instant::now() + budget;
     let started = std::time::Instant::now();
     let mut unbatched = SoakPhase {
@@ -1356,6 +1605,7 @@ fn cmd_soak(flags: &Flags) -> Result<(), TgsError> {
         queue_samples: 0,
         batches: 0,
         coalesced: 0,
+        peak_alloc_bytes: 0,
         stats: engine.stats(),
     };
     while gen.step() < steps && std::time::Instant::now() < deadline {
@@ -1372,6 +1622,7 @@ fn cmd_soak(flags: &Flags) -> Result<(), TgsError> {
     }
     unbatched.solver_steps = engine.flush()?;
     unbatched.wall = started.elapsed();
+    unbatched.peak_alloc_bytes = alloc_meter::peak_bytes();
     unbatched.stats = engine.stats();
     engine.shutdown()?;
 
@@ -1379,6 +1630,7 @@ fn cmd_soak(flags: &Flags) -> Result<(), TgsError> {
     // same-bucket snapshots coalesce into one assembled solver step.
     let engine = build(true)?;
     let mut gen = LoadGen::new(load_config("batched"), words)?;
+    alloc_meter::reset_peak();
     let deadline = std::time::Instant::now() + budget;
     let started = std::time::Instant::now();
     let mut batched = SoakPhase {
@@ -1393,6 +1645,7 @@ fn cmd_soak(flags: &Flags) -> Result<(), TgsError> {
         queue_samples: 0,
         batches: 0,
         coalesced: 0,
+        peak_alloc_bytes: 0,
         stats: engine.stats(),
     };
     {
@@ -1419,6 +1672,7 @@ fn cmd_soak(flags: &Flags) -> Result<(), TgsError> {
     }
     batched.solver_steps = engine.flush()?;
     batched.wall = started.elapsed();
+    batched.peak_alloc_bytes = alloc_meter::peak_bytes();
     batched.stats = engine.stats();
     engine.shutdown()?;
 
@@ -1426,7 +1680,7 @@ fn cmd_soak(flags: &Flags) -> Result<(), TgsError> {
         eprintln!(
             "{}: {} docs in {:.1} ms ({:.0} docs/s) | {} snapshots -> {} solver steps | \
              {} sheds (drop rate {:.4}) | queue max {} mean {:.1} | \
-             p50 {:.3} ms p99 {:.3} ms p999 {:.3} ms",
+             p50 {:.3} ms p99 {:.3} ms p999 {:.3} ms | peak alloc {:.1} MiB",
             p.id,
             p.docs,
             p.wall.as_secs_f64() * 1e3,
@@ -1440,6 +1694,7 @@ fn cmd_soak(flags: &Flags) -> Result<(), TgsError> {
             p.stats.step_hist.p50() as f64 / 1e6,
             p.stats.step_hist.p99() as f64 / 1e6,
             p.stats.step_hist.p999() as f64 / 1e6,
+            p.peak_alloc_bytes as f64 / (1024.0 * 1024.0),
         );
     }
     let speedup = batched.docs_per_sec() / unbatched.docs_per_sec().max(1e-9);
@@ -1475,6 +1730,20 @@ fn cmd_soak(flags: &Flags) -> Result<(), TgsError> {
     std::fs::write(out_path, json)
         .map_err(|e| TgsError::io(format!("cannot write {out_path}"), e))?;
     eprintln!("wrote {out_path}");
+
+    // The memory ceiling is its own gate (not only --smoke) so ad-hoc
+    // soak runs can also fail fast on a live-heap regression.
+    if let Some(ceiling) = flags.get_opt::<u64>("max-peak-bytes")? {
+        for p in [&unbatched, &batched] {
+            if p.peak_alloc_bytes > ceiling {
+                return Err(TgsError::invalid_argument(format!(
+                    "soak: phase {} peak live-heap {} bytes exceeds the --max-peak-bytes \
+                     ceiling of {} bytes",
+                    p.id, p.peak_alloc_bytes, ceiling
+                )));
+            }
+        }
+    }
 
     if smoke {
         for p in [&unbatched, &batched] {

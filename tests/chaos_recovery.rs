@@ -274,6 +274,98 @@ fn supervised_fleet_reconverges_under_seeded_ingest_truncation() {
     }
 }
 
+/// Delta-baseline recovery: with a tight checkpoint cadence the
+/// supervisor's mid-stream refreshes ship as `DELTA_SINCE` increments
+/// (counted in `delta_refreshes`), each slot's baseline being a base
+/// checkpoint plus a locally-compacted delta chain. A kill + empty
+/// respawn then re-seeds the slot from the *materialized* base+deltas
+/// plus the journal — and the result must still be bit-identical to a
+/// never-faulted run.
+#[test]
+fn faulted_slot_reseeds_from_delta_baseline_bit_identically() {
+    let c = corpus();
+    let (reference_timeline, reference_ckpt) = reference_run(&c);
+
+    let (child_a, addr_a) = spawn_shard_process("127.0.0.1:0");
+    let (mut child_b, addr_b) = spawn_shard_process("127.0.0.1:0");
+    let cfg = SupervisorConfig {
+        // Refresh every window: the first refresh anchors a base via
+        // CHECKPOINT_BASE, every later one ships only delta bytes.
+        checkpoint_every: 1,
+        ..sup_cfg()
+    };
+    let (engine, supervisor) = deploy_supervised(
+        fleet(&c, 2),
+        &[addr_a.clone(), addr_b.clone()],
+        &test_cfg(),
+        cfg,
+    )
+    .expect("deploy supervised");
+
+    let all = windows(&c);
+    let (head, tail) = all.split_at(all.len() / 2);
+    assert!(!head.is_empty() && !tail.is_empty(), "need a mid-stream");
+    for &(lo, hi) in head {
+        engine
+            .ingest(EngineSnapshot::from_corpus_window(&c, lo, hi))
+            .expect("head ingest");
+        supervisor.tick();
+    }
+    let refreshes_before_fault = supervisor
+        .counters()
+        .delta_refreshes
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        refreshes_before_fault > 0,
+        "a per-window cadence must have shipped at least one delta refresh \
+         before the fault (got {refreshes_before_fault})"
+    );
+
+    // Chaos: shard b dies and comes back with amnesia; its baseline is
+    // now base + deltas, so recovery materializes the chain to re-seed.
+    child_b.kill().expect("kill shard b");
+    child_b.wait().expect("reap shard b");
+    let child_b2 = respawn_shard_process(&addr_b);
+
+    for &(lo, hi) in tail {
+        engine
+            .ingest(EngineSnapshot::from_corpus_window(&c, lo, hi))
+            .expect("tail ingest rides through the respawn");
+        supervisor.tick();
+    }
+    engine.flush().expect("flush");
+
+    let stats = engine.stats();
+    assert!(stats.respawns >= 1, "a respawn happened");
+    let delta_refreshes = supervisor
+        .counters()
+        .delta_refreshes
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        delta_refreshes > refreshes_before_fault,
+        "the surviving and re-anchored slots keep delta-refreshing after \
+         the fault ({refreshes_before_fault} -> {delta_refreshes})"
+    );
+
+    assert_eq!(
+        engine.query().timeline(..).expect("recovered timeline"),
+        reference_timeline,
+        "delta-baselined recovery must match the never-faulted timeline"
+    );
+    assert_eq!(
+        engine.checkpoint().expect("recovered ckpt").as_bytes(),
+        &reference_ckpt[..],
+        "delta-baselined recovery must be byte-identical to the never-faulted run"
+    );
+
+    supervisor.stop();
+    engine.shutdown().expect("fleet shutdown");
+    for (child, addr) in [(child_a, &addr_a), (child_b2, &addr_b)] {
+        terminate(addr);
+        wait_exit(child, "shard server");
+    }
+}
+
 /// The proactive path: health probes cross the failure threshold while
 /// a shard is down, and the supervisor rebuilds the slot itself — no
 /// ingest required — as soon as the server returns.

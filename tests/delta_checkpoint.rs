@@ -1,0 +1,71 @@
+//! Property tests for delta checkpoints: over generated corpora, a base
+//! checkpoint plus the chain of deltas must stay **bit-identical** to a
+//! freshly encoded full checkpoint after every streamed window — on a
+//! single-engine fleet (`shards = 1`, the plain [`SentimentEngine`]
+//! path through [`LocalShard`]) and a 4-shard fleet (multi-section
+//! assembly through the router).
+
+use proptest::prelude::*;
+use tripartite_sentiment::prelude::*;
+
+fn corpus(seed: u64, users: usize) -> Corpus {
+    let mut cfg = presets::tiny(seed);
+    cfg.num_users = users;
+    generate(&cfg)
+}
+
+/// Streams `c` window by window, maintaining base ⊕ deltas beside the
+/// live fleet and asserting byte equality with a full checkpoint at
+/// every step.
+fn assert_chain_matches_full(c: &Corpus, shards: usize, window: u32) {
+    let engine = EngineBuilder::new()
+        .k(3)
+        .max_iters(6)
+        .fit_sharded(c, shards)
+        .expect("fit");
+    let (mut tips, mut current) = engine.checkpoint_base().expect("base");
+    assert_eq!(
+        current.as_bytes(),
+        engine.checkpoint().expect("cold full").as_bytes(),
+        "the base itself must equal a full checkpoint"
+    );
+    for (lo, hi) in day_windows(c.num_days, window) {
+        engine
+            .ingest(EngineSnapshot::from_corpus_window(c, lo, hi))
+            .expect("ingest");
+        engine.flush().expect("flush");
+        let delta = engine
+            .delta_since(&tips)
+            .expect("delta encode")
+            .expect("fresh tips must be servable");
+        current = ShardedEngine::apply_delta(&current, &delta).expect("apply");
+        tips = delta.tips().expect("delta tips");
+        let full = engine.checkpoint().expect("full");
+        assert_eq!(
+            current.as_bytes(),
+            full.as_bytes(),
+            "base+deltas diverged from the full checkpoint ({shards} shard(s), \
+             window {window}, after days [{lo}, {hi}))"
+        );
+        assert!(
+            delta.len() <= full.len(),
+            "a delta must never cost more than the full checkpoint it replaces"
+        );
+    }
+    engine.shutdown().expect("shutdown");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn delta_chain_is_bit_identical_to_full_checkpoints(
+        seed in 1u64..1000,
+        users in 10usize..32,
+        window in 1u32..4,
+    ) {
+        let c = corpus(seed, users);
+        assert_chain_matches_full(&c, 1, window);
+        assert_chain_matches_full(&c, 4, window);
+    }
+}
